@@ -1,0 +1,27 @@
+//! Baseline search agents for the ASDEX experiments.
+//!
+//! Every agent the paper's Table I compares against, implemented from
+//! scratch on the workspace's own substrates:
+//!
+//! * [`RandomSearch`] — uniform sampling (a strong baseline per the
+//!   paper),
+//! * [`CustomizedBo`] — Bayesian optimization with an extra-trees
+//!   surrogate ([`ExtraTrees`]) and dynamically balanced exploration,
+//! * [`rl::A2c`], [`rl::Ppo`], [`rl::Trpo`] — model-free RL agents in the
+//!   AutoCkt style (multi-discrete grid moves, normalized-slack
+//!   observations, the same value function as the model-based agent).
+//!
+//! All agents implement [`asdex_env::Searcher`], so the experiment
+//! harnesses treat them interchangeably.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bo;
+mod random;
+pub mod rl;
+mod trees;
+
+pub use bo::{BoConfig, CustomizedBo};
+pub use random::RandomSearch;
+pub use trees::{ExtraTrees, ForestConfig};

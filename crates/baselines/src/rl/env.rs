@@ -1,0 +1,249 @@
+//! AutoCkt-style RL environment over a sizing problem.
+//!
+//! The paper's model-free baselines "follow the same observation design in
+//! AutoCkt": the state is the current normalized sizing vector plus the
+//! normalized distance of each measurement to its spec, the action is a
+//! per-parameter {down, stay, up} grid move, and the reward is the same
+//! value function the model-based agent ranks candidates with.
+
+use asdex_env::SizingProblem;
+use rand::Rng;
+
+/// Result of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepResult {
+    /// Observation after the step.
+    pub obs: Vec<f64>,
+    /// Reward (value, plus a bonus when every spec is met).
+    pub reward: f64,
+    /// Episode termination (feasible point or horizon).
+    pub done: bool,
+    /// `true` when the new point satisfies every spec.
+    pub feasible: bool,
+}
+
+/// Episode-based sizing environment with a simulation meter.
+#[derive(Debug, Clone)]
+pub struct SizingEnv<'p> {
+    problem: &'p SizingProblem,
+    /// Episode horizon.
+    pub max_steps: usize,
+    /// Reward bonus on reaching a feasible point (AutoCkt uses +10).
+    pub feasible_bonus: f64,
+    /// Grid indices moved per ±1 action on each axis.
+    strides: Vec<usize>,
+    grid_lens: Vec<usize>,
+    state: Vec<usize>,
+    steps_in_episode: usize,
+    sims: usize,
+    first_feasible_sim: Option<usize>,
+    best_value: f64,
+    best_point: Vec<f64>,
+    last_feasible: bool,
+}
+
+impl<'p> SizingEnv<'p> {
+    /// Wraps a problem with the given episode horizon.
+    pub fn new(problem: &'p SizingProblem, max_steps: usize) -> Self {
+        let grid_lens: Vec<usize> = problem.space.params().iter().map(|p| p.len()).collect();
+        // Stride so ~20 moves cross an axis, at least one grid point.
+        let strides = grid_lens.iter().map(|&n| (n / 20).max(1)).collect();
+        SizingEnv {
+            problem,
+            max_steps,
+            feasible_bonus: 10.0,
+            strides,
+            grid_lens,
+            state: Vec::new(),
+            steps_in_episode: 0,
+            sims: 0,
+            first_feasible_sim: None,
+            best_value: f64::NEG_INFINITY,
+            best_point: Vec::new(),
+            last_feasible: false,
+        }
+    }
+
+    /// Observation dimension: parameters + one slack per spec.
+    pub fn obs_dim(&self) -> usize {
+        self.problem.dim() + self.problem.specs.len()
+    }
+
+    /// Number of action heads (= parameters); each head picks one of 3
+    /// moves.
+    pub fn n_heads(&self) -> usize {
+        self.problem.dim()
+    }
+
+    /// Total simulator invocations so far.
+    pub fn sims(&self) -> usize {
+        self.sims
+    }
+
+    /// Simulation index at which the first feasible point appeared.
+    pub fn first_feasible_sim(&self) -> Option<usize> {
+        self.first_feasible_sim
+    }
+
+    /// Best value and point seen so far.
+    pub fn best(&self) -> (f64, &[f64]) {
+        (self.best_value, &self.best_point)
+    }
+
+    /// Whether the most recent evaluation (reset or step) was feasible.
+    pub fn last_feasible(&self) -> bool {
+        self.last_feasible
+    }
+
+    fn normalized_state(&self) -> Vec<f64> {
+        self.state
+            .iter()
+            .zip(self.problem.space.params())
+            .map(|(&i, p)| p.normalized_of_index(i))
+            .collect()
+    }
+
+    fn observe(&mut self) -> (Vec<f64>, f64, bool) {
+        let u = self.normalized_state();
+        let e = self.problem.evaluate_normalized(&u, 0);
+        self.sims += 1;
+        if e.value > self.best_value {
+            self.best_value = e.value;
+            self.best_point = e.x_norm.clone();
+        }
+        if e.feasible && self.first_feasible_sim.is_none() {
+            self.first_feasible_sim = Some(self.sims);
+        }
+        // Per-spec normalized slack (unclipped, bounded to ±1).
+        let slacks: Vec<f64> = match &e.measurements {
+            Some(meas) => self
+                .problem
+                .specs
+                .specs()
+                .iter()
+                .map(|s| {
+                    let m = meas[s.measurement];
+                    (s.slack(m) / (m.abs() + s.target.abs() + 1e-12)).clamp(-1.0, 1.0)
+                })
+                .collect(),
+            None => vec![-1.0; self.problem.specs.len()],
+        };
+        self.last_feasible = e.feasible;
+        let mut obs = u;
+        obs.extend(slacks);
+        (obs, e.value, e.feasible)
+    }
+
+    /// Starts a new episode at a random grid point (costs one
+    /// simulation). Returns the initial observation.
+    pub fn reset<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Vec<f64> {
+        self.state = self.grid_lens.iter().map(|&n| rng.gen_range(0..n)).collect();
+        self.steps_in_episode = 0;
+        let (obs, _, _) = self.observe();
+        obs
+    }
+
+    /// Applies a multi-discrete action (`0` = down, `1` = stay, `2` = up
+    /// per head) and simulates the new point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `actions.len() != self.n_heads()` or the episode was not
+    /// reset.
+    pub fn step(&mut self, actions: &[usize]) -> StepResult {
+        assert_eq!(actions.len(), self.n_heads(), "action dimension mismatch");
+        assert!(!self.state.is_empty(), "call reset before step");
+        for (k, &a) in actions.iter().enumerate() {
+            let stride = self.strides[k] as isize;
+            let delta = match a {
+                0 => -stride,
+                1 => 0,
+                _ => stride,
+            };
+            let next = self.state[k] as isize + delta;
+            self.state[k] = next.clamp(0, self.grid_lens[k] as isize - 1) as usize;
+        }
+        self.steps_in_episode += 1;
+        let (obs, value, feasible) = self.observe();
+        let reward = value + if feasible { self.feasible_bonus } else { 0.0 };
+        let done = feasible || self.steps_in_episode >= self.max_steps;
+        StepResult { obs, reward, done, feasible }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdex_env::circuits::synthetic::Bowl;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dimensions() {
+        let problem = Bowl::problem(3, 0.2).unwrap();
+        let env = SizingEnv::new(&problem, 20);
+        assert_eq!(env.obs_dim(), 3 + 1);
+        assert_eq!(env.n_heads(), 3);
+    }
+
+    #[test]
+    fn reset_and_step_count_sims() {
+        let problem = Bowl::problem(2, 0.2).unwrap();
+        let mut env = SizingEnv::new(&problem, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let obs = env.reset(&mut rng);
+        assert_eq!(obs.len(), env.obs_dim());
+        assert_eq!(env.sims(), 1);
+        let r = env.step(&[1, 1]);
+        assert_eq!(env.sims(), 2);
+        assert_eq!(r.obs.len(), env.obs_dim());
+    }
+
+    #[test]
+    fn actions_move_the_state() {
+        let problem = Bowl::problem(2, 0.2).unwrap();
+        let mut env = SizingEnv::new(&problem, 50);
+        let mut rng = StdRng::seed_from_u64(3);
+        let obs0 = env.reset(&mut rng);
+        let r = env.step(&[2, 0]);
+        // x0 went up, x1 went down (unless clamped at a boundary).
+        assert!(r.obs[0] >= obs0[0]);
+        assert!(r.obs[1] <= obs0[1]);
+    }
+
+    #[test]
+    fn horizon_terminates_episode() {
+        let problem = Bowl::problem(2, 0.0001).unwrap(); // infeasible
+        let mut env = SizingEnv::new(&problem, 3);
+        let mut rng = StdRng::seed_from_u64(1);
+        env.reset(&mut rng);
+        assert!(!env.step(&[1, 1]).done);
+        assert!(!env.step(&[1, 1]).done);
+        assert!(env.step(&[1, 1]).done, "horizon reached");
+    }
+
+    #[test]
+    fn feasible_gives_bonus_and_done() {
+        let problem = Bowl::problem(2, 0.9).unwrap(); // nearly everywhere feasible
+        let mut env = SizingEnv::new(&problem, 50);
+        let mut rng = StdRng::seed_from_u64(1);
+        env.reset(&mut rng);
+        let r = env.step(&[1, 1]);
+        assert!(r.feasible);
+        assert!(r.done);
+        assert!(r.reward > 5.0, "bonus applied: {}", r.reward);
+        assert!(env.first_feasible_sim().is_some());
+    }
+
+    #[test]
+    fn state_clamps_at_boundaries() {
+        let problem = Bowl::problem(1, 0.2).unwrap();
+        let mut env = SizingEnv::new(&problem, 1000);
+        let mut rng = StdRng::seed_from_u64(1);
+        env.reset(&mut rng);
+        for _ in 0..100 {
+            let r = env.step(&[0]);
+            assert!(r.obs[0] >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Model-free reinforcement-learning baselines (A2C, PPO, TRPO) in the
+//! AutoCkt mold, as benchmarked in the paper's Table I.
+
+mod a2c;
+mod env;
+mod policy;
+mod ppo;
+mod trpo;
+
+use asdex_env::SearchBudget;
+use rand::Rng;
+
+/// Consecutive deterministic-episode successes required before a model-free
+/// policy counts as "trained" (one lucky rollout is not a deployable
+/// policy).
+pub(crate) const GREEDY_SUCCESSES_REQUIRED: usize = 3;
+
+/// Runs the full paper-style competence check: the greedy policy must
+/// solve [`GREEDY_SUCCESSES_REQUIRED`] evaluation episodes in a row from
+/// independent random starts.
+pub(crate) fn policy_is_trained<R: Rng + ?Sized>(
+    policy: &Policy,
+    env: &mut SizingEnv<'_>,
+    budget: SearchBudget,
+    rng: &mut R,
+) -> bool {
+    for _ in 0..GREEDY_SUCCESSES_REQUIRED {
+        if !greedy_episode(policy, env, budget, rng) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs one deterministic (greedy) evaluation episode — the success
+/// criterion of the paper's Table I for model-free agents: a *trained*
+/// policy must reach a feasible point, not merely stumble on one during
+/// exploration. Returns `true` on success; consumes simulator budget like
+/// any other episode.
+pub(crate) fn greedy_episode<R: Rng + ?Sized>(
+    policy: &Policy,
+    env: &mut SizingEnv<'_>,
+    budget: SearchBudget,
+    rng: &mut R,
+) -> bool {
+    if env.sims() >= budget.max_sims {
+        return false;
+    }
+    let mut obs = env.reset(rng);
+    if env.last_feasible() {
+        return true;
+    }
+    for _ in 0..env.max_steps {
+        if env.sims() >= budget.max_sims {
+            return false;
+        }
+        let actions = policy.act_greedy(&obs);
+        let step = env.step(&actions);
+        if step.feasible {
+            return true;
+        }
+        if step.done {
+            break;
+        }
+        obs = step.obs;
+    }
+    false
+}
+
+pub use a2c::{A2c, A2cConfig};
+pub use env::{SizingEnv, StepResult};
+pub use policy::{ActionSample, Policy, ValueNet, MOVES};
+pub use ppo::{Ppo, PpoConfig};
+pub use trpo::{Trpo, TrpoConfig};

@@ -1,0 +1,318 @@
+//! Multi-discrete softmax policy and value heads shared by A2C, PPO, and
+//! TRPO.
+//!
+//! The policy network maps an observation to `3 × n_heads` logits — one
+//! {down, stay, up} categorical per sizing parameter. Head log-probs sum
+//! into the joint action log-prob; gradients w.r.t. the logits are
+//! assembled per head and pushed through the shared [`Mlp`].
+
+use asdex_nn::{
+    entropy, entropy_grad, kl_divergence, kl_grad_new, log_prob_grad, log_softmax,
+    sample_categorical, Activation, Gradients, Mlp,
+};
+use rand::Rng;
+
+/// Number of moves per head (down / stay / up).
+pub const MOVES: usize = 3;
+
+/// A sampled action with its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActionSample {
+    /// One move index per head.
+    pub actions: Vec<usize>,
+    /// Joint log-probability under the sampling policy.
+    pub log_prob: f64,
+    /// The raw logits (needed by PPO/TRPO as the "old" distribution).
+    pub logits: Vec<f64>,
+}
+
+/// The multi-discrete policy.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    net: Mlp,
+    n_heads: usize,
+}
+
+impl Policy {
+    /// Creates a policy for `obs_dim` observations and `n_heads` action
+    /// heads with the given hidden width.
+    pub fn new<R: Rng + ?Sized>(obs_dim: usize, n_heads: usize, hidden: usize, rng: &mut R) -> Self {
+        Policy {
+            net: Mlp::new(&[obs_dim, hidden, hidden, n_heads * MOVES], Activation::Tanh, rng),
+            n_heads,
+        }
+    }
+
+    /// Number of action heads.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Raw logits for an observation.
+    pub fn logits(&self, obs: &[f64]) -> Vec<f64> {
+        self.net.forward(obs)
+    }
+
+    /// Samples an action.
+    pub fn act<R: Rng + ?Sized>(&self, obs: &[f64], rng: &mut R) -> ActionSample {
+        let logits = self.logits(obs);
+        let mut actions = Vec::with_capacity(self.n_heads);
+        let mut log_prob = 0.0;
+        for h in 0..self.n_heads {
+            let head = &logits[h * MOVES..(h + 1) * MOVES];
+            let a = sample_categorical(head, rng);
+            log_prob += log_softmax(head)[a];
+            actions.push(a);
+        }
+        ActionSample { actions, log_prob, logits }
+    }
+
+    /// Deterministic (argmax) action — used by the paper-style evaluation
+    /// protocol where a *trained* policy must solve the task.
+    pub fn act_greedy(&self, obs: &[f64]) -> Vec<usize> {
+        let logits = self.logits(obs);
+        (0..self.n_heads)
+            .map(|h| {
+                let head = &logits[h * MOVES..(h + 1) * MOVES];
+                head.iter()
+                    .enumerate()
+                    .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite logits"))
+                    .map(|(i, _)| i)
+                    .expect("nonempty head")
+            })
+            .collect()
+    }
+
+    /// Joint log-probability of `actions` under the logits produced for
+    /// `obs`.
+    pub fn log_prob(&self, obs: &[f64], actions: &[usize]) -> f64 {
+        Self::log_prob_of(&self.logits(obs), actions)
+    }
+
+    /// Joint log-probability given precomputed logits.
+    pub fn log_prob_of(logits: &[f64], actions: &[usize]) -> f64 {
+        actions
+            .iter()
+            .enumerate()
+            .map(|(h, &a)| log_softmax(&logits[h * MOVES..(h + 1) * MOVES])[a])
+            .sum()
+    }
+
+    /// Mean per-head entropy of the policy at `obs`.
+    pub fn entropy(&self, obs: &[f64]) -> f64 {
+        let logits = self.logits(obs);
+        (0..self.n_heads)
+            .map(|h| entropy(&logits[h * MOVES..(h + 1) * MOVES]))
+            .sum::<f64>()
+            / self.n_heads as f64
+    }
+
+    /// Joint KL between an old logits vector and the current policy at
+    /// `obs` (sum over heads).
+    pub fn kl_from(&self, obs: &[f64], old_logits: &[f64]) -> f64 {
+        let logits = self.logits(obs);
+        (0..self.n_heads)
+            .map(|h| {
+                kl_divergence(
+                    &old_logits[h * MOVES..(h + 1) * MOVES],
+                    &logits[h * MOVES..(h + 1) * MOVES],
+                )
+            })
+            .sum()
+    }
+
+    /// Gradient of a scalar loss w.r.t. parameters, where the caller
+    /// supplies `dL/dlogits` as a closure over the forward logits.
+    pub fn grad_with<F>(&self, obs: &[f64], make_dlogits: F) -> Gradients
+    where
+        F: FnOnce(&[f64]) -> Vec<f64>,
+    {
+        let trace = self.net.forward_trace(obs);
+        let dlogits = make_dlogits(trace.output());
+        self.net.backward(&trace, &dlogits)
+    }
+
+    /// Gradient of `−logπ(actions)·scale − ent_coef·H` w.r.t. parameters —
+    /// the generic policy-gradient loss (A2C uses `scale = advantage`).
+    pub fn policy_gradient(&self, obs: &[f64], actions: &[usize], scale: f64, ent_coef: f64) -> Gradients {
+        let n_heads = self.n_heads;
+        self.grad_with(obs, |logits| {
+            let mut d = vec![0.0; logits.len()];
+            for (h, &a) in actions.iter().enumerate().take(n_heads) {
+                let head = &logits[h * MOVES..(h + 1) * MOVES];
+                let lp = log_prob_grad(head, a);
+                let ent = entropy_grad(head);
+                for k in 0..MOVES {
+                    d[h * MOVES + k] = -scale * lp[k] - ent_coef * ent[k] / n_heads as f64;
+                }
+            }
+            d
+        })
+    }
+
+    /// Gradient of the joint `KL(old ‖ current)` w.r.t. parameters (TRPO's
+    /// Fisher-vector products differentiate this).
+    pub fn kl_gradient(&self, obs: &[f64], old_logits: &[f64]) -> Gradients {
+        let n_heads = self.n_heads;
+        self.grad_with(obs, |logits| {
+            let mut d = vec![0.0; logits.len()];
+            for h in 0..n_heads {
+                let g = kl_grad_new(
+                    &old_logits[h * MOVES..(h + 1) * MOVES],
+                    &logits[h * MOVES..(h + 1) * MOVES],
+                );
+                d[h * MOVES..(h + 1) * MOVES].copy_from_slice(&g);
+            }
+            d
+        })
+    }
+
+    /// Flattened parameters (TRPO line search).
+    pub fn flat_params(&self) -> Vec<f64> {
+        self.net.flat_params()
+    }
+
+    /// Overwrites parameters (TRPO line search).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn set_flat_params(&mut self, p: &[f64]) {
+        self.net.set_flat_params(p);
+    }
+
+    /// Mutable access to the underlying network for optimizer steps.
+    pub fn net_mut(&mut self) -> &mut Mlp {
+        &mut self.net
+    }
+}
+
+/// A scalar state-value network.
+#[derive(Debug, Clone)]
+pub struct ValueNet {
+    net: Mlp,
+}
+
+impl ValueNet {
+    /// Creates a value net for `obs_dim` observations.
+    pub fn new<R: Rng + ?Sized>(obs_dim: usize, hidden: usize, rng: &mut R) -> Self {
+        ValueNet { net: Mlp::new(&[obs_dim, hidden, hidden, 1], Activation::Tanh, rng) }
+    }
+
+    /// Predicted value of an observation.
+    pub fn value(&self, obs: &[f64]) -> f64 {
+        self.net.forward(obs)[0]
+    }
+
+    /// Gradient of `(V(obs) − target)²` w.r.t. parameters.
+    pub fn td_gradient(&self, obs: &[f64], target: f64) -> Gradients {
+        let trace = self.net.forward_trace(obs);
+        let err = trace.output()[0] - target;
+        self.net.backward(&trace, &[2.0 * err])
+    }
+
+    /// Mutable access for optimizer steps.
+    pub fn net_mut(&mut self) -> &mut Mlp {
+        &mut self.net
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn logits_shape() {
+        let p = Policy::new(4, 3, 16, &mut rng());
+        assert_eq!(p.logits(&[0.0; 4]).len(), 9);
+        assert_eq!(p.n_heads(), 3);
+    }
+
+    #[test]
+    fn action_sample_consistency() {
+        let p = Policy::new(4, 2, 16, &mut rng());
+        let mut r = rng();
+        let obs = [0.1, 0.2, 0.3, 0.4];
+        let s = p.act(&obs, &mut r);
+        assert_eq!(s.actions.len(), 2);
+        assert!(s.actions.iter().all(|&a| a < MOVES));
+        let lp = p.log_prob(&obs, &s.actions);
+        assert!((lp - s.log_prob).abs() < 1e-12);
+        assert!(lp < 0.0);
+    }
+
+    #[test]
+    fn entropy_positive_at_init() {
+        let p = Policy::new(4, 3, 16, &mut rng());
+        let h = p.entropy(&[0.0; 4]);
+        assert!(h > 0.5, "near-uniform init entropy {h}");
+    }
+
+    #[test]
+    fn kl_zero_against_self() {
+        let p = Policy::new(3, 2, 8, &mut rng());
+        let obs = [0.5, -0.5, 0.1];
+        let logits = p.logits(&obs);
+        assert!(p.kl_from(&obs, &logits).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_gradient_increases_chosen_action_prob() {
+        let mut p = Policy::new(3, 2, 16, &mut rng());
+        let obs = [0.3, -0.1, 0.8];
+        let actions = vec![2usize, 0usize];
+        let lp_before = p.log_prob(&obs, &actions);
+        // Positive advantage: gradient of −logπ·adv, stepping *against* it
+        // (i.e. applying −grad) raises the log-prob.
+        for _ in 0..50 {
+            let g = p.policy_gradient(&obs, &actions, 1.0, 0.0);
+            p.net_mut().apply_flat_delta(g.flat(), -0.05);
+        }
+        let lp_after = p.log_prob(&obs, &actions);
+        assert!(lp_after > lp_before, "{lp_after} vs {lp_before}");
+    }
+
+    #[test]
+    fn kl_gradient_matches_fd() {
+        let mut p = Policy::new(3, 2, 8, &mut rng());
+        let obs = [0.2, 0.4, -0.6];
+        let old = p.logits(&obs);
+        // Perturb the policy so KL is nonzero.
+        let mut params = p.flat_params();
+        for (k, v) in params.iter_mut().enumerate() {
+            *v += 0.01 * ((k % 7) as f64 - 3.0);
+        }
+        p.set_flat_params(&params);
+        let g = p.kl_gradient(&obs, &old);
+        let h = 1e-6;
+        for k in (0..params.len()).step_by(17) {
+            let mut up = params.clone();
+            up[k] += h;
+            let mut pp = p.clone();
+            pp.set_flat_params(&up);
+            let kl_up = pp.kl_from(&obs, &old);
+            let mut dn = params.clone();
+            dn[k] -= h;
+            pp.set_flat_params(&dn);
+            let kl_dn = pp.kl_from(&obs, &old);
+            let fd = (kl_up - kl_dn) / (2.0 * h);
+            assert!((g.flat()[k] - fd).abs() < 1e-6 * (1.0 + fd.abs()), "param {k}");
+        }
+    }
+
+    #[test]
+    fn value_net_learns_constant() {
+        let mut v = ValueNet::new(2, 16, &mut rng());
+        for _ in 0..300 {
+            let g = v.td_gradient(&[0.5, 0.5], 3.0);
+            v.net_mut().apply_flat_delta(g.flat(), -0.01);
+        }
+        assert!((v.value(&[0.5, 0.5]) - 3.0).abs() < 0.1);
+    }
+}

@@ -1,0 +1,245 @@
+//! Proximal Policy Optimization (clipped surrogate) baseline.
+//!
+//! Batch collection with GAE(λ) advantages, several epochs of clipped
+//! surrogate updates per batch, entropy regularization — the
+//! Stable-Baselines-style PPO the paper benchmarks in Table I.
+
+use crate::rl::env::SizingEnv;
+use crate::rl::policy_is_trained;
+use crate::rl::policy::{Policy, ValueNet, MOVES};
+use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
+use asdex_nn::{log_prob_grad, Adam, Optimizer};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// PPO hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PpoConfig {
+    /// Steps collected per batch.
+    pub batch: usize,
+    /// Optimization epochs over each batch.
+    pub epochs: usize,
+    /// Clip range ε.
+    pub clip: f64,
+    /// Discount factor.
+    pub gamma: f64,
+    /// GAE λ.
+    pub lam: f64,
+    /// Entropy bonus coefficient.
+    pub ent_coef: f64,
+    /// Policy learning rate.
+    pub lr: f64,
+    /// Value learning rate.
+    pub value_lr: f64,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Episode horizon.
+    pub horizon: usize,
+}
+
+impl Default for PpoConfig {
+    fn default() -> Self {
+        PpoConfig {
+            batch: 128,
+            epochs: 4,
+            clip: 0.2,
+            gamma: 0.95,
+            lam: 0.9,
+            ent_coef: 0.01,
+            lr: 3e-4,
+            value_lr: 1e-3,
+            hidden: 64,
+            horizon: 30,
+        }
+    }
+}
+
+/// Raw rollout record: (obs, actions, reward, old log-prob, done, V(s)).
+type RawStep = (Vec<f64>, Vec<usize>, f64, f64, bool, f64);
+
+/// One stored transition.
+struct Transition {
+    obs: Vec<f64>,
+    actions: Vec<usize>,
+    old_log_prob: f64,
+    advantage: f64,
+    ret: f64,
+}
+
+/// The PPO agent.
+#[derive(Debug, Clone, Default)]
+pub struct Ppo {
+    /// Hyperparameters.
+    pub config: PpoConfig,
+}
+
+impl Ppo {
+    /// Creates the agent with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Searcher for Ppo {
+    fn name(&self) -> &str {
+        "ppo"
+    }
+
+    fn search(&mut self, problem: &SizingProblem, budget: SearchBudget, seed: u64) -> SearchOutcome {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut env = SizingEnv::new(problem, cfg.horizon);
+        let mut policy = Policy::new(env.obs_dim(), env.n_heads(), cfg.hidden, &mut rng);
+        let mut value = ValueNet::new(env.obs_dim(), cfg.hidden, &mut rng);
+        let mut policy_opt = Adam::new(cfg.lr);
+        let mut value_opt = Adam::new(cfg.value_lr);
+
+        let mut obs = env.reset(&mut rng);
+        let mut solved_at: Option<usize> = None;
+        while env.sims() < budget.max_sims && solved_at.is_none() {
+            // --- Collect a batch. -------------------------------------------
+            let mut raw: Vec<RawStep> = Vec::new();
+            let mut last_obs = obs.clone();
+            for _ in 0..cfg.batch {
+                if env.sims() >= budget.max_sims {
+                    break;
+                }
+                let sample = policy.act(&last_obs, &mut rng);
+                let v_est = value.value(&last_obs);
+                let step = env.step(&sample.actions);
+                raw.push((last_obs.clone(), sample.actions, step.reward, sample.log_prob, step.done, v_est));
+                last_obs = if step.done { env.reset(&mut rng) } else { step.obs };
+            }
+            if raw.is_empty() {
+                break;
+            }
+
+            // --- GAE(λ). ----------------------------------------------------
+            let mut transitions: Vec<Transition> = Vec::with_capacity(raw.len());
+            let mut gae = 0.0;
+            let mut next_value = if raw.last().expect("nonempty").4 { 0.0 } else { value.value(&last_obs) };
+            for (o, a, r, old_lp, done, v_est) in raw.into_iter().rev() {
+                if done {
+                    next_value = 0.0;
+                    gae = 0.0;
+                }
+                let delta = r + cfg.gamma * next_value - v_est;
+                gae = delta + cfg.gamma * cfg.lam * gae;
+                next_value = v_est;
+                transitions.push(Transition {
+                    obs: o,
+                    actions: a,
+                    old_log_prob: old_lp,
+                    advantage: gae,
+                    ret: gae + v_est,
+                });
+            }
+            transitions.reverse();
+            // Advantage normalization.
+            let mean = transitions.iter().map(|t| t.advantage).sum::<f64>() / transitions.len() as f64;
+            let var = transitions
+                .iter()
+                .map(|t| (t.advantage - mean) * (t.advantage - mean))
+                .sum::<f64>()
+                / transitions.len() as f64;
+            let std = var.sqrt().max(1e-8);
+            for t in &mut transitions {
+                t.advantage = (t.advantage - mean) / std;
+            }
+
+            // --- Clipped-surrogate epochs. ----------------------------------
+            let mut order: Vec<usize> = (0..transitions.len()).collect();
+            for _ in 0..cfg.epochs {
+                order.shuffle(&mut rng);
+                for &i in &order {
+                    let t = &transitions[i];
+                    let n_heads = policy.n_heads();
+                    let (clip, ent_coef, adv, old_lp) = (cfg.clip, cfg.ent_coef, t.advantage, t.old_log_prob);
+                    let actions = t.actions.clone();
+                    let g = policy.grad_with(&t.obs, |logits| {
+                        let new_lp = Policy::log_prob_of(logits, &actions);
+                        let ratio = (new_lp - old_lp).exp();
+                        let clipped = ratio < 1.0 - clip || ratio > 1.0 + clip;
+                        // Surrogate L = min(ratio·adv, clip(ratio)·adv);
+                        // gradient flows only through the unclipped branch
+                        // when it is the active minimum.
+                        let pass_through = if adv >= 0.0 { !(clipped && ratio > 1.0 + clip) } else { !(clipped && ratio < 1.0 - clip) };
+                        let mut d = vec![0.0; logits.len()];
+                        for (h, &a) in actions.iter().enumerate().take(n_heads) {
+                            let head = &logits[h * MOVES..(h + 1) * MOVES];
+                            let lp_grad = log_prob_grad(head, a);
+                            let ent = asdex_nn::entropy_grad(head);
+                            for k in 0..MOVES {
+                                let surrogate = if pass_through { -adv * ratio * lp_grad[k] } else { 0.0 };
+                                d[h * MOVES + k] = surrogate - ent_coef * ent[k] / n_heads as f64;
+                            }
+                        }
+                        d
+                    });
+                    policy_opt.step(policy.net_mut(), g.flat());
+                    let vg = value.td_gradient(&transitions[i].obs, transitions[i].ret);
+                    value_opt.step(value.net_mut(), vg.flat());
+                }
+            }
+            // Paper-style success check: a deterministic episode of the
+            // *trained* policy must reach a feasible point.
+            if policy_is_trained(&policy, &mut env, budget, &mut rng) {
+                solved_at = Some(env.sims());
+                break;
+            }
+            obs = env.reset(&mut rng);
+            let _ = last_obs;
+        }
+
+        let (best_value, best_point) = env.best();
+        match solved_at {
+            Some(sims) => SearchOutcome {
+                success: true,
+                simulations: sims,
+                best_point: best_point.to_vec(),
+                best_value,
+                best_measurements: None,
+            },
+            None => SearchOutcome {
+                success: false,
+                simulations: budget.max_sims,
+                best_point: best_point.to_vec(),
+                best_value,
+                best_measurements: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdex_env::circuits::synthetic::Bowl;
+
+    #[test]
+    fn finds_easy_target() {
+        let problem = Bowl::problem(2, 0.35).unwrap();
+        let mut agent = Ppo::new();
+        let out = agent.search(&problem, SearchBudget::new(5000), 2);
+        assert!(out.success, "best {}", out.best_value);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let problem = Bowl::problem(3, 0.0001).unwrap();
+        let mut agent = Ppo::new();
+        let out = agent.search(&problem, SearchBudget::new(260), 1);
+        assert!(!out.success);
+        assert_eq!(out.simulations, 260);
+    }
+
+    #[test]
+    fn deterministic() {
+        let problem = Bowl::problem(2, 0.2).unwrap();
+        let mut agent = Ppo::new();
+        let a = agent.search(&problem, SearchBudget::new(300), 5);
+        let b = agent.search(&problem, SearchBudget::new(300), 5);
+        assert_eq!(a.simulations, b.simulations);
+    }
+}

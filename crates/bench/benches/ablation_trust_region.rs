@@ -1,0 +1,77 @@
+//! **Ablation** — adaptive trust region vs fixed-radius local search.
+//!
+//! The paper (§IV-C) claims the iteration-dependent radius is "the key
+//! factor to the performance of our agents": a statically fixed local
+//! region either extrapolates badly early (too large) or crawls (too
+//! small). This ablation pins that claim: the adaptive TRM against fixed
+//! radii spanning the same range, on a curved-valley (Rosenbrock)
+//! landscape where both expansion and contraction are needed in one run.
+
+use asdex_bench::{print_table, write_csv, RunScale, Stats};
+use asdex_core::{ExplorerConfig, LocalExplorer, TrustRegionConfig};
+use asdex_env::circuits::synthetic::Ridge;
+use asdex_env::{SearchBudget, Searcher};
+
+fn fixed_radius(r: f64) -> TrustRegionConfig {
+    TrustRegionConfig {
+        initial_radius: r,
+        min_radius: r,
+        max_radius: r,
+        // Factors are irrelevant once min = max, but keep them inert.
+        expand_factor: 1.0,
+        shrink_factor: 1.0,
+        ..TrustRegionConfig::default()
+    }
+}
+
+fn main() {
+    let scale = RunScale::from_env();
+    let runs = scale.many;
+    // A curved-valley landscape: the trust region must expand across the
+    // flats and shrink to track the valley — the paper's §IV-C claim that
+    // a statically fixed region either "extrapolates badly" (too large) or
+    // crawls (too small).
+    let problem = Ridge::problem(4, 1.0).expect("problem builds");
+    let budget = SearchBudget::new(6_000);
+
+    let variants: Vec<(String, TrustRegionConfig)> = vec![
+        ("adaptive TRM (paper)".to_string(), TrustRegionConfig::default()),
+        ("fixed r = 0.05".to_string(), fixed_radius(0.05)),
+        ("fixed r = 0.15".to_string(), fixed_radius(0.15)),
+        ("fixed r = 0.50".to_string(), fixed_radius(0.5)),
+    ];
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+    for (label, trust) in variants {
+        let mut agent = LocalExplorer::new(ExplorerConfig { trust, ..ExplorerConfig::default() });
+        let mut ok = Vec::new();
+        let mut failures = 0usize;
+        for seed in 0..runs as u64 {
+            let out = agent.search(&problem, budget, seed);
+            if out.success {
+                ok.push(out.simulations);
+            } else {
+                failures += 1;
+            }
+        }
+        let s = Stats::of(&ok);
+        println!("  {label}: avg {:.1}, failures {failures}", s.mean);
+        rows.push(vec![
+            label.clone(),
+            format!("{:.0}%", 100.0 * ok.len() as f64 / runs as f64),
+            format!("{:.1}", s.mean),
+            format!("{:.0}", s.min),
+            format!("{:.0}", s.max),
+        ]);
+        csv.push(vec![label, format!("{}", s.mean), format!("{}", ok.len()), format!("{failures}")]);
+    }
+
+    print_table(
+        "Ablation — trust-region adaptivity (curved-valley landscape)",
+        &["variant", "success rate", "avg steps", "min", "max"],
+        &rows,
+    );
+    write_csv("ablation_trust_region", &["variant", "avg_steps", "successes", "failures"], &csv);
+    println!("\nExpectation: the adaptive radius matches or beats every fixed radius —\nno single static region size wins both early exploration and late refinement.");
+}

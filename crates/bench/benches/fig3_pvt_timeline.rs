@@ -1,0 +1,78 @@
+//! **Fig. 3** — Progressive PVT exploration timeline.
+//!
+//! The paper's Fig. 3 shows per-corner EDA-tool usage as colored blocks
+//! over time: each block is one simulation, red = spec missed, green =
+//! spec met. This harness runs the progressive-hardest strategy on the
+//! 22 nm opamp with five corners and renders the same timeline as ASCII
+//! (`x` = miss, `o` = pass, `V`/`P` for the verification pass), plus a
+//! machine-readable CSV of the ledger.
+
+use asdex_bench::write_csv;
+use asdex_core::{PvtExplorer, PvtStrategy};
+use asdex_env::circuits::opamp::TwoStageOpamp;
+use asdex_env::{PvtSet, SearchBudget};
+
+fn main() {
+    let opamp = TwoStageOpamp::bsim22();
+    let corners = PvtSet::signoff5();
+    let problem = opamp
+        .problem_with(opamp.specs(), corners.clone())
+        .expect("PVT problem");
+
+    let agent = PvtExplorer::new(PvtStrategy::ProgressiveHardest);
+    let out = agent.run(&problem, SearchBudget::new(10_000), 11);
+
+    println!(
+        "Fig. 3 reproduction — progressive PVT exploration ({} corners, success = {}, {} simulations)",
+        corners.len(),
+        out.success,
+        out.simulations
+    );
+    println!("legend: x = spec missed, o = spec met, X/O = verification pass, '.' = corner idle\n");
+
+    // One row per corner, one column per simulation (capped for display).
+    let display_cap = 160usize;
+    let n_show = out.ledger.len().min(display_cap);
+    for (c, corner) in corners.corners().iter().enumerate() {
+        let mut row = String::new();
+        for entry in &out.ledger[..n_show] {
+            if entry.corner == c {
+                row.push(match (entry.pass, entry.verification) {
+                    (true, false) => 'o',
+                    (false, false) => 'x',
+                    (true, true) => 'O',
+                    (false, true) => 'X',
+                });
+            } else {
+                row.push('.');
+            }
+        }
+        println!("{:<14} {}", corner.label(), row);
+    }
+    if out.ledger.len() > display_cap {
+        println!("… ({} more simulations)", out.ledger.len() - display_cap);
+    }
+
+    println!("\nactivation order (corner indices): {:?}", out.activation_order);
+    let per_corner: Vec<usize> = (0..corners.len())
+        .map(|c| out.ledger.iter().filter(|l| l.corner == c).count())
+        .collect();
+    println!("EDA budget per corner: {per_corner:?} — the active corner dominates, idle");
+    println!("corners are only touched during verification: the paper's license-saving claim.");
+
+    let rows: Vec<Vec<String>> = out
+        .ledger
+        .iter()
+        .map(|l| {
+            vec![
+                l.sim.to_string(),
+                l.round.to_string(),
+                l.corner.to_string(),
+                format!("{:.4}", l.value),
+                u8::from(l.pass).to_string(),
+                u8::from(l.verification).to_string(),
+            ]
+        })
+        .collect();
+    write_csv("fig3_pvt_timeline", &["sim", "round", "corner", "value", "pass", "verification"], &rows);
+}

@@ -1,0 +1,88 @@
+//! Criterion micro-benchmarks for the computational kernels: the LU
+//! solve, one full opamp evaluation (DC + AC + measurements), one
+//! approximator training epoch, and one Monte-Carlo planning step.
+
+use asdex_core::{McPlanner, SpiceApproximator};
+use asdex_env::circuits::opamp::TwoStageOpamp;
+use asdex_env::{PvtCorner, SpecSet, ValueFn};
+use asdex_linalg::{Lu, Matrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_lu(c: &mut Criterion) {
+    let n = 12; // the opamp MNA dimension
+    let mut a = Matrix::<f64>::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            a[(i, j)] = ((i * 5 + j * 3) % 7) as f64 * 0.1;
+        }
+        a[(i, i)] += 10.0;
+    }
+    let b = vec![1.0; n];
+    c.bench_function("lu_factor_solve_12x12", |bench| {
+        bench.iter(|| {
+            let lu = Lu::factor(black_box(a.clone())).expect("nonsingular");
+            black_box(lu.solve(&b).expect("solves"))
+        })
+    });
+}
+
+fn bench_opamp_eval(c: &mut Criterion) {
+    let problem = TwoStageOpamp::bsim45().problem().expect("problem builds");
+    let u = vec![0.5; problem.dim()];
+    c.bench_function("opamp_evaluate_full", |bench| {
+        bench.iter(|| black_box(problem.evaluate_normalized(black_box(&u), 0)))
+    });
+    let _ = PvtCorner::nominal();
+}
+
+fn bench_approximator_epoch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = SpiceApproximator::new(7, 5, 48, 0.003, &mut rng);
+    for k in 0..40 {
+        let x: Vec<f64> = (0..7).map(|i| ((k * 7 + i) % 10) as f64 / 10.0).collect();
+        let y: Vec<f64> = (0..5).map(|i| (k + i) as f64).collect();
+        model.push(x, y);
+    }
+    c.bench_function("approximator_fit_epoch_40pts", |bench| {
+        bench.iter(|| black_box(model.fit(1)))
+    });
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let problem = TwoStageOpamp::bsim45().problem().expect("problem builds");
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = SpiceApproximator::new(7, 5, 48, 0.003, &mut rng);
+    for k in 0..30 {
+        let x = problem.space.sample(&mut rng);
+        let y: Vec<f64> = (0..5).map(|i| (k + i) as f64).collect();
+        model.push(x, y);
+    }
+    model.fit(5);
+    let planner = McPlanner::new(200);
+    let center = vec![0.5; 7];
+    let specs: &SpecSet = &problem.specs;
+    let value_fn = ValueFn::default();
+    c.bench_function("mc_planner_200_samples", |bench| {
+        bench.iter(|| {
+            black_box(planner.propose(
+                &problem.space,
+                &center,
+                0.15,
+                &model,
+                &value_fn,
+                specs,
+                &mut rng,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_lu, bench_opamp_eval, bench_approximator_epoch, bench_planner
+}
+criterion_main!(benches);

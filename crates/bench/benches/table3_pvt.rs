@@ -1,0 +1,124 @@
+//! **Table III** — Comparison of PVT exploration strategies.
+//!
+//! Paper (22 nm two-stage opamp, multiple PVT corners):
+//!
+//! | strategy                     | avg steps        | min | max  |
+//! |------------------------------|------------------|-----|------|
+//! | random search                | failed (10,000+) | —   | —    |
+//! | brute force (test all cond.) | 359.4            | 36  | 1305 |
+//! | progressive (random cond.)   | 89.52            | 20  | 450  |
+//! | progressive (hardest cond.)  | 72.60            | 15  | 279  |
+//!
+//! Shape targets: random fails within the cap; progressive beats brute
+//! force by roughly 4×; hardest-first edges out random-first but both are
+//! the same order (the strategy is insensitive to the initial corner).
+
+use asdex_baselines::RandomSearch;
+use asdex_bench::{print_table, write_csv, RunScale, Stats};
+use asdex_core::{PvtExplorer, PvtStrategy};
+use asdex_env::circuits::opamp::TwoStageOpamp;
+use asdex_env::{PvtSet, SearchBudget};
+
+fn main() {
+    let scale = RunScale::from_env();
+    let runs = scale.many;
+    let budget = SearchBudget::new(10_000);
+
+    let opamp = TwoStageOpamp::bsim22();
+    let problem = opamp
+        .problem_with(opamp.specs(), PvtSet::signoff5())
+        .expect("PVT problem");
+    println!(
+        "Table III reproduction: 22 nm opamp across {} corners, {} runs each",
+        problem.corners.len(),
+        runs
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = Vec::new();
+
+    // Row 1: random search over all corners.
+    {
+        let agent = RandomSearch::new();
+        let mut steps = Vec::new();
+        let mut failures = 0usize;
+        for seed in 0..runs as u64 {
+            let out = agent.search_all_corners(&problem, budget, seed);
+            if out.success {
+                steps.push(out.simulations);
+            } else {
+                failures += 1;
+            }
+        }
+        let s = Stats::of(&steps);
+        let measured = if steps.is_empty() {
+            format!("failed ({}+)", budget.max_sims)
+        } else if failures > 0 {
+            format!("{:.1} ({} failed)", s.mean, failures)
+        } else {
+            format!("{:.1}", s.mean)
+        };
+        println!("  random search: {failures}/{runs} failures");
+        rows.push(vec![
+            "random search".into(),
+            measured,
+            if steps.is_empty() { "NA".into() } else { format!("{:.0}", s.min) },
+            if steps.is_empty() { "NA".into() } else { format!("{:.0}", s.max) },
+            "failed (10,000+)".into(),
+        ]);
+        csv.push(vec![
+            "random".into(),
+            format!("{}", s.mean),
+            format!("{}", steps.len()),
+            format!("{failures}"),
+        ]);
+    }
+
+    // Rows 2–4: brute force and the progressive strategies.
+    let paper = [("359.4", "36", "1305"), ("89.52", "20", "450"), ("72.60", "15", "279")];
+    for (strategy, (p_avg, p_min, p_max)) in [
+        PvtStrategy::BruteForce,
+        PvtStrategy::ProgressiveRandom,
+        PvtStrategy::ProgressiveHardest,
+    ]
+    .into_iter()
+    .zip(paper)
+    {
+        let agent = PvtExplorer::new(strategy);
+        let mut steps = Vec::new();
+        let mut failures = 0usize;
+        for seed in 0..runs as u64 {
+            let out = agent.run(&problem, budget, seed);
+            if out.success {
+                steps.push(out.simulations);
+            } else {
+                failures += 1;
+            }
+        }
+        let s = Stats::of(&steps);
+        println!("  {:<22} avg {:.1} (failures {failures})", strategy.label(), s.mean);
+        rows.push(vec![
+            strategy.label().to_string(),
+            format!("{:.1}", s.mean),
+            format!("{:.0}", s.min),
+            format!("{:.0}", s.max),
+            format!("{p_avg} / {p_min} / {p_max}"),
+        ]);
+        csv.push(vec![
+            strategy.label().to_string(),
+            format!("{}", s.mean),
+            format!("{}", steps.len()),
+            format!("{failures}"),
+        ]);
+    }
+
+    print_table(
+        "Table III — PVT exploration strategies (22 nm opamp, 5 corners)",
+        &["strategy", "avg steps", "min", "max", "paper (avg/min/max)"],
+        &rows,
+    );
+    write_csv("table3_pvt", &["strategy", "avg_steps", "successes", "failures"], &csv);
+    println!(
+        "\nShape check: random fails or nearly fails within the cap; progressive is a\nmultiple cheaper than brute force; the initial-corner choice moves the mean\nonly modestly."
+    );
+}

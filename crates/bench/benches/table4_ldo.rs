@@ -1,0 +1,126 @@
+//! **Table IV** — LDO sizing on the n6 node (TSMC 6 nm in the paper).
+//!
+//! Paper (design space ≈ 10^29):
+//!
+//! | agent         | # iterations | loop gain | area     |
+//! |---------------|--------------|-----------|----------|
+//! | specification | —            | > 40.0 dB | < 650 µm² |
+//! | human         | untraceable  | 38.0 dB   | 650 µm²  |
+//! | customized BO | failed       | 38.2 dB   | 604 µm²  |
+//! | our method    | 2609         | 40.0 dB   | 632 µm²  |
+//!
+//! Shape targets: the human reference lands close to but short of the
+//! spec, BO gets close without satisfying every constraint in budget, and
+//! the trust-region agent meets all specs. The spec *values* here are
+//! recalibrated to the synthetic n6 landscape (Level-1 cards have far more
+//! intrinsic gain than real 6 nm silicon — see `asdex_env::circuits::ldo`);
+//! the spec *structure* (loop-gain floor vs area cap) is the paper's.
+
+use asdex_baselines::CustomizedBo;
+use asdex_bench::{print_table, write_csv, RunScale, Stats};
+use asdex_core::LocalExplorer;
+use asdex_env::circuits::ldo::{meas, Ldo};
+use asdex_env::problem::Evaluator;
+use asdex_env::{PvtCorner, SearchBudget, Searcher};
+
+fn main() {
+    let scale = RunScale::from_env();
+    // LDO searches run thousands of slow simulations; cap the repetitions.
+    let runs = scale.many.min(8) as u64;
+    let ldo = Ldo::n6();
+    let problem = ldo.problem().expect("LDO problem");
+    let budget = SearchBudget::new(10_000);
+    println!(
+        "Table IV reproduction: LDO on {}, |D| = 10^{:.1}",
+        ldo.process().name,
+        problem.space.size_log10()
+    );
+
+    let mut rows = vec![vec![
+        "specification".to_string(),
+        "-".to_string(),
+        "> 84.0 dB".to_string(),
+        "< 58 um2".to_string(),
+        "paper: > 40.0 dB, < 650 um2".to_string(),
+    ]];
+    let mut csv = Vec::new();
+
+    // Human reference row.
+    let human_x = ldo.human_reference();
+    let eval = asdex_env::circuits::ldo::LdoEvaluator::new(ldo.clone());
+    let human_m = eval.evaluate(&human_x, &PvtCorner::nominal()).expect("human design simulates");
+    rows.push(vec![
+        "human".to_string(),
+        "untraceable".to_string(),
+        format!("{:.1} dB", human_m[meas::LOOP_GAIN_DB]),
+        format!("{:.0} um2", human_m[meas::AREA_UM2]),
+        "38.0 dB / 650 um2".to_string(),
+    ]);
+    csv.push(vec![
+        "human".into(),
+        String::new(),
+        String::new(),
+        String::new(),
+        format!("{}", human_m[meas::LOOP_GAIN_DB]),
+        format!("{}", human_m[meas::AREA_UM2]),
+    ]);
+
+    // Agents averaged over seeds.
+    let bench_agent = |name: &str, agent: &mut dyn Searcher, paper: &str, rows: &mut Vec<Vec<String>>, csv: &mut Vec<Vec<String>>| {
+        let mut ok = Vec::new();
+        let mut failures = 0usize;
+        let mut last = (f64::NAN, f64::NAN);
+        for seed in 0..runs {
+            let out = agent.search(&problem, budget, seed);
+            if out.success {
+                ok.push(out.simulations);
+                if let Some(m) = &out.best_measurements {
+                    last = (m[meas::LOOP_GAIN_DB], m[meas::AREA_UM2]);
+                }
+            } else {
+                failures += 1;
+            }
+        }
+        let s = Stats::of(&ok);
+        let iters = if failures > 0 && ok.is_empty() {
+            "failed".to_string()
+        } else if failures > 0 {
+            format!("{:.0} ({failures}/{runs} failed)", s.mean)
+        } else {
+            format!("{:.0}", s.mean)
+        };
+        println!("  {name}: {}/{} success, avg {:.0}", ok.len(), runs, s.mean);
+        rows.push(vec![
+            name.to_string(),
+            iters,
+            format!("{:.1} dB", last.0),
+            format!("{:.0} um2", last.1),
+            paper.to_string(),
+        ]);
+        csv.push(vec![
+            name.to_string(),
+            format!("{}", s.mean),
+            format!("{}", ok.len()),
+            format!("{failures}"),
+            format!("{}", last.0),
+            format!("{}", last.1),
+        ]);
+    };
+
+    bench_agent("customized BO", &mut CustomizedBo::new(), "failed / 38.2 dB / 604 um2", &mut rows, &mut csv);
+    bench_agent("our method", &mut LocalExplorer::default(), "2609 / 40.0 dB / 632 um2", &mut rows, &mut csv);
+
+    print_table(
+        "Table IV — LDO circuit sizing benchmark (n6)",
+        &["agent", "# iterations", "loop gain", "area", "paper"],
+        &rows,
+    );
+    write_csv(
+        "table4_ldo",
+        &["agent", "avg_iterations", "successes", "failures", "loop_gain_db", "area_um2"],
+        &csv,
+    );
+    println!(
+        "\nShape check: the human reference is competent but short of spec; the\ntrust-region agent satisfies every constraint within budget."
+    );
+}

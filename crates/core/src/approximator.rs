@@ -1,0 +1,256 @@
+//! The SPICE function approximator `f_NN(X; θ)` — paper eq. (3)/(4).
+//!
+//! A small feed-forward network maps normalized design-space coordinates
+//! to circuit measurements, trained online with MSE (eq. 4) on the points
+//! the agent has already paid a simulator call for. Measurements are
+//! standardized with a running [`Normalizer`] so the regression is not
+//! dominated by the largest unit.
+
+use asdex_nn::{mse_output_grad, Activation, Adam, Mlp, Normalizer, Optimizer};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Portable snapshot of a trained approximator: the network weights plus
+/// the input/output standardization statistics they were trained against.
+/// Transferring weights without their normalizers would scramble the
+/// learned function, so porting (paper §V-C) always moves them together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelState {
+    /// Flattened network parameters.
+    pub weights: Vec<f64>,
+    /// Input standardizer state.
+    pub in_norm: Normalizer,
+    /// Output standardizer state.
+    pub out_norm: Normalizer,
+}
+
+/// One trajectory entry: a point the simulator was consulted on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Normalized design coordinates.
+    pub x: Vec<f64>,
+    /// Raw measurements from the simulator.
+    pub y: Vec<f64>,
+}
+
+/// Online regression model imitating the SPICE simulator on the local
+/// region (paper §IV-B).
+///
+/// # Example
+///
+/// ```
+/// use asdex_core::SpiceApproximator;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut model = SpiceApproximator::new(2, 1, 32, 0.003, &mut rng);
+/// for k in 0..20 {
+///     let x = vec![k as f64 / 19.0, 0.5];
+///     let y = vec![3.0 * x[0] + 1.0];
+///     model.push(x, y);
+/// }
+/// model.fit(200);
+/// let pred = model.predict(&[0.5, 0.5]);
+/// assert!((pred[0] - 2.5).abs() < 0.2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpiceApproximator {
+    net: Mlp,
+    adam: Adam,
+    in_norm: Normalizer,
+    out_norm: Normalizer,
+    trajectory: Vec<Sample>,
+    n_in: usize,
+    n_out: usize,
+    window: usize,
+}
+
+impl SpiceApproximator {
+    /// Creates an approximator for `n_in` parameters and `n_out`
+    /// measurements, with one hidden layer of `hidden` tanh units (the
+    /// paper's "simple feed-forward network with 3 layers").
+    pub fn new<R: Rng + ?Sized>(n_in: usize, n_out: usize, hidden: usize, lr: f64, rng: &mut R) -> Self {
+        SpiceApproximator {
+            net: Mlp::new(&[n_in, hidden, hidden, n_out], Activation::Tanh, rng),
+            adam: Adam::new(lr),
+            in_norm: Normalizer::new(n_in),
+            out_norm: Normalizer::new(n_out),
+            trajectory: Vec::new(),
+            n_in,
+            n_out,
+            window: 128,
+        }
+    }
+
+    /// Limits training to the most recent `window` trajectory samples —
+    /// the local model only needs the local landscape, and a bounded
+    /// window keeps each iteration O(window) instead of O(trajectory).
+    pub fn set_window(&mut self, window: usize) {
+        self.window = window.max(1);
+    }
+
+    /// Number of trajectory samples.
+    pub fn len(&self) -> usize {
+        self.trajectory.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.trajectory.is_empty()
+    }
+
+    /// The recorded trajectory.
+    pub fn trajectory(&self) -> &[Sample] {
+        &self.trajectory
+    }
+
+    /// Records a simulated point (Algorithm 1, line 7).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` differs from the declared measurement count.
+    pub fn push(&mut self, x: Vec<f64>, y: Vec<f64>) {
+        assert_eq!(y.len(), self.n_out, "measurement dimension mismatch");
+        assert_eq!(x.len(), self.n_in, "parameter dimension mismatch");
+        self.in_norm.observe(&x);
+        self.out_norm.observe(&y);
+        self.trajectory.push(Sample { x, y });
+    }
+
+    /// Runs `epochs` passes of Adam over the whole trajectory (Algorithm
+    /// 1, line 8). Returns the final mean training loss (normalized
+    /// units), or 0 when the trajectory is empty.
+    pub fn fit(&mut self, epochs: usize) -> f64 {
+        if self.trajectory.is_empty() {
+            return 0.0;
+        }
+        let mut last = 0.0;
+        let start = self.trajectory.len().saturating_sub(self.window);
+        let count = self.trajectory.len() - start;
+        for _ in 0..epochs {
+            last = 0.0;
+            for k in start..self.trajectory.len() {
+                let (x, y) = {
+                    let s = &self.trajectory[k];
+                    (self.in_norm.normalize(&s.x), self.out_norm.normalize(&s.y))
+                };
+                let trace = self.net.forward_trace(&x);
+                last += asdex_nn::mse(trace.output(), &y);
+                let g = self.net.backward(&trace, &mse_output_grad(trace.output(), &y));
+                self.adam.step(&mut self.net, g.flat());
+            }
+            last /= count as f64;
+        }
+        last
+    }
+
+    /// Predicts raw measurements at a normalized point.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        self.out_norm.denormalize(&self.net.forward(&self.in_norm.normalize(x)))
+    }
+
+    /// Clears the trajectory and optimizer state but keeps the network
+    /// weights — used when a restart wants to retain what was learned.
+    pub fn clear_trajectory(&mut self) {
+        self.trajectory.clear();
+        self.adam.reset();
+        self.in_norm = Normalizer::new(self.n_in);
+        self.out_norm = Normalizer::new(self.n_out);
+    }
+
+    /// Extracts the network weights (for the Table II porting study).
+    pub fn weights(&self) -> Vec<f64> {
+        self.net.flat_params()
+    }
+
+    /// Overwrites the network weights (for the Table II porting study).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count differs.
+    pub fn set_weights(&mut self, weights: &[f64]) {
+        self.net.set_flat_params(weights);
+    }
+
+    /// Snapshots the trained model — weights *and* normalizer statistics —
+    /// for reuse on another process node (paper §V-C).
+    pub fn export_state(&self) -> ModelState {
+        ModelState {
+            weights: self.net.flat_params(),
+            in_norm: self.in_norm.clone(),
+            out_norm: self.out_norm.clone(),
+        }
+    }
+
+    /// Restores a snapshot from [`SpiceApproximator::export_state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count or normalizer dimensions differ.
+    pub fn import_state(&mut self, state: &ModelState) {
+        assert_eq!(state.in_norm.dim(), self.n_in, "input normalizer dimension mismatch");
+        assert_eq!(state.out_norm.dim(), self.n_out, "output normalizer dimension mismatch");
+        self.net.set_flat_params(&state.weights);
+        self.in_norm = state.in_norm.clone();
+        self.out_norm = state.out_norm.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn fits_local_quadratic() {
+        let mut m = SpiceApproximator::new(2, 2, 32, 0.003, &mut rng());
+        // A local patch of a 2-output function with very different scales.
+        for i in 0..8 {
+            for j in 0..8 {
+                let x = vec![0.4 + 0.02 * i as f64, 0.4 + 0.02 * j as f64];
+                let y = vec![1e6 * (x[0] * x[0] + x[1]), 1e-6 * (x[0] - x[1])];
+                m.push(x, y);
+            }
+        }
+        let loss = m.fit(300);
+        assert!(loss < 0.05, "training loss {loss}");
+        let pred = m.predict(&[0.47, 0.47]);
+        let expect0 = 1e6 * (0.47 * 0.47 + 0.47);
+        assert!((pred[0] - expect0).abs() / expect0 < 0.05, "{} vs {expect0}", pred[0]);
+    }
+
+    #[test]
+    fn empty_fit_is_noop() {
+        let mut m = SpiceApproximator::new(2, 1, 8, 0.003, &mut rng());
+        assert_eq!(m.fit(10), 0.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn weights_round_trip() {
+        let mut a = SpiceApproximator::new(2, 1, 8, 0.003, &mut rng());
+        let mut b = SpiceApproximator::new(2, 1, 8, 0.003, &mut StdRng::seed_from_u64(99));
+        assert_ne!(a.weights(), b.weights(), "different seeds differ");
+        b.set_weights(&a.weights());
+        assert_eq!(a.weights(), b.weights());
+        // predictions only agree once normalizers agree (fresh = identity).
+        let x = [0.3, 0.3];
+        assert_eq!(a.predict(&x), b.predict(&x));
+        a.push(vec![0.1, 0.1], vec![5.0]);
+        a.clear_trajectory();
+        assert!(a.is_empty());
+        assert_eq!(a.predict(&x), b.predict(&x), "clear resets normalizer");
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement dimension mismatch")]
+    fn push_checks_dimensions() {
+        let mut m = SpiceApproximator::new(2, 2, 8, 0.003, &mut rng());
+        m.push(vec![0.0, 0.0], vec![1.0]);
+    }
+}

@@ -1,0 +1,353 @@
+//! The fast local explorer — Algorithm 1 of the paper.
+//!
+//! One episode: sample the global space, dive into the best region, fit
+//! the SPICE approximator online, plan Monte-Carlo steps inside the trust
+//! region, accept/reject with the ratio test, and escape to a fresh random
+//! region when progress stalls (`C_riterion`).
+
+use crate::approximator::SpiceApproximator;
+use crate::planner::McPlanner;
+use crate::trust_region::{TrustRegion, TrustRegionConfig};
+use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the local explorer.
+///
+/// The defaults are the "automatically constructed" settings of the
+/// paper's §IV-F API: small network, a few hundred Monte-Carlo samples,
+/// restart after a few tens of non-improving steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExplorerConfig {
+    /// Global random samples seeding each episode (Algorithm 1 line 2).
+    pub n_init: usize,
+    /// Monte-Carlo candidates per planning step.
+    pub mc_samples: usize,
+    /// Hidden width of the SPICE approximator.
+    pub hidden: usize,
+    /// Adam learning rate.
+    pub lr: f64,
+    /// Training passes over the trajectory per iteration.
+    pub train_epochs: usize,
+    /// Trust-region settings.
+    pub trust: TrustRegionConfig,
+    /// Non-improving steps before escaping to a new region
+    /// (`C_riterion`).
+    pub restart_after: usize,
+    /// Most-recent-samples window the surrogate trains on.
+    pub train_window: usize,
+}
+
+impl Default for ExplorerConfig {
+    fn default() -> Self {
+        ExplorerConfig {
+            n_init: 15,
+            mc_samples: 200,
+            hidden: 40,
+            lr: 0.003,
+            train_epochs: 6,
+            trust: TrustRegionConfig::default(),
+            restart_after: 25,
+            train_window: 96,
+        }
+    }
+}
+
+/// Warm-start inputs for the Table II process-porting study.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WarmStart {
+    /// Starting point (normalized) carried over from a previous node;
+    /// skips the global exploration phase of the first episode.
+    pub center: Option<Vec<f64>>,
+    /// Trained model (weights + normalizers) carried over from a previous
+    /// node.
+    pub model: Option<crate::approximator::ModelState>,
+}
+
+/// Artifacts a finished run exposes for porting (paper §V-C).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplorerArtifacts {
+    /// Final approximator state (weights + normalizers).
+    pub model: crate::approximator::ModelState,
+    /// Final center (normalized coordinates).
+    pub center: Vec<f64>,
+}
+
+/// The model-based trust-region agent (Algorithm 1).
+#[derive(Debug, Clone, Default)]
+pub struct LocalExplorer {
+    /// Hyperparameters.
+    pub config: ExplorerConfig,
+}
+
+impl LocalExplorer {
+    /// Creates an explorer with explicit hyperparameters.
+    pub fn new(config: ExplorerConfig) -> Self {
+        LocalExplorer { config }
+    }
+
+    /// Runs Algorithm 1 on one PVT corner, returning the outcome and the
+    /// porting artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corner_idx` is out of range for the problem.
+    pub fn run(
+        &self,
+        problem: &SizingProblem,
+        corner_idx: usize,
+        budget: SearchBudget,
+        seed: u64,
+        warm: &WarmStart,
+    ) -> (SearchOutcome, ExplorerArtifacts) {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dim = problem.dim();
+        let n_meas = problem.evaluator.measurement_names().len();
+        let planner = McPlanner::new(cfg.mc_samples);
+
+        let mut sims = 0usize;
+        let mut best_point = vec![0.5; dim];
+        let mut best_value = f64::NEG_INFINITY;
+        let mut best_meas: Option<Vec<f64>> = None;
+        let mut first_episode = true;
+        let mut model = SpiceApproximator::new(dim, n_meas, cfg.hidden, cfg.lr, &mut rng);
+        model.set_window(cfg.train_window);
+        if let Some(state) = &warm.model {
+            model.import_state(state);
+        }
+
+        let exhausted = |best_point: Vec<f64>, best_value: f64, best_meas: Option<Vec<f64>>, model: &SpiceApproximator| {
+            (
+                SearchOutcome {
+                    success: false,
+                    simulations: budget.max_sims,
+                    best_point: best_point.clone(),
+                    best_value,
+                    best_measurements: best_meas,
+                },
+                ExplorerArtifacts { model: model.export_state(), center: best_point },
+            )
+        };
+
+        'episode: loop {
+            // --- Lines 2–5: seed the episode. -------------------------------
+            let mut center: Vec<f64>;
+            let mut center_value: f64;
+            if let Some(warm_center) = warm.center.as_ref().filter(|_| first_episode) {
+                center = problem.space.snap(warm_center).unwrap_or_else(|_| vec![0.5; dim]);
+                if sims >= budget.max_sims {
+                    return exhausted(best_point, best_value, best_meas, &model);
+                }
+                let e = problem.evaluate_normalized(&center, corner_idx);
+                sims += 1;
+                center_value = e.value;
+                if e.value > best_value {
+                    best_value = e.value;
+                    best_point = e.x_norm.clone();
+                    best_meas = e.measurements.clone();
+                }
+                if let Some(m) = e.measurements {
+                    model.push(e.x_norm.clone(), m);
+                }
+                if e.feasible {
+                    return (
+                        SearchOutcome {
+                            success: true,
+                            simulations: sims,
+                            best_point: center.clone(),
+                            best_value: center_value,
+                            best_measurements: best_meas,
+                        },
+                        ExplorerArtifacts { model: model.export_state(), center },
+                    );
+                }
+            } else {
+                center = vec![0.5; dim];
+                center_value = f64::NEG_INFINITY;
+                for _ in 0..cfg.n_init {
+                    if sims >= budget.max_sims {
+                        return exhausted(best_point, best_value, best_meas, &model);
+                    }
+                    let u = problem.space.sample(&mut rng);
+                    let e = problem.evaluate_normalized(&u, corner_idx);
+                    sims += 1;
+                    if let Some(m) = &e.measurements {
+                        model.push(e.x_norm.clone(), m.clone());
+                    }
+                    if e.value > best_value {
+                        best_value = e.value;
+                        best_point = e.x_norm.clone();
+                        best_meas = e.measurements.clone();
+                    }
+                    if e.feasible {
+                        return (
+                            SearchOutcome {
+                                success: true,
+                                simulations: sims,
+                                best_point: e.x_norm.clone(),
+                                best_value: e.value,
+                                best_measurements: e.measurements,
+                            },
+                            ExplorerArtifacts { model: model.export_state(), center: e.x_norm },
+                        );
+                    }
+                    if e.value > center_value {
+                        center_value = e.value;
+                        center = e.x_norm;
+                    }
+                }
+            }
+            first_episode = false;
+
+            // --- Lines 6–18: local trust-region search. ---------------------
+            let mut trust = TrustRegion::new(cfg.trust);
+            let mut stall = 0usize;
+            loop {
+                if sims >= budget.max_sims {
+                    return exhausted(best_point, best_value, best_meas, &model);
+                }
+                model.fit(cfg.train_epochs);
+                let proposal = planner.propose(
+                    &problem.space,
+                    &center,
+                    trust.radius(),
+                    &model,
+                    &problem.value_fn,
+                    &problem.specs,
+                    &mut rng,
+                );
+                let Some(p) = proposal else {
+                    // The region collapsed onto the center: escape.
+                    continue 'episode;
+                };
+                let e = problem.evaluate_normalized(&p.x, corner_idx);
+                sims += 1;
+                if let Some(m) = &e.measurements {
+                    model.push(e.x_norm.clone(), m.clone());
+                }
+                if e.value > best_value {
+                    best_value = e.value;
+                    best_point = e.x_norm.clone();
+                    best_meas = e.measurements.clone();
+                }
+                if e.feasible {
+                    return (
+                        SearchOutcome {
+                            success: true,
+                            simulations: sims,
+                            best_point: e.x_norm.clone(),
+                            best_value: e.value,
+                            best_measurements: e.measurements,
+                        },
+                        ExplorerArtifacts { model: model.export_state(), center: e.x_norm },
+                    );
+                }
+
+                let improved = e.value > center_value;
+                let step = trust.assess(p.predicted_value - center_value, e.value - center_value);
+                if step.accepted {
+                    center = e.x_norm;
+                    center_value = e.value;
+                }
+                if improved {
+                    stall = 0;
+                } else {
+                    stall += 1;
+                    if stall > cfg.restart_after {
+                        continue 'episode;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Searcher for LocalExplorer {
+    fn name(&self) -> &str {
+        "trm"
+    }
+
+    fn search(&mut self, problem: &SizingProblem, budget: SearchBudget, seed: u64) -> SearchOutcome {
+        self.run(problem, 0, budget, seed, &WarmStart::default()).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdex_env::circuits::synthetic::{Bowl, MultiBasin, Tradeoff};
+    use asdex_env::SearchBudget;
+
+    #[test]
+    fn solves_bowl_quickly() {
+        let problem = Bowl::problem(4, 0.15).unwrap();
+        let mut agent = LocalExplorer::default();
+        let out = agent.search(&problem, SearchBudget::new(2000), 7);
+        assert!(out.success, "best value {}", out.best_value);
+        assert!(out.simulations < 500, "took {} sims", out.simulations);
+    }
+
+    #[test]
+    fn solves_multibasin() {
+        let problem = MultiBasin::problem(0.12).unwrap();
+        let mut agent = LocalExplorer::default();
+        let out = agent.search(&problem, SearchBudget::new(2000), 3);
+        assert!(out.success);
+    }
+
+    #[test]
+    fn solves_tradeoff_band() {
+        let problem = Tradeoff::problem().unwrap();
+        let mut agent = LocalExplorer::default();
+        let out = agent.search(&problem, SearchBudget::new(2000), 11);
+        assert!(out.success, "value {}", out.best_value);
+    }
+
+    #[test]
+    fn respects_budget_on_impossible_problem() {
+        // Feasible radius 0 → unsatisfiable spec (score ≥ 10 exactly only
+        // at the continuous target, which the grid misses).
+        let problem = Bowl::problem(3, 0.001).unwrap();
+        let mut agent = LocalExplorer::default();
+        let out = agent.search(&problem, SearchBudget::new(300), 1);
+        assert!(!out.success);
+        assert_eq!(out.simulations, 300);
+        assert!(out.best_value < 0.0);
+    }
+
+    #[test]
+    fn warm_start_center_is_used() {
+        let problem = Bowl::problem(3, 0.15).unwrap();
+        let agent = LocalExplorer::default();
+        // Start exactly at the known feasible target.
+        let target = vec![0.3, 0.3 + 0.4 / 3.0, 0.3 + 0.8 / 3.0];
+        let warm = WarmStart { center: Some(target), model: None };
+        let (out, _) = agent.run(&problem, 0, SearchBudget::new(100), 5, &warm);
+        assert!(out.success);
+        assert_eq!(out.simulations, 1, "feasible on the first simulation");
+    }
+
+    #[test]
+    fn artifacts_round_trip_into_warm_start() {
+        let problem = Bowl::problem(2, 0.12).unwrap();
+        let agent = LocalExplorer::default();
+        let (out, art) = agent.run(&problem, 0, SearchBudget::new(1000), 2, &WarmStart::default());
+        assert!(out.success);
+        let warm = WarmStart { center: Some(art.center.clone()), model: Some(art.model.clone()) };
+        let (out2, _) = agent.run(&problem, 0, SearchBudget::new(1000), 3, &warm);
+        assert!(out2.success);
+        assert!(out2.simulations <= out.simulations, "warm start not slower: {} vs {}", out2.simulations, out.simulations);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let problem = Bowl::problem(3, 0.15).unwrap();
+        let mut a = LocalExplorer::default();
+        let mut b = LocalExplorer::default();
+        let o1 = a.search(&problem, SearchBudget::new(1000), 42);
+        let o2 = b.search(&problem, SearchBudget::new(1000), 42);
+        assert_eq!(o1, o2);
+    }
+}

@@ -1,0 +1,188 @@
+//! The top-level "SPICE decorator" API (paper §IV-F).
+//!
+//! Designers supply only what their flow already knows — the tunable
+//! parameters and ranges, the observed measurements, the per-corner specs
+//! (all captured by [`SizingProblem`]) — and [`Framework`] constructs the
+//! network architecture and search hyperparameters automatically, then
+//! routes to the single-corner explorer or the progressive PVT engine.
+
+use crate::explorer::{ExplorerConfig, LocalExplorer, WarmStart};
+use crate::pvt::{LedgerEntry, PvtExplorer, PvtStrategy};
+use asdex_env::{EnvError, SearchBudget, SizingProblem};
+use serde::{Deserialize, Serialize};
+
+/// User-facing framework configuration. Everything has a sensible
+/// default; `None` fields are derived from the problem (the paper's
+/// "dynamically scheduled on the fly").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct FrameworkConfig {
+    /// Simulation budget; default 10 000 (the paper's cap).
+    pub budget: Option<usize>,
+    /// Hidden width override for the approximator.
+    pub hidden: Option<usize>,
+    /// Monte-Carlo samples per planning step.
+    pub mc_samples: Option<usize>,
+    /// PVT strategy when the problem has multiple corners; default
+    /// progressive-hardest (the paper's recommended mode).
+    pub pvt_strategy: Option<PvtStrategy>,
+}
+
+/// Result of a framework search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameworkOutcome {
+    /// `true` when a fully consistent assignment was found.
+    pub success: bool,
+    /// Simulator invocations spent.
+    pub simulations: usize,
+    /// Best normalized point.
+    pub best_point: Vec<f64>,
+    /// Best physical parameter values.
+    pub best_physical: Vec<f64>,
+    /// Value at the best point (worst corner for multi-corner runs).
+    pub best_value: f64,
+    /// PVT ledger (empty for single-corner runs).
+    pub ledger: Vec<LedgerEntry>,
+}
+
+/// The automated sizing framework.
+///
+/// # Example
+///
+/// ```
+/// use asdex_core::{Framework, FrameworkConfig};
+/// use asdex_env::circuits::synthetic::Bowl;
+///
+/// # fn main() -> Result<(), asdex_env::EnvError> {
+/// let problem = Bowl::problem(3, 0.2)?;
+/// let mut framework = Framework::new(FrameworkConfig::default(), 42);
+/// let outcome = framework.search(&problem)?;
+/// assert!(outcome.success);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Framework {
+    config: FrameworkConfig,
+    seed: u64,
+}
+
+impl Framework {
+    /// Creates a framework with a seed controlling all stochastic choices.
+    pub fn new(config: FrameworkConfig, seed: u64) -> Self {
+        Framework { config, seed }
+    }
+
+    /// Derives explorer hyperparameters from the problem size — wider
+    /// networks and more Monte-Carlo samples for higher-dimensional
+    /// spaces.
+    pub fn derive_explorer_config(&self, problem: &SizingProblem) -> ExplorerConfig {
+        let dim = problem.dim();
+        ExplorerConfig {
+            hidden: self.config.hidden.unwrap_or_else(|| (6 * dim).clamp(28, 64)),
+            mc_samples: self.config.mc_samples.unwrap_or_else(|| (40 * dim).clamp(150, 400)),
+            ..ExplorerConfig::default()
+        }
+    }
+
+    /// Runs the search: single-corner problems use Algorithm 1 directly;
+    /// multi-corner problems use the progressive PVT engine.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::DimensionMismatch`] if the problem's space and
+    /// evaluator disagree (normally caught at problem construction).
+    pub fn search(&mut self, problem: &SizingProblem) -> Result<FrameworkOutcome, EnvError> {
+        let budget = SearchBudget::new(self.config.budget.unwrap_or(10_000));
+        let explorer_cfg = self.derive_explorer_config(problem);
+
+        if problem.corners.len() == 1 {
+            let agent = LocalExplorer::new(explorer_cfg);
+            let (out, _) = agent.run(problem, 0, budget, self.seed, &WarmStart::default());
+            let best_physical = problem.space.to_physical(&out.best_point)?;
+            Ok(FrameworkOutcome {
+                success: out.success,
+                simulations: out.simulations,
+                best_point: out.best_point,
+                best_physical,
+                best_value: out.best_value,
+                ledger: Vec::new(),
+            })
+        } else {
+            let strategy = self.config.pvt_strategy.unwrap_or(PvtStrategy::ProgressiveHardest);
+            let mut agent = PvtExplorer::new(strategy);
+            agent.config = explorer_cfg;
+            let out = agent.run(problem, budget, self.seed);
+            let best_physical = problem.space.to_physical(&out.best_point)?;
+            Ok(FrameworkOutcome {
+                success: out.success,
+                simulations: out.simulations,
+                best_point: out.best_point,
+                best_physical,
+                best_value: out.best_value,
+                ledger: out.ledger,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdex_env::circuits::synthetic::Bowl;
+    use asdex_env::{PvtCorner, PvtSet};
+
+    #[test]
+    fn single_corner_routing() {
+        let problem = Bowl::problem(3, 0.2).unwrap();
+        let mut f = Framework::new(FrameworkConfig::default(), 1);
+        let out = f.search(&problem).unwrap();
+        assert!(out.success);
+        assert!(out.ledger.is_empty(), "single corner has no PVT ledger");
+        assert_eq!(out.best_physical.len(), 3);
+    }
+
+    #[test]
+    fn multi_corner_routing_produces_ledger() {
+        let mut problem = Bowl::problem(2, 0.25).unwrap();
+        problem.corners = PvtSet::new(vec![
+            PvtCorner::nominal(),
+            PvtCorner { temp_celsius: 70.0, ..PvtCorner::nominal() },
+        ]);
+        let mut f = Framework::new(FrameworkConfig::default(), 2);
+        let out = f.search(&problem).unwrap();
+        assert!(out.success);
+        assert!(!out.ledger.is_empty());
+    }
+
+    #[test]
+    fn config_derivation_scales_with_dim() {
+        let small = Bowl::problem(2, 0.2).unwrap();
+        let large = Bowl::problem(10, 0.2).unwrap();
+        let f = Framework::new(FrameworkConfig::default(), 0);
+        let cs = f.derive_explorer_config(&small);
+        let cl = f.derive_explorer_config(&large);
+        assert!(cl.hidden >= cs.hidden);
+        assert!(cl.mc_samples >= cs.mc_samples);
+    }
+
+    #[test]
+    fn explicit_overrides_respected() {
+        let problem = Bowl::problem(2, 0.2).unwrap();
+        let f = Framework::new(
+            FrameworkConfig { hidden: Some(64), mc_samples: Some(333), ..Default::default() },
+            0,
+        );
+        let c = f.derive_explorer_config(&problem);
+        assert_eq!(c.hidden, 64);
+        assert_eq!(c.mc_samples, 333);
+    }
+
+    #[test]
+    fn budget_override() {
+        let problem = Bowl::problem(3, 0.0001).unwrap(); // unsatisfiable
+        let mut f = Framework::new(FrameworkConfig { budget: Some(77), ..Default::default() }, 5);
+        let out = f.search(&problem).unwrap();
+        assert!(!out.success);
+        assert_eq!(out.simulations, 77);
+    }
+}

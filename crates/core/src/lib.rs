@@ -1,0 +1,53 @@
+//! The trust-region model-based agent for analog design-space exploration
+//! — the primary contribution of *“Trust-Region Method with Deep
+//! Reinforcement Learning in Analog Design Space Exploration”* (DAC 2021).
+//!
+//! The agent treats transistor sizing as a constraint-satisfaction
+//! problem: instead of estimating cumulative reward (model-free RL) it
+//! learns a direct surrogate of the simulator on a local region
+//! ([`SpiceApproximator`], eq. 3–4), plans candidate steps by Monte-Carlo
+//! sampling inside a trust region ([`McPlanner`], [`TrustRegion`], eq. 5),
+//! and escapes to a fresh region when progress stalls
+//! ([`LocalExplorer`], Algorithm 1). PVT sign-off uses the progressive
+//! corner strategy of §IV-E ([`PvtExplorer`]), and AIP reuse across
+//! process nodes goes through [`PortingStrategy`] (§V-C).
+//!
+//! The [`Framework`] type is the paper's "SPICE decorator" (§IV-F): hand
+//! it a [`asdex_env::SizingProblem`] and it configures everything else.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use asdex_core::{Framework, FrameworkConfig};
+//! use asdex_env::circuits::opamp::TwoStageOpamp;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let problem = TwoStageOpamp::bsim45().problem()?;
+//! let mut framework = Framework::new(FrameworkConfig::default(), 42);
+//! let outcome = framework.search(&problem)?;
+//! println!(
+//!     "feasible: {} after {} SPICE calls",
+//!     outcome.success, outcome.simulations
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod approximator;
+mod explorer;
+mod framework;
+mod planner;
+mod porting;
+mod pvt;
+mod trust_region;
+
+pub use approximator::{ModelState, Sample, SpiceApproximator};
+pub use explorer::{ExplorerArtifacts, ExplorerConfig, LocalExplorer, WarmStart};
+pub use framework::{Framework, FrameworkConfig, FrameworkOutcome};
+pub use planner::{McPlanner, Proposal};
+pub use porting::PortingStrategy;
+pub use pvt::{LedgerEntry, PvtExplorer, PvtOutcome, PvtStrategy};
+pub use trust_region::{TrustRegion, TrustRegionConfig, TrustStep};

@@ -1,0 +1,93 @@
+//! Process-porting strategies (paper §V-C, Table II).
+//!
+//! When a proven circuit moves to a new process node, the agent can reuse
+//! two artifacts from the old node's search: the optimal **starting
+//! point** and the approximator **weights**. Table II compares three
+//! strategies; [`PortingStrategy`] encodes them and
+//! [`PortingStrategy::warm_start`] translates each into explorer inputs.
+
+use crate::explorer::{ExplorerArtifacts, WarmStart};
+use serde::{Deserialize, Serialize};
+
+/// The three Table II porting strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortingStrategy {
+    /// Random weights, random starting point — no reuse (baseline row).
+    Fresh,
+    /// Reuse both network weights and the optimal point from the old node.
+    WeightsAndStart,
+    /// Random weights, but start from the old node's optimal point.
+    StartOnly,
+}
+
+impl PortingStrategy {
+    /// All strategies in Table II row order.
+    pub const ALL: [PortingStrategy; 3] =
+        [PortingStrategy::Fresh, PortingStrategy::WeightsAndStart, PortingStrategy::StartOnly];
+
+    /// Row label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PortingStrategy::Fresh => "fresh (random weights, random start)",
+            PortingStrategy::WeightsAndStart => "weight sharing, starting point sharing",
+            PortingStrategy::StartOnly => "random weights, starting point sharing",
+        }
+    }
+
+    /// Builds the warm start this strategy feeds the explorer, given the
+    /// artifacts harvested on the source node.
+    pub fn warm_start(self, source: &ExplorerArtifacts) -> WarmStart {
+        match self {
+            PortingStrategy::Fresh => WarmStart::default(),
+            PortingStrategy::WeightsAndStart => WarmStart {
+                center: Some(source.center.clone()),
+                model: Some(source.model.clone()),
+            },
+            PortingStrategy::StartOnly => {
+                WarmStart { center: Some(source.center.clone()), model: None }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifacts() -> ExplorerArtifacts {
+        use crate::SpiceApproximator;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = SpiceApproximator::new(2, 1, 4, 0.003, &mut rng).export_state();
+        ExplorerArtifacts { model, center: vec![0.4, 0.6] }
+    }
+
+    #[test]
+    fn fresh_reuses_nothing() {
+        let w = PortingStrategy::Fresh.warm_start(&artifacts());
+        assert!(w.center.is_none());
+        assert!(w.model.is_none());
+    }
+
+    #[test]
+    fn weights_and_start_reuses_both() {
+        let a = artifacts();
+        let w = PortingStrategy::WeightsAndStart.warm_start(&a);
+        assert_eq!(w.center.as_deref(), Some(&[0.4, 0.6][..]));
+        assert_eq!(w.model.as_ref(), Some(&a.model));
+    }
+
+    #[test]
+    fn start_only_drops_weights() {
+        let w = PortingStrategy::StartOnly.warm_start(&artifacts());
+        assert!(w.center.is_some());
+        assert!(w.model.is_none());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            PortingStrategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), 3);
+    }
+}

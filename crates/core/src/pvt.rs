@@ -1,0 +1,434 @@
+//! Progressive PVT exploration (paper §IV-E, Fig. 3, Table III).
+//!
+//! Each PVT condition gets its own independent approximator. The search
+//! focuses on an *active* set of corners — one to start — and only spends
+//! simulator licenses on the full corner set when the active set's specs
+//! are already met. Failing verification promotes the worst corner into
+//! the active set.
+
+use crate::approximator::SpiceApproximator;
+use crate::explorer::ExplorerConfig;
+use crate::planner::McPlanner;
+use crate::trust_region::TrustRegion;
+use asdex_env::{SearchBudget, SizingProblem};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Strategy for covering the PVT corner set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PvtStrategy {
+    /// Evaluate every corner on every iteration ("test all cond." row of
+    /// Table III).
+    BruteForce,
+    /// Progressive exploration starting from a uniformly random corner.
+    ProgressiveRandom,
+    /// Progressive exploration starting from the empirically hardest
+    /// corner (lowest mean value over a small probe sample).
+    ProgressiveHardest,
+}
+
+impl PvtStrategy {
+    /// Label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            PvtStrategy::BruteForce => "brute-force",
+            PvtStrategy::ProgressiveRandom => "progressive-random",
+            PvtStrategy::ProgressiveHardest => "progressive-hardest",
+        }
+    }
+}
+
+/// One simulator invocation in the PVT ledger — the raw material of the
+/// paper's Fig. 3 timeline (each block is one EDA-tool use; red = spec
+/// missed, green = met).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// Global simulation index (time order).
+    pub sim: usize,
+    /// Search round (outer iteration) this simulation belonged to.
+    pub round: usize,
+    /// Corner index into the problem's [`asdex_env::PvtSet`].
+    pub corner: usize,
+    /// Value at this corner (0 ⇔ specs met here).
+    pub value: f64,
+    /// `true` when the corner's specs were met.
+    pub pass: bool,
+    /// `true` when this simulation was part of a verification pass rather
+    /// than active-set search.
+    pub verification: bool,
+}
+
+/// Outcome of a PVT exploration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PvtOutcome {
+    /// `true` when a point passing **all** corners was found in budget.
+    pub success: bool,
+    /// Total simulator invocations (the Table III "steps" metric).
+    pub simulations: usize,
+    /// Best point found (normalized).
+    pub best_point: Vec<f64>,
+    /// Worst-corner value of the best point.
+    pub best_value: f64,
+    /// Complete simulation ledger for Fig. 3.
+    pub ledger: Vec<LedgerEntry>,
+    /// Corners that were promoted into the active set, in order.
+    pub activation_order: Vec<usize>,
+}
+
+/// The PVT exploration engine.
+#[derive(Debug, Clone)]
+pub struct PvtExplorer {
+    /// Local-search hyperparameters (shared by every strategy).
+    pub config: ExplorerConfig,
+    /// Corner-coverage strategy.
+    pub strategy: PvtStrategy,
+    /// Probe samples per corner used to rank difficulty for
+    /// [`PvtStrategy::ProgressiveHardest`].
+    pub hardness_probes: usize,
+}
+
+impl PvtExplorer {
+    /// Creates an explorer with the given strategy and default local
+    /// search settings.
+    pub fn new(strategy: PvtStrategy) -> Self {
+        PvtExplorer { config: ExplorerConfig::default(), strategy, hardness_probes: 4 }
+    }
+
+    /// Runs the PVT exploration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem has no corners (cannot happen through
+    /// [`asdex_env::PvtSet`]).
+    pub fn run(&self, problem: &SizingProblem, budget: SearchBudget, seed: u64) -> PvtOutcome {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n_corners = problem.corners.len();
+        let dim = problem.dim();
+        let n_meas = problem.evaluator.measurement_names().len();
+        let cfg = &self.config;
+        let planner = McPlanner::new(cfg.mc_samples);
+
+        let mut sims = 0usize;
+        let mut round = 0usize;
+        let mut ledger: Vec<LedgerEntry> = Vec::new();
+        let mut best_point = vec![0.5; dim];
+        let mut best_value = f64::NEG_INFINITY;
+
+        // Per-corner independent models (paper: "each PVT condition has its
+        // own independent model").
+        let mut models: Vec<SpiceApproximator> = (0..n_corners)
+            .map(|_| {
+                let mut m = SpiceApproximator::new(dim, n_meas, cfg.hidden, cfg.lr, &mut rng);
+                m.set_window(cfg.train_window);
+                m
+            })
+            .collect();
+
+        // Pick the starting active set.
+        let mut active: Vec<usize> = match self.strategy {
+            PvtStrategy::BruteForce => (0..n_corners).collect(),
+            PvtStrategy::ProgressiveRandom => vec![rng.gen_range(0..n_corners)],
+            PvtStrategy::ProgressiveHardest => {
+                // Probe a few random points on every corner; the corner
+                // with the lowest mean value is "hardest".
+                let mut means = vec![0.0; n_corners];
+                for _ in 0..self.hardness_probes {
+                    let u = problem.space.sample(&mut rng);
+                    for (c, mean) in means.iter_mut().enumerate() {
+                        if sims >= budget.max_sims {
+                            return PvtOutcome {
+                                success: false,
+                                simulations: budget.max_sims,
+                                best_point,
+                                best_value,
+                                ledger,
+                                activation_order: vec![],
+                            };
+                        }
+                        let e = problem.evaluate_normalized(&u, c);
+                        sims += 1;
+                        ledger.push(LedgerEntry {
+                            sim: sims,
+                            round,
+                            corner: c,
+                            value: e.value,
+                            pass: e.feasible,
+                            verification: false,
+                        });
+                        if let Some(m) = e.measurements {
+                            models[c].push(e.x_norm.clone(), m);
+                        }
+                        *mean += e.value / self.hardness_probes as f64;
+                    }
+                }
+                let hardest = means
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("finite values"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                vec![hardest]
+            }
+        };
+        let mut activation_order = active.clone();
+
+        // Evaluate a point on every active corner; returns worst value and
+        // whether all active corners passed. Logs to the ledger.
+        macro_rules! eval_active {
+            ($u:expr, $verification:expr, $corners:expr) => {{
+                let mut worst = f64::INFINITY;
+                let mut worst_corner = 0usize;
+                let mut all_pass = true;
+                let mut out_of_budget = false;
+                for &c in $corners {
+                    if sims >= budget.max_sims {
+                        out_of_budget = true;
+                        break;
+                    }
+                    let e = problem.evaluate_normalized($u, c);
+                    sims += 1;
+                    ledger.push(LedgerEntry {
+                        sim: sims,
+                        round,
+                        corner: c,
+                        value: e.value,
+                        pass: e.feasible,
+                        verification: $verification,
+                    });
+                    if let Some(m) = e.measurements {
+                        models[c].push(e.x_norm.clone(), m);
+                    }
+                    all_pass &= e.feasible;
+                    if e.value < worst {
+                        worst = e.value;
+                        worst_corner = c;
+                    }
+                }
+                (worst, worst_corner, all_pass, out_of_budget)
+            }};
+        }
+
+        'episode: loop {
+            round += 1;
+            // Seed phase over active corners.
+            let mut center = vec![0.5; dim];
+            let mut center_value = f64::NEG_INFINITY;
+            for _ in 0..cfg.n_init {
+                let u = problem.space.sample(&mut rng);
+                let (worst, _, _, oob) = eval_active!(&u, false, &active);
+                if oob {
+                    break;
+                }
+                if worst > center_value {
+                    center_value = worst;
+                    center = u;
+                }
+                if worst > best_value {
+                    best_value = worst;
+                    best_point = center.clone();
+                }
+            }
+            if sims >= budget.max_sims {
+                return PvtOutcome {
+                    success: false,
+                    simulations: budget.max_sims,
+                    best_point,
+                    best_value,
+                    ledger,
+                    activation_order,
+                };
+            }
+
+            let mut trust = TrustRegion::new(cfg.trust);
+            let mut stall = 0usize;
+            loop {
+                if sims >= budget.max_sims {
+                    return PvtOutcome {
+                        success: false,
+                        simulations: budget.max_sims,
+                        best_point,
+                        best_value,
+                        ledger,
+                        activation_order,
+                    };
+                }
+                for &c in &active {
+                    models[c].fit(cfg.train_epochs);
+                }
+                let model_refs: Vec<&SpiceApproximator> = active.iter().map(|&c| &models[c]).collect();
+                let proposal = planner.propose_multi(
+                    &problem.space,
+                    &center,
+                    trust.radius(),
+                    &model_refs,
+                    &problem.value_fn,
+                    &problem.specs,
+                    &mut rng,
+                );
+                let Some(p) = proposal else {
+                    continue 'episode;
+                };
+                round += 1;
+                let (worst, _, all_pass, oob) = eval_active!(&p.x, false, &active);
+                if oob {
+                    continue;
+                }
+                if worst > best_value {
+                    best_value = worst;
+                    best_point = p.x.clone();
+                }
+
+                if all_pass {
+                    // Verification over the corners not in the active set.
+                    let inactive: Vec<usize> =
+                        (0..n_corners).filter(|c| !active.contains(c)).collect();
+                    if inactive.is_empty() {
+                        return PvtOutcome {
+                            success: true,
+                            simulations: sims,
+                            best_point: p.x,
+                            best_value: worst,
+                            ledger,
+                            activation_order,
+                        };
+                    }
+                    round += 1;
+                    let (v_worst, v_worst_corner, v_all, oob) = eval_active!(&p.x, true, &inactive);
+                    if oob {
+                        continue;
+                    }
+                    if v_all {
+                        return PvtOutcome {
+                            success: true,
+                            simulations: sims,
+                            best_point: p.x,
+                            best_value: v_worst.min(worst),
+                            ledger,
+                            activation_order,
+                        };
+                    }
+                    // Promote the worst failing corner and keep searching
+                    // from the current point.
+                    active.push(v_worst_corner);
+                    activation_order.push(v_worst_corner);
+                    center = p.x;
+                    center_value = v_worst;
+                    trust.reset();
+                    stall = 0;
+                    continue;
+                }
+
+                let improved = worst > center_value;
+                let step = trust.assess(p.predicted_value - center_value, worst - center_value);
+                if step.accepted {
+                    center = p.x;
+                    center_value = worst;
+                }
+                if improved {
+                    stall = 0;
+                } else {
+                    stall += 1;
+                    if stall > cfg.restart_after {
+                        continue 'episode;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdex_env::circuits::synthetic::Bowl;
+    use asdex_env::{PvtCorner, PvtSet};
+
+    /// A 3-corner bowl problem where the corners pull the optimum in
+    /// meaningfully different directions, so single-corner feasibility is
+    /// common but the intersection is small — the structure that makes
+    /// progressive exploration pay off.
+    fn pvt_problem() -> SizingProblem {
+        let mut p = Bowl::problem(3, 0.2).unwrap();
+        // Five corners: one hard pair pulling in opposite directions plus
+        // three mild ones — single corners are easy, the intersection is
+        // small, and testing every corner on every step (brute force) pays
+        // a 5× simulation tax.
+        p.corners = PvtSet::new(vec![
+            PvtCorner::nominal(),
+            PvtCorner { temp_celsius: 120.0, ..PvtCorner::nominal() },
+            PvtCorner { temp_celsius: -60.0, ..PvtCorner::nominal() },
+            PvtCorner { temp_celsius: 60.0, ..PvtCorner::nominal() },
+            PvtCorner { temp_celsius: -20.0, ..PvtCorner::nominal() },
+        ]);
+        p
+    }
+
+    #[test]
+    fn progressive_hardest_succeeds() {
+        let problem = pvt_problem();
+        let agent = PvtExplorer::new(PvtStrategy::ProgressiveHardest);
+        let out = agent.run(&problem, SearchBudget::new(5000), 9);
+        assert!(out.success, "best {}", out.best_value);
+        assert!(!out.ledger.is_empty());
+        // Final verification touched every corner.
+        let touched: std::collections::HashSet<_> = out.ledger.iter().map(|l| l.corner).collect();
+        assert_eq!(touched.len(), 5);
+    }
+
+    #[test]
+    fn progressive_random_succeeds() {
+        let problem = pvt_problem();
+        let agent = PvtExplorer::new(PvtStrategy::ProgressiveRandom);
+        let out = agent.run(&problem, SearchBudget::new(5000), 21);
+        assert!(out.success);
+        assert_eq!(out.activation_order.len(), out.activation_order.iter().collect::<std::collections::HashSet<_>>().len(), "no corner activated twice");
+    }
+
+    #[test]
+    fn brute_force_succeeds_with_more_sims() {
+        let problem = pvt_problem();
+        let progressive = PvtExplorer::new(PvtStrategy::ProgressiveHardest);
+        let brute = PvtExplorer::new(PvtStrategy::BruteForce);
+        // Average over a few seeds: progressive must be cheaper.
+        let mut p_total = 0usize;
+        let mut b_total = 0usize;
+        for seed in 0..10 {
+            let p = progressive.run(&problem, SearchBudget::new(8000), seed);
+            let b = brute.run(&problem, SearchBudget::new(8000), seed);
+            assert!(p.success && b.success, "seed {seed}");
+            p_total += p.simulations;
+            b_total += b.simulations;
+        }
+        assert!(p_total < b_total, "progressive {p_total} vs brute {b_total}");
+    }
+
+    #[test]
+    fn ledger_is_time_ordered_and_budget_respected() {
+        let problem = pvt_problem();
+        let agent = PvtExplorer::new(PvtStrategy::BruteForce);
+        let out = agent.run(&problem, SearchBudget::new(50), 4);
+        assert!(!out.success);
+        assert_eq!(out.simulations, 50);
+        assert!(out.ledger.len() <= 50);
+        for w in out.ledger.windows(2) {
+            assert!(w[1].sim > w[0].sim);
+        }
+    }
+
+    #[test]
+    fn verification_entries_marked() {
+        let problem = pvt_problem();
+        let agent = PvtExplorer::new(PvtStrategy::ProgressiveHardest);
+        let out = agent.run(&problem, SearchBudget::new(5000), 9);
+        assert!(out.success);
+        assert!(out.ledger.iter().any(|l| l.verification), "verification pass logged");
+    }
+
+    #[test]
+    fn strategy_labels() {
+        assert_eq!(PvtStrategy::BruteForce.label(), "brute-force");
+        assert_eq!(PvtStrategy::ProgressiveRandom.label(), "progressive-random");
+        assert_eq!(PvtStrategy::ProgressiveHardest.label(), "progressive-hardest");
+    }
+}

@@ -1,0 +1,182 @@
+//! The trust-region method (paper §IV-C, eq. 5).
+//!
+//! The agent searches inside an ∞-norm box `D_TR = {X : ‖X − Xᵢ‖ ≤ Δrᵢ}`
+//! in normalized design-space coordinates. After each real simulation the
+//! ratio `ρ` of actual to predicted improvement decides whether the trial
+//! step is accepted and how the radius evolves: a model that tracks the
+//! simulator earns a larger region, a misleading one gets shrunk.
+
+use serde::{Deserialize, Serialize};
+
+/// Trust-region hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrustRegionConfig {
+    /// Initial radius (normalized coordinates).
+    pub initial_radius: f64,
+    /// Smallest radius before the region stops shrinking.
+    pub min_radius: f64,
+    /// Largest radius.
+    pub max_radius: f64,
+    /// Acceptance threshold on ρ: trial steps with `ρ > eta` are taken.
+    pub eta: f64,
+    /// ρ above which the region expands.
+    pub expand_threshold: f64,
+    /// ρ below which the region shrinks.
+    pub shrink_threshold: f64,
+    /// Expansion factor (> 1).
+    pub expand_factor: f64,
+    /// Shrink factor (in (0, 1)).
+    pub shrink_factor: f64,
+}
+
+impl Default for TrustRegionConfig {
+    fn default() -> Self {
+        TrustRegionConfig {
+            initial_radius: 0.15,
+            min_radius: 0.01,
+            max_radius: 0.5,
+            eta: 0.05,
+            expand_threshold: 0.75,
+            shrink_threshold: 0.25,
+            expand_factor: 1.6,
+            shrink_factor: 0.5,
+        }
+    }
+}
+
+/// Decision returned by [`TrustRegion::assess`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustStep {
+    /// `true` when the trial point becomes the new center.
+    pub accepted: bool,
+    /// The ratio ρ of actual to predicted improvement.
+    pub rho: f64,
+    /// Radius after the update.
+    pub radius: f64,
+}
+
+/// Adaptive trust-region state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrustRegion {
+    config: TrustRegionConfig,
+    radius: f64,
+}
+
+impl TrustRegion {
+    /// Creates a region at the configured initial radius.
+    pub fn new(config: TrustRegionConfig) -> Self {
+        TrustRegion { radius: config.initial_radius, config }
+    }
+
+    /// Current radius.
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrustRegionConfig {
+        &self.config
+    }
+
+    /// Resets the radius to its initial value (restart, Algorithm 1
+    /// line 17).
+    pub fn reset(&mut self) {
+        self.radius = self.config.initial_radius;
+    }
+
+    /// Assesses a trial step.
+    ///
+    /// * `predicted` — model-estimated improvement `V̂(x̂) − V(x)`,
+    /// * `actual` — simulator-measured improvement `V(x̂) − V(x)`.
+    ///
+    /// A non-positive prediction means the planner proposed a point the
+    /// model itself did not like (it happens when every candidate in a
+    /// shrunken region looks bad); it is treated as an untrusted model:
+    /// accept only if the real improvement is positive, and shrink.
+    pub fn assess(&mut self, predicted: f64, actual: f64) -> TrustStep {
+        let c = self.config;
+        let (rho, accepted) = if predicted > 1e-12 {
+            let rho = actual / predicted;
+            (rho, rho > c.eta)
+        } else {
+            // Degenerate prediction; fall back to the sign of the actual
+            // improvement and treat the model as unreliable.
+            (0.0, actual > 0.0)
+        };
+
+        if rho > c.expand_threshold && actual > 0.0 {
+            self.radius = (self.radius * c.expand_factor).min(c.max_radius);
+        } else if rho < c.shrink_threshold {
+            self.radius = (self.radius * c.shrink_factor).max(c.min_radius);
+        }
+        TrustStep { accepted, rho, radius: self.radius }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr() -> TrustRegion {
+        TrustRegion::new(TrustRegionConfig::default())
+    }
+
+    #[test]
+    fn accurate_model_expands() {
+        let mut t = tr();
+        let r0 = t.radius();
+        let step = t.assess(1.0, 0.95);
+        assert!(step.accepted);
+        assert!((step.rho - 0.95).abs() < 1e-12);
+        assert!(step.radius > r0, "expanded");
+    }
+
+    #[test]
+    fn misleading_model_shrinks_and_rejects() {
+        let mut t = tr();
+        let r0 = t.radius();
+        let step = t.assess(1.0, -0.5);
+        assert!(!step.accepted);
+        assert!(step.radius < r0, "shrunk");
+    }
+
+    #[test]
+    fn moderate_agreement_keeps_radius() {
+        let mut t = tr();
+        let r0 = t.radius();
+        let step = t.assess(1.0, 0.5); // ρ = 0.5 ∈ (0.25, 0.75)
+        assert!(step.accepted);
+        assert_eq!(step.radius, r0);
+    }
+
+    #[test]
+    fn radius_bounds_respected() {
+        let mut t = tr();
+        for _ in 0..100 {
+            t.assess(1.0, 1.0);
+        }
+        assert!(t.radius() <= t.config().max_radius + 1e-12);
+        for _ in 0..100 {
+            t.assess(1.0, -1.0);
+        }
+        assert!(t.radius() >= t.config().min_radius - 1e-12);
+    }
+
+    #[test]
+    fn degenerate_prediction_uses_actual_sign() {
+        let mut t = tr();
+        let step = t.assess(0.0, 0.2);
+        assert!(step.accepted, "real improvement still taken");
+        let step = t.assess(-0.3, -0.2);
+        assert!(!step.accepted);
+    }
+
+    #[test]
+    fn reset_restores_initial_radius() {
+        let mut t = tr();
+        t.assess(1.0, 1.0);
+        assert_ne!(t.radius(), t.config().initial_radius);
+        t.reset();
+        assert_eq!(t.radius(), t.config().initial_radius);
+    }
+}

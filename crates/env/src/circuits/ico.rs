@@ -1,0 +1,271 @@
+//! The current-controlled oscillator (ICO) benchmark — the paper's second
+//! industrial case (Table V), ported from TSMC 5 nm to the synthetic `n5`
+//! node.
+//!
+//! The paper characterizes the ICO with Spectre transient + periodic-noise
+//! analysis, which is out of scope for this reproduction; instead the ICO
+//! is a **behavioral model** derived from the same first-order physics:
+//!
+//! * oscillation frequency of an N-stage current-starved ring:
+//!   `f ≈ I_ctl / (N · C_node · V_swing)`, with the node capacitance taken
+//!   from the gate area of the inverter devices on the `n5` cards, and
+//! * phase noise from Leeson's equation at a fixed offset, improving with
+//!   dissipated power and device area (larger devices → less 1/f noise).
+//!
+//! The resulting 4-parameter, 20-values-each landscape (`20^4` points,
+//! matching the paper) has the same frequency/phase-noise trade-off the
+//! agents must negotiate in Table V. A transient ring-oscillator demo on
+//! the real MNA engine lives in `examples/ring_oscillator.rs` to show the
+//! simulation code path exists.
+
+use crate::corner::PvtCorner;
+use crate::error::EnvError;
+use crate::problem::{Evaluator, SizingProblem};
+use crate::space::{DesignSpace, Param};
+use crate::spec::{Spec, SpecSet};
+use crate::PvtSet;
+use asdex_spice::process::ProcessNode;
+use std::sync::Arc;
+
+/// Indices of the ICO's design parameters.
+pub mod params {
+    /// NMOS inverter width \[m\].
+    pub const W_N: usize = 0;
+    /// PMOS inverter width \[m\].
+    pub const W_P: usize = 1;
+    /// Control current \[A\].
+    pub const I_CTL: usize = 2;
+    /// Number of ring stages (odd).
+    pub const STAGES: usize = 3;
+}
+
+/// Indices of the ICO's measurement vector.
+pub mod meas {
+    /// Oscillation frequency \[Hz\].
+    pub const FREQ_HZ: usize = 0;
+    /// Phase noise at the reference offset \[dBc/Hz\].
+    pub const PN_DBC: usize = 1;
+    /// Total gate area \[µm²\].
+    pub const AREA_UM2: usize = 2;
+}
+
+/// The ICO benchmark on a process node.
+#[derive(Debug, Clone)]
+pub struct Ico {
+    node: ProcessNode,
+    /// Phase-noise offset frequency \[Hz\].
+    pub f_offset: f64,
+}
+
+impl Ico {
+    /// The benchmark on the synthetic `n5` node (Table V).
+    pub fn n5() -> Self {
+        Self::on(ProcessNode::n5())
+    }
+
+    /// The benchmark on an arbitrary node.
+    pub fn on(node: ProcessNode) -> Self {
+        Ico { node, f_offset: 1e6 }
+    }
+
+    /// The process node.
+    pub fn process(&self) -> &ProcessNode {
+        &self.node
+    }
+
+    /// The paper's `20^4` design space: four parameters, 20 values each.
+    ///
+    /// # Errors
+    ///
+    /// Propagates grid-construction failures.
+    pub fn space(&self) -> Result<DesignSpace, EnvError> {
+        DesignSpace::new(vec![
+            Param::geometric("w_n", 0.5e-6, 10e-6, 20)?,
+            Param::geometric("w_p", 1e-6, 20e-6, 20)?,
+            Param::geometric("i_ctl", 50e-6, 2e-3, 20)?,
+            Param::explicit("stages", (0..20).map(|k| (3 + 2 * k) as f64).collect())?,
+        ])
+    }
+
+    /// Table V specs: phase noise < −71 dBc/Hz, frequency > 8 GHz.
+    pub fn default_specs() -> SpecSet {
+        SpecSet::new(vec![
+            Spec::at_most(meas::PN_DBC, "phase_noise", -71.0),
+            Spec::at_least(meas::FREQ_HZ, "frequency", 8e9),
+        ])
+    }
+
+    /// Builds the sizing problem at the nominal corner.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design-space or problem-validation errors.
+    pub fn problem(&self) -> Result<SizingProblem, EnvError> {
+        SizingProblem::new(
+            &format!("ico-{}", self.node.name),
+            self.space()?,
+            Arc::new(IcoEvaluator::new(self.clone())),
+            Self::default_specs(),
+            PvtSet::nominal_only(),
+        )
+    }
+
+    /// A fixed reference design standing in for the paper's human-designed
+    /// ICO (−73.31 dBc/Hz at 8.45 GHz in Table V): near the best phase
+    /// noise achievable at > 8 GHz on this landscape, with a
+    /// designer-plausible stage count.
+    pub fn human_reference(&self) -> Vec<f64> {
+        vec![7.3e-6, 2.58e-6, 2e-3, 13.0]
+    }
+}
+
+/// Behavioral evaluator behind [`Ico`].
+pub struct IcoEvaluator {
+    ico: Ico,
+    names: Vec<String>,
+}
+
+impl IcoEvaluator {
+    /// Wraps an ICO description.
+    pub fn new(ico: Ico) -> Self {
+        IcoEvaluator { ico, names: vec!["freq_hz".into(), "pn_dbc".into(), "area_um2".into()] }
+    }
+}
+
+/// Boltzmann constant \[J/K\].
+const K_B: f64 = 1.380_649e-23;
+
+impl Evaluator for IcoEvaluator {
+    fn measurement_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn evaluate(&self, x: &[f64], corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        if x.len() != 4 {
+            return Err(EnvError::DimensionMismatch { expected: 4, actual: x.len() });
+        }
+        let (w_n, w_p, i_ctl, stages) = (x[0], x[1], x[2], x[3].max(3.0));
+        let node = &self.ico.node;
+        let (nmos, pmos) = node.models_at(corner.process, corner.temp_celsius);
+        let vdd = node.vdd * corner.vdd_scale;
+        let l = 2.0 * node.lmin;
+
+        // Node capacitance: gate caps of the next stage plus drain
+        // overlap/junction parasitics (approximated as 40% of gate cap).
+        let c_gate = nmos.cox * w_n * l + pmos.cox * w_p * l;
+        let c_node = 1.4 * c_gate + 0.1e-15;
+
+        // Swing of a current-starved stage: limited by the control current
+        // through the device stack; saturates at VDD.
+        let v_swing = (vdd * 0.8).min(1.0);
+
+        // Ring frequency: each of N stages delays c·V/I; a full period is
+        // 2·N delays.
+        let freq = i_ctl / (2.0 * stages * c_node * v_swing);
+
+        // Leeson-style phase noise at offset Δf:
+        //   L(Δf) = 10·log10( (2kT/P_sig) · F · (f0 / (2·Q·Δf))² )
+        // with a ring-oscillator Q of ~1 and an excess-noise factor F that
+        // improves (drops) with device area (less 1/f noise).
+        let t_kelvin = corner.temp_celsius + 273.15;
+        let p_sig = (i_ctl * vdd).max(1e-9);
+        let area_m2 = stages * (w_n + w_p) * l;
+        let f_excess = 800.0 * (1.0 + 0.4e-12 / area_m2);
+        let q = 1.0;
+        let ratio = freq / (2.0 * q * self.ico.f_offset);
+        let pn_lin = (2.0 * K_B * t_kelvin / p_sig) * f_excess * ratio * ratio;
+        let pn_dbc = 10.0 * pn_lin.log10();
+
+        Ok(vec![freq, pn_dbc, area_m2 * 1e12])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_reference_is_near_table_v() {
+        let ico = Ico::n5();
+        let eval = IcoEvaluator::new(ico.clone());
+        let m = eval.evaluate(&ico.human_reference(), &PvtCorner::nominal()).unwrap();
+        // Paper: −73.31 dBc/Hz at 8.45 GHz. The behavioral model is
+        // calibrated to land in the same region.
+        assert!(m[meas::FREQ_HZ] > 6e9 && m[meas::FREQ_HZ] < 12e9, "freq {}", m[meas::FREQ_HZ]);
+        assert!(m[meas::PN_DBC] < -71.0 && m[meas::PN_DBC] > -78.0, "pn {}", m[meas::PN_DBC]);
+    }
+
+    #[test]
+    fn frequency_noise_tradeoff() {
+        let ico = Ico::n5();
+        let eval = IcoEvaluator::new(ico.clone());
+        let base = eval.evaluate(&ico.human_reference(), &PvtCorner::nominal()).unwrap();
+        // Bigger devices: lower frequency (more cap), lower (better) noise
+        // from the area term at fixed power... but the f²/P Leeson term
+        // also drops with f, so the landscape rewards careful balance.
+        let mut x = ico.human_reference();
+        x[params::W_N] *= 4.0;
+        x[params::W_P] *= 4.0;
+        let big = eval.evaluate(&x, &PvtCorner::nominal()).unwrap();
+        assert!(big[meas::FREQ_HZ] < base[meas::FREQ_HZ]);
+        assert!(big[meas::PN_DBC] < base[meas::PN_DBC], "bigger is quieter");
+    }
+
+    #[test]
+    fn more_current_is_faster() {
+        let ico = Ico::n5();
+        let eval = IcoEvaluator::new(ico.clone());
+        let mut lo = ico.human_reference();
+        lo[params::I_CTL] = 0.2e-3;
+        let mut hi = ico.human_reference();
+        hi[params::I_CTL] = 1.8e-3;
+        let m_lo = eval.evaluate(&lo, &PvtCorner::nominal()).unwrap();
+        let m_hi = eval.evaluate(&hi, &PvtCorner::nominal()).unwrap();
+        assert!(m_hi[meas::FREQ_HZ] > m_lo[meas::FREQ_HZ]);
+    }
+
+    #[test]
+    fn space_is_20_to_the_4() {
+        let s = Ico::n5().space().unwrap();
+        assert_eq!(s.dim(), 4);
+        assert!((s.size_log10() - 4.0 * 20f64.log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasible_points_exist() {
+        // Scan a coarse sub-grid and confirm the spec set is satisfiable
+        // but not trivially so.
+        let ico = Ico::n5();
+        let p = ico.problem().unwrap();
+        let mut feasible = 0;
+        let mut total = 0;
+        for a in 0..5 {
+            for b in 0..5 {
+                for c in 0..5 {
+                    for d in 0..5 {
+                        let u = vec![a as f64 / 4.0, b as f64 / 4.0, c as f64 / 4.0, d as f64 / 4.0];
+                        let e = p.evaluate_normalized(&u, 0);
+                        total += 1;
+                        feasible += usize::from(e.feasible);
+                    }
+                }
+            }
+        }
+        assert!(feasible > 0, "spec set must be satisfiable");
+        assert!(feasible < total / 2, "but not trivial: {feasible}/{total}");
+    }
+
+    #[test]
+    fn corners_matter() {
+        let ico = Ico::n5();
+        let eval = IcoEvaluator::new(ico.clone());
+        let nom = eval.evaluate(&ico.human_reference(), &PvtCorner::nominal()).unwrap();
+        let hot = eval
+            .evaluate(
+                &ico.human_reference(),
+                &PvtCorner { temp_celsius: 125.0, ..PvtCorner::nominal() },
+            )
+            .unwrap();
+        assert!(hot[meas::PN_DBC] > nom[meas::PN_DBC], "hot is noisier");
+    }
+}

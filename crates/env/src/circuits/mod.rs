@@ -1,0 +1,7 @@
+//! Benchmark circuits: the two-stage opamp, the LDO, the ICO, and
+//! synthetic landscapes for fast agent tests.
+
+pub mod ico;
+pub mod ldo;
+pub mod opamp;
+pub mod synthetic;

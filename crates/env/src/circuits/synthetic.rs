@@ -1,0 +1,405 @@
+//! Synthetic analytic landscapes for fast agent tests and ablations.
+//!
+//! These evaluators cost nanoseconds instead of milliseconds, so unit and
+//! integration tests can run full searches. They are shaped to reproduce
+//! the structural features the paper's arguments rest on: local
+//! continuity, multiple feasible basins, and an anti-correlated
+//! constraint pair (the gain/phase-margin trade-off of §V-B).
+
+use crate::corner::PvtCorner;
+use crate::error::EnvError;
+use crate::problem::{Evaluator, SizingProblem};
+use crate::space::{DesignSpace, Param};
+use crate::spec::{Spec, SpecSet};
+use crate::PvtSet;
+use std::sync::Arc;
+
+/// A single-basin landscape: one measurement, maximal at `target`.
+///
+/// `m0(x) = 10 − Σ (x_i − t_i)²` in normalized coordinates; the spec
+/// `m0 ≥ 10 − r²` makes the feasible set a ball of radius `r` around the
+/// target. Corners shift the target by `temp/1000` per axis, so PVT
+/// exploration has real work to do.
+#[derive(Debug, Clone)]
+pub struct Bowl {
+    /// Target point in normalized coordinates.
+    pub target: Vec<f64>,
+    names: Vec<String>,
+}
+
+impl Bowl {
+    /// Creates a bowl centered at `target` (normalized coordinates).
+    pub fn new(target: Vec<f64>) -> Self {
+        Bowl { target, names: vec!["score".into()] }
+    }
+
+    /// A ready-made sizing problem: `dim`-dimensional, 101-point axes,
+    /// feasible radius `r` around the bowl's target.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design-space construction failures.
+    pub fn problem(dim: usize, r: f64) -> Result<SizingProblem, EnvError> {
+        let target = (0..dim).map(|i| 0.3 + 0.4 * (i as f64 / dim.max(1) as f64)).collect::<Vec<_>>();
+        let space = DesignSpace::new(
+            (0..dim)
+                .map(|i| Param::linear(&format!("x{i}"), 0.0, 1.0, 101))
+                .collect::<Result<_, _>>()?,
+        )?;
+        SizingProblem::new(
+            "bowl",
+            space,
+            Arc::new(Bowl::new(target)),
+            SpecSet::new(vec![Spec::at_least(0, "score", 10.0 - r * r)]),
+            PvtSet::nominal_only(),
+        )
+    }
+}
+
+impl Evaluator for Bowl {
+    fn measurement_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn evaluate(&self, x: &[f64], corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        if x.len() != self.target.len() {
+            return Err(EnvError::DimensionMismatch { expected: self.target.len(), actual: x.len() });
+        }
+        let shift = corner.temp_celsius / 1000.0 - 0.027;
+        let d2: f64 = x
+            .iter()
+            .zip(&self.target)
+            .map(|(xi, ti)| {
+                let t = (ti + shift).clamp(0.0, 1.0);
+                (xi - t) * (xi - t)
+            })
+            .sum();
+        Ok(vec![10.0 - d2])
+    }
+}
+
+/// A multi-basin landscape: the maximum of several bowls, giving several
+/// disjoint feasible regions — the "multiple satisfactory solutions in
+/// different local optima" premise of §IV-B.
+#[derive(Debug, Clone)]
+pub struct MultiBasin {
+    centers: Vec<Vec<f64>>,
+    names: Vec<String>,
+}
+
+impl MultiBasin {
+    /// Creates a landscape with the given basin centers (normalized).
+    pub fn new(centers: Vec<Vec<f64>>) -> Self {
+        MultiBasin { centers, names: vec!["score".into()] }
+    }
+
+    /// A 2-D problem with three feasible basins of radius `r`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design-space construction failures.
+    pub fn problem(r: f64) -> Result<SizingProblem, EnvError> {
+        let centers = vec![vec![0.2, 0.2], vec![0.8, 0.3], vec![0.5, 0.85]];
+        let space = DesignSpace::new(vec![
+            Param::linear("x0", 0.0, 1.0, 201)?,
+            Param::linear("x1", 0.0, 1.0, 201)?,
+        ])?;
+        SizingProblem::new(
+            "multibasin",
+            space,
+            Arc::new(MultiBasin::new(centers)),
+            SpecSet::new(vec![Spec::at_least(0, "score", 10.0 - r * r)]),
+            PvtSet::nominal_only(),
+        )
+    }
+}
+
+impl Evaluator for MultiBasin {
+    fn measurement_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn evaluate(&self, x: &[f64], _corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        let best = self
+            .centers
+            .iter()
+            .map(|c| {
+                let d2: f64 = x.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+                10.0 - d2
+            })
+            .fold(f64::NEG_INFINITY, f64::max);
+        Ok(vec![best])
+    }
+}
+
+/// An anti-correlated two-constraint landscape modeled on the gain/phase-
+/// margin trade-off: `gain` grows along `x0` while `pm` falls, and only a
+/// narrow band satisfies both — the trap the paper says model-free agents
+/// fall into (Table I discussion).
+#[derive(Debug, Clone)]
+pub struct Tradeoff {
+    names: Vec<String>,
+}
+
+impl Default for Tradeoff {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tradeoff {
+    /// Creates the trade-off landscape.
+    pub fn new() -> Self {
+        Tradeoff { names: vec!["gain".into(), "pm".into()] }
+    }
+
+    /// A 3-D problem where only `x0 ∈ [0.55, 0.6]` (modulated by the other
+    /// axes) satisfies both constraints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design-space construction failures.
+    pub fn problem() -> Result<SizingProblem, EnvError> {
+        let space = DesignSpace::new(vec![
+            Param::linear("x0", 0.0, 1.0, 101)?,
+            Param::linear("x1", 0.0, 1.0, 101)?,
+            Param::linear("x2", 0.0, 1.0, 101)?,
+        ])?;
+        SizingProblem::new(
+            "tradeoff",
+            space,
+            Arc::new(Tradeoff::new()),
+            SpecSet::new(vec![Spec::at_least(0, "gain", 55.0), Spec::at_least(1, "pm", 60.0)]),
+            PvtSet::nominal_only(),
+        )
+    }
+}
+
+impl Evaluator for Tradeoff {
+    fn measurement_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn evaluate(&self, x: &[f64], _corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        let x0 = x[0];
+        let mod1 = 1.0 - 0.2 * (x.get(1).copied().unwrap_or(0.5) - 0.5).abs();
+        let mod2 = 1.0 - 0.2 * (x.get(2).copied().unwrap_or(0.5) - 0.5).abs();
+        // gain rises with x0, pm falls with x0.
+        let gain = 100.0 * x0 * mod1;
+        let pm = 150.0 * (1.0 - x0) * mod2;
+        Ok(vec![gain, pm])
+    }
+}
+
+/// A curved-valley (Rosenbrock) landscape: the feasible set sits at the
+/// end of a long, narrow, bent valley. Large search regions overshoot the
+/// valley walls; small ones crawl. This is the geometry where the
+/// iteration-dependent trust-region radius (paper §IV-C) earns its keep.
+#[derive(Debug, Clone)]
+pub struct Ridge {
+    names: Vec<String>,
+    dim: usize,
+}
+
+impl Ridge {
+    /// Creates a `dim`-dimensional ridge landscape.
+    pub fn new(dim: usize) -> Self {
+        Ridge { names: vec!["score".into()], dim }
+    }
+
+    /// A ready-made problem: score = −Rosenbrock(x) on `[-2, 2]^dim`
+    /// (mapped from normalized coordinates), spec `score ≥ −tol` — the
+    /// feasible set hugs the valley floor near `x = (1, …, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design-space construction failures.
+    pub fn problem(dim: usize, tol: f64) -> Result<SizingProblem, EnvError> {
+        let space = DesignSpace::new(
+            (0..dim)
+                .map(|i| Param::linear(&format!("x{i}"), 0.0, 1.0, 201))
+                .collect::<Result<_, _>>()?,
+        )?;
+        SizingProblem::new(
+            "ridge",
+            space,
+            Arc::new(Ridge::new(dim)),
+            SpecSet::new(vec![Spec::at_least(0, "score", -tol)]),
+            PvtSet::nominal_only(),
+        )
+    }
+}
+
+impl Evaluator for Ridge {
+    fn measurement_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn evaluate(&self, x: &[f64], _corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        if x.len() != self.dim {
+            return Err(EnvError::DimensionMismatch { expected: self.dim, actual: x.len() });
+        }
+        // Map [0,1] -> [-2,2].
+        let z: Vec<f64> = x.iter().map(|u| 4.0 * u - 2.0).collect();
+        let mut f = 0.0;
+        for w in z.windows(2) {
+            f += 100.0 * (w[1] - w[0] * w[0]).powi(2) + (1.0 - w[0]).powi(2);
+        }
+        Ok(vec![-f])
+    }
+}
+
+/// A deceptive landscape: a broad, attractive basin whose peak falls just
+/// short of the spec, and a narrow basin elsewhere that satisfies it. An
+/// agent without an escape criterion (`C_riterion`, Algorithm 1 line 15)
+/// dives into the broad basin and stays there forever; the restart is what
+/// saves it.
+#[derive(Debug, Clone)]
+pub struct Deceptive {
+    names: Vec<String>,
+}
+
+impl Default for Deceptive {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deceptive {
+    /// Creates the deceptive landscape.
+    pub fn new() -> Self {
+        Deceptive { names: vec!["score".into()] }
+    }
+
+    /// A 3-D problem: the broad trap is centered at (0.3, 0.3, 0.3) and
+    /// tops out at 9.9; the feasible needle sits at (0.85, 0.85, 0.85)
+    /// with the spec `score ≥ 9.95`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates design-space construction failures.
+    pub fn problem() -> Result<SizingProblem, EnvError> {
+        let space = DesignSpace::new(vec![
+            Param::linear("x0", 0.0, 1.0, 101)?,
+            Param::linear("x1", 0.0, 1.0, 101)?,
+            Param::linear("x2", 0.0, 1.0, 101)?,
+        ])?;
+        SizingProblem::new(
+            "deceptive",
+            space,
+            Arc::new(Deceptive::new()),
+            SpecSet::new(vec![Spec::at_least(0, "score", 9.95)]),
+            PvtSet::nominal_only(),
+        )
+    }
+}
+
+impl Evaluator for Deceptive {
+    fn measurement_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn evaluate(&self, x: &[f64], _corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        let d2 = |c: f64| -> f64 { x.iter().map(|xi| (xi - c) * (xi - c)).sum() };
+        // Broad trap: gentle curvature, peak 9.9 (always < 9.95 spec).
+        let trap = 9.9 - 0.6 * d2(0.3);
+        // Needle: steep, peak 10.0, feasible only within ~0.09 of center.
+        let needle = 10.0 - 6.0 * d2(0.85);
+        Ok(vec![trap.max(needle)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bowl_peaks_at_target() {
+        let b = Bowl::new(vec![0.5, 0.5]);
+        let at_target = b.evaluate(&[0.5, 0.5], &PvtCorner::nominal()).unwrap()[0];
+        let off = b.evaluate(&[0.9, 0.1], &PvtCorner::nominal()).unwrap()[0];
+        assert_eq!(at_target, 10.0);
+        assert!(off < at_target);
+    }
+
+    #[test]
+    fn bowl_corner_shifts_target() {
+        let b = Bowl::new(vec![0.5, 0.5]);
+        let hot = PvtCorner { temp_celsius: 125.0, ..PvtCorner::nominal() };
+        let at_nominal_target = b.evaluate(&[0.5, 0.5], &hot).unwrap()[0];
+        assert!(at_nominal_target < 10.0, "hot corner moved the optimum");
+    }
+
+    #[test]
+    fn bowl_problem_feasibility() {
+        let p = Bowl::problem(3, 0.2).unwrap();
+        assert_eq!(p.dim(), 3);
+        // The bowl's own target is feasible.
+        let target = vec![0.3, 0.3 + 0.4 / 3.0, 0.3 + 0.8 / 3.0];
+        let e = p.evaluate_normalized(&target, 0);
+        assert!(e.feasible, "target is feasible: value {}", e.value);
+        let e = p.evaluate_normalized(&[1.0, 0.0, 1.0], 0);
+        assert!(!e.feasible);
+    }
+
+    #[test]
+    fn bowl_dimension_check() {
+        let b = Bowl::new(vec![0.5]);
+        assert!(b.evaluate(&[0.5, 0.5], &PvtCorner::nominal()).is_err());
+    }
+
+    #[test]
+    fn multibasin_has_three_feasible_regions() {
+        let p = MultiBasin::problem(0.15).unwrap();
+        for center in [[0.2, 0.2], [0.8, 0.3], [0.5, 0.85]] {
+            let e = p.evaluate_normalized(&center, 0);
+            assert!(e.feasible, "basin at {center:?}");
+        }
+        let e = p.evaluate_normalized(&[0.0, 1.0], 0);
+        assert!(!e.feasible);
+    }
+
+    #[test]
+    fn ridge_optimum_is_feasible() {
+        let p = Ridge::problem(3, 0.5).unwrap();
+        // x = (1,1,1) maps from normalized 0.75.
+        let e = p.evaluate_normalized(&[0.75, 0.75, 0.75], 0);
+        assert!(e.feasible, "valley floor feasible: value {}", e.value);
+        let e = p.evaluate_normalized(&[0.2, 0.8, 0.2], 0);
+        assert!(!e.feasible, "off-valley infeasible");
+    }
+
+    #[test]
+    fn ridge_dimension_checked() {
+        let r = Ridge::new(2);
+        assert!(r.evaluate(&[0.1], &PvtCorner::nominal()).is_err());
+    }
+
+    #[test]
+    fn deceptive_trap_is_infeasible_and_needle_is_not() {
+        let p = Deceptive::problem().unwrap();
+        let trap = p.evaluate_normalized(&[0.3, 0.3, 0.3], 0);
+        assert!(!trap.feasible, "trap peak stays below spec");
+        assert!(trap.value > -0.01, "but it looks very close");
+        let needle = p.evaluate_normalized(&[0.85, 0.85, 0.85], 0);
+        assert!(needle.feasible);
+    }
+
+    #[test]
+    fn tradeoff_has_narrow_feasible_band() {
+        let p = Tradeoff::problem().unwrap();
+        // Mid-band point satisfies both...
+        let e = p.evaluate_normalized(&[0.57, 0.5, 0.5], 0);
+        assert!(e.feasible, "value {}", e.value);
+        // ... extremes satisfy only one.
+        let hi = p.evaluate_normalized(&[1.0, 0.5, 0.5], 0);
+        assert!(!hi.feasible, "max gain kills pm");
+        let lo = p.evaluate_normalized(&[0.1, 0.5, 0.5], 0);
+        assert!(!lo.feasible, "max pm kills gain");
+        // And greedily maximizing the gain measurement alone walks out of
+        // the feasible band — the model-free trap.
+        let m_hi = hi.measurements.unwrap();
+        let m_mid = e.measurements.unwrap();
+        assert!(m_hi[0] > m_mid[0]);
+    }
+}

@@ -1,0 +1,131 @@
+//! PVT (process, voltage, temperature) corners — paper §IV-E.
+
+use asdex_spice::process::ProcessCorner;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One PVT condition: a process corner, a supply scale factor, and a
+/// temperature.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PvtCorner {
+    /// Process corner.
+    pub process: ProcessCorner,
+    /// Supply voltage as a fraction of nominal (e.g. `0.9` = VDD −10 %).
+    pub vdd_scale: f64,
+    /// Junction temperature \[°C\].
+    pub temp_celsius: f64,
+}
+
+impl PvtCorner {
+    /// The nominal condition: TT, nominal supply, 27 °C.
+    pub fn nominal() -> Self {
+        PvtCorner { process: ProcessCorner::Tt, vdd_scale: 1.0, temp_celsius: 27.0 }
+    }
+
+    /// A compact label like `"SS/0.90V/125C"`.
+    pub fn label(&self) -> String {
+        format!("{}/{:.2}x/{:.0}C", self.process.label(), self.vdd_scale, self.temp_celsius)
+    }
+}
+
+impl Default for PvtCorner {
+    fn default() -> Self {
+        Self::nominal()
+    }
+}
+
+impl fmt::Display for PvtCorner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// An ordered set of PVT corners to sign off.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PvtSet {
+    corners: Vec<PvtCorner>,
+}
+
+impl PvtSet {
+    /// Creates a set from explicit corners; an empty list falls back to the
+    /// single nominal corner.
+    pub fn new(corners: Vec<PvtCorner>) -> Self {
+        if corners.is_empty() {
+            PvtSet { corners: vec![PvtCorner::nominal()] }
+        } else {
+            PvtSet { corners }
+        }
+    }
+
+    /// Only the nominal corner (single-condition experiments, Table I).
+    pub fn nominal_only() -> Self {
+        Self::new(vec![PvtCorner::nominal()])
+    }
+
+    /// The five-corner sign-off set used by the PVT experiments
+    /// (Table III): nominal plus the four worst-case combinations of slow/
+    /// fast silicon, low/high supply, and hot/cold temperature.
+    pub fn signoff5() -> Self {
+        Self::new(vec![
+            PvtCorner::nominal(),
+            PvtCorner { process: ProcessCorner::Ss, vdd_scale: 0.9, temp_celsius: 125.0 },
+            PvtCorner { process: ProcessCorner::Ss, vdd_scale: 0.9, temp_celsius: -40.0 },
+            PvtCorner { process: ProcessCorner::Ff, vdd_scale: 1.1, temp_celsius: 125.0 },
+            PvtCorner { process: ProcessCorner::Ff, vdd_scale: 1.1, temp_celsius: -40.0 },
+        ])
+    }
+
+    /// The corners in order.
+    pub fn corners(&self) -> &[PvtCorner] {
+        &self.corners
+    }
+
+    /// Number of corners.
+    pub fn len(&self) -> usize {
+        self.corners.len()
+    }
+
+    /// Always `false`: construction guarantees at least one corner.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Default for PvtSet {
+    fn default() -> Self {
+        Self::nominal_only()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_corner() {
+        let c = PvtCorner::nominal();
+        assert_eq!(c.process, ProcessCorner::Tt);
+        assert_eq!(c.vdd_scale, 1.0);
+        assert_eq!(c.label(), "TT/1.00x/27C");
+        assert_eq!(c.to_string(), c.label());
+    }
+
+    #[test]
+    fn empty_set_defaults_to_nominal() {
+        let s = PvtSet::new(vec![]);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+        assert_eq!(s.corners()[0], PvtCorner::nominal());
+    }
+
+    #[test]
+    fn signoff5_has_five_distinct_corners() {
+        let s = PvtSet::signoff5();
+        assert_eq!(s.len(), 5);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                assert_ne!(s.corners()[i], s.corners()[j]);
+            }
+        }
+    }
+}

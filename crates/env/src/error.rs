@@ -1,0 +1,72 @@
+//! Error type for sizing environments.
+
+use asdex_spice::SpiceError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while defining or evaluating a sizing problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnvError {
+    /// The underlying circuit simulation failed (non-convergence, singular
+    /// system). Sizing agents typically treat this as an infeasible point
+    /// rather than aborting the search.
+    Simulation(SpiceError),
+    /// A parameter vector had the wrong dimension for the design space.
+    DimensionMismatch {
+        /// Expected number of parameters.
+        expected: usize,
+        /// Provided number.
+        actual: usize,
+    },
+    /// A design-space axis was defined with no grid points or a bad range.
+    InvalidSpace {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// A problem was configured inconsistently (no corners, no specs, …).
+    InvalidProblem {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnvError::Simulation(e) => write!(f, "simulation failed: {e}"),
+            EnvError::DimensionMismatch { expected, actual } => {
+                write!(f, "parameter vector has length {actual}, expected {expected}")
+            }
+            EnvError::InvalidSpace { reason } => write!(f, "invalid design space: {reason}"),
+            EnvError::InvalidProblem { reason } => write!(f, "invalid problem: {reason}"),
+        }
+    }
+}
+
+impl Error for EnvError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EnvError::Simulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpiceError> for EnvError {
+    fn from(e: SpiceError) -> Self {
+        EnvError::Simulation(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = EnvError::DimensionMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        let e: EnvError = SpiceError::NoConvergence { analysis: "op", iterations: 10 }.into();
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,49 @@
+//! Sizing environments for analog design-space exploration.
+//!
+//! `asdex-env` implements the problem-formulation layer of the DAC 2021
+//! paper (§III, §IV-A, §IV-D, §IV-E):
+//!
+//! * [`space::DesignSpace`] — discrete per-parameter grids, the CSP
+//!   domains of eq. (2), with normalized-coordinate maps,
+//! * [`spec::SpecSet`] — the constraints `C = (t, r)`,
+//! * [`value::ValueFn`] — the sum-of-normalized-measurements value
+//!   function (§IV-D),
+//! * [`corner::PvtSet`] — process/voltage/temperature corners (§IV-E),
+//! * [`problem::SizingProblem`] — the standardized API every agent
+//!   consumes (§IV-F), and
+//! * [`circuits`] — the paper's benchmark circuits: the two-stage Miller
+//!   opamp (45/22 nm), the LDO (n6), the ICO (n5), and synthetic
+//!   landscapes for fast tests.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use asdex_env::circuits::opamp::TwoStageOpamp;
+//!
+//! # fn main() -> Result<(), asdex_env::EnvError> {
+//! let problem = TwoStageOpamp::bsim45().problem()?;
+//! let eval = problem.evaluate_normalized(&vec![0.5; problem.dim()], 0);
+//! println!("value = {}", eval.value);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuits;
+pub mod corner;
+mod error;
+pub mod problem;
+pub mod search;
+pub mod space;
+pub mod spec;
+pub mod value;
+
+pub use corner::{PvtCorner, PvtSet};
+pub use error::EnvError;
+pub use problem::{Evaluation, Evaluator, SizingProblem};
+pub use search::{SearchBudget, SearchOutcome, Searcher};
+pub use space::{DesignSpace, Param};
+pub use spec::{Spec, SpecKind, SpecSet};
+pub use value::{StagedValueFn, ValueFn};

@@ -1,0 +1,256 @@
+//! The sizing problem: design space + evaluator + specs + corners.
+//!
+//! This is the paper's standardized API surface (§IV-F): a designer
+//! supplies the tunable parameters and ranges, the measurements observed
+//! from simulation, and the specs per corner; every search agent consumes
+//! the same [`SizingProblem`].
+
+use crate::corner::{PvtCorner, PvtSet};
+use crate::error::EnvError;
+use crate::space::DesignSpace;
+use crate::spec::SpecSet;
+use crate::value::ValueFn;
+use std::sync::Arc;
+
+/// Maps a physical parameter vector to a measurement vector at a PVT
+/// corner — the paper's opaque `S_pice(X)` relation.
+///
+/// Implementations must be deterministic for a given `(x, corner)` pair;
+/// agents rely on re-evaluation returning the same result.
+pub trait Evaluator: Send + Sync {
+    /// Names of the entries of the measurement vector, in order.
+    fn measurement_names(&self) -> &[String];
+
+    /// Evaluates physical parameters `x` at `corner`.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::Simulation`] when the underlying simulation does not
+    /// converge — agents treat this as a maximally infeasible point, not a
+    /// fatal error.
+    fn evaluate(&self, x: &[f64], corner: &PvtCorner) -> Result<Vec<f64>, EnvError>;
+}
+
+/// Outcome of evaluating one design point at one corner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// The normalized (grid-snapped) coordinates that were evaluated.
+    pub x_norm: Vec<f64>,
+    /// Measurements, `None` when the simulation failed.
+    pub measurements: Option<Vec<f64>>,
+    /// Value-function score (0 ⇔ all specs met).
+    pub value: f64,
+    /// `true` when every spec is satisfied.
+    pub feasible: bool,
+}
+
+/// A complete sizing task.
+#[derive(Clone)]
+pub struct SizingProblem {
+    /// Problem name for reports.
+    pub name: String,
+    /// The discrete design space.
+    pub space: DesignSpace,
+    /// The simulation behind the problem.
+    pub evaluator: Arc<dyn Evaluator>,
+    /// Specs that must hold at every corner.
+    pub specs: SpecSet,
+    /// PVT corners to sign off.
+    pub corners: PvtSet,
+    /// Value function used to rank candidates.
+    pub value_fn: ValueFn,
+}
+
+impl std::fmt::Debug for SizingProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SizingProblem")
+            .field("name", &self.name)
+            .field("dim", &self.space.dim())
+            .field("specs", &self.specs.len())
+            .field("corners", &self.corners.len())
+            .finish()
+    }
+}
+
+impl SizingProblem {
+    /// Creates a problem, validating its pieces fit together.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidProblem`] when a spec references a measurement
+    /// index outside the evaluator's measurement vector.
+    pub fn new(
+        name: &str,
+        space: DesignSpace,
+        evaluator: Arc<dyn Evaluator>,
+        specs: SpecSet,
+        corners: PvtSet,
+    ) -> Result<Self, EnvError> {
+        let n_meas = evaluator.measurement_names().len();
+        for s in specs.specs() {
+            if s.measurement >= n_meas {
+                return Err(EnvError::InvalidProblem {
+                    reason: format!(
+                        "spec {} references measurement {} but the evaluator provides {}",
+                        s.name, s.measurement, n_meas
+                    ),
+                });
+            }
+        }
+        Ok(SizingProblem {
+            name: name.to_string(),
+            space,
+            evaluator,
+            specs,
+            corners,
+            value_fn: ValueFn::default(),
+        })
+    }
+
+    /// Number of design parameters.
+    pub fn dim(&self) -> usize {
+        self.space.dim()
+    }
+
+    /// Evaluates a normalized point at one corner (by index), translating
+    /// simulation failures into worst-case values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `corner_idx` is out of range.
+    pub fn evaluate_normalized(&self, u: &[f64], corner_idx: usize) -> Evaluation {
+        let corner = self.corners.corners()[corner_idx];
+        let x_norm = self.space.snap(u).unwrap_or_else(|_| u.to_vec());
+        let x_phys = match self.space.to_physical(&x_norm) {
+            Ok(x) => x,
+            Err(_) => {
+                return Evaluation {
+                    x_norm,
+                    measurements: None,
+                    value: self.value_fn.failure_value(&self.specs),
+                    feasible: false,
+                }
+            }
+        };
+        match self.evaluator.evaluate(&x_phys, &corner) {
+            Ok(meas) => {
+                let value = self.value_fn.value(&meas, &self.specs);
+                let feasible = self.specs.all_satisfied(&meas);
+                Evaluation { x_norm, measurements: Some(meas), value, feasible }
+            }
+            Err(_) => Evaluation {
+                x_norm,
+                measurements: None,
+                value: self.value_fn.failure_value(&self.specs),
+                feasible: false,
+            },
+        }
+    }
+
+    /// Evaluates a normalized point at every corner; `feasible` requires
+    /// all corners to pass. Returns per-corner evaluations.
+    pub fn evaluate_all_corners(&self, u: &[f64]) -> Vec<Evaluation> {
+        (0..self.corners.len()).map(|c| self.evaluate_normalized(u, c)).collect()
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::space::Param;
+    use crate::spec::Spec;
+
+    /// A 2-D analytic evaluator for tests: measurement = [x0 + x1, x0*x1].
+    pub struct ToyEvaluator {
+        names: Vec<String>,
+    }
+
+    impl ToyEvaluator {
+        pub fn new() -> Self {
+            ToyEvaluator { names: vec!["sum".into(), "prod".into()] }
+        }
+    }
+
+    impl Evaluator for ToyEvaluator {
+        fn measurement_names(&self) -> &[String] {
+            &self.names
+        }
+        fn evaluate(&self, x: &[f64], corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+            // Corners make the task slightly harder at low supply.
+            let derate = corner.vdd_scale;
+            Ok(vec![(x[0] + x[1]) * derate, x[0] * x[1] * derate])
+        }
+    }
+
+    pub fn toy_problem() -> SizingProblem {
+        let space = DesignSpace::new(vec![
+            Param::linear("x0", 0.0, 10.0, 101).unwrap(),
+            Param::linear("x1", 0.0, 10.0, 101).unwrap(),
+        ])
+        .unwrap();
+        SizingProblem::new(
+            "toy",
+            space,
+            Arc::new(ToyEvaluator::new()),
+            SpecSet::new(vec![Spec::at_least(0, "sum", 12.0), Spec::at_least(1, "prod", 20.0)]),
+            PvtSet::nominal_only(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn bad_spec_index_rejected() {
+        let space = DesignSpace::new(vec![Param::linear("x", 0.0, 1.0, 2).unwrap()]).unwrap();
+        let err = SizingProblem::new(
+            "bad",
+            space,
+            Arc::new(ToyEvaluator::new()),
+            SpecSet::new(vec![Spec::at_least(5, "nope", 0.0)]),
+            PvtSet::nominal_only(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EnvError::InvalidProblem { .. }));
+    }
+
+    #[test]
+    fn evaluation_feasibility() {
+        let p = toy_problem();
+        // (8, 8): sum 16 >= 12, prod 64 >= 20 → feasible, value 0.
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert!(e.feasible);
+        assert_eq!(e.value, 0.0);
+        assert_eq!(e.measurements.as_deref(), Some(&[16.0, 64.0][..]));
+        // (1, 1): infeasible.
+        let e = p.evaluate_normalized(&[0.1, 0.1], 0);
+        assert!(!e.feasible);
+        assert!(e.value < 0.0);
+    }
+
+    #[test]
+    fn snapping_applied_before_evaluation() {
+        let p = toy_problem();
+        let e = p.evaluate_normalized(&[0.555, 0.0], 0);
+        // 0.555 on a 101-point grid snaps to 0.56 → x = 5.6.
+        assert!((e.x_norm[0] - 0.56).abs() < 1e-12);
+        assert!((e.measurements.unwrap()[0] - 5.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_corner_evaluation() {
+        let mut p = toy_problem();
+        p.corners = PvtSet::new(vec![
+            PvtCorner::nominal(),
+            PvtCorner { vdd_scale: 0.5, ..PvtCorner::nominal() },
+        ]);
+        let evals = p.evaluate_all_corners(&[0.8, 0.8]);
+        assert_eq!(evals.len(), 2);
+        assert!(evals[0].feasible);
+        assert!(!evals[1].feasible, "derated corner misses the spec");
+    }
+
+    #[test]
+    fn debug_format_mentions_name() {
+        let p = toy_problem();
+        assert!(format!("{p:?}").contains("toy"));
+    }
+}

@@ -1,0 +1,399 @@
+//! Discrete design spaces — the CSP domains `D_i` of the paper's eq. (2).
+//!
+//! Each sizing parameter has a finite grid of admissible values (widths in
+//! steps of the layout grid, capacitor values from a discrete menu, …).
+//! Agents work in **normalized coordinates** `[0, 1]^n`; the space converts
+//! to physical values by snapping to the nearest grid point, so every
+//! evaluated point is a legal assignment.
+
+use crate::error::EnvError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One sizing parameter: a name and its discrete domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name, e.g. `"w_in"`.
+    pub name: String,
+    /// Admissible values, strictly increasing.
+    pub grid: Vec<f64>,
+}
+
+impl Param {
+    /// Creates a parameter with a linear grid of `points` values in
+    /// `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidSpace`] if `points < 1` or `hi < lo`.
+    pub fn linear(name: &str, lo: f64, hi: f64, points: usize) -> Result<Self, EnvError> {
+        if points == 0 || hi < lo || !lo.is_finite() || !hi.is_finite() {
+            return Err(EnvError::InvalidSpace {
+                reason: format!("linear grid for {name} needs lo <= hi and >= 1 point"),
+            });
+        }
+        let grid = if points == 1 {
+            vec![lo]
+        } else {
+            (0..points)
+                .map(|k| lo + (hi - lo) * k as f64 / (points - 1) as f64)
+                .collect()
+        };
+        Ok(Param { name: name.to_string(), grid })
+    }
+
+    /// Creates a parameter with a geometric (log-spaced) grid.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidSpace`] if bounds are non-positive or inverted.
+    pub fn geometric(name: &str, lo: f64, hi: f64, points: usize) -> Result<Self, EnvError> {
+        if points == 0 || lo <= 0.0 || hi < lo {
+            return Err(EnvError::InvalidSpace {
+                reason: format!("geometric grid for {name} needs 0 < lo <= hi and >= 1 point"),
+            });
+        }
+        let grid = if points == 1 {
+            vec![lo]
+        } else {
+            (0..points)
+                .map(|k| lo * (hi / lo).powf(k as f64 / (points - 1) as f64))
+                .collect()
+        };
+        Ok(Param { name: name.to_string(), grid })
+    }
+
+    /// Creates a parameter from an explicit value list (sorted
+    /// internally).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidSpace`] for an empty list or non-finite values.
+    pub fn explicit(name: &str, mut values: Vec<f64>) -> Result<Self, EnvError> {
+        if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+            return Err(EnvError::InvalidSpace {
+                reason: format!("explicit grid for {name} must be non-empty and finite"),
+            });
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        values.dedup();
+        Ok(Param { name: name.to_string(), grid: values })
+    }
+
+    /// Number of grid points.
+    pub fn len(&self) -> usize {
+        self.grid.len()
+    }
+
+    /// `true` if the grid is a single point.
+    pub fn is_empty(&self) -> bool {
+        self.grid.is_empty()
+    }
+
+    /// Index of the grid point nearest to normalized coordinate
+    /// `u ∈ [0, 1]` (clamped).
+    pub fn index_of_normalized(&self, u: f64) -> usize {
+        let n = self.grid.len();
+        if n == 1 {
+            return 0;
+        }
+        let idx = (u.clamp(0.0, 1.0) * (n - 1) as f64).round() as usize;
+        idx.min(n - 1)
+    }
+
+    /// Normalized coordinate of grid index `i`.
+    pub fn normalized_of_index(&self, i: usize) -> f64 {
+        let n = self.grid.len();
+        if n == 1 {
+            0.0
+        } else {
+            i.min(n - 1) as f64 / (n - 1) as f64
+        }
+    }
+}
+
+/// A discrete design space: the Cartesian product of parameter grids.
+///
+/// # Example
+///
+/// ```
+/// use asdex_env::space::{DesignSpace, Param};
+///
+/// # fn main() -> Result<(), asdex_env::EnvError> {
+/// let space = DesignSpace::new(vec![
+///     Param::linear("w1", 1e-6, 100e-6, 100)?,
+///     Param::geometric("cc", 0.1e-12, 10e-12, 40)?,
+/// ])?;
+/// assert_eq!(space.dim(), 2);
+/// assert!(space.size_log10() > 3.0); // 100 × 40 = 4000 points
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSpace {
+    params: Vec<Param>,
+}
+
+impl DesignSpace {
+    /// Creates a design space from its parameters.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::InvalidSpace`] if no parameters are given.
+    pub fn new(params: Vec<Param>) -> Result<Self, EnvError> {
+        if params.is_empty() {
+            return Err(EnvError::InvalidSpace { reason: "design space needs at least one parameter".into() });
+        }
+        Ok(DesignSpace { params })
+    }
+
+    /// Number of parameters (dimensions).
+    pub fn dim(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Parameter names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.params.iter().map(|p| p.name.as_str()).collect()
+    }
+
+    /// `log10` of the number of grid points — the paper quotes space sizes
+    /// like 10^14 and 10^29, which overflow `u128` at the high end.
+    pub fn size_log10(&self) -> f64 {
+        self.params.iter().map(|p| (p.len() as f64).log10()).sum()
+    }
+
+    /// Converts normalized coordinates `u ∈ [0,1]^n` to physical values,
+    /// snapping each axis to its nearest grid point.
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::DimensionMismatch`] when `u.len() != self.dim()`.
+    pub fn to_physical(&self, u: &[f64]) -> Result<Vec<f64>, EnvError> {
+        self.check_dim(u)?;
+        Ok(self
+            .params
+            .iter()
+            .zip(u)
+            .map(|(p, &ui)| p.grid[p.index_of_normalized(ui)])
+            .collect())
+    }
+
+    /// Snaps normalized coordinates to the exact normalized position of the
+    /// nearest grid point (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::DimensionMismatch`] when `u.len() != self.dim()`.
+    pub fn snap(&self, u: &[f64]) -> Result<Vec<f64>, EnvError> {
+        self.check_dim(u)?;
+        Ok(self
+            .params
+            .iter()
+            .zip(u)
+            .map(|(p, &ui)| p.normalized_of_index(p.index_of_normalized(ui)))
+            .collect())
+    }
+
+    /// Converts physical values back to normalized coordinates (nearest
+    /// grid point per axis).
+    ///
+    /// # Errors
+    ///
+    /// [`EnvError::DimensionMismatch`] when `x.len() != self.dim()`.
+    pub fn to_normalized(&self, x: &[f64]) -> Result<Vec<f64>, EnvError> {
+        self.check_dim(x)?;
+        Ok(self
+            .params
+            .iter()
+            .zip(x)
+            .map(|(p, &xi)| {
+                let idx = p
+                    .grid
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        (*a - xi).abs().partial_cmp(&(*b - xi).abs()).expect("finite grid")
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                p.normalized_of_index(idx)
+            })
+            .collect())
+    }
+
+    /// Uniform random point (normalized, snapped to the grid).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.params
+            .iter()
+            .map(|p| {
+                let idx = rng.gen_range(0..p.len());
+                p.normalized_of_index(idx)
+            })
+            .collect()
+    }
+
+    /// Random point inside the ∞-norm ball of radius `radius` around
+    /// `center` (normalized coordinates, clamped to `[0,1]`, snapped).
+    pub fn sample_within<R: Rng + ?Sized>(&self, rng: &mut R, center: &[f64], radius: f64) -> Vec<f64> {
+        debug_assert_eq!(center.len(), self.dim());
+        self.params
+            .iter()
+            .zip(center)
+            .map(|(p, &c)| {
+                let lo = (c - radius).max(0.0);
+                let hi = (c + radius).min(1.0);
+                let u = if hi > lo { rng.gen_range(lo..=hi) } else { lo };
+                p.normalized_of_index(p.index_of_normalized(u))
+            })
+            .collect()
+    }
+
+    /// Grid-step size of each axis in normalized units (the smallest
+    /// meaningful trust-region radius).
+    pub fn min_step(&self) -> f64 {
+        self.params
+            .iter()
+            .map(|p| if p.len() <= 1 { 1.0 } else { 1.0 / (p.len() - 1) as f64 })
+            .fold(1.0, f64::min)
+    }
+
+    fn check_dim(&self, v: &[f64]) -> Result<(), EnvError> {
+        if v.len() != self.dim() {
+            return Err(EnvError::DimensionMismatch { expected: self.dim(), actual: v.len() });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn space2() -> DesignSpace {
+        DesignSpace::new(vec![
+            Param::linear("a", 0.0, 10.0, 11).unwrap(),
+            Param::geometric("b", 1.0, 100.0, 3).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn linear_grid_endpoints() {
+        let p = Param::linear("w", 1.0, 5.0, 5).unwrap();
+        assert_eq!(p.grid, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(Param::linear("w", 2.0, 2.0, 1).unwrap().grid, vec![2.0]);
+    }
+
+    #[test]
+    fn geometric_grid() {
+        let p = Param::geometric("c", 1.0, 100.0, 3).unwrap();
+        assert!((p.grid[1] - 10.0).abs() < 1e-9);
+        assert!((p.grid[2] - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_grid_sorts_and_dedups() {
+        let p = Param::explicit("x", vec![3.0, 1.0, 2.0, 1.0]).unwrap();
+        assert_eq!(p.grid, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn invalid_grids_rejected() {
+        assert!(Param::linear("w", 5.0, 1.0, 3).is_err());
+        assert!(Param::linear("w", 1.0, 5.0, 0).is_err());
+        assert!(Param::geometric("w", 0.0, 5.0, 3).is_err());
+        assert!(Param::explicit("w", vec![]).is_err());
+        assert!(Param::explicit("w", vec![f64::NAN]).is_err());
+        assert!(DesignSpace::new(vec![]).is_err());
+    }
+
+    #[test]
+    fn normalization_round_trip() {
+        let s = space2();
+        let u = vec![0.5, 1.0];
+        let x = s.to_physical(&u).unwrap();
+        assert_eq!(x, vec![5.0, 100.0]);
+        let back = s.to_normalized(&x).unwrap();
+        assert_eq!(back, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn snap_is_idempotent() {
+        let s = space2();
+        let u = vec![0.43, 0.77];
+        let snapped = s.snap(&u).unwrap();
+        assert_eq!(s.snap(&snapped).unwrap(), snapped);
+        // 0.43 on an 11-point grid snaps to index 4 → 0.4.
+        assert!((snapped[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let s = space2();
+        assert!(matches!(s.to_physical(&[0.5]), Err(EnvError::DimensionMismatch { .. })));
+        assert!(s.to_normalized(&[1.0, 1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn size_log10_matches_product() {
+        let s = space2();
+        assert!((s.size_log10() - (11.0f64 * 3.0).log10()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_stays_on_grid() {
+        let s = space2();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let u = s.sample(&mut rng);
+            assert_eq!(s.snap(&u).unwrap(), u, "samples are snapped");
+        }
+    }
+
+    #[test]
+    fn sample_within_respects_radius() {
+        let s = space2();
+        let mut rng = StdRng::seed_from_u64(7);
+        let center = vec![0.5, 0.5];
+        for _ in 0..200 {
+            let u = s.sample_within(&mut rng, &center, 0.1);
+            // Snapping can move a point at most half a grid step beyond the
+            // radius.
+            assert!((u[0] - 0.5).abs() <= 0.1 + 0.05 + 1e-12);
+            assert!((0.0..=1.0).contains(&u[0]));
+        }
+    }
+
+    #[test]
+    fn sample_within_clamps_at_bounds() {
+        let s = space2();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let u = s.sample_within(&mut rng, &[0.0, 1.0], 0.2);
+            assert!(u[0] >= 0.0 && u[1] <= 1.0);
+        }
+    }
+
+    #[test]
+    fn min_step() {
+        let s = space2();
+        assert!((s.min_step() - 0.1).abs() < 1e-12, "11-point axis → 0.1");
+    }
+
+    #[test]
+    fn single_point_axis() {
+        let s = DesignSpace::new(vec![Param::linear("fixed", 3.0, 3.0, 1).unwrap()]).unwrap();
+        assert_eq!(s.to_physical(&[0.7]).unwrap(), vec![3.0]);
+        assert_eq!(s.min_step(), 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(s.sample(&mut rng), vec![0.0]);
+    }
+}

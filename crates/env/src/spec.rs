@@ -1,0 +1,144 @@
+//! Specifications — the constraints `C_i = (t_i, r_i)` of the paper's
+//! CSP formulation (eq. 2).
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of a specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecKind {
+    /// Measurement must be at least the target (e.g. gain ≥ 60 dB).
+    AtLeast,
+    /// Measurement must be at most the target (e.g. power ≤ 1 mW).
+    AtMost,
+}
+
+/// One specification on one measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Spec {
+    /// Index of the measurement this spec constrains (into the problem's
+    /// measurement vector).
+    pub measurement: usize,
+    /// Human-readable measurement name (for reports).
+    pub name: String,
+    /// Constraint direction.
+    pub kind: SpecKind,
+    /// Target value.
+    pub target: f64,
+}
+
+impl Spec {
+    /// Creates a `measurement ≥ target` spec.
+    pub fn at_least(measurement: usize, name: &str, target: f64) -> Self {
+        Spec { measurement, name: name.to_string(), kind: SpecKind::AtLeast, target }
+    }
+
+    /// Creates a `measurement ≤ target` spec.
+    pub fn at_most(measurement: usize, name: &str, target: f64) -> Self {
+        Spec { measurement, name: name.to_string(), kind: SpecKind::AtMost, target }
+    }
+
+    /// `true` when measurement `m` satisfies this spec.
+    pub fn satisfied_by(&self, m: f64) -> bool {
+        match self.kind {
+            SpecKind::AtLeast => m >= self.target,
+            SpecKind::AtMost => m <= self.target,
+        }
+    }
+
+    /// Signed slack: positive when satisfied, negative when violated, in
+    /// the measurement's own units.
+    pub fn slack(&self, m: f64) -> f64 {
+        match self.kind {
+            SpecKind::AtLeast => m - self.target,
+            SpecKind::AtMost => self.target - m,
+        }
+    }
+}
+
+/// A set of specifications evaluated against one measurement vector.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpecSet {
+    specs: Vec<Spec>,
+}
+
+impl SpecSet {
+    /// Creates a spec set.
+    pub fn new(specs: Vec<Spec>) -> Self {
+        SpecSet { specs }
+    }
+
+    /// The specs.
+    pub fn specs(&self) -> &[Spec] {
+        &self.specs
+    }
+
+    /// Number of specs.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// `true` when the set is empty (trivially satisfied).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// `true` when every spec is satisfied by the measurement vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a spec's measurement index is out of range.
+    pub fn all_satisfied(&self, measurements: &[f64]) -> bool {
+        self.specs.iter().all(|s| s.satisfied_by(measurements[s.measurement]))
+    }
+
+    /// Names of the specs violated by the measurement vector.
+    pub fn violations(&self, measurements: &[f64]) -> Vec<&str> {
+        self.specs
+            .iter()
+            .filter(|s| !s.satisfied_by(measurements[s.measurement]))
+            .map(|s| s.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions() {
+        let gain = Spec::at_least(0, "gain", 60.0);
+        assert!(gain.satisfied_by(60.0));
+        assert!(gain.satisfied_by(75.0));
+        assert!(!gain.satisfied_by(59.9));
+        let power = Spec::at_most(1, "power", 1e-3);
+        assert!(power.satisfied_by(0.5e-3));
+        assert!(!power.satisfied_by(2e-3));
+    }
+
+    #[test]
+    fn slack_signs() {
+        let gain = Spec::at_least(0, "gain", 60.0);
+        assert_eq!(gain.slack(65.0), 5.0);
+        assert_eq!(gain.slack(55.0), -5.0);
+        let power = Spec::at_most(0, "power", 1.0);
+        assert_eq!(power.slack(0.4), 0.6);
+        assert!(power.slack(1.5) < 0.0);
+    }
+
+    #[test]
+    fn set_checks_all() {
+        let set = SpecSet::new(vec![Spec::at_least(0, "gain", 60.0), Spec::at_most(1, "power", 1.0)]);
+        assert!(set.all_satisfied(&[62.0, 0.9]));
+        assert!(!set.all_satisfied(&[62.0, 1.1]));
+        assert_eq!(set.violations(&[50.0, 2.0]), vec!["gain", "power"]);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn empty_set_trivially_satisfied() {
+        let set = SpecSet::default();
+        assert!(set.is_empty());
+        assert!(set.all_satisfied(&[]));
+    }
+}

@@ -1,0 +1,46 @@
+//! Dense real and complex linear algebra for circuit simulation.
+//!
+//! `asdex-linalg` provides exactly the numerical kernels the rest of the
+//! ASDEX workspace needs, with no external BLAS/LAPACK dependency:
+//!
+//! * [`Complex`] — complex arithmetic for small-signal (AC) analysis,
+//! * [`Matrix`] — a dense, row-major matrix generic over [`Scalar`]
+//!   (`f64` or [`Complex`]),
+//! * [`Lu`] — LU decomposition with partial pivoting, the workhorse behind
+//!   every Newton iteration and AC frequency point in the simulator.
+//!
+//! The matrices that show up in modified nodal analysis (MNA) of analog
+//! blocks are small (tens of nodes), so a straightforward dense `O(n^3)`
+//! factorization with good pivoting is both adequate and dependable.
+//!
+//! # Example
+//!
+//! Solve a 2×2 real system `A x = b`:
+//!
+//! ```
+//! use asdex_linalg::{Matrix, Lu};
+//!
+//! # fn main() -> Result<(), asdex_linalg::SolveError> {
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+//! let lu = Lu::factor(a)?;
+//! let x = lu.solve(&[9.0, 13.0])?;
+//! assert!((x[0] - 1.4).abs() < 1e-12);
+//! assert!((x[1] - 3.4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod lu;
+mod matrix;
+mod scalar;
+mod vector;
+
+pub use complex::Complex;
+pub use lu::{solve, Lu, SolveError};
+pub use matrix::Matrix;
+pub use scalar::Scalar;
+pub use vector::{argmax, dot, norm_inf, norm_l2, scaled_add};

@@ -1,0 +1,314 @@
+//! LU factorization with partial pivoting and the solver built on it.
+
+use crate::{Matrix, Scalar};
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a linear system cannot be solved.
+///
+/// In circuit terms a singular MNA matrix almost always means a floating
+/// node, a loop of ideal voltage sources, or a zero-valued element; the
+/// simulator surfaces this to the caller rather than producing NaNs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A zero (or numerically negligible) pivot was encountered at the
+    /// given elimination step.
+    Singular {
+        /// Elimination step at which the pivot vanished; for MNA systems
+        /// this usually identifies the offending node/branch equation.
+        step: usize,
+    },
+    /// The right-hand side length does not match the matrix dimension.
+    DimensionMismatch {
+        /// Expected length (matrix dimension).
+        expected: usize,
+        /// Provided length.
+        actual: usize,
+    },
+    /// Non-finite values (NaN/∞) appeared in the matrix or the solution.
+    NonFinite,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::NotSquare => write!(f, "matrix is not square"),
+            SolveError::Singular { step } => {
+                write!(f, "matrix is singular (zero pivot at elimination step {step})")
+            }
+            SolveError::DimensionMismatch { expected, actual } => {
+                write!(f, "right-hand side has length {actual}, expected {expected}")
+            }
+            SolveError::NonFinite => write!(f, "non-finite values in linear system"),
+        }
+    }
+}
+
+impl Error for SolveError {}
+
+/// An LU factorization `P A = L U` with partial (row) pivoting.
+///
+/// Factor once, then solve against any number of right-hand sides — the AC
+/// analysis reuses a factorization per frequency point when sweeping
+/// multiple sources.
+///
+/// # Example
+///
+/// ```
+/// use asdex_linalg::{Matrix, Lu};
+///
+/// # fn main() -> Result<(), asdex_linalg::SolveError> {
+/// let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let lu = Lu::factor(a)?;
+/// let x = lu.solve(&[3.0, 5.0])?;
+/// assert!((x[0] - 0.8).abs() < 1e-12 && (x[1] - 1.4).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu<S: Scalar = f64> {
+    /// Combined L (below diagonal, unit diagonal implied) and U (diagonal
+    /// and above).
+    lu: Matrix<S>,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for the determinant.
+    perm_sign: f64,
+}
+
+/// Scaled pivots smaller than this are treated as zero. The test is
+/// dimensionless — each candidate pivot is compared against the largest
+/// entry of its own original row — so matrices whose rows span many orders
+/// of magnitude (MNA systems mixing conductances with `ωL` branch terms)
+/// factor correctly.
+const SCALED_PIVOT_TOL: f64 = 1e-13;
+
+impl<S: Scalar> Lu<S> {
+    /// Factors `a` as `P A = L U`, consuming the matrix. Uses scaled
+    /// partial pivoting (implicit row equilibration) so badly scaled but
+    /// structurally sound systems stay solvable.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::NotSquare`] if `a` is not square.
+    /// * [`SolveError::Singular`] if a pivot underflows its row scale.
+    /// * [`SolveError::NonFinite`] if `a` contains NaN or ∞.
+    pub fn factor(mut a: Matrix<S>) -> Result<Self, SolveError> {
+        if a.rows() != a.cols() {
+            return Err(SolveError::NotSquare);
+        }
+        if !a.is_finite() {
+            return Err(SolveError::NonFinite);
+        }
+        let n = a.rows();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        // Row scales from the original matrix (implicit equilibration).
+        let mut scale = vec![0.0_f64; n];
+        for i in 0..n {
+            for j in 0..n {
+                scale[i] = scale[i].max(a[(i, j)].modulus());
+            }
+            if scale[i] == 0.0 {
+                // An all-zero row is singular outright.
+                return Err(SolveError::Singular { step: i });
+            }
+        }
+
+        for k in 0..n {
+            // Scaled partial pivot: pick the row maximizing |a_ik| / s_i.
+            let mut pivot_row = k;
+            let mut pivot_scaled = a[(k, k)].modulus() / scale[k];
+            for i in (k + 1)..n {
+                let mag = a[(i, k)].modulus() / scale[i];
+                if mag > pivot_scaled {
+                    pivot_scaled = mag;
+                    pivot_row = i;
+                }
+            }
+            if pivot_scaled < SCALED_PIVOT_TOL {
+                return Err(SolveError::Singular { step: k });
+            }
+            if pivot_row != k {
+                a.swap_rows(k, pivot_row);
+                perm.swap(k, pivot_row);
+                scale.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = a[(k, k)];
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] / pivot;
+                a[(i, k)] = factor;
+                if factor == S::zero() {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let akj = a[(k, j)];
+                    a[(i, j)] -= factor * akj;
+                }
+            }
+        }
+        Ok(Lu { lu: a, perm, perm_sign })
+    }
+
+    /// Dimension of the factored system.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A x = b`, returning a fresh solution vector.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolveError::DimensionMismatch`] if `b.len() != self.dim()`.
+    /// * [`SolveError::NonFinite`] if the solution contains NaN/∞.
+    pub fn solve(&self, b: &[S]) -> Result<Vec<S>, SolveError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(SolveError::DimensionMismatch { expected: n, actual: b.len() });
+        }
+        // Apply permutation: y = P b.
+        let mut x: Vec<S> = self.perm.iter().map(|&p| b[p]).collect();
+        // Forward substitution (L has unit diagonal).
+        for i in 1..n {
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * *xj;
+            }
+            x[i] = acc;
+        }
+        // Back substitution with U.
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * *xj;
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(SolveError::NonFinite);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix, as a scalar.
+    pub fn det(&self) -> S {
+        let mut d = S::from_f64(self.perm_sign);
+        for i in 0..self.dim() {
+            d = d * self.lu[(i, i)];
+        }
+        d
+    }
+}
+
+/// Convenience one-shot solve of `A x = b`.
+///
+/// # Errors
+///
+/// Propagates any [`SolveError`] from factorization or substitution.
+pub fn solve<S: Scalar>(a: Matrix<S>, b: &[S]) -> Result<Vec<S>, SolveError> {
+    Lu::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Complex;
+
+    #[test]
+    fn solves_known_2x2() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+        let lu = Lu::factor(a).unwrap();
+        let x = lu.solve(&[9.0, 13.0]).unwrap();
+        assert!((x[0] - 1.4).abs() < 1e-12);
+        assert!((x[1] - 3.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_reports_error() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(Lu::factor(a), Err(SolveError::Singular { .. })));
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Matrix::<f64>::zeros(2, 3);
+        assert_eq!(Lu::factor(a).unwrap_err(), SolveError::NotSquare);
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::<f64>::identity(2);
+        let lu = Lu::factor(a).unwrap();
+        assert_eq!(
+            lu.solve(&[1.0]).unwrap_err(),
+            SolveError::DimensionMismatch { expected: 2, actual: 1 }
+        );
+    }
+
+    #[test]
+    fn nan_input_rejected() {
+        let mut a = Matrix::<f64>::identity(2);
+        a[(0, 1)] = f64::NAN;
+        assert_eq!(Lu::factor(a).unwrap_err(), SolveError::NonFinite);
+    }
+
+    #[test]
+    fn determinant_of_permuted_identity() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factor(a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_matches_closed_form() {
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[2.0, 5.0]]);
+        let lu = Lu::factor(a).unwrap();
+        assert!((lu.det() - 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complex_system_solution() {
+        // (1+j) x = 2 → x = 1 - j
+        let a = Matrix::from_rows(&[&[Complex::new(1.0, 1.0)]]);
+        let x = solve(a, &[Complex::new(2.0, 0.0)]).unwrap();
+        assert!((x[0] - Complex::new(1.0, -1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn residual_small_on_larger_system() {
+        // A deterministic well-conditioned 6x6 matrix.
+        let n = 6;
+        let mut a = Matrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 7 + j * 3) % 11) as f64 + if i == j { 15.0 } else { 0.0 };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 + 1.0).collect();
+        let lu = Lu::factor(a.clone()).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = a.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((ri - bi).abs() < 1e-10, "residual too large");
+        }
+    }
+
+    #[test]
+    fn solve_reusable_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let lu = Lu::factor(a).unwrap();
+        assert_eq!(lu.solve(&[2.0, 4.0]).unwrap(), vec![1.0, 1.0]);
+        assert_eq!(lu.solve(&[4.0, 8.0]).unwrap(), vec![2.0, 2.0]);
+    }
+}

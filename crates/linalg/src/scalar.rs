@@ -1,0 +1,110 @@
+//! The [`Scalar`] abstraction that lets MNA assembly and LU factorization be
+//! written once for both real (DC, transient) and complex (AC) analyses.
+
+use crate::Complex;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Field-like scalar used by [`Matrix`](crate::Matrix) and
+/// [`Lu`](crate::Lu).
+///
+/// Implemented for `f64` and [`Complex`]. The trait is sealed in spirit —
+/// downstream code is expected to use the two provided implementations —
+/// but is left open so tests can use wrapper types if ever needed.
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Magnitude used for pivot selection and convergence checks.
+    fn modulus(self) -> f64;
+    /// Lift a real number into the scalar field.
+    fn from_f64(x: f64) -> Self;
+    /// `true` when all components are finite.
+    fn is_finite(self) -> bool;
+}
+
+impl Scalar for f64 {
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl Scalar for Complex {
+    #[inline]
+    fn zero() -> Self {
+        Complex::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        Complex::ONE
+    }
+    #[inline]
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        Complex::from_re(x)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        Complex::is_finite(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<S: Scalar>() {
+        let two = S::from_f64(2.0);
+        assert_eq!(two + S::zero(), two);
+        assert_eq!(two * S::one(), two);
+        assert!((two.modulus() - 2.0).abs() < 1e-15);
+        assert!(two.is_finite());
+        assert!(!S::from_f64(f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn f64_is_a_scalar() {
+        roundtrip::<f64>();
+    }
+
+    #[test]
+    fn complex_is_a_scalar() {
+        roundtrip::<Complex>();
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(Scalar::modulus(z), 5.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Small vector utilities shared across the workspace.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert_eq!(asdex_linalg::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+///
+/// ```
+/// assert_eq!(asdex_linalg::norm_l2(&[3.0, 4.0]), 5.0);
+/// ```
+pub fn norm_l2(v: &[f64]) -> f64 {
+    dot(v, v).sqrt()
+}
+
+/// Infinity (max-abs) norm; `0.0` for an empty slice.
+///
+/// ```
+/// assert_eq!(asdex_linalg::norm_inf(&[1.0, -7.0, 3.0]), 7.0);
+/// ```
+pub fn norm_inf(v: &[f64]) -> f64 {
+    v.iter().fold(0.0, |m, x| m.max(x.abs()))
+}
+
+/// In-place `y += alpha * x` (axpy).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn scaled_add(y: &mut [f64], alpha: f64, x: &[f64]) {
+    assert_eq!(y.len(), x.len(), "scaled_add length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Index of the maximum value, or `None` for an empty slice.
+///
+/// Ties resolve to the earliest index; NaN entries are skipped.
+///
+/// ```
+/// assert_eq!(asdex_linalg::argmax(&[0.1, 0.9, 0.5]), Some(1));
+/// assert_eq!(asdex_linalg::argmax(&[]), None);
+/// ```
+pub fn argmax(v: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in v.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, bx)) if bx >= x => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norms() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(norm_l2(&[3.0, 4.0]), 5.0);
+        assert_eq!(norm_inf(&[-9.0, 2.0]), 9.0);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn axpy() {
+        let mut y = vec![1.0, 1.0];
+        scaled_add(&mut y, 2.0, &[3.0, -1.0]);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn argmax_cases() {
+        assert_eq!(argmax(&[1.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0), "ties resolve to first");
+        assert_eq!(argmax(&[f64::NAN, 1.0]), Some(1), "NaN skipped");
+        assert_eq!(argmax(&[f64::NAN]), None);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based tests for the LU solver and complex arithmetic.
+
+use asdex_linalg::{dot, norm_inf, Complex, Lu, Matrix};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+/// A strategy producing well-conditioned (diagonally dominant) matrices.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix<f64>> {
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = vals[i * n + j];
+            }
+            // Diagonal dominance guarantees non-singularity.
+            m[(i, i)] = (n as f64) + 2.0 + vals[i * n + i].abs();
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn lu_solve_round_trips(n in 1usize..8, seed in 0u64..1000) {
+        // Build deterministic rhs from the seed so shrinking is stable.
+        let b: Vec<f64> = (0..n).map(|i| ((seed as f64) * 0.01 + i as f64).sin()).collect();
+        let m = dominant_matrix(n).new_tree(&mut proptest::test_runner::TestRunner::deterministic())
+            .unwrap().current();
+        let lu = Lu::factor(m.clone()).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = m.mul_vec(&x);
+        let err = r.iter().zip(&b).map(|(a, c)| (a - c).abs()).fold(0.0, f64::max);
+        prop_assert!(err < 1e-9, "residual {err}");
+    }
+
+    #[test]
+    fn lu_residual_random_matrices(rows in dominant_matrix(5), b in prop::collection::vec(-10.0f64..10.0, 5)) {
+        let lu = Lu::factor(rows.clone()).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = rows.mul_vec(&x);
+        let err = r.iter().zip(&b).map(|(a, c)| (a - c).abs()).fold(0.0, f64::max);
+        prop_assert!(err < 1e-9, "residual {err}");
+    }
+
+    #[test]
+    fn determinant_sign_consistent_with_solvability(m in dominant_matrix(4)) {
+        let lu = Lu::factor(m).unwrap();
+        prop_assert!(lu.det().abs() > 0.0);
+    }
+
+    #[test]
+    fn complex_field_axioms(ar in -5.0f64..5.0, ai in -5.0f64..5.0, br in -5.0f64..5.0, bi in -5.0f64..5.0) {
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        // Commutativity.
+        prop_assert!((a * b - b * a).abs() < 1e-12);
+        prop_assert!((a + b - (b + a)).abs() < 1e-12);
+        // |ab| = |a||b|
+        prop_assert!(((a * b).abs() - a.abs() * b.abs()).abs() < 1e-9);
+        // Division inverts multiplication when b != 0.
+        if b.abs() > 1e-6 {
+            prop_assert!(((a / b) * b - a).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dot_is_bilinear(v in prop::collection::vec(-3.0f64..3.0, 6), k in -2.0f64..2.0) {
+        let w: Vec<f64> = v.iter().rev().cloned().collect();
+        let kv: Vec<f64> = v.iter().map(|x| k * x).collect();
+        prop_assert!((dot(&kv, &w) - k * dot(&v, &w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_inf_bounds_entries(v in prop::collection::vec(-100.0f64..100.0, 1..20)) {
+        let n = norm_inf(&v);
+        for x in &v {
+            prop_assert!(x.abs() <= n + 1e-12);
+        }
+        prop_assert!(v.iter().any(|x| (x.abs() - n).abs() < 1e-12));
+    }
+}

@@ -1,0 +1,75 @@
+//! Activation functions.
+
+use serde::{Deserialize, Serialize};
+
+/// Element-wise activation applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Rectified linear unit: `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Identity (linear output layer).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    #[inline]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative of the activation, expressed in terms of the
+    /// **pre-activation** value `x`.
+    #[inline]
+    pub fn derivative(self, x: f64) -> f64 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_shape() {
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(2.0), 1.0);
+        assert_eq!(Activation::Relu.derivative(-2.0), 0.0);
+    }
+
+    #[test]
+    fn tanh_derivative_matches_fd() {
+        for &x in &[-2.0, -0.3, 0.0, 0.7, 1.9] {
+            let d = Activation::Tanh.derivative(x);
+            let h = 1e-6;
+            let fd = (Activation::Tanh.apply(x + h) - Activation::Tanh.apply(x - h)) / (2.0 * h);
+            assert!((d - fd).abs() < 1e-8, "x={x}");
+        }
+    }
+
+    #[test]
+    fn identity_passthrough() {
+        assert_eq!(Activation::Identity.apply(-7.5), -7.5);
+        assert_eq!(Activation::Identity.derivative(123.0), 1.0);
+    }
+}

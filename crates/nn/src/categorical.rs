@@ -1,0 +1,203 @@
+//! Categorical (softmax) distribution utilities for the model-free
+//! baselines' policy heads: sampling, log-probabilities, entropy, KL, and
+//! the gradients policy-gradient losses need.
+
+use rand::Rng;
+
+/// Numerically stable softmax.
+///
+/// ```
+/// let p = asdex_nn::softmax(&[1.0, 1.0]);
+/// assert!((p[0] - 0.5).abs() < 1e-12);
+/// ```
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / sum).collect()
+}
+
+/// Numerically stable log-softmax.
+pub fn log_softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let lse = logits.iter().map(|&l| (l - max).exp()).sum::<f64>().ln() + max;
+    logits.iter().map(|&l| l - lse).collect()
+}
+
+/// Samples an index from the categorical distribution over `logits`.
+pub fn sample_categorical<R: Rng + ?Sized>(logits: &[f64], rng: &mut R) -> usize {
+    let p = softmax(logits);
+    let u: f64 = rng.gen();
+    let mut acc = 0.0;
+    for (i, pi) in p.iter().enumerate() {
+        acc += pi;
+        if u <= acc {
+            return i;
+        }
+    }
+    p.len() - 1
+}
+
+/// Entropy of the categorical distribution over `logits` \[nats\].
+pub fn entropy(logits: &[f64]) -> f64 {
+    let p = softmax(logits);
+    let logp = log_softmax(logits);
+    -p.iter().zip(&logp).map(|(pi, li)| pi * li).sum::<f64>()
+}
+
+/// `KL(p_old ‖ p_new)` between two categorical distributions given by
+/// logits.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn kl_divergence(old_logits: &[f64], new_logits: &[f64]) -> f64 {
+    assert_eq!(old_logits.len(), new_logits.len(), "kl dimension mismatch");
+    let p_old = softmax(old_logits);
+    let lp_old = log_softmax(old_logits);
+    let lp_new = log_softmax(new_logits);
+    p_old
+        .iter()
+        .zip(lp_old.iter().zip(&lp_new))
+        .map(|(p, (lo, ln))| p * (lo - ln))
+        .sum()
+}
+
+/// Gradient of `log π(action)` w.r.t. the logits: `1{i=a} − p_i`.
+pub fn log_prob_grad(logits: &[f64], action: usize) -> Vec<f64> {
+    let p = softmax(logits);
+    p.iter()
+        .enumerate()
+        .map(|(i, pi)| if i == action { 1.0 - pi } else { -pi })
+        .collect()
+}
+
+/// Gradient of the entropy w.r.t. the logits:
+/// `∂H/∂z_i = −p_i (log p_i + H)`.
+pub fn entropy_grad(logits: &[f64]) -> Vec<f64> {
+    let p = softmax(logits);
+    let logp = log_softmax(logits);
+    let h = entropy(logits);
+    p.iter().zip(&logp).map(|(pi, li)| -pi * (li + h)).collect()
+}
+
+/// Gradient of `KL(p_old ‖ p_new)` w.r.t. the **new** logits:
+/// `∂KL/∂z_i = p_new_i − p_old_i`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn kl_grad_new(old_logits: &[f64], new_logits: &[f64]) -> Vec<f64> {
+    assert_eq!(old_logits.len(), new_logits.len(), "kl dimension mismatch");
+    let p_old = softmax(old_logits);
+    let p_new = softmax(new_logits);
+    p_new.iter().zip(&p_old).map(|(n, o)| n - o).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let huge = softmax(&[1e6, 0.0]);
+        assert!(huge[0].is_finite() && (huge[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_softmax_consistent() {
+        let logits = [0.3, -1.2, 2.0];
+        let p = softmax(&logits);
+        let lp = log_softmax(&logits);
+        for (pi, li) in p.iter().zip(&lp) {
+            assert!((pi.ln() - li).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn uniform_entropy_is_log_n() {
+        let h = entropy(&[0.0, 0.0, 0.0, 0.0]);
+        assert!((h - 4f64.ln()).abs() < 1e-12);
+        // Peaked distribution has near-zero entropy.
+        assert!(entropy(&[100.0, 0.0]) < 1e-10);
+    }
+
+    #[test]
+    fn kl_properties() {
+        let a = [0.5, -0.3, 1.0];
+        assert!(kl_divergence(&a, &a).abs() < 1e-12, "KL(p‖p) = 0");
+        let b = [1.5, 0.0, -1.0];
+        assert!(kl_divergence(&a, &b) > 0.0, "KL > 0 for p != q");
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let logits = [0.0, 2.0_f64.ln()]; // p = [1/3, 2/3]
+        let n = 30_000;
+        let ones = (0..n).filter(|_| sample_categorical(&logits, &mut rng) == 1).count();
+        let frac = ones as f64 / n as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.02, "sampled {frac}");
+    }
+
+    #[test]
+    fn log_prob_grad_matches_fd() {
+        let logits = [0.4, -0.9, 1.3];
+        let action = 1;
+        let g = log_prob_grad(&logits, action);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut up = logits;
+            up[i] += h;
+            let mut dn = logits;
+            dn[i] -= h;
+            let fd = (log_softmax(&up)[action] - log_softmax(&dn)[action]) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-8, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn entropy_grad_matches_fd() {
+        let logits = [0.2, -0.5, 0.9, 0.0];
+        let g = entropy_grad(&logits);
+        let h = 1e-6;
+        for i in 0..4 {
+            let mut up = logits;
+            up[i] += h;
+            let mut dn = logits;
+            dn[i] -= h;
+            let fd = (entropy(&up) - entropy(&dn)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-8, "logit {i}");
+        }
+    }
+
+    #[test]
+    fn kl_grad_matches_fd() {
+        let old = [0.1, 0.7, -0.2];
+        let new = [0.3, 0.2, 0.5];
+        let g = kl_grad_new(&old, &new);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut up = new;
+            up[i] += h;
+            let mut dn = new;
+            dn[i] -= h;
+            let fd = (kl_divergence(&old, &up) - kl_divergence(&old, &dn)) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-8, "logit {i}");
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! Feed-forward networks with explicit backpropagation.
+//!
+//! [`Mlp`] is the workhorse behind both the paper's SPICE approximator
+//! `f_NN(X; θ)` (a small 3-layer regression net, §IV-B) and the policy /
+//! value heads of the model-free baselines. It exposes:
+//!
+//! * [`Mlp::forward`] — plain inference,
+//! * [`Mlp::forward_trace`] + [`Mlp::backward`] — gradients w.r.t. an
+//!   arbitrary output gradient (so callers implement any loss),
+//! * [`Mlp::flat_params`] / [`Mlp::set_flat_params`] — the flattened
+//!   parameter view TRPO's line search needs.
+
+use crate::activation::Activation;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One dense layer: `y = act(W x + b)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Dense {
+    /// Row-major `out × in` weights.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    n_in: usize,
+    n_out: usize,
+    act: Activation,
+}
+
+impl Dense {
+    fn new<R: Rng + ?Sized>(n_in: usize, n_out: usize, act: Activation, rng: &mut R) -> Self {
+        // Xavier/Glorot uniform init.
+        let limit = (6.0 / (n_in + n_out) as f64).sqrt();
+        let w = (0..n_in * n_out).map(|_| rng.gen_range(-limit..limit)).collect();
+        Dense { w, b: vec![0.0; n_out], n_in, n_out, act }
+    }
+
+    fn forward(&self, x: &[f64], pre: &mut Vec<f64>, out: &mut Vec<f64>) {
+        pre.clear();
+        out.clear();
+        for o in 0..self.n_out {
+            let row = &self.w[o * self.n_in..(o + 1) * self.n_in];
+            let z: f64 = row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>() + self.b[o];
+            pre.push(z);
+            out.push(self.act.apply(z));
+        }
+    }
+}
+
+/// Gradients of an [`Mlp`] with the same shape as its parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gradients {
+    /// Flattened gradient in [`Mlp::flat_params`] order.
+    flat: Vec<f64>,
+    /// Gradient of the loss w.r.t. the network input.
+    pub input_grad: Vec<f64>,
+}
+
+impl Gradients {
+    /// The flattened gradient vector (same layout as
+    /// [`Mlp::flat_params`]).
+    pub fn flat(&self) -> &[f64] {
+        &self.flat
+    }
+
+    /// Scales the gradient in place.
+    pub fn scale(&mut self, k: f64) {
+        for g in &mut self.flat {
+            *g *= k;
+        }
+    }
+
+    /// Accumulates another gradient (`self += other`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&mut self, other: &Gradients) {
+        assert_eq!(self.flat.len(), other.flat.len());
+        for (a, b) in self.flat.iter_mut().zip(&other.flat) {
+            *a += b;
+        }
+    }
+}
+
+/// Cached activations from [`Mlp::forward_trace`], consumed by
+/// [`Mlp::backward`].
+#[derive(Debug, Clone)]
+pub struct Trace {
+    input: Vec<f64>,
+    /// Pre-activations per layer.
+    pres: Vec<Vec<f64>>,
+    /// Post-activations per layer.
+    outs: Vec<Vec<f64>>,
+}
+
+impl Trace {
+    /// The network output this trace recorded.
+    pub fn output(&self) -> &[f64] {
+        self.outs.last().expect("at least one layer")
+    }
+}
+
+/// A multilayer perceptron.
+///
+/// # Example
+///
+/// Train a tiny net to fit `y = 2x` with plain SGD on MSE:
+///
+/// ```
+/// use asdex_nn::{Mlp, Activation, mse_output_grad};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut net = Mlp::new(&[1, 8, 1], Activation::Tanh, &mut rng);
+/// for _ in 0..500 {
+///     for &x in &[-1.0, -0.5, 0.0, 0.5, 1.0f64] {
+///         let trace = net.forward_trace(&[x]);
+///         let grad_out = mse_output_grad(trace.output(), &[2.0 * x]);
+///         let grads = net.backward(&trace, &grad_out);
+///         net.apply_flat_delta(grads.flat(), -0.05);
+///     }
+/// }
+/// let y = net.forward(&[0.25]);
+/// assert!((y[0] - 0.5).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Creates a network with the given layer sizes; all hidden layers use
+    /// `hidden_act`, the output layer is linear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two sizes are given.
+    pub fn new<R: Rng + ?Sized>(sizes: &[usize], hidden_act: Activation, rng: &mut R) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        let mut layers = Vec::with_capacity(sizes.len() - 1);
+        for (k, pair) in sizes.windows(2).enumerate() {
+            let act = if k + 2 == sizes.len() { Activation::Identity } else { hidden_act };
+            layers.push(Dense::new(pair[0], pair[1], act, rng));
+        }
+        Mlp { layers }
+    }
+
+    /// Input dimension.
+    pub fn n_in(&self) -> usize {
+        self.layers.first().expect("nonempty").n_in
+    }
+
+    /// Output dimension.
+    pub fn n_out(&self) -> usize {
+        self.layers.last().expect("nonempty").n_out
+    }
+
+    /// Plain forward pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.n_in()`.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n_in(), "input dimension mismatch");
+        let mut cur = x.to_vec();
+        let mut pre = Vec::new();
+        let mut out = Vec::new();
+        for layer in &self.layers {
+            layer.forward(&cur, &mut pre, &mut out);
+            std::mem::swap(&mut cur, &mut out);
+        }
+        cur
+    }
+
+    /// Forward pass that records the activations needed for
+    /// [`Mlp::backward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.n_in()`.
+    pub fn forward_trace(&self, x: &[f64]) -> Trace {
+        assert_eq!(x.len(), self.n_in(), "input dimension mismatch");
+        let mut pres = Vec::with_capacity(self.layers.len());
+        let mut outs = Vec::with_capacity(self.layers.len());
+        let mut cur = x.to_vec();
+        for layer in &self.layers {
+            let mut pre = Vec::new();
+            let mut out = Vec::new();
+            layer.forward(&cur, &mut pre, &mut out);
+            cur = out.clone();
+            pres.push(pre);
+            outs.push(out);
+        }
+        Trace { input: x.to_vec(), pres, outs }
+    }
+
+    /// Backpropagates `dL/dy` (gradient of any scalar loss w.r.t. the
+    /// network output) through a recorded trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output_grad.len() != self.n_out()`.
+    pub fn backward(&self, trace: &Trace, output_grad: &[f64]) -> Gradients {
+        assert_eq!(output_grad.len(), self.n_out(), "output gradient dimension mismatch");
+        let mut flat = vec![0.0; self.param_count()];
+        // Walk layers backwards, maintaining delta = dL/d(pre-activation).
+        let mut delta: Vec<f64> = Vec::new();
+        let mut offsets = self.layer_offsets();
+        offsets.reverse();
+
+        let mut upstream = output_grad.to_vec();
+        for (rev_k, layer) in self.layers.iter().enumerate().rev() {
+            let pre = &trace.pres[rev_k];
+            delta.clear();
+            delta.extend(
+                upstream
+                    .iter()
+                    .zip(pre)
+                    .map(|(u, &z)| u * layer.act.derivative(z)),
+            );
+            let input: &[f64] = if rev_k == 0 { &trace.input } else { &trace.outs[rev_k - 1] };
+            let off = offsets[self.layers.len() - 1 - rev_k];
+            // dW[o][i] = delta[o] * input[i]; db[o] = delta[o].
+            for o in 0..layer.n_out {
+                let base = off + o * layer.n_in;
+                for (i, &xi) in input.iter().enumerate() {
+                    flat[base + i] += delta[o] * xi;
+                }
+                flat[off + layer.n_out * layer.n_in + o] += delta[o];
+            }
+            // Upstream for the previous layer: W^T delta.
+            let mut next_up = vec![0.0; layer.n_in];
+            for o in 0..layer.n_out {
+                let row = &layer.w[o * layer.n_in..(o + 1) * layer.n_in];
+                for (i, &wi) in row.iter().enumerate() {
+                    next_up[i] += wi * delta[o];
+                }
+            }
+            upstream = next_up;
+        }
+        Gradients { flat, input_grad: upstream }
+    }
+
+    /// Total number of scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.len() + l.b.len()).sum()
+    }
+
+    /// Flattened parameters: per layer, weights row-major then biases.
+    pub fn flat_params(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(&l.w);
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flattened vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.param_count()`.
+    pub fn set_flat_params(&mut self, params: &[f64]) {
+        assert_eq!(params.len(), self.param_count(), "parameter count mismatch");
+        let mut k = 0;
+        for l in &mut self.layers {
+            let nw = l.w.len();
+            l.w.copy_from_slice(&params[k..k + nw]);
+            k += nw;
+            let nb = l.b.len();
+            l.b.copy_from_slice(&params[k..k + nb]);
+            k += nb;
+        }
+    }
+
+    /// In-place `θ += alpha · delta` on the flattened parameters — the
+    /// primitive behind SGD and line searches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta.len() != self.param_count()`.
+    pub fn apply_flat_delta(&mut self, delta: &[f64], alpha: f64) {
+        assert_eq!(delta.len(), self.param_count(), "parameter count mismatch");
+        let mut k = 0;
+        for l in &mut self.layers {
+            for w in &mut l.w {
+                *w += alpha * delta[k];
+                k += 1;
+            }
+            for b in &mut l.b {
+                *b += alpha * delta[k];
+                k += 1;
+            }
+        }
+    }
+
+    /// Starting offset of each layer's parameters in the flat layout.
+    fn layer_offsets(&self) -> Vec<usize> {
+        let mut offs = Vec::with_capacity(self.layers.len());
+        let mut k = 0;
+        for l in &self.layers {
+            offs.push(k);
+            k += l.w.len() + l.b.len();
+        }
+        offs
+    }
+}
+
+/// Gradient of mean-squared error `L = Σ (y − t)² / n` w.r.t. `y`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mse_output_grad(y: &[f64], target: &[f64]) -> Vec<f64> {
+    assert_eq!(y.len(), target.len(), "mse dimension mismatch");
+    let n = y.len() as f64;
+    y.iter().zip(target).map(|(yi, ti)| 2.0 * (yi - ti) / n).collect()
+}
+
+/// Mean-squared error between a prediction and a target.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mse(y: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(y.len(), target.len(), "mse dimension mismatch");
+    let n = y.len() as f64;
+    y.iter().zip(target).map(|(yi, ti)| (yi - ti) * (yi - ti)).sum::<f64>() / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn shapes() {
+        let net = Mlp::new(&[3, 5, 2], Activation::Relu, &mut rng());
+        assert_eq!(net.n_in(), 3);
+        assert_eq!(net.n_out(), 2);
+        assert_eq!(net.param_count(), 3 * 5 + 5 + 5 * 2 + 2);
+        assert_eq!(net.forward(&[0.1, 0.2, 0.3]).len(), 2);
+    }
+
+    #[test]
+    fn flat_params_round_trip() {
+        let mut net = Mlp::new(&[2, 4, 1], Activation::Tanh, &mut rng());
+        let p = net.flat_params();
+        let y0 = net.forward(&[0.3, -0.4]);
+        let mut p2 = p.clone();
+        for v in &mut p2 {
+            *v += 1.0;
+        }
+        net.set_flat_params(&p2);
+        assert_ne!(net.forward(&[0.3, -0.4]), y0);
+        net.set_flat_params(&p);
+        assert_eq!(net.forward(&[0.3, -0.4]), y0);
+    }
+
+    #[test]
+    fn gradient_check_against_finite_differences() {
+        let mut net = Mlp::new(&[2, 4, 3], Activation::Tanh, &mut rng());
+        let x = [0.3, -0.7];
+        let target = [0.1, -0.2, 0.4];
+        let trace = net.forward_trace(&x);
+        let grads = net.backward(&trace, &mse_output_grad(trace.output(), &target));
+
+        let p0 = net.flat_params();
+        let h = 1e-6;
+        for k in (0..p0.len()).step_by(3) {
+            let mut p = p0.clone();
+            p[k] += h;
+            net.set_flat_params(&p);
+            let up = mse(&net.forward(&x), &target);
+            p[k] -= 2.0 * h;
+            net.set_flat_params(&p);
+            let down = mse(&net.forward(&x), &target);
+            let fd = (up - down) / (2.0 * h);
+            assert!(
+                (grads.flat()[k] - fd).abs() < 1e-6 * (1.0 + fd.abs()),
+                "param {k}: analytic {} vs fd {fd}",
+                grads.flat()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let net = Mlp::new(&[3, 6, 1], Activation::Tanh, &mut rng());
+        let x = [0.2, 0.5, -0.1];
+        let trace = net.forward_trace(&x);
+        let grads = net.backward(&trace, &[1.0]);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += h;
+            let up = net.forward(&xp)[0];
+            xp[i] -= 2.0 * h;
+            let down = net.forward(&xp)[0];
+            let fd = (up - down) / (2.0 * h);
+            assert!((grads.input_grad[i] - fd).abs() < 1e-7, "input {i}");
+        }
+    }
+
+    #[test]
+    fn relu_gradient_check() {
+        let mut net = Mlp::new(&[2, 8, 1], Activation::Relu, &mut rng());
+        let x = [0.9, -0.4];
+        let target = [0.3];
+        let trace = net.forward_trace(&x);
+        let grads = net.backward(&trace, &mse_output_grad(trace.output(), &target));
+        let p0 = net.flat_params();
+        let h = 1e-7;
+        for k in (0..p0.len()).step_by(5) {
+            let mut p = p0.clone();
+            p[k] += h;
+            net.set_flat_params(&p);
+            let up = mse(&net.forward(&x), &target);
+            net.set_flat_params(&p0);
+            let base = mse(&net.forward(&x), &target);
+            let fd = (up - base) / h;
+            assert!(
+                (grads.flat()[k] - fd).abs() < 1e-4 * (1.0 + fd.abs()),
+                "param {k}: {} vs {fd}",
+                grads.flat()[k]
+            );
+        }
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let mut rng = rng();
+        let mut net = Mlp::new(&[1, 16, 1], Activation::Tanh, &mut rng);
+        for _ in 0..2000 {
+            let x = rng.gen_range(-1.0..1.0);
+            let trace = net.forward_trace(&[x]);
+            let g = net.backward(&trace, &mse_output_grad(trace.output(), &[0.5 * x + 0.2]));
+            net.apply_flat_delta(g.flat(), -0.05);
+        }
+        for &x in &[-0.8, -0.2, 0.0, 0.4, 0.9] {
+            let y = net.forward(&[x])[0];
+            assert!((y - (0.5 * x + 0.2)).abs() < 0.05, "x={x}, y={y}");
+        }
+    }
+
+    #[test]
+    fn gradients_accumulate_and_scale() {
+        let net = Mlp::new(&[1, 2, 1], Activation::Tanh, &mut rng());
+        let t = net.forward_trace(&[0.5]);
+        let mut g1 = net.backward(&t, &[1.0]);
+        let g2 = net.backward(&t, &[1.0]);
+        g1.add(&g2);
+        g1.scale(0.5);
+        for (a, b) in g1.flat().iter().zip(g2.flat()) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let net = Mlp::new(&[2, 3, 1], Activation::Relu, &mut rng());
+        let json = serde_json::to_string(&net).expect("serialize");
+        let back: Mlp = serde_json::from_str(&json).expect("deserialize");
+        // JSON may drop the last ULP; outputs must agree to fp precision.
+        for (a, b) in back.flat_params().iter().zip(net.flat_params()) {
+            assert!((a - b).abs() <= 1e-15 * (1.0 + b.abs()));
+        }
+        let ya = back.forward(&[0.1, 0.2]);
+        let yb = net.forward(&[0.1, 0.2]);
+        assert!((ya[0] - yb[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_size_panics() {
+        let net = Mlp::new(&[2, 2], Activation::Relu, &mut rng());
+        let _ = net.forward(&[1.0]);
+    }
+}

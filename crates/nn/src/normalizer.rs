@@ -1,0 +1,157 @@
+//! Input/output standardization for regression targets.
+//!
+//! The SPICE approximator trains on measurements spanning wildly different
+//! units (dB, Hz, W, m²); fitting raw targets would let the largest unit
+//! dominate the MSE. [`Normalizer`] maintains per-component mean/std over
+//! the points seen so far and maps both ways.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-component standardizer: `z = (x − mean) / std`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    dim: usize,
+    count: usize,
+    mean: Vec<f64>,
+    /// Running sum of squared deviations (Welford).
+    m2: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Creates a standardizer for `dim`-component vectors.
+    pub fn new(dim: usize) -> Self {
+        Normalizer { dim, count: 0, mean: vec![0.0; dim], m2: vec![0.0; dim] }
+    }
+
+    /// Number of observed vectors.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Dimension of the vectors.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Observes one vector (Welford update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn observe(&mut self, x: &[f64]) {
+        assert_eq!(x.len(), self.dim, "normalizer dimension mismatch");
+        self.count += 1;
+        for i in 0..self.dim {
+            let d = x[i] - self.mean[i];
+            self.mean[i] += d / self.count as f64;
+            self.m2[i] += d * (x[i] - self.mean[i]);
+        }
+    }
+
+    /// Current per-component standard deviation (1.0 until two samples
+    /// exist or when a component is constant).
+    pub fn std(&self) -> Vec<f64> {
+        (0..self.dim)
+            .map(|i| {
+                if self.count < 2 {
+                    1.0
+                } else {
+                    let var = self.m2[i] / (self.count - 1) as f64;
+                    if var > 1e-24 {
+                        var.sqrt()
+                    } else {
+                        1.0
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Current per-component mean.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// Standardizes a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "normalizer dimension mismatch");
+        let std = self.std();
+        x.iter().enumerate().map(|(i, &v)| (v - self.mean[i]) / std[i]).collect()
+    }
+
+    /// Inverts [`Normalizer::normalize`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != self.dim()`.
+    pub fn denormalize(&self, z: &[f64]) -> Vec<f64> {
+        assert_eq!(z.len(), self.dim, "normalizer dimension mismatch");
+        let std = self.std();
+        z.iter().enumerate().map(|(i, &v)| v * std[i] + self.mean[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_match_closed_form() {
+        let mut n = Normalizer::new(2);
+        let data = [[1.0, 100.0], [3.0, 200.0], [5.0, 300.0]];
+        for d in &data {
+            n.observe(d);
+        }
+        assert_eq!(n.count(), 3);
+        assert!((n.mean()[0] - 3.0).abs() < 1e-12);
+        assert!((n.mean()[1] - 200.0).abs() < 1e-12);
+        let s = n.std();
+        assert!((s[0] - 2.0).abs() < 1e-12);
+        assert!((s[1] - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut n = Normalizer::new(3);
+        for k in 0..10 {
+            n.observe(&[k as f64, 2.0 * k as f64 + 1.0, -0.5 * k as f64]);
+        }
+        let x = [4.2, -1.0, 7.0];
+        let z = n.normalize(&x);
+        let back = n.denormalize(&z);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_cases_fall_back_to_unit_scale() {
+        let mut n = Normalizer::new(1);
+        assert_eq!(n.std(), vec![1.0], "no data");
+        n.observe(&[5.0]);
+        assert_eq!(n.std(), vec![1.0], "one sample");
+        n.observe(&[5.0]);
+        n.observe(&[5.0]);
+        assert_eq!(n.std(), vec![1.0], "constant component");
+        // Normalization of the constant just centers it.
+        assert_eq!(n.normalize(&[5.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn standardized_data_has_unit_stats() {
+        let mut n = Normalizer::new(1);
+        let data: Vec<f64> = (0..100).map(|k| (k as f64 * 0.37).sin() * 13.0 + 5.0).collect();
+        for &d in &data {
+            n.observe(&[d]);
+        }
+        let zs: Vec<f64> = data.iter().map(|&d| n.normalize(&[d])[0]).collect();
+        let mean = zs.iter().sum::<f64>() / zs.len() as f64;
+        let var = zs.iter().map(|z| (z - mean) * (z - mean)).sum::<f64>() / (zs.len() - 1) as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+}

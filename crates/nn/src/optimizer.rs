@@ -1,0 +1,160 @@
+//! First-order optimizers operating on flattened parameter vectors.
+
+use crate::mlp::Mlp;
+use serde::{Deserialize, Serialize};
+
+/// An optimizer that turns a flat gradient into a flat parameter update.
+pub trait Optimizer {
+    /// Computes the update for `grad` and applies it to `net`
+    /// (minimization: steps **against** the gradient).
+    fn step(&mut self, net: &mut Mlp, grad: &[f64]);
+}
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f64,
+    velocity: Vec<f64>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    pub fn new(lr: f64) -> Self {
+        Sgd { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// Creates SGD with momentum.
+    pub fn with_momentum(lr: f64, momentum: f64) -> Self {
+        Sgd { lr, momentum, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, net: &mut Mlp, grad: &[f64]) {
+        if self.velocity.len() != grad.len() {
+            self.velocity = vec![0.0; grad.len()];
+        }
+        let mut update = vec![0.0; grad.len()];
+        for ((v, g), u) in self.velocity.iter_mut().zip(grad).zip(&mut update) {
+            *v = self.momentum * *v - self.lr * g;
+            *u = *v;
+        }
+        net.apply_flat_delta(&update, 1.0);
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    t: u64,
+}
+
+impl Adam {
+    /// Creates Adam with standard hyperparameters.
+    pub fn new(lr: f64) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+
+    /// Resets the moment estimates (e.g. when the training distribution
+    /// shifts after a trust-region restart).
+    pub fn reset(&mut self) {
+        self.m.clear();
+        self.v.clear();
+        self.t = 0;
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, net: &mut Mlp, grad: &[f64]) {
+        if self.m.len() != grad.len() {
+            self.m = vec![0.0; grad.len()];
+            self.v = vec![0.0; grad.len()];
+            self.t = 0;
+        }
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        let mut update = vec![0.0; grad.len()];
+        for i in 0..grad.len() {
+            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
+            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+            let mhat = self.m[i] / b1t;
+            let vhat = self.v[i] / b2t;
+            update[i] = -self.lr * mhat / (vhat.sqrt() + self.eps);
+        }
+        net.apply_flat_delta(&update, 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::mlp::{mse, mse_output_grad};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn train<O: Optimizer>(opt: &mut O, epochs: usize) -> f64 {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Mlp::new(&[1, 12, 1], Activation::Tanh, &mut rng);
+        for _ in 0..epochs {
+            let x = rng.gen_range(-1.0..1.0);
+            let target = [x * x];
+            let trace = net.forward_trace(&[x]);
+            let g = net.backward(&trace, &mse_output_grad(trace.output(), &target));
+            opt.step(&mut net, g.flat());
+        }
+        let mut loss = 0.0;
+        for k in 0..20 {
+            let x = -1.0 + 2.0 * k as f64 / 19.0;
+            loss += mse(&net.forward(&[x]), &[x * x]);
+        }
+        loss / 20.0
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let loss = train(&mut Sgd::new(0.05), 3000);
+        assert!(loss < 0.01, "sgd final loss {loss}");
+    }
+
+    #[test]
+    fn momentum_helps_or_matches() {
+        let plain = train(&mut Sgd::new(0.02), 1500);
+        let mom = train(&mut Sgd::with_momentum(0.02, 0.9), 1500);
+        assert!(mom < plain * 2.0, "momentum not catastrophically worse");
+        assert!(mom < 0.02);
+    }
+
+    #[test]
+    fn adam_converges_fast() {
+        let loss = train(&mut Adam::new(0.01), 1500);
+        assert!(loss < 0.005, "adam final loss {loss}");
+    }
+
+    #[test]
+    fn adam_reset_clears_state() {
+        let mut adam = Adam::new(0.01);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = Mlp::new(&[1, 2, 1], Activation::Tanh, &mut rng);
+        let t = net.forward_trace(&[0.5]);
+        let g = net.backward(&t, &[1.0]);
+        adam.step(&mut net, g.flat());
+        assert!(adam.t == 1);
+        adam.reset();
+        assert!(adam.t == 0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Small-signal AC analysis: complex MNA solve over a frequency sweep.
+
+use super::engine::Engine;
+use super::op::{solve_op, OpOptions, OpResult};
+use crate::circuit::{Circuit, NodeId};
+use crate::error::SpiceError;
+use asdex_linalg::{Complex, Lu, Matrix};
+
+/// Frequency sweep specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sweep {
+    /// Logarithmic sweep with `points_per_decade` points from `fstart` to
+    /// `fstop` (inclusive), the usual Bode-plot sweep.
+    Decade {
+        /// First frequency \[Hz\], must be positive.
+        fstart: f64,
+        /// Last frequency \[Hz\], must exceed `fstart`.
+        fstop: f64,
+        /// Points per decade (≥ 1).
+        points_per_decade: usize,
+    },
+    /// Linear sweep with `points` samples from `fstart` to `fstop`.
+    Linear {
+        /// First frequency \[Hz\].
+        fstart: f64,
+        /// Last frequency \[Hz\].
+        fstop: f64,
+        /// Number of points (≥ 2).
+        points: usize,
+    },
+}
+
+impl Sweep {
+    /// Expands the sweep into a frequency list.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::BadSweep`] for empty/inverted ranges or non-positive
+    /// log-sweep start.
+    pub fn frequencies(&self) -> Result<Vec<f64>, SpiceError> {
+        match *self {
+            Sweep::Decade { fstart, fstop, points_per_decade } => {
+                if fstart <= 0.0 || fstop <= fstart || points_per_decade == 0 {
+                    return Err(SpiceError::BadSweep {
+                        reason: format!("decade sweep needs 0 < fstart < fstop, ppd >= 1 (got {fstart}, {fstop}, {points_per_decade})"),
+                    });
+                }
+                let decades = (fstop / fstart).log10();
+                let n = (decades * points_per_decade as f64).ceil() as usize;
+                let mut f: Vec<f64> = (0..=n)
+                    .map(|k| fstart * 10f64.powf(k as f64 / points_per_decade as f64))
+                    .take_while(|&f| f < fstop * (1.0 + 1e-12))
+                    .collect();
+                if let Some(last) = f.last() {
+                    if (*last - fstop).abs() / fstop > 1e-9 {
+                        f.push(fstop);
+                    }
+                }
+                Ok(f)
+            }
+            Sweep::Linear { fstart, fstop, points } => {
+                if points < 2 || fstop <= fstart {
+                    return Err(SpiceError::BadSweep {
+                        reason: format!("linear sweep needs fstart < fstop and >= 2 points (got {fstart}, {fstop}, {points})"),
+                    });
+                }
+                Ok((0..points)
+                    .map(|k| fstart + (fstop - fstart) * k as f64 / (points - 1) as f64)
+                    .collect())
+            }
+        }
+    }
+}
+
+/// Result of an AC sweep: one complex solution vector per frequency.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    pub(crate) freqs: Vec<f64>,
+    /// `solutions[k]` is the unknown vector at `freqs[k]`.
+    pub(crate) solutions: Vec<Vec<Complex>>,
+    pub(crate) n_nodes: usize,
+    /// The DC operating point the sweep was linearized around.
+    pub op: OpResult,
+}
+
+impl AcResult {
+    /// The swept frequencies \[Hz\].
+    pub fn frequencies(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Complex node voltage at sweep point `k` (zero for ground).
+    pub fn voltage(&self, k: usize, node: NodeId) -> Complex {
+        if node.is_ground() {
+            Complex::ZERO
+        } else {
+            self.solutions[k][node.0 - 1]
+        }
+    }
+
+    /// The transfer curve `V(node)` across the whole sweep.
+    pub fn node_response(&self, node: NodeId) -> Vec<Complex> {
+        (0..self.freqs.len()).map(|k| self.voltage(k, node)).collect()
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// `true` when the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Branch current phasor at sweep point `k`.
+    pub fn branch_current(&self, k: usize, branch: usize) -> Complex {
+        self.solutions[k][self.n_nodes + branch]
+    }
+}
+
+/// Runs an AC analysis: DC operating point, then a complex solve per
+/// frequency.
+///
+/// # Errors
+///
+/// Propagates operating-point failures ([`SpiceError::NoConvergence`]),
+/// singular systems, and [`SpiceError::BadSweep`].
+///
+/// # Example
+///
+/// An RC low-pass has its −3 dB point at `1/(2πRC)`:
+///
+/// ```
+/// use asdex_spice::{Circuit, AcSpec};
+/// use asdex_spice::analysis::{ac_analysis, Sweep, OpOptions};
+///
+/// # fn main() -> Result<(), asdex_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let out = ckt.node("out");
+/// ckt.add_vsource_full("V1", vin, Circuit::GROUND, 0.0, Some(AcSpec::unit()), None)?;
+/// ckt.add_resistor("R1", vin, out, 1e3)?;
+/// ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-9)?;
+/// let sweep = Sweep::Decade { fstart: 1e3, fstop: 1e8, points_per_decade: 20 };
+/// let ac = ac_analysis(&ckt, sweep, &OpOptions::default())?;
+/// assert!(ac.len() > 50);
+/// # Ok(())
+/// # }
+/// ```
+pub fn ac_analysis(circuit: &Circuit, sweep: Sweep, opts: &OpOptions) -> Result<AcResult, SpiceError> {
+    let engine = Engine::compile(circuit)?;
+    let op = solve_op(&engine, opts, None)?;
+    ac_analysis_with_op(&engine, op, sweep)
+}
+
+/// AC analysis around a pre-computed operating point (avoids re-running the
+/// Newton solve when the caller already has one).
+///
+/// # Errors
+///
+/// [`SpiceError::BadSweep`] or singular complex systems.
+pub fn ac_analysis_with_op(engine: &Engine, op: OpResult, sweep: Sweep) -> Result<AcResult, SpiceError> {
+    let freqs = sweep.frequencies()?;
+    let dim = engine.dim();
+    let mut y = Matrix::<Complex>::zeros(dim, dim);
+    let mut z = vec![Complex::ZERO; dim];
+    let mut solutions = Vec::with_capacity(freqs.len());
+    for &f in &freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        engine.load_ac(op.unknowns(), omega, &mut y, &mut z);
+        let lu = Lu::factor(y.clone())?;
+        solutions.push(lu.solve(&z)?);
+    }
+    Ok(AcResult { freqs, solutions, n_nodes: engine.n_nodes, op })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::AcSpec;
+    use std::f64::consts::PI;
+
+    fn rc_lowpass(r: f64, c: f64) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource_full("V1", vin, Circuit::GROUND, 0.0, Some(AcSpec::unit()), None)
+            .unwrap();
+        ckt.add_resistor("R1", vin, out, r).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, c).unwrap();
+        (ckt, out)
+    }
+
+    #[test]
+    fn sweep_decade_expansion() {
+        let f = Sweep::Decade { fstart: 1.0, fstop: 1000.0, points_per_decade: 1 }
+            .frequencies()
+            .unwrap();
+        assert_eq!(f.len(), 4);
+        assert!((f[3] - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_linear_expansion() {
+        let f = Sweep::Linear { fstart: 0.0, fstop: 10.0, points: 11 }.frequencies().unwrap();
+        assert_eq!(f.len(), 11);
+        assert_eq!(f[5], 5.0);
+    }
+
+    #[test]
+    fn sweep_validation() {
+        assert!(Sweep::Decade { fstart: 0.0, fstop: 10.0, points_per_decade: 5 }
+            .frequencies()
+            .is_err());
+        assert!(Sweep::Linear { fstart: 5.0, fstop: 1.0, points: 3 }.frequencies().is_err());
+        assert!(Sweep::Linear { fstart: 0.0, fstop: 1.0, points: 1 }.frequencies().is_err());
+    }
+
+    #[test]
+    fn rc_transfer_function_matches_closed_form() {
+        let (ckt, out) = rc_lowpass(1e3, 1e-9);
+        let fc = 1.0 / (2.0 * PI * 1e3 * 1e-9); // ≈ 159 kHz
+        let ac = ac_analysis(
+            &ckt,
+            Sweep::Decade { fstart: 1e2, fstop: 1e9, points_per_decade: 10 },
+            &OpOptions::default(),
+        )
+        .unwrap();
+        for (k, &f) in ac.frequencies().iter().enumerate() {
+            let h = ac.voltage(k, out);
+            let expect = 1.0 / (1.0 + (f / fc).powi(2)).sqrt();
+            assert!(
+                (h.abs() - expect).abs() < 1e-3,
+                "f={f}: |H|={} expect {expect}",
+                h.abs()
+            );
+            let phase_expect = -(f / fc).atan();
+            assert!((h.arg() - phase_expect).abs() < 1e-3, "phase at f={f}");
+        }
+    }
+
+    #[test]
+    fn rlc_resonance() {
+        // Series RLC driven by 1V AC, measuring across the capacitor: the
+        // resonance frequency is 1/(2π√LC).
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        let out = ckt.node("out");
+        ckt.add_vsource_full("V1", vin, Circuit::GROUND, 0.0, Some(AcSpec::unit()), None)
+            .unwrap();
+        ckt.add_resistor("R1", vin, mid, 10.0).unwrap();
+        ckt.add_inductor("L1", mid, out, 1e-6).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
+        let f0 = 1.0 / (2.0 * PI * (1e-6f64 * 1e-9).sqrt()); // ≈ 5.03 MHz
+        let ac = ac_analysis(
+            &ckt,
+            Sweep::Linear { fstart: f0 * 0.99, fstop: f0 * 1.01, points: 3 },
+            &OpOptions::default(),
+        )
+        .unwrap();
+        // At resonance the cap voltage magnitude is Q = (1/R)·√(L/C) ≈ 3.16.
+        let q = (1e-6f64 / 1e-9).sqrt() / 10.0;
+        let mag = ac.voltage(1, out).abs();
+        assert!((mag - q).abs() / q < 0.05, "resonant peak {mag} vs Q {q}");
+    }
+
+    #[test]
+    fn current_source_ac_stimulus() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_isource_full("I1", Circuit::GROUND, out, 0.0, Some(AcSpec::unit()), None)
+            .unwrap();
+        ckt.add_resistor("R1", out, Circuit::GROUND, 50.0).unwrap();
+        let ac = ac_analysis(
+            &ckt,
+            Sweep::Linear { fstart: 1e3, fstop: 1e4, points: 2 },
+            &OpOptions::default(),
+        )
+        .unwrap();
+        assert!((ac.voltage(0, out).abs() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn branch_current_through_inductor() {
+        // 1V AC across R + L in series: |I| = 1/√(R² + (ωL)²).
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource_full("V1", a, Circuit::GROUND, 0.0, Some(AcSpec::unit()), None)
+            .unwrap();
+        ckt.add_resistor("R1", a, b, 1.0).unwrap();
+        ckt.add_inductor("L1", b, Circuit::GROUND, 1e-3).unwrap();
+        let engine = Engine::compile(&ckt).unwrap();
+        let lbr = engine.branch_of("L1").unwrap();
+        let ac = ac_analysis(
+            &ckt,
+            Sweep::Linear { fstart: 1e3, fstop: 2e3, points: 2 },
+            &OpOptions::default(),
+        )
+        .unwrap();
+        let wl = 2.0 * PI * 1e3 * 1e-3;
+        let expect = 1.0 / (1.0f64 + wl * wl).sqrt();
+        assert!((ac.branch_current(0, lbr).abs() - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn ideal_vsource_parallel_inductor_is_singular() {
+        // Both elements pin the same branch voltage at DC: the MNA system
+        // is structurally singular and must be reported, not NaN'd.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource_full("V1", a, Circuit::GROUND, 0.0, Some(AcSpec::unit()), None)
+            .unwrap();
+        ckt.add_inductor("L1", a, Circuit::GROUND, 1e-3).unwrap();
+        let err = ac_analysis(
+            &ckt,
+            Sweep::Linear { fstart: 1e3, fstop: 2e3, points: 2 },
+            &OpOptions::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, crate::SpiceError::Singular(_)), "got {err}");
+    }
+}

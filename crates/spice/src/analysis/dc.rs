@@ -1,0 +1,219 @@
+//! DC sweep analysis: solve the operating point while stepping one
+//! independent source — transfer curves, bias scans, I–V plots.
+
+use super::engine::{Compiled, Engine};
+use super::op::{solve_op, OpOptions};
+use crate::circuit::{Circuit, NodeId};
+use crate::error::SpiceError;
+
+/// Result of a DC sweep: one operating point per swept value.
+#[derive(Debug, Clone)]
+pub struct DcSweepResult {
+    values: Vec<f64>,
+    /// `solutions[k]` is the unknown vector at `values[k]`.
+    solutions: Vec<Vec<f64>>,
+    n_nodes: usize,
+}
+
+impl DcSweepResult {
+    /// The swept source values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Node voltage at sweep point `k` (0 for ground).
+    pub fn voltage(&self, k: usize, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.solutions[k][node.0 - 1]
+        }
+    }
+
+    /// The full transfer curve of one node.
+    pub fn node_curve(&self, node: NodeId) -> Vec<f64> {
+        (0..self.values.len()).map(|k| self.voltage(k, node)).collect()
+    }
+
+    /// Branch current at sweep point `k`.
+    pub fn branch_current(&self, k: usize, branch: usize) -> f64 {
+        self.solutions[k][self.n_nodes + branch]
+    }
+
+    /// Number of sweep points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl Engine {
+    /// Overrides the DC value of a named independent source (voltage or
+    /// current). Returns `false` when no such source exists.
+    pub fn set_source_dc(&mut self, name: &str, value: f64) -> bool {
+        for (ename, e) in &mut self.elems {
+            if !ename.eq_ignore_ascii_case(name) {
+                continue;
+            }
+            match e {
+                Compiled::Vsource { dc, .. } | Compiled::Isource { dc, .. } => {
+                    *dc = value;
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+}
+
+/// Sweeps the DC value of the named source from `start` to `stop` in
+/// increments of `step`, solving the nonlinear operating point at each
+/// value (warm-started from the previous point, as SPICE does).
+///
+/// # Errors
+///
+/// * [`SpiceError::UnknownNode`]-style lookup failure is reported as
+///   [`SpiceError::BadSweep`] when the source does not exist.
+/// * [`SpiceError::BadSweep`] for a zero/backwards step.
+/// * Any operating-point failure at a sweep value.
+///
+/// # Example
+///
+/// A resistive divider scales linearly with the input:
+///
+/// ```
+/// use asdex_spice::{Circuit, analysis::{dc_sweep, OpOptions}};
+///
+/// # fn main() -> Result<(), asdex_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let out = ckt.node("out");
+/// ckt.add_vsource("V1", vin, Circuit::GROUND, 0.0)?;
+/// ckt.add_resistor("R1", vin, out, 1e3)?;
+/// ckt.add_resistor("R2", out, Circuit::GROUND, 1e3)?;
+/// let sweep = dc_sweep(&ckt, "V1", 0.0, 2.0, 0.5, &OpOptions::default())?;
+/// assert_eq!(sweep.len(), 5);
+/// assert!((sweep.voltage(4, out) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_sweep(
+    circuit: &Circuit,
+    source: &str,
+    start: f64,
+    stop: f64,
+    step: f64,
+    opts: &OpOptions,
+) -> Result<DcSweepResult, SpiceError> {
+    if step <= 0.0 || step.is_nan() || stop < start || !start.is_finite() || !stop.is_finite() {
+        return Err(SpiceError::BadSweep {
+            reason: format!("need start <= stop and step > 0 (got {start}, {stop}, {step})"),
+        });
+    }
+    let mut engine = Engine::compile(circuit)?;
+    if !engine.set_source_dc(source, start) {
+        return Err(SpiceError::BadSweep { reason: format!("no independent source named {source:?}") });
+    }
+
+    let n_points = (((stop - start) / step) + 1e-9).floor() as usize + 1;
+    let mut values = Vec::with_capacity(n_points);
+    let mut solutions = Vec::with_capacity(n_points);
+    let mut warm: Option<Vec<f64>> = None;
+    for k in 0..n_points {
+        let v = start + k as f64 * step;
+        engine.set_source_dc(source, v);
+        let op = solve_op(&engine, opts, warm.as_deref())?;
+        warm = Some(op.unknowns().to_vec());
+        values.push(v);
+        solutions.push(op.unknowns().to_vec());
+    }
+    Ok(DcSweepResult { values, solutions, n_nodes: engine.n_nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{MosGeometry, MosModel};
+
+    #[test]
+    fn divider_transfer_is_linear() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", vin, Circuit::GROUND, 0.0).unwrap();
+        ckt.add_resistor("R1", vin, out, 2e3).unwrap();
+        ckt.add_resistor("R2", out, Circuit::GROUND, 1e3).unwrap();
+        let sweep = dc_sweep(&ckt, "V1", 0.0, 3.0, 0.25, &OpOptions::default()).unwrap();
+        assert_eq!(sweep.len(), 13);
+        for (k, &v) in sweep.values().iter().enumerate() {
+            assert!((sweep.voltage(k, out) - v / 3.0).abs() < 1e-9, "point {k}");
+        }
+    }
+
+    #[test]
+    fn nmos_transfer_curve_shape() {
+        // Common-source stage: output high while the device is off, then
+        // falls monotonically as the gate sweeps up.
+        let mut ckt = Circuit::new();
+        ckt.add_mos_model("nch", MosModel::default_nmos());
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, 1.8).unwrap();
+        ckt.add_vsource("VG", g, Circuit::GROUND, 0.0).unwrap();
+        ckt.add_resistor("RL", vdd, d, 50e3).unwrap();
+        ckt.add_mosfet("M1", d, g, Circuit::GROUND, Circuit::GROUND, "nch", MosGeometry::new(5e-6, 1e-6))
+            .unwrap();
+        let sweep = dc_sweep(&ckt, "VG", 0.0, 1.8, 0.05, &OpOptions::default()).unwrap();
+        let curve = sweep.node_curve(d);
+        assert!((curve[0] - 1.8).abs() < 1e-6, "off device: output at VDD");
+        assert!(curve.last().expect("nonempty") < &0.3, "on device: output pulled low");
+        for w in curve.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "monotone falling transfer curve");
+        }
+    }
+
+    #[test]
+    fn current_source_sweep() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_isource("I1", Circuit::GROUND, out, 0.0).unwrap();
+        ckt.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
+        let sweep = dc_sweep(&ckt, "I1", 0.0, 1e-3, 0.5e-3, &OpOptions::default()).unwrap();
+        assert!((sweep.voltage(2, out) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        let opts = OpOptions::default();
+        assert!(dc_sweep(&ckt, "V1", 0.0, 1.0, 0.0, &opts).is_err(), "zero step");
+        assert!(dc_sweep(&ckt, "V1", 1.0, 0.0, 0.1, &opts).is_err(), "backwards");
+        assert!(dc_sweep(&ckt, "VX", 0.0, 1.0, 0.1, &opts).is_err(), "unknown source");
+        assert!(dc_sweep(&ckt, "R1", 0.0, 1.0, 0.1, &opts).is_err(), "not a source");
+    }
+
+    #[test]
+    fn diode_iv_curve_is_exponentialish() {
+        let mut ckt = Circuit::new();
+        ckt.add_diode_model("d1", crate::devices::DiodeModel::default());
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, 0.0).unwrap();
+        ckt.add_diode("D1", a, Circuit::GROUND, "d1", 1.0).unwrap();
+        let engine = Engine::compile(&ckt).unwrap();
+        let br = engine.branch_of("V1").unwrap();
+        let sweep = dc_sweep(&ckt, "V1", 0.0, 0.7, 0.05, &OpOptions::default()).unwrap();
+        // Source current magnitude grows superlinearly.
+        let i_mid = sweep.branch_current(7, br).abs();
+        let i_end = sweep.branch_current(sweep.len() - 1, br).abs();
+        assert!(i_end > 10.0 * i_mid, "diode current {i_mid} -> {i_end}");
+    }
+}

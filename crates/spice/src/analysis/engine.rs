@@ -1,0 +1,828 @@
+//! MNA compilation and stamping.
+//!
+//! [`Engine`] compiles a [`Circuit`] into an indexed form: non-ground nodes
+//! map to unknowns `0..n_nodes`, and every element that needs a branch
+//! current (voltage sources, VCVS, inductors) gets an unknown in
+//! `n_nodes..n_nodes + n_branches`. The `load_*` methods assemble the
+//! Jacobian/admittance matrix and right-hand side for each analysis.
+
+use crate::circuit::{AcSpec, Circuit, ElementKind, NodeId, Waveform};
+use crate::devices::{eval_diode, eval_mosfet, DiodeModel, MosGeometry, MosModel};
+use crate::error::SpiceError;
+use asdex_linalg::{Complex, Matrix};
+
+/// Index of a node unknown; `None` is the ground reference.
+pub(crate) type NodeIdx = Option<usize>;
+
+/// An element compiled to unknown indices with resolved model cards.
+#[derive(Debug, Clone)]
+pub(crate) enum Compiled {
+    Resistor { a: NodeIdx, b: NodeIdx, g: f64 },
+    Capacitor { a: NodeIdx, b: NodeIdx, c: f64 },
+    Inductor { a: NodeIdx, b: NodeIdx, l: f64, br: usize },
+    Vsource { p: NodeIdx, n: NodeIdx, dc: f64, ac: Option<AcSpec>, wave: Option<Waveform>, br: usize },
+    Isource { p: NodeIdx, n: NodeIdx, dc: f64, ac: Option<AcSpec>, wave: Option<Waveform> },
+    Vcvs { p: NodeIdx, n: NodeIdx, cp: NodeIdx, cn: NodeIdx, gain: f64, br: usize },
+    Vccs { p: NodeIdx, n: NodeIdx, cp: NodeIdx, cn: NodeIdx, gm: f64 },
+    Cccs { p: NodeIdx, n: NodeIdx, ctrl: usize, gain: f64 },
+    Ccvs { p: NodeIdx, n: NodeIdx, ctrl: usize, r: f64, br: usize },
+    Diode { p: NodeIdx, n: NodeIdx, model: DiodeModel },
+    Mosfet { d: NodeIdx, g: NodeIdx, s: NodeIdx, b: NodeIdx, model: MosModel, geom: MosGeometry },
+}
+
+/// A compiled circuit ready for repeated matrix assembly.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    pub(crate) n_nodes: usize,
+    pub(crate) n_branches: usize,
+    pub(crate) elems: Vec<(String, Compiled)>,
+    pub(crate) temp_kelvin: f64,
+    /// Node names indexed by unknown index (for diagnostics).
+    pub(crate) node_names: Vec<String>,
+    /// Branch element names indexed by branch number.
+    pub(crate) branch_names: Vec<String>,
+}
+
+impl Engine {
+    /// Compiles a circuit, resolving model references.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownModel`] when an element references a model card
+    /// that was never registered.
+    pub fn compile(circuit: &Circuit) -> Result<Self, SpiceError> {
+        let idx = |n: NodeId| -> NodeIdx {
+            if n.is_ground() {
+                None
+            } else {
+                Some(n.0 - 1)
+            }
+        };
+        let n_nodes = circuit.node_count() - 1;
+        let mut elems = Vec::with_capacity(circuit.elements().len());
+        let mut branch_names = Vec::new();
+        let mut next_branch = 0usize;
+        let mut branch = |name: &str, branch_names: &mut Vec<String>| {
+            let b = next_branch;
+            next_branch += 1;
+            branch_names.push(name.to_string());
+            b
+        };
+        for e in circuit.elements() {
+            let compiled = match &e.kind {
+                ElementKind::Resistor { a, b, ohms } => Compiled::Resistor { a: idx(*a), b: idx(*b), g: 1.0 / ohms },
+                ElementKind::Capacitor { a, b, farads } => Compiled::Capacitor { a: idx(*a), b: idx(*b), c: *farads },
+                ElementKind::Inductor { a, b, henries } => Compiled::Inductor {
+                    a: idx(*a),
+                    b: idx(*b),
+                    l: *henries,
+                    br: branch(&e.name, &mut branch_names),
+                },
+                ElementKind::Vsource { p, n, dc, ac, wave } => Compiled::Vsource {
+                    p: idx(*p),
+                    n: idx(*n),
+                    dc: *dc,
+                    ac: *ac,
+                    wave: wave.clone(),
+                    br: branch(&e.name, &mut branch_names),
+                },
+                ElementKind::Isource { p, n, dc, ac, wave } => Compiled::Isource {
+                    p: idx(*p),
+                    n: idx(*n),
+                    dc: *dc,
+                    ac: *ac,
+                    wave: wave.clone(),
+                },
+                ElementKind::Vcvs { p, n, cp, cn, gain } => Compiled::Vcvs {
+                    p: idx(*p),
+                    n: idx(*n),
+                    cp: idx(*cp),
+                    cn: idx(*cn),
+                    gain: *gain,
+                    br: branch(&e.name, &mut branch_names),
+                },
+                ElementKind::Vccs { p, n, cp, cn, gm } => Compiled::Vccs {
+                    p: idx(*p),
+                    n: idx(*n),
+                    cp: idx(*cp),
+                    cn: idx(*cn),
+                    gm: *gm,
+                },
+                // Controlling-branch names resolve after all branches are
+                // assigned; store a placeholder index for now.
+                ElementKind::Cccs { p, n, gain, .. } => {
+                    Compiled::Cccs { p: idx(*p), n: idx(*n), ctrl: usize::MAX, gain: *gain }
+                }
+                ElementKind::Ccvs { p, n, r, .. } => Compiled::Ccvs {
+                    p: idx(*p),
+                    n: idx(*n),
+                    ctrl: usize::MAX,
+                    r: *r,
+                    br: branch(&e.name, &mut branch_names),
+                },
+                ElementKind::Diode { p, n, model, area } => {
+                    let card = circuit.diode_model(model).ok_or_else(|| SpiceError::UnknownModel {
+                        model: model.clone(),
+                        element: e.name.clone(),
+                    })?;
+                    let mut m = card.clone();
+                    m.is *= area;
+                    m.cj0 *= area;
+                    Compiled::Diode { p: idx(*p), n: idx(*n), model: m }
+                }
+                ElementKind::Mosfet { d, g, s, b, model, geom } => {
+                    let card = circuit.mos_model(model).ok_or_else(|| SpiceError::UnknownModel {
+                        model: model.clone(),
+                        element: e.name.clone(),
+                    })?;
+                    Compiled::Mosfet {
+                        d: idx(*d),
+                        g: idx(*g),
+                        s: idx(*s),
+                        b: idx(*b),
+                        model: card.clone(),
+                        geom: *geom,
+                    }
+                }
+            };
+            elems.push((e.name.clone(), compiled));
+        }
+        // Resolve current-control references now that every voltage-defined
+        // element has its branch index.
+        for (elem, source) in elems.iter_mut().zip(circuit.elements()) {
+            let ctrl_name = match &source.kind {
+                ElementKind::Cccs { ctrl, .. } | ElementKind::Ccvs { ctrl, .. } => ctrl,
+                _ => continue,
+            };
+            let Some(ctrl_idx) = branch_names.iter().position(|n| n.eq_ignore_ascii_case(ctrl_name))
+            else {
+                return Err(SpiceError::UnknownModel {
+                    model: format!("controlling source {ctrl_name}"),
+                    element: elem.0.clone(),
+                });
+            };
+            match &mut elem.1 {
+                Compiled::Cccs { ctrl, .. } | Compiled::Ccvs { ctrl, .. } => *ctrl = ctrl_idx,
+                _ => unreachable!("matched above"),
+            }
+        }
+        let node_names = (1..circuit.node_count())
+            .map(|k| circuit.node_name(NodeId(k)).to_string())
+            .collect();
+        Ok(Engine {
+            n_nodes,
+            n_branches: next_branch,
+            elems,
+            temp_kelvin: circuit.temp_kelvin(),
+            node_names,
+            branch_names,
+        })
+    }
+
+    /// Total number of unknowns (node voltages + branch currents).
+    pub fn dim(&self) -> usize {
+        self.n_nodes + self.n_branches
+    }
+
+    /// Human-readable label of unknown `i`: the node name for voltage
+    /// unknowns, the element name for branch-current unknowns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.dim()`.
+    pub fn unknown_name(&self, i: usize) -> &str {
+        if i < self.n_nodes {
+            &self.node_names[i]
+        } else {
+            &self.branch_names[i - self.n_nodes]
+        }
+    }
+
+    /// Branch index of a named voltage-defined element, if any.
+    pub fn branch_of(&self, name: &str) -> Option<usize> {
+        self.branch_names.iter().position(|n| n.eq_ignore_ascii_case(name))
+    }
+
+    /// Assembles the DC Newton system linearized at `x`.
+    ///
+    /// `gmin` adds a shunt conductance from every node to ground
+    /// (continuation aid); `src_scale` scales all independent sources
+    /// (source stepping).
+    pub(crate) fn load_dc(&self, x: &[f64], a: &mut Matrix<f64>, z: &mut [f64], gmin: f64, src_scale: f64) {
+        a.fill_zero();
+        z.fill(0.0);
+        let nb = self.n_nodes;
+        let v = |i: NodeIdx| i.map_or(0.0, |k| x[k]);
+
+        // Global gmin shunt.
+        for i in 0..self.n_nodes {
+            a[(i, i)] += gmin;
+        }
+
+        for (_, e) in &self.elems {
+            match e {
+                Compiled::Resistor { a: na, b: nbx, g } => stamp_g(a, *na, *nbx, *g),
+                Compiled::Capacitor { .. } => {} // open in DC
+                Compiled::Inductor { a: na, b: nbx, br, .. } => {
+                    stamp_branch_voltage(a, *na, *nbx, nb + *br);
+                    // v_a - v_b = 0 in DC; RHS stays 0.
+                }
+                Compiled::Vsource { p, n, dc, br, .. } => {
+                    stamp_branch_voltage(a, *p, *n, nb + *br);
+                    z[nb + *br] = dc * src_scale;
+                }
+                Compiled::Isource { p, n, dc, .. } => {
+                    let i = dc * src_scale;
+                    if let Some(k) = p {
+                        z[*k] -= i;
+                    }
+                    if let Some(k) = n {
+                        z[*k] += i;
+                    }
+                }
+                Compiled::Vcvs { p, n, cp, cn, gain, br } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage(a, *p, *n, row);
+                    if let Some(k) = cp {
+                        a[(row, *k)] -= gain;
+                    }
+                    if let Some(k) = cn {
+                        a[(row, *k)] += gain;
+                    }
+                }
+                Compiled::Vccs { p, n, cp, cn, gm } => stamp_vccs(a, *p, *n, *cp, *cn, *gm),
+                Compiled::Cccs { p, n, ctrl, gain } => stamp_cccs(a, *p, *n, nb + *ctrl, *gain),
+                Compiled::Ccvs { p, n, ctrl, r, br } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage(a, *p, *n, row);
+                    a[(row, nb + *ctrl)] -= r;
+                }
+                Compiled::Diode { p, n, model } => {
+                    let vd = v(*p) - v(*n);
+                    let op = eval_diode(model, vd, self.temp_kelvin);
+                    let ieq = op.id - op.gd * vd;
+                    stamp_g(a, *p, *n, op.gd);
+                    if let Some(k) = p {
+                        z[*k] -= ieq;
+                    }
+                    if let Some(k) = n {
+                        z[*k] += ieq;
+                    }
+                }
+                Compiled::Mosfet { d, g, s, b, model, geom } => {
+                    let vgs = v(*g) - v(*s);
+                    let vds = v(*d) - v(*s);
+                    let vbs = v(*b) - v(*s);
+                    let op = eval_mosfet(model, geom, vgs, vds, vbs);
+                    // Effective terminals (see MosOp docs).
+                    let (ed, es) = if op.swapped { (*s, *d) } else { (*d, *s) };
+                    let vgs_e = v(*g) - v(es);
+                    let vds_e = v(ed) - v(es);
+                    let vbs_e = v(*b) - v(es);
+                    let ieq = op.ids - op.gm * vgs_e - op.gds * vds_e - op.gmbs * vbs_e;
+                    stamp_mos(a, ed, *g, es, *b, MosGm { gm: op.gm, gds: op.gds, gmbs: op.gmbs });
+                    if let Some(k) = ed {
+                        z[k] -= ieq;
+                    }
+                    if let Some(k) = es {
+                        z[k] += ieq;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assembles the complex AC system at angular frequency `omega`,
+    /// linearized around the DC solution `x_op`.
+    pub(crate) fn load_ac(&self, x_op: &[f64], omega: f64, y: &mut Matrix<Complex>, z: &mut [Complex]) {
+        y.fill_zero();
+        z.fill(Complex::ZERO);
+        let nb = self.n_nodes;
+        let v = |i: NodeIdx| i.map_or(0.0, |k| x_op[k]);
+        let jw = Complex::new(0.0, omega);
+
+        for (_, e) in &self.elems {
+            match e {
+                Compiled::Resistor { a, b, g } => stamp_gc(y, *a, *b, Complex::from_re(*g)),
+                Compiled::Capacitor { a, b, c } => stamp_gc(y, *a, *b, jw * *c),
+                Compiled::Inductor { a, b, l, br } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage_c(y, *a, *b, row);
+                    y[(row, row)] -= jw * *l;
+                }
+                Compiled::Vsource { p, n, ac, br, .. } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage_c(y, *p, *n, row);
+                    if let Some(spec) = ac {
+                        z[row] = Complex::from_polar(spec.mag, spec.phase_deg.to_radians());
+                    }
+                }
+                Compiled::Isource { p, n, ac, .. } => {
+                    if let Some(spec) = ac {
+                        let i = Complex::from_polar(spec.mag, spec.phase_deg.to_radians());
+                        if let Some(k) = p {
+                            z[*k] -= i;
+                        }
+                        if let Some(k) = n {
+                            z[*k] += i;
+                        }
+                    }
+                }
+                Compiled::Vcvs { p, n, cp, cn, gain, br } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage_c(y, *p, *n, row);
+                    if let Some(k) = cp {
+                        y[(row, *k)] -= Complex::from_re(*gain);
+                    }
+                    if let Some(k) = cn {
+                        y[(row, *k)] += Complex::from_re(*gain);
+                    }
+                }
+                Compiled::Vccs { p, n, cp, cn, gm } => stamp_vccs_c(y, *p, *n, *cp, *cn, Complex::from_re(*gm)),
+                Compiled::Cccs { p, n, ctrl, gain } => {
+                    if let Some(k) = p {
+                        y[(*k, nb + *ctrl)] += Complex::from_re(*gain);
+                    }
+                    if let Some(k) = n {
+                        y[(*k, nb + *ctrl)] -= Complex::from_re(*gain);
+                    }
+                }
+                Compiled::Ccvs { p, n, ctrl, r, br } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage_c(y, *p, *n, row);
+                    y[(row, nb + *ctrl)] -= Complex::from_re(*r);
+                }
+                Compiled::Diode { p, n, model } => {
+                    let vd = v(*p) - v(*n);
+                    let op = eval_diode(model, vd, self.temp_kelvin);
+                    stamp_gc(y, *p, *n, Complex::from_re(op.gd) + jw * model.cj0);
+                }
+                Compiled::Mosfet { d, g, s, b, model, geom } => {
+                    let vgs = v(*g) - v(*s);
+                    let vds = v(*d) - v(*s);
+                    let vbs = v(*b) - v(*s);
+                    let op = eval_mosfet(model, geom, vgs, vds, vbs);
+                    let (ed, es) = if op.swapped { (*s, *d) } else { (*d, *s) };
+                    stamp_mos_c(y, ed, *g, es, *b, MosGm { gm: op.gm, gds: op.gds, gmbs: op.gmbs });
+                    // Gate capacitances are on physical terminals.
+                    stamp_gc(y, *g, *s, jw * op.cgs);
+                    stamp_gc(y, *g, *d, jw * op.cgd);
+                    stamp_gc(y, *g, *b, jw * op.cgb);
+                }
+            }
+        }
+    }
+
+    /// Assembles the transient Newton system at time `t` with step `h`,
+    /// linearized at guess `x`, using backward-Euler companion models with
+    /// history `x_prev` (the converged solution at `t - h`).
+    ///
+    /// `caps` carries the Meyer gate capacitances frozen at the previous
+    /// time point (computed by [`Engine::mos_caps_at`]).
+    #[allow(clippy::too_many_arguments)] // internal assembly routine: every input is load-bearing
+    pub(crate) fn load_tran(
+        &self,
+        x: &[f64],
+        x_prev: &[f64],
+        t: f64,
+        h: f64,
+        caps: &[MosCaps],
+        a: &mut Matrix<f64>,
+        z: &mut [f64],
+    ) {
+        // Start from the DC load (nonlinear devices + resistive parts),
+        // with sources evaluated at time t.
+        a.fill_zero();
+        z.fill(0.0);
+        let nb = self.n_nodes;
+        let v = |xv: &[f64], i: NodeIdx| -> f64 { i.map_or(0.0, |k| xv[k]) };
+        let geq_of = |c: f64| c / h;
+        let mut mos_idx = 0usize;
+
+        for (_, e) in &self.elems {
+            match e {
+                Compiled::Resistor { a: na, b: nbx, g } => stamp_g(a, *na, *nbx, *g),
+                Compiled::Capacitor { a: na, b: nbx, c } => {
+                    let geq = geq_of(*c);
+                    let v_old = v(x_prev, *na) - v(x_prev, *nbx);
+                    stamp_g(a, *na, *nbx, geq);
+                    if let Some(k) = na {
+                        z[*k] += geq * v_old;
+                    }
+                    if let Some(k) = nbx {
+                        z[*k] -= geq * v_old;
+                    }
+                }
+                Compiled::Inductor { a: na, b: nbx, l, br } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage(a, *na, *nbx, row);
+                    a[(row, row)] -= l / h;
+                    z[row] = -(l / h) * x_prev[row];
+                }
+                Compiled::Vsource { p, n, dc, wave, br, .. } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage(a, *p, *n, row);
+                    z[row] = wave.as_ref().map_or(*dc, |w| w.value_at(t));
+                }
+                Compiled::Isource { p, n, dc, wave, .. } => {
+                    let i = wave.as_ref().map_or(*dc, |w| w.value_at(t));
+                    if let Some(k) = p {
+                        z[*k] -= i;
+                    }
+                    if let Some(k) = n {
+                        z[*k] += i;
+                    }
+                }
+                Compiled::Vcvs { p, n, cp, cn, gain, br } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage(a, *p, *n, row);
+                    if let Some(k) = cp {
+                        a[(row, *k)] -= gain;
+                    }
+                    if let Some(k) = cn {
+                        a[(row, *k)] += gain;
+                    }
+                }
+                Compiled::Vccs { p, n, cp, cn, gm } => stamp_vccs(a, *p, *n, *cp, *cn, *gm),
+                Compiled::Cccs { p, n, ctrl, gain } => stamp_cccs(a, *p, *n, nb + *ctrl, *gain),
+                Compiled::Ccvs { p, n, ctrl, r, br } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage(a, *p, *n, row);
+                    a[(row, nb + *ctrl)] -= r;
+                }
+                Compiled::Diode { p, n, model } => {
+                    let vd = v(x, *p) - v(x, *n);
+                    let op = eval_diode(model, vd, self.temp_kelvin);
+                    let ieq = op.id - op.gd * vd;
+                    stamp_g(a, *p, *n, op.gd);
+                    if let Some(k) = p {
+                        z[*k] -= ieq;
+                    }
+                    if let Some(k) = n {
+                        z[*k] += ieq;
+                    }
+                    if model.cj0 > 0.0 {
+                        let geq = geq_of(model.cj0);
+                        let v_old = v(x_prev, *p) - v(x_prev, *n);
+                        stamp_g(a, *p, *n, geq);
+                        if let Some(k) = p {
+                            z[*k] += geq * v_old;
+                        }
+                        if let Some(k) = n {
+                            z[*k] -= geq * v_old;
+                        }
+                    }
+                }
+                Compiled::Mosfet { d, g, s, b, model, geom } => {
+                    let vgs = v(x, *g) - v(x, *s);
+                    let vds = v(x, *d) - v(x, *s);
+                    let vbs = v(x, *b) - v(x, *s);
+                    let op = eval_mosfet(model, geom, vgs, vds, vbs);
+                    let (ed, es) = if op.swapped { (*s, *d) } else { (*d, *s) };
+                    let vgs_e = v(x, *g) - v(x, es);
+                    let vds_e = v(x, ed) - v(x, es);
+                    let vbs_e = v(x, *b) - v(x, es);
+                    let ieq = op.ids - op.gm * vgs_e - op.gds * vds_e - op.gmbs * vbs_e;
+                    stamp_mos(a, ed, *g, es, *b, MosGm { gm: op.gm, gds: op.gds, gmbs: op.gmbs });
+                    if let Some(k) = ed {
+                        z[k] -= ieq;
+                    }
+                    if let Some(k) = es {
+                        z[k] += ieq;
+                    }
+                    // Frozen Meyer caps as companion conductances.
+                    let cap = &caps[mos_idx];
+                    for &(na, nbx, c) in &[(*g, *s, cap.cgs), (*g, *d, cap.cgd), (*g, *b, cap.cgb)] {
+                        if c <= 0.0 {
+                            continue;
+                        }
+                        let geq = geq_of(c);
+                        let v_old = v(x_prev, na) - v(x_prev, nbx);
+                        stamp_g(a, na, nbx, geq);
+                        if let Some(k) = na {
+                            z[k] += geq * v_old;
+                        }
+                        if let Some(k) = nbx {
+                            z[k] -= geq * v_old;
+                        }
+                    }
+                    mos_idx += 1;
+                }
+            }
+        }
+    }
+
+    /// Evaluates the Meyer gate capacitances of every MOSFET at solution
+    /// `x`, in element order.
+    pub(crate) fn mos_caps_at(&self, x: &[f64]) -> Vec<MosCaps> {
+        let v = |i: NodeIdx| i.map_or(0.0, |k| x[k]);
+        self.elems
+            .iter()
+            .filter_map(|(_, e)| match e {
+                Compiled::Mosfet { d, g, s, b, model, geom } => {
+                    let op = eval_mosfet(model, geom, v(*g) - v(*s), v(*d) - v(*s), v(*b) - v(*s));
+                    Some(MosCaps { cgs: op.cgs, cgd: op.cgd, cgb: op.cgb })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Number of MOSFET elements (size of the `mos_caps_at` vector).
+    pub(crate) fn mosfet_count(&self) -> usize {
+        self.elems
+            .iter()
+            .filter(|(_, e)| matches!(e, Compiled::Mosfet { .. }))
+            .count()
+    }
+}
+
+/// Frozen Meyer capacitances of one MOSFET.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MosCaps {
+    pub cgs: f64,
+    pub cgd: f64,
+    pub cgb: f64,
+}
+
+fn stamp_g(a: &mut Matrix<f64>, i: NodeIdx, j: NodeIdx, g: f64) {
+    if let Some(i) = i {
+        a[(i, i)] += g;
+        if let Some(j) = j {
+            a[(i, j)] -= g;
+            a[(j, i)] -= g;
+        }
+    }
+    if let Some(j) = j {
+        a[(j, j)] += g;
+    }
+}
+
+fn stamp_gc(y: &mut Matrix<Complex>, i: NodeIdx, j: NodeIdx, g: Complex) {
+    if let Some(i) = i {
+        y[(i, i)] += g;
+        if let Some(j) = j {
+            y[(i, j)] -= g;
+            y[(j, i)] -= g;
+        }
+    }
+    if let Some(j) = j {
+        y[(j, j)] += g;
+    }
+}
+
+/// Stamps the incidence pattern of a voltage-defined branch (V source,
+/// VCVS output, inductor): current unknown into node rows, voltage
+/// constraint into the branch row.
+fn stamp_branch_voltage(a: &mut Matrix<f64>, p: NodeIdx, n: NodeIdx, row: usize) {
+    if let Some(k) = p {
+        a[(k, row)] += 1.0;
+        a[(row, k)] += 1.0;
+    }
+    if let Some(k) = n {
+        a[(k, row)] -= 1.0;
+        a[(row, k)] -= 1.0;
+    }
+}
+
+fn stamp_branch_voltage_c(y: &mut Matrix<Complex>, p: NodeIdx, n: NodeIdx, row: usize) {
+    if let Some(k) = p {
+        y[(k, row)] += Complex::ONE;
+        y[(row, k)] += Complex::ONE;
+    }
+    if let Some(k) = n {
+        y[(k, row)] -= Complex::ONE;
+        y[(row, k)] -= Complex::ONE;
+    }
+}
+
+fn stamp_vccs(a: &mut Matrix<f64>, p: NodeIdx, n: NodeIdx, cp: NodeIdx, cn: NodeIdx, gm: f64) {
+    for (node, sign) in [(p, 1.0), (n, -1.0)] {
+        if let Some(i) = node {
+            if let Some(j) = cp {
+                a[(i, j)] += sign * gm;
+            }
+            if let Some(j) = cn {
+                a[(i, j)] -= sign * gm;
+            }
+        }
+    }
+}
+
+/// Stamps a current-controlled current source: the current of branch
+/// column `ctrl_col` is injected (scaled by `gain`) at nodes p/n.
+fn stamp_cccs(a: &mut Matrix<f64>, p: NodeIdx, n: NodeIdx, ctrl_col: usize, gain: f64) {
+    if let Some(i) = p {
+        a[(i, ctrl_col)] += gain;
+    }
+    if let Some(i) = n {
+        a[(i, ctrl_col)] -= gain;
+    }
+}
+
+fn stamp_vccs_c(y: &mut Matrix<Complex>, p: NodeIdx, n: NodeIdx, cp: NodeIdx, cn: NodeIdx, gm: Complex) {
+    for (node, sign) in [(p, 1.0), (n, -1.0)] {
+        if let Some(i) = node {
+            if let Some(j) = cp {
+                y[(i, j)] += gm * sign;
+            }
+            if let Some(j) = cn {
+                y[(i, j)] -= gm * sign;
+            }
+        }
+    }
+}
+
+/// The MOSFET small-signal conductance triple.
+#[derive(Debug, Clone, Copy)]
+struct MosGm {
+    gm: f64,
+    gds: f64,
+    gmbs: f64,
+}
+
+/// Stamps the MOSFET small-signal pattern: drain current controlled by
+/// (vgs, vds, vbs) of the effective terminals.
+fn stamp_mos(a: &mut Matrix<f64>, d: NodeIdx, g: NodeIdx, s: NodeIdx, b: NodeIdx, c: MosGm) {
+    let MosGm { gm, gds, gmbs } = c;
+    let total = gm + gds + gmbs;
+    for (node, sign) in [(d, 1.0), (s, -1.0)] {
+        if let Some(i) = node {
+            if let Some(j) = g {
+                a[(i, j)] += sign * gm;
+            }
+            if let Some(j) = d {
+                a[(i, j)] += sign * gds;
+            }
+            if let Some(j) = b {
+                a[(i, j)] += sign * gmbs;
+            }
+            if let Some(j) = s {
+                a[(i, j)] -= sign * total;
+            }
+        }
+    }
+}
+
+fn stamp_mos_c(
+    y: &mut Matrix<Complex>,
+    d: NodeIdx,
+    g: NodeIdx,
+    s: NodeIdx,
+    b: NodeIdx,
+    c: MosGm,
+) {
+    let MosGm { gm, gds, gmbs } = c;
+    let total = gm + gds + gmbs;
+    for (node, sign) in [(d, 1.0), (s, -1.0)] {
+        if let Some(i) = node {
+            if let Some(j) = g {
+                y[(i, j)] += Complex::from_re(sign * gm);
+            }
+            if let Some(j) = d {
+                y[(i, j)] += Complex::from_re(sign * gds);
+            }
+            if let Some(j) = b {
+                y[(i, j)] += Complex::from_re(sign * gmbs);
+            }
+            if let Some(j) = s {
+                y[(i, j)] -= Complex::from_re(sign * total);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn compile_counts_unknowns() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_inductor("L1", b, Circuit::GROUND, 1e-3).unwrap();
+        let eng = Engine::compile(&c).unwrap();
+        assert_eq!(eng.n_nodes, 2);
+        assert_eq!(eng.n_branches, 2, "V source + inductor");
+        assert_eq!(eng.dim(), 4);
+        assert_eq!(eng.branch_of("v1"), Some(0));
+        assert_eq!(eng.branch_of("L1"), Some(1));
+        assert_eq!(eng.branch_of("R1"), None);
+    }
+
+    #[test]
+    fn unknown_model_is_reported() {
+        let mut c = Circuit::new();
+        let d = c.node("d");
+        c.add_mosfet(
+            "M1",
+            d,
+            d,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            "missing",
+            crate::devices::MosGeometry::new(1e-6, 1e-6),
+        )
+        .unwrap();
+        match Engine::compile(&c) {
+            Err(SpiceError::UnknownModel { model, element }) => {
+                assert_eq!(model, "missing");
+                assert_eq!(element, "M1");
+            }
+            other => panic!("expected UnknownModel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resistor_divider_stamps() {
+        // v1 -- R1 -- out -- R2 -- gnd with V1 = 2V: the assembled linear
+        // system must solve to v(out) = 1V.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, 2.0).unwrap();
+        c.add_resistor("R1", vin, out, 1e3).unwrap();
+        c.add_resistor("R2", out, Circuit::GROUND, 1e3).unwrap();
+        let eng = Engine::compile(&c).unwrap();
+        let mut a = asdex_linalg::Matrix::zeros(eng.dim(), eng.dim());
+        let mut z = vec![0.0; eng.dim()];
+        let x = vec![0.0; eng.dim()];
+        eng.load_dc(&x, &mut a, &mut z, 0.0, 1.0);
+        let sol = asdex_linalg::solve(a, &z).unwrap();
+        assert!((sol[0] - 2.0).abs() < 1e-12, "v(in)");
+        assert!((sol[1] - 1.0).abs() < 1e-12, "v(out)");
+        // Branch current of V1: 2V across 2k = 1mA, flowing out of + into
+        // the circuit means the source branch current is -1mA by the MNA
+        // sign convention (current measured p→n through the source).
+        assert!((sol[2] + 1e-3).abs() < 1e-12, "i(V1) = {}", sol[2]);
+    }
+
+    #[test]
+    fn cccs_mirrors_branch_current() {
+        // V1 drives 1 mA through R1; F1 mirrors 2× that current into R2.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let out = c.node("out");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        c.add_cccs("F1", Circuit::GROUND, out, "V1", 2.0).unwrap();
+        c.add_resistor("R2", out, Circuit::GROUND, 1e3).unwrap();
+        let eng = Engine::compile(&c).unwrap();
+        let mut a_m = asdex_linalg::Matrix::zeros(eng.dim(), eng.dim());
+        let mut z = vec![0.0; eng.dim()];
+        eng.load_dc(&vec![0.0; eng.dim()], &mut a_m, &mut z, 0.0, 1.0);
+        let sol = asdex_linalg::solve(a_m, &z).unwrap();
+        // i(V1) = −1 mA (the source *sinks* the resistor current in MNA
+        // convention), so the mirrored current is gain·i = −2 mA flowing
+        // 0→out through F1: v(out) = −2 V. Matches SPICE.
+        let out_idx = 1;
+        assert!((sol[out_idx] + 2.0).abs() < 1e-9, "v(out) = {}", sol[out_idx]);
+    }
+
+    #[test]
+    fn ccvs_transresistance() {
+        // 1 mA through V1 (1 V into 1 kΩ); H1 produces 5000 · i volts.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let out = c.node("out");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_resistor("R1", a, Circuit::GROUND, 1e3).unwrap();
+        c.add_ccvs("H1", out, Circuit::GROUND, "V1", 5e3).unwrap();
+        c.add_resistor("RL", out, Circuit::GROUND, 1e3).unwrap();
+        let eng = Engine::compile(&c).unwrap();
+        let mut a_m = asdex_linalg::Matrix::zeros(eng.dim(), eng.dim());
+        let mut z = vec![0.0; eng.dim()];
+        eng.load_dc(&vec![0.0; eng.dim()], &mut a_m, &mut z, 0.0, 1.0);
+        let sol = asdex_linalg::solve(a_m, &z).unwrap();
+        // i(V1) = −1 mA → v(out) = 5e3 · (−1e-3) = −5 V.
+        assert!((sol[1] + 5.0).abs() < 1e-9, "v(out) = {}", sol[1]);
+    }
+
+    #[test]
+    fn unknown_control_reference_is_reported() {
+        let mut c = Circuit::new();
+        let out = c.node("out");
+        c.add_cccs("F1", Circuit::GROUND, out, "VMISSING", 1.0).unwrap();
+        c.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
+        assert!(matches!(Engine::compile(&c), Err(SpiceError::UnknownModel { .. })));
+    }
+
+    #[test]
+    fn isource_convention() {
+        // I1 from ground into node out through 1k: v(out) = 1V.
+        let mut c = Circuit::new();
+        let out = c.node("out");
+        c.add_isource("I1", Circuit::GROUND, out, 1e-3).unwrap();
+        c.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
+        let eng = Engine::compile(&c).unwrap();
+        let mut a = asdex_linalg::Matrix::zeros(eng.dim(), eng.dim());
+        let mut z = vec![0.0; eng.dim()];
+        eng.load_dc(&[0.0], &mut a, &mut z, 0.0, 1.0);
+        let sol = asdex_linalg::solve(a, &z).unwrap();
+        assert!((sol[0] - 1.0).abs() < 1e-12);
+    }
+}

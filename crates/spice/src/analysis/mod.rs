@@ -1,0 +1,14 @@
+//! Circuit analyses: DC operating point, AC small-signal sweeps, and
+//! transient integration.
+
+mod ac;
+mod dc;
+mod engine;
+mod op;
+mod tran;
+
+pub use ac::{ac_analysis, ac_analysis_with_op, AcResult, Sweep};
+pub use dc::{dc_sweep, DcSweepResult};
+pub use engine::Engine;
+pub use op::{dc_operating_point, OpOptions, OpResult};
+pub use tran::{transient, TranOptions, TranResult};

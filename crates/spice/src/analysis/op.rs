@@ -1,0 +1,369 @@
+//! Nonlinear DC operating-point analysis: Newton–Raphson with gmin and
+//! source stepping continuation.
+
+use super::engine::Engine;
+use crate::circuit::{Circuit, NodeId};
+use crate::error::SpiceError;
+use asdex_linalg::{Lu, Matrix};
+
+/// Convergence and iteration-limit knobs for the Newton loop.
+#[derive(Debug, Clone, Copy)]
+pub struct OpOptions {
+    /// Absolute voltage tolerance \[V\].
+    pub vabstol: f64,
+    /// Absolute current tolerance \[A\] (branch unknowns).
+    pub iabstol: f64,
+    /// Relative tolerance.
+    pub reltol: f64,
+    /// Newton iterations per continuation stage.
+    pub max_iter: usize,
+    /// Largest per-unknown voltage update per iteration (damping) \[V\].
+    pub max_step: f64,
+}
+
+impl Default for OpOptions {
+    fn default() -> Self {
+        OpOptions {
+            vabstol: 1e-6,
+            iabstol: 1e-9,
+            reltol: 1e-4,
+            max_iter: 150,
+            max_step: 0.5,
+        }
+    }
+}
+
+/// Result of a DC operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct OpResult {
+    pub(crate) x: Vec<f64>,
+    pub(crate) n_nodes: usize,
+    /// Total Newton iterations spent (all continuation stages).
+    pub iterations: usize,
+}
+
+impl OpResult {
+    /// Voltage at a node (0 for ground).
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.x[node.0 - 1]
+        }
+    }
+
+    /// Branch current of a voltage-defined element by branch index (see
+    /// [`Engine::branch_of`]), measured flowing p→n through the element.
+    pub fn branch_current(&self, branch: usize) -> f64 {
+        self.x[self.n_nodes + branch]
+    }
+
+    /// The raw unknown vector (node voltages then branch currents).
+    pub fn unknowns(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Runs a DC operating-point analysis on a circuit.
+///
+/// Strategy: plain Newton from a zero guess; if that diverges, gmin
+/// stepping (a decreasing shunt conductance on every node); if that also
+/// fails, source stepping (ramping all independent sources from 0).
+///
+/// # Errors
+///
+/// * [`SpiceError::NoConvergence`] when all continuation strategies fail.
+/// * [`SpiceError::Singular`] when the MNA matrix is structurally singular
+///   (floating node, voltage-source loop).
+///
+/// # Example
+///
+/// ```
+/// use asdex_spice::{Circuit, analysis::dc_operating_point};
+///
+/// # fn main() -> Result<(), asdex_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.add_vsource("V1", a, Circuit::GROUND, 3.0)?;
+/// let b = ckt.node("b");
+/// ckt.add_resistor("R1", a, b, 2e3)?;
+/// ckt.add_resistor("R2", b, Circuit::GROUND, 1e3)?;
+/// let op = dc_operating_point(&ckt, &Default::default())?;
+/// assert!((op.voltage(b) - 1.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn dc_operating_point(circuit: &Circuit, opts: &OpOptions) -> Result<OpResult, SpiceError> {
+    let engine = Engine::compile(circuit)?;
+    solve_op(&engine, opts, None)
+}
+
+impl Engine {
+    /// Runs the operating-point solve on this compiled engine, optionally
+    /// warm-started from a previous solution — the fast path for repeated
+    /// sizing evaluations where the topology never changes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`dc_operating_point`].
+    pub fn operating_point(&self, opts: &OpOptions, initial: Option<&[f64]>) -> Result<OpResult, SpiceError> {
+        solve_op(self, opts, initial)
+    }
+}
+
+/// Operating point with a warm-start guess (used by the transient initial
+/// condition and by repeated sizing evaluations).
+pub(crate) fn solve_op(
+    engine: &Engine,
+    opts: &OpOptions,
+    initial: Option<&[f64]>,
+) -> Result<OpResult, SpiceError> {
+    let dim = engine.dim();
+    let mut total_iters = 0usize;
+    let x0: Vec<f64> = initial.map_or_else(|| vec![0.0; dim], <[f64]>::to_vec);
+
+    // Stage 1: straight Newton.
+    if let Ok((x, it)) = newton(engine, x0.clone(), 0.0, 1.0, opts) {
+        return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: it });
+    }
+    total_iters += opts.max_iter;
+
+    // Stage 2: gmin stepping.
+    let mut x = x0.clone();
+    let mut ok = true;
+    for k in 0..=10i32 {
+        let gmin = 10f64.powi(-k - 2); // 1e-2 … 1e-12
+        match newton(engine, x.clone(), gmin, 1.0, opts) {
+            Ok((xn, it)) => {
+                x = xn;
+                total_iters += it;
+            }
+            Err(_) => {
+                ok = false;
+                break;
+            }
+        }
+    }
+    if ok {
+        // Final polish without gmin.
+        if let Ok((x, it)) = newton(engine, x, 0.0, 1.0, opts) {
+            return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: total_iters + it });
+        }
+    }
+
+    // Stage 3: source stepping.
+    let mut x = vec![0.0; dim];
+    for k in 1..=20 {
+        let scale = k as f64 / 20.0;
+        match newton(engine, x.clone(), 1e-12, scale, opts) {
+            Ok((xn, it)) => {
+                x = xn;
+                total_iters += it;
+            }
+            Err(e) => {
+                return Err(match e {
+                    NewtonFailure::Singular(s) => SpiceError::Singular(s),
+                    NewtonFailure::NoConverge => SpiceError::NoConvergence {
+                        analysis: "op",
+                        iterations: total_iters,
+                    },
+                })
+            }
+        }
+    }
+    if let Ok((x, it)) = newton(engine, x, 0.0, 1.0, opts) {
+        return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: total_iters + it });
+    }
+    Err(SpiceError::NoConvergence { analysis: "op", iterations: total_iters })
+}
+
+#[derive(Debug)]
+pub(crate) enum NewtonFailure {
+    Singular(asdex_linalg::SolveError),
+    NoConverge,
+}
+
+/// One Newton solve at fixed (gmin, source scale). Returns the solution and
+/// the iteration count.
+pub(crate) fn newton(
+    engine: &Engine,
+    mut x: Vec<f64>,
+    gmin: f64,
+    src_scale: f64,
+    opts: &OpOptions,
+) -> Result<(Vec<f64>, usize), NewtonFailure> {
+    let dim = engine.dim();
+    let mut a = Matrix::zeros(dim, dim);
+    let mut z = vec![0.0; dim];
+    for it in 1..=opts.max_iter {
+        engine.load_dc(&x, &mut a, &mut z, gmin, src_scale);
+        let lu = Lu::factor(a.clone()).map_err(NewtonFailure::Singular)?;
+        let x_new = lu.solve(&z).map_err(NewtonFailure::Singular)?;
+
+        // Damped update: limit each unknown's change.
+        let mut converged = true;
+        for i in 0..dim {
+            let mut delta = x_new[i] - x[i];
+            if delta.abs() > opts.max_step {
+                delta = opts.max_step.copysign(delta);
+                converged = false;
+            }
+            let abstol = if i < engine.n_nodes { opts.vabstol } else { opts.iabstol };
+            if delta.abs() > abstol + opts.reltol * x[i].abs().max(x_new[i].abs()) {
+                converged = false;
+            }
+            x[i] += delta;
+        }
+        if x.iter().any(|v| !v.is_finite()) {
+            return Err(NewtonFailure::NoConverge);
+        }
+        if converged {
+            return Ok((x, it));
+        }
+    }
+    Err(NewtonFailure::NoConverge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::devices::{DiodeModel, MosGeometry, MosModel};
+
+    fn opts() -> OpOptions {
+        OpOptions::default()
+    }
+
+    #[test]
+    fn linear_divider() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, 2.0).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, Circuit::GROUND, 3e3).unwrap();
+        let op = dc_operating_point(&c, &opts()).unwrap();
+        assert!((op.voltage(b) - 1.5).abs() < 1e-9);
+        assert_eq!(op.voltage(Circuit::GROUND), 0.0);
+    }
+
+    #[test]
+    fn diode_forward_drop() {
+        // V1(1V) -- R(1k) -- D -- gnd: the diode settles near 0.55–0.75 V.
+        let mut c = Circuit::new();
+        c.add_diode_model("d1", DiodeModel::default());
+        let a = c.node("a");
+        let k = c.node("k");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_resistor("R1", a, k, 1e3).unwrap();
+        c.add_diode("D1", k, Circuit::GROUND, "d1", 1.0).unwrap();
+        let op = dc_operating_point(&c, &opts()).unwrap();
+        let vd = op.voltage(k);
+        assert!((0.4..0.8).contains(&vd), "diode drop {vd}");
+        // KCL: resistor current equals diode current.
+        let ir = (1.0 - vd) / 1e3;
+        let id = crate::devices::eval_diode(&DiodeModel::default(), vd, c.temp_kelvin()).id;
+        assert!((ir - id).abs() < 1e-7, "ir {ir} vs id {id}");
+    }
+
+    #[test]
+    fn nmos_diode_connected() {
+        // VDD(1.8) -- R(10k) -- drain(=gate) NMOS to gnd: diode-connected
+        // device; drain voltage settles above vth where I_R = I_D.
+        let mut c = Circuit::new();
+        c.add_mos_model("nch", MosModel::default_nmos());
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 1.8).unwrap();
+        c.add_resistor("R1", vdd, d, 10e3).unwrap();
+        c.add_mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, "nch", MosGeometry::new(10e-6, 1e-6))
+            .unwrap();
+        let op = dc_operating_point(&c, &opts()).unwrap();
+        let vd = op.voltage(d);
+        assert!(vd > 0.5 && vd < 1.2, "diode-connected bias {vd}");
+        let m = MosModel::default_nmos();
+        let dev = crate::devices::eval_mosfet(&m, &MosGeometry::new(10e-6, 1e-6), vd, vd, 0.0);
+        let ir = (1.8 - vd) / 10e3;
+        assert!((dev.ids - ir).abs() < 1e-6 * (1.0 + ir.abs()), "KCL {} vs {}", dev.ids, ir);
+    }
+
+    #[test]
+    fn common_source_amplifier_bias() {
+        // NMOS common-source with resistive load; check the output sits
+        // between rails and the device is in saturation.
+        let mut c = Circuit::new();
+        c.add_mos_model("nch", MosModel::default_nmos());
+        let vdd = c.node("vdd");
+        let g = c.node("g");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 1.8).unwrap();
+        c.add_vsource("VG", g, Circuit::GROUND, 0.75).unwrap();
+        c.add_resistor("RL", vdd, d, 20e3).unwrap();
+        c.add_mosfet("M1", d, g, Circuit::GROUND, Circuit::GROUND, "nch", MosGeometry::new(5e-6, 1e-6))
+            .unwrap();
+        let op = dc_operating_point(&c, &opts()).unwrap();
+        let vd = op.voltage(d);
+        assert!(vd > 0.2 && vd < 1.7, "output bias {vd}");
+    }
+
+    #[test]
+    fn floating_node_reports_singular_or_converges_via_gmin() {
+        // A node connected only through a capacitor is floating in DC; the
+        // gmin path may still pin it to ground. Either a clean error or a
+        // converged result with the floating node near 0 is acceptable; it
+        // must not hang or produce NaN.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_capacitor("C1", a, b, 1e-12).unwrap();
+        match dc_operating_point(&c, &opts()) {
+            Ok(op) => assert!(op.voltage(b).is_finite()),
+            Err(SpiceError::Singular(_)) | Err(SpiceError::NoConvergence { .. }) => {}
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+
+    #[test]
+    fn vsource_loop_is_singular() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_vsource("V2", a, Circuit::GROUND, 2.0).unwrap();
+        assert!(dc_operating_point(&c, &opts()).is_err());
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        let mut c = Circuit::new();
+        c.add_mos_model("nch", MosModel::default_nmos());
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 1.8).unwrap();
+        c.add_resistor("R1", vdd, d, 10e3).unwrap();
+        c.add_mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, "nch", MosGeometry::new(10e-6, 1e-6))
+            .unwrap();
+        let engine = Engine::compile(&c).unwrap();
+        let cold = solve_op(&engine, &opts(), None).unwrap();
+        let warm = solve_op(&engine, &opts(), Some(cold.unknowns())).unwrap();
+        assert!(warm.iterations <= cold.iterations);
+        assert!((warm.voltage(d) - cold.voltage(d)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vccs_and_vcvs_dc() {
+        // VCVS doubling a 1V input; VCCS drawing gm*v into a load.
+        let mut c = Circuit::new();
+        let inp = c.node("in");
+        let out = c.node("out");
+        let o2 = c.node("o2");
+        c.add_vsource("V1", inp, Circuit::GROUND, 1.0).unwrap();
+        c.add_vcvs("E1", out, Circuit::GROUND, inp, Circuit::GROUND, 2.0).unwrap();
+        c.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
+        c.add_vccs("G1", Circuit::GROUND, o2, inp, Circuit::GROUND, 1e-3).unwrap();
+        c.add_resistor("R2", o2, Circuit::GROUND, 2e3).unwrap();
+        let op = dc_operating_point(&c, &opts()).unwrap();
+        assert!((op.voltage(out) - 2.0).abs() < 1e-9);
+        // G1 pushes 1mA into o2 (p=gnd, n=o2 → current leaves n): v(o2)=2V.
+        assert!((op.voltage(o2) - 2.0).abs() < 1e-9);
+    }
+}

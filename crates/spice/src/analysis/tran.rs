@@ -1,0 +1,261 @@
+//! Transient analysis with backward-Euler integration and a Newton solve
+//! per time step.
+
+use super::engine::Engine;
+use super::op::{solve_op, OpOptions};
+use crate::circuit::{Circuit, NodeId};
+use crate::error::SpiceError;
+use asdex_linalg::{Lu, Matrix};
+
+/// Transient analysis configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TranOptions {
+    /// Fixed time step \[s\].
+    pub tstep: f64,
+    /// Stop time \[s\].
+    pub tstop: f64,
+    /// Newton/convergence options for each step and the initial OP.
+    pub op: OpOptions,
+    /// Start from a zero state instead of the DC operating point
+    /// (`.tran ... UIC`).
+    pub uic: bool,
+}
+
+impl TranOptions {
+    /// Creates options with a given step and stop time and default Newton
+    /// settings.
+    pub fn new(tstep: f64, tstop: f64) -> Self {
+        TranOptions { tstep, tstop, op: OpOptions::default(), uic: false }
+    }
+}
+
+/// Result of a transient run: waveforms for every unknown.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    pub(crate) times: Vec<f64>,
+    /// `samples[k]` is the unknown vector at `times[k]`.
+    pub(crate) samples: Vec<Vec<f64>>,
+    pub(crate) n_nodes: usize,
+}
+
+impl TranResult {
+    /// Sampled time points \[s\].
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Node voltage at sample `k`.
+    pub fn voltage(&self, k: usize, node: NodeId) -> f64 {
+        if node.is_ground() {
+            0.0
+        } else {
+            self.samples[k][node.0 - 1]
+        }
+    }
+
+    /// Full waveform of one node.
+    pub fn node_waveform(&self, node: NodeId) -> Vec<f64> {
+        (0..self.times.len()).map(|k| self.voltage(k, node)).collect()
+    }
+
+    /// Branch current at sample `k`.
+    pub fn branch_current(&self, k: usize, branch: usize) -> f64 {
+        self.samples[k][self.n_nodes + branch]
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when the run produced no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+/// Runs a fixed-step transient analysis.
+///
+/// Each step solves the backward-Euler companion system with Newton
+/// iterations; capacitor/inductor histories use the previous converged
+/// point, and MOSFET Meyer capacitances are frozen at the previous point
+/// (standard explicit-capacitance simplification).
+///
+/// # Errors
+///
+/// * [`SpiceError::BadSweep`] for a non-positive step or stop time.
+/// * [`SpiceError::NoConvergence`] when a time step fails to converge.
+///
+/// # Example
+///
+/// ```
+/// use asdex_spice::{Circuit, Waveform};
+/// use asdex_spice::analysis::{transient, TranOptions};
+///
+/// # fn main() -> Result<(), asdex_spice::SpiceError> {
+/// let mut ckt = Circuit::new();
+/// let vin = ckt.node("in");
+/// let out = ckt.node("out");
+/// let step = Waveform::Pulse { v1: 0.0, v2: 1.0, td: 0.0, tr: 1e-9, tf: 1e-9, pw: 1.0, per: 2.0 };
+/// ckt.add_vsource_full("V1", vin, Circuit::GROUND, 0.0, None, Some(step))?;
+/// ckt.add_resistor("R1", vin, out, 1e3)?;
+/// ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-9)?;
+/// let tr = transient(&ckt, &TranOptions::new(50e-9, 5e-6))?;
+/// let last = tr.voltage(tr.len() - 1, out);
+/// assert!((last - 1.0).abs() < 0.01, "settles to the step value");
+/// # Ok(())
+/// # }
+/// ```
+pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, SpiceError> {
+    if opts.tstep <= 0.0 || opts.tstop <= opts.tstep || opts.tstep.is_nan() || opts.tstop.is_nan() {
+        return Err(SpiceError::BadSweep {
+            reason: format!("need 0 < tstep < tstop (got {}, {})", opts.tstep, opts.tstop),
+        });
+    }
+    let engine = Engine::compile(circuit)?;
+    let dim = engine.dim();
+
+    // Initial condition.
+    let x0 = if opts.uic {
+        vec![0.0; dim]
+    } else {
+        solve_op(&engine, &opts.op, None)?.unknowns().to_vec()
+    };
+
+    let n_steps = (opts.tstop / opts.tstep).ceil() as usize;
+    let mut times = Vec::with_capacity(n_steps + 1);
+    let mut samples = Vec::with_capacity(n_steps + 1);
+    times.push(0.0);
+    samples.push(x0.clone());
+
+    let mut a = Matrix::zeros(dim, dim);
+    let mut z = vec![0.0; dim];
+    let mut x_prev = x0;
+    let mut caps = engine.mos_caps_at(&x_prev);
+    debug_assert_eq!(caps.len(), engine.mosfet_count());
+
+    for step in 1..=n_steps {
+        let t = (step as f64 * opts.tstep).min(opts.tstop);
+        let h = t - times.last().copied().unwrap_or(0.0);
+        if h <= 0.0 {
+            break;
+        }
+        // Newton at this time point, warm-started from the previous one.
+        let mut x = x_prev.clone();
+        let mut converged = false;
+        for _ in 0..opts.op.max_iter {
+            engine.load_tran(&x, &x_prev, t, h, &caps, &mut a, &mut z);
+            let lu = Lu::factor(a.clone())?;
+            let x_new = lu.solve(&z)?;
+            let mut done = true;
+            for i in 0..dim {
+                let mut delta = x_new[i] - x[i];
+                if delta.abs() > opts.op.max_step {
+                    delta = opts.op.max_step.copysign(delta);
+                    done = false;
+                }
+                let abstol = if i < engine.n_nodes { opts.op.vabstol } else { opts.op.iabstol };
+                if delta.abs() > abstol + opts.op.reltol * x[i].abs().max(x_new[i].abs()) {
+                    done = false;
+                }
+                x[i] += delta;
+            }
+            if x.iter().any(|v| !v.is_finite()) {
+                return Err(SpiceError::NoConvergence { analysis: "tran", iterations: step });
+            }
+            if done {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            return Err(SpiceError::NoConvergence { analysis: "tran", iterations: step });
+        }
+        caps = engine.mos_caps_at(&x);
+        times.push(t);
+        samples.push(x.clone());
+        x_prev = x;
+    }
+
+    Ok(TranResult { times, samples, n_nodes: engine.n_nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Waveform;
+
+    #[test]
+    fn rc_charge_curve() {
+        // Step into an RC: v(t) = 1 - exp(-t/RC); check at t = RC within
+        // backward-Euler accuracy.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let step = Waveform::Pulse { v1: 0.0, v2: 1.0, td: 0.0, tr: 1e-12, tf: 1e-12, pw: 1.0, per: 2.0 };
+        ckt.add_vsource_full("V1", vin, Circuit::GROUND, 0.0, None, Some(step)).unwrap();
+        ckt.add_resistor("R1", vin, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
+        let tau = 1e-6;
+        let tr = transient(&ckt, &TranOptions::new(tau / 200.0, 2.0 * tau)).unwrap();
+        // Find the sample closest to t = tau.
+        let k = tr
+            .times()
+            .iter()
+            .position(|&t| t >= tau)
+            .expect("sample at tau");
+        let v = tr.voltage(k, out);
+        let expect = 1.0 - (-1.0f64).exp();
+        assert!((v - expect).abs() < 0.01, "v(tau) = {v}, expect ~{expect}");
+    }
+
+    #[test]
+    fn lr_current_ramp() {
+        // 1V across L–R: i settles to V/R with time constant L/R.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let on = Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 1.0)]);
+        ckt.add_vsource_full("V1", a, Circuit::GROUND, 0.0, None, Some(on)).unwrap();
+        ckt.add_inductor("L1", a, b, 1e-3).unwrap();
+        ckt.add_resistor("R1", b, Circuit::GROUND, 100.0).unwrap();
+        let tau = 1e-3 / 100.0; // 10 µs
+        let tr = transient(&ckt, &TranOptions::new(tau / 100.0, 5.0 * tau)).unwrap();
+        let i_final = tr.voltage(tr.len() - 1, b) / 100.0;
+        assert!((i_final - 0.01).abs() < 1e-4, "final current {i_final}");
+    }
+
+    #[test]
+    fn sin_source_oscillates() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        let sin = Waveform::Sin { vo: 0.0, va: 1.0, freq: 1e6, td: 0.0, theta: 0.0 };
+        ckt.add_vsource_full("V1", out, Circuit::GROUND, 0.0, None, Some(sin)).unwrap();
+        ckt.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
+        let tr = transient(&ckt, &TranOptions::new(10e-9, 1e-6)).unwrap();
+        let w = tr.node_waveform(out);
+        let max = w.iter().cloned().fold(f64::MIN, f64::max);
+        let min = w.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(max > 0.95 && min < -0.95, "full swing (max {max}, min {min})");
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        let ckt = Circuit::new();
+        assert!(transient(&ckt, &TranOptions::new(0.0, 1.0)).is_err());
+        assert!(transient(&ckt, &TranOptions::new(1.0, 0.5)).is_err());
+    }
+
+    #[test]
+    fn uic_starts_from_zero() {
+        let mut ckt = Circuit::new();
+        let out = ckt.node("out");
+        ckt.add_vsource("V1", out, Circuit::GROUND, 1.0).unwrap();
+        ckt.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
+        let mut opts = TranOptions::new(1e-9, 1e-7);
+        opts.uic = true;
+        let tr = transient(&ckt, &opts).unwrap();
+        assert_eq!(tr.voltage(0, out), 0.0, "UIC: t=0 state is zero");
+        assert!((tr.voltage(tr.len() - 1, out) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,154 @@
+//! Junction diode model with exponential I–V and Newton-friendly limiting.
+
+use serde::{Deserialize, Serialize};
+
+/// Junction diode model card.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiodeModel {
+    /// Saturation current \[A\].
+    pub is: f64,
+    /// Emission coefficient (ideality factor).
+    pub n: f64,
+    /// Zero-bias junction capacitance \[F\].
+    pub cj0: f64,
+}
+
+impl Default for DiodeModel {
+    fn default() -> Self {
+        DiodeModel { is: 1e-14, n: 1.0, cj0: 0.0 }
+    }
+}
+
+/// Thermal voltage kT/q at a given temperature in Kelvin.
+///
+/// ```
+/// let vt = asdex_spice::devices::thermal_voltage(300.15);
+/// assert!((vt - 0.02586).abs() < 1e-4);
+/// ```
+pub fn thermal_voltage(temp_kelvin: f64) -> f64 {
+    const K_OVER_Q: f64 = 8.617_333_262e-5; // V/K
+    K_OVER_Q * temp_kelvin
+}
+
+/// Diode operating point: current and conductance at a junction voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiodeOp {
+    /// Junction current \[A\].
+    pub id: f64,
+    /// Small-signal conductance `∂id/∂vd` \[S\].
+    pub gd: f64,
+}
+
+/// Voltage beyond which the exponential is linearized to avoid overflow
+/// during Newton iterations (the classic SPICE exp-limiting trick).
+const EXP_ARG_MAX: f64 = 40.0;
+
+/// Evaluates the diode at junction voltage `vd` and temperature
+/// `temp_kelvin`.
+///
+/// For `vd/(n·Vt) > 40` the exponential continues as its tangent line, which
+/// keeps the Newton iteration finite no matter how wild the intermediate
+/// guesses get. A small parallel conductance keeps reverse bias from
+/// producing an exactly-zero pivot.
+pub fn eval_diode(model: &DiodeModel, vd: f64, temp_kelvin: f64) -> DiodeOp {
+    let nvt = model.n * thermal_voltage(temp_kelvin);
+    let gmin = 1e-12;
+    let arg = vd / nvt;
+    if arg > EXP_ARG_MAX {
+        let e = EXP_ARG_MAX.exp();
+        let i_at = model.is * (e - 1.0);
+        let g_at = model.is * e / nvt;
+        DiodeOp {
+            id: i_at + g_at * (vd - EXP_ARG_MAX * nvt) + gmin * vd,
+            gd: g_at + gmin,
+        }
+    } else if arg < -EXP_ARG_MAX {
+        DiodeOp { id: -model.is + gmin * vd, gd: gmin }
+    } else {
+        let e = arg.exp();
+        DiodeOp {
+            id: model.is * (e - 1.0) + gmin * vd,
+            gd: model.is * e / nvt + gmin,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ROOM: f64 = 300.15;
+
+    #[test]
+    fn zero_bias_zero_current() {
+        let op = eval_diode(&DiodeModel::default(), 0.0, ROOM);
+        assert!(op.id.abs() < 1e-20);
+        assert!(op.gd > 0.0);
+    }
+
+    #[test]
+    fn forward_bias_exponential() {
+        let m = DiodeModel::default();
+        let op = eval_diode(&m, 0.6, ROOM);
+        let vt = thermal_voltage(ROOM);
+        // The model adds a 1e-12 S convergence shunt in parallel.
+        let expect = m.is * ((0.6 / vt).exp() - 1.0) + 1e-12 * 0.6;
+        assert!((op.id - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn conductance_matches_finite_difference() {
+        let m = DiodeModel::default();
+        let dv = 1e-9;
+        for &v in &[0.3, 0.55, 0.65, -0.5, 1.2, 2.0] {
+            let a = eval_diode(&m, v, ROOM);
+            let b = eval_diode(&m, v + dv, ROOM);
+            let fd = (b.id - a.id) / dv;
+            assert!(
+                (a.gd - fd).abs() <= 1e-4 * (1.0 + fd.abs()),
+                "v={v}: gd {} vs fd {}",
+                a.gd,
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn limiting_keeps_values_finite() {
+        let m = DiodeModel::default();
+        let op = eval_diode(&m, 100.0, ROOM);
+        assert!(op.id.is_finite());
+        assert!(op.gd.is_finite());
+        let op = eval_diode(&m, -100.0, ROOM);
+        assert!((op.id + m.is + 1e-12 * 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn current_is_monotone_in_voltage() {
+        let m = DiodeModel::default();
+        let mut prev = f64::NEG_INFINITY;
+        for k in -50..150 {
+            let v = k as f64 * 0.02;
+            let id = eval_diode(&m, v, ROOM).id;
+            assert!(id > prev, "diode I–V must be strictly increasing");
+            prev = id;
+        }
+    }
+
+    #[test]
+    fn ideality_factor_softens_curve() {
+        let m1 = DiodeModel { n: 1.0, ..DiodeModel::default() };
+        let m2 = DiodeModel { n: 2.0, ..DiodeModel::default() };
+        assert!(eval_diode(&m1, 0.6, ROOM).id > eval_diode(&m2, 0.6, ROOM).id);
+    }
+
+    #[test]
+    fn temperature_raises_current() {
+        // At fixed Is, higher T lowers the exponent (kT/q grows), so the
+        // forward current at a fixed bias drops — matches the Vt scaling.
+        let m = DiodeModel::default();
+        let cold = eval_diode(&m, 0.6, 250.0).id;
+        let hot = eval_diode(&m, 0.6, 350.0).id;
+        assert!(cold > hot);
+    }
+}

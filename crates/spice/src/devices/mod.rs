@@ -1,0 +1,7 @@
+//! Device models: Level-1 MOSFET and junction diode.
+
+mod diode;
+mod mosfet;
+
+pub use diode::{eval_diode, thermal_voltage, DiodeModel, DiodeOp};
+pub use mosfet::{eval_mosfet, MosGeometry, MosModel, MosOp, MosPolarity, MosRegion};

@@ -1,0 +1,385 @@
+//! Level-1 (square-law) MOSFET model: large-signal evaluation and Meyer
+//! capacitances.
+//!
+//! The Level-1 model captures the first-order physics that makes analog
+//! sizing non-trivial — threshold, triode/saturation regions, channel-length
+//! modulation, and body effect — which is exactly the structure the
+//! trust-region agent and the paper's baselines are sensitive to.
+
+use serde::{Deserialize, Serialize};
+
+/// Channel polarity of a MOSFET.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MosPolarity {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Operating region of a MOSFET at a bias point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MosRegion {
+    /// `vgs <= vth`: channel off.
+    Cutoff,
+    /// `vds < vgs - vth`: linear/ohmic region.
+    Triode,
+    /// `vds >= vgs - vth`: current source region.
+    Saturation,
+}
+
+/// Level-1 MOSFET model card.
+///
+/// All parameters use SI units. `vt0` is signed the SPICE way: positive
+/// for enhancement NMOS, negative for enhancement PMOS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MosModel {
+    /// Channel polarity.
+    pub polarity: MosPolarity,
+    /// Zero-bias threshold voltage \[V\].
+    pub vt0: f64,
+    /// Process transconductance `µCox` \[A/V²\].
+    pub kp: f64,
+    /// Channel-length modulation \[1/V\].
+    pub lambda: f64,
+    /// Body-effect coefficient \[√V\].
+    pub gamma: f64,
+    /// Surface potential `2φF` \[V\].
+    pub phi: f64,
+    /// Gate-oxide capacitance per unit area \[F/m²\].
+    pub cox: f64,
+    /// Gate–source overlap capacitance per meter of width \[F/m\].
+    pub cgso: f64,
+    /// Gate–drain overlap capacitance per meter of width \[F/m\].
+    pub cgdo: f64,
+}
+
+impl MosModel {
+    /// A generic long-channel NMOS card, useful for tests.
+    pub fn default_nmos() -> Self {
+        MosModel {
+            polarity: MosPolarity::Nmos,
+            vt0: 0.5,
+            kp: 200e-6,
+            lambda: 0.05,
+            gamma: 0.4,
+            phi: 0.7,
+            cox: 8e-3,
+            cgso: 0.3e-9,
+            cgdo: 0.3e-9,
+        }
+    }
+
+    /// A generic long-channel PMOS card, useful for tests.
+    pub fn default_pmos() -> Self {
+        MosModel {
+            polarity: MosPolarity::Pmos,
+            vt0: -0.5,
+            kp: 80e-6,
+            lambda: 0.08,
+            gamma: 0.4,
+            phi: 0.7,
+            cox: 8e-3,
+            cgso: 0.3e-9,
+            cgdo: 0.3e-9,
+        }
+    }
+
+    /// Sign convention multiplier: +1 for NMOS, −1 for PMOS.
+    #[inline]
+    pub fn sign(&self) -> f64 {
+        match self.polarity {
+            MosPolarity::Nmos => 1.0,
+            MosPolarity::Pmos => -1.0,
+        }
+    }
+}
+
+/// Small- and large-signal quantities of a MOSFET at one bias point.
+///
+/// When the applied `vds` is negative (in device polarity) the symmetric
+/// device conducts in reverse; the model then evaluates with drain and
+/// source roles exchanged and sets [`MosOp::swapped`]. In that case `ids`,
+/// `gm`, `gds`, and `gmbs` refer to the **effective** terminals (effective
+/// drain = physical source), and the MNA stamper must exchange the node
+/// indices accordingly. The capacitances `cgs`/`cgd` are always between the
+/// gate and the **physical** source/drain.
+///
+/// Sign conventions follow SPICE: `gm`, `gds`, `gmbs` are non-negative for
+/// both polarities; `ids` is positive into the effective drain for NMOS and
+/// negative for PMOS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosOp {
+    /// Drain current \[A\] into the effective drain terminal.
+    pub ids: f64,
+    /// Transconductance `∂ids/∂vgs` \[S\] (effective frame).
+    pub gm: f64,
+    /// Output conductance `∂ids/∂vds` \[S\] (effective frame).
+    pub gds: f64,
+    /// Body transconductance `∂ids/∂vbs` \[S\] (effective frame).
+    pub gmbs: f64,
+    /// Effective threshold voltage at this body bias \[V\] (device polarity).
+    pub vth: f64,
+    /// Operating region.
+    pub region: MosRegion,
+    /// Gate–(physical)source capacitance \[F\], Meyer model plus overlap.
+    pub cgs: f64,
+    /// Gate–(physical)drain capacitance \[F\], Meyer model plus overlap.
+    pub cgd: f64,
+    /// Gate–bulk capacitance \[F\].
+    pub cgb: f64,
+    /// `true` if drain/source roles were exchanged (`vds < 0`).
+    pub swapped: bool,
+}
+
+/// Geometry of a MOSFET instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MosGeometry {
+    /// Channel width \[m\].
+    pub w: f64,
+    /// Channel length \[m\].
+    pub l: f64,
+    /// Parallel multiplicity.
+    pub m: f64,
+}
+
+impl MosGeometry {
+    /// Creates a geometry with multiplicity 1.
+    pub fn new(w: f64, l: f64) -> Self {
+        MosGeometry { w, l, m: 1.0 }
+    }
+
+    /// Active gate area `W·L·m` \[m²\].
+    pub fn area(&self) -> f64 {
+        self.w * self.l * self.m
+    }
+}
+
+/// Minimum conductance stamped for off devices, for Newton robustness.
+const GDS_MIN: f64 = 1e-12;
+
+/// Evaluates the Level-1 model at terminal voltages `(vgs, vds, vbs)` given
+/// in circuit orientation (not polarity-normalized).
+///
+/// Handles `vds < 0` by swapping drain and source internally (the device is
+/// symmetric); the returned conductances are mapped back to circuit
+/// orientation and [`MosOp::swapped`] records the swap.
+pub fn eval_mosfet(model: &MosModel, geom: &MosGeometry, vgs: f64, vds: f64, vbs: f64) -> MosOp {
+    let sign = model.sign();
+    // Normalize to NMOS-like polarity.
+    let (mut nvgs, mut nvds, mut nvbs) = (sign * vgs, sign * vds, sign * vbs);
+    // Symmetric device: for negative vds swap source and drain.
+    let swapped = nvds < 0.0;
+    if swapped {
+        // vgd becomes the controlling voltage, vsb the new body bias.
+        let vgd = nvgs - nvds;
+        nvbs -= nvds;
+        nvds = -nvds;
+        nvgs = vgd;
+    }
+
+    let vt0 = sign * model.vt0; // normalized threshold (positive for enhancement)
+    // Body effect with clamped argument (vbs can forward-bias the junction).
+    let phi = model.phi.max(1e-3);
+    let arg = (phi - nvbs).max(1e-6);
+    let vth = vt0 + model.gamma * (arg.sqrt() - phi.sqrt());
+    let dvth_dvbs = -model.gamma / (2.0 * arg.sqrt());
+
+    let beta = model.kp * (geom.w / geom.l) * geom.m;
+    let vov = nvgs - vth;
+
+    let (ids, gm, mut gds, region);
+    if vov <= 0.0 {
+        region = MosRegion::Cutoff;
+        ids = 0.0;
+        gm = 0.0;
+        gds = GDS_MIN;
+    } else if nvds < vov {
+        region = MosRegion::Triode;
+        let clm = 1.0 + model.lambda * nvds;
+        ids = beta * (vov * nvds - 0.5 * nvds * nvds) * clm;
+        gm = beta * nvds * clm;
+        gds = beta * ((vov - nvds) * clm + (vov * nvds - 0.5 * nvds * nvds) * model.lambda);
+    } else {
+        region = MosRegion::Saturation;
+        let clm = 1.0 + model.lambda * nvds;
+        ids = 0.5 * beta * vov * vov * clm;
+        gm = beta * vov * clm;
+        gds = 0.5 * beta * vov * vov * model.lambda;
+    }
+    let gmbs = gm * (-dvth_dvbs);
+    gds = gds.max(GDS_MIN);
+
+    // Meyer gate capacitances (plus overlaps), in the *normalized, possibly
+    // swapped* orientation.
+    let cox_total = model.cox * geom.w * geom.l * geom.m;
+    let covl_s = model.cgso * geom.w * geom.m;
+    let covl_d = model.cgdo * geom.w * geom.m;
+    let (mut cgs, mut cgd, cgb) = match region {
+        MosRegion::Cutoff => (covl_s, covl_d, cox_total),
+        MosRegion::Triode => (0.5 * cox_total + covl_s, 0.5 * cox_total + covl_d, 0.0),
+        MosRegion::Saturation => (2.0 / 3.0 * cox_total + covl_s, covl_d, 0.0),
+    };
+
+    // The channel-charge split followed the effective orientation; map the
+    // capacitances back to the physical terminals.
+    if swapped {
+        std::mem::swap(&mut cgs, &mut cgd);
+    }
+
+    MosOp {
+        ids: sign * ids,
+        gm,
+        gds,
+        gmbs,
+        vth: sign * vth,
+        region,
+        cgs,
+        cgd,
+        cgb,
+        swapped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> (MosModel, MosGeometry) {
+        (MosModel::default_nmos(), MosGeometry::new(10e-6, 1e-6))
+    }
+
+    #[test]
+    fn cutoff_below_threshold() {
+        let (m, g) = nmos();
+        let op = eval_mosfet(&m, &g, 0.3, 1.0, 0.0);
+        assert_eq!(op.region, MosRegion::Cutoff);
+        assert_eq!(op.ids, 0.0);
+        assert_eq!(op.gm, 0.0);
+        assert!(op.gds > 0.0, "off device keeps a convergence conductance");
+    }
+
+    #[test]
+    fn saturation_square_law() {
+        let (m, g) = nmos();
+        let op = eval_mosfet(&m, &g, 1.0, 2.0, 0.0);
+        assert_eq!(op.region, MosRegion::Saturation);
+        let beta = m.kp * g.w / g.l;
+        let expect = 0.5 * beta * 0.25 * (1.0 + m.lambda * 2.0);
+        assert!((op.ids - expect).abs() / expect < 1e-12);
+        // gm = beta * vov * (1 + lambda vds)
+        let gm_expect = beta * 0.5 * (1.0 + m.lambda * 2.0);
+        assert!((op.gm - gm_expect).abs() / gm_expect < 1e-12);
+    }
+
+    #[test]
+    fn triode_region() {
+        let (m, g) = nmos();
+        let op = eval_mosfet(&m, &g, 1.5, 0.1, 0.0);
+        assert_eq!(op.region, MosRegion::Triode);
+        assert!(op.ids > 0.0);
+        assert!(op.gds > op.gm * 0.01, "triode output conductance is large");
+    }
+
+    #[test]
+    fn gm_matches_finite_difference() {
+        let (m, g) = nmos();
+        let dv = 1e-7;
+        for &(vgs, vds, vbs) in &[(1.0, 2.0, 0.0), (1.5, 0.2, -0.3), (0.8, 1.0, -0.5)] {
+            let op = eval_mosfet(&m, &g, vgs, vds, vbs);
+            let up = eval_mosfet(&m, &g, vgs + dv, vds, vbs);
+            let fd = (up.ids - op.ids) / dv;
+            assert!((op.gm - fd).abs() <= 1e-6 * (1.0 + fd.abs()), "gm {} vs fd {}", op.gm, fd);
+        }
+    }
+
+    #[test]
+    fn gds_matches_finite_difference() {
+        let (m, g) = nmos();
+        let dv = 1e-7;
+        for &(vgs, vds, vbs) in &[(1.0, 2.0, 0.0), (1.5, 0.2, -0.3)] {
+            let op = eval_mosfet(&m, &g, vgs, vds, vbs);
+            let up = eval_mosfet(&m, &g, vgs, vds + dv, vbs);
+            let fd = (up.ids - op.ids) / dv;
+            assert!((op.gds - fd).abs() <= 1e-6 * (1.0 + fd.abs()), "gds {} vs fd {}", op.gds, fd);
+        }
+    }
+
+    #[test]
+    fn gmbs_matches_finite_difference() {
+        let (m, g) = nmos();
+        let dv = 1e-7;
+        let (vgs, vds, vbs) = (1.0, 2.0, -0.4);
+        let op = eval_mosfet(&m, &g, vgs, vds, vbs);
+        let up = eval_mosfet(&m, &g, vgs, vds, vbs + dv);
+        let fd = (up.ids - op.ids) / dv;
+        assert!((op.gmbs - fd).abs() <= 1e-6 * (1.0 + fd.abs()), "gmbs {} vs fd {}", op.gmbs, fd);
+    }
+
+    #[test]
+    fn body_effect_raises_threshold() {
+        let (m, g) = nmos();
+        let op0 = eval_mosfet(&m, &g, 1.0, 2.0, 0.0);
+        let oprev = eval_mosfet(&m, &g, 1.0, 2.0, -1.0);
+        assert!(oprev.vth > op0.vth, "reverse body bias raises vth");
+        assert!(oprev.ids < op0.ids);
+    }
+
+    #[test]
+    fn pmos_mirror_symmetry() {
+        let n = MosModel::default_nmos();
+        let mut p = n.clone();
+        p.polarity = MosPolarity::Pmos;
+        p.vt0 = -n.vt0;
+        let g = MosGeometry::new(10e-6, 1e-6);
+        let opn = eval_mosfet(&n, &g, 1.0, 2.0, 0.0);
+        let opp = eval_mosfet(&p, &g, -1.0, -2.0, 0.0);
+        assert!((opn.ids + opp.ids).abs() < 1e-15, "PMOS mirrors NMOS");
+        assert!((opn.gm - opp.gm).abs() < 1e-15);
+        assert_eq!(opp.region, MosRegion::Saturation);
+    }
+
+    #[test]
+    fn reverse_vds_swaps_terminals() {
+        let (m, g) = nmos();
+        // Symmetric device: eval(vgs=1.5, vds=-1) must match the mirrored
+        // forward device eval(vgs'=vgd=2.5, vds'=1, vbs'=vbs-vds=1) with the
+        // effective terminals exchanged.
+        let op = eval_mosfet(&m, &g, 1.5, -1.0, 0.0);
+        assert!(op.swapped);
+        let fwd = eval_mosfet(&m, &g, 2.5, 1.0, 1.0);
+        assert!(!fwd.swapped);
+        assert!((op.ids - fwd.ids).abs() < 1e-15, "effective-frame currents agree");
+        assert!((op.gm - fwd.gm).abs() < 1e-15);
+        assert!((op.gds - fwd.gds).abs() < 1e-15);
+        assert!((op.gmbs - fwd.gmbs).abs() < 1e-15);
+        // Capacitances are reported on physical terminals: the channel-side
+        // capacitance sits on the physical drain after the swap.
+        assert!((op.cgs - fwd.cgd).abs() < 1e-24);
+        assert!((op.cgd - fwd.cgs).abs() < 1e-24);
+    }
+
+    #[test]
+    fn capacitances_by_region() {
+        let (m, g) = nmos();
+        let cox_total = m.cox * g.w * g.l;
+        let off = eval_mosfet(&m, &g, 0.0, 0.0, 0.0);
+        assert!((off.cgb - cox_total).abs() < 1e-18);
+        let sat = eval_mosfet(&m, &g, 1.0, 2.0, 0.0);
+        assert!(sat.cgs > sat.cgd, "saturation: cgs dominated by channel");
+        assert!((sat.cgs - (2.0 / 3.0 * cox_total + m.cgso * g.w)).abs() < 1e-18);
+        let tri = eval_mosfet(&m, &g, 1.5, 0.05, 0.0);
+        assert!((tri.cgs - tri.cgd).abs() < 1e-18, "triode splits the channel evenly");
+    }
+
+    #[test]
+    fn multiplicity_scales_current() {
+        let m = MosModel::default_nmos();
+        let g1 = MosGeometry::new(10e-6, 1e-6);
+        let g4 = MosGeometry { m: 4.0, ..g1 };
+        let op1 = eval_mosfet(&m, &g1, 1.0, 2.0, 0.0);
+        let op4 = eval_mosfet(&m, &g4, 1.0, 2.0, 0.0);
+        assert!((op4.ids - 4.0 * op1.ids).abs() < 1e-15);
+        assert!((g4.area() - 4.0 * g1.area()).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,129 @@
+//! Error types for circuit construction, parsing, and simulation.
+
+use asdex_linalg::SolveError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or simulating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpiceError {
+    /// An element referenced a model name that was never defined.
+    UnknownModel {
+        /// The missing model name.
+        model: String,
+        /// The element that referenced it.
+        element: String,
+    },
+    /// An element parameter is outside its physical range (e.g. a negative
+    /// resistance where not supported, or a zero-length MOSFET).
+    InvalidParameter {
+        /// The element with the bad parameter.
+        element: String,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// The DC operating-point iteration failed to converge even after
+    /// gmin and source stepping.
+    NoConvergence {
+        /// Analysis that failed (`"op"`, `"tran"`, …).
+        analysis: &'static str,
+        /// Iterations spent before giving up.
+        iterations: usize,
+    },
+    /// The MNA matrix is singular — typically a floating node or a loop of
+    /// ideal voltage sources.
+    Singular(SolveError),
+    /// A netlist could not be parsed.
+    Parse(ParseNetlistError),
+    /// The requested node does not exist in the circuit.
+    UnknownNode {
+        /// The missing node name.
+        node: String,
+    },
+    /// An analysis was asked for an empty or inverted range.
+    BadSweep {
+        /// Human-readable description.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SpiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpiceError::UnknownModel { model, element } => {
+                write!(f, "element {element} references unknown model {model}")
+            }
+            SpiceError::InvalidParameter { element, reason } => {
+                write!(f, "invalid parameter on {element}: {reason}")
+            }
+            SpiceError::NoConvergence { analysis, iterations } => {
+                write!(f, "{analysis} analysis failed to converge after {iterations} iterations")
+            }
+            SpiceError::Singular(e) => write!(f, "singular MNA system: {e}"),
+            SpiceError::Parse(e) => write!(f, "netlist parse error: {e}"),
+            SpiceError::UnknownNode { node } => write!(f, "unknown node {node}"),
+            SpiceError::BadSweep { reason } => write!(f, "bad sweep: {reason}"),
+        }
+    }
+}
+
+impl Error for SpiceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpiceError::Singular(e) => Some(e),
+            SpiceError::Parse(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SolveError> for SpiceError {
+    fn from(e: SolveError) -> Self {
+        SpiceError::Singular(e)
+    }
+}
+
+impl From<ParseNetlistError> for SpiceError {
+    fn from(e: ParseNetlistError) -> Self {
+        SpiceError::Parse(e)
+    }
+}
+
+/// Error produced by the netlist parser, with a line number for context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNetlistError {
+    /// 1-based line number in the netlist source.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseNetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SpiceError::UnknownModel { model: "nch".into(), element: "M1".into() };
+        assert_eq!(e.to_string(), "element M1 references unknown model nch");
+        let e = SpiceError::NoConvergence { analysis: "op", iterations: 500 };
+        assert!(e.to_string().contains("500"));
+        let e = SpiceError::Parse(ParseNetlistError { line: 3, message: "bad card".into() });
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn solve_error_converts() {
+        let e: SpiceError = SolveError::NotSquare.into();
+        assert!(matches!(e, SpiceError::Singular(_)));
+        assert!(Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,54 @@
+//! An MNA-based analog circuit simulator — the NGSPICE/Spectre stand-in
+//! for the ASDEX workspace.
+//!
+//! `asdex-spice` implements the simulation substrate the DAC 2021 paper
+//! relies on:
+//!
+//! * a [`Circuit`] model with resistors, capacitors, inductors, independent
+//!   and controlled sources, diodes, and Level-1 MOSFETs
+//!   ([`devices::MosModel`]),
+//! * nonlinear DC operating-point analysis
+//!   ([`analysis::dc_operating_point`]) with gmin/source-stepping
+//!   continuation,
+//! * complex small-signal AC sweeps ([`analysis::ac_analysis`]),
+//! * fixed-step transient analysis ([`analysis::transient`]),
+//! * measurement extraction ([`measure::frequency_response`]) — gain,
+//!   unity-gain frequency, phase margin, bandwidth,
+//! * synthetic process cards ([`process`]) for the 45 nm / 22 nm / n6 / n5
+//!   nodes used by the paper's experiments, and
+//! * a SPICE-deck [`parser`].
+//!
+//! # Example
+//!
+//! Simulate a resistive divider:
+//!
+//! ```
+//! use asdex_spice::{Circuit, analysis::{dc_operating_point, OpOptions}};
+//!
+//! # fn main() -> Result<(), asdex_spice::SpiceError> {
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("in");
+//! let out = ckt.node("out");
+//! ckt.add_vsource("V1", vin, Circuit::GROUND, 2.0)?;
+//! ckt.add_resistor("R1", vin, out, 1e3)?;
+//! ckt.add_resistor("R2", out, Circuit::GROUND, 1e3)?;
+//! let op = dc_operating_point(&ckt, &OpOptions::default())?;
+//! assert!((op.voltage(out) - 1.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod circuit;
+pub mod devices;
+mod error;
+pub mod measure;
+pub mod parser;
+pub mod process;
+pub mod units;
+
+pub use circuit::{AcSpec, Circuit, Element, ElementKind, NodeId, Waveform};
+pub use error::{ParseNetlistError, SpiceError};

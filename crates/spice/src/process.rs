@@ -1,0 +1,304 @@
+//! Synthetic process nodes and PVT corner handling.
+//!
+//! The paper evaluates on BSIM 45 nm / 22 nm model cards (NGSPICE) and TSMC
+//! 6 nm / 5 nm PDKs (Spectre). Neither is redistributable, so this module
+//! defines *synthetic* Level-1 cards per node whose first-order trends are
+//! faithful: smaller nodes have lower supply, lower threshold, higher
+//! transconductance, and worse output resistance (higher λ). Process and
+//! temperature corners perturb the cards the way designers expect: fast
+//! corners lower `VT0` and raise `KP`, heat raises `VT0` loss via mobility
+//! degradation, etc.
+
+use crate::devices::{MosModel, MosPolarity};
+use serde::{Deserialize, Serialize};
+
+/// Process corner of a PVT condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcessCorner {
+    /// Typical NMOS / typical PMOS.
+    Tt,
+    /// Fast NMOS / fast PMOS.
+    Ff,
+    /// Slow NMOS / slow PMOS.
+    Ss,
+    /// Fast NMOS / slow PMOS.
+    Fs,
+    /// Slow NMOS / fast PMOS.
+    Sf,
+}
+
+impl ProcessCorner {
+    /// All five standard corners.
+    pub const ALL: [ProcessCorner; 5] = [
+        ProcessCorner::Tt,
+        ProcessCorner::Ff,
+        ProcessCorner::Ss,
+        ProcessCorner::Fs,
+        ProcessCorner::Sf,
+    ];
+
+    /// Speed skew for (NMOS, PMOS): +1 fast, 0 typical, −1 slow.
+    pub fn skew(self) -> (f64, f64) {
+        match self {
+            ProcessCorner::Tt => (0.0, 0.0),
+            ProcessCorner::Ff => (1.0, 1.0),
+            ProcessCorner::Ss => (-1.0, -1.0),
+            ProcessCorner::Fs => (1.0, -1.0),
+            ProcessCorner::Sf => (-1.0, 1.0),
+        }
+    }
+
+    /// Short label (`"TT"`, `"FF"`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            ProcessCorner::Tt => "TT",
+            ProcessCorner::Ff => "FF",
+            ProcessCorner::Ss => "SS",
+            ProcessCorner::Fs => "FS",
+            ProcessCorner::Sf => "SF",
+        }
+    }
+}
+
+/// A synthetic process node: supply, minimum length, and typical NMOS/PMOS
+/// Level-1 cards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessNode {
+    /// Node name, e.g. `"bsim45"`.
+    pub name: String,
+    /// Nominal supply voltage \[V\].
+    pub vdd: f64,
+    /// Minimum channel length \[m\].
+    pub lmin: f64,
+    /// Typical NMOS card.
+    pub nmos: MosModel,
+    /// Typical PMOS card.
+    pub pmos: MosModel,
+}
+
+/// Threshold shift per unit of corner skew, as a fraction of `VT0`.
+const CORNER_VTH_FRAC: f64 = 0.15;
+/// Mobility (KP) change per unit of corner skew, fractional.
+const CORNER_KP_FRAC: f64 = 0.25;
+/// Threshold temperature coefficient \[V/°C\].
+const VTH_TEMP_COEFF: f64 = -1.5e-3;
+/// Reference temperature \[°C\].
+const TEMP_REF: f64 = 27.0;
+
+impl ProcessNode {
+    /// The synthetic "BSIM 45 nm" node used in the paper's development
+    /// experiments (Tables I–II).
+    pub fn bsim45() -> Self {
+        ProcessNode {
+            name: "bsim45".to_string(),
+            vdd: 1.8,
+            lmin: 45e-9,
+            nmos: MosModel {
+                polarity: MosPolarity::Nmos,
+                vt0: 0.47,
+                kp: 270e-6,
+                lambda: 0.12,
+                gamma: 0.35,
+                phi: 0.8,
+                cox: 9.5e-3,
+                cgso: 0.25e-9,
+                cgdo: 0.25e-9,
+            },
+            pmos: MosModel {
+                polarity: MosPolarity::Pmos,
+                vt0: -0.5,
+                kp: 110e-6,
+                lambda: 0.15,
+                gamma: 0.4,
+                phi: 0.8,
+                cox: 9.5e-3,
+                cgso: 0.25e-9,
+                cgdo: 0.25e-9,
+            },
+        }
+    }
+
+    /// The synthetic "BSIM 22 nm" node (Tables II–III): lower supply,
+    /// lower threshold, higher transconductance, leakier output — the
+    /// physics shifts that make naive weight transfer fail in Table II.
+    pub fn bsim22() -> Self {
+        ProcessNode {
+            name: "bsim22".to_string(),
+            vdd: 1.5,
+            lmin: 22e-9,
+            nmos: MosModel {
+                polarity: MosPolarity::Nmos,
+                vt0: 0.42,
+                kp: 380e-6,
+                lambda: 0.18,
+                gamma: 0.3,
+                phi: 0.75,
+                cox: 12e-3,
+                cgso: 0.2e-9,
+                cgdo: 0.2e-9,
+            },
+            pmos: MosModel {
+                polarity: MosPolarity::Pmos,
+                vt0: -0.44,
+                kp: 170e-6,
+                lambda: 0.22,
+                gamma: 0.35,
+                phi: 0.75,
+                cox: 12e-3,
+                cgso: 0.2e-9,
+                cgdo: 0.2e-9,
+            },
+        }
+    }
+
+    /// The synthetic "n6" node standing in for TSMC 6 nm (Table IV's LDO).
+    pub fn n6() -> Self {
+        ProcessNode {
+            name: "n6".to_string(),
+            vdd: 1.2,
+            lmin: 32e-9,
+            nmos: MosModel {
+                polarity: MosPolarity::Nmos,
+                vt0: 0.38,
+                kp: 450e-6,
+                lambda: 0.22,
+                gamma: 0.28,
+                phi: 0.7,
+                cox: 14e-3,
+                cgso: 0.18e-9,
+                cgdo: 0.18e-9,
+            },
+            pmos: MosModel {
+                polarity: MosPolarity::Pmos,
+                vt0: -0.4,
+                kp: 220e-6,
+                lambda: 0.26,
+                gamma: 0.32,
+                phi: 0.7,
+                cox: 14e-3,
+                cgso: 0.18e-9,
+                cgdo: 0.18e-9,
+            },
+        }
+    }
+
+    /// The synthetic "n5" node standing in for TSMC 5 nm (Table V's ICO).
+    pub fn n5() -> Self {
+        ProcessNode {
+            name: "n5".to_string(),
+            vdd: 1.0,
+            lmin: 28e-9,
+            nmos: MosModel {
+                polarity: MosPolarity::Nmos,
+                vt0: 0.35,
+                kp: 520e-6,
+                lambda: 0.25,
+                gamma: 0.25,
+                phi: 0.68,
+                cox: 15e-3,
+                cgso: 0.15e-9,
+                cgdo: 0.15e-9,
+            },
+            pmos: MosModel {
+                polarity: MosPolarity::Pmos,
+                vt0: -0.37,
+                kp: 260e-6,
+                lambda: 0.3,
+                gamma: 0.3,
+                phi: 0.68,
+                cox: 15e-3,
+                cgso: 0.15e-9,
+                cgdo: 0.15e-9,
+            },
+        }
+    }
+
+    /// Model cards adjusted to a process corner and temperature.
+    ///
+    /// Fast skew lowers `|VT0|` and raises `KP`; higher temperature raises
+    /// `|VT0|` loss margin (threshold drops) but degrades mobility with the
+    /// usual `(T0/T)^1.5` law. Returns `(nmos, pmos)` cards.
+    pub fn models_at(&self, corner: ProcessCorner, temp_celsius: f64) -> (MosModel, MosModel) {
+        let (skn, skp) = corner.skew();
+        let t_kelvin = temp_celsius + 273.15;
+        let t_ref_kelvin = TEMP_REF + 273.15;
+        let mobility = (t_ref_kelvin / t_kelvin).powf(1.8);
+
+        let adjust = |m: &MosModel, skew: f64| -> MosModel {
+            let mut out = m.clone();
+            let vth_mag = m.vt0.abs();
+            let vth_new = vth_mag * (1.0 - CORNER_VTH_FRAC * skew) + VTH_TEMP_COEFF * (temp_celsius - TEMP_REF);
+            out.vt0 = vth_new.max(0.05) * m.vt0.signum();
+            out.kp = m.kp * (1.0 + CORNER_KP_FRAC * skew) * mobility;
+            out
+        };
+        (adjust(&self.nmos, skn), adjust(&self.pmos, skp))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_have_scaling_trends() {
+        let n45 = ProcessNode::bsim45();
+        let n22 = ProcessNode::bsim22();
+        assert!(n22.vdd < n45.vdd);
+        assert!(n22.lmin < n45.lmin);
+        assert!(n22.nmos.kp > n45.nmos.kp, "smaller node, higher gm/W");
+        assert!(n22.nmos.lambda > n45.nmos.lambda, "smaller node, leakier");
+        assert!(n22.nmos.vt0 < n45.nmos.vt0);
+    }
+
+    #[test]
+    fn typical_corner_at_reference_temp_is_identity() {
+        let n = ProcessNode::bsim45();
+        let (nm, pm) = n.models_at(ProcessCorner::Tt, 27.0);
+        assert!((nm.vt0 - n.nmos.vt0).abs() < 1e-12);
+        assert!((nm.kp - n.nmos.kp).abs() < 1e-12);
+        assert!((pm.vt0 - n.pmos.vt0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_corner_is_faster() {
+        let n = ProcessNode::bsim45();
+        let (ff_n, ff_p) = n.models_at(ProcessCorner::Ff, 27.0);
+        assert!(ff_n.vt0 < n.nmos.vt0);
+        assert!(ff_n.kp > n.nmos.kp);
+        assert!(ff_p.vt0.abs() < n.pmos.vt0.abs());
+        assert!(ff_p.vt0 < 0.0, "PMOS threshold stays negative");
+    }
+
+    #[test]
+    fn slow_corner_is_slower() {
+        let n = ProcessNode::bsim22();
+        let (ss_n, _) = n.models_at(ProcessCorner::Ss, 27.0);
+        assert!(ss_n.vt0 > n.nmos.vt0);
+        assert!(ss_n.kp < n.nmos.kp);
+    }
+
+    #[test]
+    fn mixed_corners_split_polarity() {
+        let n = ProcessNode::bsim45();
+        let (fs_n, fs_p) = n.models_at(ProcessCorner::Fs, 27.0);
+        assert!(fs_n.vt0 < n.nmos.vt0, "fast NMOS");
+        assert!(fs_p.vt0.abs() > n.pmos.vt0.abs(), "slow PMOS");
+    }
+
+    #[test]
+    fn heat_degrades_mobility_and_threshold() {
+        let n = ProcessNode::bsim45();
+        let (hot, _) = n.models_at(ProcessCorner::Tt, 125.0);
+        let (cold, _) = n.models_at(ProcessCorner::Tt, -40.0);
+        assert!(hot.kp < cold.kp, "mobility drops with heat");
+        assert!(hot.vt0 < cold.vt0, "threshold drops with heat");
+        assert!(hot.vt0 > 0.0);
+    }
+
+    #[test]
+    fn corner_labels() {
+        assert_eq!(ProcessCorner::Tt.label(), "TT");
+        assert_eq!(ProcessCorner::ALL.len(), 5);
+    }
+}

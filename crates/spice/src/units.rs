@@ -1,0 +1,199 @@
+//! SPICE-style numeric literals with engineering suffixes.
+//!
+//! SPICE decks write `10k`, `2.5u`, `0.18U`, `10meg`, `1.2E-9`, `5pF`.
+//! [`parse_value`] accepts all of these: an optional engineering suffix is
+//! applied after the leading float, and any trailing alphabetic unit
+//! (`F`, `Ohm`, `V`, …) is ignored, matching ngspice behaviour.
+
+/// Parses a SPICE numeric literal such as `10k`, `2.5u`, or `10meg`.
+///
+/// Returns `None` when the string does not begin with a valid float.
+///
+/// # Example
+///
+/// ```
+/// use asdex_spice::units::parse_value;
+///
+/// assert_eq!(parse_value("10k"), Some(10_000.0));
+/// assert_eq!(parse_value("10meg"), Some(10.0e6));
+/// assert_eq!(parse_value("1.2e-9"), Some(1.2e-9));
+/// assert!((parse_value("2.5u").unwrap() - 2.5e-6).abs() < 1e-18);
+/// assert!((parse_value("5pF").unwrap() - 5e-12).abs() < 1e-24);
+/// assert_eq!(parse_value("abc"), None);
+/// ```
+pub fn parse_value(s: &str) -> Option<f64> {
+    let s = s.trim();
+    if s.is_empty() {
+        return None;
+    }
+    // Split the leading float from the suffix.
+    let mut split = s.len();
+    let bytes = s.as_bytes();
+    let mut seen_digit = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let is_float_char = c.is_ascii_digit()
+            || c == '.'
+            || c == '+'
+            || c == '-'
+            || ((c == 'e' || c == 'E')
+                && seen_digit
+                && i + 1 < bytes.len()
+                && (bytes[i + 1].is_ascii_digit() || bytes[i + 1] == b'+' || bytes[i + 1] == b'-'));
+        if c.is_ascii_digit() {
+            seen_digit = true;
+        }
+        if !is_float_char {
+            split = i;
+            break;
+        }
+        // Consume the exponent sign too.
+        if (c == 'e' || c == 'E') && seen_digit {
+            i += 1; // skip sign or first digit checked above
+        }
+        i += 1;
+    }
+    let (num, suffix) = s.split_at(split);
+    let base: f64 = num.parse().ok()?;
+    if !seen_digit {
+        return None;
+    }
+    Some(base * suffix_multiplier(suffix))
+}
+
+/// Multiplier for a SPICE engineering suffix; unrecognized text (a unit
+/// like `F` or `Ohm`) maps to 1.0. The check is case-insensitive; `meg`
+/// must be matched before `m`.
+fn suffix_multiplier(suffix: &str) -> f64 {
+    let lower = suffix.to_ascii_lowercase();
+    if lower.starts_with("meg") {
+        1e6
+    } else if lower.starts_with("mil") {
+        25.4e-6
+    } else if lower.starts_with('t') {
+        1e12
+    } else if lower.starts_with('g') {
+        1e9
+    } else if lower.starts_with('k') {
+        1e3
+    } else if lower.starts_with('m') {
+        1e-3
+    } else if lower.starts_with('u') {
+        1e-6
+    } else if lower.starts_with('n') {
+        1e-9
+    } else if lower.starts_with('p') {
+        1e-12
+    } else if lower.starts_with('f') {
+        1e-15
+    } else {
+        1.0
+    }
+}
+
+/// Formats a value with a SPICE-compatible engineering suffix, so the
+/// output of `format_eng` always parses back through [`parse_value`]
+/// (mega is spelled `meg` — in SPICE, `M` means milli).
+///
+/// ```
+/// use asdex_spice::units::format_eng;
+/// assert_eq!(format_eng(1500.0), "1.500k");
+/// assert_eq!(format_eng(2e-6), "2.000u");
+/// assert_eq!(format_eng(2e6), "2.000meg");
+/// assert_eq!(format_eng(0.0), "0.000");
+/// ```
+pub fn format_eng(x: f64) -> String {
+    if x == 0.0 || !x.is_finite() {
+        return format!("{x:.3}");
+    }
+    const STEPS: [(f64, &str); 9] = [
+        (1e12, "t"),
+        (1e9, "g"),
+        (1e6, "meg"),
+        (1e3, "k"),
+        (1.0, ""),
+        (1e-3, "m"),
+        (1e-6, "u"),
+        (1e-9, "n"),
+        (1e-12, "p"),
+    ];
+    let mag = x.abs();
+    for (scale, suffix) in STEPS {
+        if mag >= scale {
+            return format!("{:.3}{}", x / scale, suffix);
+        }
+    }
+    format!("{:.3}f", x / 1e-15)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_numbers() {
+        assert_eq!(parse_value("1"), Some(1.0));
+        assert_eq!(parse_value("-2.5"), Some(-2.5));
+        assert_eq!(parse_value("1e3"), Some(1000.0));
+        assert_eq!(parse_value("1.2E-9"), Some(1.2e-9));
+        assert_eq!(parse_value("+0.5"), Some(0.5));
+    }
+
+    #[test]
+    fn engineering_suffixes() {
+        fn close(s: &str, expect: f64) {
+            let got = parse_value(s).unwrap_or_else(|| panic!("{s} did not parse"));
+            assert!((got - expect).abs() <= 1e-12 * expect.abs(), "{s}: {got} vs {expect}");
+        }
+        close("10k", 10e3);
+        close("10K", 10e3);
+        close("10meg", 10e6);
+        close("10MEG", 10e6);
+        close("3m", 3e-3);
+        close("3u", 3e-6);
+        close("3n", 3e-9);
+        close("3p", 3e-12);
+        close("3f", 3e-15);
+        close("2g", 2e9);
+        close("2t", 2e12);
+    }
+
+    #[test]
+    fn units_after_suffix_ignored() {
+        assert_eq!(parse_value("5pF"), Some(5e-12));
+        assert_eq!(parse_value("10kOhm"), Some(10e3));
+        assert_eq!(parse_value("1.8V"), Some(1.8));
+        // A bare unit letter that is also a suffix letter applies the suffix,
+        // matching SPICE semantics ("1F" is a femto multiplier, not a farad).
+        assert_eq!(parse_value("1F"), Some(1e-15));
+    }
+
+    #[test]
+    fn mil_suffix() {
+        assert_eq!(parse_value("1mil"), Some(25.4e-6));
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        assert_eq!(parse_value(""), None);
+        assert_eq!(parse_value("abc"), None);
+        assert_eq!(parse_value("k10"), None);
+        assert_eq!(parse_value("."), None);
+    }
+
+    #[test]
+    fn exponent_followed_by_suffix() {
+        // ngspice parses "1e3k" as 1e3 * 1e3.
+        assert_eq!(parse_value("1e3k"), Some(1e6));
+    }
+
+    #[test]
+    fn format_round_trip_magnitudes() {
+        assert_eq!(format_eng(1.5e3), "1.500k");
+        assert_eq!(format_eng(-4e-9), "-4.000n");
+        assert_eq!(format_eng(2.0e6), "2.000meg");
+        assert_eq!(format_eng(7.25), "7.250");
+        assert_eq!(format_eng(1e-15), "1.000f");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the circuit simulator: analytic ground truths
+//! must hold for randomized component values, and the netlist parser must
+//! round-trip whatever the builder can express.
+
+use asdex_spice::analysis::{ac_analysis, dc_operating_point, dc_sweep, OpOptions, Sweep};
+use asdex_spice::parser::parse_netlist;
+use asdex_spice::units::{format_eng, parse_value};
+use asdex_spice::{AcSpec, Circuit};
+use proptest::prelude::*;
+
+proptest! {
+    /// A randomized resistive divider matches Ohm's law exactly.
+    #[test]
+    fn divider_matches_ohms_law(
+        vin in 0.1f64..10.0,
+        r1 in 10.0f64..1e6,
+        r2 in 10.0f64..1e6,
+    ) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, vin).expect("valid source");
+        ckt.add_resistor("R1", a, b, r1).expect("valid r1");
+        ckt.add_resistor("R2", b, Circuit::GROUND, r2).expect("valid r2");
+        let op = dc_operating_point(&ckt, &OpOptions::default()).expect("linear circuit converges");
+        let expect = vin * r2 / (r1 + r2);
+        prop_assert!((op.voltage(b) - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+    }
+
+    /// A randomized RC low-pass has |H| = 1/√(1+(f/fc)²) at every sweep point.
+    #[test]
+    fn rc_lowpass_magnitude(
+        r in 100.0f64..100e3,
+        c_exp in -12.0f64..-8.0,
+    ) {
+        let c = 10f64.powf(c_exp);
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource_full("V1", a, Circuit::GROUND, 0.0, Some(AcSpec::unit()), None).expect("source");
+        ckt.add_resistor("R1", a, b, r).expect("r");
+        ckt.add_capacitor("C1", b, Circuit::GROUND, c).expect("c");
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let ac = ac_analysis(
+            &ckt,
+            Sweep::Decade { fstart: fc / 100.0, fstop: fc * 100.0, points_per_decade: 5 },
+            &OpOptions::default(),
+        )
+        .expect("ac runs");
+        for (k, &f) in ac.frequencies().iter().enumerate() {
+            let mag = ac.voltage(k, b).abs();
+            let expect = 1.0 / (1.0 + (f / fc).powi(2)).sqrt();
+            prop_assert!((mag - expect).abs() < 1e-6, "f={f}: {mag} vs {expect}");
+        }
+    }
+
+    /// DC sweep of a linear circuit is exactly linear in the source.
+    #[test]
+    fn dc_sweep_linearity(r1 in 100.0f64..10e3, r2 in 100.0f64..10e3, stop in 1.0f64..5.0) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, 0.0).expect("source");
+        ckt.add_resistor("R1", a, b, r1).expect("r1");
+        ckt.add_resistor("R2", b, Circuit::GROUND, r2).expect("r2");
+        let sweep = dc_sweep(&ckt, "V1", 0.0, stop, stop / 8.0, &OpOptions::default()).expect("sweeps");
+        let gain = r2 / (r1 + r2);
+        for (k, &v) in sweep.values().iter().enumerate() {
+            prop_assert!((sweep.voltage(k, b) - gain * v).abs() < 1e-7 * (1.0 + v));
+        }
+    }
+
+    /// Any R/C/V netlist the builder can express parses back from deck text
+    /// with identical element values.
+    #[test]
+    fn netlist_text_round_trip(
+        rs in prop::collection::vec(1.0f64..1e6, 1..6),
+        cs in prop::collection::vec(1e-15f64..1e-6, 0..4),
+        vdc in -10.0f64..10.0,
+    ) {
+        let mut deck = String::from("generated deck\n");
+        deck.push_str(&format!("V1 n0 0 {vdc}\n"));
+        for (k, r) in rs.iter().enumerate() {
+            deck.push_str(&format!("R{k} n{k} n{} {r}\n", k + 1));
+        }
+        for (k, c) in cs.iter().enumerate() {
+            deck.push_str(&format!("C{k} n{k} 0 {c:e}\n"));
+        }
+        deck.push_str(".end\n");
+        let ckt = parse_netlist(&deck).expect("parses");
+        prop_assert_eq!(ckt.elements().len(), 1 + rs.len() + cs.len());
+        for (e, r) in ckt.elements().iter().skip(1).zip(&rs) {
+            if let asdex_spice::ElementKind::Resistor { ohms, .. } = &e.kind {
+                prop_assert!((ohms - r).abs() <= 1e-9 * r.abs());
+            }
+        }
+    }
+
+    /// Engineering formatting always parses back to within rounding of the
+    /// original value.
+    #[test]
+    fn format_parse_round_trip(mag in -13i32..12, mantissa in 1.0f64..9.999) {
+        let x = mantissa * 10f64.powi(mag);
+        let text = format_eng(x);
+        let back = parse_value(&text).expect("formatted value parses");
+        // format_eng keeps 3 decimals → ≤ 0.05 % relative error.
+        prop_assert!((back - x).abs() <= 6e-4 * x.abs(), "{x} -> {text} -> {back}");
+    }
+
+    /// The superposition principle: doubling every independent source
+    /// doubles every node voltage of a linear circuit.
+    #[test]
+    fn linear_superposition(vin in 0.5f64..4.0, i_in in 1e-6f64..1e-3) {
+        let build = |scale: f64| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            ckt.add_vsource("V1", a, Circuit::GROUND, vin * scale).expect("v");
+            ckt.add_isource("I1", Circuit::GROUND, b, i_in * scale).expect("i");
+            ckt.add_resistor("R1", a, b, 2.2e3).expect("r1");
+            ckt.add_resistor("R2", b, Circuit::GROUND, 4.7e3).expect("r2");
+            (ckt, b)
+        };
+        let (c1, b1) = build(1.0);
+        let (c2, b2) = build(2.0);
+        let v1 = dc_operating_point(&c1, &OpOptions::default()).expect("op1").voltage(b1);
+        let v2 = dc_operating_point(&c2, &OpOptions::default()).expect("op2").voltage(b2);
+        prop_assert!((v2 - 2.0 * v1).abs() < 1e-6 * (1.0 + v1.abs()));
+    }
+}

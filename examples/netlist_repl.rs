@@ -1,0 +1,69 @@
+//! Parse-and-simulate: the SPICE-deck front end.
+//!
+//! ```sh
+//! cargo run --release --example netlist_repl            # built-in demo deck
+//! cargo run --release --example netlist_repl my.cir     # your own deck
+//! ```
+//!
+//! Reads a SPICE netlist, runs a DC operating point, and — when the deck
+//! contains an AC source — a decade sweep with gain/bandwidth extraction.
+//! This is the "SPICE decorator" surface of the framework: the same decks
+//! a designer already has drive the simulator directly.
+
+use asdex::spice::analysis::{ac_analysis, dc_operating_point, OpOptions, Sweep};
+use asdex::spice::measure::frequency_response;
+use asdex::spice::parser::parse_netlist;
+use asdex::spice::ElementKind;
+
+const DEMO_DECK: &str = "\
+demo: common-source amplifier with ideal bias
+VDD vdd 0 1.8
+VIN in 0 DC 0.75 AC 1
+RL vdd out 20k
+M1 out in 0 0 nch W=5u L=0.18u
+CL out 0 1p
+.model nch NMOS (VT0=0.47 KP=270u LAMBDA=0.12 GAMMA=0.35 PHI=0.8)
+.end
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = match std::env::args().nth(1) {
+        Some(path) => std::fs::read_to_string(path)?,
+        None => DEMO_DECK.to_string(),
+    };
+    let circuit = parse_netlist(&source)?;
+    println!("parsed {} elements, {} nodes", circuit.elements().len(), circuit.node_count());
+
+    let opts = OpOptions::default();
+    let op = dc_operating_point(&circuit, &opts)?;
+    println!("\nDC operating point ({} Newton iterations):", op.iterations);
+    for node in circuit.node_ids() {
+        println!("  v({}) = {:.6} V", circuit.node_name(node), op.voltage(node));
+    }
+
+    let has_ac = circuit.elements().iter().any(|e| {
+        matches!(
+            &e.kind,
+            ElementKind::Vsource { ac: Some(_), .. } | ElementKind::Isource { ac: Some(_), .. }
+        )
+    });
+    if has_ac {
+        let sweep = Sweep::Decade { fstart: 10.0, fstop: 10e9, points_per_decade: 10 };
+        let ac = ac_analysis(&circuit, sweep, &opts)?;
+        let out = circuit
+            .find_node("out")
+            .or_else(|| circuit.node_ids().last().copied())
+            .expect("circuit has nodes");
+        let fr = frequency_response(&ac, out);
+        println!("\nAC response at v({}):", circuit.node_name(out));
+        println!("  dc gain   = {:.2} dB", fr.dc_gain_db);
+        if let Some(bw) = fr.bandwidth_3db {
+            println!("  bandwidth = {:.3e} Hz", bw);
+        }
+        if let (Some(ugf), Some(pm)) = (fr.unity_gain_freq, fr.phase_margin_deg) {
+            println!("  ugf       = {:.3e} Hz", ugf);
+            println!("  pm        = {:.1}°", pm);
+        }
+    }
+    Ok(())
+}

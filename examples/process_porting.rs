@@ -1,0 +1,38 @@
+//! AIP reuse across process nodes (paper §V-C, Table II).
+//!
+//! ```sh
+//! cargo run --release --example process_porting
+//! ```
+//!
+//! Sizes the opamp on the 45 nm node, then ports the result to 22 nm three
+//! ways: from scratch, reusing weights + starting point, and reusing only
+//! the starting point. The paper's finding — optimal points transfer,
+//! network weights do not — shows up in the step counts.
+
+use asdex::core::{LocalExplorer, PortingStrategy, WarmStart};
+use asdex::env::circuits::opamp::TwoStageOpamp;
+use asdex::env::SearchBudget;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = TwoStageOpamp::bsim45().problem()?;
+    let target = TwoStageOpamp::bsim22().problem()?;
+    let explorer = LocalExplorer::default();
+    let budget = SearchBudget::new(10_000);
+
+    println!("sizing on 45 nm…");
+    let (out45, artifacts) = explorer.run(&source, 0, budget, 1, &WarmStart::default());
+    println!("  45 nm solved in {} simulations", out45.simulations);
+
+    println!("\nporting to 22 nm:");
+    for strategy in PortingStrategy::ALL {
+        let mut sims = Vec::new();
+        for seed in 0..5 {
+            let warm = strategy.warm_start(&artifacts);
+            let (out, _) = explorer.run(&target, 0, budget, seed, &warm);
+            sims.push(out.simulations);
+        }
+        let avg = sims.iter().sum::<usize>() as f64 / sims.len() as f64;
+        println!("  {:<44} avg {avg:.1} steps {sims:?}", strategy.label());
+    }
+    Ok(())
+}

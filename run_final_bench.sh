@@ -1,0 +1,6 @@
+#!/bin/bash
+# Final bench record: all harnesses via `cargo bench --workspace`.
+# ASDEX_RUNS=8/ASDEX_RUNS_FEW=1 keeps the single-core wall time tractable;
+# bench_output_full.txt holds the default-scale (20/3) record.
+echo "=== cargo bench --workspace (ASDEX_RUNS=8, ASDEX_RUNS_FEW=1) ==="
+ASDEX_RUNS=8 ASDEX_RUNS_FEW=1 cargo bench --workspace 2>&1

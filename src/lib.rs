@@ -1,0 +1,39 @@
+//! ASDEX — Analog Sizing Design-space EXplorer.
+//!
+//! A Rust reproduction of *“Trust-Region Method with Deep Reinforcement
+//! Learning in Analog Design Space Exploration”* (Yang et al., DAC 2021).
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`linalg`] — dense real/complex linear algebra (LU solves).
+//! * [`spice`] — an MNA circuit simulator (DC/AC/transient) with a netlist
+//!   parser and Level-1 MOSFET models.
+//! * [`nn`] — feed-forward neural networks with backprop and policy heads.
+//! * [`env`](mod@env) — sizing problems: design spaces, PVT corners, specs, value
+//!   functions, and the benchmark circuits (two-stage opamp, LDO, ICO).
+//! * [`core`] — the paper's contribution: the trust-region model-based
+//!   agent, progressive PVT exploration, and the process-porting API.
+//! * [`baselines`] — random search, customized BO, A2C, PPO, and TRPO.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use asdex::core::{Framework, FrameworkConfig};
+//! use asdex::env::circuits::opamp::TwoStageOpamp;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let problem = TwoStageOpamp::bsim45().problem()?;
+//! let mut framework = Framework::new(FrameworkConfig::default(), 42);
+//! let outcome = framework.search(&problem)?;
+//! println!("feasible point after {} SPICE calls", outcome.simulations);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use asdex_baselines as baselines;
+pub use asdex_core as core;
+pub use asdex_env as env;
+pub use asdex_linalg as linalg;
+pub use asdex_nn as nn;
+pub use asdex_spice as spice;

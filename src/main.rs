@@ -1,0 +1,262 @@
+//! `asdex` — command-line front end for the sizing framework.
+//!
+//! ```text
+//! asdex size <opamp45|opamp22|ldo|ico> [--agent trm|bo|random] [--budget N]
+//!            [--seed N] [--corners nominal|signoff5]
+//! asdex probe <opamp45|opamp22|ldo|ico> [--samples N]
+//! asdex sim <deck.cir>
+//! ```
+//!
+//! `size` runs a search agent on a built-in benchmark and prints the sized
+//! parameters; `probe` estimates the benchmark's feasible fraction (the
+//! calibration workflow); `sim` parses a SPICE deck and reports its DC
+//! operating point and, when an AC source is present, its frequency
+//! response.
+
+use asdex::baselines::{CustomizedBo, RandomSearch};
+use asdex::core::{Framework, FrameworkConfig, PvtStrategy};
+use asdex::env::circuits::ico::Ico;
+use asdex::env::circuits::ldo::Ldo;
+use asdex::env::circuits::opamp::TwoStageOpamp;
+use asdex::env::{PvtSet, SearchBudget, Searcher, SizingProblem};
+use asdex::spice::analysis::{ac_analysis, dc_operating_point, dc_sweep, transient, OpOptions, Sweep, TranOptions};
+use asdex::spice::measure::frequency_response;
+use asdex::spice::parser::{parse_deck, AnalysisCard};
+use asdex::spice::ElementKind;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+asdex — analog sizing design-space explorer
+
+USAGE:
+    asdex size  <opamp45|opamp22|ldo|ico> [--agent trm|bo|random]
+                [--budget N] [--seed N] [--corners nominal|signoff5]
+    asdex probe <opamp45|opamp22|ldo|ico> [--samples N]
+    asdex sim   <deck.cir>
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("size") => cmd_size(&args[1..]),
+        Some("probe") => cmd_probe(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fetches the value following `--flag`, if present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v)),
+            None => Err(format!("{flag} needs a value")),
+        },
+        None => Ok(None),
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+    match flag_value(args, flag)? {
+        Some(v) => v.parse().map_err(|_| format!("cannot parse {flag} value {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn build_problem(name: &str, corners: &str) -> Result<SizingProblem, String> {
+    let corner_set = match corners {
+        "nominal" => PvtSet::nominal_only(),
+        "signoff5" => PvtSet::signoff5(),
+        other => return Err(format!("unknown corner set {other:?} (nominal|signoff5)")),
+    };
+    let problem = match name {
+        "opamp45" => {
+            let amp = TwoStageOpamp::bsim45();
+            amp.problem_with(amp.specs(), corner_set)
+        }
+        "opamp22" => {
+            let amp = TwoStageOpamp::bsim22();
+            amp.problem_with(amp.specs(), corner_set)
+        }
+        "ldo" => Ldo::n6().problem(),
+        "ico" => Ico::n5().problem(),
+        other => return Err(format!("unknown benchmark {other:?} (opamp45|opamp22|ldo|ico)")),
+    };
+    problem.map_err(|e| e.to_string())
+}
+
+fn cmd_size(args: &[String]) -> Result<(), String> {
+    let bench = args.first().ok_or_else(|| format!("size needs a benchmark\n\n{USAGE}"))?;
+    let budget = parse_flag(args, "--budget", 10_000usize)?;
+    let seed = parse_flag(args, "--seed", 1u64)?;
+    let agent = flag_value(args, "--agent")?.unwrap_or("trm");
+    let corners = flag_value(args, "--corners")?.unwrap_or("nominal");
+    let problem = build_problem(bench, corners)?;
+
+    println!(
+        "{} — {} parameters, |D| ≈ 10^{:.1}, {} corner(s), budget {}",
+        problem.name,
+        problem.dim(),
+        problem.space.size_log10(),
+        problem.corners.len(),
+        budget
+    );
+
+    let (success, simulations, best_point, best_value) = match agent {
+        "trm" => {
+            let mut framework = Framework::new(
+                FrameworkConfig {
+                    budget: Some(budget),
+                    pvt_strategy: Some(PvtStrategy::ProgressiveHardest),
+                    ..FrameworkConfig::default()
+                },
+                seed,
+            );
+            let out = framework.search(&problem).map_err(|e| e.to_string())?;
+            (out.success, out.simulations, out.best_point, out.best_value)
+        }
+        "bo" => {
+            let out = CustomizedBo::new().search(&problem, SearchBudget::new(budget), seed);
+            (out.success, out.simulations, out.best_point, out.best_value)
+        }
+        "random" => {
+            let out = RandomSearch::new().search(&problem, SearchBudget::new(budget), seed);
+            (out.success, out.simulations, out.best_point, out.best_value)
+        }
+        other => return Err(format!("unknown agent {other:?} (trm|bo|random)")),
+    };
+
+    println!("success: {success} after {simulations} simulations (value {best_value:.4})");
+    let physical = problem.space.to_physical(&best_point).map_err(|e| e.to_string())?;
+    println!("parameters:");
+    for (name, value) in problem.space.names().iter().zip(&physical) {
+        println!("  {name:>10} = {value:.4e}");
+    }
+    if let Some(e) = problem.evaluate_all_corners(&best_point).first() {
+        if let Some(m) = &e.measurements {
+            println!("measurements (corner 0):");
+            for (name, value) in problem.evaluator.measurement_names().iter().zip(m) {
+                println!("  {name:>14} = {value:.4e}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_probe(args: &[String]) -> Result<(), String> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let bench = args.first().ok_or_else(|| format!("probe needs a benchmark\n\n{USAGE}"))?;
+    let samples = parse_flag(args, "--samples", 5_000usize)?;
+    let problem = build_problem(bench, "nominal")?;
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut feasible = 0usize;
+    let mut failures = 0usize;
+    for _ in 0..samples {
+        let u = problem.space.sample(&mut rng);
+        let e = problem.evaluate_normalized(&u, 0);
+        feasible += usize::from(e.feasible);
+        failures += usize::from(e.measurements.is_none());
+    }
+    println!(
+        "{}: {feasible}/{samples} feasible ({:.2e}), {failures} simulation failures",
+        problem.name,
+        feasible as f64 / samples as f64
+    );
+    Ok(())
+}
+
+fn cmd_sim(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or_else(|| format!("sim needs a netlist path\n\n{USAGE}"))?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let deck = parse_deck(&source).map_err(|e| e.to_string())?;
+    let circuit = &deck.circuit;
+    println!("{path}: {} elements, {} nodes", circuit.elements().len(), circuit.node_count());
+    let opts = OpOptions::default();
+    let probe = circuit
+        .find_node("out")
+        .or_else(|| circuit.node_ids().last().copied())
+        .ok_or("circuit has no nodes")?;
+
+    // Default behaviour when the deck carries no directives: an operating
+    // point, plus an AC sweep if any source has an AC stimulus.
+    let mut analyses = deck.analyses.clone();
+    if analyses.is_empty() {
+        analyses.push(AnalysisCard::Op);
+        let has_ac = circuit.elements().iter().any(|e| {
+            matches!(
+                &e.kind,
+                ElementKind::Vsource { ac: Some(_), .. } | ElementKind::Isource { ac: Some(_), .. }
+            )
+        });
+        if has_ac {
+            analyses.push(AnalysisCard::Ac { points_per_decade: 10, fstart: 10.0, fstop: 10e9 });
+        }
+    }
+
+    for analysis in &analyses {
+        match analysis {
+            AnalysisCard::Op => {
+                let op = dc_operating_point(circuit, &opts).map_err(|e| e.to_string())?;
+                println!("DC operating point:");
+                for node in circuit.node_ids() {
+                    println!("  v({}) = {:.6}", circuit.node_name(node), op.voltage(node));
+                }
+            }
+            AnalysisCard::Dc { source, start, stop, step } => {
+                let sweep =
+                    dc_sweep(circuit, source, *start, *stop, *step, &opts).map_err(|e| e.to_string())?;
+                println!("DC sweep of {source} ({} points), v({}):", sweep.len(), circuit.node_name(probe));
+                for (k, v) in sweep.values().iter().enumerate() {
+                    println!("  {v:>12.4e}  ->  {:.6}", sweep.voltage(k, probe));
+                }
+            }
+            AnalysisCard::Ac { points_per_decade, fstart, fstop } => {
+                let sweep = Sweep::Decade {
+                    fstart: *fstart,
+                    fstop: *fstop,
+                    points_per_decade: *points_per_decade,
+                };
+                let ac = ac_analysis(circuit, sweep, &opts).map_err(|e| e.to_string())?;
+                let fr = frequency_response(&ac, probe);
+                println!("AC response at v({}):", circuit.node_name(probe));
+                println!("  dc gain = {:.2} dB", fr.dc_gain_db);
+                if let Some(bw) = fr.bandwidth_3db {
+                    println!("  bw(-3dB) = {bw:.4e} Hz");
+                }
+                if let (Some(ugf), Some(pm)) = (fr.unity_gain_freq, fr.phase_margin_deg) {
+                    println!("  ugf = {ugf:.4e} Hz, pm = {pm:.1} deg");
+                }
+                if let Some(gm) = fr.gain_margin_db {
+                    println!("  gain margin = {gm:.1} dB");
+                }
+            }
+            AnalysisCard::Tran { tstep, tstop } => {
+                let tr = transient(circuit, &TranOptions::new(*tstep, *tstop))
+                    .map_err(|e| e.to_string())?;
+                let wave = tr.node_waveform(probe);
+                let (lo, hi) = wave
+                    .iter()
+                    .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+                println!(
+                    "transient: {} points over {:.3e}s, v({}) ∈ [{lo:.4}, {hi:.4}]",
+                    tr.len(),
+                    tstop,
+                    circuit.node_name(probe)
+                );
+            }
+        }
+    }
+    Ok(())
+}

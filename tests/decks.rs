@@ -1,0 +1,47 @@
+//! The shipped example decks must parse, bias, and measure sensibly —
+//! they are the first thing a new user feeds to `asdex sim`.
+
+use asdex::spice::analysis::{ac_analysis, dc_operating_point, OpOptions, Sweep};
+use asdex::spice::measure::frequency_response;
+use asdex::spice::parser::parse_netlist;
+
+#[test]
+fn rc_filter_deck_measures_like_two_cascaded_poles() {
+    let src = std::fs::read_to_string("decks/rc_filter.cir").expect("deck ships with the repo");
+    let ckt = parse_netlist(&src).expect("parses");
+    let ac = ac_analysis(
+        &ckt,
+        Sweep::Decade { fstart: 10.0, fstop: 10e6, points_per_decade: 10 },
+        &OpOptions::default(),
+    )
+    .expect("ac runs");
+    let out = ckt.find_node("out").expect("out node");
+    let fr = frequency_response(&ac, out);
+    assert!((fr.dc_gain_db - 0.0).abs() < 0.1, "unity DC gain, got {}", fr.dc_gain_db);
+    let bw = fr.bandwidth_3db.expect("has a corner");
+    // Dominant pole ≈ 1/(2π·(R1·C1 + (R1+R2)·C2)) ≈ 7.5 kHz; loose check.
+    assert!(bw > 1e3 && bw < 20e3, "bandwidth {bw}");
+}
+
+#[test]
+fn opamp_deck_biases_and_amplifies() {
+    let src =
+        std::fs::read_to_string("decks/two_stage_opamp.cir").expect("deck ships with the repo");
+    let ckt = parse_netlist(&src).expect("parses (subckt expansion)");
+    let op = dc_operating_point(&ckt, &OpOptions::default()).expect("biases");
+    let out = ckt.find_node("out").expect("out node");
+    let vout = op.voltage(out);
+    assert!(
+        (0.5..1.5).contains(&vout),
+        "feedback centers the output near the input common mode, got {vout}"
+    );
+    let ac = ac_analysis(
+        &ckt,
+        Sweep::Decade { fstart: 10.0, fstop: 10e9, points_per_decade: 10 },
+        &OpOptions::default(),
+    )
+    .expect("ac runs");
+    let fr = frequency_response(&ac, out);
+    assert!(fr.dc_gain_db > 60.0, "open-loop gain {} dB", fr.dc_gain_db);
+    assert!(fr.unity_gain_freq.is_some(), "has a UGF");
+}
