@@ -4,9 +4,9 @@
 //! the comparison agent of Tables IV–V).
 
 use crate::trees::{ExtraTrees, ForestConfig};
-use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use asdex_env::{EvalStats, SearchBudget, SearchOutcome, Searcher, SizingProblem};
+use asdex_rng::rngs::StdRng;
+use asdex_rng::SeedableRng;
 
 /// Configuration of the BO agent.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,21 +68,21 @@ impl Searcher for CustomizedBo {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
-        let mut sims = 0usize;
+        let mut stats = EvalStats::new();
         let mut best_point = vec![0.5; problem.dim()];
         let mut best_value = f64::NEG_INFINITY;
         let mut best_meas = None;
 
         let evaluate = |u: &[f64],
-                            sims: &mut usize,
+                            stats: &mut EvalStats,
                             xs: &mut Vec<Vec<f64>>,
                             ys: &mut Vec<f64>,
                             best_point: &mut Vec<f64>,
                             best_value: &mut f64,
                             best_meas: &mut Option<Vec<f64>>|
          -> Option<SearchOutcome> {
-            let e = problem.evaluate_normalized(u, 0);
-            *sims += 1;
+            let e = problem.evaluate_with_budget(u, 0, budget.max_sims - stats.sims);
+            stats.record(&e);
             xs.push(e.x_norm.clone());
             ys.push(e.value);
             if e.value > *best_value {
@@ -93,10 +93,11 @@ impl Searcher for CustomizedBo {
             if e.feasible {
                 Some(SearchOutcome {
                     success: true,
-                    simulations: *sims,
+                    simulations: stats.sims,
                     best_point: e.x_norm,
                     best_value: e.value,
                     best_measurements: e.measurements,
+                    stats: stats.clone(),
                 })
             } else {
                 None
@@ -105,12 +106,12 @@ impl Searcher for CustomizedBo {
 
         // Initial design.
         for _ in 0..cfg.n_init {
-            if sims >= budget.max_sims {
+            if stats.sims >= budget.max_sims {
                 break;
             }
             let u = problem.space.sample(&mut rng);
             if let Some(done) =
-                evaluate(&u, &mut sims, &mut xs, &mut ys, &mut best_point, &mut best_value, &mut best_meas)
+                evaluate(&u, &mut stats, &mut xs, &mut ys, &mut best_point, &mut best_value, &mut best_meas)
             {
                 return done;
             }
@@ -120,7 +121,7 @@ impl Searcher for CustomizedBo {
         let mut beta = cfg.beta0;
         let mut iter = 0u64;
         let mut forest: Option<ExtraTrees> = None;
-        while sims < budget.max_sims {
+        while stats.sims < budget.max_sims {
             iter += 1;
             let needs_refit = forest.is_none()
                 || xs.len() < cfg.refit_threshold
@@ -140,7 +141,7 @@ impl Searcher for CustomizedBo {
             }
             let (u, _) = best_candidate.expect("pool is non-empty");
             if let Some(done) =
-                evaluate(&u, &mut sims, &mut xs, &mut ys, &mut best_point, &mut best_value, &mut best_meas)
+                evaluate(&u, &mut stats, &mut xs, &mut ys, &mut best_point, &mut best_value, &mut best_meas)
             {
                 return done;
             }
@@ -153,6 +154,7 @@ impl Searcher for CustomizedBo {
             best_point,
             best_value,
             best_measurements: best_meas,
+            stats,
         }
     }
 }

@@ -1,9 +1,9 @@
 //! Pure random search — the paper's strongest non-learning baseline
 //! (Table I: 100 % success at 8565 average iterations).
 
-use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use asdex_env::{EvalStats, SearchBudget, SearchOutcome, Searcher, SizingProblem};
+use asdex_rng::rngs::StdRng;
+use asdex_rng::SeedableRng;
 
 /// Uniform random search over the design-space grid.
 #[derive(Debug, Clone, Copy, Default)]
@@ -25,22 +25,22 @@ impl RandomSearch {
         seed: u64,
     ) -> SearchOutcome {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut sims = 0;
+        let mut stats = EvalStats::new();
         let mut best_point = vec![0.5; problem.dim()];
         let mut best_value = f64::NEG_INFINITY;
         let mut best_meas = None;
-        while sims < budget.max_sims {
+        while stats.sims < budget.max_sims {
             let u = problem.space.sample(&mut rng);
             let mut worst = f64::INFINITY;
             let mut all_pass = true;
             let mut meas = None;
             for c in 0..problem.corners.len() {
-                if sims >= budget.max_sims {
+                if stats.sims >= budget.max_sims {
                     all_pass = false;
                     break;
                 }
-                let e = problem.evaluate_normalized(&u, c);
-                sims += 1;
+                let e = problem.evaluate_with_budget(&u, c, budget.max_sims - stats.sims);
+                stats.record(&e);
                 worst = worst.min(e.value);
                 if meas.is_none() {
                     meas = e.measurements;
@@ -56,12 +56,14 @@ impl RandomSearch {
                 best_meas = meas;
             }
             if all_pass {
+                let simulations = stats.sims;
                 return SearchOutcome {
                     success: true,
-                    simulations: sims,
+                    simulations,
                     best_point: u,
                     best_value: worst,
                     best_measurements: best_meas,
+                    stats,
                 };
             }
         }
@@ -71,6 +73,7 @@ impl RandomSearch {
             best_point,
             best_value,
             best_measurements: best_meas,
+            stats,
         }
     }
 }
@@ -82,24 +85,28 @@ impl Searcher for RandomSearch {
 
     fn search(&mut self, problem: &SizingProblem, budget: SearchBudget, seed: u64) -> SearchOutcome {
         let mut rng = StdRng::seed_from_u64(seed);
+        let mut stats = EvalStats::new();
         let mut best_point = vec![0.5; problem.dim()];
         let mut best_value = f64::NEG_INFINITY;
         let mut best_meas = None;
-        for sims in 1..=budget.max_sims {
+        while stats.sims < budget.max_sims {
             let u = problem.space.sample(&mut rng);
-            let e = problem.evaluate_normalized(&u, 0);
+            let e = problem.evaluate_with_budget(&u, 0, budget.max_sims - stats.sims);
+            stats.record(&e);
             if e.value > best_value {
                 best_value = e.value;
                 best_point = e.x_norm.clone();
                 best_meas = e.measurements.clone();
             }
             if e.feasible {
+                let simulations = stats.sims;
                 return SearchOutcome {
                     success: true,
-                    simulations: sims,
+                    simulations,
                     best_point: e.x_norm,
                     best_value: e.value,
                     best_measurements: e.measurements,
+                    stats,
                 };
             }
         }
@@ -109,6 +116,7 @@ impl Searcher for RandomSearch {
             best_point,
             best_value,
             best_measurements: best_meas,
+            stats,
         }
     }
 }
@@ -126,6 +134,8 @@ mod tests {
         let out = agent.search(&problem, SearchBudget::new(5000), 1);
         assert!(out.success);
         assert_eq!(out.best_value, 0.0);
+        assert_eq!(out.stats.sims, out.simulations, "telemetry matches accounting");
+        assert_eq!(out.stats.total_failures(), 0, "synthetic bowl never fails");
     }
 
     #[test]
@@ -135,6 +145,7 @@ mod tests {
         let out = agent.search(&problem, SearchBudget::new(200), 1);
         assert!(!out.success);
         assert_eq!(out.simulations, 200);
+        assert_eq!(out.stats.sims, 200);
         assert!(out.best_value < 0.0);
     }
 

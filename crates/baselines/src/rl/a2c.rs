@@ -9,8 +9,8 @@ use crate::rl::policy_is_trained;
 use crate::rl::policy::{Policy, ValueNet};
 use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
 use asdex_nn::{Adam, Optimizer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use asdex_rng::rngs::StdRng;
+use asdex_rng::SeedableRng;
 
 /// A2C hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,7 +67,7 @@ impl Searcher for A2c {
     fn search(&mut self, problem: &SizingProblem, budget: SearchBudget, seed: u64) -> SearchOutcome {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut env = SizingEnv::new(problem, cfg.horizon);
+        let mut env = SizingEnv::with_budget(problem, cfg.horizon, budget.max_sims);
         let mut policy = Policy::new(env.obs_dim(), env.n_heads(), cfg.hidden, &mut rng);
         let mut value = ValueNet::new(env.obs_dim(), cfg.hidden, &mut rng);
         let mut policy_opt = Adam::new(cfg.lr);
@@ -148,6 +148,7 @@ impl Searcher for A2c {
             let _ = last_obs;
         }
 
+        let stats = env.stats().clone();
         let (best_value, best_point) = env.best();
         match solved_at {
             Some(sims) => SearchOutcome {
@@ -156,6 +157,7 @@ impl Searcher for A2c {
                 best_point: best_point.to_vec(),
                 best_value,
                 best_measurements: None,
+                stats,
             },
             None => SearchOutcome {
                 success: false,
@@ -163,6 +165,7 @@ impl Searcher for A2c {
                 best_point: best_point.to_vec(),
                 best_value,
                 best_measurements: None,
+                stats,
             },
         }
     }

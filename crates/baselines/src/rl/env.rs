@@ -6,8 +6,8 @@
 //! per-parameter {down, stay, up} grid move, and the reward is the same
 //! value function the model-based agent ranks candidates with.
 
-use asdex_env::SizingProblem;
-use rand::Rng;
+use asdex_env::{EvalStats, SizingProblem};
+use asdex_rng::Rng;
 
 /// Result of one environment step.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,7 +35,8 @@ pub struct SizingEnv<'p> {
     grid_lens: Vec<usize>,
     state: Vec<usize>,
     steps_in_episode: usize,
-    sims: usize,
+    stats: EvalStats,
+    budget: usize,
     first_feasible_sim: Option<usize>,
     best_value: f64,
     best_point: Vec<f64>,
@@ -43,8 +44,17 @@ pub struct SizingEnv<'p> {
 }
 
 impl<'p> SizingEnv<'p> {
-    /// Wraps a problem with the given episode horizon.
+    /// Wraps a problem with the given episode horizon and no simulation
+    /// cap.
     pub fn new(problem: &'p SizingProblem, max_steps: usize) -> Self {
+        Self::with_budget(problem, max_steps, usize::MAX)
+    }
+
+    /// Wraps a problem with a hard simulation cap: once `max_sims`
+    /// simulator calls (retries included) have been issued, further
+    /// observations are served without simulating, so `sims()` can never
+    /// exceed the cap no matter how episodes align with the budget.
+    pub fn with_budget(problem: &'p SizingProblem, max_steps: usize, max_sims: usize) -> Self {
         let grid_lens: Vec<usize> = problem.space.params().iter().map(|p| p.len()).collect();
         // Stride so ~20 moves cross an axis, at least one grid point.
         let strides = grid_lens.iter().map(|&n| (n / 20).max(1)).collect();
@@ -56,7 +66,8 @@ impl<'p> SizingEnv<'p> {
             grid_lens,
             state: Vec::new(),
             steps_in_episode: 0,
-            sims: 0,
+            stats: EvalStats::new(),
+            budget: max_sims,
             first_feasible_sim: None,
             best_value: f64::NEG_INFINITY,
             best_point: Vec::new(),
@@ -75,9 +86,14 @@ impl<'p> SizingEnv<'p> {
         self.problem.dim()
     }
 
-    /// Total simulator invocations so far.
+    /// Total simulator invocations so far (retries included).
     pub fn sims(&self) -> usize {
-        self.sims
+        self.stats.sims
+    }
+
+    /// Telemetry accumulated over every evaluation this env has issued.
+    pub fn stats(&self) -> &EvalStats {
+        &self.stats
     }
 
     /// Simulation index at which the first feasible point appeared.
@@ -105,14 +121,25 @@ impl<'p> SizingEnv<'p> {
 
     fn observe(&mut self) -> (Vec<f64>, f64, bool) {
         let u = self.normalized_state();
-        let e = self.problem.evaluate_normalized(&u, 0);
-        self.sims += 1;
+        let remaining = self.budget.saturating_sub(self.stats.sims);
+        if remaining == 0 {
+            // Budget exhausted: issue no simulation. The point reads as a
+            // plain (finite) failure so in-flight rollouts stay numerically
+            // sane while the agent's budget check stops the search.
+            self.last_feasible = false;
+            let mut obs = u;
+            obs.extend(vec![-1.0; self.problem.specs.len()]);
+            let value = self.problem.value_fn.failure_value(&self.problem.specs);
+            return (obs, value, false);
+        }
+        let e = self.problem.evaluate_with_budget(&u, 0, remaining);
+        self.stats.record(&e);
         if e.value > self.best_value {
             self.best_value = e.value;
             self.best_point = e.x_norm.clone();
         }
         if e.feasible && self.first_feasible_sim.is_none() {
-            self.first_feasible_sim = Some(self.sims);
+            self.first_feasible_sim = Some(self.stats.sims);
         }
         // Per-spec normalized slack (unclipped, bounded to ±1).
         let slacks: Vec<f64> = match &e.measurements {
@@ -175,8 +202,8 @@ impl<'p> SizingEnv<'p> {
 mod tests {
     use super::*;
     use asdex_env::circuits::synthetic::Bowl;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asdex_rng::rngs::StdRng;
+    use asdex_rng::SeedableRng;
 
     #[test]
     fn dimensions() {
@@ -233,6 +260,23 @@ mod tests {
         assert!(r.done);
         assert!(r.reward > 5.0, "bonus applied: {}", r.reward);
         assert!(env.first_feasible_sim().is_some());
+    }
+
+    #[test]
+    fn budget_cap_is_a_hard_ceiling() {
+        let problem = Bowl::problem(2, 0.0001).unwrap(); // infeasible
+        let mut env = SizingEnv::with_budget(&problem, 4, 6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut obs = env.reset(&mut rng);
+        for _ in 0..30 {
+            let r = env.step(&[1, 1]);
+            assert!(r.reward.is_finite(), "capped observations stay finite");
+            assert_eq!(r.obs.len(), env.obs_dim());
+            obs = if r.done { env.reset(&mut rng) } else { r.obs };
+        }
+        let _ = obs;
+        assert_eq!(env.sims(), 6, "exactly the cap, never beyond");
+        assert_eq!(env.stats().sims, 6);
     }
 
     #[test]

@@ -8,7 +8,7 @@ mod ppo;
 mod trpo;
 
 use asdex_env::SearchBudget;
-use rand::Rng;
+use asdex_rng::Rng;
 
 /// Consecutive deterministic-episode successes required before a model-free
 /// policy counts as "trained" (one lucky rollout is not a deployable

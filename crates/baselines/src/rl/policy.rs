@@ -10,7 +10,7 @@ use asdex_nn::{
     entropy, entropy_grad, kl_divergence, kl_grad_new, log_prob_grad, log_softmax,
     sample_categorical, Activation, Gradients, Mlp,
 };
-use rand::Rng;
+use asdex_rng::Rng;
 
 /// Number of moves per head (down / stay / up).
 pub const MOVES: usize = 3;
@@ -220,8 +220,8 @@ impl ValueNet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asdex_rng::rngs::StdRng;
+    use asdex_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(5)

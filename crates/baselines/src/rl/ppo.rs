@@ -9,9 +9,9 @@ use crate::rl::policy_is_trained;
 use crate::rl::policy::{Policy, ValueNet, MOVES};
 use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
 use asdex_nn::{log_prob_grad, Adam, Optimizer};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use asdex_rng::rngs::StdRng;
+use asdex_rng::seq::SliceRandom;
+use asdex_rng::SeedableRng;
 
 /// PPO hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,7 +89,7 @@ impl Searcher for Ppo {
     fn search(&mut self, problem: &SizingProblem, budget: SearchBudget, seed: u64) -> SearchOutcome {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut env = SizingEnv::new(problem, cfg.horizon);
+        let mut env = SizingEnv::with_budget(problem, cfg.horizon, budget.max_sims);
         let mut policy = Policy::new(env.obs_dim(), env.n_heads(), cfg.hidden, &mut rng);
         let mut value = ValueNet::new(env.obs_dim(), cfg.hidden, &mut rng);
         let mut policy_opt = Adam::new(cfg.lr);
@@ -192,6 +192,7 @@ impl Searcher for Ppo {
             let _ = last_obs;
         }
 
+        let stats = env.stats().clone();
         let (best_value, best_point) = env.best();
         match solved_at {
             Some(sims) => SearchOutcome {
@@ -200,6 +201,7 @@ impl Searcher for Ppo {
                 best_point: best_point.to_vec(),
                 best_value,
                 best_measurements: None,
+                stats,
             },
             None => SearchOutcome {
                 success: false,
@@ -207,6 +209,7 @@ impl Searcher for Ppo {
                 best_point: best_point.to_vec(),
                 best_value,
                 best_measurements: None,
+                stats,
             },
         }
     }

@@ -12,8 +12,8 @@ use crate::rl::policy_is_trained;
 use crate::rl::policy::{Policy, ValueNet};
 use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
 use asdex_nn::{Adam, Optimizer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use asdex_rng::rngs::StdRng;
+use asdex_rng::SeedableRng;
 
 /// TRPO hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,7 +80,7 @@ impl Searcher for Trpo {
     fn search(&mut self, problem: &SizingProblem, budget: SearchBudget, seed: u64) -> SearchOutcome {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut env = SizingEnv::new(problem, cfg.horizon);
+        let mut env = SizingEnv::with_budget(problem, cfg.horizon, budget.max_sims);
         let mut policy = Policy::new(env.obs_dim(), env.n_heads(), cfg.hidden, &mut rng);
         let mut value = ValueNet::new(env.obs_dim(), cfg.hidden, &mut rng);
         let mut value_opt = Adam::new(cfg.value_lr);
@@ -253,6 +253,7 @@ impl Searcher for Trpo {
             let _ = last_obs;
         }
 
+        let stats = env.stats().clone();
         let (best_value, best_point) = env.best();
         match solved_at {
             Some(sims) => SearchOutcome {
@@ -261,6 +262,7 @@ impl Searcher for Trpo {
                 best_point: best_point.to_vec(),
                 best_value,
                 best_measurements: None,
+                stats,
             },
             None => SearchOutcome {
                 success: false,
@@ -268,6 +270,7 @@ impl Searcher for Trpo {
                 best_point: best_point.to_vec(),
                 best_value,
                 best_measurements: None,
+                stats,
             },
         }
     }

@@ -2,8 +2,8 @@
 //! surrogate inside the paper's "customized BO", which "substitutes
 //! Gaussian Process with extra-tree regressor" for scalability.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use asdex_rng::rngs::StdRng;
+use asdex_rng::{Rng, SeedableRng};
 
 /// One node of an extra tree.
 #[derive(Debug, Clone)]
@@ -220,7 +220,7 @@ mod tests {
     #[test]
     fn constant_features_become_leaves() {
         let xs = vec![vec![1.0, 2.0]; 10];
-        let ys: Vec<f64> = (0..10).map(f64::from).map(|v| v as f64).collect();
+        let ys: Vec<f64> = (0..10).map(f64::from).collect();
         let f = ExtraTrees::fit(&xs, &ys, ForestConfig::default(), 0);
         assert!((f.predict(&[1.0, 2.0]) - 4.5).abs() < 1e-12);
         assert_eq!(f.max_depth(), 0, "no splits on constant features");

@@ -21,7 +21,7 @@
 
 use asdex_baselines::rl::{A2c, Ppo, Trpo};
 use asdex_baselines::{CustomizedBo, RandomSearch};
-use asdex_bench::{print_table, write_csv, RunScale, Stats};
+use asdex_bench::{print_table, telemetry_line, write_csv, RunScale, Stats};
 use asdex_core::{Framework, FrameworkConfig, LocalExplorer};
 use asdex_env::circuits::opamp::TwoStageOpamp;
 use asdex_env::{SearchBudget, Searcher};
@@ -32,18 +32,20 @@ fn run_agent(
     problem: &asdex_env::SizingProblem,
     budget: SearchBudget,
     runs: usize,
-) -> (f64, Stats, Stats) {
+) -> (f64, Stats, Stats, Vec<asdex_env::EvalStats>) {
     let mut successes = Vec::new();
     let mut all = Vec::new();
+    let mut telemetry = Vec::new();
     for seed in 0..runs as u64 {
         let out = agent.search(problem, budget, seed);
         all.push(out.simulations);
         if out.success {
             successes.push(out.simulations);
         }
+        telemetry.push(out.stats);
     }
     let rate = successes.len() as f64 / runs as f64;
-    (rate, Stats::of(&successes), Stats::of(&all))
+    (rate, Stats::of(&successes), Stats::of(&all), telemetry)
 }
 
 fn main() {
@@ -91,7 +93,7 @@ fn main() {
         agents.into_iter().zip(paper)
     {
         let t0 = Instant::now();
-        let (rate, ok_stats, _all) = run_agent(agent.as_mut(), &problem, budget, runs);
+        let (rate, ok_stats, _all, telemetry) = run_agent(agent.as_mut(), &problem, budget, runs);
         let wall = t0.elapsed().as_secs_f64();
         println!(
             "  {:<10} done in {wall:.1}s ({} runs, budget {})",
@@ -99,6 +101,7 @@ fn main() {
             runs,
             budget.max_sims
         );
+        println!("  {:<10} telemetry: {}", agent.name(), telemetry_line(&telemetry));
         rows.push(vec![
             paper_name.to_string(),
             format!("{:.0}%", rate * 100.0),

@@ -14,7 +14,7 @@
 //! the same order (the strategy is insensitive to the initial corner).
 
 use asdex_baselines::RandomSearch;
-use asdex_bench::{print_table, write_csv, RunScale, Stats};
+use asdex_bench::{print_table, telemetry_line, write_csv, RunScale, Stats};
 use asdex_core::{PvtExplorer, PvtStrategy};
 use asdex_env::circuits::opamp::TwoStageOpamp;
 use asdex_env::{PvtSet, SearchBudget};
@@ -42,6 +42,7 @@ fn main() {
         let agent = RandomSearch::new();
         let mut steps = Vec::new();
         let mut failures = 0usize;
+        let mut telemetry = Vec::new();
         for seed in 0..runs as u64 {
             let out = agent.search_all_corners(&problem, budget, seed);
             if out.success {
@@ -49,7 +50,9 @@ fn main() {
             } else {
                 failures += 1;
             }
+            telemetry.push(out.stats);
         }
+        println!("  random search telemetry: {}", telemetry_line(&telemetry));
         let s = Stats::of(&steps);
         let measured = if steps.is_empty() {
             format!("failed ({}+)", budget.max_sims)
@@ -87,6 +90,7 @@ fn main() {
         let agent = PvtExplorer::new(strategy);
         let mut steps = Vec::new();
         let mut failures = 0usize;
+        let mut telemetry = Vec::new();
         for seed in 0..runs as u64 {
             let out = agent.run(&problem, budget, seed);
             if out.success {
@@ -94,9 +98,11 @@ fn main() {
             } else {
                 failures += 1;
             }
+            telemetry.push(out.stats);
         }
         let s = Stats::of(&steps);
         println!("  {:<22} avg {:.1} (failures {failures})", strategy.label(), s.mean);
+        println!("  {:<22} telemetry: {}", strategy.label(), telemetry_line(&telemetry));
         rows.push(vec![
             strategy.label().to_string(),
             format!("{:.1}", s.mean),

@@ -130,6 +130,17 @@ pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
     let _ = fs::write(dir.join(format!("{name}.csv")), out);
 }
 
+/// Merges per-run evaluation telemetry into one record and renders the
+/// one-line summary every harness prints beneath its table: total
+/// simulator calls, failures by kind, retry-ladder activity.
+pub fn telemetry_line(per_run: &[asdex_env::EvalStats]) -> String {
+    let mut total = asdex_env::EvalStats::new();
+    for s in per_run {
+        total.merge(s);
+    }
+    total.to_string()
+}
+
 /// Formats a float with a fixed number of decimals, rendering
 /// non-finite/sentinel values as `"failed"`.
 pub fn fmt_or_failed(x: f64, decimals: usize) -> String {

@@ -7,14 +7,13 @@
 //! dominated by the largest unit.
 
 use asdex_nn::{mse_output_grad, Activation, Adam, Mlp, Normalizer, Optimizer};
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use asdex_rng::Rng;
 
 /// Portable snapshot of a trained approximator: the network weights plus
 /// the input/output standardization statistics they were trained against.
 /// Transferring weights without their normalizers would scramble the
 /// learned function, so porting (paper §V-C) always moves them together.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelState {
     /// Flattened network parameters.
     pub weights: Vec<f64>,
@@ -25,7 +24,7 @@ pub struct ModelState {
 }
 
 /// One trajectory entry: a point the simulator was consulted on.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Normalized design coordinates.
     pub x: Vec<f64>,
@@ -40,9 +39,9 @@ pub struct Sample {
 ///
 /// ```
 /// use asdex_core::SpiceApproximator;
-/// use rand::SeedableRng;
+/// use asdex_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut rng = asdex_rng::rngs::StdRng::seed_from_u64(0);
 /// let mut model = SpiceApproximator::new(2, 1, 32, 0.003, &mut rng);
 /// for k in 0..20 {
 ///     let x = vec![k as f64 / 19.0, 0.5];
@@ -199,8 +198,8 @@ impl SpiceApproximator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asdex_rng::rngs::StdRng;
+    use asdex_rng::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(3)

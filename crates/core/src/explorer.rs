@@ -8,17 +8,16 @@
 use crate::approximator::SpiceApproximator;
 use crate::planner::McPlanner;
 use crate::trust_region::{TrustRegion, TrustRegionConfig};
-use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use asdex_env::{EvalStats, SearchBudget, SearchOutcome, Searcher, SizingProblem};
+use asdex_rng::rngs::StdRng;
+use asdex_rng::SeedableRng;
 
 /// Hyperparameters of the local explorer.
 ///
 /// The defaults are the "automatically constructed" settings of the
 /// paper's §IV-F API: small network, a few hundred Monte-Carlo samples,
 /// restart after a few tens of non-improving steps.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ExplorerConfig {
     /// Global random samples seeding each episode (Algorithm 1 line 2).
     pub n_init: usize,
@@ -90,9 +89,9 @@ impl LocalExplorer {
     /// Runs Algorithm 1 on one PVT corner, returning the outcome and the
     /// porting artifacts.
     ///
-    /// # Panics
-    ///
-    /// Panics if `corner_idx` is out of range for the problem.
+    /// An out-of-range `corner_idx` is not a panic: every evaluation comes
+    /// back as a typed invalid-input failure and the search exhausts its
+    /// budget with the failure counted in [`SearchOutcome::stats`].
     pub fn run(
         &self,
         problem: &SizingProblem,
@@ -107,7 +106,7 @@ impl LocalExplorer {
         let n_meas = problem.evaluator.measurement_names().len();
         let planner = McPlanner::new(cfg.mc_samples);
 
-        let mut sims = 0usize;
+        let mut stats = EvalStats::new();
         let mut best_point = vec![0.5; dim];
         let mut best_value = f64::NEG_INFINITY;
         let mut best_meas: Option<Vec<f64>> = None;
@@ -118,7 +117,7 @@ impl LocalExplorer {
             model.import_state(state);
         }
 
-        let exhausted = |best_point: Vec<f64>, best_value: f64, best_meas: Option<Vec<f64>>, model: &SpiceApproximator| {
+        let exhausted = |stats: &EvalStats, best_point: Vec<f64>, best_value: f64, best_meas: Option<Vec<f64>>, model: &SpiceApproximator| {
             (
                 SearchOutcome {
                     success: false,
@@ -126,6 +125,7 @@ impl LocalExplorer {
                     best_point: best_point.clone(),
                     best_value,
                     best_measurements: best_meas,
+                    stats: stats.clone(),
                 },
                 ExplorerArtifacts { model: model.export_state(), center: best_point },
             )
@@ -136,12 +136,21 @@ impl LocalExplorer {
             let mut center: Vec<f64>;
             let mut center_value: f64;
             if let Some(warm_center) = warm.center.as_ref().filter(|_| first_episode) {
-                center = problem.space.snap(warm_center).unwrap_or_else(|_| vec![0.5; dim]);
-                if sims >= budget.max_sims {
-                    return exhausted(best_point, best_value, best_meas, &model);
+                // A warm center that cannot be snapped (wrong dimension,
+                // ported from a different space) falls back to mid-grid —
+                // counted, not silent, so telemetry flags the bad hand-off.
+                center = match problem.space.snap(warm_center) {
+                    Ok(c) => c,
+                    Err(_) => {
+                        stats.snap_fallbacks += 1;
+                        vec![0.5; dim]
+                    }
+                };
+                if stats.sims >= budget.max_sims {
+                    return exhausted(&stats, best_point, best_value, best_meas, &model);
                 }
-                let e = problem.evaluate_normalized(&center, corner_idx);
-                sims += 1;
+                let e = problem.evaluate_with_budget(&center, corner_idx, budget.max_sims - stats.sims);
+                stats.record(&e);
                 center_value = e.value;
                 if e.value > best_value {
                     best_value = e.value;
@@ -155,10 +164,11 @@ impl LocalExplorer {
                     return (
                         SearchOutcome {
                             success: true,
-                            simulations: sims,
+                            simulations: stats.sims,
                             best_point: center.clone(),
                             best_value: center_value,
                             best_measurements: best_meas,
+                            stats,
                         },
                         ExplorerArtifacts { model: model.export_state(), center },
                     );
@@ -167,12 +177,12 @@ impl LocalExplorer {
                 center = vec![0.5; dim];
                 center_value = f64::NEG_INFINITY;
                 for _ in 0..cfg.n_init {
-                    if sims >= budget.max_sims {
-                        return exhausted(best_point, best_value, best_meas, &model);
+                    if stats.sims >= budget.max_sims {
+                        return exhausted(&stats, best_point, best_value, best_meas, &model);
                     }
                     let u = problem.space.sample(&mut rng);
-                    let e = problem.evaluate_normalized(&u, corner_idx);
-                    sims += 1;
+                    let e = problem.evaluate_with_budget(&u, corner_idx, budget.max_sims - stats.sims);
+                    stats.record(&e);
                     if let Some(m) = &e.measurements {
                         model.push(e.x_norm.clone(), m.clone());
                     }
@@ -185,10 +195,11 @@ impl LocalExplorer {
                         return (
                             SearchOutcome {
                                 success: true,
-                                simulations: sims,
+                                simulations: stats.sims,
                                 best_point: e.x_norm.clone(),
                                 best_value: e.value,
                                 best_measurements: e.measurements,
+                                stats,
                             },
                             ExplorerArtifacts { model: model.export_state(), center: e.x_norm },
                         );
@@ -205,8 +216,8 @@ impl LocalExplorer {
             let mut trust = TrustRegion::new(cfg.trust);
             let mut stall = 0usize;
             loop {
-                if sims >= budget.max_sims {
-                    return exhausted(best_point, best_value, best_meas, &model);
+                if stats.sims >= budget.max_sims {
+                    return exhausted(&stats, best_point, best_value, best_meas, &model);
                 }
                 model.fit(cfg.train_epochs);
                 let proposal = planner.propose(
@@ -222,8 +233,8 @@ impl LocalExplorer {
                     // The region collapsed onto the center: escape.
                     continue 'episode;
                 };
-                let e = problem.evaluate_normalized(&p.x, corner_idx);
-                sims += 1;
+                let e = problem.evaluate_with_budget(&p.x, corner_idx, budget.max_sims - stats.sims);
+                stats.record(&e);
                 if let Some(m) = &e.measurements {
                     model.push(e.x_norm.clone(), m.clone());
                 }
@@ -236,10 +247,11 @@ impl LocalExplorer {
                     return (
                         SearchOutcome {
                             success: true,
-                            simulations: sims,
+                            simulations: stats.sims,
                             best_point: e.x_norm.clone(),
                             best_value: e.value,
                             best_measurements: e.measurements,
+                            stats,
                         },
                         ExplorerArtifacts { model: model.export_state(), center: e.x_norm },
                     );
@@ -349,5 +361,60 @@ mod tests {
         let o1 = a.search(&problem, SearchBudget::new(1000), 42);
         let o2 = b.search(&problem, SearchBudget::new(1000), 42);
         assert_eq!(o1, o2);
+    }
+
+    #[test]
+    fn nan_evaluator_yields_typed_failures_not_a_panic() {
+        use asdex_env::{Evaluator, FailureKind, PvtCorner};
+        use std::sync::Arc;
+
+        /// Every simulation reports NaN — the pathology of a simulator
+        /// whose solution diverged without tripping the iteration cap.
+        struct AllNan {
+            names: Vec<String>,
+        }
+        impl Evaluator for AllNan {
+            fn measurement_names(&self) -> &[String] {
+                &self.names
+            }
+            fn evaluate(
+                &self,
+                _x: &[f64],
+                _c: &PvtCorner,
+            ) -> Result<Vec<f64>, asdex_env::EnvError> {
+                Ok(vec![f64::NAN])
+            }
+        }
+
+        let mut problem = Bowl::problem(2, 0.2).unwrap();
+        problem.evaluator = Arc::new(AllNan { names: vec!["score".into()] });
+        let mut agent = LocalExplorer::default();
+        let out = agent.search(&problem, SearchBudget::new(120), 1);
+        assert!(!out.success);
+        assert_eq!(out.simulations, 120);
+        assert_eq!(out.stats.sims, 120);
+        assert_eq!(out.stats.failures_of(FailureKind::NonFinite), 120);
+        assert!(out.best_value.is_finite(), "failure value stays finite");
+    }
+
+    #[test]
+    fn out_of_range_corner_exhausts_budget_with_typed_failures() {
+        use asdex_env::FailureKind;
+        let problem = Bowl::problem(2, 0.2).unwrap();
+        let agent = LocalExplorer::default();
+        let (out, _) = agent.run(&problem, 7, SearchBudget::new(40), 3, &WarmStart::default());
+        assert!(!out.success);
+        assert_eq!(out.stats.sims, 40);
+        assert_eq!(out.stats.failures_of(FailureKind::InvalidInput), 40);
+    }
+
+    #[test]
+    fn mismatched_warm_center_counts_a_snap_fallback() {
+        let problem = Bowl::problem(3, 0.25).unwrap();
+        let agent = LocalExplorer::default();
+        // Warm center from a 5-D node ported onto a 3-D problem.
+        let warm = WarmStart { center: Some(vec![0.4; 5]), model: None };
+        let (out, _) = agent.run(&problem, 0, SearchBudget::new(2000), 5, &warm);
+        assert_eq!(out.stats.snap_fallbacks, 1, "bad hand-off is counted, not silent");
     }
 }

@@ -8,13 +8,12 @@
 
 use crate::explorer::{ExplorerConfig, LocalExplorer, WarmStart};
 use crate::pvt::{LedgerEntry, PvtExplorer, PvtStrategy};
-use asdex_env::{EnvError, SearchBudget, SizingProblem};
-use serde::{Deserialize, Serialize};
+use asdex_env::{EnvError, EvalStats, SearchBudget, SizingProblem};
 
 /// User-facing framework configuration. Everything has a sensible
 /// default; `None` fields are derived from the problem (the paper's
 /// "dynamically scheduled on the fly").
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FrameworkConfig {
     /// Simulation budget; default 10 000 (the paper's cap).
     pub budget: Option<usize>,
@@ -42,6 +41,8 @@ pub struct FrameworkOutcome {
     pub best_value: f64,
     /// PVT ledger (empty for single-corner runs).
     pub ledger: Vec<LedgerEntry>,
+    /// Failure/retry telemetry over every simulator call.
+    pub stats: EvalStats,
 }
 
 /// The automated sizing framework.
@@ -106,6 +107,7 @@ impl Framework {
                 best_physical,
                 best_value: out.best_value,
                 ledger: Vec::new(),
+                stats: out.stats,
             })
         } else {
             let strategy = self.config.pvt_strategy.unwrap_or(PvtStrategy::ProgressiveHardest);
@@ -120,6 +122,7 @@ impl Framework {
                 best_physical,
                 best_value: out.best_value,
                 ledger: out.ledger,
+                stats: out.stats,
             })
         }
     }

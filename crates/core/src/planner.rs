@@ -7,7 +7,7 @@
 
 use crate::approximator::SpiceApproximator;
 use asdex_env::{DesignSpace, SpecSet, ValueFn};
-use rand::Rng;
+use asdex_rng::Rng;
 
 /// A candidate the planner proposes.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,8 +114,8 @@ impl McPlanner {
 mod tests {
     use super::*;
     use asdex_env::{Param, Spec};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asdex_rng::rngs::StdRng;
+    use asdex_rng::SeedableRng;
 
     fn space() -> DesignSpace {
         DesignSpace::new(vec![

@@ -7,10 +7,9 @@
 //! [`PortingStrategy::warm_start`] translates each into explorer inputs.
 
 use crate::explorer::{ExplorerArtifacts, WarmStart};
-use serde::{Deserialize, Serialize};
 
 /// The three Table II porting strategies.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PortingStrategy {
     /// Random weights, random starting point — no reuse (baseline row).
     Fresh,
@@ -56,8 +55,8 @@ mod tests {
 
     fn artifacts() -> ExplorerArtifacts {
         use crate::SpiceApproximator;
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        use asdex_rng::SeedableRng;
+        let mut rng = asdex_rng::rngs::StdRng::seed_from_u64(0);
         let model = SpiceApproximator::new(2, 1, 4, 0.003, &mut rng).export_state();
         ExplorerArtifacts { model, center: vec![0.4, 0.6] }
     }

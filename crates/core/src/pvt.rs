@@ -10,13 +10,12 @@ use crate::approximator::SpiceApproximator;
 use crate::explorer::ExplorerConfig;
 use crate::planner::McPlanner;
 use crate::trust_region::TrustRegion;
-use asdex_env::{SearchBudget, SizingProblem};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use asdex_env::{EvalStats, SearchBudget, SizingProblem};
+use asdex_rng::rngs::StdRng;
+use asdex_rng::{Rng, SeedableRng};
 
 /// Strategy for covering the PVT corner set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PvtStrategy {
     /// Evaluate every corner on every iteration ("test all cond." row of
     /// Table III).
@@ -42,7 +41,7 @@ impl PvtStrategy {
 /// One simulator invocation in the PVT ledger — the raw material of the
 /// paper's Fig. 3 timeline (each block is one EDA-tool use; red = spec
 /// missed, green = met).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LedgerEntry {
     /// Global simulation index (time order).
     pub sim: usize,
@@ -74,6 +73,8 @@ pub struct PvtOutcome {
     pub ledger: Vec<LedgerEntry>,
     /// Corners that were promoted into the active set, in order.
     pub activation_order: Vec<usize>,
+    /// Failure/retry telemetry over every simulator call.
+    pub stats: EvalStats,
 }
 
 /// The PVT exploration engine.
@@ -109,7 +110,7 @@ impl PvtExplorer {
         let cfg = &self.config;
         let planner = McPlanner::new(cfg.mc_samples);
 
-        let mut sims = 0usize;
+        let mut stats = EvalStats::new();
         let mut round = 0usize;
         let mut ledger: Vec<LedgerEntry> = Vec::new();
         let mut best_point = vec![0.5; dim];
@@ -136,7 +137,7 @@ impl PvtExplorer {
                 for _ in 0..self.hardness_probes {
                     let u = problem.space.sample(&mut rng);
                     for (c, mean) in means.iter_mut().enumerate() {
-                        if sims >= budget.max_sims {
+                        if stats.sims >= budget.max_sims {
                             return PvtOutcome {
                                 success: false,
                                 simulations: budget.max_sims,
@@ -144,12 +145,13 @@ impl PvtExplorer {
                                 best_value,
                                 ledger,
                                 activation_order: vec![],
+                                stats,
                             };
                         }
-                        let e = problem.evaluate_normalized(&u, c);
-                        sims += 1;
+                        let e = problem.evaluate_with_budget(&u, c, budget.max_sims - stats.sims);
+                        stats.record(&e);
                         ledger.push(LedgerEntry {
-                            sim: sims,
+                            sim: stats.sims,
                             round,
                             corner: c,
                             value: e.value,
@@ -182,14 +184,14 @@ impl PvtExplorer {
                 let mut all_pass = true;
                 let mut out_of_budget = false;
                 for &c in $corners {
-                    if sims >= budget.max_sims {
+                    if stats.sims >= budget.max_sims {
                         out_of_budget = true;
                         break;
                     }
-                    let e = problem.evaluate_normalized($u, c);
-                    sims += 1;
+                    let e = problem.evaluate_with_budget($u, c, budget.max_sims - stats.sims);
+                    stats.record(&e);
                     ledger.push(LedgerEntry {
-                        sim: sims,
+                        sim: stats.sims,
                         round,
                         corner: c,
                         value: e.value,
@@ -229,7 +231,7 @@ impl PvtExplorer {
                     best_point = center.clone();
                 }
             }
-            if sims >= budget.max_sims {
+            if stats.sims >= budget.max_sims {
                 return PvtOutcome {
                     success: false,
                     simulations: budget.max_sims,
@@ -237,13 +239,14 @@ impl PvtExplorer {
                     best_value,
                     ledger,
                     activation_order,
+                    stats,
                 };
             }
 
             let mut trust = TrustRegion::new(cfg.trust);
             let mut stall = 0usize;
             loop {
-                if sims >= budget.max_sims {
+                if stats.sims >= budget.max_sims {
                     return PvtOutcome {
                         success: false,
                         simulations: budget.max_sims,
@@ -251,6 +254,7 @@ impl PvtExplorer {
                         best_value,
                         ledger,
                         activation_order,
+                        stats,
                     };
                 }
                 for &c in &active {
@@ -286,11 +290,12 @@ impl PvtExplorer {
                     if inactive.is_empty() {
                         return PvtOutcome {
                             success: true,
-                            simulations: sims,
+                            simulations: stats.sims,
                             best_point: p.x,
                             best_value: worst,
                             ledger,
                             activation_order,
+                            stats,
                         };
                     }
                     round += 1;
@@ -301,11 +306,12 @@ impl PvtExplorer {
                     if v_all {
                         return PvtOutcome {
                             success: true,
-                            simulations: sims,
+                            simulations: stats.sims,
                             best_point: p.x,
                             best_value: v_worst.min(worst),
                             ledger,
                             activation_order,
+                            stats,
                         };
                     }
                     // Promote the worst failing corner and keep searching

@@ -6,10 +6,9 @@
 //! step is accepted and how the radius evolves: a model that tracks the
 //! simulator earns a larger region, a misleading one gets shrunk.
 
-use serde::{Deserialize, Serialize};
 
 /// Trust-region hyperparameters.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrustRegionConfig {
     /// Initial radius (normalized coordinates).
     pub initial_radius: f64,
@@ -56,7 +55,7 @@ pub struct TrustStep {
 }
 
 /// Adaptive trust-region state.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrustRegion {
     config: TrustRegionConfig,
     radius: f64,

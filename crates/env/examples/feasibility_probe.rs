@@ -19,8 +19,8 @@ use asdex_env::circuits::ico::Ico;
 use asdex_env::circuits::ldo::Ldo;
 use asdex_env::circuits::opamp::TwoStageOpamp;
 use asdex_env::SizingProblem;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use asdex_rng::rngs::StdRng;
+use asdex_rng::SeedableRng;
 
 fn probe(problem: &SizingProblem, samples: usize) {
     println!(

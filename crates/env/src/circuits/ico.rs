@@ -176,7 +176,9 @@ impl Evaluator for IcoEvaluator {
         let pn_lin = (2.0 * K_B * t_kelvin / p_sig) * f_excess * ratio * ratio;
         let pn_dbc = 10.0 * pn_lin.log10();
 
-        Ok(vec![freq, pn_dbc, area_m2 * 1e12])
+        let meas = vec![freq, pn_dbc, area_m2 * 1e12];
+        asdex_spice::measure::ensure_finite(&meas, "ico measurements")?;
+        Ok(meas)
     }
 }
 

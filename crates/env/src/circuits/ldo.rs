@@ -12,12 +12,13 @@
 use crate::corner::PvtCorner;
 use crate::error::EnvError;
 use crate::problem::{Evaluator, SizingProblem};
+use crate::robust::EvalEffort;
 use crate::space::{DesignSpace, Param};
 use crate::spec::{Spec, SpecSet};
 use crate::PvtSet;
 use asdex_spice::analysis::{ac_analysis_with_op, Engine, OpOptions, Sweep};
 use asdex_spice::devices::MosGeometry;
-use asdex_spice::measure::{frequency_response, to_db};
+use asdex_spice::measure::{checked_frequency_response, ensure_finite, to_db};
 use asdex_spice::process::ProcessNode;
 use asdex_spice::{AcSpec, Circuit};
 use std::sync::Arc;
@@ -264,10 +265,21 @@ impl Evaluator for LdoEvaluator {
     }
 
     fn evaluate(&self, x: &[f64], corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        self.evaluate_with_effort(x, corner, EvalEffort::default())
+    }
+
+    fn evaluate_with_effort(
+        &self,
+        x: &[f64],
+        corner: &PvtCorner,
+        effort: EvalEffort,
+    ) -> Result<Vec<f64>, EnvError> {
         let circuit = self.ldo.netlist(x, corner)?;
         let engine = Engine::compile(&circuit)?;
-        let opts = OpOptions::default();
-        let op = engine.operating_point(&opts, None)?;
+        let mut opts = OpOptions::default();
+        effort.apply(&mut opts);
+        let initial = effort.initial_guess(engine.dim());
+        let op = engine.operating_point(&opts, initial.as_deref())?;
 
         let vout_node = circuit.find_node("vout").expect("netlist defines vout");
         let fbo = circuit.find_node("fbo").expect("netlist defines fbo");
@@ -280,7 +292,7 @@ impl Evaluator for LdoEvaluator {
         let iq = (supply_current - load_current).abs();
 
         let ac = ac_analysis_with_op(&engine, op, Sweep::Decade { fstart: 10.0, fstop: 1e9, points_per_decade: 10 })?;
-        let fr = frequency_response(&ac, fbo);
+        let fr = checked_frequency_response(&ac, fbo)?;
         // `frequency_response` reports the low-frequency magnitude of the
         // probe node, which is exactly the loop gain here.
         let loop_gain_db = fr.dc_gain_db.max(to_db(0.0));
@@ -288,13 +300,15 @@ impl Evaluator for LdoEvaluator {
         // Area in µm² (1 m² = 1e12 µm²).
         let area_um2 = circuit.total_gate_area() * 1e12;
 
-        Ok(vec![
+        let meas = vec![
             loop_gain_db,
             fr.phase_margin_deg.unwrap_or(90.0),
             area_um2,
             iq,
             vout_v,
-        ])
+        ];
+        ensure_finite(&meas, "ldo measurements")?;
+        Ok(meas)
     }
 }
 

@@ -14,12 +14,13 @@
 use crate::corner::PvtCorner;
 use crate::error::EnvError;
 use crate::problem::{Evaluator, SizingProblem};
+use crate::robust::EvalEffort;
 use crate::space::{DesignSpace, Param};
 use crate::spec::{Spec, SpecSet};
 use crate::PvtSet;
 use asdex_spice::analysis::{ac_analysis_with_op, Engine, OpOptions, Sweep};
 use asdex_spice::devices::MosGeometry;
-use asdex_spice::measure::frequency_response;
+use asdex_spice::measure::{checked_frequency_response, ensure_finite};
 use asdex_spice::process::ProcessNode;
 use asdex_spice::{AcSpec, Circuit};
 use std::sync::Arc;
@@ -254,10 +255,21 @@ impl Evaluator for OpampEvaluator {
     }
 
     fn evaluate(&self, x: &[f64], corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        self.evaluate_with_effort(x, corner, EvalEffort::default())
+    }
+
+    fn evaluate_with_effort(
+        &self,
+        x: &[f64],
+        corner: &PvtCorner,
+        effort: EvalEffort,
+    ) -> Result<Vec<f64>, EnvError> {
         let circuit = self.opamp.netlist(x, corner)?;
         let engine = Engine::compile(&circuit)?;
-        let opts = OpOptions::default();
-        let op = engine.operating_point(&opts, None)?;
+        let mut opts = OpOptions::default();
+        effort.apply(&mut opts);
+        let initial = effort.initial_guess(engine.dim());
+        let op = engine.operating_point(&opts, initial.as_deref())?;
 
         let sweep = Sweep::Decade { fstart: 10.0, fstop: 10e9, points_per_decade: 10 };
         let out = circuit.find_node("out").expect("netlist defines out");
@@ -266,15 +278,17 @@ impl Evaluator for OpampEvaluator {
         let vdd_v = self.opamp.node.vdd * corner.vdd_scale;
 
         let ac = ac_analysis_with_op(&engine, op, sweep)?;
-        let fr = frequency_response(&ac, out);
+        let fr = checked_frequency_response(&ac, out)?;
 
-        Ok(vec![
+        let meas = vec![
             fr.dc_gain_db,
             fr.unity_gain_freq.unwrap_or(0.0),
             fr.phase_margin_deg.unwrap_or(0.0),
             supply_current * vdd_v,
             circuit.total_gate_area(),
-        ])
+        ];
+        ensure_finite(&meas, "opamp measurements")?;
+        Ok(meas)
     }
 }
 

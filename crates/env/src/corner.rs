@@ -1,12 +1,11 @@
 //! PVT (process, voltage, temperature) corners — paper §IV-E.
 
 use asdex_spice::process::ProcessCorner;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One PVT condition: a process corner, a supply scale factor, and a
 /// temperature.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PvtCorner {
     /// Process corner.
     pub process: ProcessCorner,
@@ -41,7 +40,7 @@ impl fmt::Display for PvtCorner {
 }
 
 /// An ordered set of PVT corners to sign off.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PvtSet {
     corners: Vec<PvtCorner>,
 }

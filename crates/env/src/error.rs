@@ -28,6 +28,13 @@ pub enum EnvError {
         /// Human-readable description.
         reason: String,
     },
+    /// A fault injected by a chaos-testing wrapper (see
+    /// [`crate::fault::FaultInjectingEvaluator`]). Never produced by real
+    /// simulations.
+    Injected {
+        /// Which fault mode fired (`"no-convergence"`, …).
+        mode: &'static str,
+    },
 }
 
 impl fmt::Display for EnvError {
@@ -39,6 +46,7 @@ impl fmt::Display for EnvError {
             }
             EnvError::InvalidSpace { reason } => write!(f, "invalid design space: {reason}"),
             EnvError::InvalidProblem { reason } => write!(f, "invalid problem: {reason}"),
+            EnvError::Injected { mode } => write!(f, "injected fault: {mode}"),
         }
     }
 }

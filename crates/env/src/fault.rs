@@ -1,0 +1,285 @@
+//! Deterministic fault injection for chaos-testing search agents.
+//!
+//! [`FaultInjectingEvaluator`] wraps any [`Evaluator`] and corrupts a
+//! configurable fraction of evaluations with the failure modes a real
+//! simulator exhibits: non-convergence, NaN/Inf measurements, and
+//! wrong-dimension output vectors. The injection is a pure function of
+//! `(seed, point, corner, attempt)` — re-running a chaos test reproduces
+//! the exact same fault sequence, and because the attempt index enters the
+//! hash, the retry ladder can *recover* injected non-convergence exactly
+//! as it would a flaky bias point.
+
+use crate::corner::PvtCorner;
+use crate::error::EnvError;
+use crate::problem::Evaluator;
+use crate::robust::EvalEffort;
+use asdex_rng::splitmix64;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Which corruption an injected fault applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// A typed non-convergence error ([`EnvError::Injected`]) — retryable,
+    /// so the ladder can recover it.
+    NoConvergence,
+    /// All measurements replaced with NaN.
+    NanMeasurements,
+    /// All measurements replaced with +Inf.
+    InfMeasurements,
+    /// A measurement vector one entry too long.
+    WrongDimension,
+}
+
+/// Configuration for [`FaultInjectingEvaluator`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that any single attempt is faulted.
+    pub rate: f64,
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// When `true` (default) each retry attempt draws an independent fault
+    /// decision, so injected non-convergence can clear under the retry
+    /// ladder. When `false` a faulted point stays faulted at every
+    /// attempt.
+    pub recover_on_retry: bool,
+    /// Relative weights of the four modes, in [`FaultMode`] declaration
+    /// order: no-convergence, NaN, Inf, wrong-dimension.
+    pub mode_weights: [u32; 4],
+}
+
+impl FaultConfig {
+    /// Faults at `rate` with the given `seed` and default mode mix
+    /// (half non-convergence, the rest split between NaN/Inf/wrong-dim).
+    pub fn new(rate: f64, seed: u64) -> Self {
+        FaultConfig { rate, seed, recover_on_retry: true, mode_weights: [5, 2, 1, 2] }
+    }
+
+    /// Restricts injection to a single mode.
+    pub fn only(mode: FaultMode, rate: f64, seed: u64) -> Self {
+        let mut w = [0u32; 4];
+        w[mode as usize] = 1;
+        FaultConfig { rate, seed, recover_on_retry: true, mode_weights: w }
+    }
+}
+
+/// A chaos-testing wrapper that injects deterministic, seeded faults into
+/// a fraction of evaluations. See the module docs for the determinism
+/// contract.
+pub struct FaultInjectingEvaluator {
+    inner: Arc<dyn Evaluator>,
+    config: FaultConfig,
+    injected: AtomicUsize,
+}
+
+impl FaultInjectingEvaluator {
+    /// Wraps `inner`, faulting per `config`.
+    pub fn new(inner: Arc<dyn Evaluator>, config: FaultConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.rate),
+            "fault rate {} outside [0, 1]",
+            config.rate
+        );
+        assert!(
+            config.mode_weights.iter().any(|w| *w > 0),
+            "at least one fault mode must have non-zero weight"
+        );
+        FaultInjectingEvaluator { inner, config, injected: AtomicUsize::new(0) }
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> usize {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped evaluator.
+    pub fn inner(&self) -> &Arc<dyn Evaluator> {
+        &self.inner
+    }
+
+    /// The fault decision for one attempt: `None` (pass through) or the
+    /// mode to inject. Pure in `(config, x, corner, attempt)`.
+    fn decide(&self, x: &[f64], corner: &PvtCorner, attempt: usize) -> Option<FaultMode> {
+        let mut h = self.config.seed ^ 0xC2B2_AE3D_27D4_EB4F;
+        splitmix64(&mut h);
+        for v in x {
+            h ^= v.to_bits();
+            splitmix64(&mut h);
+        }
+        h ^= corner.process as u64;
+        splitmix64(&mut h);
+        h ^= corner.vdd_scale.to_bits();
+        splitmix64(&mut h);
+        h ^= corner.temp_celsius.to_bits();
+        splitmix64(&mut h);
+        if self.config.recover_on_retry {
+            h ^= attempt as u64;
+            splitmix64(&mut h);
+        }
+        let draw = splitmix64(&mut h);
+        let u = (draw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u >= self.config.rate {
+            return None;
+        }
+        let total: u64 = self.config.mode_weights.iter().map(|w| u64::from(*w)).sum();
+        let mut pick = splitmix64(&mut h) % total;
+        for (k, w) in self.config.mode_weights.iter().enumerate() {
+            let w = u64::from(*w);
+            if pick < w {
+                return Some(match k {
+                    0 => FaultMode::NoConvergence,
+                    1 => FaultMode::NanMeasurements,
+                    2 => FaultMode::InfMeasurements,
+                    _ => FaultMode::WrongDimension,
+                });
+            }
+            pick -= w;
+        }
+        unreachable!("pick < total by construction")
+    }
+}
+
+impl Evaluator for FaultInjectingEvaluator {
+    fn measurement_names(&self) -> &[String] {
+        self.inner.measurement_names()
+    }
+
+    fn evaluate(&self, x: &[f64], corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        self.evaluate_with_effort(x, corner, EvalEffort::default())
+    }
+
+    fn evaluate_with_effort(
+        &self,
+        x: &[f64],
+        corner: &PvtCorner,
+        effort: EvalEffort,
+    ) -> Result<Vec<f64>, EnvError> {
+        match self.decide(x, corner, effort.attempt) {
+            None => self.inner.evaluate_with_effort(x, corner, effort),
+            Some(mode) => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                let n = self.inner.measurement_names().len();
+                match mode {
+                    FaultMode::NoConvergence => Err(EnvError::Injected { mode: "no-convergence" }),
+                    FaultMode::NanMeasurements => Ok(vec![f64::NAN; n]),
+                    FaultMode::InfMeasurements => Ok(vec![f64::INFINITY; n]),
+                    FaultMode::WrongDimension => Ok(vec![0.0; n + 1]),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests::{toy_problem, ToyEvaluator};
+    use crate::stats::FailureKind;
+
+    fn wrapped(rate: f64, seed: u64) -> FaultInjectingEvaluator {
+        FaultInjectingEvaluator::new(Arc::new(ToyEvaluator::new()), FaultConfig::new(rate, seed))
+    }
+
+    #[test]
+    fn zero_rate_never_faults() {
+        let e = wrapped(0.0, 1);
+        for k in 0..50 {
+            let x = vec![k as f64, 1.0];
+            assert!(e.evaluate(&x, &PvtCorner::nominal()).is_ok());
+        }
+        assert_eq!(e.injected(), 0);
+    }
+
+    #[test]
+    fn fault_rate_is_respected() {
+        let e = wrapped(0.3, 7);
+        let mut faulted = 0;
+        for k in 0..1000 {
+            let x = vec![k as f64 * 0.01, 0.5];
+            let r = e.evaluate(&x, &PvtCorner::nominal());
+            let bad = match &r {
+                Err(_) => true,
+                Ok(m) => m.len() != 2 || m.iter().any(|v| !v.is_finite()),
+            };
+            faulted += usize::from(bad);
+        }
+        assert!((200..400).contains(&faulted), "30% of 1000, got {faulted}");
+        assert_eq!(e.injected(), faulted);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let a = wrapped(0.5, 42);
+        let b = wrapped(0.5, 42);
+        // NaN-carrying results compare unequal under ==; compare the debug
+        // form, which renders NaN stably.
+        for k in 0..100 {
+            let x = vec![k as f64 * 0.1, 2.0];
+            let ra = format!("{:?}", a.evaluate(&x, &PvtCorner::nominal()));
+            let rb = format!("{:?}", b.evaluate(&x, &PvtCorner::nominal()));
+            assert_eq!(ra, rb);
+        }
+        // A different seed produces a different fault pattern.
+        let c = wrapped(0.5, 43);
+        let diff = (0..100).any(|k| {
+            let x = vec![k as f64 * 0.1, 2.0];
+            format!("{:?}", a.evaluate(&x, &PvtCorner::nominal()))
+                != format!("{:?}", c.evaluate(&x, &PvtCorner::nominal()))
+        });
+        assert!(diff);
+    }
+
+    #[test]
+    fn retry_attempts_redraw_the_fault() {
+        let e = wrapped(0.5, 3);
+        // Find a point that faults at attempt 0 but clears at some later
+        // attempt — this is what makes ladder recoveries possible.
+        let mut recovered = false;
+        for k in 0..200 {
+            let x = vec![k as f64 * 0.05, 1.0];
+            let first = e.evaluate_with_effort(&x, &PvtCorner::nominal(), EvalEffort::attempt(0));
+            let is_fault = |r: &Result<Vec<f64>, EnvError>| match r {
+                Err(_) => true,
+                Ok(m) => m.len() != 2 || m.iter().any(|v| !v.is_finite()),
+            };
+            if is_fault(&first) {
+                let second =
+                    e.evaluate_with_effort(&x, &PvtCorner::nominal(), EvalEffort::attempt(1));
+                if !is_fault(&second) {
+                    recovered = true;
+                    break;
+                }
+            }
+        }
+        assert!(recovered, "some faulted point must clear on retry at 50% rate");
+    }
+
+    #[test]
+    fn single_mode_injection() {
+        let e = FaultInjectingEvaluator::new(
+            Arc::new(ToyEvaluator::new()),
+            FaultConfig::only(FaultMode::NanMeasurements, 1.0, 9),
+        );
+        let m = e.evaluate(&[1.0, 2.0], &PvtCorner::nominal()).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|v| v.is_nan()));
+        let e = FaultInjectingEvaluator::new(
+            Arc::new(ToyEvaluator::new()),
+            FaultConfig::only(FaultMode::NoConvergence, 1.0, 9),
+        );
+        let err = e.evaluate(&[1.0, 2.0], &PvtCorner::nominal()).unwrap_err();
+        assert_eq!(FailureKind::classify(&err), FailureKind::Injected);
+    }
+
+    #[test]
+    fn wrapping_a_problem_classifies_injections() {
+        let mut p = toy_problem();
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            p.evaluator.clone(),
+            FaultConfig::only(FaultMode::WrongDimension, 1.0, 5),
+        ));
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert!(!e.feasible);
+        assert_eq!(e.failure, Some(FailureKind::InvalidInput), "wrong-dim output is typed");
+    }
+}

@@ -10,10 +10,14 @@
 //!   function (§IV-D),
 //! * [`corner::PvtSet`] — process/voltage/temperature corners (§IV-E),
 //! * [`problem::SizingProblem`] — the standardized API every agent
-//!   consumes (§IV-F), and
+//!   consumes (§IV-F),
 //! * [`circuits`] — the paper's benchmark circuits: the two-stage Miller
 //!   opamp (45/22 nm), the LDO (n6), the ICO (n5), and synthetic
-//!   landscapes for fast tests.
+//!   landscapes for fast tests, and
+//! * the fault-tolerant evaluation layer: [`stats::FailureKind`] /
+//!   [`stats::EvalStats`] (failure taxonomy + telemetry),
+//!   [`robust::RetryPolicy`] (the escalating retry ladder), and
+//!   [`fault::FaultInjectingEvaluator`] (deterministic chaos testing).
 //!
 //! # Example
 //!
@@ -34,16 +38,22 @@
 pub mod circuits;
 pub mod corner;
 mod error;
+pub mod fault;
 pub mod problem;
+pub mod robust;
 pub mod search;
 pub mod space;
 pub mod spec;
+pub mod stats;
 pub mod value;
 
 pub use corner::{PvtCorner, PvtSet};
 pub use error::EnvError;
+pub use fault::{FaultConfig, FaultInjectingEvaluator, FaultMode};
 pub use problem::{Evaluation, Evaluator, SizingProblem};
+pub use robust::{EvalEffort, RetryPolicy, RobustEvaluator};
 pub use search::{SearchBudget, SearchOutcome, Searcher};
 pub use space::{DesignSpace, Param};
 pub use spec::{Spec, SpecKind, SpecSet};
+pub use stats::{EvalStats, FailureKind};
 pub use value::{StagedValueFn, ValueFn};

@@ -7,16 +7,18 @@
 
 use crate::corner::{PvtCorner, PvtSet};
 use crate::error::EnvError;
+use crate::robust::{EvalEffort, RetryPolicy};
 use crate::space::DesignSpace;
 use crate::spec::SpecSet;
+use crate::stats::FailureKind;
 use crate::value::ValueFn;
 use std::sync::Arc;
 
 /// Maps a physical parameter vector to a measurement vector at a PVT
 /// corner — the paper's opaque `S_pice(X)` relation.
 ///
-/// Implementations must be deterministic for a given `(x, corner)` pair;
-/// agents rely on re-evaluation returning the same result.
+/// Implementations must be deterministic for a given `(x, corner, effort)`
+/// triple; agents rely on re-evaluation returning the same result.
 pub trait Evaluator: Send + Sync {
     /// Names of the entries of the measurement vector, in order.
     fn measurement_names(&self) -> &[String];
@@ -29,6 +31,24 @@ pub trait Evaluator: Send + Sync {
     /// converge — agents treat this as a maximally infeasible point, not a
     /// fatal error.
     fn evaluate(&self, x: &[f64], corner: &PvtCorner) -> Result<Vec<f64>, EnvError>;
+
+    /// Evaluates with an explicit solver-effort level, used by the retry
+    /// ladder to escalate on convergence failures. The default ignores the
+    /// effort — analytic evaluators have nothing to escalate — so only
+    /// simulator-backed implementations need to override this.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Evaluator::evaluate`].
+    fn evaluate_with_effort(
+        &self,
+        x: &[f64],
+        corner: &PvtCorner,
+        effort: EvalEffort,
+    ) -> Result<Vec<f64>, EnvError> {
+        let _ = effort;
+        self.evaluate(x, corner)
+    }
 }
 
 /// Outcome of evaluating one design point at one corner.
@@ -42,6 +62,22 @@ pub struct Evaluation {
     pub value: f64,
     /// `true` when every spec is satisfied.
     pub feasible: bool,
+    /// Why the final attempt failed, `None` on success. Wrong-dimension or
+    /// non-finite measurement vectors are detected here and typed, so
+    /// `measurements` is always well-formed when `Some`.
+    pub failure: Option<FailureKind>,
+    /// Budget units consumed: 1 for a plain evaluation, `1 + retries` when
+    /// the retry ladder ran. Agents charge this (not a flat 1) against
+    /// `SearchBudget::max_sims` so accounting stays exact under retries.
+    pub sim_cost: usize,
+}
+
+impl Evaluation {
+    /// `true` when the point failed at least once but the retry ladder
+    /// eventually produced a valid result.
+    pub fn recovered(&self) -> bool {
+        self.failure.is_none() && self.sim_cost > 1
+    }
 }
 
 /// A complete sizing task.
@@ -59,6 +95,9 @@ pub struct SizingProblem {
     pub corners: PvtSet,
     /// Value function used to rank candidates.
     pub value_fn: ValueFn,
+    /// Retry ladder applied to retryable failures (on by default; set to
+    /// [`RetryPolicy::none`] to disable).
+    pub retry: RetryPolicy,
 }
 
 impl std::fmt::Debug for SizingProblem {
@@ -104,6 +143,7 @@ impl SizingProblem {
             specs,
             corners,
             value_fn: ValueFn::default(),
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -112,38 +152,82 @@ impl SizingProblem {
         self.space.dim()
     }
 
+    /// An infeasible worst-case outcome with a typed failure kind.
+    fn failed_eval(&self, x_norm: Vec<f64>, kind: FailureKind, sim_cost: usize) -> Evaluation {
+        Evaluation {
+            x_norm,
+            measurements: None,
+            value: self.value_fn.failure_value(&self.specs),
+            feasible: false,
+            failure: Some(kind),
+            sim_cost,
+        }
+    }
+
     /// Evaluates a normalized point at one corner (by index), translating
-    /// simulation failures into worst-case values.
+    /// simulation failures into worst-case values with a typed
+    /// [`FailureKind`]. An out-of-range `corner_idx` is reported as an
+    /// [`FailureKind::InvalidInput`] failure, not a panic.
     ///
-    /// # Panics
-    ///
-    /// Panics if `corner_idx` is out of range.
+    /// Retryable failures run the retry ladder (see
+    /// [`SizingProblem::evaluate_with_budget`] to cap its attempts when
+    /// the simulation budget is nearly spent).
     pub fn evaluate_normalized(&self, u: &[f64], corner_idx: usize) -> Evaluation {
-        let corner = self.corners.corners()[corner_idx];
-        let x_norm = self.space.snap(u).unwrap_or_else(|_| u.to_vec());
+        self.evaluate_with_budget(u, corner_idx, usize::MAX)
+    }
+
+    /// Evaluates a normalized point at one corner with at most `remaining`
+    /// simulator attempts available. The retry ladder never issues more
+    /// attempts than `remaining`, so charging the returned
+    /// [`Evaluation::sim_cost`] against a budget can never overshoot it.
+    pub fn evaluate_with_budget(
+        &self,
+        u: &[f64],
+        corner_idx: usize,
+        remaining: usize,
+    ) -> Evaluation {
+        let Some(corner) = self.corners.corners().get(corner_idx).copied() else {
+            return self.failed_eval(u.to_vec(), FailureKind::InvalidInput, 1);
+        };
+        // A failed snap (wrong dimension) is typed instead of silently
+        // evaluating the raw point; callers can count it via EvalStats.
+        let x_norm = match self.space.snap(u) {
+            Ok(x) => x,
+            Err(_) => return self.failed_eval(u.to_vec(), FailureKind::InvalidInput, 1),
+        };
         let x_phys = match self.space.to_physical(&x_norm) {
             Ok(x) => x,
-            Err(_) => {
-                return Evaluation {
-                    x_norm,
-                    measurements: None,
-                    value: self.value_fn.failure_value(&self.specs),
-                    feasible: false,
-                }
-            }
+            Err(_) => return self.failed_eval(x_norm, FailureKind::InvalidInput, 1),
         };
-        match self.evaluator.evaluate(&x_phys, &corner) {
-            Ok(meas) => {
-                let value = self.value_fn.value(&meas, &self.specs);
-                let feasible = self.specs.all_satisfied(&meas);
-                Evaluation { x_norm, measurements: Some(meas), value, feasible }
+        let n_meas = self.evaluator.measurement_names().len();
+        let max_attempts = self.retry.max_attempts().min(remaining.max(1));
+        let mut attempt = 0;
+        loop {
+            let kind = match self
+                .evaluator
+                .evaluate_with_effort(&x_phys, &corner, EvalEffort::attempt(attempt))
+            {
+                Ok(meas) if meas.len() != n_meas => FailureKind::InvalidInput,
+                Ok(meas) if meas.iter().any(|v| !v.is_finite()) => FailureKind::NonFinite,
+                Ok(meas) => {
+                    let value = self.value_fn.value(&meas, &self.specs);
+                    let feasible = self.specs.all_satisfied(&meas);
+                    return Evaluation {
+                        x_norm,
+                        measurements: Some(meas),
+                        value,
+                        feasible,
+                        failure: None,
+                        sim_cost: attempt + 1,
+                    };
+                }
+                Err(e) => FailureKind::classify(&e),
+            };
+            if kind.is_retryable() && attempt + 1 < max_attempts {
+                attempt += 1;
+            } else {
+                return self.failed_eval(x_norm, kind, attempt + 1);
             }
-            Err(_) => Evaluation {
-                x_norm,
-                measurements: None,
-                value: self.value_fn.failure_value(&self.specs),
-                feasible: false,
-            },
         }
     }
 
@@ -252,5 +336,130 @@ pub(crate) mod tests {
     fn debug_format_mentions_name() {
         let p = toy_problem();
         assert!(format!("{p:?}").contains("toy"));
+    }
+
+    /// An evaluator that always reports NaN measurements.
+    pub struct NanEvaluator {
+        names: Vec<String>,
+    }
+
+    impl NanEvaluator {
+        pub fn new() -> Self {
+            NanEvaluator { names: vec!["sum".into(), "prod".into()] }
+        }
+    }
+
+    impl Evaluator for NanEvaluator {
+        fn measurement_names(&self) -> &[String] {
+            &self.names
+        }
+        fn evaluate(&self, _x: &[f64], _corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+            Ok(vec![f64::NAN, f64::NAN])
+        }
+    }
+
+    #[test]
+    fn nan_measurements_are_typed_infeasible() {
+        let mut p = toy_problem();
+        p.evaluator = Arc::new(NanEvaluator::new());
+        let e = p.evaluate_normalized(&[0.5, 0.5], 0);
+        assert!(!e.feasible);
+        assert_eq!(e.failure, Some(crate::stats::FailureKind::NonFinite));
+        assert!(e.measurements.is_none(), "NaN never reaches the value function");
+        assert_eq!(e.value, p.value_fn.failure_value(&p.specs));
+        assert_eq!(e.sim_cost, 1, "non-finite results are not retried");
+    }
+
+    #[test]
+    fn out_of_range_corner_is_typed_not_a_panic() {
+        let p = toy_problem();
+        let e = p.evaluate_normalized(&[0.5, 0.5], 99);
+        assert!(!e.feasible);
+        assert_eq!(e.failure, Some(crate::stats::FailureKind::InvalidInput));
+        assert_eq!(e.sim_cost, 1);
+    }
+
+    #[test]
+    fn wrong_dimension_point_is_typed_not_silently_snapped() {
+        let p = toy_problem();
+        let e = p.evaluate_normalized(&[0.5], 0);
+        assert!(!e.feasible);
+        assert_eq!(e.failure, Some(crate::stats::FailureKind::InvalidInput));
+    }
+
+    #[test]
+    fn successful_evaluation_has_no_failure_and_unit_cost() {
+        let p = toy_problem();
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert_eq!(e.failure, None);
+        assert_eq!(e.sim_cost, 1);
+        assert!(!e.recovered());
+    }
+
+    #[test]
+    fn retry_ladder_recovers_flaky_points_within_budget() {
+        use crate::robust::EvalEffort;
+        /// Fails with NoConvergence below a per-point attempt threshold.
+        struct FlakyUntil {
+            names: Vec<String>,
+            succeed_at: usize,
+        }
+        impl Evaluator for FlakyUntil {
+            fn measurement_names(&self) -> &[String] {
+                &self.names
+            }
+            fn evaluate(&self, x: &[f64], c: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+                self.evaluate_with_effort(x, c, EvalEffort::default())
+            }
+            fn evaluate_with_effort(
+                &self,
+                x: &[f64],
+                _c: &PvtCorner,
+                effort: EvalEffort,
+            ) -> Result<Vec<f64>, EnvError> {
+                if effort.attempt < self.succeed_at {
+                    Err(asdex_spice::SpiceError::NoConvergence { analysis: "op", iterations: 150 }
+                        .into())
+                } else {
+                    Ok(vec![x[0] + x[1], x[0] * x[1]])
+                }
+            }
+        }
+
+        let mut p = toy_problem();
+        p.evaluator =
+            Arc::new(FlakyUntil { names: vec!["sum".into(), "prod".into()], succeed_at: 2 });
+        // Default policy: 1 try + 2 retries → succeeds on the third attempt.
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert!(e.feasible);
+        assert_eq!(e.sim_cost, 3);
+        assert!(e.recovered());
+
+        // With only 2 attempts of budget left, the ladder is cut short.
+        let e = p.evaluate_with_budget(&[0.8, 0.8], 0, 2);
+        assert!(!e.feasible);
+        assert_eq!(e.failure, Some(crate::stats::FailureKind::NoConvergence));
+        assert_eq!(e.sim_cost, 2, "never exceeds the remaining budget");
+
+        // With the ladder disabled, the first failure is terminal.
+        p.retry = crate::robust::RetryPolicy::none();
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert_eq!(e.sim_cost, 1);
+        assert_eq!(e.failure, Some(crate::stats::FailureKind::NoConvergence));
+    }
+
+    #[test]
+    fn stats_record_tracks_retries_and_recoveries() {
+        use crate::stats::{EvalStats, FailureKind};
+        let p = toy_problem();
+        let mut stats = EvalStats::new();
+        stats.record(&p.evaluate_normalized(&[0.8, 0.8], 0));
+        assert_eq!(stats.sims, 1);
+        assert_eq!(stats.total_failures(), 0);
+        let mut nan_p = toy_problem();
+        nan_p.evaluator = Arc::new(NanEvaluator::new());
+        stats.record(&nan_p.evaluate_normalized(&[0.5, 0.5], 0));
+        assert_eq!(stats.sims, 2);
+        assert_eq!(stats.failures_of(FailureKind::NonFinite), 1);
     }
 }

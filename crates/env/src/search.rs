@@ -7,6 +7,7 @@
 //! baseline are measured identically.
 
 use crate::problem::SizingProblem;
+use crate::stats::EvalStats;
 
 /// Simulation budget for one search run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -44,6 +45,9 @@ pub struct SearchOutcome {
     pub best_value: f64,
     /// Measurements of the best point, when its simulation succeeded.
     pub best_measurements: Option<Vec<f64>>,
+    /// Evaluation telemetry: simulator calls, failures by kind, retry and
+    /// recovery counts.
+    pub stats: EvalStats,
 }
 
 impl SearchOutcome {
@@ -55,7 +59,14 @@ impl SearchOutcome {
             best_point,
             best_value,
             best_measurements: None,
+            stats: EvalStats::new(),
         }
+    }
+
+    /// The same outcome with telemetry attached.
+    pub fn with_stats(mut self, stats: EvalStats) -> Self {
+        self.stats = stats;
+        self
     }
 }
 

@@ -7,11 +7,10 @@
 //! evaluated point is a legal assignment.
 
 use crate::error::EnvError;
-use rand::Rng;
-use serde::{Deserialize, Serialize};
+use asdex_rng::Rng;
 
 /// One sizing parameter: a name and its discrete domain.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Param {
     /// Parameter name, e.g. `"w_in"`.
     pub name: String,
@@ -129,7 +128,7 @@ impl Param {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DesignSpace {
     params: Vec<Param>,
 }
@@ -274,8 +273,8 @@ impl DesignSpace {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asdex_rng::rngs::StdRng;
+    use asdex_rng::SeedableRng;
 
     fn space2() -> DesignSpace {
         DesignSpace::new(vec![

@@ -1,10 +1,9 @@
 //! Specifications — the constraints `C_i = (t_i, r_i)` of the paper's
 //! CSP formulation (eq. 2).
 
-use serde::{Deserialize, Serialize};
 
 /// Direction of a specification.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SpecKind {
     /// Measurement must be at least the target (e.g. gain ≥ 60 dB).
     AtLeast,
@@ -13,7 +12,7 @@ pub enum SpecKind {
 }
 
 /// One specification on one measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Spec {
     /// Index of the measurement this spec constrains (into the problem's
     /// measurement vector).
@@ -56,7 +55,7 @@ impl Spec {
 }
 
 /// A set of specifications evaluated against one measurement vector.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct SpecSet {
     specs: Vec<Spec>,
 }

@@ -1,0 +1,247 @@
+//! Failure taxonomy and evaluation telemetry.
+//!
+//! Every simulation attempt either succeeds or fails for a *typed* reason
+//! ([`FailureKind`]). Agents accumulate an [`EvalStats`] record as they
+//! search so outcomes can report exactly how many simulator calls were
+//! spent, how many failed and why, and how many failing points were
+//! recovered by the retry ladder — the telemetry a production deployment
+//! needs to distinguish a hostile corner of the design space from a broken
+//! simulator.
+
+use crate::error::EnvError;
+use asdex_spice::SpiceError;
+use std::fmt;
+
+/// Why a simulation attempt failed. Classified from the underlying error
+/// so callers never need to match on error internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// The Newton–Raphson iteration did not converge (even after gmin and
+    /// source stepping). Often transient — the retry ladder re-attempts
+    /// these with escalated options.
+    NoConvergence,
+    /// The MNA system was singular (floating node, source loop). Retried
+    /// once with a perturbed initial guess, since near-singular systems can
+    /// be an artifact of the starting point.
+    Singular,
+    /// A solution or measurement contained NaN/Inf. Not retried — the same
+    /// inputs deterministically produce the same non-finite result.
+    NonFinite,
+    /// The inputs were malformed (wrong dimension, out-of-range corner
+    /// index, un-snappable point). Never retried.
+    InvalidInput,
+    /// A fault injected by a chaos-testing wrapper.
+    Injected,
+    /// Any other evaluator-specific failure.
+    Other,
+}
+
+impl FailureKind {
+    /// Classifies an environment error into the taxonomy.
+    pub fn classify(err: &EnvError) -> FailureKind {
+        match err {
+            EnvError::Simulation(s) => FailureKind::classify_spice(s),
+            EnvError::Injected { .. } => FailureKind::Injected,
+            EnvError::DimensionMismatch { .. }
+            | EnvError::InvalidSpace { .. }
+            | EnvError::InvalidProblem { .. } => FailureKind::InvalidInput,
+        }
+    }
+
+    /// Classifies a simulator error into the taxonomy.
+    pub fn classify_spice(err: &SpiceError) -> FailureKind {
+        match err {
+            SpiceError::NoConvergence { .. } => FailureKind::NoConvergence,
+            SpiceError::Singular(_) => FailureKind::Singular,
+            SpiceError::NonFinite { .. } => FailureKind::NonFinite,
+            SpiceError::UnknownModel { .. }
+            | SpiceError::InvalidParameter { .. }
+            | SpiceError::Parse(_)
+            | SpiceError::UnknownNode { .. }
+            | SpiceError::BadSweep { .. } => FailureKind::InvalidInput,
+        }
+    }
+
+    /// Whether the retry ladder should re-attempt this failure with
+    /// escalated solver effort.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            FailureKind::NoConvergence | FailureKind::Singular | FailureKind::Injected
+        )
+    }
+
+    /// Stable lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FailureKind::NoConvergence => "no-convergence",
+            FailureKind::Singular => "singular",
+            FailureKind::NonFinite => "non-finite",
+            FailureKind::InvalidInput => "invalid-input",
+            FailureKind::Injected => "injected",
+            FailureKind::Other => "other",
+        }
+    }
+
+    /// All kinds, in display order.
+    pub const ALL: [FailureKind; 6] = [
+        FailureKind::NoConvergence,
+        FailureKind::Singular,
+        FailureKind::NonFinite,
+        FailureKind::InvalidInput,
+        FailureKind::Injected,
+        FailureKind::Other,
+    ];
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Telemetry accumulated over a search: simulator calls, failures by kind,
+/// retry-ladder activity, and silent-fallback counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Total simulator calls issued, **including** retries. This is the
+    /// quantity budgeted by `SearchBudget::max_sims`.
+    pub sims: usize,
+    /// Design points whose final (post-retry) outcome was a failure,
+    /// bucketed by kind (indexed as [`FailureKind::ALL`]).
+    failures: [usize; 6],
+    /// Extra attempts issued by the retry ladder beyond the first try.
+    pub retries: usize,
+    /// Points that failed at least once but succeeded within the ladder.
+    pub recoveries: usize,
+    /// Out-of-grid points silently snapped to a fallback location instead
+    /// of surfacing the snap error.
+    pub snap_fallbacks: usize,
+}
+
+impl EvalStats {
+    /// A zeroed record.
+    pub fn new() -> Self {
+        EvalStats::default()
+    }
+
+    /// Counts one terminal failure of `kind`.
+    pub fn count_failure(&mut self, kind: FailureKind) {
+        let idx = FailureKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL");
+        self.failures[idx] += 1;
+    }
+
+    /// Terminal failures of one kind.
+    pub fn failures_of(&self, kind: FailureKind) -> usize {
+        let idx = FailureKind::ALL.iter().position(|k| *k == kind).expect("kind in ALL");
+        self.failures[idx]
+    }
+
+    /// Terminal failures across all kinds.
+    pub fn total_failures(&self) -> usize {
+        self.failures.iter().sum()
+    }
+
+    /// Folds one evaluation outcome into the record: its simulator cost,
+    /// its terminal failure kind (if any), and its retry/recovery tally.
+    pub fn record(&mut self, e: &crate::problem::Evaluation) {
+        self.sims += e.sim_cost.max(1);
+        self.retries += e.sim_cost.saturating_sub(1);
+        if let Some(kind) = e.failure {
+            self.count_failure(kind);
+        } else if e.sim_cost > 1 {
+            self.recoveries += 1;
+        }
+    }
+
+    /// Merges another record into this one (e.g. per-corner sub-searches).
+    pub fn merge(&mut self, other: &EvalStats) {
+        self.sims += other.sims;
+        for (a, b) in self.failures.iter_mut().zip(other.failures.iter()) {
+            *a += b;
+        }
+        self.retries += other.retries;
+        self.recoveries += other.recoveries;
+        self.snap_fallbacks += other.snap_fallbacks;
+    }
+}
+
+impl fmt::Display for EvalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sims {} | failures {} | retries {} | recoveries {} | snap-fallbacks {}",
+            self.sims,
+            self.total_failures(),
+            self.retries,
+            self.recoveries,
+            self.snap_fallbacks
+        )?;
+        let by_kind: Vec<String> = FailureKind::ALL
+            .iter()
+            .filter(|k| self.failures_of(**k) > 0)
+            .map(|k| format!("{}: {}", k.label(), self.failures_of(*k)))
+            .collect();
+        if !by_kind.is_empty() {
+            write!(f, " [{}]", by_kind.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdex_spice::SolveError;
+
+    #[test]
+    fn classification_covers_the_taxonomy() {
+        let nc = SpiceError::NoConvergence { analysis: "op", iterations: 99 };
+        assert_eq!(FailureKind::classify_spice(&nc), FailureKind::NoConvergence);
+        let sg = SpiceError::Singular(SolveError::Singular { step: 0 });
+        assert_eq!(FailureKind::classify_spice(&sg), FailureKind::Singular);
+        let nf = SpiceError::NonFinite { what: "op solution".into() };
+        assert_eq!(FailureKind::classify_spice(&nf), FailureKind::NonFinite);
+        let dim = EnvError::DimensionMismatch { expected: 3, actual: 2 };
+        assert_eq!(FailureKind::classify(&dim), FailureKind::InvalidInput);
+        let sim: EnvError = nc.into();
+        assert_eq!(FailureKind::classify(&sim), FailureKind::NoConvergence);
+    }
+
+    #[test]
+    fn retryability() {
+        assert!(FailureKind::NoConvergence.is_retryable());
+        assert!(FailureKind::Singular.is_retryable());
+        assert!(FailureKind::Injected.is_retryable());
+        assert!(!FailureKind::NonFinite.is_retryable());
+        assert!(!FailureKind::InvalidInput.is_retryable());
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = EvalStats::new();
+        a.sims = 3;
+        a.count_failure(FailureKind::NoConvergence);
+        let mut b = EvalStats::new();
+        b.sims = 2;
+        b.retries = 1;
+        b.count_failure(FailureKind::NoConvergence);
+        b.count_failure(FailureKind::NonFinite);
+        a.merge(&b);
+        assert_eq!(a.sims, 5);
+        assert_eq!(a.retries, 1);
+        assert_eq!(a.failures_of(FailureKind::NoConvergence), 2);
+        assert_eq!(a.total_failures(), 3);
+    }
+
+    #[test]
+    fn display_lists_nonzero_kinds() {
+        let mut s = EvalStats::new();
+        s.sims = 10;
+        s.count_failure(FailureKind::Injected);
+        let text = s.to_string();
+        assert!(text.contains("sims 10"));
+        assert!(text.contains("injected: 1"));
+        assert!(!text.contains("singular:"));
+    }
+}

@@ -20,10 +20,9 @@
 //! methods.
 
 use crate::spec::SpecSet;
-use serde::{Deserialize, Serialize};
 
 /// The paper's normalized-sum value function.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ValueFn {
     /// Lower clip per spec contribution (default −1).
     pub contribution_floor: f64,
@@ -116,7 +115,7 @@ impl ValueFn {
 /// approach, and once the search is inside a near-feasible region (value
 /// above `switch_at`) a weighted second stage takes over to arbitrate the
 /// remaining trade-offs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StagedValueFn {
     /// First-stage (uniform) value function.
     pub coarse: ValueFn,

@@ -1,9 +1,8 @@
 //! Activation functions.
 
-use serde::{Deserialize, Serialize};
 
 /// Element-wise activation applied after a dense layer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Activation {
     /// Rectified linear unit: `max(0, x)`.
     Relu,

@@ -2,7 +2,7 @@
 //! baselines' policy heads: sampling, log-probabilities, entropy, KL, and
 //! the gradients policy-gradient losses need.
 
-use rand::Rng;
+use asdex_rng::Rng;
 
 /// Numerically stable softmax.
 ///
@@ -97,8 +97,8 @@ pub fn kl_grad_new(old_logits: &[f64], new_logits: &[f64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asdex_rng::rngs::StdRng;
+    use asdex_rng::SeedableRng;
 
     #[test]
     fn softmax_sums_to_one() {

@@ -18,9 +18,9 @@
 //!
 //! ```
 //! use asdex_nn::{Mlp, Activation, Adam, Optimizer, mse_output_grad};
-//! use rand::SeedableRng;
+//! use asdex_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = asdex_rng::rngs::StdRng::seed_from_u64(1);
 //! let mut net = Mlp::new(&[2, 16, 1], Activation::Tanh, &mut rng);
 //! let mut adam = Adam::new(0.01);
 //! for _ in 0..300 {

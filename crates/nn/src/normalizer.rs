@@ -5,10 +5,9 @@
 //! dominate the MSE. [`Normalizer`] maintains per-component mean/std over
 //! the points seen so far and maps both ways.
 
-use serde::{Deserialize, Serialize};
 
 /// Per-component standardizer: `z = (x − mean) / std`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Normalizer {
     dim: usize,
     count: usize,
@@ -41,10 +40,10 @@ impl Normalizer {
     pub fn observe(&mut self, x: &[f64]) {
         assert_eq!(x.len(), self.dim, "normalizer dimension mismatch");
         self.count += 1;
-        for i in 0..self.dim {
-            let d = x[i] - self.mean[i];
+        for (i, &xi) in x.iter().enumerate() {
+            let d = xi - self.mean[i];
             self.mean[i] += d / self.count as f64;
-            self.m2[i] += d * (x[i] - self.mean[i]);
+            self.m2[i] += d * (xi - self.mean[i]);
         }
     }
 

@@ -7,12 +7,11 @@
 
 use crate::devices::{DiodeModel, MosGeometry, MosModel};
 use crate::error::SpiceError;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Identifier of a circuit node. `NodeId::GROUND` is the reference node
 /// (`"0"` / `"gnd"`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
@@ -27,7 +26,7 @@ impl NodeId {
 }
 
 /// AC stimulus attached to an independent source.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AcSpec {
     /// Magnitude of the phasor.
     pub mag: f64,
@@ -43,7 +42,7 @@ impl AcSpec {
 }
 
 /// Time-domain waveform of an independent source.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Waveform {
     /// SPICE `PULSE(v1 v2 td tr tf pw per)`.
     Pulse {
@@ -135,7 +134,7 @@ impl Waveform {
 }
 
 /// The kind (and connectivity) of a circuit element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ElementKind {
     /// Linear resistor between `a` and `b`.
     Resistor {
@@ -273,7 +272,7 @@ pub enum ElementKind {
 }
 
 /// A named circuit element.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Element {
     /// Instance name, e.g. `"M1"`, `"Rload"`.
     pub name: String,
@@ -298,7 +297,7 @@ pub struct Element {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Circuit {
     node_names: Vec<String>,
     node_index: HashMap<String, NodeId>,

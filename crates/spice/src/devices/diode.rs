@@ -1,9 +1,8 @@
 //! Junction diode model with exponential I–V and Newton-friendly limiting.
 
-use serde::{Deserialize, Serialize};
 
 /// Junction diode model card.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DiodeModel {
     /// Saturation current \[A\].
     pub is: f64,

@@ -6,10 +6,9 @@
 //! modulation, and body effect — which is exactly the structure the
 //! trust-region agent and the paper's baselines are sensitive to.
 
-use serde::{Deserialize, Serialize};
 
 /// Channel polarity of a MOSFET.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MosPolarity {
     /// N-channel device.
     Nmos,
@@ -18,7 +17,7 @@ pub enum MosPolarity {
 }
 
 /// Operating region of a MOSFET at a bias point.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MosRegion {
     /// `vgs <= vth`: channel off.
     Cutoff,
@@ -32,7 +31,7 @@ pub enum MosRegion {
 ///
 /// All parameters use SI units. `vt0` is signed the SPICE way: positive
 /// for enhancement NMOS, negative for enhancement PMOS.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MosModel {
     /// Channel polarity.
     pub polarity: MosPolarity,
@@ -133,7 +132,7 @@ pub struct MosOp {
 }
 
 /// Geometry of a MOSFET instance.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MosGeometry {
     /// Channel width \[m\].
     pub w: f64,

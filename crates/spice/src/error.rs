@@ -1,8 +1,9 @@
 //! Error types for circuit construction, parsing, and simulation.
 
-use asdex_linalg::SolveError;
 use std::error::Error;
 use std::fmt;
+
+pub use asdex_linalg::SolveError;
 
 /// Errors produced while building or simulating a circuit.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +46,14 @@ pub enum SpiceError {
         /// Human-readable description.
         reason: String,
     },
+    /// A converged solution or derived measurement contained NaN/Inf —
+    /// numerically meaningless, so it must surface as a typed failure
+    /// instead of poisoning downstream value functions.
+    NonFinite {
+        /// Which quantity went non-finite (`"op solution"`, a measurement
+        /// name, …).
+        what: String,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -63,6 +72,9 @@ impl fmt::Display for SpiceError {
             SpiceError::Parse(e) => write!(f, "netlist parse error: {e}"),
             SpiceError::UnknownNode { node } => write!(f, "unknown node {node}"),
             SpiceError::BadSweep { reason } => write!(f, "bad sweep: {reason}"),
+            SpiceError::NonFinite { what } => {
+                write!(f, "non-finite result: {what} is NaN or infinite")
+            }
         }
     }
 }

@@ -51,4 +51,4 @@ pub mod process;
 pub mod units;
 
 pub use circuit::{AcSpec, Circuit, Element, ElementKind, NodeId, Waveform};
-pub use error::{ParseNetlistError, SpiceError};
+pub use error::{ParseNetlistError, SolveError, SpiceError};

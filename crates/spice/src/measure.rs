@@ -6,6 +6,7 @@
 
 use crate::analysis::AcResult;
 use crate::circuit::NodeId;
+use crate::error::SpiceError;
 use asdex_linalg::Complex;
 
 /// Frequency-response measurements of a single-output transfer curve.
@@ -105,6 +106,59 @@ pub fn frequency_response(ac: &AcResult, node: NodeId) -> FrequencyResponse {
     }
 
     FrequencyResponse { dc_gain_db, unity_gain_freq, phase_margin_deg, bandwidth_3db, gain_margin_db }
+}
+
+/// Verifies every entry of a measurement vector is finite.
+///
+/// # Errors
+///
+/// [`SpiceError::NonFinite`] naming the first offending entry. Callers use
+/// this at the boundary where raw solver output becomes agent-visible
+/// measurements, so NaN/Inf surfaces as a typed failure instead of
+/// poisoning a value function.
+pub fn ensure_finite(values: &[f64], what: &str) -> Result<(), SpiceError> {
+    for (k, v) in values.iter().enumerate() {
+        if !v.is_finite() {
+            return Err(SpiceError::NonFinite { what: format!("{what}[{k}] = {v}") });
+        }
+    }
+    Ok(())
+}
+
+/// [`frequency_response`] with a finiteness guard on the raw AC samples and
+/// on every derived figure of merit.
+///
+/// # Errors
+///
+/// [`SpiceError::NonFinite`] when the AC response or any derived
+/// measurement (gain, UGF, phase margin, bandwidth, gain margin) is NaN or
+/// infinite.
+pub fn checked_frequency_response(
+    ac: &AcResult,
+    node: NodeId,
+) -> Result<FrequencyResponse, SpiceError> {
+    let h = ac.node_response(node);
+    for (k, z) in h.iter().enumerate() {
+        if !z.re.is_finite() || !z.im.is_finite() {
+            return Err(SpiceError::NonFinite { what: format!("AC response sample {k}") });
+        }
+    }
+    let fr = frequency_response(ac, node);
+    let derived = [
+        ("dc_gain_db", Some(fr.dc_gain_db)),
+        ("unity_gain_freq", fr.unity_gain_freq),
+        ("phase_margin_deg", fr.phase_margin_deg),
+        ("bandwidth_3db", fr.bandwidth_3db),
+        ("gain_margin_db", fr.gain_margin_db),
+    ];
+    for (name, v) in derived {
+        if let Some(v) = v {
+            if !v.is_finite() {
+                return Err(SpiceError::NonFinite { what: format!("{name} = {v}") });
+            }
+        }
+    }
+    Ok(fr)
 }
 
 /// Linear fraction `t ∈ [0,1]` at which a magnitude curve crosses `target`
@@ -226,13 +280,11 @@ mod tests {
         ckt.add_vsource_full("V1", vin, Circuit::GROUND, 0.0, Some(AcSpec::unit()), None)
             .unwrap();
         let mut prev = vin;
-        let mut gain_stage = true;
         for (k, c) in [1e-9, 1e-10, 1e-11].iter().enumerate() {
             let mid = ckt.node(&format!("m{k}"));
             let buf = ckt.node(&format!("b{k}"));
             // Small per-stage gain (2×) so total DC gain is 8 (18 dB).
-            let g = if gain_stage { 2.0 } else { 2.0 };
-            gain_stage = false;
+            let g = 2.0;
             ckt.add_vcvs(&format!("E{k}"), mid, Circuit::GROUND, prev, Circuit::GROUND, g)
                 .unwrap();
             ckt.add_resistor(&format!("R{k}"), mid, buf, 1e3).unwrap();

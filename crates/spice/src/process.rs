@@ -10,10 +10,9 @@
 //! degradation, etc.
 
 use crate::devices::{MosModel, MosPolarity};
-use serde::{Deserialize, Serialize};
 
 /// Process corner of a PVT condition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProcessCorner {
     /// Typical NMOS / typical PMOS.
     Tt,
@@ -62,7 +61,7 @@ impl ProcessCorner {
 
 /// A synthetic process node: supply, minimum length, and typical NMOS/PMOS
 /// Level-1 cards.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessNode {
     /// Node name, e.g. `"bsim45"`.
     pub name: String,

@@ -1,21 +1,23 @@
-//! Property-based tests for the circuit simulator: analytic ground truths
-//! must hold for randomized component values, and the netlist parser must
-//! round-trip whatever the builder can express.
+//! Property tests for the circuit simulator: analytic ground truths must
+//! hold for randomized component values, and the netlist parser must
+//! round-trip whatever the builder can express. Exercised over seeded
+//! sweeps so failures are reproducible.
 
+use asdex_rng::rngs::StdRng;
+use asdex_rng::{Rng, SeedableRng};
 use asdex_spice::analysis::{ac_analysis, dc_operating_point, dc_sweep, OpOptions, Sweep};
 use asdex_spice::parser::parse_netlist;
 use asdex_spice::units::{format_eng, parse_value};
 use asdex_spice::{AcSpec, Circuit};
-use proptest::prelude::*;
 
-proptest! {
-    /// A randomized resistive divider matches Ohm's law exactly.
-    #[test]
-    fn divider_matches_ohms_law(
-        vin in 0.1f64..10.0,
-        r1 in 10.0f64..1e6,
-        r2 in 10.0f64..1e6,
-    ) {
+/// A randomized resistive divider matches Ohm's law exactly.
+#[test]
+fn divider_matches_ohms_law() {
+    for seed in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vin = rng.gen_range(0.1..10.0);
+        let r1 = rng.gen_range(10.0..1e6);
+        let r2 = rng.gen_range(10.0..1e6);
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
@@ -24,20 +26,25 @@ proptest! {
         ckt.add_resistor("R2", b, Circuit::GROUND, r2).expect("valid r2");
         let op = dc_operating_point(&ckt, &OpOptions::default()).expect("linear circuit converges");
         let expect = vin * r2 / (r1 + r2);
-        prop_assert!((op.voltage(b) - expect).abs() < 1e-6 * (1.0 + expect.abs()));
+        assert!(
+            (op.voltage(b) - expect).abs() < 1e-6 * (1.0 + expect.abs()),
+            "seed {seed}"
+        );
     }
+}
 
-    /// A randomized RC low-pass has |H| = 1/√(1+(f/fc)²) at every sweep point.
-    #[test]
-    fn rc_lowpass_magnitude(
-        r in 100.0f64..100e3,
-        c_exp in -12.0f64..-8.0,
-    ) {
-        let c = 10f64.powf(c_exp);
+/// A randomized RC low-pass has |H| = 1/√(1+(f/fc)²) at every sweep point.
+#[test]
+fn rc_lowpass_magnitude() {
+    for seed in 0..50u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = rng.gen_range(100.0..100e3);
+        let c = 10f64.powf(rng.gen_range(-12.0..-8.0));
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
-        ckt.add_vsource_full("V1", a, Circuit::GROUND, 0.0, Some(AcSpec::unit()), None).expect("source");
+        ckt.add_vsource_full("V1", a, Circuit::GROUND, 0.0, Some(AcSpec::unit()), None)
+            .expect("source");
         ckt.add_resistor("R1", a, b, r).expect("r");
         ckt.add_capacitor("C1", b, Circuit::GROUND, c).expect("c");
         let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
@@ -50,13 +57,19 @@ proptest! {
         for (k, &f) in ac.frequencies().iter().enumerate() {
             let mag = ac.voltage(k, b).abs();
             let expect = 1.0 / (1.0 + (f / fc).powi(2)).sqrt();
-            prop_assert!((mag - expect).abs() < 1e-6, "f={f}: {mag} vs {expect}");
+            assert!((mag - expect).abs() < 1e-6, "seed {seed} f={f}: {mag} vs {expect}");
         }
     }
+}
 
-    /// DC sweep of a linear circuit is exactly linear in the source.
-    #[test]
-    fn dc_sweep_linearity(r1 in 100.0f64..10e3, r2 in 100.0f64..10e3, stop in 1.0f64..5.0) {
+/// DC sweep of a linear circuit is exactly linear in the source.
+#[test]
+fn dc_sweep_linearity() {
+    for seed in 0..50u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r1 = rng.gen_range(100.0..10e3);
+        let r2 = rng.gen_range(100.0..10e3);
+        let stop = rng.gen_range(1.0..5.0);
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         let b = ckt.node("b");
@@ -66,18 +79,23 @@ proptest! {
         let sweep = dc_sweep(&ckt, "V1", 0.0, stop, stop / 8.0, &OpOptions::default()).expect("sweeps");
         let gain = r2 / (r1 + r2);
         for (k, &v) in sweep.values().iter().enumerate() {
-            prop_assert!((sweep.voltage(k, b) - gain * v).abs() < 1e-7 * (1.0 + v));
+            assert!(
+                (sweep.voltage(k, b) - gain * v).abs() < 1e-7 * (1.0 + v),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    /// Any R/C/V netlist the builder can express parses back from deck text
-    /// with identical element values.
-    #[test]
-    fn netlist_text_round_trip(
-        rs in prop::collection::vec(1.0f64..1e6, 1..6),
-        cs in prop::collection::vec(1e-15f64..1e-6, 0..4),
-        vdc in -10.0f64..10.0,
-    ) {
+/// Any R/C/V netlist the builder can express parses back from deck text
+/// with identical element values.
+#[test]
+fn netlist_text_round_trip() {
+    for seed in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rs: Vec<f64> = (0..rng.gen_range(1..6usize)).map(|_| rng.gen_range(1.0..1e6)).collect();
+        let cs: Vec<f64> = (0..rng.gen_range(0..4usize)).map(|_| rng.gen_range(1e-15..1e-6)).collect();
+        let vdc = rng.gen_range(-10.0..10.0);
         let mut deck = String::from("generated deck\n");
         deck.push_str(&format!("V1 n0 0 {vdc}\n"));
         for (k, r) in rs.iter().enumerate() {
@@ -88,29 +106,39 @@ proptest! {
         }
         deck.push_str(".end\n");
         let ckt = parse_netlist(&deck).expect("parses");
-        prop_assert_eq!(ckt.elements().len(), 1 + rs.len() + cs.len());
+        assert_eq!(ckt.elements().len(), 1 + rs.len() + cs.len(), "seed {seed}");
         for (e, r) in ckt.elements().iter().skip(1).zip(&rs) {
             if let asdex_spice::ElementKind::Resistor { ohms, .. } = &e.kind {
-                prop_assert!((ohms - r).abs() <= 1e-9 * r.abs());
+                assert!((ohms - r).abs() <= 1e-9 * r.abs(), "seed {seed}");
             }
         }
     }
+}
 
-    /// Engineering formatting always parses back to within rounding of the
-    /// original value.
-    #[test]
-    fn format_parse_round_trip(mag in -13i32..12, mantissa in 1.0f64..9.999) {
+/// Engineering formatting always parses back to within rounding of the
+/// original value.
+#[test]
+fn format_parse_round_trip() {
+    let mut rng = StdRng::seed_from_u64(11);
+    for _ in 0..500 {
+        let mag = rng.gen_range(0..25usize) as i32 - 13;
+        let mantissa = rng.gen_range(1.0..9.999);
         let x = mantissa * 10f64.powi(mag);
         let text = format_eng(x);
         let back = parse_value(&text).expect("formatted value parses");
         // format_eng keeps 3 decimals → ≤ 0.05 % relative error.
-        prop_assert!((back - x).abs() <= 6e-4 * x.abs(), "{x} -> {text} -> {back}");
+        assert!((back - x).abs() <= 6e-4 * x.abs(), "{x} -> {text} -> {back}");
     }
+}
 
-    /// The superposition principle: doubling every independent source
-    /// doubles every node voltage of a linear circuit.
-    #[test]
-    fn linear_superposition(vin in 0.5f64..4.0, i_in in 1e-6f64..1e-3) {
+/// The superposition principle: doubling every independent source doubles
+/// every node voltage of a linear circuit.
+#[test]
+fn linear_superposition() {
+    let mut rng = StdRng::seed_from_u64(13);
+    for _ in 0..100 {
+        let vin = rng.gen_range(0.5..4.0);
+        let i_in = rng.gen_range(1e-6..1e-3);
         let build = |scale: f64| {
             let mut ckt = Circuit::new();
             let a = ckt.node("a");
@@ -125,6 +153,6 @@ proptest! {
         let (c2, b2) = build(2.0);
         let v1 = dc_operating_point(&c1, &OpOptions::default()).expect("op1").voltage(b1);
         let v2 = dc_operating_point(&c2, &OpOptions::default()).expect("op2").voltage(b2);
-        prop_assert!((v2 - 2.0 * v1).abs() < 1e-6 * (1.0 + v1.abs()));
+        assert!((v2 - 2.0 * v1).abs() < 1e-6 * (1.0 + v1.abs()));
     }
 }

@@ -82,8 +82,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // A compact ASCII scope trace of the first node.
-    println!("\nv(n0) trace (each column ≈ {:.1} ns):", 60.0 / 60.0);
     let cols = 60usize;
+    println!("\nv(n0) trace (each column ≈ {:.1} ns):", 60.0 / cols as f64);
     for level in (0..6).rev() {
         let lo = node.vdd * level as f64 / 6.0;
         let hi = node.vdd * (level + 1) as f64 / 6.0;

@@ -113,7 +113,7 @@ fn cmd_size(args: &[String]) -> Result<(), String> {
         budget
     );
 
-    let (success, simulations, best_point, best_value) = match agent {
+    let (success, simulations, best_point, best_value, stats) = match agent {
         "trm" => {
             let mut framework = Framework::new(
                 FrameworkConfig {
@@ -124,20 +124,21 @@ fn cmd_size(args: &[String]) -> Result<(), String> {
                 seed,
             );
             let out = framework.search(&problem).map_err(|e| e.to_string())?;
-            (out.success, out.simulations, out.best_point, out.best_value)
+            (out.success, out.simulations, out.best_point, out.best_value, out.stats)
         }
         "bo" => {
             let out = CustomizedBo::new().search(&problem, SearchBudget::new(budget), seed);
-            (out.success, out.simulations, out.best_point, out.best_value)
+            (out.success, out.simulations, out.best_point, out.best_value, out.stats)
         }
         "random" => {
             let out = RandomSearch::new().search(&problem, SearchBudget::new(budget), seed);
-            (out.success, out.simulations, out.best_point, out.best_value)
+            (out.success, out.simulations, out.best_point, out.best_value, out.stats)
         }
         other => return Err(format!("unknown agent {other:?} (trm|bo|random)")),
     };
 
     println!("success: {success} after {simulations} simulations (value {best_value:.4})");
+    println!("telemetry: {stats}");
     let physical = problem.space.to_physical(&best_point).map_err(|e| e.to_string())?;
     println!("parameters:");
     for (name, value) in problem.space.names().iter().zip(&physical) {
@@ -155,25 +156,33 @@ fn cmd_size(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_probe(args: &[String]) -> Result<(), String> {
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use asdex_rng::rngs::StdRng;
+    use asdex_rng::SeedableRng;
     let bench = args.first().ok_or_else(|| format!("probe needs a benchmark\n\n{USAGE}"))?;
     let samples = parse_flag(args, "--samples", 5_000usize)?;
     let problem = build_problem(bench, "nominal")?;
     let mut rng = StdRng::seed_from_u64(1);
     let mut feasible = 0usize;
-    let mut failures = 0usize;
+    let mut stats = asdex::env::EvalStats::new();
     for _ in 0..samples {
         let u = problem.space.sample(&mut rng);
         let e = problem.evaluate_normalized(&u, 0);
+        stats.record(&e);
         feasible += usize::from(e.feasible);
-        failures += usize::from(e.measurements.is_none());
     }
     println!(
-        "{}: {feasible}/{samples} feasible ({:.2e}), {failures} simulation failures",
+        "{}: {feasible}/{samples} feasible ({:.2e}), {} simulation failures",
         problem.name,
-        feasible as f64 / samples as f64
+        feasible as f64 / samples as f64,
+        stats.total_failures()
     );
+    println!("telemetry: {stats}");
+    for kind in asdex::env::FailureKind::ALL {
+        let n = stats.failures_of(kind);
+        if n > 0 {
+            println!("  {:>14}: {n}", kind.label());
+        }
+    }
     Ok(())
 }
 

@@ -1,0 +1,168 @@
+//! Chaos tests: every search agent must survive a faulty simulator.
+//!
+//! A `FaultInjectingEvaluator` corrupts 10–30 % of evaluations with the
+//! failure modes a real SPICE deployment exhibits — non-convergence, NaN
+//! and Inf measurements, wrong-dimension outputs — and every agent (the
+//! trust-region explorer plus all five baselines) is required to:
+//!
+//! 1. never panic,
+//! 2. keep budget accounting exact (`sims ≤ max_sims` always, and
+//!    `sims == max_sims` whenever the search fails), and
+//! 3. degrade gracefully: report a finite best value and typed,
+//!    non-zero failure telemetry in `SearchOutcome::stats`.
+
+use asdex::baselines::rl::{A2c, Ppo, Trpo};
+use asdex::baselines::{CustomizedBo, RandomSearch};
+use asdex::core::LocalExplorer;
+use asdex::env::circuits::synthetic::Bowl;
+use asdex::env::{
+    EvalStats, FailureKind, FaultConfig, FaultInjectingEvaluator, SearchBudget, Searcher,
+    SizingProblem,
+};
+use std::sync::Arc;
+
+/// A 3-D bowl problem whose evaluator is wrapped in deterministic fault
+/// injection at `rate`.
+fn chaotic_problem(rate: f64, seed: u64) -> SizingProblem {
+    let mut p = Bowl::problem(3, 0.2).expect("bowl builds");
+    p.evaluator =
+        Arc::new(FaultInjectingEvaluator::new(p.evaluator.clone(), FaultConfig::new(rate, seed)));
+    p
+}
+
+fn agents() -> Vec<Box<dyn Searcher>> {
+    vec![
+        Box::new(LocalExplorer::default()),
+        Box::new(RandomSearch::new()),
+        Box::new(CustomizedBo::new()),
+        Box::new(A2c::new()),
+        Box::new(Ppo::new()),
+        Box::new(Trpo::new()),
+    ]
+}
+
+/// Drives every agent through the faulty problem and checks the chaos
+/// invariants; returns the merged telemetry for rate-level assertions.
+fn run_all_agents(rate: f64, fault_seed: u64, max_sims: usize) -> EvalStats {
+    let problem = chaotic_problem(rate, fault_seed);
+    let budget = SearchBudget::new(max_sims);
+    let mut merged = EvalStats::new();
+    for mut agent in agents() {
+        let out = agent.search(&problem, budget, 1);
+        let name = agent.name();
+        assert!(
+            out.simulations <= max_sims,
+            "{name}: reported {} sims over the {max_sims} cap",
+            out.simulations
+        );
+        assert!(
+            out.stats.sims <= max_sims,
+            "{name}: telemetry counted {} sims over the {max_sims} cap",
+            out.stats.sims
+        );
+        if !out.success {
+            assert_eq!(
+                out.stats.sims, max_sims,
+                "{name}: failed without spending the whole budget"
+            );
+            assert_eq!(out.simulations, max_sims, "{name}: failure must report the full budget");
+        }
+        assert!(out.best_value.is_finite(), "{name}: best value went non-finite");
+        assert!(out.best_point.iter().all(|v| v.is_finite()), "{name}: non-finite best point");
+        merged.merge(&out.stats);
+    }
+    merged
+}
+
+#[test]
+fn all_agents_survive_10_percent_faults() {
+    let merged = run_all_agents(0.10, 11, 400);
+    assert!(merged.total_failures() > 0, "10% chaos must surface typed failures");
+    assert!(merged.retries > 0, "injected non-convergence must trigger the retry ladder");
+}
+
+#[test]
+fn all_agents_survive_30_percent_faults() {
+    let merged = run_all_agents(0.30, 7, 400);
+    // Every corruption mode must be represented and typed in the merged
+    // telemetry: NaN/Inf → non-finite, wrong dimension → invalid input,
+    // persistent injected non-convergence → injected.
+    assert!(merged.failures_of(FailureKind::NonFinite) > 0, "NaN/Inf faults typed");
+    assert!(merged.failures_of(FailureKind::InvalidInput) > 0, "wrong-dimension faults typed");
+    assert!(merged.failures_of(FailureKind::Injected) > 0, "persistent no-convergence typed");
+    assert!(merged.retries > 0, "retry ladder active under chaos");
+    assert!(merged.recoveries > 0, "some injected non-convergence recovered on retry");
+}
+
+#[test]
+fn chaos_outcomes_are_deterministic_per_seed() {
+    let problem = chaotic_problem(0.30, 5);
+    let budget = SearchBudget::new(300);
+    let a = RandomSearch::new().search(&problem, budget, 9);
+    let b = RandomSearch::new().search(&problem, budget, 9);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"), "same seeds, same chaos, same outcome");
+}
+
+#[test]
+fn graceful_degradation_with_fault_rate() {
+    // The search gets harder as faults increase, but success at a modest
+    // rate must still be possible on an easy problem — the ladder and the
+    // typed-failure path keep the agent productive.
+    let clean = Bowl::problem(2, 0.3).expect("bowl builds");
+    let noisy = {
+        let mut p = Bowl::problem(2, 0.3).expect("bowl builds");
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            p.evaluator.clone(),
+            FaultConfig::new(0.10, 3),
+        ));
+        p
+    };
+    let budget = SearchBudget::new(4000);
+    let out_clean = RandomSearch::new().search(&clean, budget, 2);
+    let out_noisy = RandomSearch::new().search(&noisy, budget, 2);
+    assert!(out_clean.success);
+    assert!(out_noisy.success, "10% faults must not sink an easy search");
+    assert!(out_noisy.stats.sims <= budget.max_sims);
+}
+
+#[test]
+fn injected_counter_matches_telemetry_direction() {
+    let inner = Bowl::problem(2, 0.25).expect("bowl builds");
+    let injector = Arc::new(FaultInjectingEvaluator::new(
+        inner.evaluator.clone(),
+        FaultConfig::new(0.30, 21),
+    ));
+    let mut p = inner;
+    p.evaluator = injector.clone();
+    let out = RandomSearch::new().search(&p, SearchBudget::new(500), 4);
+    assert!(injector.injected() > 0, "faults were injected");
+    // Injections either became terminal typed failures or were recovered
+    // by the retry ladder; both must appear in the telemetry.
+    assert!(
+        out.stats.total_failures() + out.stats.recoveries > 0,
+        "injections visible in stats: {}",
+        out.stats
+    );
+}
+
+#[test]
+fn pathological_netlist_is_classified_as_no_convergence() {
+    use asdex::spice::analysis::{dc_operating_point, OpOptions};
+    use asdex::spice::devices::DiodeModel;
+    use asdex::spice::{Circuit, SpiceError};
+
+    // A forward-biased diode driven hard, solved with a single Newton
+    // iteration and heavy damping: the solver cannot reach its tolerance
+    // and must report typed non-convergence (not NaN, not a panic).
+    let mut ckt = Circuit::new();
+    ckt.add_diode_model("d1n", DiodeModel::default());
+    let vin = ckt.node("in");
+    ckt.add_vsource("V1", vin, Circuit::GROUND, 5.0).unwrap();
+    let mid = ckt.node("mid");
+    ckt.add_resistor("R1", vin, mid, 10.0).unwrap();
+    ckt.add_diode("D1", mid, Circuit::GROUND, "d1n", 1.0).unwrap();
+    let opts = OpOptions { max_iter: 1, max_step: 1e-3, ..OpOptions::default() };
+    let err = dc_operating_point(&ckt, &opts).expect_err("cannot converge in one iteration");
+    assert!(matches!(err, SpiceError::NoConvergence { .. }), "got {err:?}");
+    assert_eq!(FailureKind::classify_spice(&err), FailureKind::NoConvergence);
+}

@@ -1,111 +1,152 @@
-//! Cross-crate property-based tests: invariants that must hold for any
-//! input, spanning the design space, value function, trust region, and
-//! simulator layers.
+//! Cross-crate property tests: invariants that must hold for randomized
+//! inputs, spanning the design space, value function, trust region, and
+//! simulator layers. Each property is exercised over a seeded sweep so
+//! failures are reproducible without a property-testing framework.
 
 use asdex::core::{TrustRegion, TrustRegionConfig};
 use asdex::env::circuits::synthetic::Bowl;
 use asdex::env::{DesignSpace, Param, Spec, SpecSet, ValueFn};
 use asdex::linalg::norm_inf;
 use asdex::spice::units::parse_value;
-use proptest::prelude::*;
+use asdex_rng::rngs::StdRng;
+use asdex_rng::{Rng, SeedableRng};
 
-fn arb_space() -> impl Strategy<Value = DesignSpace> {
-    prop::collection::vec(2usize..50, 1..6).prop_map(|lens| {
-        DesignSpace::new(
-            lens.iter()
-                .enumerate()
-                .map(|(i, &n)| Param::linear(&format!("p{i}"), 0.0, 1.0, n).expect("valid grid"))
-                .collect(),
-        )
-        .expect("valid space")
-    })
+/// Builds a randomized design space (1–5 axes, 2–49 grid points each).
+fn random_space(rng: &mut StdRng) -> DesignSpace {
+    let dims = rng.gen_range(1..6usize);
+    DesignSpace::new(
+        (0..dims)
+            .map(|i| {
+                let n = rng.gen_range(2..50usize);
+                Param::linear(&format!("p{i}"), 0.0, 1.0, n).expect("valid grid")
+            })
+            .collect(),
+    )
+    .expect("valid space")
 }
 
-proptest! {
-    #[test]
-    fn snap_is_idempotent_and_bounded(space in arb_space(), seed in 0u64..500) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn snap_is_idempotent_and_bounded() {
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = random_space(&mut rng);
         let u = space.sample(&mut rng);
         let s1 = space.snap(&u).expect("dims match");
         let s2 = space.snap(&s1).expect("dims match");
-        prop_assert_eq!(&s1, &s2);
+        assert_eq!(s1, s2, "seed {seed}");
         for v in &s1 {
-            prop_assert!((0.0..=1.0).contains(v));
+            assert!((0.0..=1.0).contains(v), "seed {seed}: {v}");
         }
     }
+}
 
-    #[test]
-    fn physical_normalized_round_trip(space in arb_space(), seed in 0u64..500) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn physical_normalized_round_trip() {
+    for seed in 0..200u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = random_space(&mut rng);
         let u = space.sample(&mut rng);
         let x = space.to_physical(&u).expect("dims");
         let back = space.to_normalized(&x).expect("dims");
-        prop_assert_eq!(&u, &back);
+        assert_eq!(u, back, "seed {seed}");
     }
+}
 
-    #[test]
-    fn sample_within_stays_inside_radius(space in arb_space(), seed in 0u64..200, radius in 0.01f64..0.5) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn sample_within_stays_inside_radius() {
+    for seed in 0..150u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let space = random_space(&mut rng);
+        let radius = rng.gen_range(0.01..0.5);
         let center = space.sample(&mut rng);
         let p = space.sample_within(&mut rng, &center, radius);
         let delta: Vec<f64> = p.iter().zip(&center).map(|(a, b)| a - b).collect();
         // Snapping can add at most half a grid step per axis.
-        let slack = space.params().iter().map(|px| if px.len() > 1 { 0.5 / (px.len() - 1) as f64 } else { 0.0 }).fold(0.0, f64::max);
-        prop_assert!(norm_inf(&delta) <= radius + slack + 1e-12);
+        let slack = space
+            .params()
+            .iter()
+            .map(|px| if px.len() > 1 { 0.5 / (px.len() - 1) as f64 } else { 0.0 })
+            .fold(0.0, f64::max);
+        assert!(
+            norm_inf(&delta) <= radius + slack + 1e-12,
+            "seed {seed}: |delta|={} radius={radius} slack={slack}",
+            norm_inf(&delta)
+        );
     }
+}
 
-    #[test]
-    fn value_function_is_zero_iff_feasible(m0 in -100.0f64..100.0, m1 in -100.0f64..100.0) {
-        let specs = SpecSet::new(vec![Spec::at_least(0, "a", 10.0), Spec::at_most(1, "b", 20.0)]);
-        let v = ValueFn::default();
+#[test]
+fn value_function_is_zero_iff_feasible() {
+    let specs = SpecSet::new(vec![Spec::at_least(0, "a", 10.0), Spec::at_most(1, "b", 20.0)]);
+    let v = ValueFn::default();
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..500 {
+        let m0 = rng.gen_range(-100.0..100.0);
+        let m1 = rng.gen_range(-100.0..100.0);
         let val = v.value(&[m0, m1], &specs);
         let feasible = m0 >= 10.0 && m1 <= 20.0;
-        prop_assert_eq!(val == 0.0, feasible, "value {} for ({}, {})", val, m0, m1);
-        prop_assert!(val <= 0.0);
-        prop_assert!(val >= v.failure_value(&specs));
+        assert_eq!(val == 0.0, feasible, "value {val} for ({m0}, {m1})");
+        assert!(val <= 0.0);
+        assert!(val >= v.failure_value(&specs));
     }
+}
 
-    #[test]
-    fn value_monotone_in_slack(base in -50.0f64..50.0, bump in 0.01f64..10.0) {
-        let specs = SpecSet::new(vec![Spec::at_least(0, "a", 60.0)]);
-        let v = ValueFn::default();
+#[test]
+fn value_monotone_in_slack() {
+    let specs = SpecSet::new(vec![Spec::at_least(0, "a", 60.0)]);
+    let v = ValueFn::default();
+    let mut rng = StdRng::seed_from_u64(2);
+    for _ in 0..500 {
+        let base = rng.gen_range(-50.0..50.0);
+        let bump = rng.gen_range(0.01..10.0);
         let lo = v.value(&[base], &specs);
         let hi = v.value(&[base + bump], &specs);
-        prop_assert!(hi >= lo, "{} -> {}", lo, hi);
+        assert!(hi >= lo, "{lo} -> {hi}");
     }
+}
 
-    #[test]
-    fn trust_region_radius_always_in_bounds(updates in prop::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 1..50)) {
-        let cfg = TrustRegionConfig::default();
+#[test]
+fn trust_region_radius_always_in_bounds() {
+    let cfg = TrustRegionConfig::default();
+    for seed in 0..50u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
         let mut tr = TrustRegion::new(cfg);
-        for (pred, act) in updates {
+        let steps = rng.gen_range(1..50usize);
+        for _ in 0..steps {
+            let pred = rng.gen_range(-2.0..2.0);
+            let act = rng.gen_range(-2.0..2.0);
             let step = tr.assess(pred, act);
-            prop_assert!(step.radius >= cfg.min_radius - 1e-12);
-            prop_assert!(step.radius <= cfg.max_radius + 1e-12);
-            prop_assert!(step.rho.is_finite());
+            assert!(step.radius >= cfg.min_radius - 1e-12);
+            assert!(step.radius <= cfg.max_radius + 1e-12);
+            assert!(step.rho.is_finite());
         }
     }
+}
 
-    #[test]
-    fn parse_value_scales_compose(mantissa in 0.001f64..999.0) {
-        // k on top of a plain number multiplies by exactly 1000.
+#[test]
+fn parse_value_scales_compose() {
+    // A `k` suffix on a plain number multiplies by exactly 1000.
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..200 {
+        let mantissa = rng.gen_range(0.001..999.0);
         let plain = parse_value(&format!("{mantissa}")).expect("parses");
         let kilo = parse_value(&format!("{mantissa}k")).expect("parses");
-        prop_assert!((kilo / plain - 1000.0).abs() < 1e-9);
+        assert!((kilo / plain - 1000.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn bowl_search_is_deterministic_and_budgeted(seed in 0u64..30, budget in 50usize..400) {
-        use asdex::core::LocalExplorer;
-        use asdex::env::{SearchBudget, Searcher};
-        let problem = Bowl::problem(3, 0.08).expect("problem");
+#[test]
+fn bowl_search_is_deterministic_and_budgeted() {
+    use asdex::core::LocalExplorer;
+    use asdex::env::{SearchBudget, Searcher};
+    let problem = Bowl::problem(3, 0.08).expect("problem");
+    let mut rng = StdRng::seed_from_u64(4);
+    for seed in 0..8u64 {
+        let budget = rng.gen_range(50..400usize);
         let mut a = LocalExplorer::default();
         let o1 = a.search(&problem, SearchBudget::new(budget), seed);
         let o2 = a.search(&problem, SearchBudget::new(budget), seed);
-        prop_assert_eq!(&o1, &o2);
-        prop_assert!(o1.simulations <= budget);
+        assert_eq!(o1, o2, "seed {seed}");
+        assert!(o1.simulations <= budget, "seed {seed}");
     }
 }
