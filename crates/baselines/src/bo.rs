@@ -4,7 +4,9 @@
 //! the comparison agent of Tables IV–V).
 
 use crate::trees::{ExtraTrees, ForestConfig};
-use asdex_env::{EvalStats, SearchBudget, SearchOutcome, Searcher, SizingProblem};
+use asdex_env::{
+    EvalRequest, EvalStats, Evaluation, SearchBudget, SearchOutcome, Searcher, SizingProblem,
+};
 use asdex_rng::rngs::StdRng;
 use asdex_rng::SeedableRng;
 
@@ -81,7 +83,13 @@ impl Searcher for CustomizedBo {
                             best_value: &mut f64,
                             best_meas: &mut Option<Vec<f64>>|
          -> Option<SearchOutcome> {
-            let e = problem.evaluate_with_budget(u, 0, budget.max_sims - stats.sims);
+            // Single-request batch: exactly `evaluate_with_budget`, but
+            // routed through the one pipeline every agent shares.
+            let mut evals = problem
+                .evaluate_batch(&[EvalRequest::new(u.to_vec(), 0)], budget.max_sims - stats.sims);
+            let Some(e) = evals.pop() else {
+                return None; // budget fully reserved; the loop guard exits
+            };
             stats.record(&e);
             xs.push(e.x_norm.clone());
             ys.push(e.value);
@@ -104,17 +112,34 @@ impl Searcher for CustomizedBo {
             }
         };
 
-        // Initial design.
-        for _ in 0..cfg.n_init {
-            if stats.sims >= budget.max_sims {
-                break;
+        // Initial design, scored as one batch (sampling consumes the rng,
+        // evaluation does not, so the stream matches the serial order).
+        let init_requests: Vec<EvalRequest> = (0..cfg.n_init)
+            .map(|_| EvalRequest::new(problem.space.sample(&mut rng), 0))
+            .collect();
+        let mut first_feasible: Option<Evaluation> = None;
+        for e in problem.evaluate_batch(&init_requests, budget.max_sims) {
+            stats.record(&e);
+            xs.push(e.x_norm.clone());
+            ys.push(e.value);
+            if e.value > best_value {
+                best_value = e.value;
+                best_point = e.x_norm.clone();
+                best_meas = e.measurements.clone();
             }
-            let u = problem.space.sample(&mut rng);
-            if let Some(done) =
-                evaluate(&u, &mut stats, &mut xs, &mut ys, &mut best_point, &mut best_value, &mut best_meas)
-            {
-                return done;
+            if e.feasible && first_feasible.is_none() {
+                first_feasible = Some(e);
             }
+        }
+        if let Some(e) = first_feasible {
+            return SearchOutcome {
+                success: true,
+                simulations: stats.sims,
+                best_point: e.x_norm,
+                best_value: e.value,
+                best_measurements: e.measurements,
+                stats,
+            };
         }
 
         // Surrogate-guided loop.

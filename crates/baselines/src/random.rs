@@ -1,18 +1,33 @@
 //! Pure random search — the paper's strongest non-learning baseline
 //! (Table I: 100 % success at 8565 average iterations).
 
-use asdex_env::{EvalStats, SearchBudget, SearchOutcome, Searcher, SizingProblem};
+use asdex_env::{
+    EvalRequest, EvalStats, Evaluation, SearchBudget, SearchOutcome, Searcher, SizingProblem,
+};
 use asdex_rng::rngs::StdRng;
 use asdex_rng::SeedableRng;
 
 /// Uniform random search over the design-space grid.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct RandomSearch;
+///
+/// Candidates are drawn and scored in chunks through the batched
+/// evaluation pipeline, so a problem with a worker pool evaluates them
+/// concurrently; the outcome is identical at every thread count.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomSearch {
+    /// Points sampled and evaluated per batch.
+    pub chunk: usize,
+}
+
+impl Default for RandomSearch {
+    fn default() -> Self {
+        RandomSearch { chunk: 8 }
+    }
+}
 
 impl RandomSearch {
     /// Creates the agent.
     pub fn new() -> Self {
-        RandomSearch
+        Self::default()
     }
 
     /// Multi-corner variant used by the Table III "random search" row:
@@ -31,24 +46,20 @@ impl RandomSearch {
         let mut best_meas = None;
         while stats.sims < budget.max_sims {
             let u = problem.space.sample(&mut rng);
+            // All corners of one point as one batch; a batch the budget
+            // could not fully admit cannot count as a pass.
+            let requests = EvalRequest::fan_out(&u, problem.corners.len());
+            let evals = problem.evaluate_batch(&requests, budget.max_sims - stats.sims);
             let mut worst = f64::INFINITY;
-            let mut all_pass = true;
+            let mut all_pass = evals.len() == requests.len();
             let mut meas = None;
-            for c in 0..problem.corners.len() {
-                if stats.sims >= budget.max_sims {
-                    all_pass = false;
-                    break;
-                }
-                let e = problem.evaluate_with_budget(&u, c, budget.max_sims - stats.sims);
+            for e in evals {
                 stats.record(&e);
                 worst = worst.min(e.value);
                 if meas.is_none() {
                     meas = e.measurements;
                 }
-                if !e.feasible {
-                    all_pass = false;
-                    break;
-                }
+                all_pass &= e.feasible;
             }
             if worst > best_value {
                 best_value = worst;
@@ -90,19 +101,26 @@ impl Searcher for RandomSearch {
         let mut best_value = f64::NEG_INFINITY;
         let mut best_meas = None;
         while stats.sims < budget.max_sims {
-            let u = problem.space.sample(&mut rng);
-            let e = problem.evaluate_with_budget(&u, 0, budget.max_sims - stats.sims);
-            stats.record(&e);
-            if e.value > best_value {
-                best_value = e.value;
-                best_point = e.x_norm.clone();
-                best_meas = e.measurements.clone();
+            let requests: Vec<EvalRequest> = (0..self.chunk.max(1))
+                .map(|_| EvalRequest::new(problem.space.sample(&mut rng), 0))
+                .collect();
+            let evals = problem.evaluate_batch(&requests, budget.max_sims - stats.sims);
+            let mut feasible: Option<Evaluation> = None;
+            for e in evals {
+                stats.record(&e);
+                if e.value > best_value {
+                    best_value = e.value;
+                    best_point = e.x_norm.clone();
+                    best_meas = e.measurements.clone();
+                }
+                if e.feasible && feasible.is_none() {
+                    feasible = Some(e);
+                }
             }
-            if e.feasible {
-                let simulations = stats.sims;
+            if let Some(e) = feasible {
                 return SearchOutcome {
                     success: true,
-                    simulations,
+                    simulations: stats.sims,
                     best_point: e.x_norm,
                     best_value: e.value,
                     best_measurements: e.measurements,

@@ -6,7 +6,7 @@
 //! per-parameter {down, stay, up} grid move, and the reward is the same
 //! value function the model-based agent ranks candidates with.
 
-use asdex_env::{EvalStats, SizingProblem};
+use asdex_env::{EvalRequest, EvalStats, SizingProblem};
 use asdex_rng::Rng;
 
 /// Result of one environment step.
@@ -132,7 +132,19 @@ impl<'p> SizingEnv<'p> {
             let value = self.problem.value_fn.failure_value(&self.problem.specs);
             return (obs, value, false);
         }
-        let e = self.problem.evaluate_with_budget(&u, 0, remaining);
+        // Single-request batch through the shared pipeline; `remaining`
+        // is at least 1 here, so the request is always admitted.
+        let Some(e) = self
+            .problem
+            .evaluate_batch(&[EvalRequest::new(u.clone(), 0)], remaining)
+            .pop()
+        else {
+            self.last_feasible = false;
+            let mut obs = u;
+            obs.extend(vec![-1.0; self.problem.specs.len()]);
+            let value = self.problem.value_fn.failure_value(&self.problem.specs);
+            return (obs, value, false);
+        };
         self.stats.record(&e);
         if e.value > self.best_value {
             self.best_value = e.value;

@@ -21,7 +21,7 @@
 
 use asdex_baselines::rl::{A2c, Ppo, Trpo};
 use asdex_baselines::{CustomizedBo, RandomSearch};
-use asdex_bench::{print_table, telemetry_line, write_csv, RunScale, Stats};
+use asdex_bench::{bench_threads, print_table, telemetry_line, write_csv, RunScale, Stats};
 use asdex_core::{Framework, FrameworkConfig, LocalExplorer};
 use asdex_env::circuits::opamp::TwoStageOpamp;
 use asdex_env::{SearchBudget, Searcher};
@@ -50,7 +50,10 @@ fn run_agent(
 
 fn main() {
     let scale = RunScale::from_env();
-    let problem = TwoStageOpamp::bsim45().problem().expect("problem builds");
+    let problem = TwoStageOpamp::bsim45()
+        .problem()
+        .expect("problem builds")
+        .with_threads(bench_threads());
     println!(
         "Table I reproduction: 45 nm two-stage opamp, |D| = 10^{:.1}, specs = {:?}",
         problem.space.size_log10(),

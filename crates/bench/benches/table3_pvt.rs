@@ -14,7 +14,7 @@
 //! the same order (the strategy is insensitive to the initial corner).
 
 use asdex_baselines::RandomSearch;
-use asdex_bench::{print_table, telemetry_line, write_csv, RunScale, Stats};
+use asdex_bench::{bench_threads, print_table, telemetry_line, write_csv, RunScale, Stats};
 use asdex_core::{PvtExplorer, PvtStrategy};
 use asdex_env::circuits::opamp::TwoStageOpamp;
 use asdex_env::{PvtSet, SearchBudget};
@@ -27,7 +27,8 @@ fn main() {
     let opamp = TwoStageOpamp::bsim22();
     let problem = opamp
         .problem_with(opamp.specs(), PvtSet::signoff5())
-        .expect("PVT problem");
+        .expect("PVT problem")
+        .with_threads(bench_threads());
     println!(
         "Table III reproduction: 22 nm opamp across {} corners, {} runs each",
         problem.corners.len(),

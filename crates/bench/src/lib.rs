@@ -50,6 +50,20 @@ impl RunScale {
     }
 }
 
+/// Parses the evaluation worker count for a harness: `--threads N` on
+/// the command line wins, else 0 (which defers to `ASDEX_THREADS` inside
+/// the batched pipeline, else serial). The thread count changes
+/// wall-clock only, never results.
+pub fn bench_threads() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            return args.next().and_then(|v| v.parse().ok()).unwrap_or(0);
+        }
+    }
+    0
+}
+
 /// Summary statistics over per-run step counts.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Stats {

@@ -8,7 +8,7 @@
 use crate::approximator::SpiceApproximator;
 use crate::planner::McPlanner;
 use crate::trust_region::{TrustRegion, TrustRegionConfig};
-use asdex_env::{EvalStats, SearchBudget, SearchOutcome, Searcher, SizingProblem};
+use asdex_env::{EvalRequest, EvalStats, Evaluation, SearchBudget, SearchOutcome, Searcher, SizingProblem};
 use asdex_rng::rngs::StdRng;
 use asdex_rng::SeedableRng;
 
@@ -176,12 +176,19 @@ impl LocalExplorer {
             } else {
                 center = vec![0.5; dim];
                 center_value = f64::NEG_INFINITY;
-                for _ in 0..cfg.n_init {
-                    if stats.sims >= budget.max_sims {
-                        return exhausted(&stats, best_point, best_value, best_meas, &model);
-                    }
-                    let u = problem.space.sample(&mut rng);
-                    let e = problem.evaluate_with_budget(&u, corner_idx, budget.max_sims - stats.sims);
+                if stats.sims >= budget.max_sims {
+                    return exhausted(&stats, best_point, best_value, best_meas, &model);
+                }
+                // Lines 2–3 as one batch: sampling consumes the rng,
+                // evaluation does not, so drawing every seed up front
+                // preserves the serial rng stream; batch admission caps
+                // total attempts at the remaining budget.
+                let requests: Vec<EvalRequest> = (0..cfg.n_init)
+                    .map(|_| EvalRequest::new(problem.space.sample(&mut rng), corner_idx))
+                    .collect();
+                let evals = problem.evaluate_batch(&requests, budget.max_sims - stats.sims);
+                let mut feasible: Option<Evaluation> = None;
+                for e in evals {
                     stats.record(&e);
                     if let Some(m) = &e.measurements {
                         model.push(e.x_norm.clone(), m.clone());
@@ -191,23 +198,26 @@ impl LocalExplorer {
                         best_point = e.x_norm.clone();
                         best_meas = e.measurements.clone();
                     }
-                    if e.feasible {
-                        return (
-                            SearchOutcome {
-                                success: true,
-                                simulations: stats.sims,
-                                best_point: e.x_norm.clone(),
-                                best_value: e.value,
-                                best_measurements: e.measurements,
-                                stats,
-                            },
-                            ExplorerArtifacts { model: model.export_state(), center: e.x_norm },
-                        );
-                    }
                     if e.value > center_value {
                         center_value = e.value;
-                        center = e.x_norm;
+                        center = e.x_norm.clone();
                     }
+                    if e.feasible && feasible.is_none() {
+                        feasible = Some(e);
+                    }
+                }
+                if let Some(e) = feasible {
+                    return (
+                        SearchOutcome {
+                            success: true,
+                            simulations: stats.sims,
+                            best_point: e.x_norm.clone(),
+                            best_value: e.value,
+                            best_measurements: e.measurements,
+                            stats,
+                        },
+                        ExplorerArtifacts { model: model.export_state(), center: e.x_norm },
+                    );
                 }
             }
             first_episode = false;

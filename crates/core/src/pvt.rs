@@ -10,7 +10,7 @@ use crate::approximator::SpiceApproximator;
 use crate::explorer::ExplorerConfig;
 use crate::planner::McPlanner;
 use crate::trust_region::TrustRegion;
-use asdex_env::{EvalStats, SearchBudget, SizingProblem};
+use asdex_env::{EvalRequest, EvalStats, SearchBudget, SizingProblem};
 use asdex_rng::rngs::StdRng;
 use asdex_rng::{Rng, SeedableRng};
 
@@ -131,24 +131,28 @@ impl PvtExplorer {
             PvtStrategy::BruteForce => (0..n_corners).collect(),
             PvtStrategy::ProgressiveRandom => vec![rng.gen_range(0..n_corners)],
             PvtStrategy::ProgressiveHardest => {
-                // Probe a few random points on every corner; the corner
-                // with the lowest mean value is "hardest".
+                // Probe a few random points on every corner — each probe
+                // point fans out across all corners as one batch; the
+                // corner with the lowest mean value is "hardest".
                 let mut means = vec![0.0; n_corners];
                 for _ in 0..self.hardness_probes {
+                    if stats.sims >= budget.max_sims {
+                        return PvtOutcome {
+                            success: false,
+                            simulations: budget.max_sims,
+                            best_point,
+                            best_value,
+                            ledger,
+                            activation_order: vec![],
+                            stats,
+                        };
+                    }
                     let u = problem.space.sample(&mut rng);
-                    for (c, mean) in means.iter_mut().enumerate() {
-                        if stats.sims >= budget.max_sims {
-                            return PvtOutcome {
-                                success: false,
-                                simulations: budget.max_sims,
-                                best_point,
-                                best_value,
-                                ledger,
-                                activation_order: vec![],
-                                stats,
-                            };
-                        }
-                        let e = problem.evaluate_with_budget(&u, c, budget.max_sims - stats.sims);
+                    let requests = EvalRequest::fan_out(&u, n_corners);
+                    let evals =
+                        problem.evaluate_batch(&requests, budget.max_sims - stats.sims);
+                    let truncated = evals.len() < requests.len();
+                    for (c, e) in evals.into_iter().enumerate() {
                         stats.record(&e);
                         ledger.push(LedgerEntry {
                             sim: stats.sims,
@@ -161,7 +165,18 @@ impl PvtExplorer {
                         if let Some(m) = e.measurements {
                             models[c].push(e.x_norm.clone(), m);
                         }
-                        *mean += e.value / self.hardness_probes as f64;
+                        means[c] += e.value / self.hardness_probes as f64;
+                    }
+                    if truncated {
+                        return PvtOutcome {
+                            success: false,
+                            simulations: stats.sims,
+                            best_point,
+                            best_value,
+                            ledger,
+                            activation_order: vec![],
+                            stats,
+                        };
                     }
                 }
                 let hardest = means
@@ -175,20 +190,24 @@ impl PvtExplorer {
         };
         let mut activation_order = active.clone();
 
-        // Evaluate a point on every active corner; returns worst value and
-        // whether all active corners passed. Logs to the ledger.
+        // Evaluate a point on every active corner as one batch; returns
+        // worst value and whether all active corners passed. Logs to the
+        // ledger in corner order — batch results come back in request
+        // order, so ledger `sim` indices stay strictly increasing. A batch
+        // the budget could not fully admit reports `out_of_budget`, just
+        // like the serial path running dry mid-loop.
         macro_rules! eval_active {
             ($u:expr, $verification:expr, $corners:expr) => {{
+                let corners: &[usize] = $corners;
+                let requests: Vec<EvalRequest> =
+                    corners.iter().map(|&c| EvalRequest::new($u.to_vec(), c)).collect();
+                let evals = problem
+                    .evaluate_batch(&requests, budget.max_sims.saturating_sub(stats.sims));
+                let out_of_budget = evals.len() < requests.len();
                 let mut worst = f64::INFINITY;
                 let mut worst_corner = 0usize;
                 let mut all_pass = true;
-                let mut out_of_budget = false;
-                for &c in $corners {
-                    if stats.sims >= budget.max_sims {
-                        out_of_budget = true;
-                        break;
-                    }
-                    let e = problem.evaluate_with_budget($u, c, budget.max_sims - stats.sims);
+                for (e, &c) in evals.into_iter().zip(corners) {
                     stats.record(&e);
                     ledger.push(LedgerEntry {
                         sim: stats.sims,

@@ -1,0 +1,236 @@
+//! Batched evaluation: many (point × corner) requests through one call.
+//!
+//! The paper's cost model counts SPICE invocations, but wall-clock in a
+//! production sizing flow is dominated by *running* them — real
+//! deployments fan simulations out across workers. This module is the
+//! single chokepoint every ASDEX agent routes through:
+//! [`SizingProblem::evaluate_batch`] takes a slice of [`EvalRequest`]s and
+//! returns their [`Evaluation`]s in request order, executed by a
+//! dependency-free scoped-thread worker pool.
+//!
+//! Three invariants carry over from the serial path *exactly*:
+//!
+//! 1. **Deterministic ordering** — `results[i]` is the evaluation of
+//!    `requests[i]`, and every entry is a pure function of
+//!    `(problem, request, admitted budget)`. Running at 1, 2, or 8
+//!    threads returns bitwise-identical results.
+//! 2. **Budget-exact accounting** — admission charges the retry ladder's
+//!    worst case against `remaining` *up front*: request `i` is admitted
+//!    with an attempt cap only when the caps already handed out leave
+//!    room. The summed [`Evaluation::sim_cost`] of the returned prefix can
+//!    therefore never exceed `remaining`, so `sims <= max_sims` holds for
+//!    every caller without post-hoc clamping.
+//! 3. **Typed telemetry** — results are plain [`Evaluation`]s; callers
+//!    fold them into [`crate::EvalStats`] in request order and obtain the
+//!    same merged record at every thread count.
+//!
+//! Worker count comes from [`SizingProblem::threads`] (explicit), else the
+//! `ASDEX_THREADS` environment variable, else 1 — serial by default, so
+//! unit tests and single-evaluation callers never pay thread-spawn
+//! overhead.
+
+use crate::problem::{Evaluation, SizingProblem};
+use crate::stats::FailureKind;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One evaluation request: a normalized design point at a corner index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalRequest {
+    /// Normalized (grid) coordinates of the design point.
+    pub u: Vec<f64>,
+    /// Index into the problem's [`crate::PvtSet`].
+    pub corner_idx: usize,
+}
+
+impl EvalRequest {
+    /// A request for `u` at corner `corner_idx`.
+    pub fn new(u: Vec<f64>, corner_idx: usize) -> Self {
+        EvalRequest { u, corner_idx }
+    }
+
+    /// Requests for one point at every corner index in `0..n_corners`.
+    pub fn fan_out(u: &[f64], n_corners: usize) -> Vec<EvalRequest> {
+        (0..n_corners).map(|c| EvalRequest::new(u.to_vec(), c)).collect()
+    }
+}
+
+/// Resolves the worker count: an explicit setting wins, else the
+/// `ASDEX_THREADS` environment variable, else 1 (serial).
+pub(crate) fn resolve_threads(explicit: usize) -> usize {
+    if explicit > 0 {
+        return explicit;
+    }
+    std::env::var("ASDEX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
+}
+
+impl SizingProblem {
+    /// Evaluates a batch of requests with at most `remaining` simulator
+    /// attempts available across the whole batch.
+    ///
+    /// Requests are admitted in order, each reserving up to
+    /// `retry.max_attempts()` attempts (less when the remaining budget is
+    /// smaller); once the budget is fully reserved the rest of the batch
+    /// is *not* evaluated, so the returned vector can be shorter than
+    /// `requests` — callers detect budget truncation with
+    /// `results.len() < requests.len()`. The returned evaluations are in
+    /// request order and identical at every thread count; a single-request
+    /// batch is exactly [`SizingProblem::evaluate_with_budget`].
+    pub fn evaluate_batch(&self, requests: &[EvalRequest], remaining: usize) -> Vec<Evaluation> {
+        // Admission: reserve worst-case attempt caps in request order.
+        let max_attempts = self.retry.max_attempts();
+        let mut caps = Vec::with_capacity(requests.len());
+        let mut reserved = 0usize;
+        for _ in requests {
+            if reserved >= remaining {
+                break;
+            }
+            let cap = max_attempts.min(remaining - reserved);
+            caps.push(cap);
+            reserved += cap;
+        }
+        let n = caps.len();
+        let threads = resolve_threads(self.threads).min(n);
+        if threads <= 1 {
+            return requests[..n]
+                .iter()
+                .zip(&caps)
+                .map(|(r, &cap)| self.evaluate_with_budget(&r.u, r.corner_idx, cap))
+                .collect();
+        }
+        // Scoped worker pool: an atomic cursor deals requests to workers;
+        // each result lands in its request's slot, so the output order is
+        // independent of scheduling.
+        let slots: Vec<Mutex<Option<Evaluation>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let e =
+                        self.evaluate_with_budget(&requests[i].u, requests[i].corner_idx, caps[i]);
+                    if let Ok(mut slot) = slots[i].lock() {
+                        *slot = Some(e);
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot.into_inner() {
+                Ok(Some(e)) => e,
+                // Unreachable in practice (evaluators are no-panic per the
+                // failure taxonomy); typed worst-case keeps the no-panic
+                // and budget invariants even if a lock was poisoned.
+                _ => self.failed_eval(requests[i].u.clone(), FailureKind::Other, caps[i]),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{FaultConfig, FaultInjectingEvaluator};
+    use crate::problem::tests::{toy_problem, ToyEvaluator};
+    use crate::stats::EvalStats;
+    use std::sync::Arc;
+
+    fn faulty_problem(rate: f64, seed: u64) -> SizingProblem {
+        let mut p = toy_problem();
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            Arc::new(ToyEvaluator::new()),
+            FaultConfig::new(rate, seed),
+        ));
+        p
+    }
+
+    fn grid_requests(n: usize) -> Vec<EvalRequest> {
+        (0..n)
+            .map(|k| {
+                let t = k as f64 / n as f64;
+                EvalRequest::new(vec![t, 1.0 - t], 0)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_request_batch_equals_serial() {
+        let p = faulty_problem(0.3, 7);
+        for remaining in [1usize, 2, 3, 100] {
+            let serial = p.evaluate_with_budget(&[0.8, 0.8], 0, remaining);
+            let batch = p.evaluate_batch(&[EvalRequest::new(vec![0.8, 0.8], 0)], remaining);
+            assert_eq!(batch, vec![serial], "remaining = {remaining}");
+        }
+    }
+
+    #[test]
+    fn results_identical_at_every_thread_count() {
+        let reqs = grid_requests(40);
+        let mut reference: Option<(Vec<Evaluation>, EvalStats)> = None;
+        for threads in [1usize, 2, 8] {
+            let mut p = faulty_problem(0.4, 11);
+            p.threads = threads;
+            let evals = p.evaluate_batch(&reqs, 1000);
+            let mut stats = EvalStats::new();
+            for e in &evals {
+                stats.record(e);
+            }
+            match &reference {
+                None => reference = Some((evals, stats)),
+                Some((ref_evals, ref_stats)) => {
+                    assert_eq!(&evals, ref_evals, "evaluations differ at {threads} threads");
+                    assert_eq!(&stats, ref_stats, "stats differ at {threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn admission_never_overshoots_budget() {
+        for remaining in [0usize, 1, 2, 5, 7, 100] {
+            let mut p = faulty_problem(0.8, 3);
+            p.threads = 4;
+            let reqs = grid_requests(10);
+            let evals = p.evaluate_batch(&reqs, remaining);
+            let spent: usize = evals.iter().map(|e| e.sim_cost).sum();
+            assert!(spent <= remaining, "spent {spent} > remaining {remaining}");
+            if evals.len() < reqs.len() {
+                // Truncated: the budget must be the reason.
+                let max_attempts = p.retry.max_attempts();
+                assert!(remaining < reqs.len() * max_attempts);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let p = toy_problem();
+        assert!(p.evaluate_batch(&[], 100).is_empty());
+        assert!(p.evaluate_batch(&grid_requests(3), 0).is_empty());
+    }
+
+    #[test]
+    fn fan_out_covers_every_corner() {
+        let reqs = EvalRequest::fan_out(&[0.5, 0.5], 3);
+        assert_eq!(reqs.len(), 3);
+        assert!(reqs.iter().enumerate().all(|(i, r)| r.corner_idx == i && r.u == vec![0.5, 0.5]));
+    }
+
+    #[test]
+    fn env_var_resolution_prefers_explicit() {
+        assert_eq!(resolve_threads(3), 3);
+        // No ASDEX_THREADS in the test environment → serial default.
+        if std::env::var("ASDEX_THREADS").is_err() {
+            assert_eq!(resolve_threads(0), 1);
+        }
+    }
+}

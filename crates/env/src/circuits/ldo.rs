@@ -16,7 +16,8 @@ use crate::robust::EvalEffort;
 use crate::space::{DesignSpace, Param};
 use crate::spec::{Spec, SpecSet};
 use crate::PvtSet;
-use asdex_spice::analysis::{ac_analysis_with_op, Engine, OpOptions, Sweep};
+use super::pool::{EnginePool, EngineSlot, SimCache};
+use asdex_spice::analysis::{ac_analysis_with_op_in, Engine, OpOptions, Sweep};
 use asdex_spice::devices::MosGeometry;
 use asdex_spice::measure::{checked_frequency_response, ensure_finite, to_db};
 use asdex_spice::process::ProcessNode;
@@ -241,6 +242,8 @@ impl Ldo {
 pub struct LdoEvaluator {
     ldo: Ldo,
     names: Vec<String>,
+    pool: EnginePool,
+    cache: SimCache,
 }
 
 impl LdoEvaluator {
@@ -255,7 +258,72 @@ impl LdoEvaluator {
                 "iq_a".into(),
                 "vout_v".into(),
             ],
+            pool: EnginePool::default(),
+            cache: SimCache::default(),
         }
+    }
+
+    /// The solve proper, running inside a pooled engine/workspace slot.
+    fn evaluate_in_slot(
+        &self,
+        slot: &mut EngineSlot,
+        x: &[f64],
+        corner: &PvtCorner,
+        effort: EvalEffort,
+    ) -> Result<Vec<f64>, EnvError> {
+        let circuit = self.ldo.netlist(x, corner)?;
+        let EngineSlot { engine, ws } = slot;
+        let engine = match engine.as_mut() {
+            Some(eng) => {
+                eng.restamp(&circuit)?;
+                eng
+            }
+            None => engine.insert(Engine::compile(&circuit)?),
+        };
+        let mut opts = OpOptions::default();
+        effort.apply(&mut opts);
+        let initial = effort.initial_guess(engine.dim());
+        let op = engine.operating_point_with(&opts, initial.as_deref(), ws)?;
+
+        let vout_node = circuit.find_node("vout").ok_or_else(|| EnvError::InvalidProblem {
+            reason: "ldo netlist defines no 'vout' node".into(),
+        })?;
+        let fbo = circuit.find_node("fbo").ok_or_else(|| EnvError::InvalidProblem {
+            reason: "ldo netlist defines no 'fbo' node".into(),
+        })?;
+        let vout_v = op.voltage(vout_node);
+
+        // Quiescent current: amp bias + divider, excluding the load.
+        let vdd_branch = engine.branch_of("VDD").ok_or_else(|| EnvError::InvalidProblem {
+            reason: "ldo netlist defines no 'VDD' source".into(),
+        })?;
+        let supply_current = op.branch_current(vdd_branch).abs();
+        let load_current = vout_v / self.ldo.r_load;
+        let iq = (supply_current - load_current).abs();
+
+        let ac = ac_analysis_with_op_in(
+            engine,
+            op,
+            Sweep::Decade { fstart: 10.0, fstop: 1e9, points_per_decade: 10 },
+            ws,
+        )?;
+        let fr = checked_frequency_response(&ac, fbo)?;
+        // `frequency_response` reports the low-frequency magnitude of the
+        // probe node, which is exactly the loop gain here.
+        let loop_gain_db = fr.dc_gain_db.max(to_db(0.0));
+
+        // Area in µm² (1 m² = 1e12 µm²).
+        let area_um2 = circuit.total_gate_area() * 1e12;
+
+        let meas = vec![
+            loop_gain_db,
+            fr.phase_margin_deg.unwrap_or(90.0),
+            area_um2,
+            iq,
+            vout_v,
+        ];
+        ensure_finite(&meas, "ldo measurements")?;
+        Ok(meas)
     }
 }
 
@@ -274,41 +342,17 @@ impl Evaluator for LdoEvaluator {
         corner: &PvtCorner,
         effort: EvalEffort,
     ) -> Result<Vec<f64>, EnvError> {
-        let circuit = self.ldo.netlist(x, corner)?;
-        let engine = Engine::compile(&circuit)?;
-        let mut opts = OpOptions::default();
-        effort.apply(&mut opts);
-        let initial = effort.initial_guess(engine.dim());
-        let op = engine.operating_point(&opts, initial.as_deref())?;
-
-        let vout_node = circuit.find_node("vout").expect("netlist defines vout");
-        let fbo = circuit.find_node("fbo").expect("netlist defines fbo");
-        let vout_v = op.voltage(vout_node);
-
-        // Quiescent current: amp bias + divider, excluding the load.
-        let vdd_branch = engine.branch_of("VDD").expect("netlist defines VDD");
-        let supply_current = op.branch_current(vdd_branch).abs();
-        let load_current = vout_v / self.ldo.r_load;
-        let iq = (supply_current - load_current).abs();
-
-        let ac = ac_analysis_with_op(&engine, op, Sweep::Decade { fstart: 10.0, fstop: 1e9, points_per_decade: 10 })?;
-        let fr = checked_frequency_response(&ac, fbo)?;
-        // `frequency_response` reports the low-frequency magnitude of the
-        // probe node, which is exactly the loop gain here.
-        let loop_gain_db = fr.dc_gain_db.max(to_db(0.0));
-
-        // Area in µm² (1 m² = 1e12 µm²).
-        let area_um2 = circuit.total_gate_area() * 1e12;
-
-        let meas = vec![
-            loop_gain_db,
-            fr.phase_margin_deg.unwrap_or(90.0),
-            area_um2,
-            iq,
-            vout_v,
-        ];
-        ensure_finite(&meas, "ldo measurements")?;
-        Ok(meas)
+        let key = SimCache::key(x, corner, effort);
+        if let Some(meas) = self.cache.get(&key) {
+            return Ok(meas);
+        }
+        let mut slot = self.pool.take();
+        let result = self.evaluate_in_slot(&mut slot, x, corner, effort);
+        self.pool.put(slot);
+        if let Ok(meas) = &result {
+            self.cache.put(key, meas.clone());
+        }
+        result
     }
 }
 

@@ -18,7 +18,8 @@ use crate::robust::EvalEffort;
 use crate::space::{DesignSpace, Param};
 use crate::spec::{Spec, SpecSet};
 use crate::PvtSet;
-use asdex_spice::analysis::{ac_analysis_with_op, Engine, OpOptions, Sweep};
+use super::pool::{EnginePool, EngineSlot, SimCache};
+use asdex_spice::analysis::{ac_analysis_with_op_in, Engine, OpOptions, Sweep};
 use asdex_spice::devices::MosGeometry;
 use asdex_spice::measure::{checked_frequency_response, ensure_finite};
 use asdex_spice::process::ProcessNode;
@@ -231,6 +232,8 @@ impl TwoStageOpamp {
 pub struct OpampEvaluator {
     opamp: TwoStageOpamp,
     names: Vec<String>,
+    pool: EnginePool,
+    cache: SimCache,
 }
 
 impl OpampEvaluator {
@@ -245,7 +248,55 @@ impl OpampEvaluator {
                 "power_w".into(),
                 "area_m2".into(),
             ],
+            pool: EnginePool::default(),
+            cache: SimCache::default(),
         }
+    }
+
+    /// The solve proper, running inside a pooled engine/workspace slot.
+    fn evaluate_in_slot(
+        &self,
+        slot: &mut EngineSlot,
+        x: &[f64],
+        corner: &PvtCorner,
+        effort: EvalEffort,
+    ) -> Result<Vec<f64>, EnvError> {
+        let circuit = self.opamp.netlist(x, corner)?;
+        let EngineSlot { engine, ws } = slot;
+        let engine = match engine.as_mut() {
+            Some(eng) => {
+                eng.restamp(&circuit)?;
+                eng
+            }
+            None => engine.insert(Engine::compile(&circuit)?),
+        };
+        let mut opts = OpOptions::default();
+        effort.apply(&mut opts);
+        let initial = effort.initial_guess(engine.dim());
+        let op = engine.operating_point_with(&opts, initial.as_deref(), ws)?;
+
+        let sweep = Sweep::Decade { fstart: 10.0, fstop: 10e9, points_per_decade: 10 };
+        let out = circuit.find_node("out").ok_or_else(|| EnvError::InvalidProblem {
+            reason: "opamp netlist defines no 'out' node".into(),
+        })?;
+        let vdd_branch = engine.branch_of("VDD").ok_or_else(|| EnvError::InvalidProblem {
+            reason: "opamp netlist defines no 'VDD' source".into(),
+        })?;
+        let supply_current = op.branch_current(vdd_branch).abs();
+        let vdd_v = self.opamp.node.vdd * corner.vdd_scale;
+
+        let ac = ac_analysis_with_op_in(engine, op, sweep, ws)?;
+        let fr = checked_frequency_response(&ac, out)?;
+
+        let meas = vec![
+            fr.dc_gain_db,
+            fr.unity_gain_freq.unwrap_or(0.0),
+            fr.phase_margin_deg.unwrap_or(0.0),
+            supply_current * vdd_v,
+            circuit.total_gate_area(),
+        ];
+        ensure_finite(&meas, "opamp measurements")?;
+        Ok(meas)
     }
 }
 
@@ -264,31 +315,17 @@ impl Evaluator for OpampEvaluator {
         corner: &PvtCorner,
         effort: EvalEffort,
     ) -> Result<Vec<f64>, EnvError> {
-        let circuit = self.opamp.netlist(x, corner)?;
-        let engine = Engine::compile(&circuit)?;
-        let mut opts = OpOptions::default();
-        effort.apply(&mut opts);
-        let initial = effort.initial_guess(engine.dim());
-        let op = engine.operating_point(&opts, initial.as_deref())?;
-
-        let sweep = Sweep::Decade { fstart: 10.0, fstop: 10e9, points_per_decade: 10 };
-        let out = circuit.find_node("out").expect("netlist defines out");
-        let vdd_branch = engine.branch_of("VDD").expect("netlist defines VDD");
-        let supply_current = op.branch_current(vdd_branch).abs();
-        let vdd_v = self.opamp.node.vdd * corner.vdd_scale;
-
-        let ac = ac_analysis_with_op(&engine, op, sweep)?;
-        let fr = checked_frequency_response(&ac, out)?;
-
-        let meas = vec![
-            fr.dc_gain_db,
-            fr.unity_gain_freq.unwrap_or(0.0),
-            fr.phase_margin_deg.unwrap_or(0.0),
-            supply_current * vdd_v,
-            circuit.total_gate_area(),
-        ];
-        ensure_finite(&meas, "opamp measurements")?;
-        Ok(meas)
+        let key = SimCache::key(x, corner, effort);
+        if let Some(meas) = self.cache.get(&key) {
+            return Ok(meas);
+        }
+        let mut slot = self.pool.take();
+        let result = self.evaluate_in_slot(&mut slot, x, corner, effort);
+        self.pool.put(slot);
+        if let Ok(meas) = &result {
+            self.cache.put(key, meas.clone());
+        }
+        result
     }
 }
 

@@ -1,0 +1,154 @@
+//! Shared engine/workspace pool for the MNA-backed circuit evaluators.
+//!
+//! Compiling a netlist and allocating solver matrices dominates the cost
+//! of a single evaluation once the Newton loop converges quickly. Every
+//! candidate an agent proposes shares the circuit *topology* — only
+//! element values change with `(x, corner)` — so each evaluator keeps a
+//! pool of `(Engine, SolverWorkspace)` slots: a worker takes a slot,
+//! restamps the compiled engine in place (full recompile on first use or
+//! topology mismatch), solves reusing the workspace buffers, and returns
+//! the slot. The pool is a plain `Mutex<Vec<_>>` held only around
+//! pop/push, so batch workers never serialize on it during a solve.
+//!
+//! Restamping and buffer reuse are bitwise-exact (`Engine::restamp` and
+//! `SolverWorkspace` zero all state a solve reads), so pooled evaluation
+//! returns the same `Evaluation`s as compiling from scratch every call.
+//!
+//! The pool also carries a [`SimCache`]: a bounded memo table over
+//! successful simulations. The [`Evaluator`](crate::problem::Evaluator)
+//! contract requires results to be deterministic in `(x, corner, effort)`,
+//! and the design space is a finite grid, so searches genuinely revisit
+//! points — a trust-region agent re-scores its incumbent while the PVT
+//! loop re-verifies candidates corner by corner. A cache hit returns the
+//! exact measurement vector a fresh solve would compute, so memoization
+//! changes wall-clock only, never results, budgets, or telemetry.
+//! Failures are never cached: the retry ladder must re-run them at
+//! escalated effort (a different cache key anyway).
+
+use crate::corner::PvtCorner;
+use crate::robust::EvalEffort;
+use asdex_spice::analysis::{Engine, SolverWorkspace};
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// One worker's reusable compiled engine plus solver scratch space.
+#[derive(Default)]
+pub(crate) struct EngineSlot {
+    /// Compiled engine from a previous evaluation; `None` before first use.
+    pub engine: Option<Engine>,
+    /// Reusable Newton/AC matrices and the frequency-grid cache.
+    pub ws: SolverWorkspace,
+}
+
+/// A lock-guarded stack of [`EngineSlot`]s.
+#[derive(Default)]
+pub(crate) struct EnginePool {
+    slots: Mutex<Vec<EngineSlot>>,
+}
+
+impl EnginePool {
+    /// Takes a slot, creating a fresh one when the pool is empty (or its
+    /// lock was poisoned — evaluation must stay panic-free either way).
+    pub fn take(&self) -> EngineSlot {
+        self.slots.lock().ok().and_then(|mut p| p.pop()).unwrap_or_default()
+    }
+
+    /// Returns a slot for reuse. Dropping it on lock poisoning is safe:
+    /// the next `take` simply recompiles.
+    pub fn put(&self, slot: EngineSlot) {
+        if let Ok(mut p) = self.slots.lock() {
+            p.push(slot);
+        }
+    }
+}
+
+/// Bounded memo table over successful deterministic simulations, keyed on
+/// the exact bit pattern of `(x, corner, effort)`.
+#[derive(Default)]
+pub(crate) struct SimCache {
+    map: Mutex<HashMap<Vec<u64>, Vec<f64>>>,
+}
+
+impl SimCache {
+    /// Entry bound: at ~200 bytes per opamp-sized entry this caps the
+    /// table near 7 MB. On overflow the table is cleared rather than
+    /// evicted entry-by-entry — cache state never affects results, so any
+    /// policy is sound, and clearing keeps the hot recent working set
+    /// rebuilding cheaply.
+    const MAX_ENTRIES: usize = 32_768;
+
+    /// The memo key: every input the evaluator contract allows the result
+    /// to depend on, bit-exact.
+    pub fn key(x: &[f64], corner: &PvtCorner, effort: EvalEffort) -> Vec<u64> {
+        let mut key = Vec::with_capacity(x.len() + 4);
+        key.push(effort.attempt as u64);
+        key.push(corner.process as u64);
+        key.push(corner.vdd_scale.to_bits());
+        key.push(corner.temp_celsius.to_bits());
+        key.extend(x.iter().map(|v| v.to_bits()));
+        key
+    }
+
+    /// The memoized measurement vector, if this exact point was solved
+    /// before (`None` on a miss or a poisoned lock).
+    pub fn get(&self, key: &[u64]) -> Option<Vec<f64>> {
+        self.map.lock().ok()?.get(key).cloned()
+    }
+
+    /// Memoizes a successful solve. Silently drops the entry when the
+    /// lock is poisoned — the next lookup just re-simulates.
+    pub fn put(&self, key: Vec<u64>, meas: Vec<f64>) {
+        if let Ok(mut map) = self.map.lock() {
+            if map.len() >= Self::MAX_ENTRIES {
+                map.clear();
+            }
+            map.insert(key, meas);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asdex_spice::process::ProcessCorner;
+
+    #[test]
+    fn cache_roundtrip() {
+        let cache = SimCache::default();
+        let key = SimCache::key(&[1.0, 2.0], &PvtCorner::nominal(), EvalEffort::default());
+        assert_eq!(cache.get(&key), None);
+        cache.put(key.clone(), vec![3.0, 4.0]);
+        assert_eq!(cache.get(&key), Some(vec![3.0, 4.0]));
+    }
+
+    #[test]
+    fn key_separates_every_input() {
+        let x = [1.0, 2.0];
+        let nominal = PvtCorner::nominal();
+        let base = SimCache::key(&x, &nominal, EvalEffort::default());
+        let hot = PvtCorner { temp_celsius: 125.0, ..nominal };
+        let ss = PvtCorner { process: ProcessCorner::Ss, ..nominal };
+        let sag = PvtCorner { vdd_scale: 0.9, ..nominal };
+        for other in [
+            SimCache::key(&[1.0, 2.5], &nominal, EvalEffort::default()),
+            SimCache::key(&x, &hot, EvalEffort::default()),
+            SimCache::key(&x, &ss, EvalEffort::default()),
+            SimCache::key(&x, &sag, EvalEffort::default()),
+            SimCache::key(&x, &nominal, EvalEffort::attempt(1)),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+
+    #[test]
+    fn overflow_clears_and_keeps_serving() {
+        let cache = SimCache::default();
+        for i in 0..SimCache::MAX_ENTRIES {
+            cache.put(vec![i as u64], vec![i as f64]);
+        }
+        // The table is full: the next insert clears, then stores its entry.
+        cache.put(vec![u64::MAX], vec![7.0]);
+        assert_eq!(cache.get(&[u64::MAX]), Some(vec![7.0]));
+        assert_eq!(cache.get(&[0u64]), None, "old entries were dropped");
+    }
+}

@@ -17,7 +17,11 @@
 //! * the fault-tolerant evaluation layer: [`stats::FailureKind`] /
 //!   [`stats::EvalStats`] (failure taxonomy + telemetry),
 //!   [`robust::RetryPolicy`] (the escalating retry ladder), and
-//!   [`fault::FaultInjectingEvaluator`] (deterministic chaos testing).
+//!   [`fault::FaultInjectingEvaluator`] (deterministic chaos testing), and
+//! * the batched evaluation pipeline: [`batch::EvalRequest`] /
+//!   [`problem::SizingProblem::evaluate_batch`], a deterministic
+//!   scoped-thread worker pool (`ASDEX_THREADS`) with budget-exact
+//!   admission.
 //!
 //! # Example
 //!
@@ -35,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod circuits;
 pub mod corner;
 mod error;
@@ -47,6 +52,7 @@ pub mod spec;
 pub mod stats;
 pub mod value;
 
+pub use batch::EvalRequest;
 pub use corner::{PvtCorner, PvtSet};
 pub use error::EnvError;
 pub use fault::{FaultConfig, FaultInjectingEvaluator, FaultMode};

@@ -98,6 +98,11 @@ pub struct SizingProblem {
     /// Retry ladder applied to retryable failures (on by default; set to
     /// [`RetryPolicy::none`] to disable).
     pub retry: RetryPolicy,
+    /// Worker threads for [`SizingProblem::evaluate_batch`]: 0 (the
+    /// default) resolves from the `ASDEX_THREADS` environment variable,
+    /// falling back to serial execution. Thread count never changes
+    /// results — only wall-clock.
+    pub threads: usize,
 }
 
 impl std::fmt::Debug for SizingProblem {
@@ -144,7 +149,16 @@ impl SizingProblem {
             corners,
             value_fn: ValueFn::default(),
             retry: RetryPolicy::default(),
+            threads: 0,
         })
+    }
+
+    /// Sets the batch-evaluation worker count (builder style); 0 restores
+    /// the `ASDEX_THREADS`/serial default.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Number of design parameters.
@@ -153,7 +167,12 @@ impl SizingProblem {
     }
 
     /// An infeasible worst-case outcome with a typed failure kind.
-    fn failed_eval(&self, x_norm: Vec<f64>, kind: FailureKind, sim_cost: usize) -> Evaluation {
+    pub(crate) fn failed_eval(
+        &self,
+        x_norm: Vec<f64>,
+        kind: FailureKind,
+        sim_cost: usize,
+    ) -> Evaluation {
         Evaluation {
             x_norm,
             measurements: None,
@@ -231,10 +250,15 @@ impl SizingProblem {
         }
     }
 
-    /// Evaluates a normalized point at every corner; `feasible` requires
-    /// all corners to pass. Returns per-corner evaluations.
+    /// Evaluates a normalized point at every corner, as one batch through
+    /// [`SizingProblem::evaluate_batch`] (parallel when the problem has a
+    /// worker pool configured). Returns the raw per-corner evaluations in
+    /// corner order; each entry's `feasible` flag covers *that corner
+    /// only*, so sign-off across corners is
+    /// `evals.iter().all(|e| e.feasible)`.
     pub fn evaluate_all_corners(&self, u: &[f64]) -> Vec<Evaluation> {
-        (0..self.corners.len()).map(|c| self.evaluate_normalized(u, c)).collect()
+        let requests = crate::batch::EvalRequest::fan_out(u, self.corners.len());
+        self.evaluate_batch(&requests, usize::MAX)
     }
 }
 

@@ -2,9 +2,10 @@
 
 use super::engine::Engine;
 use super::op::{solve_op, OpOptions, OpResult};
+use super::workspace::SolverWorkspace;
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
-use asdex_linalg::{Complex, Lu, Matrix};
+use asdex_linalg::{Complex, Lu};
 
 /// Frequency sweep specification.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -161,16 +162,34 @@ pub fn ac_analysis(circuit: &Circuit, sweep: Sweep, opts: &OpOptions) -> Result<
 ///
 /// [`SpiceError::BadSweep`] or singular complex systems.
 pub fn ac_analysis_with_op(engine: &Engine, op: OpResult, sweep: Sweep) -> Result<AcResult, SpiceError> {
-    let freqs = sweep.frequencies()?;
+    let mut ws = SolverWorkspace::new();
+    ac_analysis_with_op_in(engine, op, sweep, &mut ws)
+}
+
+/// [`ac_analysis_with_op`] assembling into the caller's
+/// [`SolverWorkspace`]: the complex system buffers are reused across calls
+/// and the expanded frequency grid is cached per sweep, so a batched
+/// evaluation worker sweeping the same grid repeatedly allocates it once.
+/// Numerically identical to the allocating variant.
+///
+/// # Errors
+///
+/// [`SpiceError::BadSweep`] or singular complex systems.
+pub fn ac_analysis_with_op_in(
+    engine: &Engine,
+    op: OpResult,
+    sweep: Sweep,
+    ws: &mut SolverWorkspace,
+) -> Result<AcResult, SpiceError> {
     let dim = engine.dim();
-    let mut y = Matrix::<Complex>::zeros(dim, dim);
-    let mut z = vec![Complex::ZERO; dim];
+    ws.ensure_ac(dim);
+    let freqs = ws.frequencies(sweep)?.to_vec();
     let mut solutions = Vec::with_capacity(freqs.len());
     for &f in &freqs {
         let omega = 2.0 * std::f64::consts::PI * f;
-        engine.load_ac(op.unknowns(), omega, &mut y, &mut z);
-        let lu = Lu::factor(y.clone())?;
-        solutions.push(lu.solve(&z)?);
+        engine.load_ac(op.unknowns(), omega, &mut ws.y, &mut ws.zc);
+        let lu = Lu::factor(ws.y.clone())?;
+        solutions.push(lu.solve(&ws.zc)?);
     }
     Ok(AcResult { freqs, solutions, n_nodes: engine.n_nodes, op })
 }

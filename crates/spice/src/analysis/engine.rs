@@ -203,6 +203,164 @@ impl Engine {
         self.branch_names.iter().position(|n| n.eq_ignore_ascii_case(name))
     }
 
+    /// Re-targets this compiled engine at `circuit`, cheaply when the
+    /// topology matches.
+    ///
+    /// Sizing loops rebuild the same netlist with different element values
+    /// (and temperature) for every design point; a full
+    /// [`Engine::compile`] re-allocates every name string and re-resolves
+    /// every model on each call. `restamp` instead walks the compiled
+    /// elements in lockstep with the circuit's and updates only the value
+    /// fields — conductances, capacitances, source levels, gains, model
+    /// cards, geometries — leaving the unknown indexing untouched. When
+    /// any structural detail differs (element count, kind, name, node
+    /// wiring, or a controlled source's reference), it falls back to a
+    /// full recompilation, so the result is always exactly what
+    /// `Engine::compile(circuit)` would have produced.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::UnknownModel`] when an element references a model
+    /// card that was never registered. The engine may then hold a mix of
+    /// old and new values; the next successful `restamp` or `compile`
+    /// rewrites every value field, so the state self-heals.
+    pub fn restamp(&mut self, circuit: &Circuit) -> Result<(), SpiceError> {
+        let idx = |n: NodeId| -> NodeIdx {
+            if n.is_ground() {
+                None
+            } else {
+                Some(n.0 - 1)
+            }
+        };
+        if self.elems.len() != circuit.elements().len()
+            || self.n_nodes != circuit.node_count() - 1
+        {
+            *self = Engine::compile(circuit)?;
+            return Ok(());
+        }
+        let mut mismatch = false;
+        let Engine { elems, branch_names, .. } = &mut *self;
+        let branch_names = &*branch_names;
+        for ((name, compiled), e) in elems.iter_mut().zip(circuit.elements()) {
+            if *name != e.name {
+                mismatch = true;
+                break;
+            }
+            let matched = match (compiled, &e.kind) {
+                (Compiled::Resistor { a, b, g }, ElementKind::Resistor { a: ca, b: cb, ohms })
+                    if *a == idx(*ca) && *b == idx(*cb) =>
+                {
+                    *g = 1.0 / ohms;
+                    true
+                }
+                (
+                    Compiled::Capacitor { a, b, c },
+                    ElementKind::Capacitor { a: ca, b: cb, farads },
+                ) if *a == idx(*ca) && *b == idx(*cb) => {
+                    *c = *farads;
+                    true
+                }
+                (
+                    Compiled::Inductor { a, b, l, .. },
+                    ElementKind::Inductor { a: ca, b: cb, henries },
+                ) if *a == idx(*ca) && *b == idx(*cb) => {
+                    *l = *henries;
+                    true
+                }
+                (
+                    Compiled::Vsource { p, n, dc, ac, wave, .. },
+                    ElementKind::Vsource { p: cp, n: cn, dc: cdc, ac: cac, wave: cwave },
+                ) if *p == idx(*cp) && *n == idx(*cn) => {
+                    *dc = *cdc;
+                    *ac = *cac;
+                    wave.clone_from(cwave);
+                    true
+                }
+                (
+                    Compiled::Isource { p, n, dc, ac, wave },
+                    ElementKind::Isource { p: cp, n: cn, dc: cdc, ac: cac, wave: cwave },
+                ) if *p == idx(*cp) && *n == idx(*cn) => {
+                    *dc = *cdc;
+                    *ac = *cac;
+                    wave.clone_from(cwave);
+                    true
+                }
+                (
+                    Compiled::Vcvs { p, n, cp, cn, gain, .. },
+                    ElementKind::Vcvs { p: ep, n: en, cp: ecp, cn: ecn, gain: egain },
+                ) if *p == idx(*ep) && *n == idx(*en) && *cp == idx(*ecp) && *cn == idx(*ecn) => {
+                    *gain = *egain;
+                    true
+                }
+                (
+                    Compiled::Vccs { p, n, cp, cn, gm },
+                    ElementKind::Vccs { p: ep, n: en, cp: ecp, cn: ecn, gm: egm },
+                ) if *p == idx(*ep) && *n == idx(*en) && *cp == idx(*ecp) && *cn == idx(*ecn) => {
+                    *gm = *egm;
+                    true
+                }
+                (
+                    Compiled::Cccs { p, n, ctrl, gain },
+                    ElementKind::Cccs { p: ep, n: en, ctrl: ectrl, gain: egain },
+                ) if *p == idx(*ep)
+                    && *n == idx(*en)
+                    && branch_names.get(*ctrl).is_some_and(|b| b.eq_ignore_ascii_case(ectrl)) =>
+                {
+                    *gain = *egain;
+                    true
+                }
+                (
+                    Compiled::Ccvs { p, n, ctrl, r, .. },
+                    ElementKind::Ccvs { p: ep, n: en, ctrl: ectrl, r: er },
+                ) if *p == idx(*ep)
+                    && *n == idx(*en)
+                    && branch_names.get(*ctrl).is_some_and(|b| b.eq_ignore_ascii_case(ectrl)) =>
+                {
+                    *r = *er;
+                    true
+                }
+                (
+                    Compiled::Diode { p, n, model },
+                    ElementKind::Diode { p: ep, n: en, model: emodel, area },
+                ) if *p == idx(*ep) && *n == idx(*en) => {
+                    let card =
+                        circuit.diode_model(emodel).ok_or_else(|| SpiceError::UnknownModel {
+                            model: emodel.clone(),
+                            element: e.name.clone(),
+                        })?;
+                    *model = card.clone();
+                    model.is *= area;
+                    model.cj0 *= area;
+                    true
+                }
+                (
+                    Compiled::Mosfet { d, g, s, b, model, geom },
+                    ElementKind::Mosfet { d: ed, g: eg, s: es, b: eb, model: emodel, geom: egeom },
+                ) if *d == idx(*ed) && *g == idx(*eg) && *s == idx(*es) && *b == idx(*eb) => {
+                    let card =
+                        circuit.mos_model(emodel).ok_or_else(|| SpiceError::UnknownModel {
+                            model: emodel.clone(),
+                            element: e.name.clone(),
+                        })?;
+                    *model = card.clone();
+                    *geom = *egeom;
+                    true
+                }
+                _ => false,
+            };
+            if !matched {
+                mismatch = true;
+                break;
+            }
+        }
+        if mismatch {
+            *self = Engine::compile(circuit)?;
+            return Ok(());
+        }
+        self.temp_kelvin = circuit.temp_kelvin();
+        Ok(())
+    }
+
     /// Assembles the DC Newton system linearized at `x`.
     ///
     /// `gmin` adds a shunt conductance from every node to ground
@@ -809,6 +967,92 @@ mod tests {
         c.add_cccs("F1", Circuit::GROUND, out, "VMISSING", 1.0).unwrap();
         c.add_resistor("R1", out, Circuit::GROUND, 1e3).unwrap();
         assert!(matches!(Engine::compile(&c), Err(SpiceError::UnknownModel { .. })));
+    }
+
+    fn divider(r2: f64, vdc: f64, temp_celsius: f64) -> Circuit {
+        let mut c = Circuit::new();
+        c.add_diode_model("d1", crate::devices::DiodeModel::default());
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, vdc).unwrap();
+        c.add_resistor("R1", vin, out, 1e3).unwrap();
+        c.add_resistor("R2", out, Circuit::GROUND, r2).unwrap();
+        c.add_diode("D1", out, Circuit::GROUND, "d1", 2.0).unwrap();
+        c.temp_celsius = temp_celsius;
+        c
+    }
+
+    fn dc_solution(eng: &Engine) -> Vec<f64> {
+        let mut a = asdex_linalg::Matrix::zeros(eng.dim(), eng.dim());
+        let mut z = vec![0.0; eng.dim()];
+        eng.load_dc(&vec![0.25; eng.dim()], &mut a, &mut z, 0.0, 1.0);
+        asdex_linalg::solve(a, &z).unwrap()
+    }
+
+    #[test]
+    fn restamp_matches_fresh_compile_bitwise() {
+        let mut eng = Engine::compile(&divider(1e3, 2.0, 27.0)).unwrap();
+        let next = divider(3e3, 1.5, 85.0);
+        eng.restamp(&next).unwrap();
+        let fresh = Engine::compile(&next).unwrap();
+        assert_eq!(eng.temp_kelvin, fresh.temp_kelvin);
+        assert_eq!(dc_solution(&eng), dc_solution(&fresh), "restamp must be exact");
+    }
+
+    #[test]
+    fn restamp_falls_back_on_topology_change() {
+        let mut eng = Engine::compile(&divider(1e3, 2.0, 27.0)).unwrap();
+        // A structurally different circuit: extra node and element.
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        let q = c.node("q");
+        c.add_vsource("V1", a, Circuit::GROUND, 1.0).unwrap();
+        c.add_resistor("R1", a, b, 1e3).unwrap();
+        c.add_resistor("R2", b, q, 1e3).unwrap();
+        c.add_resistor("R3", q, Circuit::GROUND, 1e3).unwrap();
+        eng.restamp(&c).unwrap();
+        let fresh = Engine::compile(&c).unwrap();
+        assert_eq!(eng.dim(), fresh.dim());
+        assert_eq!(dc_solution(&eng), dc_solution(&fresh));
+    }
+
+    #[test]
+    fn restamp_falls_back_on_renamed_element() {
+        let mut eng = Engine::compile(&divider(1e3, 2.0, 27.0)).unwrap();
+        // Same shape, different element name: branch_of lookups depend on
+        // names, so a full recompile is required.
+        let mut c = Circuit::new();
+        c.add_diode_model("d1", crate::devices::DiodeModel::default());
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("VX", vin, Circuit::GROUND, 2.0).unwrap();
+        c.add_resistor("R1", vin, out, 1e3).unwrap();
+        c.add_resistor("R2", out, Circuit::GROUND, 1e3).unwrap();
+        c.add_diode("D1", out, Circuit::GROUND, "d1", 2.0).unwrap();
+        eng.restamp(&c).unwrap();
+        assert_eq!(eng.branch_of("VX"), Some(0));
+        assert_eq!(eng.branch_of("V1"), None);
+    }
+
+    #[test]
+    fn restamp_reports_missing_model() {
+        let mut eng = Engine::compile(&divider(1e3, 2.0, 27.0)).unwrap();
+        // Same shape, but the diode references a model that was never
+        // registered.
+        let mut c = Circuit::new();
+        let vin = c.node("in");
+        let out = c.node("out");
+        c.add_vsource("V1", vin, Circuit::GROUND, 2.0).unwrap();
+        c.add_resistor("R1", vin, out, 1e3).unwrap();
+        c.add_resistor("R2", out, Circuit::GROUND, 1e3).unwrap();
+        c.add_diode("D1", out, Circuit::GROUND, "missing", 2.0).unwrap();
+        assert!(matches!(eng.restamp(&c), Err(SpiceError::UnknownModel { .. })));
+        // A later successful restamp self-heals any partial update.
+        let good = divider(2e3, 1.0, 27.0);
+        eng.restamp(&good).unwrap();
+        let fresh = Engine::compile(&good).unwrap();
+        assert_eq!(dc_solution(&eng), dc_solution(&fresh));
     }
 
     #[test]

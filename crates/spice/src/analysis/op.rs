@@ -2,6 +2,7 @@
 //! source stepping continuation.
 
 use super::engine::Engine;
+use super::workspace::SolverWorkspace;
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
 use asdex_linalg::{Lu, Matrix};
@@ -109,6 +110,23 @@ impl Engine {
     pub fn operating_point(&self, opts: &OpOptions, initial: Option<&[f64]>) -> Result<OpResult, SpiceError> {
         solve_op(self, opts, initial)
     }
+
+    /// Like [`Engine::operating_point`], but assembles the Newton system in
+    /// the caller's [`SolverWorkspace`] instead of allocating fresh
+    /// matrices — the hot path for batched evaluation workers. Numerically
+    /// identical to the allocating variant.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`dc_operating_point`].
+    pub fn operating_point_with(
+        &self,
+        opts: &OpOptions,
+        initial: Option<&[f64]>,
+        ws: &mut SolverWorkspace,
+    ) -> Result<OpResult, SpiceError> {
+        solve_op_ws(self, opts, initial, ws)
+    }
 }
 
 /// Operating point with a warm-start guess (used by the transient initial
@@ -118,12 +136,24 @@ pub(crate) fn solve_op(
     opts: &OpOptions,
     initial: Option<&[f64]>,
 ) -> Result<OpResult, SpiceError> {
+    let mut ws = SolverWorkspace::new();
+    solve_op_ws(engine, opts, initial, &mut ws)
+}
+
+/// [`solve_op`] with caller-owned scratch buffers.
+pub(crate) fn solve_op_ws(
+    engine: &Engine,
+    opts: &OpOptions,
+    initial: Option<&[f64]>,
+    ws: &mut SolverWorkspace,
+) -> Result<OpResult, SpiceError> {
     let dim = engine.dim();
+    ws.ensure_dc(dim);
     let mut total_iters = 0usize;
     let x0: Vec<f64> = initial.map_or_else(|| vec![0.0; dim], <[f64]>::to_vec);
 
     // Stage 1: straight Newton.
-    if let Ok((x, it)) = newton(engine, x0.clone(), 0.0, 1.0, opts) {
+    if let Ok((x, it)) = newton(engine, x0.clone(), 0.0, 1.0, opts, &mut ws.a, &mut ws.z) {
         return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: it });
     }
     total_iters += opts.max_iter;
@@ -133,7 +163,7 @@ pub(crate) fn solve_op(
     let mut ok = true;
     for k in 0..=10i32 {
         let gmin = 10f64.powi(-k - 2); // 1e-2 … 1e-12
-        match newton(engine, x.clone(), gmin, 1.0, opts) {
+        match newton(engine, x.clone(), gmin, 1.0, opts, &mut ws.a, &mut ws.z) {
             Ok((xn, it)) => {
                 x = xn;
                 total_iters += it;
@@ -146,7 +176,7 @@ pub(crate) fn solve_op(
     }
     if ok {
         // Final polish without gmin.
-        if let Ok((x, it)) = newton(engine, x, 0.0, 1.0, opts) {
+        if let Ok((x, it)) = newton(engine, x, 0.0, 1.0, opts, &mut ws.a, &mut ws.z) {
             return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: total_iters + it });
         }
     }
@@ -155,7 +185,7 @@ pub(crate) fn solve_op(
     let mut x = vec![0.0; dim];
     for k in 1..=20 {
         let scale = k as f64 / 20.0;
-        match newton(engine, x.clone(), 1e-12, scale, opts) {
+        match newton(engine, x.clone(), 1e-12, scale, opts, &mut ws.a, &mut ws.z) {
             Ok((xn, it)) => {
                 x = xn;
                 total_iters += it;
@@ -171,7 +201,7 @@ pub(crate) fn solve_op(
             }
         }
     }
-    if let Ok((x, it)) = newton(engine, x, 0.0, 1.0, opts) {
+    if let Ok((x, it)) = newton(engine, x, 0.0, 1.0, opts, &mut ws.a, &mut ws.z) {
         return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: total_iters + it });
     }
     Err(SpiceError::NoConvergence { analysis: "op", iterations: total_iters })
@@ -183,22 +213,24 @@ pub(crate) enum NewtonFailure {
     NoConverge,
 }
 
-/// One Newton solve at fixed (gmin, source scale). Returns the solution and
-/// the iteration count.
+/// One Newton solve at fixed (gmin, source scale), assembling into the
+/// caller's scratch buffers (`a`/`z` must be `dim × dim` / `dim`; every
+/// iteration overwrites them). Returns the solution and the iteration
+/// count.
 pub(crate) fn newton(
     engine: &Engine,
     mut x: Vec<f64>,
     gmin: f64,
     src_scale: f64,
     opts: &OpOptions,
+    a: &mut Matrix<f64>,
+    z: &mut [f64],
 ) -> Result<(Vec<f64>, usize), NewtonFailure> {
     let dim = engine.dim();
-    let mut a = Matrix::zeros(dim, dim);
-    let mut z = vec![0.0; dim];
     for it in 1..=opts.max_iter {
-        engine.load_dc(&x, &mut a, &mut z, gmin, src_scale);
+        engine.load_dc(&x, a, z, gmin, src_scale);
         let lu = Lu::factor(a.clone()).map_err(NewtonFailure::Singular)?;
-        let x_new = lu.solve(&z).map_err(NewtonFailure::Singular)?;
+        let x_new = lu.solve(z).map_err(NewtonFailure::Singular)?;
 
         // Damped update: limit each unknown's change.
         let mut converged = true;

@@ -1,0 +1,128 @@
+//! Reusable solver scratch space for repeated analyses.
+//!
+//! Sizing loops evaluate the same topology thousands of times; allocating
+//! the Newton Jacobian, the complex AC admittance matrix, and the sweep's
+//! frequency grid on every call is pure churn. A [`SolverWorkspace`] owns
+//! those buffers and hands them back dimension-matched, so a worker thread
+//! in a batched evaluation pipeline pays the allocation cost once per
+//! topology instead of once per point.
+
+use super::ac::Sweep;
+use crate::error::SpiceError;
+use asdex_linalg::{Complex, Matrix};
+
+/// Scratch buffers for the DC Newton loop and the AC sweep, reusable
+/// across calls as long as the system dimension stays the same (and
+/// cheaply re-allocated when it does not).
+///
+/// Every buffer is zeroed by the assembly routines before use, so a
+/// workspace carries no numerical state between calls — solving with a
+/// fresh workspace and a reused one is bitwise identical.
+#[derive(Debug)]
+pub struct SolverWorkspace {
+    /// Real Newton Jacobian (DC / transient assembly).
+    pub(crate) a: Matrix<f64>,
+    /// Real right-hand side.
+    pub(crate) z: Vec<f64>,
+    /// Complex AC admittance matrix.
+    pub(crate) y: Matrix<Complex>,
+    /// Complex right-hand side.
+    pub(crate) zc: Vec<Complex>,
+    /// Last expanded frequency grid, keyed by its sweep.
+    freq_cache: Option<(Sweep, Vec<f64>)>,
+}
+
+impl Default for SolverWorkspace {
+    fn default() -> Self {
+        SolverWorkspace {
+            a: Matrix::zeros(0, 0),
+            z: Vec::new(),
+            y: Matrix::zeros(0, 0),
+            zc: Vec::new(),
+            freq_cache: None,
+        }
+    }
+}
+
+impl SolverWorkspace {
+    /// An empty workspace; buffers are grown on first use.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+
+    /// Ensures the real DC buffers match `dim`, reallocating only on a
+    /// dimension change.
+    pub(crate) fn ensure_dc(&mut self, dim: usize) {
+        if self.a.rows() != dim || self.a.cols() != dim {
+            self.a = Matrix::zeros(dim, dim);
+        }
+        if self.z.len() != dim {
+            self.z = vec![0.0; dim];
+        }
+    }
+
+    /// Ensures the complex AC buffers match `dim`, reallocating only on a
+    /// dimension change.
+    pub(crate) fn ensure_ac(&mut self, dim: usize) {
+        if self.y.rows() != dim || self.y.cols() != dim {
+            self.y = Matrix::zeros(dim, dim);
+        }
+        if self.zc.len() != dim {
+            self.zc = vec![Complex::ZERO; dim];
+        }
+    }
+
+    /// The expanded frequency grid of `sweep`, served from the cache when
+    /// the same sweep was expanded before.
+    ///
+    /// # Errors
+    ///
+    /// [`SpiceError::BadSweep`] as from [`Sweep::frequencies`].
+    pub(crate) fn frequencies(&mut self, sweep: Sweep) -> Result<&[f64], SpiceError> {
+        let hit = matches!(&self.freq_cache, Some((s, _)) if *s == sweep);
+        if !hit {
+            self.freq_cache = Some((sweep, sweep.frequencies()?));
+        }
+        Ok(&self.freq_cache.as_ref().expect("cache just filled").1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_grow_and_shrink_to_dim() {
+        let mut ws = SolverWorkspace::new();
+        ws.ensure_dc(4);
+        assert_eq!(ws.a.rows(), 4);
+        assert_eq!(ws.z.len(), 4);
+        ws.ensure_dc(2);
+        assert_eq!(ws.a.rows(), 2);
+        ws.ensure_ac(3);
+        assert_eq!(ws.y.rows(), 3);
+        assert_eq!(ws.zc.len(), 3);
+    }
+
+    #[test]
+    fn frequency_grid_is_cached_per_sweep() {
+        let mut ws = SolverWorkspace::new();
+        let s1 = Sweep::Decade { fstart: 1.0, fstop: 1e3, points_per_decade: 2 };
+        let first = ws.frequencies(s1).unwrap().to_vec();
+        let again = ws.frequencies(s1).unwrap().to_vec();
+        assert_eq!(first, again);
+        let s2 = Sweep::Linear { fstart: 1.0, fstop: 2.0, points: 2 };
+        assert_eq!(ws.frequencies(s2).unwrap().len(), 2);
+        // Switching back recomputes the decade grid identically.
+        assert_eq!(ws.frequencies(s1).unwrap(), &first[..]);
+    }
+
+    #[test]
+    fn bad_sweep_is_reported_not_cached() {
+        let mut ws = SolverWorkspace::new();
+        let bad = Sweep::Decade { fstart: 0.0, fstop: 1.0, points_per_decade: 1 };
+        assert!(ws.frequencies(bad).is_err());
+        let good = Sweep::Linear { fstart: 1.0, fstop: 2.0, points: 3 };
+        assert_eq!(ws.frequencies(good).unwrap().len(), 3);
+    }
+}

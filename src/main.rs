@@ -31,8 +31,13 @@ asdex — analog sizing design-space explorer
 USAGE:
     asdex size  <opamp45|opamp22|ldo|ico> [--agent trm|bo|random]
                 [--budget N] [--seed N] [--corners nominal|signoff5]
-    asdex probe <opamp45|opamp22|ldo|ico> [--samples N]
+                [--threads N]
+    asdex probe <opamp45|opamp22|ldo|ico> [--samples N] [--threads N]
     asdex sim   <deck.cir>
+
+`--threads N` sets the batch-evaluation worker count (default: the
+ASDEX_THREADS environment variable, else serial). The thread count
+changes wall-clock only, never results.
 ";
 
 fn main() -> ExitCode {
@@ -102,7 +107,8 @@ fn cmd_size(args: &[String]) -> Result<(), String> {
     let seed = parse_flag(args, "--seed", 1u64)?;
     let agent = flag_value(args, "--agent")?.unwrap_or("trm");
     let corners = flag_value(args, "--corners")?.unwrap_or("nominal");
-    let problem = build_problem(bench, corners)?;
+    let threads = parse_flag(args, "--threads", 0usize)?;
+    let problem = build_problem(bench, corners)?.with_threads(threads);
 
     println!(
         "{} — {} parameters, |D| ≈ 10^{:.1}, {} corner(s), budget {}",
@@ -160,15 +166,25 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
     use asdex_rng::SeedableRng;
     let bench = args.first().ok_or_else(|| format!("probe needs a benchmark\n\n{USAGE}"))?;
     let samples = parse_flag(args, "--samples", 5_000usize)?;
-    let problem = build_problem(bench, "nominal")?;
+    let threads = parse_flag(args, "--threads", 0usize)?;
+    let problem = build_problem(bench, "nominal")?.with_threads(threads);
     let mut rng = StdRng::seed_from_u64(1);
     let mut feasible = 0usize;
     let mut stats = asdex::env::EvalStats::new();
-    for _ in 0..samples {
-        let u = problem.space.sample(&mut rng);
-        let e = problem.evaluate_normalized(&u, 0);
-        stats.record(&e);
-        feasible += usize::from(e.feasible);
+    // Probe in chunks so a worker pool keeps every thread busy without
+    // building one giant request vector.
+    const CHUNK: usize = 64;
+    let mut remaining_samples = samples;
+    while remaining_samples > 0 {
+        let n = remaining_samples.min(CHUNK);
+        let requests: Vec<asdex::env::EvalRequest> = (0..n)
+            .map(|_| asdex::env::EvalRequest::new(problem.space.sample(&mut rng), 0))
+            .collect();
+        for e in problem.evaluate_batch(&requests, usize::MAX) {
+            stats.record(&e);
+            feasible += usize::from(e.feasible);
+        }
+        remaining_samples -= n;
     }
     println!(
         "{}: {feasible}/{samples} feasible ({:.2e}), {} simulation failures",
