@@ -94,18 +94,43 @@ impl SizingProblem {
             reserved += cap;
         }
         let n = caps.len();
+        // Replay pre-pass, in request order and single-threaded: a journal
+        // can hold several recorded outcomes under one (point, corner,
+        // cap) key (e.g. a live failure followed by a quarantine
+        // short-circuit), and popping them from concurrent workers would
+        // make the pairing schedule-dependent.
+        let mut seeded: Vec<Option<(Evaluation, bool)>> = Vec::with_capacity(n);
+        for (r, &cap) in requests[..n].iter().zip(&caps) {
+            seeded.push(self.take_replayed(&r.u, r.corner_idx, cap).map(|e| (e, true)));
+        }
         let threads = resolve_threads(self.threads).min(n);
         if threads <= 1 {
-            return requests[..n]
-                .iter()
-                .zip(&caps)
-                .map(|(r, &cap)| self.evaluate_with_budget(&r.u, r.corner_idx, cap))
+            return seeded
+                .into_iter()
+                .enumerate()
+                .map(|(i, found)| {
+                    let (e, replayed) = found.unwrap_or_else(|| {
+                        (
+                            self.evaluate_unjournaled(
+                                &requests[i].u,
+                                requests[i].corner_idx,
+                                caps[i],
+                            ),
+                            false,
+                        )
+                    });
+                    self.finalize_evaluation(&requests[i].u, requests[i].corner_idx, caps[i], e, replayed)
+                })
                 .collect();
         }
         // Scoped worker pool: an atomic cursor deals requests to workers;
         // each result lands in its request's slot, so the output order is
-        // independent of scheduling.
-        let slots: Vec<Mutex<Option<Evaluation>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        // independent of scheduling. Workers only run the replay *misses*
+        // (quarantine check + live evaluation); journal recording and
+        // quarantine updates happen afterwards in the ordered finalize
+        // pass, which keeps results bitwise identical to the serial path.
+        let slots: Vec<Mutex<Option<(Evaluation, bool)>>> =
+            seeded.into_iter().map(Mutex::new).collect();
         let cursor = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -114,10 +139,13 @@ impl SizingProblem {
                     if i >= n {
                         break;
                     }
+                    if slots[i].lock().map(|s| s.is_some()).unwrap_or(true) {
+                        continue; // served from the journal
+                    }
                     let e =
-                        self.evaluate_with_budget(&requests[i].u, requests[i].corner_idx, caps[i]);
+                        self.evaluate_unjournaled(&requests[i].u, requests[i].corner_idx, caps[i]);
                     if let Ok(mut slot) = slots[i].lock() {
-                        *slot = Some(e);
+                        *slot = Some((e, false));
                     }
                 });
             }
@@ -125,12 +153,16 @@ impl SizingProblem {
         slots
             .into_iter()
             .enumerate()
-            .map(|(i, slot)| match slot.into_inner() {
-                Ok(Some(e)) => e,
-                // Unreachable in practice (evaluators are no-panic per the
-                // failure taxonomy); typed worst-case keeps the no-panic
-                // and budget invariants even if a lock was poisoned.
-                _ => self.failed_eval(requests[i].u.clone(), FailureKind::Other, caps[i]),
+            .map(|(i, slot)| {
+                let (e, replayed) = match slot.into_inner() {
+                    Ok(Some(pair)) => pair,
+                    // Unreachable in practice (worker panics are caught at
+                    // the isolation boundary); typed worst-case keeps the
+                    // no-panic and budget invariants even if a lock was
+                    // poisoned.
+                    _ => (self.failed_eval(requests[i].u.clone(), FailureKind::Other, caps[i]), false),
+                };
+                self.finalize_evaluation(&requests[i].u, requests[i].corner_idx, caps[i], e, replayed)
             })
             .collect()
     }

@@ -29,6 +29,9 @@ pub enum FaultMode {
     InfMeasurements,
     /// A measurement vector one entry too long.
     WrongDimension,
+    /// A raw `panic!` from inside the evaluator — exercises the worker
+    /// panic-isolation boundary ([`crate::FailureKind::WorkerPanic`]).
+    Panic,
 }
 
 /// Configuration for [`FaultInjectingEvaluator`].
@@ -43,21 +46,24 @@ pub struct FaultConfig {
     /// ladder. When `false` a faulted point stays faulted at every
     /// attempt.
     pub recover_on_retry: bool,
-    /// Relative weights of the four modes, in [`FaultMode`] declaration
-    /// order: no-convergence, NaN, Inf, wrong-dimension.
-    pub mode_weights: [u32; 4],
+    /// Relative weights of the five modes, in [`FaultMode`] declaration
+    /// order: no-convergence, NaN, Inf, wrong-dimension, panic.
+    pub mode_weights: [u32; 5],
 }
 
 impl FaultConfig {
     /// Faults at `rate` with the given `seed` and default mode mix
-    /// (half non-convergence, the rest split between NaN/Inf/wrong-dim).
+    /// (half non-convergence, the rest split between NaN/Inf/wrong-dim;
+    /// panics are opt-in via [`FaultConfig::only`] or explicit weights, so
+    /// a default chaos stream stays panic-free and bit-identical to prior
+    /// releases).
     pub fn new(rate: f64, seed: u64) -> Self {
-        FaultConfig { rate, seed, recover_on_retry: true, mode_weights: [5, 2, 1, 2] }
+        FaultConfig { rate, seed, recover_on_retry: true, mode_weights: [5, 2, 1, 2, 0] }
     }
 
     /// Restricts injection to a single mode.
     pub fn only(mode: FaultMode, rate: f64, seed: u64) -> Self {
-        let mut w = [0u32; 4];
+        let mut w = [0u32; 5];
         w[mode as usize] = 1;
         FaultConfig { rate, seed, recover_on_retry: true, mode_weights: w }
     }
@@ -130,7 +136,8 @@ impl FaultInjectingEvaluator {
                     0 => FaultMode::NoConvergence,
                     1 => FaultMode::NanMeasurements,
                     2 => FaultMode::InfMeasurements,
-                    _ => FaultMode::WrongDimension,
+                    3 => FaultMode::WrongDimension,
+                    _ => FaultMode::Panic,
                 });
             }
             pick -= w;
@@ -164,6 +171,7 @@ impl Evaluator for FaultInjectingEvaluator {
                     FaultMode::NanMeasurements => Ok(vec![f64::NAN; n]),
                     FaultMode::InfMeasurements => Ok(vec![f64::INFINITY; n]),
                     FaultMode::WrongDimension => Ok(vec![0.0; n + 1]),
+                    FaultMode::Panic => panic!("injected worker panic"),
                 }
             }
         }

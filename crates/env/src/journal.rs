@@ -1,0 +1,599 @@
+//! Append-only checkpoint journal for crash-safe search campaigns.
+//!
+//! A search campaign is a deterministic function of `(problem, agent,
+//! seed)` — every evaluator is required to be deterministic in
+//! `(x, corner, effort)` and every agent is seeded. The journal exploits
+//! that: instead of snapshotting agent state (fragile across versions), it
+//! records every *evaluation outcome* the campaign consumed, keyed by
+//! `(point, corner, attempt cap)`. Resuming re-runs the agent from its
+//! seed; journaled evaluations are served back verbatim (no simulator
+//! calls), and the campaign continues live exactly where it died —
+//! producing a [`crate::SearchOutcome`] bitwise identical to an
+//! uninterrupted run.
+//!
+//! # File format (version 1)
+//!
+//! A plain text file, one record per line, dependency-free:
+//!
+//! ```text
+//! asdex-journal v1
+//! M problem=opamp45 seed=7 budget=500 ...
+//! E c=0 cap=3 u=3fe0...,3fe8... x=3fe0...,3fe8... m=4010...,c008... v=0000000000000000 fz=1 k=- s=1
+//! ```
+//!
+//! * Line 1 is the version header.
+//! * Line 2 (`M …`) carries campaign metadata as whitespace-free
+//!   `key=value` pairs — enough for a CLI to rebuild the same problem,
+//!   agent, and seed without any other input.
+//! * Each `E …` line is one evaluation: corner index `c`, admitted attempt
+//!   cap `cap`, the requested normalized point `u`, and the full
+//!   [`Evaluation`] (snapped point `x`, measurements `m` (`-` when the
+//!   simulation failed), value `v`, feasibility `fz`, terminal failure
+//!   kind `k` (`-` on success), and simulator cost `s`). Every `f64` is
+//!   serialized as the 16-hex-digit big-endian form of its IEEE-754 bits,
+//!   so round-trips are exact and replay is bitwise faithful.
+//!
+//! Records are appended with a single `write` each and fsync'd every
+//! `checkpoint_every` records (and on [`Journal::checkpoint`]), so a
+//! `SIGKILL` can tear at most the final line. [`Journal::resume`]
+//! tolerates exactly that: an unterminated final line is truncated away
+//! before appending continues.
+
+use crate::problem::Evaluation;
+use crate::stats::FailureKind;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Version header on the first line of every journal file.
+const VERSION_HEADER: &str = "asdex-journal v1";
+
+/// Campaign metadata stored on the journal's second line: ordered
+/// `key=value` string pairs (keys and values are sanitized to be
+/// whitespace-free). The environment layer treats this as opaque — the
+/// CLI uses it to rebuild the problem, agent, and seed on `--resume`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JournalMeta {
+    pairs: Vec<(String, String)>,
+}
+
+impl JournalMeta {
+    /// An empty metadata record.
+    pub fn new() -> Self {
+        JournalMeta::default()
+    }
+
+    /// Sets `key` to `value` (replacing an existing entry). Whitespace in
+    /// either is replaced with `_` so the on-disk line stays parseable.
+    pub fn set(&mut self, key: &str, value: &str) {
+        let clean = |s: &str| {
+            s.chars().map(|c| if c.is_whitespace() || c == '=' { '_' } else { c }).collect::<String>()
+        };
+        let key = clean(key);
+        let value = clean(value);
+        if let Some(entry) = self.pairs.iter_mut().find(|(k, _)| *k == key) {
+            entry.1 = value;
+        } else {
+            self.pairs.push((key, value));
+        }
+    }
+
+    /// Builder-style [`JournalMeta::set`].
+    #[must_use]
+    pub fn with(mut self, key: &str, value: &str) -> Self {
+        self.set(key, value);
+        self
+    }
+
+    /// The value stored under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// The `M …` line (without trailing newline).
+    fn to_line(&self) -> String {
+        let mut line = String::from("M");
+        for (k, v) in &self.pairs {
+            line.push(' ');
+            line.push_str(k);
+            line.push('=');
+            line.push_str(v);
+        }
+        line
+    }
+
+    /// Parses an `M …` line.
+    fn parse(line: &str) -> Option<JournalMeta> {
+        let mut parts = line.split_whitespace();
+        if parts.next()? != "M" {
+            return None;
+        }
+        let mut meta = JournalMeta::new();
+        for tok in parts {
+            let (k, v) = tok.split_once('=')?;
+            meta.pairs.push((k.to_string(), v.to_string()));
+        }
+        Some(meta)
+    }
+}
+
+/// Why a journal could not be created or resumed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file's version header is missing or from an unknown version.
+    Version {
+        /// What the first line actually contained.
+        found: String,
+    },
+    /// A line in the interior of the file (i.e. not a torn tail) did not
+    /// parse.
+    Format {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Version { found } => {
+                write!(f, "not an asdex journal (expected `{VERSION_HEADER}`, found `{found}`)")
+            }
+            JournalError::Format { line, reason } => {
+                write!(f, "corrupt journal at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// Replay key: the requested point's IEEE-754 bits, the corner index, and
+/// the admitted attempt cap (the cap changes the retry ladder's depth and
+/// therefore the outcome, so it is part of the identity).
+type ReplayKey = (Vec<u64>, usize, usize);
+
+/// An append-only, fsync'd evaluation journal (see the module docs for
+/// the format and the determinism contract).
+///
+/// Attach one to a [`crate::SizingProblem`] via
+/// [`crate::SizingProblem::with_journal`]: every non-replayed evaluation
+/// is recorded, and after [`Journal::resume`] the recorded outcomes are
+/// served back in request order without touching the simulator.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    meta: JournalMeta,
+    replay: HashMap<ReplayKey, VecDeque<Evaluation>>,
+    replayed: usize,
+    recorded: usize,
+    pending: usize,
+    checkpoint_every: usize,
+}
+
+fn fmt_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn parse_hex_f64(s: &str) -> Option<f64> {
+    if s.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn fmt_list(xs: &[f64]) -> String {
+    xs.iter().map(|v| fmt_f64(*v)).collect::<Vec<_>>().join(",")
+}
+
+fn parse_list(s: &str) -> Option<Vec<f64>> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(parse_hex_f64).collect()
+}
+
+fn fmt_eval_line(u: &[f64], corner_idx: usize, cap: usize, e: &Evaluation) -> String {
+    format!(
+        "E c={} cap={} u={} x={} m={} v={} fz={} k={} s={}\n",
+        corner_idx,
+        cap,
+        fmt_list(u),
+        fmt_list(&e.x_norm),
+        e.measurements.as_deref().map_or_else(|| "-".to_string(), fmt_list),
+        fmt_f64(e.value),
+        usize::from(e.feasible),
+        e.failure.map_or("-", FailureKind::label),
+        e.sim_cost,
+    )
+}
+
+fn parse_eval_line(line: &str) -> Option<(ReplayKey, Evaluation)> {
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "E" {
+        return None;
+    }
+    let mut corner = None;
+    let mut cap = None;
+    let mut u = None;
+    let mut x = None;
+    let mut m = None;
+    let mut v = None;
+    let mut fz = None;
+    let mut k = None;
+    let mut s = None;
+    for tok in parts {
+        let (key, val) = tok.split_once('=')?;
+        match key {
+            "c" => corner = Some(val.parse::<usize>().ok()?),
+            "cap" => cap = Some(val.parse::<usize>().ok()?),
+            "u" => u = Some(parse_list(val)?),
+            "x" => x = Some(parse_list(val)?),
+            "m" => {
+                m = Some(if val == "-" { None } else { Some(parse_list(val)?) });
+            }
+            "v" => v = Some(parse_hex_f64(val)?),
+            "fz" => {
+                fz = Some(match val {
+                    "0" => false,
+                    "1" => true,
+                    _ => return None,
+                })
+            }
+            "k" => {
+                k = Some(if val == "-" { None } else { Some(FailureKind::from_label(val)?) });
+            }
+            "s" => s = Some(val.parse::<usize>().ok()?),
+            _ => return None,
+        }
+    }
+    let key = (u?.iter().map(|f| f.to_bits()).collect(), corner?, cap?);
+    let eval = Evaluation {
+        x_norm: x?,
+        measurements: m?,
+        value: v?,
+        feasible: fz?,
+        failure: k?,
+        sim_cost: s?,
+    };
+    Some((key, eval))
+}
+
+impl Journal {
+    /// Creates a fresh journal at `path` (truncating any existing file),
+    /// writing the version header and `meta` immediately and fsync'ing
+    /// them. Subsequent records are fsync'd every `checkpoint_every`
+    /// appends (minimum 1).
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Io`] when the file cannot be created or written.
+    pub fn create(
+        path: &Path,
+        meta: JournalMeta,
+        checkpoint_every: usize,
+    ) -> Result<Journal, JournalError> {
+        let mut file =
+            OpenOptions::new().write(true).create(true).truncate(true).open(path)?;
+        file.write_all(format!("{VERSION_HEADER}\n{}\n", meta.to_line()).as_bytes())?;
+        file.sync_data()?;
+        Ok(Journal {
+            path: path.to_path_buf(),
+            file,
+            meta,
+            replay: HashMap::new(),
+            replayed: 0,
+            recorded: 0,
+            pending: 0,
+            checkpoint_every: checkpoint_every.max(1),
+        })
+    }
+
+    /// Opens an existing journal for resumption: parses every record into
+    /// the replay map, truncates a torn final line (the signature of a
+    /// `SIGKILL` mid-append) and reopens the file for appending.
+    ///
+    /// # Errors
+    ///
+    /// * [`JournalError::Io`] when the file cannot be read or reopened.
+    /// * [`JournalError::Version`] when the header is missing or unknown.
+    /// * [`JournalError::Format`] when an interior line is corrupt (torn
+    ///   tails are repaired, interior corruption is not).
+    pub fn resume(path: &Path, checkpoint_every: usize) -> Result<Journal, JournalError> {
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        let mut replay: HashMap<ReplayKey, VecDeque<Evaluation>> = HashMap::new();
+        let mut meta: Option<JournalMeta> = None;
+        let mut valid_end = 0usize;
+        let mut offset = 0usize;
+        let mut line_no = 0usize;
+        let mut entries = 0usize;
+        for raw in text.split_inclusive('\n') {
+            offset += raw.len();
+            line_no += 1;
+            let complete = raw.ends_with('\n');
+            let body = raw.trim_end_matches(['\n', '\r']);
+            let last = offset == text.len();
+            let ok = match line_no {
+                1 => {
+                    if body != VERSION_HEADER {
+                        return Err(JournalError::Version { found: body.to_string() });
+                    }
+                    true
+                }
+                2 => match JournalMeta::parse(body) {
+                    Some(m) => {
+                        meta = Some(m);
+                        true
+                    }
+                    None => false,
+                },
+                _ => match parse_eval_line(body) {
+                    Some((key, eval)) => {
+                        replay.entry(key).or_default().push_back(eval);
+                        entries += 1;
+                        true
+                    }
+                    None => false,
+                },
+            };
+            if ok && complete {
+                valid_end = offset;
+            } else if !complete && last {
+                // Torn tail from a crash mid-append: drop it.
+                break;
+            } else {
+                return Err(JournalError::Format {
+                    line: line_no,
+                    reason: format!("unparseable record `{body}`"),
+                });
+            }
+        }
+        let meta = meta.ok_or(JournalError::Format {
+            line: 2,
+            reason: "missing campaign metadata".to_string(),
+        })?;
+        let file = OpenOptions::new().write(true).append(false).open(path)?;
+        file.set_len(valid_end as u64)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        let mut journal = Journal {
+            path: path.to_path_buf(),
+            file,
+            meta,
+            replay,
+            replayed: 0,
+            recorded: 0,
+            pending: 0,
+            checkpoint_every: checkpoint_every.max(1),
+        };
+        journal.recorded = entries;
+        Ok(journal)
+    }
+
+    /// Pops the recorded outcome for `(u, corner_idx, cap)`, if this
+    /// journal holds one that has not been served yet. Duplicate requests
+    /// are served in recording order, exactly as the original run produced
+    /// them.
+    pub fn take_replay(&mut self, u: &[f64], corner_idx: usize, cap: usize) -> Option<Evaluation> {
+        let key: ReplayKey = (u.iter().map(|v| v.to_bits()).collect(), corner_idx, cap);
+        let queue = self.replay.get_mut(&key)?;
+        let eval = queue.pop_front()?;
+        if queue.is_empty() {
+            self.replay.remove(&key);
+        }
+        self.replayed += 1;
+        Some(eval)
+    }
+
+    /// Appends one evaluation record, fsync'ing when `checkpoint_every`
+    /// records have accumulated since the last sync.
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the append or the periodic fsync fails.
+    pub fn record(
+        &mut self,
+        u: &[f64],
+        corner_idx: usize,
+        cap: usize,
+        eval: &Evaluation,
+    ) -> std::io::Result<()> {
+        self.file.write_all(fmt_eval_line(u, corner_idx, cap, eval).as_bytes())?;
+        self.recorded += 1;
+        self.pending += 1;
+        if self.pending >= self.checkpoint_every {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Forces an fsync now (graceful-shutdown path: called on `SIGINT` and
+    /// at the end of a campaign so the tail of the journal is durable).
+    ///
+    /// # Errors
+    ///
+    /// [`std::io::Error`] when the sync fails.
+    pub fn checkpoint(&mut self) -> std::io::Result<()> {
+        self.file.sync_data()?;
+        self.pending = 0;
+        Ok(())
+    }
+
+    /// Where the journal lives on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The campaign metadata from the header.
+    pub fn meta(&self) -> &JournalMeta {
+        &self.meta
+    }
+
+    /// Evaluations served from the replay map so far.
+    pub fn replayed(&self) -> usize {
+        self.replayed
+    }
+
+    /// Evaluation records in the file (parsed on resume + appended since).
+    pub fn recorded(&self) -> usize {
+        self.recorded
+    }
+
+    /// Recorded evaluations not yet served back — nonzero after a resumed
+    /// campaign diverges (e.g. a different seed), which a CLI should warn
+    /// about.
+    pub fn unconsumed(&self) -> usize {
+        self.replay.values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("asdex-journal-test-{}-{name}.log", std::process::id()));
+        p
+    }
+
+    fn sample_eval(ok: bool) -> Evaluation {
+        if ok {
+            Evaluation {
+                x_norm: vec![0.5, 0.25],
+                measurements: Some(vec![1.5, -2.25]),
+                value: -0.125,
+                feasible: true,
+                failure: None,
+                sim_cost: 1,
+            }
+        } else {
+            Evaluation {
+                x_norm: vec![0.5, 0.25],
+                measurements: None,
+                value: -100.0,
+                feasible: false,
+                failure: Some(FailureKind::WorkerPanic),
+                sim_cost: 3,
+            }
+        }
+    }
+
+    #[test]
+    fn eval_lines_round_trip_bitwise() {
+        for eval in [sample_eval(true), sample_eval(false)] {
+            let u = [0.5000000000000001, 0.25];
+            let line = fmt_eval_line(&u, 2, 3, &eval);
+            let (key, parsed) = parse_eval_line(line.trim_end()).expect("round trip");
+            assert_eq!(key.0, u.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+            assert_eq!(key.1, 2);
+            assert_eq!(key.2, 3);
+            assert_eq!(parsed, eval);
+        }
+        // NaN measurements never reach a journal (they are typed failures
+        // first), but the encoding still round-trips special values.
+        assert_eq!(parse_hex_f64(&fmt_f64(f64::INFINITY)), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn create_resume_replays_in_order() {
+        let path = tmp_path("order");
+        let meta = JournalMeta::new().with("problem", "toy").with("seed", "7");
+        let mut j = Journal::create(&path, meta, 2).unwrap();
+        let a = sample_eval(true);
+        let b = sample_eval(false);
+        // Two records under the SAME key: replay must preserve order.
+        j.record(&[0.5, 0.25], 0, 3, &a).unwrap();
+        j.record(&[0.5, 0.25], 0, 3, &b).unwrap();
+        j.checkpoint().unwrap();
+        drop(j);
+
+        let mut j = Journal::resume(&path, 2).unwrap();
+        assert_eq!(j.meta().get("problem"), Some("toy"));
+        assert_eq!(j.meta().get("seed"), Some("7"));
+        assert_eq!(j.recorded(), 2);
+        assert_eq!(j.unconsumed(), 2);
+        assert_eq!(j.take_replay(&[0.5, 0.25], 0, 3), Some(a));
+        assert_eq!(j.take_replay(&[0.5, 0.25], 0, 3), Some(b));
+        assert_eq!(j.take_replay(&[0.5, 0.25], 0, 3), None);
+        assert_eq!(j.replayed(), 2);
+        // A different cap is a different identity.
+        assert_eq!(j.take_replay(&[0.5, 0.25], 0, 1), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_not_fatal() {
+        let path = tmp_path("torn");
+        let meta = JournalMeta::new().with("problem", "toy");
+        let mut j = Journal::create(&path, meta, 1).unwrap();
+        j.record(&[0.5, 0.25], 0, 3, &sample_eval(true)).unwrap();
+        j.record(&[0.5, 0.25], 1, 3, &sample_eval(true)).unwrap();
+        drop(j);
+        // Tear the final line as a SIGKILL mid-write would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let torn = &text[..text.len() - 7];
+        assert!(!torn.ends_with('\n'));
+        std::fs::write(&path, torn).unwrap();
+
+        let mut j = Journal::resume(&path, 1).unwrap();
+        assert_eq!(j.recorded(), 1, "torn record dropped");
+        assert!(j.take_replay(&[0.5, 0.25], 0, 3).is_some());
+        assert!(j.take_replay(&[0.5, 0.25], 1, 3).is_none());
+        // The file is valid again: appending + resuming works.
+        j.record(&[0.75, 0.25], 1, 3, &sample_eval(false)).unwrap();
+        j.checkpoint().unwrap();
+        drop(j);
+        let j = Journal::resume(&path, 1).unwrap();
+        assert_eq!(j.recorded(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn interior_corruption_is_a_typed_error() {
+        let path = tmp_path("interior");
+        let meta = JournalMeta::new();
+        let mut j = Journal::create(&path, meta, 1).unwrap();
+        j.record(&[0.5, 0.25], 0, 3, &sample_eval(true)).unwrap();
+        drop(j);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.insert_str(text.find("E ").unwrap(), "garbage line\n");
+        std::fs::write(&path, &text).unwrap();
+        assert!(matches!(
+            Journal::resume(&path, 1),
+            Err(JournalError::Format { line: 3, .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let path = tmp_path("version");
+        std::fs::write(&path, "asdex-journal v99\nM\n").unwrap();
+        assert!(matches!(Journal::resume(&path, 1), Err(JournalError::Version { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn meta_sanitizes_whitespace() {
+        let meta = JournalMeta::new().with("agent name", "trm ppo=x");
+        assert_eq!(meta.get("agent_name"), Some("trm_ppo_x"));
+        let line = meta.to_line();
+        let parsed = JournalMeta::parse(&line).unwrap();
+        assert_eq!(parsed, meta);
+    }
+}

@@ -21,7 +21,12 @@
 //! * the batched evaluation pipeline: [`batch::EvalRequest`] /
 //!   [`problem::SizingProblem::evaluate_batch`], a deterministic
 //!   scoped-thread worker pool (`ASDEX_THREADS`) with budget-exact
-//!   admission.
+//!   admission, and
+//! * the crash-safety layer: [`journal::Journal`] (append-only
+//!   checkpoint/resume journal with bitwise-faithful replay), worker
+//!   panic isolation with quarantine
+//!   ([`stats::FailureKind::WorkerPanic`]), and the solve watchdog
+//!   surfaced as [`stats::FailureKind::Timeout`].
 //!
 //! # Example
 //!
@@ -44,6 +49,7 @@ pub mod circuits;
 pub mod corner;
 mod error;
 pub mod fault;
+pub mod journal;
 pub mod problem;
 pub mod robust;
 pub mod search;
@@ -56,6 +62,7 @@ pub use batch::EvalRequest;
 pub use corner::{PvtCorner, PvtSet};
 pub use error::EnvError;
 pub use fault::{FaultConfig, FaultInjectingEvaluator, FaultMode};
+pub use journal::{Journal, JournalError, JournalMeta};
 pub use problem::{Evaluation, Evaluator, SizingProblem};
 pub use robust::{EvalEffort, RetryPolicy, RobustEvaluator};
 pub use search::{SearchBudget, SearchOutcome, Searcher};

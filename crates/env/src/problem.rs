@@ -7,12 +7,22 @@
 
 use crate::corner::{PvtCorner, PvtSet};
 use crate::error::EnvError;
+use crate::journal::Journal;
 use crate::robust::{EvalEffort, RetryPolicy};
 use crate::space::DesignSpace;
 use crate::spec::SpecSet;
 use crate::stats::FailureKind;
 use crate::value::ValueFn;
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+/// Identity of one (point, corner) job for quarantine bookkeeping: the
+/// requested coordinates' IEEE-754 bits plus the corner index.
+pub(crate) type JobKey = (Vec<u64>, usize);
+
+pub(crate) fn job_key(u: &[f64], corner_idx: usize) -> JobKey {
+    (u.iter().map(|v| v.to_bits()).collect(), corner_idx)
+}
 
 /// Maps a physical parameter vector to a measurement vector at a PVT
 /// corner — the paper's opaque `S_pice(X)` relation.
@@ -103,6 +113,16 @@ pub struct SizingProblem {
     /// falling back to serial execution. Thread count never changes
     /// results — only wall-clock.
     pub threads: usize,
+    /// Optional checkpoint journal, shared across clones of the problem.
+    /// Replay lookups and recording happen in request order (never
+    /// concurrently inside a worker), so thread count stays invisible.
+    pub(crate) journal: Option<Arc<Mutex<Journal>>>,
+    /// (point, corner) jobs whose retry ladder was exhausted by worker
+    /// panics. Quarantined jobs short-circuit to a typed
+    /// [`FailureKind::WorkerPanic`] failure at unit cost instead of
+    /// panicking the evaluator again. Shared across clones; mutated only
+    /// in the ordered finalize pass so results stay thread-invariant.
+    pub(crate) quarantine: Arc<Mutex<HashSet<JobKey>>>,
 }
 
 impl std::fmt::Debug for SizingProblem {
@@ -150,6 +170,8 @@ impl SizingProblem {
             value_fn: ValueFn::default(),
             retry: RetryPolicy::default(),
             threads: 0,
+            journal: None,
+            quarantine: Arc::new(Mutex::new(HashSet::new())),
         })
     }
 
@@ -159,6 +181,23 @@ impl SizingProblem {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Attaches a checkpoint journal (builder style): every non-replayed
+    /// evaluation is recorded, and any outcomes already in the journal
+    /// (after [`Journal::resume`]) are served back in request order
+    /// without invoking the evaluator.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = Some(Arc::new(Mutex::new(journal)));
+        self
+    }
+
+    /// A handle to the attached journal, if any — lets a supervisor force
+    /// a [`Journal::checkpoint`] on graceful shutdown or read replay
+    /// telemetry after a campaign.
+    pub fn journal_handle(&self) -> Option<Arc<Mutex<Journal>>> {
+        self.journal.clone()
     }
 
     /// Number of design parameters.
@@ -199,12 +238,72 @@ impl SizingProblem {
     /// simulator attempts available. The retry ladder never issues more
     /// attempts than `remaining`, so charging the returned
     /// [`Evaluation::sim_cost`] against a budget can never overshoot it.
+    ///
+    /// When a journal is attached (see [`SizingProblem::with_journal`]) a
+    /// recorded outcome for `(u, corner_idx, cap)` is served back without
+    /// touching the evaluator, and fresh outcomes are recorded.
     pub fn evaluate_with_budget(
         &self,
         u: &[f64],
         corner_idx: usize,
         remaining: usize,
     ) -> Evaluation {
+        let cap = self.retry.max_attempts().min(remaining.max(1));
+        let (eval, replayed) = match self.take_replayed(u, corner_idx, cap) {
+            Some(e) => (e, true),
+            None => (self.evaluate_unjournaled(u, corner_idx, cap), false),
+        };
+        self.finalize_evaluation(u, corner_idx, cap, eval, replayed)
+    }
+
+    /// Pops the journaled outcome for this job, if a journal is attached
+    /// and holds one. Callers must invoke this in request order (the batch
+    /// pipeline does it in a serial pre-pass) so duplicate requests are
+    /// served in their original sequence.
+    pub(crate) fn take_replayed(
+        &self,
+        u: &[f64],
+        corner_idx: usize,
+        cap: usize,
+    ) -> Option<Evaluation> {
+        let journal = self.journal.as_ref()?;
+        let mut journal = journal.lock().ok()?;
+        journal.take_replay(u, corner_idx, cap)
+    }
+
+    /// The quarantine short-circuit outcome: a typed
+    /// [`FailureKind::WorkerPanic`] failure at unit cost.
+    fn quarantine_eval(&self, u: &[f64]) -> Evaluation {
+        let x_norm = self.space.snap(u).unwrap_or_else(|_| u.to_vec());
+        self.failed_eval(x_norm, FailureKind::WorkerPanic, 1)
+    }
+
+    /// Whether this job is quarantined after repeated worker panics.
+    fn is_quarantined(&self, u: &[f64], corner_idx: usize) -> bool {
+        self.quarantine
+            .lock()
+            .map(|q| q.contains(&job_key(u, corner_idx)))
+            .unwrap_or(false)
+    }
+
+    /// The live evaluation path: quarantine snapshot check, then the retry
+    /// ladder with panic isolation, **without** journal replay/recording
+    /// or quarantine updates (the batch pipeline runs those in an ordered
+    /// finalize pass; see [`SizingProblem::finalize_evaluation`]).
+    ///
+    /// Each evaluator call runs under `catch_unwind`: a panicking
+    /// evaluator is converted into a typed [`FailureKind::WorkerPanic`]
+    /// failure that flows through the normal retry machinery instead of
+    /// unwinding across (and poisoning) the worker pool.
+    pub(crate) fn evaluate_unjournaled(
+        &self,
+        u: &[f64],
+        corner_idx: usize,
+        max_attempts: usize,
+    ) -> Evaluation {
+        if self.is_quarantined(u, corner_idx) {
+            return self.quarantine_eval(u);
+        }
         let Some(corner) = self.corners.corners().get(corner_idx).copied() else {
             return self.failed_eval(u.to_vec(), FailureKind::InvalidInput, 1);
         };
@@ -219,16 +318,16 @@ impl SizingProblem {
             Err(_) => return self.failed_eval(x_norm, FailureKind::InvalidInput, 1),
         };
         let n_meas = self.evaluator.measurement_names().len();
-        let max_attempts = self.retry.max_attempts().min(remaining.max(1));
         let mut attempt = 0;
         loop {
-            let kind = match self
-                .evaluator
-                .evaluate_with_effort(&x_phys, &corner, EvalEffort::attempt(attempt))
-            {
-                Ok(meas) if meas.len() != n_meas => FailureKind::InvalidInput,
-                Ok(meas) if meas.iter().any(|v| !v.is_finite()) => FailureKind::NonFinite,
-                Ok(meas) => {
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                self.evaluator.evaluate_with_effort(&x_phys, &corner, EvalEffort::attempt(attempt))
+            }));
+            let kind = match outcome {
+                Err(_) => FailureKind::WorkerPanic,
+                Ok(Ok(meas)) if meas.len() != n_meas => FailureKind::InvalidInput,
+                Ok(Ok(meas)) if meas.iter().any(|v| !v.is_finite()) => FailureKind::NonFinite,
+                Ok(Ok(meas)) => {
                     let value = self.value_fn.value(&meas, &self.specs);
                     let feasible = self.specs.all_satisfied(&meas);
                     return Evaluation {
@@ -240,7 +339,7 @@ impl SizingProblem {
                         sim_cost: attempt + 1,
                     };
                 }
-                Err(e) => FailureKind::classify(&e),
+                Ok(Err(e)) => FailureKind::classify(&e),
             };
             if kind.is_retryable() && attempt + 1 < max_attempts {
                 attempt += 1;
@@ -248,6 +347,45 @@ impl SizingProblem {
                 return self.failed_eval(x_norm, kind, attempt + 1);
             }
         }
+    }
+
+    /// The ordered finalize pass for one evaluation, applied in request
+    /// order (the serial path does it inline; the threaded batch path
+    /// after its workers join). Three steps, in this order:
+    ///
+    /// 1. A fresh (non-replayed) result whose job was quarantined by an
+    ///    *earlier* request in the same batch is replaced with the
+    ///    quarantine short-circuit — exactly what the serial interleaving
+    ///    would have produced.
+    /// 2. A terminal [`FailureKind::WorkerPanic`] quarantines the job.
+    /// 3. A fresh result is recorded to the journal (replays are already
+    ///    on disk).
+    pub(crate) fn finalize_evaluation(
+        &self,
+        u: &[f64],
+        corner_idx: usize,
+        cap: usize,
+        mut eval: Evaluation,
+        replayed: bool,
+    ) -> Evaluation {
+        if !replayed && self.is_quarantined(u, corner_idx) {
+            eval = self.quarantine_eval(u);
+        }
+        if eval.failure == Some(FailureKind::WorkerPanic) {
+            if let Ok(mut quarantine) = self.quarantine.lock() {
+                quarantine.insert(job_key(u, corner_idx));
+            }
+        }
+        if !replayed {
+            if let Some(journal) = &self.journal {
+                if let Ok(mut journal) = journal.lock() {
+                    // A failed append never fails the evaluation — the
+                    // journal degrades to a shorter resume point.
+                    let _ = journal.record(u, corner_idx, cap, &eval);
+                }
+            }
+        }
+        eval
     }
 
     /// Evaluates a normalized point at every corner, as one batch through
@@ -470,6 +608,123 @@ pub(crate) mod tests {
         let e = p.evaluate_normalized(&[0.8, 0.8], 0);
         assert_eq!(e.sim_cost, 1);
         assert_eq!(e.failure, Some(crate::stats::FailureKind::NoConvergence));
+    }
+
+    /// Panics below a per-point attempt threshold, then succeeds; counts
+    /// raw evaluator invocations.
+    pub struct PanickyUntil {
+        names: Vec<String>,
+        succeed_at: usize,
+        pub calls: std::sync::atomic::AtomicUsize,
+    }
+
+    impl PanickyUntil {
+        pub fn new(succeed_at: usize) -> Self {
+            PanickyUntil {
+                names: vec!["sum".into(), "prod".into()],
+                succeed_at,
+                calls: std::sync::atomic::AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Evaluator for PanickyUntil {
+        fn measurement_names(&self) -> &[String] {
+            &self.names
+        }
+        fn evaluate(&self, x: &[f64], c: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+            self.evaluate_with_effort(x, c, EvalEffort::default())
+        }
+        fn evaluate_with_effort(
+            &self,
+            x: &[f64],
+            _c: &PvtCorner,
+            effort: EvalEffort,
+        ) -> Result<Vec<f64>, EnvError> {
+            self.calls.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            assert!(effort.attempt >= self.succeed_at, "injected worker panic");
+            Ok(vec![x[0] + x[1], x[0] * x[1]])
+        }
+    }
+
+    #[test]
+    fn panicking_evaluator_is_caught_and_typed() {
+        let mut p = toy_problem();
+        p.evaluator = Arc::new(PanickyUntil::new(usize::MAX));
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert!(!e.feasible);
+        assert_eq!(e.failure, Some(FailureKind::WorkerPanic));
+        assert_eq!(e.sim_cost, 3, "the full ladder ran before giving up");
+    }
+
+    #[test]
+    fn panic_recovers_within_the_ladder() {
+        let mut p = toy_problem();
+        p.evaluator = Arc::new(PanickyUntil::new(1));
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert!(e.feasible, "second attempt succeeds");
+        assert_eq!(e.sim_cost, 2);
+        assert!(e.recovered());
+        // A recovered panic never quarantines the job.
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert_eq!(e.sim_cost, 2);
+    }
+
+    #[test]
+    fn repeated_panics_quarantine_the_job() {
+        let mut p = toy_problem();
+        let evaluator = Arc::new(PanickyUntil::new(usize::MAX));
+        p.evaluator = evaluator.clone();
+        let first = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert_eq!(first.failure, Some(FailureKind::WorkerPanic));
+        assert_eq!(first.sim_cost, 3);
+        let calls_after_first = evaluator.calls.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(calls_after_first, 3);
+        // Second request for the same job short-circuits at unit cost
+        // without touching the evaluator again.
+        let second = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert_eq!(second.failure, Some(FailureKind::WorkerPanic));
+        assert_eq!(second.sim_cost, 1);
+        assert_eq!(evaluator.calls.load(std::sync::atomic::Ordering::Relaxed), calls_after_first);
+        // A different corner (or point) is a different job.
+        let other_point = p.evaluate_normalized(&[0.2, 0.8], 0);
+        assert!(evaluator.calls.load(std::sync::atomic::Ordering::Relaxed) > calls_after_first);
+        assert_eq!(other_point.failure, Some(FailureKind::WorkerPanic));
+    }
+
+    #[test]
+    fn journal_replays_without_touching_the_evaluator() {
+        use crate::journal::{Journal, JournalMeta};
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("asdex-problem-journal-{}.log", std::process::id()));
+
+        let journal = Journal::create(&path, JournalMeta::new().with("problem", "toy"), 1).unwrap();
+        let p = toy_problem().with_journal(journal);
+        let points = [[0.8, 0.8], [0.1, 0.1], [0.8, 0.8], [0.555, 0.0]];
+        let original: Vec<Evaluation> =
+            points.iter().map(|u| p.evaluate_normalized(u, 0)).collect();
+        if let Some(j) = p.journal_handle() {
+            j.lock().unwrap().checkpoint().unwrap();
+        }
+        drop(p);
+
+        // Resume with an evaluator that would fail every request: replay
+        // must serve all four outcomes and never call it.
+        let journal = Journal::resume(&path, 1).unwrap();
+        let mut p2 = toy_problem();
+        let evaluator = Arc::new(PanickyUntil::new(usize::MAX));
+        p2.evaluator = evaluator.clone();
+        let p2 = p2.with_journal(journal);
+        let resumed: Vec<Evaluation> =
+            points.iter().map(|u| p2.evaluate_normalized(u, 0)).collect();
+        assert_eq!(resumed, original, "replayed outcomes are bitwise identical");
+        assert_eq!(evaluator.calls.load(std::sync::atomic::Ordering::Relaxed), 0);
+        let handle = p2.journal_handle().unwrap();
+        let j = handle.lock().unwrap();
+        assert_eq!(j.replayed(), 4);
+        assert_eq!(j.unconsumed(), 0);
+        drop(j);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

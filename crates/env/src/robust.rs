@@ -35,10 +35,13 @@ impl EvalEffort {
 
     /// Escalates Newton–Raphson options in place: each rung doubles the
     /// iteration allowance and halves the per-iteration step clamp
-    /// (tighter damping trades speed for robustness).
+    /// (tighter damping trades speed for robustness). The solve watchdog
+    /// budget scales along, so an escalated attempt that legitimately
+    /// needs more iterations is not cut off by a stock deadline.
     pub fn apply(&self, opts: &mut OpOptions) {
         opts.max_iter *= 1 + self.attempt;
         opts.max_step /= (1 + self.attempt) as f64;
+        opts.budget = opts.budget.escalated(self.attempt);
     }
 
     /// A deterministic perturbed initial guess for an MNA system of
@@ -220,6 +223,11 @@ mod tests {
         EvalEffort::attempt(2).apply(&mut opts);
         assert_eq!(opts.max_iter, 3 * base.max_iter);
         assert!((opts.max_step - base.max_step / 3.0).abs() < 1e-12);
+        assert_eq!(
+            opts.budget.max_newton_iters_total,
+            3 * base.budget.max_newton_iters_total,
+            "watchdog budget escalates with the ladder"
+        );
     }
 
     #[test]

@@ -24,6 +24,10 @@ pub enum FailureKind {
     /// once with a perturbed initial guess, since near-singular systems can
     /// be an artifact of the starting point.
     Singular,
+    /// The solve watchdog (`asdex_spice::SolveBudget`) expired before the
+    /// analysis converged. Retried — the ladder escalates the budget
+    /// together with the solver effort, so a later rung gets more headroom.
+    Timeout,
     /// A solution or measurement contained NaN/Inf. Not retried — the same
     /// inputs deterministically produce the same non-finite result.
     NonFinite,
@@ -32,6 +36,10 @@ pub enum FailureKind {
     InvalidInput,
     /// A fault injected by a chaos-testing wrapper.
     Injected,
+    /// The evaluator panicked inside a worker. The panic is caught at the
+    /// isolation boundary (it never poisons the thread pool) and converted
+    /// into this kind; retried, and quarantined after repeated panics.
+    WorkerPanic,
     /// Any other evaluator-specific failure.
     Other,
 }
@@ -53,6 +61,7 @@ impl FailureKind {
         match err {
             SpiceError::NoConvergence { .. } => FailureKind::NoConvergence,
             SpiceError::Singular(_) => FailureKind::Singular,
+            SpiceError::Timeout { .. } => FailureKind::Timeout,
             SpiceError::NonFinite { .. } => FailureKind::NonFinite,
             SpiceError::UnknownModel { .. }
             | SpiceError::InvalidParameter { .. }
@@ -67,29 +76,44 @@ impl FailureKind {
     pub fn is_retryable(self) -> bool {
         matches!(
             self,
-            FailureKind::NoConvergence | FailureKind::Singular | FailureKind::Injected
+            FailureKind::NoConvergence
+                | FailureKind::Singular
+                | FailureKind::Timeout
+                | FailureKind::Injected
+                | FailureKind::WorkerPanic
         )
     }
 
-    /// Stable lowercase label for reports.
+    /// Stable lowercase label for reports and the checkpoint journal.
     pub fn label(self) -> &'static str {
         match self {
             FailureKind::NoConvergence => "no-convergence",
             FailureKind::Singular => "singular",
+            FailureKind::Timeout => "timeout",
             FailureKind::NonFinite => "non-finite",
             FailureKind::InvalidInput => "invalid-input",
             FailureKind::Injected => "injected",
+            FailureKind::WorkerPanic => "worker-panic",
             FailureKind::Other => "other",
         }
     }
 
+    /// Inverse of [`FailureKind::label`], used when replaying a checkpoint
+    /// journal. `None` for an unknown label (e.g. a journal written by a
+    /// newer taxonomy).
+    pub fn from_label(label: &str) -> Option<FailureKind> {
+        FailureKind::ALL.iter().copied().find(|k| k.label() == label)
+    }
+
     /// All kinds, in display order.
-    pub const ALL: [FailureKind; 6] = [
+    pub const ALL: [FailureKind; 8] = [
         FailureKind::NoConvergence,
         FailureKind::Singular,
+        FailureKind::Timeout,
         FailureKind::NonFinite,
         FailureKind::InvalidInput,
         FailureKind::Injected,
+        FailureKind::WorkerPanic,
         FailureKind::Other,
     ];
 }
@@ -109,7 +133,7 @@ pub struct EvalStats {
     pub sims: usize,
     /// Design points whose final (post-retry) outcome was a failure,
     /// bucketed by kind (indexed as [`FailureKind::ALL`]).
-    failures: [usize; 6],
+    failures: [usize; 8],
     /// Extra attempts issued by the retry ladder beyond the first try.
     pub retries: usize,
     /// Points that failed at least once but succeeded within the ladder.
@@ -212,9 +236,25 @@ mod tests {
     fn retryability() {
         assert!(FailureKind::NoConvergence.is_retryable());
         assert!(FailureKind::Singular.is_retryable());
+        assert!(FailureKind::Timeout.is_retryable());
         assert!(FailureKind::Injected.is_retryable());
+        assert!(FailureKind::WorkerPanic.is_retryable());
         assert!(!FailureKind::NonFinite.is_retryable());
         assert!(!FailureKind::InvalidInput.is_retryable());
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        for kind in FailureKind::ALL {
+            assert_eq!(FailureKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(FailureKind::from_label("not-a-kind"), None);
+    }
+
+    #[test]
+    fn timeout_classifies_from_spice() {
+        let to = SpiceError::Timeout { analysis: "op", iterations: 42 };
+        assert_eq!(FailureKind::classify_spice(&to), FailureKind::Timeout);
     }
 
     #[test]

@@ -161,9 +161,11 @@ impl Engine {
                     element: elem.0.clone(),
                 });
             };
-            match &mut elem.1 {
-                Compiled::Cccs { ctrl, .. } | Compiled::Ccvs { ctrl, .. } => *ctrl = ctrl_idx,
-                _ => unreachable!("matched above"),
+            // The compiled element mirrors the source kind matched above;
+            // anything else would be an internal inconsistency, which a
+            // worker must not turn into a panic — skip it instead.
+            if let Compiled::Cccs { ctrl, .. } | Compiled::Ccvs { ctrl, .. } = &mut elem.1 {
+                *ctrl = ctrl_idx;
             }
         }
         let node_names = (1..circuit.node_count())

@@ -11,6 +11,6 @@ mod workspace;
 pub use ac::{ac_analysis, ac_analysis_with_op, ac_analysis_with_op_in, AcResult, Sweep};
 pub use dc::{dc_sweep, DcSweepResult};
 pub use engine::Engine;
-pub use op::{dc_operating_point, OpOptions, OpResult};
+pub use op::{dc_operating_point, OpOptions, OpResult, SolveBudget};
 pub use tran::{transient, TranOptions, TranResult};
 pub use workspace::SolverWorkspace;

@@ -7,6 +7,83 @@ use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
 use asdex_linalg::{Lu, Matrix};
 
+/// Cooperative watchdog for one analysis run: a cumulative ceiling on
+/// Newton iterations across *every* continuation stage (or every transient
+/// time step), plus an optional wall-clock deadline.
+///
+/// The iteration ceiling is the deterministic mechanism — two runs with
+/// the same inputs hit it at exactly the same point, so results stay
+/// bitwise reproducible. The wall-clock deadline is machine-dependent and
+/// therefore `None` by default; enable it only when liveness matters more
+/// than replayability (e.g. an interactive supervisor). When either limit
+/// trips, the solve is abandoned with a typed [`SpiceError::Timeout`]
+/// instead of a hung worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveBudget {
+    /// Total Newton iterations allowed for one analysis call, summed over
+    /// all continuation stages (op) or all time steps (tran).
+    pub max_newton_iters_total: usize,
+    /// Optional wall-clock deadline for one analysis call.
+    pub max_wall: Option<std::time::Duration>,
+}
+
+impl Default for SolveBudget {
+    fn default() -> Self {
+        // Non-binding for healthy solves: a worst-case op continuation at
+        // stock options spends ~5k iterations and dense transients tens of
+        // thousands, both far below this ceiling. Only a genuinely
+        // pathological loop reaches it.
+        SolveBudget { max_newton_iters_total: 2_000_000, max_wall: None }
+    }
+}
+
+impl SolveBudget {
+    /// Scales the budget for retry rung `attempt` (0 = stock): the retry
+    /// ladder escalates the deadline together with the per-stage iteration
+    /// allowance, so an escalated attempt is never cut off earlier than the
+    /// stock one.
+    #[must_use]
+    pub fn escalated(self, attempt: usize) -> Self {
+        SolveBudget {
+            max_newton_iters_total: self.max_newton_iters_total.saturating_mul(1 + attempt),
+            max_wall: self.max_wall.map(|d| d.saturating_mul(1 + attempt as u32)),
+        }
+    }
+}
+
+/// Running meter for a [`SolveBudget`]: shared across the continuation
+/// stages of one analysis call.
+#[derive(Debug)]
+pub(crate) struct SolveMeter {
+    iters: usize,
+    budget: SolveBudget,
+    deadline: Option<std::time::Instant>,
+}
+
+impl SolveMeter {
+    pub(crate) fn start(budget: SolveBudget) -> Self {
+        let deadline = budget.max_wall.and_then(|d| std::time::Instant::now().checked_add(d));
+        SolveMeter { iters: 0, budget, deadline }
+    }
+
+    /// Newton iterations charged so far.
+    pub(crate) fn iterations(&self) -> usize {
+        self.iters
+    }
+
+    /// Charges one Newton iteration; `false` once the budget is exhausted.
+    pub(crate) fn tick(&mut self) -> bool {
+        self.iters += 1;
+        if self.iters > self.budget.max_newton_iters_total {
+            return false;
+        }
+        match self.deadline {
+            Some(deadline) => std::time::Instant::now() <= deadline,
+            None => true,
+        }
+    }
+}
+
 /// Convergence and iteration-limit knobs for the Newton loop.
 #[derive(Debug, Clone, Copy)]
 pub struct OpOptions {
@@ -20,6 +97,8 @@ pub struct OpOptions {
     pub max_iter: usize,
     /// Largest per-unknown voltage update per iteration (damping) \[V\].
     pub max_step: f64,
+    /// Watchdog across all stages of one analysis call.
+    pub budget: SolveBudget,
 }
 
 impl Default for OpOptions {
@@ -30,6 +109,7 @@ impl Default for OpOptions {
             reltol: 1e-4,
             max_iter: 150,
             max_step: 0.5,
+            budget: SolveBudget::default(),
         }
     }
 }
@@ -76,6 +156,8 @@ impl OpResult {
 /// * [`SpiceError::NoConvergence`] when all continuation strategies fail.
 /// * [`SpiceError::Singular`] when the MNA matrix is structurally singular
 ///   (floating node, voltage-source loop).
+/// * [`SpiceError::Timeout`] when the [`SolveBudget`] in
+///   [`OpOptions::budget`] expires before any stage converges.
 ///
 /// # Example
 ///
@@ -150,11 +232,18 @@ pub(crate) fn solve_op_ws(
     let dim = engine.dim();
     ws.ensure_dc(dim);
     let mut total_iters = 0usize;
+    let mut meter = SolveMeter::start(opts.budget);
     let x0: Vec<f64> = initial.map_or_else(|| vec![0.0; dim], <[f64]>::to_vec);
+    let timeout = |meter: &SolveMeter| SpiceError::Timeout {
+        analysis: "op",
+        iterations: meter.iterations(),
+    };
 
     // Stage 1: straight Newton.
-    if let Ok((x, it)) = newton(engine, x0.clone(), 0.0, 1.0, opts, &mut ws.a, &mut ws.z) {
-        return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: it });
+    match newton(engine, x0.clone(), 0.0, 1.0, opts, &mut ws.a, &mut ws.z, &mut meter) {
+        Ok((x, it)) => return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: it }),
+        Err(NewtonFailure::Timeout) => return Err(timeout(&meter)),
+        Err(_) => {}
     }
     total_iters += opts.max_iter;
 
@@ -163,11 +252,12 @@ pub(crate) fn solve_op_ws(
     let mut ok = true;
     for k in 0..=10i32 {
         let gmin = 10f64.powi(-k - 2); // 1e-2 … 1e-12
-        match newton(engine, x.clone(), gmin, 1.0, opts, &mut ws.a, &mut ws.z) {
+        match newton(engine, x.clone(), gmin, 1.0, opts, &mut ws.a, &mut ws.z, &mut meter) {
             Ok((xn, it)) => {
                 x = xn;
                 total_iters += it;
             }
+            Err(NewtonFailure::Timeout) => return Err(timeout(&meter)),
             Err(_) => {
                 ok = false;
                 break;
@@ -176,8 +266,12 @@ pub(crate) fn solve_op_ws(
     }
     if ok {
         // Final polish without gmin.
-        if let Ok((x, it)) = newton(engine, x, 0.0, 1.0, opts, &mut ws.a, &mut ws.z) {
-            return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: total_iters + it });
+        match newton(engine, x, 0.0, 1.0, opts, &mut ws.a, &mut ws.z, &mut meter) {
+            Ok((x, it)) => {
+                return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: total_iters + it })
+            }
+            Err(NewtonFailure::Timeout) => return Err(timeout(&meter)),
+            Err(_) => {}
         }
     }
 
@@ -185,24 +279,26 @@ pub(crate) fn solve_op_ws(
     let mut x = vec![0.0; dim];
     for k in 1..=20 {
         let scale = k as f64 / 20.0;
-        match newton(engine, x.clone(), 1e-12, scale, opts, &mut ws.a, &mut ws.z) {
+        match newton(engine, x.clone(), 1e-12, scale, opts, &mut ws.a, &mut ws.z, &mut meter) {
             Ok((xn, it)) => {
                 x = xn;
                 total_iters += it;
             }
+            Err(NewtonFailure::Timeout) => return Err(timeout(&meter)),
             Err(e) => {
                 return Err(match e {
                     NewtonFailure::Singular(s) => SpiceError::Singular(s),
-                    NewtonFailure::NoConverge => SpiceError::NoConvergence {
-                        analysis: "op",
-                        iterations: total_iters,
-                    },
+                    _ => SpiceError::NoConvergence { analysis: "op", iterations: total_iters },
                 })
             }
         }
     }
-    if let Ok((x, it)) = newton(engine, x, 0.0, 1.0, opts, &mut ws.a, &mut ws.z) {
-        return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: total_iters + it });
+    match newton(engine, x, 0.0, 1.0, opts, &mut ws.a, &mut ws.z, &mut meter) {
+        Ok((x, it)) => {
+            return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: total_iters + it })
+        }
+        Err(NewtonFailure::Timeout) => return Err(timeout(&meter)),
+        Err(_) => {}
     }
     Err(SpiceError::NoConvergence { analysis: "op", iterations: total_iters })
 }
@@ -211,12 +307,18 @@ pub(crate) fn solve_op_ws(
 pub(crate) enum NewtonFailure {
     Singular(asdex_linalg::SolveError),
     NoConverge,
+    /// The shared [`SolveMeter`] expired mid-stage; the caller must abort
+    /// the whole analysis (not fall through to the next continuation
+    /// stage) and surface [`SpiceError::Timeout`].
+    Timeout,
 }
 
 /// One Newton solve at fixed (gmin, source scale), assembling into the
 /// caller's scratch buffers (`a`/`z` must be `dim × dim` / `dim`; every
 /// iteration overwrites them). Returns the solution and the iteration
-/// count.
+/// count. Every iteration is charged to `meter`, the watchdog shared by
+/// all stages of the enclosing analysis.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn newton(
     engine: &Engine,
     mut x: Vec<f64>,
@@ -225,9 +327,13 @@ pub(crate) fn newton(
     opts: &OpOptions,
     a: &mut Matrix<f64>,
     z: &mut [f64],
+    meter: &mut SolveMeter,
 ) -> Result<(Vec<f64>, usize), NewtonFailure> {
     let dim = engine.dim();
     for it in 1..=opts.max_iter {
+        if !meter.tick() {
+            return Err(NewtonFailure::Timeout);
+        }
         engine.load_dc(&x, a, z, gmin, src_scale);
         let lu = Lu::factor(a.clone()).map_err(NewtonFailure::Singular)?;
         let x_new = lu.solve(z).map_err(NewtonFailure::Singular)?;
@@ -379,6 +485,44 @@ mod tests {
         let warm = solve_op(&engine, &opts(), Some(cold.unknowns())).unwrap();
         assert!(warm.iterations <= cold.iterations);
         assert!((warm.voltage(d) - cold.voltage(d)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_typed_timeout() {
+        // A nonlinear circuit with a budget far below what any stage needs:
+        // the watchdog must abort with Timeout, not NoConvergence, and must
+        // report the iterations it actually charged.
+        let mut c = Circuit::new();
+        c.add_mos_model("nch", MosModel::default_nmos());
+        let vdd = c.node("vdd");
+        let d = c.node("d");
+        c.add_vsource("VDD", vdd, Circuit::GROUND, 1.8).unwrap();
+        c.add_resistor("R1", vdd, d, 10e3).unwrap();
+        c.add_mosfet("M1", d, d, Circuit::GROUND, Circuit::GROUND, "nch", MosGeometry::new(10e-6, 1e-6))
+            .unwrap();
+        let mut o = opts();
+        o.budget.max_newton_iters_total = 2;
+        match dc_operating_point(&c, &o) {
+            Err(SpiceError::Timeout { analysis: "op", iterations }) => {
+                assert!(iterations >= 2, "charged {iterations}")
+            }
+            other => panic!("expected op timeout, got {other:?}"),
+        }
+        // A generous budget leaves the same circuit solvable.
+        assert!(dc_operating_point(&c, &opts()).is_ok());
+    }
+
+    #[test]
+    fn budget_escalation_scales_with_attempt() {
+        let b = SolveBudget { max_newton_iters_total: 100, max_wall: None };
+        assert_eq!(b.escalated(0).max_newton_iters_total, 100);
+        assert_eq!(b.escalated(2).max_newton_iters_total, 300);
+        let timed = SolveBudget {
+            max_newton_iters_total: usize::MAX,
+            max_wall: Some(std::time::Duration::from_secs(1)),
+        };
+        assert_eq!(timed.escalated(0).max_newton_iters_total, usize::MAX, "saturates");
+        assert_eq!(timed.escalated(3).max_wall, Some(std::time::Duration::from_secs(4)));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! per time step.
 
 use super::engine::Engine;
-use super::op::{solve_op, OpOptions};
+use super::op::{solve_op, OpOptions, SolveMeter};
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
 use asdex_linalg::{Lu, Matrix};
@@ -85,6 +85,8 @@ impl TranResult {
 ///
 /// * [`SpiceError::BadSweep`] for a non-positive step or stop time.
 /// * [`SpiceError::NoConvergence`] when a time step fails to converge.
+/// * [`SpiceError::Timeout`] when the [`super::SolveBudget`] in
+///   `opts.op.budget` expires, summed across all time steps.
 ///
 /// # Example
 ///
@@ -133,6 +135,10 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Sp
     let mut x_prev = x0;
     let mut caps = engine.mos_caps_at(&x_prev);
     debug_assert_eq!(caps.len(), engine.mosfet_count());
+    // One watchdog across every time step (the initial OP above ran under
+    // its own): a transient that grinds without converging is cut off as a
+    // typed timeout instead of monopolizing a worker.
+    let mut meter = SolveMeter::start(opts.op.budget);
 
     for step in 1..=n_steps {
         let t = (step as f64 * opts.tstep).min(opts.tstop);
@@ -144,6 +150,12 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Sp
         let mut x = x_prev.clone();
         let mut converged = false;
         for _ in 0..opts.op.max_iter {
+            if !meter.tick() {
+                return Err(SpiceError::Timeout {
+                    analysis: "tran",
+                    iterations: meter.iterations(),
+                });
+            }
             engine.load_tran(&x, &x_prev, t, h, &caps, &mut a, &mut z);
             let lu = Lu::factor(a.clone())?;
             let x_new = lu.solve(&z)?;
@@ -244,6 +256,29 @@ mod tests {
         let ckt = Circuit::new();
         assert!(transient(&ckt, &TranOptions::new(0.0, 1.0)).is_err());
         assert!(transient(&ckt, &TranOptions::new(1.0, 0.5)).is_err());
+    }
+
+    #[test]
+    fn exhausted_budget_is_a_typed_timeout() {
+        // An RC step response needs at least one Newton iteration per time
+        // step; budgeting fewer total iterations than steps must trip the
+        // shared watchdog partway through the run.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        let step = Waveform::Pulse { v1: 0.0, v2: 1.0, td: 0.0, tr: 1e-9, tf: 1e-9, pw: 1.0, per: 2.0 };
+        ckt.add_vsource_full("V1", vin, Circuit::GROUND, 0.0, None, Some(step)).unwrap();
+        ckt.add_resistor("R1", vin, out, 1e3).unwrap();
+        ckt.add_capacitor("C1", out, Circuit::GROUND, 1e-9).unwrap();
+        let mut opts = TranOptions::new(50e-9, 5e-6); // 100 steps
+        opts.uic = true; // keep the initial OP out of the picture
+        opts.op.budget.max_newton_iters_total = 10;
+        match transient(&ckt, &opts) {
+            Err(SpiceError::Timeout { analysis: "tran", iterations }) => {
+                assert!(iterations >= 10, "charged {iterations}")
+            }
+            other => panic!("expected tran timeout, got {other:?}"),
+        }
     }
 
     #[test]

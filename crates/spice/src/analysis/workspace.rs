@@ -83,7 +83,15 @@ impl SolverWorkspace {
         if !hit {
             self.freq_cache = Some((sweep, sweep.frequencies()?));
         }
-        Ok(&self.freq_cache.as_ref().expect("cache just filled").1)
+        // The cache was filled on the line above when it missed; surface a
+        // typed error rather than panicking a worker if it is ever
+        // observed empty.
+        match &self.freq_cache {
+            Some((_, freqs)) => Ok(freqs),
+            None => Err(SpiceError::BadSweep {
+                reason: "frequency cache unavailable".to_string(),
+            }),
+        }
     }
 }
 

@@ -54,6 +54,16 @@ pub enum SpiceError {
         /// name, …).
         what: String,
     },
+    /// The cooperative solve watchdog ([`crate::analysis::SolveBudget`])
+    /// expired before the analysis converged — the solve was abandoned as a
+    /// typed failure instead of spinning indefinitely on a pathological
+    /// point.
+    Timeout {
+        /// Analysis that was cut off (`"op"`, `"tran"`, …).
+        analysis: &'static str,
+        /// Newton iterations spent when the watchdog fired.
+        iterations: usize,
+    },
 }
 
 impl fmt::Display for SpiceError {
@@ -74,6 +84,12 @@ impl fmt::Display for SpiceError {
             SpiceError::BadSweep { reason } => write!(f, "bad sweep: {reason}"),
             SpiceError::NonFinite { what } => {
                 write!(f, "non-finite result: {what} is NaN or infinite")
+            }
+            SpiceError::Timeout { analysis, iterations } => {
+                write!(
+                    f,
+                    "{analysis} analysis hit its solve budget after {iterations} Newton iterations"
+                )
             }
         }
     }

@@ -46,9 +46,13 @@ pub fn to_db(mag: f64) -> f64 {
 /// on a continuous curve; the UGF and the −3 dB point use log-frequency
 /// interpolation between bracketing samples.
 pub fn frequency_response(ac: &AcResult, node: NodeId) -> FrequencyResponse {
-    let h = ac.node_response(node);
-    let freqs = ac.frequencies();
-    assert_eq!(h.len(), freqs.len());
+    // The response and the grid are the same length by construction;
+    // truncate to the common prefix rather than asserting, so a malformed
+    // sweep degrades into conservative measurements instead of panicking
+    // an evaluation worker.
+    let mut h = ac.node_response(node);
+    let freqs = &ac.frequencies()[..ac.frequencies().len().min(h.len())];
+    h.truncate(freqs.len());
     if h.is_empty() {
         return FrequencyResponse {
             dc_gain_db: -300.0,

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! asdex size <opamp45|opamp22|ldo|ico> [--agent trm|bo|random] [--budget N]
-//!            [--seed N] [--corners nominal|signoff5]
+//!            [--seed N] [--corners nominal|signoff5] [--journal path]
+//! asdex size --resume <path>
 //! asdex probe <opamp45|opamp22|ldo|ico> [--samples N]
 //! asdex sim <deck.cir>
 //! ```
@@ -12,18 +13,28 @@
 //! calibration workflow); `sim` parses a SPICE deck and reports its DC
 //! operating point and, when an AC source is present, its frequency
 //! response.
+//!
+//! With `--journal` the campaign appends every evaluation to a crash-safe
+//! checkpoint journal; after a crash (or Ctrl-C), `--resume` replays the
+//! journal and continues the campaign, producing the same result as an
+//! uninterrupted run. Journal status goes to stderr so stdout stays
+//! byte-identical between clean and resumed runs.
 
 use asdex::baselines::{CustomizedBo, RandomSearch};
 use asdex::core::{Framework, FrameworkConfig, PvtStrategy};
 use asdex::env::circuits::ico::Ico;
 use asdex::env::circuits::ldo::Ldo;
 use asdex::env::circuits::opamp::TwoStageOpamp;
-use asdex::env::{PvtSet, SearchBudget, Searcher, SizingProblem};
+use asdex::env::{Journal, JournalError, JournalMeta, PvtSet, SearchBudget, Searcher, SizingProblem};
 use asdex::spice::analysis::{ac_analysis, dc_operating_point, dc_sweep, transient, OpOptions, Sweep, TranOptions};
 use asdex::spice::measure::frequency_response;
 use asdex::spice::parser::{parse_deck, AnalysisCard};
 use asdex::spice::ElementKind;
+use std::fmt;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 const USAGE: &str = "\
 asdex — analog sizing design-space explorer
@@ -31,14 +42,67 @@ asdex — analog sizing design-space explorer
 USAGE:
     asdex size  <opamp45|opamp22|ldo|ico> [--agent trm|bo|random]
                 [--budget N] [--seed N] [--corners nominal|signoff5]
-                [--threads N]
+                [--threads N] [--journal path] [--checkpoint-every N]
+    asdex size  --resume <path> [--threads N] [--checkpoint-every N]
     asdex probe <opamp45|opamp22|ldo|ico> [--samples N] [--threads N]
     asdex sim   <deck.cir>
 
 `--threads N` sets the batch-evaluation worker count (default: the
 ASDEX_THREADS environment variable, else serial). The thread count
 changes wall-clock only, never results.
+
+`--journal path` records every evaluation to an append-only journal
+(fsync'd every --checkpoint-every records, default 25, and on Ctrl-C).
+`--resume path` restores the campaign from a journal: the benchmark,
+agent, seed, budget, and corners are read back from the journal's
+metadata, recorded evaluations are replayed without simulating, and the
+campaign continues to the same outcome an uninterrupted run produces.
+
+EXIT CODES:
+    0  success        1  runtime failure (simulation, I/O, journal)
+    2  usage error    130  interrupted (journal checkpointed)
 ";
+
+/// Typed CLI failure with an exit-code mapping: usage mistakes exit 2,
+/// runtime failures exit 1 (interrupts exit 130 via the signal path).
+#[derive(Debug)]
+enum CliError {
+    /// The invocation itself was malformed (missing argument, unknown
+    /// command/agent/benchmark, unparseable flag).
+    Usage(String),
+    /// A journal could not be created or resumed.
+    Journal(JournalError),
+    /// A file could not be read or written.
+    Io { path: String, source: std::io::Error },
+    /// The simulation or search itself failed.
+    Runtime(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Journal(e) => write!(f, "{e}"),
+            CliError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
+            CliError::Runtime(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<JournalError> for CliError {
+    fn from(e: JournalError) -> Self {
+        CliError::Journal(e)
+    }
+}
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Journal(_) | CliError::Io { .. } | CliError::Runtime(_) => 1,
+        }
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,40 +114,71 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        Some(other) => Err(CliError::Usage(format!("unknown command {other:?}\n\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
 /// Fetches the value following `--flag`, if present.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, CliError> {
     match args.iter().position(|a| a == flag) {
         Some(i) => match args.get(i + 1) {
             Some(v) => Ok(Some(v)),
-            None => Err(format!("{flag} needs a value")),
+            None => Err(CliError::Usage(format!("{flag} needs a value"))),
         },
         None => Ok(None),
     }
 }
 
-fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, String> {
+/// Every flag that consumes the following argument as its value.
+const VALUE_FLAGS: &[&str] = &[
+    "--agent",
+    "--budget",
+    "--seed",
+    "--corners",
+    "--threads",
+    "--journal",
+    "--checkpoint-every",
+    "--resume",
+    "--samples",
+];
+
+/// First argument that is neither a flag nor a flag's value.
+fn positional(args: &[String]) -> Option<&str> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            i += if VALUE_FLAGS.contains(&a) { 2 } else { 1 };
+        } else {
+            return Some(a);
+        }
+    }
+    None
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, CliError> {
     match flag_value(args, flag)? {
-        Some(v) => v.parse().map_err(|_| format!("cannot parse {flag} value {v:?}")),
+        Some(v) => {
+            v.parse().map_err(|_| CliError::Usage(format!("cannot parse {flag} value {v:?}")))
+        }
         None => Ok(default),
     }
 }
 
-fn build_problem(name: &str, corners: &str) -> Result<SizingProblem, String> {
+fn build_problem(name: &str, corners: &str) -> Result<SizingProblem, CliError> {
     let corner_set = match corners {
         "nominal" => PvtSet::nominal_only(),
         "signoff5" => PvtSet::signoff5(),
-        other => return Err(format!("unknown corner set {other:?} (nominal|signoff5)")),
+        other => {
+            return Err(CliError::Usage(format!("unknown corner set {other:?} (nominal|signoff5)")))
+        }
     };
     let problem = match name {
         "opamp45" => {
@@ -96,19 +191,143 @@ fn build_problem(name: &str, corners: &str) -> Result<SizingProblem, String> {
         }
         "ldo" => Ldo::n6().problem(),
         "ico" => Ico::n5().problem(),
-        other => return Err(format!("unknown benchmark {other:?} (opamp45|opamp22|ldo|ico)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown benchmark {other:?} (opamp45|opamp22|ldo|ico)"
+            )))
+        }
     };
-    problem.map_err(|e| e.to_string())
+    problem.map_err(|e| CliError::Runtime(e.to_string()))
 }
 
-fn cmd_size(args: &[String]) -> Result<(), String> {
-    let bench = args.first().ok_or_else(|| format!("size needs a benchmark\n\n{USAGE}"))?;
-    let budget = parse_flag(args, "--budget", 10_000usize)?;
-    let seed = parse_flag(args, "--seed", 1u64)?;
-    let agent = flag_value(args, "--agent")?.unwrap_or("trm");
-    let corners = flag_value(args, "--corners")?.unwrap_or("nominal");
+/// Identity of one `size` campaign — everything that must match between
+/// the run that wrote a journal and the run that resumes it.
+struct Campaign {
+    bench: String,
+    agent: String,
+    seed: u64,
+    budget: usize,
+    corners: String,
+}
+
+impl Campaign {
+    fn to_meta(&self, checkpoint_every: usize) -> JournalMeta {
+        JournalMeta::new()
+            .with("bench", &self.bench)
+            .with("agent", &self.agent)
+            .with("seed", &self.seed.to_string())
+            .with("budget", &self.budget.to_string())
+            .with("corners", &self.corners)
+            .with("checkpoint_every", &checkpoint_every.to_string())
+    }
+
+    fn from_meta(meta: &JournalMeta) -> Result<Campaign, CliError> {
+        let get = |key: &str| {
+            meta.get(key).map(str::to_string).ok_or_else(|| {
+                CliError::Runtime(format!("journal metadata is missing `{key}`"))
+            })
+        };
+        fn parse_num<T: std::str::FromStr>(key: &str, v: String) -> Result<T, CliError> {
+            v.parse().map_err(|_| {
+                CliError::Runtime(format!("journal metadata `{key}={v}` is not a number"))
+            })
+        }
+        Ok(Campaign {
+            bench: get("bench")?,
+            agent: get("agent")?,
+            seed: parse_num("seed", get("seed")?)?,
+            budget: parse_num("budget", get("budget")?)?,
+            corners: get("corners")?,
+        })
+    }
+}
+
+/// Set by the `SIGINT` handler; polled by the watcher thread.
+static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigint(_signum: i32) {
+    INTERRUPTED.store(true, Ordering::SeqCst);
+}
+
+/// Installs a `SIGINT` handler plus a watcher thread that checkpoints the
+/// journal, prints the resume hint, and exits 130. Only called when a
+/// journal is active — without one, default Ctrl-C behaviour is left
+/// alone.
+///
+/// The handler itself only flips an atomic (the full async-signal-safe
+/// contract); all I/O happens on the watcher thread.
+fn install_interrupt_watcher(journal: Arc<Mutex<Journal>>) {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    // SAFETY: installing a handler that only stores to a static
+    // `AtomicBool` — async-signal-safe, and `signal` is specified for
+    // exactly this use.
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    std::thread::spawn(move || loop {
+        if INTERRUPTED.load(Ordering::SeqCst) {
+            if let Ok(mut j) = journal.lock() {
+                let _ = j.checkpoint();
+                eprintln!("\ninterrupted: journal checkpointed at {}", j.path().display());
+                eprintln!("resume with: asdex size --resume {}", j.path().display());
+            }
+            std::process::exit(130);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+    });
+}
+
+fn cmd_size(args: &[String]) -> Result<(), CliError> {
+    let checkpoint_every = parse_flag(args, "--checkpoint-every", 25usize)?;
     let threads = parse_flag(args, "--threads", 0usize)?;
-    let problem = build_problem(bench, corners)?.with_threads(threads);
+
+    // Either restore the campaign identity from a journal, or read it from
+    // the command line (optionally starting a fresh journal).
+    let (campaign, journal) = if let Some(path) = flag_value(args, "--resume")? {
+        let journal = Journal::resume(Path::new(path), checkpoint_every)?;
+        let campaign = Campaign::from_meta(journal.meta())?;
+        eprintln!(
+            "journal: resuming {} ({} recorded evaluations to replay)",
+            journal.path().display(),
+            journal.recorded()
+        );
+        (campaign, Some(journal))
+    } else {
+        let bench = positional(args)
+            .ok_or_else(|| CliError::Usage(format!("size needs a benchmark\n\n{USAGE}")))?
+            .to_string();
+        let campaign = Campaign {
+            bench,
+            agent: flag_value(args, "--agent")?.unwrap_or("trm").to_string(),
+            seed: parse_flag(args, "--seed", 1u64)?,
+            budget: parse_flag(args, "--budget", 10_000usize)?,
+            corners: flag_value(args, "--corners")?.unwrap_or("nominal").to_string(),
+        };
+        let journal = match flag_value(args, "--journal")? {
+            Some(jpath) => {
+                let journal = Journal::create(
+                    Path::new(jpath),
+                    campaign.to_meta(checkpoint_every),
+                    checkpoint_every,
+                )?;
+                eprintln!("journal: recording to {}", journal.path().display());
+                Some(journal)
+            }
+            None => None,
+        };
+        (campaign, journal)
+    };
+
+    let mut problem = build_problem(&campaign.bench, &campaign.corners)?.with_threads(threads);
+    if let Some(journal) = journal {
+        problem = problem.with_journal(journal);
+        if let Some(handle) = problem.journal_handle() {
+            install_interrupt_watcher(handle);
+        }
+    }
 
     println!(
         "{} — {} parameters, |D| ≈ 10^{:.1}, {} corner(s), budget {}",
@@ -116,36 +335,69 @@ fn cmd_size(args: &[String]) -> Result<(), String> {
         problem.dim(),
         problem.space.size_log10(),
         problem.corners.len(),
-        budget
+        campaign.budget
     );
 
-    let (success, simulations, best_point, best_value, stats) = match agent {
+    let (success, simulations, best_point, best_value, stats) = match campaign.agent.as_str() {
         "trm" => {
             let mut framework = Framework::new(
                 FrameworkConfig {
-                    budget: Some(budget),
+                    budget: Some(campaign.budget),
                     pvt_strategy: Some(PvtStrategy::ProgressiveHardest),
                     ..FrameworkConfig::default()
                 },
-                seed,
+                campaign.seed,
             );
-            let out = framework.search(&problem).map_err(|e| e.to_string())?;
+            let out = framework.search(&problem).map_err(|e| CliError::Runtime(e.to_string()))?;
             (out.success, out.simulations, out.best_point, out.best_value, out.stats)
         }
         "bo" => {
-            let out = CustomizedBo::new().search(&problem, SearchBudget::new(budget), seed);
+            let out = CustomizedBo::new().search(
+                &problem,
+                SearchBudget::new(campaign.budget),
+                campaign.seed,
+            );
             (out.success, out.simulations, out.best_point, out.best_value, out.stats)
         }
         "random" => {
-            let out = RandomSearch::new().search(&problem, SearchBudget::new(budget), seed);
+            let out = RandomSearch::new().search(
+                &problem,
+                SearchBudget::new(campaign.budget),
+                campaign.seed,
+            );
             (out.success, out.simulations, out.best_point, out.best_value, out.stats)
         }
-        other => return Err(format!("unknown agent {other:?} (trm|bo|random)")),
+        other => return Err(CliError::Usage(format!("unknown agent {other:?} (trm|bo|random)"))),
     };
+
+    // Make the journal tail durable before reporting, so a crash after
+    // this point costs nothing.
+    if let Some(handle) = problem.journal_handle() {
+        if let Ok(mut j) = handle.lock() {
+            j.checkpoint().map_err(|e| CliError::Io {
+                path: j.path().display().to_string(),
+                source: e,
+            })?;
+            eprintln!(
+                "journal: {} evaluations replayed, {} on disk at {}",
+                j.replayed(),
+                j.recorded(),
+                j.path().display()
+            );
+            if j.unconsumed() > 0 {
+                eprintln!(
+                    "journal: warning — {} recorded evaluations were never requested \
+                     (campaign diverged from the journaled run?)",
+                    j.unconsumed()
+                );
+            }
+        }
+    }
 
     println!("success: {success} after {simulations} simulations (value {best_value:.4})");
     println!("telemetry: {stats}");
-    let physical = problem.space.to_physical(&best_point).map_err(|e| e.to_string())?;
+    let physical =
+        problem.space.to_physical(&best_point).map_err(|e| CliError::Runtime(e.to_string()))?;
     println!("parameters:");
     for (name, value) in problem.space.names().iter().zip(&physical) {
         println!("  {name:>10} = {value:.4e}");
@@ -161,10 +413,11 @@ fn cmd_size(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_probe(args: &[String]) -> Result<(), String> {
+fn cmd_probe(args: &[String]) -> Result<(), CliError> {
     use asdex_rng::rngs::StdRng;
     use asdex_rng::SeedableRng;
-    let bench = args.first().ok_or_else(|| format!("probe needs a benchmark\n\n{USAGE}"))?;
+    let bench = positional(args)
+        .ok_or_else(|| CliError::Usage(format!("probe needs a benchmark\n\n{USAGE}")))?;
     let samples = parse_flag(args, "--samples", 5_000usize)?;
     let threads = parse_flag(args, "--threads", 0usize)?;
     let problem = build_problem(bench, "nominal")?.with_threads(threads);
@@ -202,17 +455,20 @@ fn cmd_probe(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sim(args: &[String]) -> Result<(), String> {
-    let path = args.first().ok_or_else(|| format!("sim needs a netlist path\n\n{USAGE}"))?;
-    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let deck = parse_deck(&source).map_err(|e| e.to_string())?;
+fn cmd_sim(args: &[String]) -> Result<(), CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| CliError::Usage(format!("sim needs a netlist path\n\n{USAGE}")))?;
+    let source = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Io { path: path.clone(), source: e })?;
+    let deck = parse_deck(&source).map_err(|e| CliError::Runtime(e.to_string()))?;
     let circuit = &deck.circuit;
     println!("{path}: {} elements, {} nodes", circuit.elements().len(), circuit.node_count());
     let opts = OpOptions::default();
     let probe = circuit
         .find_node("out")
         .or_else(|| circuit.node_ids().last().copied())
-        .ok_or("circuit has no nodes")?;
+        .ok_or_else(|| CliError::Runtime("circuit has no nodes".to_string()))?;
 
     // Default behaviour when the deck carries no directives: an operating
     // point, plus an AC sweep if any source has an AC stimulus.
@@ -230,18 +486,18 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
         }
     }
 
+    let rt = |e: asdex::spice::SpiceError| CliError::Runtime(e.to_string());
     for analysis in &analyses {
         match analysis {
             AnalysisCard::Op => {
-                let op = dc_operating_point(circuit, &opts).map_err(|e| e.to_string())?;
+                let op = dc_operating_point(circuit, &opts).map_err(rt)?;
                 println!("DC operating point:");
                 for node in circuit.node_ids() {
                     println!("  v({}) = {:.6}", circuit.node_name(node), op.voltage(node));
                 }
             }
             AnalysisCard::Dc { source, start, stop, step } => {
-                let sweep =
-                    dc_sweep(circuit, source, *start, *stop, *step, &opts).map_err(|e| e.to_string())?;
+                let sweep = dc_sweep(circuit, source, *start, *stop, *step, &opts).map_err(rt)?;
                 println!("DC sweep of {source} ({} points), v({}):", sweep.len(), circuit.node_name(probe));
                 for (k, v) in sweep.values().iter().enumerate() {
                     println!("  {v:>12.4e}  ->  {:.6}", sweep.voltage(k, probe));
@@ -253,7 +509,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
                     fstop: *fstop,
                     points_per_decade: *points_per_decade,
                 };
-                let ac = ac_analysis(circuit, sweep, &opts).map_err(|e| e.to_string())?;
+                let ac = ac_analysis(circuit, sweep, &opts).map_err(rt)?;
                 let fr = frequency_response(&ac, probe);
                 println!("AC response at v({}):", circuit.node_name(probe));
                 println!("  dc gain = {:.2} dB", fr.dc_gain_db);
@@ -268,8 +524,7 @@ fn cmd_sim(args: &[String]) -> Result<(), String> {
                 }
             }
             AnalysisCard::Tran { tstep, tstop } => {
-                let tr = transient(circuit, &TranOptions::new(*tstep, *tstop))
-                    .map_err(|e| e.to_string())?;
+                let tr = transient(circuit, &TranOptions::new(*tstep, *tstop)).map_err(rt)?;
                 let wave = tr.node_waveform(probe);
                 let (lo, hi) = wave
                     .iter()

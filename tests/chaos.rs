@@ -16,8 +16,8 @@ use asdex::baselines::{CustomizedBo, RandomSearch};
 use asdex::core::LocalExplorer;
 use asdex::env::circuits::synthetic::Bowl;
 use asdex::env::{
-    EvalStats, FailureKind, FaultConfig, FaultInjectingEvaluator, SearchBudget, Searcher,
-    SizingProblem,
+    EnvError, EvalStats, Evaluator, FailureKind, FaultConfig, FaultInjectingEvaluator, PvtCorner,
+    SearchBudget, Searcher, SizingProblem,
 };
 use std::sync::Arc;
 
@@ -143,6 +143,106 @@ fn injected_counter_matches_telemetry_direction() {
         "injections visible in stats: {}",
         out.stats
     );
+}
+
+/// An evaluator whose solve watchdog always expires: every call reports a
+/// typed `Timeout`, the way a real solver does when its `SolveBudget` runs
+/// out mid-Newton.
+struct TimeoutEvaluator {
+    names: Vec<String>,
+}
+
+impl Evaluator for TimeoutEvaluator {
+    fn measurement_names(&self) -> &[String] {
+        &self.names
+    }
+
+    fn evaluate(&self, _x: &[f64], _corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        Err(EnvError::Simulation(asdex::spice::SpiceError::Timeout {
+            analysis: "op",
+            iterations: 1000,
+        }))
+    }
+}
+
+#[test]
+fn all_agents_survive_injected_worker_panics() {
+    // 30 % of evaluator calls panic outright. The isolation boundary must
+    // convert every one into a typed `WorkerPanic`, keep the worker pool
+    // unpoisoned, and let every agent run its campaign to completion with
+    // exact budget accounting.
+    let max_sims = 400;
+    let budget = SearchBudget::new(max_sims);
+    let mut merged = EvalStats::new();
+    for mut agent in agents() {
+        let mut p = Bowl::problem(3, 0.2).expect("bowl builds");
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            p.evaluator.clone(),
+            FaultConfig::only(asdex::env::FaultMode::Panic, 0.30, 13),
+        ));
+        let out = agent.search(&p, budget, 1);
+        let name = agent.name();
+        assert!(out.simulations <= max_sims, "{name}: budget overrun after panics");
+        if !out.success {
+            assert_eq!(out.stats.sims, max_sims, "{name}: gave up early after panics");
+        }
+        assert!(out.best_value.is_finite(), "{name}: panic corrupted the best value");
+        merged.merge(&out.stats);
+    }
+    assert!(
+        merged.failures_of(FailureKind::WorkerPanic) > 0,
+        "panics must surface as typed WorkerPanic telemetry: {merged}"
+    );
+    assert!(merged.retries > 0, "worker panics are retryable and must hit the ladder");
+}
+
+#[test]
+fn repeated_panics_quarantine_the_job() {
+    // An evaluator that always panics: the first evaluation burns the full
+    // retry ladder, after which the (point, corner) job is quarantined and
+    // later requests short-circuit at unit cost without calling the
+    // evaluator again.
+    let mut p = Bowl::problem(2, 0.2).expect("bowl builds");
+    p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+        p.evaluator.clone(),
+        FaultConfig::only(asdex::env::FaultMode::Panic, 1.0, 1),
+    ));
+    let u = vec![0.4, 0.6];
+    let first = p.evaluate_normalized(&u, 0);
+    assert_eq!(first.failure, Some(FailureKind::WorkerPanic));
+    assert!(first.sim_cost > 1, "first encounter must exhaust the retry ladder");
+    let second = p.evaluate_normalized(&u, 0);
+    assert_eq!(second.failure, Some(FailureKind::WorkerPanic));
+    assert_eq!(second.sim_cost, 1, "quarantined job must short-circuit at unit cost");
+}
+
+#[test]
+fn all_agents_survive_a_solve_budget_timeout_evaluator() {
+    // Every simulation times out. No agent may hang or panic: the campaign
+    // runs to budget exhaustion with every failure typed as Timeout and
+    // the retry ladder engaged (timeouts are retryable — a bigger budget
+    // might converge).
+    let max_sims = 200;
+    let budget = SearchBudget::new(max_sims);
+    let mut merged = EvalStats::new();
+    for mut agent in agents() {
+        let mut p = Bowl::problem(3, 0.2).expect("bowl builds");
+        let names = p.evaluator.measurement_names().to_vec();
+        p.evaluator = Arc::new(TimeoutEvaluator { names });
+        let out = agent.search(&p, budget, 1);
+        let name = agent.name();
+        assert!(!out.success, "{name}: succeeded although every solve timed out");
+        assert_eq!(out.stats.sims, max_sims, "{name}: must spend the whole budget");
+        assert!(out.best_value.is_finite(), "{name}: timeout corrupted the best value");
+        merged.merge(&out.stats);
+    }
+    assert!(merged.failures_of(FailureKind::Timeout) > 0, "timeouts must be typed: {merged}");
+    assert_eq!(
+        merged.total_failures(),
+        merged.failures_of(FailureKind::Timeout),
+        "nothing but timeouts can appear: {merged}"
+    );
+    assert!(merged.retries > 0, "timeouts are retryable and must hit the ladder");
 }
 
 #[test]

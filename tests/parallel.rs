@@ -108,6 +108,36 @@ fn batch_results_identical_under_tight_budget() {
 }
 
 #[test]
+fn batch_results_identical_under_worker_panics() {
+    // Injected panics exercise the isolation boundary and the quarantine
+    // set; neither may leak scheduling into the results. Quarantine
+    // updates happen in the ordered finalize pass, so which worker hits a
+    // panicking point first cannot change what later requests observe.
+    let dim = 3;
+    let reqs = requests(12, 1, dim);
+    let panicky = |threads: usize, rate: f64| {
+        let mut p = Bowl::problem(dim, 0.2).expect("bowl builds");
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            p.evaluator.clone(),
+            FaultConfig::only(asdex::env::FaultMode::Panic, rate, 29),
+        ));
+        p.with_threads(threads)
+    };
+    for rate in [0.2, 1.0] {
+        assert_thread_invariant(|t| panicky(t, rate), &reqs, usize::MAX);
+    }
+    // Agent-level: a whole campaign over the panicking problem must be
+    // thread-count invariant too.
+    let budget = SearchBudget::new(300);
+    let mut agent = RandomSearch::new();
+    let reference = agent.search(&panicky(1, 0.2), budget, 1);
+    for threads in [2, 8] {
+        let out = agent.search(&panicky(threads, 0.2), budget, 1);
+        assert_eq!(out, reference, "random search diverged at {threads} threads under panics");
+    }
+}
+
+#[test]
 fn opamp_batch_identical_across_thread_counts() {
     // The MNA-backed path: pooled engines, reused workspaces, and the
     // memo cache must all be invisible in the results.

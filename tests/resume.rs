@@ -1,0 +1,208 @@
+//! Crash-equivalence: a campaign resumed from a checkpoint journal must
+//! reproduce the uninterrupted campaign bit for bit.
+//!
+//! The journal records every `(point, corner, attempt-cap)` evaluation a
+//! campaign consumes. Because every agent is deterministic given its seed
+//! and every evaluation is a pure function of its key, resuming means:
+//! rerun the agent from the same seed and serve recorded evaluations from
+//! the journal instead of the simulator. These tests drive all six agents
+//! (the trust-region explorer plus the five baselines) at 1 and 4 worker
+//! threads and require:
+//!
+//! 1. journaling itself never changes a `SearchOutcome`,
+//! 2. a journal truncated mid-write (the SIGKILL case, including a torn
+//!    final line) resumes to the uninterrupted outcome, bitwise, with
+//!    equal `EvalStats`,
+//! 3. a complete journal replays without a single simulator call, and
+//! 4. resume equivalence survives injected worker panics — quarantine
+//!    state is rebuilt from the replayed evaluations.
+
+use asdex::baselines::rl::{A2c, Ppo, Trpo};
+use asdex::baselines::{CustomizedBo, RandomSearch};
+use asdex::core::LocalExplorer;
+use asdex::env::circuits::synthetic::Bowl;
+use asdex::env::{
+    EnvError, EvalEffort, Evaluator, FaultConfig, FaultInjectingEvaluator, FaultMode, Journal,
+    JournalMeta, PvtCorner, SearchBudget, Searcher, SizingProblem,
+};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A unique temp path per test case so parallel test binaries never
+/// collide.
+fn journal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("asdex-resume-{}-{tag}.journal", std::process::id()))
+}
+
+fn bowl(threads: usize) -> SizingProblem {
+    Bowl::problem(3, 0.2).expect("bowl builds").with_threads(threads)
+}
+
+/// A bowl whose evaluator panics on a deterministic fraction of calls.
+fn panicky_bowl(threads: usize, rate: f64, seed: u64) -> SizingProblem {
+    let mut p = Bowl::problem(3, 0.2).expect("bowl builds");
+    p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+        p.evaluator.clone(),
+        FaultConfig::only(FaultMode::Panic, rate, seed),
+    ));
+    p.with_threads(threads)
+}
+
+fn agents() -> Vec<Box<dyn Searcher>> {
+    vec![
+        Box::new(LocalExplorer::default()),
+        Box::new(RandomSearch::new()),
+        Box::new(CustomizedBo::new()),
+        Box::new(A2c::new()),
+        Box::new(Ppo::new()),
+        Box::new(Trpo::new()),
+    ]
+}
+
+/// Counts every simulator call that reaches the wrapped evaluator.
+struct CountingEvaluator {
+    inner: Arc<dyn Evaluator>,
+    calls: AtomicUsize,
+}
+
+impl Evaluator for CountingEvaluator {
+    fn measurement_names(&self) -> &[String] {
+        self.inner.measurement_names()
+    }
+
+    fn evaluate(&self, x: &[f64], corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.evaluate(x, corner)
+    }
+
+    fn evaluate_with_effort(
+        &self,
+        x: &[f64],
+        corner: &PvtCorner,
+        effort: EvalEffort,
+    ) -> Result<Vec<f64>, EnvError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        self.inner.evaluate_with_effort(x, corner, effort)
+    }
+}
+
+#[test]
+fn journaling_and_full_replay_match_the_plain_run_for_every_agent() {
+    let budget = SearchBudget::new(300);
+    for threads in [1usize, 4] {
+        for mut agent in agents() {
+            let name = agent.name().to_string();
+            let plain = agent.search(&bowl(threads), budget, 1);
+
+            // Recording must be invisible in the outcome.
+            let path = journal_path(&format!("full-{name}-{threads}"));
+            let journal = Journal::create(&path, JournalMeta::new(), 10).expect("journal create");
+            let recorded = agent.search(&bowl(threads).with_journal(journal), budget, 1);
+            assert_eq!(recorded, plain, "{name}@{threads}t: journaling changed the outcome");
+
+            // A full replay must reproduce it again, consuming every entry.
+            let journal = Journal::resume(&path, 10).expect("journal resume");
+            let problem = bowl(threads).with_journal(journal);
+            let resumed = agent.search(&problem, budget, 1);
+            assert_eq!(resumed, plain, "{name}@{threads}t: resumed outcome diverged");
+            let handle = problem.journal_handle().expect("journal attached");
+            let journal = handle.lock().expect("journal lock");
+            assert!(journal.replayed() > 0, "{name}@{threads}t: nothing replayed");
+            assert_eq!(journal.unconsumed(), 0, "{name}@{threads}t: stale journal entries");
+            drop(journal);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[test]
+fn truncated_journal_resumes_to_the_uninterrupted_outcome() {
+    let budget = SearchBudget::new(300);
+    for threads in [1usize, 4] {
+        for mut agent in agents() {
+            let name = agent.name().to_string();
+            let plain = agent.search(&bowl(threads), budget, 1);
+
+            let path = journal_path(&format!("cut-{name}-{threads}"));
+            let journal = Journal::create(&path, JournalMeta::new(), 5).expect("journal create");
+            let _ = agent.search(&bowl(threads).with_journal(journal), budget, 1);
+
+            // Simulate a SIGKILL partway through the campaign: keep 40 %
+            // of the bytes, which almost always tears the final line.
+            let bytes = std::fs::read(&path).expect("journal readable");
+            std::fs::write(&path, &bytes[..bytes.len() * 2 / 5]).expect("journal truncates");
+
+            let journal = Journal::resume(&path, 5).expect("torn journal resumes");
+            let to_replay = journal.recorded();
+            assert!(to_replay > 0, "{name}@{threads}t: truncation left nothing to replay");
+            let problem = bowl(threads).with_journal(journal);
+            let resumed = agent.search(&problem, budget, 1);
+            assert_eq!(
+                resumed, plain,
+                "{name}@{threads}t: resume after truncation diverged (stats included)"
+            );
+            let handle = problem.journal_handle().expect("journal attached");
+            let journal = handle.lock().expect("journal lock");
+            assert_eq!(
+                journal.replayed(),
+                to_replay,
+                "{name}@{threads}t: not every surviving entry was replayed"
+            );
+            drop(journal);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[test]
+fn complete_journal_replays_without_touching_the_simulator() {
+    let budget = SearchBudget::new(200);
+    let mut agent = RandomSearch::new();
+    let path = journal_path("no-sim");
+    let journal = Journal::create(&path, JournalMeta::new(), 25).expect("journal create");
+    let plain = agent.search(&bowl(1).with_journal(journal), budget, 1);
+
+    let counter = Arc::new(CountingEvaluator {
+        inner: Bowl::problem(3, 0.2).expect("bowl builds").evaluator.clone(),
+        calls: AtomicUsize::new(0),
+    });
+    let mut problem = Bowl::problem(3, 0.2).expect("bowl builds");
+    problem.evaluator = counter.clone();
+    let journal = Journal::resume(&path, 25).expect("journal resume");
+    let resumed = agent.search(&problem.with_journal(journal), budget, 1);
+    assert_eq!(resumed, plain, "replayed outcome diverged");
+    assert_eq!(
+        counter.calls.load(Ordering::SeqCst),
+        0,
+        "a fully journaled campaign must not simulate"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resume_equivalence_survives_injected_worker_panics() {
+    let budget = SearchBudget::new(300);
+    for threads in [1usize, 4] {
+        for mut agent in agents() {
+            let name = agent.name().to_string();
+            let plain = agent.search(&panicky_bowl(threads, 0.2, 23), budget, 1);
+
+            let path = journal_path(&format!("panic-{name}-{threads}"));
+            let journal = Journal::create(&path, JournalMeta::new(), 5).expect("journal create");
+            let _ = agent.search(&panicky_bowl(threads, 0.2, 23).with_journal(journal), budget, 1);
+
+            let bytes = std::fs::read(&path).expect("journal readable");
+            std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("journal truncates");
+
+            // The replayed prefix contains terminal worker-panic records;
+            // finalize re-inserts their quarantine keys, so the live tail
+            // sees the same quarantine state the original run had.
+            let journal = Journal::resume(&path, 5).expect("torn journal resumes");
+            let resumed =
+                agent.search(&panicky_bowl(threads, 0.2, 23).with_journal(journal), budget, 1);
+            assert_eq!(resumed, plain, "{name}@{threads}t: panic-laden resume diverged");
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
