@@ -5,7 +5,8 @@
 
 use crate::trees::{ExtraTrees, ForestConfig};
 use asdex_env::{
-    EvalRequest, EvalStats, Evaluation, SearchBudget, SearchOutcome, Searcher, SizingProblem,
+    EvalRequest, EvalStats, Evaluation, HealthStats, SearchBudget, SearchOutcome, Searcher,
+    SizingProblem,
 };
 use asdex_rng::rngs::StdRng;
 use asdex_rng::SeedableRng;
@@ -71,12 +72,14 @@ impl Searcher for CustomizedBo {
         let mut xs: Vec<Vec<f64>> = Vec::new();
         let mut ys: Vec<f64> = Vec::new();
         let mut stats = EvalStats::new();
+        let mut health = HealthStats::new();
         let mut best_point = vec![0.5; problem.dim()];
         let mut best_value = f64::NEG_INFINITY;
         let mut best_meas = None;
 
         let evaluate = |u: &[f64],
                             stats: &mut EvalStats,
+                            health: &HealthStats,
                             xs: &mut Vec<Vec<f64>>,
                             ys: &mut Vec<f64>,
                             best_point: &mut Vec<f64>,
@@ -106,6 +109,7 @@ impl Searcher for CustomizedBo {
                     best_value: e.value,
                     best_measurements: e.measurements,
                     stats: stats.clone(),
+                    health: *health,
                 })
             } else {
                 None
@@ -139,6 +143,7 @@ impl Searcher for CustomizedBo {
                 best_value: e.value,
                 best_measurements: e.measurements,
                 stats,
+                health,
             };
         }
 
@@ -156,18 +161,49 @@ impl Searcher for CustomizedBo {
             }
             let forest = forest.as_ref().expect("fitted above");
             let mut best_candidate: Option<(Vec<f64>, f64)> = None;
+            let mut first_candidate: Option<Vec<f64>> = None;
+            let mut acq_min = f64::INFINITY;
+            let mut acq_max = f64::NEG_INFINITY;
+            let mut saw_nonfinite = false;
             for _ in 0..cfg.pool {
                 let u = problem.space.sample(&mut rng);
                 let (mean, std) = forest.predict_with_std(&u);
                 let acq = mean + beta * std;
+                if first_candidate.is_none() {
+                    first_candidate = Some(u.clone());
+                }
+                if acq.is_finite() {
+                    acq_min = acq_min.min(acq);
+                    acq_max = acq_max.max(acq);
+                } else {
+                    saw_nonfinite = true;
+                }
                 if best_candidate.as_ref().is_none_or(|(_, b)| acq > *b) {
                     best_candidate = Some((u, acq));
                 }
             }
-            let (u, _) = best_candidate.expect("pool is non-empty");
-            if let Some(done) =
-                evaluate(&u, &mut stats, &mut xs, &mut ys, &mut best_point, &mut best_value, &mut best_meas)
-            {
+            // A degenerate surrogate — non-finite predictions, or a
+            // constant acquisition surface that cannot rank candidates —
+            // falls back to random acquisition: take the first sampled
+            // candidate of the pool (the rng stream is unchanged either
+            // way, so thread-count and resume invariance hold).
+            let degenerate = saw_nonfinite || acq_max <= acq_min;
+            let u = if degenerate {
+                health.surrogate_fallbacks += 1;
+                first_candidate.expect("pool is non-empty")
+            } else {
+                best_candidate.expect("pool is non-empty").0
+            };
+            if let Some(done) = evaluate(
+                &u,
+                &mut stats,
+                &health,
+                &mut xs,
+                &mut ys,
+                &mut best_point,
+                &mut best_value,
+                &mut best_meas,
+            ) {
                 return done;
             }
             beta *= cfg.beta_decay;
@@ -180,6 +216,7 @@ impl Searcher for CustomizedBo {
             best_value,
             best_measurements: best_meas,
             stats,
+            health,
         }
     }
 }

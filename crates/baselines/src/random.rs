@@ -2,7 +2,8 @@
 //! (Table I: 100 % success at 8565 average iterations).
 
 use asdex_env::{
-    EvalRequest, EvalStats, Evaluation, SearchBudget, SearchOutcome, Searcher, SizingProblem,
+    EvalRequest, EvalStats, Evaluation, HealthStats, SearchBudget, SearchOutcome, Searcher,
+    SizingProblem,
 };
 use asdex_rng::rngs::StdRng;
 use asdex_rng::SeedableRng;
@@ -75,6 +76,7 @@ impl RandomSearch {
                     best_value: worst,
                     best_measurements: best_meas,
                     stats,
+                    health: HealthStats::new(),
                 };
             }
         }
@@ -85,6 +87,7 @@ impl RandomSearch {
             best_value,
             best_measurements: best_meas,
             stats,
+            health: HealthStats::new(),
         }
     }
 }
@@ -125,6 +128,7 @@ impl Searcher for RandomSearch {
                     best_value: e.value,
                     best_measurements: e.measurements,
                     stats,
+                    health: HealthStats::new(),
                 };
             }
         }
@@ -135,6 +139,7 @@ impl Searcher for RandomSearch {
             best_value,
             best_measurements: best_meas,
             stats,
+            health: HealthStats::new(),
         }
     }
 }

@@ -5,8 +5,8 @@
 //! Stable-Baselines agent the paper benchmarks in Table I.
 
 use crate::rl::env::SizingEnv;
-use crate::rl::policy_is_trained;
 use crate::rl::policy::{Policy, ValueNet};
+use crate::rl::{policy_is_trained, RlSentinel};
 use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
 use asdex_nn::{Adam, Optimizer};
 use asdex_rng::rngs::StdRng;
@@ -72,6 +72,8 @@ impl Searcher for A2c {
         let mut value = ValueNet::new(env.obs_dim(), cfg.hidden, &mut rng);
         let mut policy_opt = Adam::new(cfg.lr);
         let mut value_opt = Adam::new(cfg.value_lr);
+        let mut sentinel = RlSentinel::new();
+        sentinel.snapshot(&policy, &value);
 
         let mut obs = env.reset(&mut rng);
         let mut solved_at: Option<usize> = None;
@@ -132,11 +134,25 @@ impl Searcher for A2c {
             let n = observations.len() as f64;
             if let Some(mut g) = policy_grad {
                 g.scale(1.0 / n);
-                policy_opt.step(policy.net_mut(), g.flat());
+                if sentinel.admit(g.flat_mut()) {
+                    policy_opt.step(policy.net_mut(), g.flat());
+                }
             }
             if let Some(mut g) = value_grad {
                 g.scale(1.0 / n);
-                value_opt.step(value.net_mut(), g.flat());
+                if sentinel.admit(g.flat_mut()) {
+                    value_opt.step(value.net_mut(), g.flat());
+                }
+            }
+            // Entropy-collapse / NaN-weight sentinel: a healthy policy is
+            // snapshotted as the rollback target, a collapsed one is
+            // restored from the last-good snapshot with fresh optimizer
+            // moments.
+            if RlSentinel::policy_healthy(&policy, &observations, None) {
+                sentinel.snapshot(&policy, &value);
+            } else if sentinel.rollback(&mut policy, &mut value) {
+                policy_opt.reset();
+                value_opt.reset();
             }
             // Paper-style success check: a deterministic episode of the
             // *trained* policy must reach a feasible point.
@@ -158,6 +174,7 @@ impl Searcher for A2c {
                 best_value,
                 best_measurements: None,
                 stats,
+                health: sentinel.stats(),
             },
             None => SearchOutcome {
                 success: false,
@@ -166,6 +183,7 @@ impl Searcher for A2c {
                 best_value,
                 best_measurements: None,
                 stats,
+                health: sentinel.stats(),
             },
         }
     }

@@ -7,8 +7,109 @@ mod policy;
 mod ppo;
 mod trpo;
 
-use asdex_env::SearchBudget;
+use asdex_env::{HealthStats, SearchBudget};
+use asdex_nn::{GradGuard, GuardOutcome};
 use asdex_rng::Rng;
+
+/// Mean per-head entropy (nats) below which a policy is declared
+/// collapsed — a fresh 3-way head starts near ln 3 ≈ 1.1.
+pub(crate) const ENTROPY_FLOOR: f64 = 1e-3;
+
+/// Mean KL between consecutive policies above which an update is declared
+/// a blow-up and rolled back.
+pub(crate) const KL_CEILING: f64 = 2.0;
+
+/// Self-healing sentinel shared by the model-free agents: global-norm
+/// gradient clipping, non-finite update rejection, and last-good
+/// policy/value snapshots to roll back to when the policy collapses
+/// (entropy under [`ENTROPY_FLOOR`]) or blows up (KL over [`KL_CEILING`]).
+/// Pure function of the gradients and network outputs — no rng, no
+/// wall-clock — so it preserves the determinism contracts.
+pub(crate) struct RlSentinel {
+    guard: GradGuard,
+    stats: HealthStats,
+    last_good: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+impl RlSentinel {
+    pub(crate) fn new() -> Self {
+        RlSentinel { guard: GradGuard::default(), stats: HealthStats::new(), last_good: None }
+    }
+
+    pub(crate) fn stats(&self) -> HealthStats {
+        self.stats
+    }
+
+    /// Clips a flat gradient in place. Returns `false` when the gradient
+    /// is non-finite and the optimizer step must be skipped.
+    pub(crate) fn admit(&mut self, grad: &mut [f64]) -> bool {
+        match self.guard.apply(grad) {
+            GuardOutcome::Ok => true,
+            GuardOutcome::Clipped => {
+                self.stats.clipped_updates += 1;
+                true
+            }
+            GuardOutcome::NonFinite => {
+                self.stats.nonfinite_updates += 1;
+                false
+            }
+        }
+    }
+
+    /// Counts a non-finite quantity detected outside the gradient path
+    /// (TRPO's CG direction or step scale).
+    pub(crate) fn flag_nonfinite(&mut self) {
+        self.stats.nonfinite_updates += 1;
+    }
+
+    /// Records the current networks as the last-good state.
+    pub(crate) fn snapshot(&mut self, policy: &Policy, value: &ValueNet) {
+        self.last_good = Some((policy.flat_params(), value.flat_params()));
+    }
+
+    /// Post-update health check over a probe batch of observations:
+    /// entropy above the collapse floor, and — when the pre-update logits
+    /// are supplied — mean KL below the blow-up ceiling. Non-finite
+    /// entropy/KL (NaN weights) also fails, which keeps `act_greedy`'s
+    /// finite-logits contract intact.
+    pub(crate) fn policy_healthy(
+        policy: &Policy,
+        observations: &[Vec<f64>],
+        old_logits: Option<&[Vec<f64>]>,
+    ) -> bool {
+        if observations.is_empty() {
+            return true;
+        }
+        let n = observations.len() as f64;
+        let mean_entropy = observations.iter().map(|o| policy.entropy(o)).sum::<f64>() / n;
+        if !mean_entropy.is_finite() || mean_entropy < ENTROPY_FLOOR {
+            return false;
+        }
+        if let Some(old) = old_logits {
+            let mean_kl =
+                observations.iter().zip(old).map(|(o, ol)| policy.kl_from(o, ol)).sum::<f64>() / n;
+            if !mean_kl.is_finite() || mean_kl > KL_CEILING {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Restores the last-good snapshot, if any. The caller must reset its
+    /// optimizer moments afterwards — they were accumulated against the
+    /// now-discarded weights. Returns `true` when a rollback happened.
+    pub(crate) fn rollback(&mut self, policy: &mut Policy, value: &mut ValueNet) -> bool {
+        match &self.last_good {
+            Some((p, v)) => {
+                policy.set_flat_params(p);
+                value.set_flat_params(v);
+                self.stats.rollbacks += 1;
+                true
+            }
+            None => false,
+        }
+    }
+}
 
 /// Consecutive deterministic-episode successes required before a model-free
 /// policy counts as "trained" (one lucky rollout is not a deployable

@@ -211,6 +211,20 @@ impl ValueNet {
         self.net.backward(&trace, &[2.0 * err])
     }
 
+    /// Flattened parameters (health snapshots).
+    pub fn flat_params(&self) -> Vec<f64> {
+        self.net.flat_params()
+    }
+
+    /// Overwrites parameters (health rollback).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a length mismatch.
+    pub fn set_flat_params(&mut self, p: &[f64]) {
+        self.net.set_flat_params(p);
+    }
+
     /// Mutable access for optimizer steps.
     pub fn net_mut(&mut self) -> &mut Mlp {
         &mut self.net

@@ -5,8 +5,8 @@
 //! Stable-Baselines-style PPO the paper benchmarks in Table I.
 
 use crate::rl::env::SizingEnv;
-use crate::rl::policy_is_trained;
 use crate::rl::policy::{Policy, ValueNet, MOVES};
+use crate::rl::{policy_is_trained, RlSentinel};
 use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
 use asdex_nn::{log_prob_grad, Adam, Optimizer};
 use asdex_rng::rngs::StdRng;
@@ -94,6 +94,8 @@ impl Searcher for Ppo {
         let mut value = ValueNet::new(env.obs_dim(), cfg.hidden, &mut rng);
         let mut policy_opt = Adam::new(cfg.lr);
         let mut value_opt = Adam::new(cfg.value_lr);
+        let mut sentinel = RlSentinel::new();
+        sentinel.snapshot(&policy, &value);
 
         let mut obs = env.reset(&mut rng);
         let mut solved_at: Option<usize> = None;
@@ -149,6 +151,10 @@ impl Searcher for Ppo {
             }
 
             // --- Clipped-surrogate epochs. ----------------------------------
+            // Pre-update distribution for the post-epochs KL blow-up check
+            // (at this point the current policy *is* the old policy).
+            let obs_batch: Vec<Vec<f64>> = transitions.iter().map(|t| t.obs.clone()).collect();
+            let pre_logits: Vec<Vec<f64>> = obs_batch.iter().map(|o| policy.logits(o)).collect();
             let mut order: Vec<usize> = (0..transitions.len()).collect();
             for _ in 0..cfg.epochs {
                 order.shuffle(&mut rng);
@@ -157,7 +163,7 @@ impl Searcher for Ppo {
                     let n_heads = policy.n_heads();
                     let (clip, ent_coef, adv, old_lp) = (cfg.clip, cfg.ent_coef, t.advantage, t.old_log_prob);
                     let actions = t.actions.clone();
-                    let g = policy.grad_with(&t.obs, |logits| {
+                    let mut g = policy.grad_with(&t.obs, |logits| {
                         let new_lp = Policy::log_prob_of(logits, &actions);
                         let ratio = (new_lp - old_lp).exp();
                         let clipped = ratio < 1.0 - clip || ratio > 1.0 + clip;
@@ -177,10 +183,24 @@ impl Searcher for Ppo {
                         }
                         d
                     });
-                    policy_opt.step(policy.net_mut(), g.flat());
-                    let vg = value.td_gradient(&transitions[i].obs, transitions[i].ret);
-                    value_opt.step(value.net_mut(), vg.flat());
+                    if sentinel.admit(g.flat_mut()) {
+                        policy_opt.step(policy.net_mut(), g.flat());
+                    }
+                    let mut vg = value.td_gradient(&transitions[i].obs, transitions[i].ret);
+                    if sentinel.admit(vg.flat_mut()) {
+                        value_opt.step(value.net_mut(), vg.flat());
+                    }
                 }
+            }
+            // Entropy-collapse / KL-blow-up sentinel: a healthy policy is
+            // snapshotted as the rollback target; a collapsed or blown-up
+            // one is restored from the last-good snapshot with fresh
+            // optimizer moments.
+            if RlSentinel::policy_healthy(&policy, &obs_batch, Some(&pre_logits)) {
+                sentinel.snapshot(&policy, &value);
+            } else if sentinel.rollback(&mut policy, &mut value) {
+                policy_opt.reset();
+                value_opt.reset();
             }
             // Paper-style success check: a deterministic episode of the
             // *trained* policy must reach a feasible point.
@@ -202,6 +222,7 @@ impl Searcher for Ppo {
                 best_value,
                 best_measurements: None,
                 stats,
+                health: sentinel.stats(),
             },
             None => SearchOutcome {
                 success: false,
@@ -210,6 +231,7 @@ impl Searcher for Ppo {
                 best_value,
                 best_measurements: None,
                 stats,
+                health: sentinel.stats(),
             },
         }
     }

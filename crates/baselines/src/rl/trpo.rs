@@ -8,8 +8,8 @@
 //! paper's title contrasts with its *design-space* trust region.
 
 use crate::rl::env::SizingEnv;
-use crate::rl::policy_is_trained;
 use crate::rl::policy::{Policy, ValueNet};
+use crate::rl::{policy_is_trained, RlSentinel};
 use asdex_env::{SearchBudget, SearchOutcome, Searcher, SizingProblem};
 use asdex_nn::{Adam, Optimizer};
 use asdex_rng::rngs::StdRng;
@@ -84,6 +84,8 @@ impl Searcher for Trpo {
         let mut policy = Policy::new(env.obs_dim(), env.n_heads(), cfg.hidden, &mut rng);
         let mut value = ValueNet::new(env.obs_dim(), cfg.hidden, &mut rng);
         let mut value_opt = Adam::new(cfg.value_lr);
+        let mut sentinel = RlSentinel::new();
+        sentinel.snapshot(&policy, &value);
 
         let mut obs = env.reset(&mut rng);
         let mut solved_at: Option<usize> = None;
@@ -147,7 +149,11 @@ impl Searcher for Trpo {
             }
             let mut g = g.expect("nonempty batch");
             g.scale(-1.0 / observations.len() as f64);
-            let g = g.flat().to_vec();
+            let mut g = g.flat().to_vec();
+            // A non-finite policy gradient poisons CG, the FVP, and the
+            // line search all at once — skip the policy update entirely
+            // (the value net and the next batch still proceed).
+            let g_ok = sentinel.admit(&mut g);
 
             // --- Fisher-vector product via KL-gradient finite differences. --
             let theta0 = policy.flat_params();
@@ -174,74 +180,94 @@ impl Searcher for Trpo {
                 grad.iter().zip(v).map(|(gk, vk)| gk / eps + cfg.damping * vk).collect()
             };
 
-            // --- Conjugate gradient: solve F s = g. -------------------------
-            let n = g.len();
-            let mut s = vec![0.0; n];
-            let mut r = g.clone();
-            let mut p_dir = g.clone();
-            let mut rr = dot(&r, &r);
-            for _ in 0..cfg.cg_iters {
-                if rr < 1e-12 {
-                    break;
+            if g_ok {
+                // --- Conjugate gradient: solve F s = g. ---------------------
+                let n = g.len();
+                let mut s = vec![0.0; n];
+                let mut r = g.clone();
+                let mut p_dir = g.clone();
+                let mut rr = dot(&r, &r);
+                for _ in 0..cfg.cg_iters {
+                    if rr < 1e-12 {
+                        break;
+                    }
+                    let fp = fvp(&p_dir, &mut policy);
+                    let alpha = rr / dot(&p_dir, &fp).max(1e-12);
+                    for i in 0..n {
+                        s[i] += alpha * p_dir[i];
+                        r[i] -= alpha * fp[i];
+                    }
+                    let rr_new = dot(&r, &r);
+                    let beta = rr_new / rr;
+                    for i in 0..n {
+                        p_dir[i] = r[i] + beta * p_dir[i];
+                    }
+                    rr = rr_new;
                 }
-                let fp = fvp(&p_dir, &mut policy);
-                let alpha = rr / dot(&p_dir, &fp).max(1e-12);
-                for i in 0..n {
-                    s[i] += alpha * p_dir[i];
-                    r[i] -= alpha * fp[i];
-                }
-                let rr_new = dot(&r, &r);
-                let beta = rr_new / rr;
-                for i in 0..n {
-                    p_dir[i] = r[i] + beta * p_dir[i];
-                }
-                rr = rr_new;
-            }
 
-            // --- Step size from the KL constraint + line search. ------------
-            let fs = fvp(&s, &mut policy);
-            let shs = dot(&s, &fs).max(1e-12);
-            let step_scale = (2.0 * cfg.max_kl / shs).sqrt();
-            let surrogate = |p: &Policy| -> f64 {
-                let mut total = 0.0;
-                for t in 0..observations.len() {
-                    let new_lp = p.log_prob(&observations[t], &actions_taken[t]);
-                    total += (new_lp - old_log_probs[t]).exp() * advantages[t];
+                // --- Step size from the KL constraint + line search. --------
+                let fs = fvp(&s, &mut policy);
+                let shs = dot(&s, &fs).max(1e-12);
+                let step_scale = (2.0 * cfg.max_kl / shs).sqrt();
+                if s.iter().all(|v| v.is_finite()) && shs.is_finite() && step_scale.is_finite() {
+                    let surrogate = |p: &Policy| -> f64 {
+                        let mut total = 0.0;
+                        for t in 0..observations.len() {
+                            let new_lp = p.log_prob(&observations[t], &actions_taken[t]);
+                            total += (new_lp - old_log_probs[t]).exp() * advantages[t];
+                        }
+                        total / observations.len() as f64
+                    };
+                    let mean_kl = |p: &Policy| -> f64 {
+                        observations
+                            .iter()
+                            .zip(&old_logits)
+                            .map(|(o, ol)| p.kl_from(o, ol))
+                            .sum::<f64>()
+                            / observations.len() as f64
+                    };
+                    let base_surrogate = surrogate(&policy);
+                    let mut accepted = false;
+                    let mut frac = 1.0;
+                    for _ in 0..cfg.backtracks {
+                        let theta: Vec<f64> = theta0
+                            .iter()
+                            .zip(&s)
+                            .map(|(t, si)| t + frac * step_scale * si)
+                            .collect();
+                        policy.set_flat_params(&theta);
+                        if surrogate(&policy) > base_surrogate
+                            && mean_kl(&policy) <= cfg.max_kl * 1.5
+                        {
+                            accepted = true;
+                            break;
+                        }
+                        frac *= 0.5;
+                    }
+                    if !accepted {
+                        policy.set_flat_params(&theta0);
+                    }
+                } else {
+                    // The CG direction or KL step scale went non-finite:
+                    // abandon the natural-gradient step and keep θ₀.
+                    sentinel.flag_nonfinite();
+                    policy.set_flat_params(&theta0);
                 }
-                total / observations.len() as f64
-            };
-            let mean_kl = |p: &Policy| -> f64 {
-                observations
-                    .iter()
-                    .zip(&old_logits)
-                    .map(|(o, ol)| p.kl_from(o, ol))
-                    .sum::<f64>()
-                    / observations.len() as f64
-            };
-            let base_surrogate = surrogate(&policy);
-            let mut accepted = false;
-            let mut frac = 1.0;
-            for _ in 0..cfg.backtracks {
-                let theta: Vec<f64> = theta0
-                    .iter()
-                    .zip(&s)
-                    .map(|(t, si)| t + frac * step_scale * si)
-                    .collect();
-                policy.set_flat_params(&theta);
-                if surrogate(&policy) > base_surrogate && mean_kl(&policy) <= cfg.max_kl * 1.5 {
-                    accepted = true;
-                    break;
-                }
-                frac *= 0.5;
-            }
-            if !accepted {
-                policy.set_flat_params(&theta0);
             }
 
             // --- Value-net regression. --------------------------------------
             for t in 0..observations.len() {
-                let vg = value.td_gradient(&observations[t], returns[t]);
-                value_opt.step(value.net_mut(), vg.flat());
+                let mut vg = value.td_gradient(&observations[t], returns[t]);
+                if sentinel.admit(vg.flat_mut()) {
+                    value_opt.step(value.net_mut(), vg.flat());
+                }
+            }
+            // Entropy-collapse / NaN-weight sentinel, as in A2C (the KL
+            // trust region itself is already enforced by the line search).
+            if RlSentinel::policy_healthy(&policy, &observations, None) {
+                sentinel.snapshot(&policy, &value);
+            } else if sentinel.rollback(&mut policy, &mut value) {
+                value_opt.reset();
             }
             // Paper-style success check: a deterministic episode of the
             // *trained* policy must reach a feasible point.
@@ -263,6 +289,7 @@ impl Searcher for Trpo {
                 best_value,
                 best_measurements: None,
                 stats,
+                health: sentinel.stats(),
             },
             None => SearchOutcome {
                 success: false,
@@ -271,6 +298,7 @@ impl Searcher for Trpo {
                 best_value,
                 best_measurements: None,
                 stats,
+                health: sentinel.stats(),
             },
         }
     }

@@ -6,8 +6,31 @@
 //! standardized with a running [`Normalizer`] so the regression is not
 //! dominated by the largest unit.
 
-use asdex_nn::{mse_output_grad, Activation, Adam, Mlp, Normalizer, Optimizer};
+use asdex_nn::{
+    mse_output_grad, Activation, Adam, GradGuard, GuardOutcome, Mlp, Normalizer, Optimizer,
+    TrainHealth, UpdateClass,
+};
 use asdex_rng::Rng;
+
+/// Outcome of one guarded [`SpiceApproximator::fit`] call: the final loss
+/// plus what the numeric guards did while producing it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitReport {
+    /// Final-epoch mean training loss (normalized units).
+    pub loss: f64,
+    /// Per-sample gradients clipped to the global-norm ceiling.
+    pub clipped: usize,
+    /// Per-sample updates skipped because the gradient was non-finite.
+    pub nonfinite: usize,
+    /// Sentinel classification of the fit as a whole.
+    pub class: UpdateClass,
+}
+
+impl FitReport {
+    fn healthy_empty() -> Self {
+        FitReport { loss: 0.0, clipped: 0, nonfinite: 0, class: UpdateClass::Ok }
+    }
+}
 
 /// Portable snapshot of a trained approximator: the network weights plus
 /// the input/output standardization statistics they were trained against.
@@ -62,6 +85,9 @@ pub struct SpiceApproximator {
     n_in: usize,
     n_out: usize,
     window: usize,
+    guard: GradGuard,
+    sentinel: TrainHealth,
+    last_fit: FitReport,
 }
 
 impl SpiceApproximator {
@@ -78,6 +104,13 @@ impl SpiceApproximator {
             n_in,
             n_out,
             window: 128,
+            guard: GradGuard::default(),
+            // Standardized-MSE losses sit near 1 untrained and well below
+            // 0.1 once converged; an 8× jump over max(median, 0.05) is an
+            // unambiguous regime break (e.g. the first poisoned target
+            // discontinuously re-scaling the output normalizer).
+            sentinel: TrainHealth::default().with_thresholds(8.0, 0.05),
+            last_fit: FitReport::healthy_empty(),
         }
     }
 
@@ -119,11 +152,20 @@ impl SpiceApproximator {
     /// Runs `epochs` passes of Adam over the whole trajectory (Algorithm
     /// 1, line 8). Returns the final mean training loss (normalized
     /// units), or 0 when the trajectory is empty.
+    ///
+    /// Every per-sample gradient passes through the [`GradGuard`] first:
+    /// a non-finite gradient skips its optimizer step (keeping Adam's
+    /// moments clean), an over-norm one is clipped. The fit as a whole is
+    /// classified by the running-median [`TrainHealth`] sentinel; read
+    /// the result with [`SpiceApproximator::last_fit`].
     pub fn fit(&mut self, epochs: usize) -> f64 {
         if self.trajectory.is_empty() {
+            self.last_fit = FitReport::healthy_empty();
             return 0.0;
         }
         let mut last = 0.0;
+        let mut clipped = 0;
+        let mut nonfinite = 0;
         let start = self.trajectory.len().saturating_sub(self.window);
         let count = self.trajectory.len() - start;
         for _ in 0..epochs {
@@ -135,12 +177,57 @@ impl SpiceApproximator {
                 };
                 let trace = self.net.forward_trace(&x);
                 last += asdex_nn::mse(trace.output(), &y);
-                let g = self.net.backward(&trace, &mse_output_grad(trace.output(), &y));
-                self.adam.step(&mut self.net, g.flat());
+                let mut g = self.net.backward(&trace, &mse_output_grad(trace.output(), &y));
+                match self.guard.apply(g.flat_mut()) {
+                    GuardOutcome::NonFinite => nonfinite += 1,
+                    GuardOutcome::Clipped => {
+                        clipped += 1;
+                        self.adam.step(&mut self.net, g.flat());
+                    }
+                    GuardOutcome::Ok => self.adam.step(&mut self.net, g.flat()),
+                }
             }
             last /= count as f64;
         }
+        let guard_summary =
+            if nonfinite > 0 { GuardOutcome::NonFinite } else { GuardOutcome::Ok };
+        let mut class = self.sentinel.classify(last, guard_summary);
+        if class == UpdateClass::Ok && clipped > 0 {
+            class = UpdateClass::Clipped;
+        }
+        self.last_fit = FitReport { loss: last, clipped, nonfinite, class };
         last
+    }
+
+    /// The guard/sentinel report from the most recent
+    /// [`SpiceApproximator::fit`] call.
+    pub fn last_fit(&self) -> FitReport {
+        self.last_fit
+    }
+
+    /// Multiplies the learning rate by `factor`, floored at `floor` —
+    /// the rollback path anneals the step size so a re-trained model
+    /// approaches the poisoned regime more cautiously.
+    pub fn anneal_lr(&mut self, factor: f64, floor: f64) {
+        self.adam.lr = (self.adam.lr * factor).max(floor);
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f64 {
+        self.adam.lr
+    }
+
+    /// Resets the optimizer's moment estimates (used on rollback: stale
+    /// moments computed against poisoned gradients must not steer the
+    /// restored weights).
+    pub fn reset_optimizer(&mut self) {
+        self.adam.reset();
+    }
+
+    /// Clears the loss-explosion sentinel's history (used on rollback,
+    /// when upcoming losses follow a new regime).
+    pub fn reset_health(&mut self) {
+        self.sentinel.reset();
     }
 
     /// Predicts raw measurements at a normalized point.
@@ -153,6 +240,7 @@ impl SpiceApproximator {
     pub fn clear_trajectory(&mut self) {
         self.trajectory.clear();
         self.adam.reset();
+        self.sentinel.reset();
         self.in_norm = Normalizer::new(self.n_in);
         self.out_norm = Normalizer::new(self.n_out);
     }
@@ -251,5 +339,58 @@ mod tests {
     fn push_checks_dimensions() {
         let mut m = SpiceApproximator::new(2, 2, 8, 0.003, &mut rng());
         m.push(vec![0.0, 0.0], vec![1.0]);
+    }
+
+    fn push_clean_patch(m: &mut SpiceApproximator) {
+        for k in 0..40 {
+            let x = vec![0.4 + 0.005 * k as f64, 0.5];
+            let y = vec![3.0 * x[0] + 1.0];
+            m.push(x, y);
+        }
+    }
+
+    #[test]
+    fn clean_fit_reports_zero_guard_events() {
+        let mut m = SpiceApproximator::new(2, 1, 16, 0.003, &mut rng());
+        push_clean_patch(&mut m);
+        for _ in 0..8 {
+            m.fit(20);
+            let r = m.last_fit();
+            assert_eq!(r.class, UpdateClass::Ok, "clean fit misclassified: {r:?}");
+            assert_eq!(r.clipped, 0, "clean fit clipped gradients");
+            assert_eq!(r.nonfinite, 0, "clean fit saw non-finite gradients");
+        }
+    }
+
+    #[test]
+    fn extreme_target_flags_loss_explosion() {
+        let mut m = SpiceApproximator::new(2, 1, 16, 0.003, &mut rng());
+        push_clean_patch(&mut m);
+        // Build healthy history so the sentinel is armed and converged.
+        for _ in 0..8 {
+            m.fit(20);
+        }
+        assert!(m.last_fit().loss < 0.05, "model should have converged");
+        // One huge-but-finite target discontinuously re-scales the output
+        // normalizer; the next fit's loss jumps an order of magnitude.
+        m.push(vec![0.45, 0.5], vec![-1e30]);
+        m.fit(6);
+        assert_eq!(
+            m.last_fit().class,
+            UpdateClass::LossExplosion,
+            "poisoned fit not flagged: {:?}",
+            m.last_fit()
+        );
+    }
+
+    #[test]
+    fn anneal_lr_halves_and_floors() {
+        let mut m = SpiceApproximator::new(2, 1, 8, 0.008, &mut rng());
+        m.anneal_lr(0.5, 1e-4);
+        assert!((m.lr() - 0.004).abs() < 1e-12);
+        for _ in 0..20 {
+            m.anneal_lr(0.5, 1e-4);
+        }
+        assert!((m.lr() - 1e-4).abs() < 1e-15, "lr must floor at 1e-4");
     }
 }

@@ -6,6 +6,7 @@
 //! region when progress stalls (`C_riterion`).
 
 use crate::approximator::SpiceApproximator;
+use crate::health::{HealthConfig, HealthMonitor};
 use crate::planner::McPlanner;
 use crate::trust_region::{TrustRegion, TrustRegionConfig};
 use asdex_env::{EvalRequest, EvalStats, Evaluation, SearchBudget, SearchOutcome, Searcher, SizingProblem};
@@ -36,6 +37,9 @@ pub struct ExplorerConfig {
     pub restart_after: usize,
     /// Most-recent-samples window the surrogate trains on.
     pub train_window: usize,
+    /// Self-healing knobs: rollback annealing and trust-region collapse
+    /// patience (which must stay below `restart_after` to fire first).
+    pub health: HealthConfig,
 }
 
 impl Default for ExplorerConfig {
@@ -49,6 +53,7 @@ impl Default for ExplorerConfig {
             trust: TrustRegionConfig::default(),
             restart_after: 25,
             train_window: 96,
+            health: HealthConfig::default(),
         }
     }
 }
@@ -116,8 +121,9 @@ impl LocalExplorer {
         if let Some(state) = &warm.model {
             model.import_state(state);
         }
+        let mut health = HealthMonitor::new(cfg.health);
 
-        let exhausted = |stats: &EvalStats, best_point: Vec<f64>, best_value: f64, best_meas: Option<Vec<f64>>, model: &SpiceApproximator| {
+        let exhausted = |stats: &EvalStats, best_point: Vec<f64>, best_value: f64, best_meas: Option<Vec<f64>>, model: &SpiceApproximator, health: &HealthMonitor| {
             (
                 SearchOutcome {
                     success: false,
@@ -126,6 +132,7 @@ impl LocalExplorer {
                     best_value,
                     best_measurements: best_meas,
                     stats: stats.clone(),
+                    health: health.stats(),
                 },
                 ExplorerArtifacts { model: model.export_state(), center: best_point },
             )
@@ -147,7 +154,7 @@ impl LocalExplorer {
                     }
                 };
                 if stats.sims >= budget.max_sims {
-                    return exhausted(&stats, best_point, best_value, best_meas, &model);
+                    return exhausted(&stats, best_point, best_value, best_meas, &model, &health);
                 }
                 let e = problem.evaluate_with_budget(&center, corner_idx, budget.max_sims - stats.sims);
                 stats.record(&e);
@@ -169,6 +176,7 @@ impl LocalExplorer {
                             best_value: center_value,
                             best_measurements: best_meas,
                             stats,
+                            health: health.stats(),
                         },
                         ExplorerArtifacts { model: model.export_state(), center },
                     );
@@ -177,7 +185,7 @@ impl LocalExplorer {
                 center = vec![0.5; dim];
                 center_value = f64::NEG_INFINITY;
                 if stats.sims >= budget.max_sims {
-                    return exhausted(&stats, best_point, best_value, best_meas, &model);
+                    return exhausted(&stats, best_point, best_value, best_meas, &model, &health);
                 }
                 // Lines 2–3 as one batch: sampling consumes the rng,
                 // evaluation does not, so drawing every seed up front
@@ -215,21 +223,24 @@ impl LocalExplorer {
                             best_value: e.value,
                             best_measurements: e.measurements,
                             stats,
+                            health: health.stats(),
                         },
                         ExplorerArtifacts { model: model.export_state(), center: e.x_norm },
                     );
                 }
             }
             first_episode = false;
+            health.reset_episode();
 
             // --- Lines 6–18: local trust-region search. ---------------------
             let mut trust = TrustRegion::new(cfg.trust);
             let mut stall = 0usize;
             loop {
                 if stats.sims >= budget.max_sims {
-                    return exhausted(&stats, best_point, best_value, best_meas, &model);
+                    return exhausted(&stats, best_point, best_value, best_meas, &model, &health);
                 }
                 model.fit(cfg.train_epochs);
+                health.after_fit(&mut model);
                 let proposal = planner.propose(
                     &problem.space,
                     &center,
@@ -262,6 +273,7 @@ impl LocalExplorer {
                             best_value: e.value,
                             best_measurements: e.measurements,
                             stats,
+                            health: health.stats(),
                         },
                         ExplorerArtifacts { model: model.export_state(), center: e.x_norm },
                     );
@@ -272,6 +284,12 @@ impl LocalExplorer {
                 if step.accepted {
                     center = e.x_norm;
                     center_value = e.value;
+                }
+                if health.observe_step(&trust, step.accepted) {
+                    // Trust-region collapse: radius pinned at its minimum
+                    // with no accepted step for the whole patience window.
+                    // Re-seed per Algorithm 1's restart semantics.
+                    continue 'episode;
                 }
                 if improved {
                     stall = 0;

@@ -8,7 +8,7 @@
 
 use crate::explorer::{ExplorerConfig, LocalExplorer, WarmStart};
 use crate::pvt::{LedgerEntry, PvtExplorer, PvtStrategy};
-use asdex_env::{EnvError, EvalStats, SearchBudget, SizingProblem};
+use asdex_env::{EnvError, EvalStats, HealthStats, SearchBudget, SizingProblem};
 
 /// User-facing framework configuration. Everything has a sensible
 /// default; `None` fields are derived from the problem (the paper's
@@ -43,6 +43,9 @@ pub struct FrameworkOutcome {
     pub ledger: Vec<LedgerEntry>,
     /// Failure/retry telemetry over every simulator call.
     pub stats: EvalStats,
+    /// Self-healing telemetry (rollbacks, clipped/non-finite updates,
+    /// trust-region re-seeds) over the whole campaign.
+    pub health: HealthStats,
 }
 
 /// The automated sizing framework.
@@ -108,6 +111,7 @@ impl Framework {
                 best_value: out.best_value,
                 ledger: Vec::new(),
                 stats: out.stats,
+                health: out.health,
             })
         } else {
             let strategy = self.config.pvt_strategy.unwrap_or(PvtStrategy::ProgressiveHardest);
@@ -123,6 +127,7 @@ impl Framework {
                 best_value: out.best_value,
                 ledger: out.ledger,
                 stats: out.stats,
+                health: out.health,
             })
         }
     }

@@ -39,14 +39,16 @@
 mod approximator;
 mod explorer;
 mod framework;
+mod health;
 mod planner;
 mod porting;
 mod pvt;
 mod trust_region;
 
-pub use approximator::{ModelState, Sample, SpiceApproximator};
+pub use approximator::{FitReport, ModelState, Sample, SpiceApproximator};
 pub use explorer::{ExplorerArtifacts, ExplorerConfig, LocalExplorer, WarmStart};
 pub use framework::{Framework, FrameworkConfig, FrameworkOutcome};
+pub use health::{HealthConfig, HealthMonitor};
 pub use planner::{McPlanner, Proposal};
 pub use porting::PortingStrategy;
 pub use pvt::{LedgerEntry, PvtExplorer, PvtOutcome, PvtStrategy};

@@ -8,11 +8,22 @@
 
 use crate::approximator::SpiceApproximator;
 use crate::explorer::ExplorerConfig;
+use crate::health::HealthMonitor;
 use crate::planner::McPlanner;
 use crate::trust_region::TrustRegion;
-use asdex_env::{EvalRequest, EvalStats, SearchBudget, SizingProblem};
+use asdex_env::{EvalRequest, EvalStats, HealthStats, SearchBudget, SizingProblem};
 use asdex_rng::rngs::StdRng;
 use asdex_rng::{Rng, SeedableRng};
+
+/// Folds the per-corner training monitors and the campaign-level
+/// trust-region monitor into one telemetry record.
+fn merged_health(monitors: &[HealthMonitor], tr: &HealthMonitor) -> HealthStats {
+    let mut h = tr.stats();
+    for m in monitors {
+        h.merge(&m.stats());
+    }
+    h
+}
 
 /// Strategy for covering the PVT corner set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +86,9 @@ pub struct PvtOutcome {
     pub activation_order: Vec<usize>,
     /// Failure/retry telemetry over every simulator call.
     pub stats: EvalStats,
+    /// Self-healing telemetry merged over every per-corner model plus the
+    /// campaign's trust-region collapse tracker.
+    pub health: HealthStats,
 }
 
 /// The PVT exploration engine.
@@ -125,6 +139,11 @@ impl PvtExplorer {
                 m
             })
             .collect();
+        // Every corner model gets its own supervisor; the trust region —
+        // shared by the whole campaign — gets a dedicated collapse tracker.
+        let mut monitors: Vec<HealthMonitor> =
+            (0..n_corners).map(|_| HealthMonitor::new(cfg.health)).collect();
+        let mut tr_health = HealthMonitor::new(cfg.health);
 
         // Pick the starting active set.
         let mut active: Vec<usize> = match self.strategy {
@@ -145,6 +164,7 @@ impl PvtExplorer {
                             ledger,
                             activation_order: vec![],
                             stats,
+                            health: merged_health(&monitors, &tr_health),
                         };
                     }
                     let u = problem.space.sample(&mut rng);
@@ -176,6 +196,7 @@ impl PvtExplorer {
                             ledger,
                             activation_order: vec![],
                             stats,
+                            health: merged_health(&monitors, &tr_health),
                         };
                     }
                 }
@@ -232,6 +253,9 @@ impl PvtExplorer {
 
         'episode: loop {
             round += 1;
+            // New episode ⇒ fresh region and radius; the collapse tracker
+            // must not carry pinned-reject counts across the boundary.
+            tr_health.reset_episode();
             // Seed phase over active corners.
             let mut center = vec![0.5; dim];
             let mut center_value = f64::NEG_INFINITY;
@@ -259,6 +283,7 @@ impl PvtExplorer {
                     ledger,
                     activation_order,
                     stats,
+                    health: merged_health(&monitors, &tr_health),
                 };
             }
 
@@ -274,10 +299,12 @@ impl PvtExplorer {
                         ledger,
                         activation_order,
                         stats,
+                        health: merged_health(&monitors, &tr_health),
                     };
                 }
                 for &c in &active {
                     models[c].fit(cfg.train_epochs);
+                    monitors[c].after_fit(&mut models[c]);
                 }
                 let model_refs: Vec<&SpiceApproximator> = active.iter().map(|&c| &models[c]).collect();
                 let proposal = planner.propose_multi(
@@ -315,6 +342,7 @@ impl PvtExplorer {
                             ledger,
                             activation_order,
                             stats,
+                            health: merged_health(&monitors, &tr_health),
                         };
                     }
                     round += 1;
@@ -331,6 +359,7 @@ impl PvtExplorer {
                             ledger,
                             activation_order,
                             stats,
+                            health: merged_health(&monitors, &tr_health),
                         };
                     }
                     // Promote the worst failing corner and keep searching
@@ -340,6 +369,7 @@ impl PvtExplorer {
                     center = p.x;
                     center_value = v_worst;
                     trust.reset();
+                    tr_health.reset_episode();
                     stall = 0;
                     continue;
                 }
@@ -349,6 +379,11 @@ impl PvtExplorer {
                 if step.accepted {
                     center = p.x;
                     center_value = worst;
+                }
+                // Collapse sentinel: radius pinned at its minimum with no
+                // accepted step for the patience window ⇒ re-seed.
+                if tr_health.observe_step(&trust, step.accepted) {
+                    continue 'episode;
                 }
                 if improved {
                     stall = 0;

@@ -94,6 +94,14 @@ impl TrustRegion {
     /// accept only if the real improvement is positive, and shrink.
     pub fn assess(&mut self, predicted: f64, actual: f64) -> TrustStep {
         let c = self.config;
+        if !predicted.is_finite() || !actual.is_finite() {
+            // A non-finite improvement means the model or evaluator is
+            // broken; reject the step and shrink — the explicit version of
+            // what NaN comparisons used to do implicitly (and Inf used to
+            // get wrong).
+            self.radius = (self.radius * c.shrink_factor).max(c.min_radius);
+            return TrustStep { accepted: false, rho: 0.0, radius: self.radius };
+        }
         let (rho, accepted) = if predicted > 1e-12 {
             let rho = actual / predicted;
             (rho, rho > c.eta)
@@ -168,6 +176,23 @@ mod tests {
         assert!(step.accepted, "real improvement still taken");
         let step = t.assess(-0.3, -0.2);
         assert!(!step.accepted);
+    }
+
+    #[test]
+    fn non_finite_improvements_reject_and_shrink() {
+        for (p, a) in [
+            (f64::NAN, 0.5),
+            (1.0, f64::NAN),
+            (f64::INFINITY, 1.0),
+            (1.0, f64::NEG_INFINITY),
+        ] {
+            let mut t = tr();
+            let r0 = t.radius();
+            let step = t.assess(p, a);
+            assert!(!step.accepted, "non-finite ({p}, {a}) must be rejected");
+            assert!(step.rho.is_finite() && step.radius.is_finite());
+            assert!(step.radius < r0, "non-finite input must shrink the region");
+        }
     }
 
     #[test]

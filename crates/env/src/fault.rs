@@ -32,6 +32,12 @@ pub enum FaultMode {
     /// A raw `panic!` from inside the evaluator — exercises the worker
     /// panic-isolation boundary ([`crate::FailureKind::WorkerPanic`]).
     Panic,
+    /// All measurements replaced with a huge-but-finite value (−1e30).
+    /// Unlike NaN/Inf this passes the finiteness checks, reaches the
+    /// learning loop, and poisons surrogate/policy training — the case the
+    /// self-healing sentinels exist for. Negative, so threshold specs
+    /// cannot mistake it for a pass.
+    ExtremeMeasurements,
 }
 
 /// Configuration for [`FaultInjectingEvaluator`].
@@ -46,24 +52,24 @@ pub struct FaultConfig {
     /// ladder. When `false` a faulted point stays faulted at every
     /// attempt.
     pub recover_on_retry: bool,
-    /// Relative weights of the five modes, in [`FaultMode`] declaration
-    /// order: no-convergence, NaN, Inf, wrong-dimension, panic.
-    pub mode_weights: [u32; 5],
+    /// Relative weights of the six modes, in [`FaultMode`] declaration
+    /// order: no-convergence, NaN, Inf, wrong-dimension, panic, extreme.
+    pub mode_weights: [u32; 6],
 }
 
 impl FaultConfig {
     /// Faults at `rate` with the given `seed` and default mode mix
     /// (half non-convergence, the rest split between NaN/Inf/wrong-dim;
-    /// panics are opt-in via [`FaultConfig::only`] or explicit weights, so
-    /// a default chaos stream stays panic-free and bit-identical to prior
-    /// releases).
+    /// panics and extreme measurements are opt-in via [`FaultConfig::only`]
+    /// or explicit weights, so a default chaos stream stays panic-free and
+    /// bit-identical to prior releases).
     pub fn new(rate: f64, seed: u64) -> Self {
-        FaultConfig { rate, seed, recover_on_retry: true, mode_weights: [5, 2, 1, 2, 0] }
+        FaultConfig { rate, seed, recover_on_retry: true, mode_weights: [5, 2, 1, 2, 0, 0] }
     }
 
     /// Restricts injection to a single mode.
     pub fn only(mode: FaultMode, rate: f64, seed: u64) -> Self {
-        let mut w = [0u32; 5];
+        let mut w = [0u32; 6];
         w[mode as usize] = 1;
         FaultConfig { rate, seed, recover_on_retry: true, mode_weights: w }
     }
@@ -137,7 +143,8 @@ impl FaultInjectingEvaluator {
                     1 => FaultMode::NanMeasurements,
                     2 => FaultMode::InfMeasurements,
                     3 => FaultMode::WrongDimension,
-                    _ => FaultMode::Panic,
+                    4 => FaultMode::Panic,
+                    _ => FaultMode::ExtremeMeasurements,
                 });
             }
             pick -= w;
@@ -172,6 +179,7 @@ impl Evaluator for FaultInjectingEvaluator {
                     FaultMode::InfMeasurements => Ok(vec![f64::INFINITY; n]),
                     FaultMode::WrongDimension => Ok(vec![0.0; n + 1]),
                     FaultMode::Panic => panic!("injected worker panic"),
+                    FaultMode::ExtremeMeasurements => Ok(vec![-1e30; n]),
                 }
             }
         }
@@ -277,6 +285,31 @@ mod tests {
         );
         let err = e.evaluate(&[1.0, 2.0], &PvtCorner::nominal()).unwrap_err();
         assert_eq!(FailureKind::classify(&err), FailureKind::Injected);
+    }
+
+    #[test]
+    fn extreme_measurements_are_finite_and_hostile() {
+        let e = FaultInjectingEvaluator::new(
+            Arc::new(ToyEvaluator::new()),
+            FaultConfig::only(FaultMode::ExtremeMeasurements, 1.0, 11),
+        );
+        let m = e.evaluate(&[1.0, 2.0], &PvtCorner::nominal()).unwrap();
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().all(|v| v.is_finite()), "extremes must pass finiteness checks");
+        assert!(m.iter().all(|v| *v == -1e30));
+    }
+
+    #[test]
+    fn default_mix_never_injects_extremes() {
+        // The default chaos stream must stay bit-identical to prior
+        // releases: extreme measurements are strictly opt-in.
+        let e = wrapped(1.0, 13);
+        for k in 0..200 {
+            let x = vec![k as f64 * 0.03, 1.0];
+            if let Ok(m) = e.evaluate(&x, &PvtCorner::nominal()) {
+                assert!(m.iter().all(|v| *v != -1e30));
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Training-health telemetry for the self-healing learning loop.
+//!
+//! Where [`crate::stats::EvalStats`] accounts for what the *simulator* did
+//! (calls, typed failures, retries), [`HealthStats`] accounts for what the
+//! *learner* did to survive it: gradient clips, skipped non-finite
+//! updates, rollbacks to the last-good snapshot, trust-region re-seeds,
+//! and surrogate fallbacks. A production campaign reads these counters to
+//! distinguish "the optimizer healed itself twice and moved on" from "the
+//! optimizer silently trained on garbage for ten thousand simulations".
+//!
+//! Every counter is bumped by deterministic, rng-free logic, so the
+//! record rides the same bitwise thread-count and crash/resume invariance
+//! contracts as the rest of a `SearchOutcome`.
+
+use std::fmt;
+
+/// Counters for self-healing interventions during one search campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Model or policy updates rolled back to the last-good snapshot
+    /// (loss explosion, KL blow-up, entropy collapse).
+    pub rollbacks: usize,
+    /// Gradient updates whose global norm was clipped before the
+    /// optimizer step.
+    pub clipped_updates: usize,
+    /// Updates skipped outright because the loss or gradient contained
+    /// NaN/Inf.
+    pub nonfinite_updates: usize,
+    /// Trust-region re-seeds triggered by collapse detection (radius
+    /// pinned at its minimum with no accepted step for K rounds).
+    pub tr_reseeds: usize,
+    /// Acquisition rounds where a degenerate surrogate (constant or
+    /// non-finite predictions) was bypassed with random acquisition.
+    pub surrogate_fallbacks: usize,
+}
+
+impl HealthStats {
+    /// A zeroed record.
+    pub fn new() -> Self {
+        HealthStats::default()
+    }
+
+    /// Total interventions of any kind. Zero means the campaign never
+    /// needed to heal itself.
+    pub fn total(&self) -> usize {
+        self.rollbacks
+            + self.clipped_updates
+            + self.nonfinite_updates
+            + self.tr_reseeds
+            + self.surrogate_fallbacks
+    }
+
+    /// Merges another record into this one (e.g. per-corner sub-searches).
+    pub fn merge(&mut self, other: &HealthStats) {
+        self.rollbacks += other.rollbacks;
+        self.clipped_updates += other.clipped_updates;
+        self.nonfinite_updates += other.nonfinite_updates;
+        self.tr_reseeds += other.tr_reseeds;
+        self.surrogate_fallbacks += other.surrogate_fallbacks;
+    }
+}
+
+impl fmt::Display for HealthStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rollbacks {} | clipped {} | non-finite {} | tr-reseeds {} | surrogate-fallbacks {}",
+            self.rollbacks,
+            self.clipped_updates,
+            self.nonfinite_updates,
+            self.tr_reseeds,
+            self.surrogate_fallbacks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_by_default() {
+        assert_eq!(HealthStats::new().total(), 0);
+    }
+
+    #[test]
+    fn merge_adds_every_counter() {
+        let mut a = HealthStats { rollbacks: 1, clipped_updates: 2, ..HealthStats::new() };
+        let b = HealthStats {
+            rollbacks: 3,
+            nonfinite_updates: 1,
+            tr_reseeds: 2,
+            surrogate_fallbacks: 4,
+            ..HealthStats::new()
+        };
+        a.merge(&b);
+        assert_eq!(a.rollbacks, 4);
+        assert_eq!(a.clipped_updates, 2);
+        assert_eq!(a.nonfinite_updates, 1);
+        assert_eq!(a.tr_reseeds, 2);
+        assert_eq!(a.surrogate_fallbacks, 4);
+        assert_eq!(a.total(), 13);
+    }
+
+    #[test]
+    fn display_lists_every_counter() {
+        let s = HealthStats { rollbacks: 2, surrogate_fallbacks: 1, ..HealthStats::new() };
+        let text = s.to_string();
+        assert!(text.contains("rollbacks 2"));
+        assert!(text.contains("surrogate-fallbacks 1"));
+    }
+}

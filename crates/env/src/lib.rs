@@ -49,6 +49,7 @@ pub mod circuits;
 pub mod corner;
 mod error;
 pub mod fault;
+pub mod health;
 pub mod journal;
 pub mod problem;
 pub mod robust;
@@ -62,6 +63,7 @@ pub use batch::EvalRequest;
 pub use corner::{PvtCorner, PvtSet};
 pub use error::EnvError;
 pub use fault::{FaultConfig, FaultInjectingEvaluator, FaultMode};
+pub use health::HealthStats;
 pub use journal::{Journal, JournalError, JournalMeta};
 pub use problem::{Evaluation, Evaluator, SizingProblem};
 pub use robust::{EvalEffort, RetryPolicy, RobustEvaluator};

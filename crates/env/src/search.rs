@@ -6,6 +6,7 @@
 //! module pins that protocol down so the trust-region agent and every
 //! baseline are measured identically.
 
+use crate::health::HealthStats;
 use crate::problem::SizingProblem;
 use crate::stats::EvalStats;
 
@@ -48,6 +49,9 @@ pub struct SearchOutcome {
     /// Evaluation telemetry: simulator calls, failures by kind, retry and
     /// recovery counts.
     pub stats: EvalStats,
+    /// Self-healing telemetry: rollbacks, clipped/skipped updates,
+    /// trust-region re-seeds, surrogate fallbacks.
+    pub health: HealthStats,
 }
 
 impl SearchOutcome {
@@ -60,12 +64,19 @@ impl SearchOutcome {
             best_value,
             best_measurements: None,
             stats: EvalStats::new(),
+            health: HealthStats::new(),
         }
     }
 
     /// The same outcome with telemetry attached.
     pub fn with_stats(mut self, stats: EvalStats) -> Self {
         self.stats = stats;
+        self
+    }
+
+    /// The same outcome with self-healing telemetry attached.
+    pub fn with_health(mut self, health: HealthStats) -> Self {
+        self.health = health;
         self
     }
 }
@@ -98,5 +109,6 @@ mod tests {
         assert!(!o.success);
         assert_eq!(o.simulations, 100);
         assert_eq!(o.best_value, -1.0);
+        assert_eq!(o.health.total(), 0);
     }
 }

@@ -6,20 +6,32 @@ use asdex_rng::Rng;
 
 /// Numerically stable softmax.
 ///
+/// Degenerate input — no finite logit at all (all `-inf`, or NaN-laden) —
+/// would otherwise produce `0/0 = NaN` probabilities; it falls back to
+/// the uniform distribution instead, the only defensible answer when the
+/// logits carry no information.
+///
 /// ```
 /// let p = asdex_nn::softmax(&[1.0, 1.0]);
 /// assert!((p[0] - 0.5).abs() < 1e-12);
 /// ```
 pub fn softmax(logits: &[f64]) -> Vec<f64> {
-    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = logits.iter().cloned().filter(|l| l.is_finite()).fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return vec![1.0 / logits.len() as f64; logits.len()];
+    }
     let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
     let sum: f64 = exps.iter().sum();
     exps.iter().map(|e| e / sum).collect()
 }
 
-/// Numerically stable log-softmax.
+/// Numerically stable log-softmax. Falls back to the uniform
+/// distribution's `-ln n` when no logit is finite, mirroring [`softmax`].
 pub fn log_softmax(logits: &[f64]) -> Vec<f64> {
-    let max = logits.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = logits.iter().cloned().filter(|l| l.is_finite()).fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return vec![-(logits.len() as f64).ln(); logits.len()];
+    }
     let lse = logits.iter().map(|&l| (l - max).exp()).sum::<f64>().ln() + max;
     logits.iter().map(|&l| l - lse).collect()
 }
@@ -116,6 +128,29 @@ mod tests {
         }
         let huge = softmax(&[1e6, 0.0]);
         assert!(huge[0].is_finite() && (huge[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_neg_inf_logits_fall_back_to_uniform() {
+        // Regression: `max = -inf` made `(l - max)` a `-inf - -inf = NaN`
+        // and every probability 0/0. A policy head whose logits all
+        // underflow must degrade to the uniform distribution instead.
+        let logits = [f64::NEG_INFINITY; 3];
+        let p = softmax(&logits);
+        for pi in &p {
+            assert!(pi.is_finite(), "softmax produced non-finite {pi}");
+            assert!((pi - 1.0 / 3.0).abs() < 1e-12, "expected uniform, got {pi}");
+        }
+        let lp = log_softmax(&logits);
+        for li in &lp {
+            assert!(li.is_finite(), "log_softmax produced non-finite {li}");
+            assert!((li + 3f64.ln()).abs() < 1e-12, "expected -ln 3, got {li}");
+        }
+        // A partially -inf head is still handled by the ordinary path.
+        let mixed = [f64::NEG_INFINITY, 0.0];
+        let p = softmax(&mixed);
+        assert_eq!(p[0], 0.0);
+        assert!((p[1] - 1.0).abs() < 1e-12);
     }
 
     #[test]

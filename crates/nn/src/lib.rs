@@ -9,7 +9,10 @@
 //!   parameters,
 //! * [`Normalizer`] — running standardization of inputs/targets,
 //! * categorical policy utilities ([`softmax`], [`log_prob_grad`],
-//!   [`kl_divergence`], …) used by A2C/PPO/TRPO.
+//!   [`kl_divergence`], …) used by A2C/PPO/TRPO, and
+//! * training-health guards ([`GradGuard`], [`TrainHealth`]) — global-norm
+//!   gradient clipping, non-finite rejection, and running-median
+//!   loss-explosion sentinels for the self-healing learning loop.
 //!
 //! Everything is deterministic given a seeded RNG, which the experiment
 //! harnesses rely on.
@@ -36,6 +39,7 @@
 
 mod activation;
 mod categorical;
+mod guard;
 mod mlp;
 mod normalizer;
 mod optimizer;
@@ -45,6 +49,7 @@ pub use categorical::{
     entropy, entropy_grad, kl_divergence, kl_grad_new, log_prob_grad, log_softmax,
     sample_categorical, softmax,
 };
+pub use guard::{GradGuard, GuardOutcome, TrainHealth, UpdateClass};
 pub use mlp::{mse, mse_output_grad, Gradients, Mlp, Trace};
 pub use normalizer::Normalizer;
 pub use optimizer::{Adam, Optimizer, Sgd};

@@ -60,6 +60,12 @@ impl Gradients {
         &self.flat
     }
 
+    /// Mutable view of the flattened gradient, for in-place surgery such
+    /// as global-norm clipping (`GradGuard`).
+    pub fn flat_mut(&mut self) -> &mut [f64] {
+        &mut self.flat
+    }
+
     /// Scales the gradient in place.
     pub fn scale(&mut self, k: f64) {
         for g in &mut self.flat {

@@ -78,6 +78,10 @@ impl Normalizer {
     /// Panics if `x.len() != self.dim()`.
     pub fn normalize(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.dim, "normalizer dimension mismatch");
+        debug_assert!(
+            x.iter().all(|v| v.is_finite()),
+            "normalize called with non-finite input {x:?}"
+        );
         let std = self.std();
         x.iter().enumerate().map(|(i, &v)| (v - self.mean[i]) / std[i]).collect()
     }
@@ -89,6 +93,10 @@ impl Normalizer {
     /// Panics if `z.len() != self.dim()`.
     pub fn denormalize(&self, z: &[f64]) -> Vec<f64> {
         assert_eq!(z.len(), self.dim, "normalizer dimension mismatch");
+        debug_assert!(
+            z.iter().all(|v| v.is_finite()),
+            "denormalize called with non-finite input {z:?}"
+        );
         let std = self.std();
         z.iter().enumerate().map(|(i, &v)| v * std[i] + self.mean[i]).collect()
     }
@@ -138,6 +146,25 @@ mod tests {
         assert_eq!(n.std(), vec![1.0], "constant component");
         // Normalization of the constant just centers it.
         assert_eq!(n.normalize(&[5.0]), vec![0.0]);
+    }
+
+    #[test]
+    fn constant_feature_round_trips_without_nan() {
+        // A constant component has zero variance; the unit-scale fallback
+        // must keep normalize/denormalize a finite, exact round trip
+        // instead of dividing by zero.
+        let mut n = Normalizer::new(2);
+        for k in 0..10 {
+            n.observe(&[7.5, k as f64]);
+        }
+        let x = [7.5, 4.0];
+        let z = n.normalize(&x);
+        assert!(z.iter().all(|v| v.is_finite()), "normalized constant went non-finite: {z:?}");
+        assert_eq!(z[0], 0.0, "constant centers to zero");
+        let back = n.denormalize(&z);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12, "round trip drifted: {a} vs {b}");
+        }
     }
 
     #[test]

@@ -338,7 +338,10 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
         campaign.budget
     );
 
-    let (success, simulations, best_point, best_value, stats) = match campaign.agent.as_str() {
+    let (success, simulations, best_point, best_value, stats, health) = match campaign
+        .agent
+        .as_str()
+    {
         "trm" => {
             let mut framework = Framework::new(
                 FrameworkConfig {
@@ -349,7 +352,7 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
                 campaign.seed,
             );
             let out = framework.search(&problem).map_err(|e| CliError::Runtime(e.to_string()))?;
-            (out.success, out.simulations, out.best_point, out.best_value, out.stats)
+            (out.success, out.simulations, out.best_point, out.best_value, out.stats, out.health)
         }
         "bo" => {
             let out = CustomizedBo::new().search(
@@ -357,7 +360,7 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
                 SearchBudget::new(campaign.budget),
                 campaign.seed,
             );
-            (out.success, out.simulations, out.best_point, out.best_value, out.stats)
+            (out.success, out.simulations, out.best_point, out.best_value, out.stats, out.health)
         }
         "random" => {
             let out = RandomSearch::new().search(
@@ -365,7 +368,7 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
                 SearchBudget::new(campaign.budget),
                 campaign.seed,
             );
-            (out.success, out.simulations, out.best_point, out.best_value, out.stats)
+            (out.success, out.simulations, out.best_point, out.best_value, out.stats, out.health)
         }
         other => return Err(CliError::Usage(format!("unknown agent {other:?} (trm|bo|random)"))),
     };
@@ -396,6 +399,7 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
 
     println!("success: {success} after {simulations} simulations (value {best_value:.4})");
     println!("telemetry: {stats}");
+    println!("health: {health}");
     let physical =
         problem.space.to_physical(&best_point).map_err(|e| CliError::Runtime(e.to_string()))?;
     println!("parameters:");

@@ -197,6 +197,38 @@ fn all_agents_survive_injected_worker_panics() {
 }
 
 #[test]
+fn all_agents_survive_extreme_measurement_poisoning() {
+    // 5 % of evaluations return a huge-but-finite −1e30 measurement
+    // vector. Unlike NaN/Inf these pass the finiteness checks and reach
+    // the surrogate as training targets (the value function's normalized
+    // slack ratio keeps *values* bounded, but the measurement regressor
+    // sees the raw poison). On a bowl tight enough that no agent solves
+    // it instantly, the self-healing sentinels must keep every campaign
+    // finite with exact budget accounting, and somewhere in the fleet a
+    // sentinel must actually fire.
+    let max_sims = 400;
+    let budget = SearchBudget::new(max_sims);
+    let mut health_total = 0usize;
+    for mut agent in agents() {
+        let mut p = Bowl::problem(3, 0.05).expect("bowl builds");
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            p.evaluator.clone(),
+            FaultConfig::only(asdex::env::FaultMode::ExtremeMeasurements, 0.05, 17),
+        ));
+        let out = agent.search(&p, budget, 1);
+        let name = agent.name();
+        assert!(out.simulations <= max_sims, "{name}: budget overrun under extremes");
+        if !out.success {
+            assert_eq!(out.stats.sims, max_sims, "{name}: gave up early under extremes");
+        }
+        assert!(out.best_value.is_finite(), "{name}: extreme leaked into the best value");
+        assert!(out.best_point.iter().all(|v| v.is_finite()), "{name}: non-finite best point");
+        health_total += out.health.total();
+    }
+    assert!(health_total > 0, "poisoning must trip at least one sentinel across the fleet");
+}
+
+#[test]
 fn repeated_panics_quarantine_the_job() {
     // An evaluator that always panics: the first evaluation burns the full
     // retry ladder, after which the (point, corner) job is quarantined and

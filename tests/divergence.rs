@@ -1,0 +1,269 @@
+//! Divergence drills: the self-healing layer must catch poisoned training
+//! signals, report them through `SearchOutcome::health`, and never let a
+//! counter perturb the search itself.
+//!
+//! Two distinct poisoning channels are exercised:
+//!
+//! - **Measurement space.** `FaultMode::ExtremeMeasurements` returns
+//!   huge-but-finite (−1e30) measurement vectors that pass every
+//!   finiteness check. The value function's normalized slack ratio keeps
+//!   *values* bounded in `[floor, 0]` no matter how wild the measurement
+//!   (an intrinsic guard these tests also pin down), but the surrogate
+//!   regresses raw measurements, so the poison reaches its training
+//!   targets and the fit sentinel must fire.
+//! - **Value space.** A mis-scaled `contribution_floor` (a silent unit
+//!   error) turns ordinary simulation failures into −1e6 returns, which
+//!   reach the RL value nets through the reward channel and must be
+//!   caught by the gradient guards.
+//!
+//! And three invariants frame them: clean campaigns report zero health
+//! events, every campaign under fault storms stays finite with exact
+//! budget accounting, and health reporting is bitwise-invariant across
+//! worker-thread counts and across a journaled crash/resume.
+
+use asdex::baselines::rl::{A2c, Ppo, Trpo};
+use asdex::baselines::{CustomizedBo, RandomSearch};
+use asdex::core::LocalExplorer;
+use asdex::env::circuits::synthetic::Bowl;
+use asdex::env::{
+    EnvError, EvalEffort, Evaluator, FaultConfig, FaultInjectingEvaluator, FaultMode, Journal,
+    JournalMeta, PvtCorner, SearchBudget, Searcher, SizingProblem,
+};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn agents() -> Vec<Box<dyn Searcher>> {
+    vec![
+        Box::new(LocalExplorer::default()),
+        Box::new(RandomSearch::new()),
+        Box::new(CustomizedBo::new()),
+        Box::new(A2c::new()),
+        Box::new(Ppo::new()),
+        Box::new(Trpo::new()),
+    ]
+}
+
+/// A bowl whose every simulation returns the same measurement vector: a
+/// perfectly flat landscape no surrogate can rank and no trust region can
+/// descend.
+fn flat_problem() -> SizingProblem {
+    struct ConstEvaluator {
+        names: Vec<String>,
+    }
+    impl Evaluator for ConstEvaluator {
+        fn measurement_names(&self) -> &[String] {
+            &self.names
+        }
+        fn evaluate(&self, _x: &[f64], _corner: &PvtCorner) -> Result<Vec<f64>, EnvError> {
+            Ok(vec![-7.0; self.names.len()])
+        }
+        fn evaluate_with_effort(
+            &self,
+            _x: &[f64],
+            _corner: &PvtCorner,
+            _effort: EvalEffort,
+        ) -> Result<Vec<f64>, EnvError> {
+            Ok(vec![-7.0; self.names.len()])
+        }
+    }
+    let mut p = Bowl::problem(3, 0.2).expect("bowl builds");
+    let names = p.evaluator.measurement_names().to_vec();
+    p.evaluator = Arc::new(ConstEvaluator { names });
+    p
+}
+
+/// A bowl with a deterministic fraction of extreme-measurement faults.
+fn poisoned_bowl(target: f64, rate: f64, seed: u64) -> SizingProblem {
+    let mut p = Bowl::problem(3, target).expect("bowl builds");
+    p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+        p.evaluator.clone(),
+        FaultConfig::only(FaultMode::ExtremeMeasurements, rate, seed),
+    ));
+    p
+}
+
+fn journal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("asdex-divergence-{}-{tag}.journal", std::process::id()))
+}
+
+#[test]
+fn clean_campaigns_report_zero_health_events() {
+    // On a clean, well-conditioned problem no sentinel may fire: the
+    // health counters must never punish healthy training.
+    let budget = SearchBudget::new(400);
+    for mut agent in agents() {
+        let p = Bowl::problem(3, 0.2).expect("bowl builds");
+        let out = agent.search(&p, budget, 1);
+        assert_eq!(
+            out.health.total(),
+            0,
+            "{}: clean run reported health events: {}",
+            agent.name(),
+            out.health
+        );
+    }
+}
+
+#[test]
+fn fault_storms_leave_every_agent_finite() {
+    // The full default fault mix (non-convergence, NaN/Inf, wrong
+    // dimension) at a 30 % rate: every agent must finish with a finite
+    // best value, a finite best point, and exact budget accounting.
+    let max_sims = 400;
+    let budget = SearchBudget::new(max_sims);
+    for mut agent in agents() {
+        let mut p = Bowl::problem(3, 0.2).expect("bowl builds");
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            p.evaluator.clone(),
+            FaultConfig::new(0.3, 7),
+        ));
+        let out = agent.search(&p, budget, 1);
+        let name = agent.name();
+        assert!(out.best_value.is_finite(), "{name}: non-finite best value under fault storm");
+        assert!(out.best_point.iter().all(|v| v.is_finite()), "{name}: non-finite best point");
+        assert!(out.simulations <= max_sims, "{name}: budget overrun");
+        if !out.success {
+            assert_eq!(out.stats.sims, max_sims, "{name}: gave up early under faults");
+        }
+        assert!(out.stats.total_failures() > 0, "{name}: the storm never surfaced in telemetry");
+    }
+}
+
+#[test]
+fn extreme_measurements_trip_the_explorer_sentinels() {
+    // −1e30 measurements reach the surrogate's training targets; on a
+    // bowl tight enough that the explorer has to train for a while, the
+    // fit sentinel (rollback) and the collapse tracker (re-seed) fire.
+    let mut agent = LocalExplorer::default();
+    let out = agent.search(&poisoned_bowl(0.05, 0.05, 17), SearchBudget::new(400), 1);
+    assert!(out.best_value.is_finite(), "extreme leaked into the best value");
+    assert!(
+        out.health.total() > 0,
+        "poisoned surrogate targets must trip a sentinel: {}",
+        out.health
+    );
+}
+
+#[test]
+fn extreme_measurements_cannot_poison_the_value_channel() {
+    // The normalized slack ratio bounds every per-spec contribution by
+    // the clamp floor, so even a −1e30 measurement produces a value in
+    // [failure_value, 0] — the first line of defense.
+    let p = poisoned_bowl(0.2, 1.0, 3);
+    let floor = p.value_fn.failure_value(&p.specs);
+    let evals = p.evaluate_batch(&asdex::env::EvalRequest::fan_out(&[0.3, 0.6, 0.9], 1), 8);
+    assert!(!evals.is_empty());
+    for e in &evals {
+        assert!(e.value.is_finite(), "value must stay finite under extremes");
+        assert!(
+            e.value >= floor && e.value <= 0.0,
+            "value {} escaped [{floor}, 0]",
+            e.value
+        );
+    }
+}
+
+#[test]
+fn mis_scaled_value_floor_trips_the_rl_guards() {
+    // A silent unit error in the value function's clamp floor turns
+    // simulation failures into −1e6 returns. Those reach the RL value
+    // nets through the reward channel; the gradient guards must clip or
+    // reject the resulting updates and say so in the health counters.
+    let budget = SearchBudget::new(400);
+    let rl: Vec<Box<dyn Searcher>> =
+        vec![Box::new(A2c::new()), Box::new(Ppo::new()), Box::new(Trpo::new())];
+    for mut agent in rl {
+        let mut p = Bowl::problem(3, 0.2).expect("bowl builds");
+        p.value_fn.contribution_floor = -1e6;
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            p.evaluator.clone(),
+            FaultConfig::new(0.2, 17),
+        ));
+        let out = agent.search(&p, budget, 1);
+        let name = agent.name();
+        assert!(out.best_value.is_finite(), "{name}: non-finite best value");
+        assert!(
+            out.health.total() > 0,
+            "{name}: −1e6 returns must trip a gradient guard: {}",
+            out.health
+        );
+    }
+}
+
+#[test]
+fn degenerate_surrogate_falls_back_to_random_acquisition() {
+    // A flat landscape gives the forest nothing to rank: the acquisition
+    // scores are constant, and BO must fall back to its first sampled
+    // candidate instead of chasing a meaningless argmax.
+    let mut agent = CustomizedBo::new();
+    let out = agent.search(&flat_problem(), SearchBudget::new(300), 1);
+    assert!(out.best_value.is_finite());
+    assert!(
+        out.health.surrogate_fallbacks > 0,
+        "constant predictions must be reported as surrogate fallbacks: {}",
+        out.health
+    );
+}
+
+#[test]
+fn flat_landscape_collapse_reseeds_the_trust_region() {
+    // With no step ever accepted the radius pins at its minimum; the
+    // collapse tracker must re-seed the episode (Algorithm 1's restart)
+    // and count every re-seed.
+    let mut agent = LocalExplorer::default();
+    let out = agent.search(&flat_problem(), SearchBudget::new(300), 1);
+    assert!(out.best_value.is_finite());
+    assert!(
+        out.health.tr_reseeds > 0,
+        "a pinned trust region must be re-seeded and counted: {}",
+        out.health
+    );
+}
+
+#[test]
+fn health_reporting_is_thread_invariant_under_extremes() {
+    // Recovery actions (rollback, re-seed, fallback) happen in the
+    // deterministic learning loop, never in the worker pool — so the
+    // whole outcome, health counters included, is bitwise-identical at
+    // 1, 2, and 8 threads even while extremes are being injected.
+    let budget = SearchBudget::new(300);
+    let agents: Vec<Box<dyn Searcher>> =
+        vec![Box::new(LocalExplorer::default()), Box::new(CustomizedBo::new())];
+    for mut agent in agents {
+        let reference = agent.search(&poisoned_bowl(0.05, 0.05, 17).with_threads(1), budget, 1);
+        for threads in [2usize, 8] {
+            let out = agent.search(&poisoned_bowl(0.05, 0.05, 17).with_threads(threads), budget, 1);
+            assert_eq!(
+                out,
+                reference,
+                "{}: health-bearing outcome diverged at {threads} threads",
+                agent.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn health_reporting_survives_crash_resume() {
+    // A journaled campaign killed mid-write and resumed must reproduce
+    // the uninterrupted outcome bit for bit — health counters included,
+    // because every sentinel decision is a pure function of the replayed
+    // evaluation stream.
+    let budget = SearchBudget::new(300);
+    let mut agent = LocalExplorer::default();
+    let plain = agent.search(&poisoned_bowl(0.05, 0.05, 17), budget, 1);
+    assert!(plain.health.total() > 0, "drill needs a campaign with health events");
+
+    let path = journal_path("trm-extreme");
+    let journal = Journal::create(&path, JournalMeta::new(), 5).expect("journal create");
+    let _ = agent.search(&poisoned_bowl(0.05, 0.05, 17).with_journal(journal), budget, 1);
+
+    // Keep 40 % of the bytes — the SIGKILL case, with a torn final line.
+    let bytes = std::fs::read(&path).expect("journal readable");
+    std::fs::write(&path, &bytes[..bytes.len() * 2 / 5]).expect("journal truncates");
+
+    let journal = Journal::resume(&path, 5).expect("torn journal resumes");
+    let resumed = agent.search(&poisoned_bowl(0.05, 0.05, 17).with_journal(journal), budget, 1);
+    assert_eq!(resumed, plain, "resume after truncation changed the health-bearing outcome");
+    let _ = std::fs::remove_file(&path);
+}

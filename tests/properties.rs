@@ -124,6 +124,79 @@ fn trust_region_radius_always_in_bounds() {
 }
 
 #[test]
+fn trust_region_shrinks_monotonically_on_bad_ratios() {
+    // A stream of misleading predictions (actual never improves) must
+    // never grow the region: the radius decreases monotonically until it
+    // pins at the configured minimum.
+    let cfg = TrustRegionConfig::default();
+    for seed in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tr = TrustRegion::new(cfg);
+        let mut prev = tr.radius();
+        for _ in 0..30 {
+            let pred = rng.gen_range(0.5..2.0);
+            let act = -rng.gen_range(0.0..2.0);
+            let step = tr.assess(pred, act);
+            assert!(!step.accepted, "seed {seed}: bad ratio accepted");
+            assert!(step.radius <= prev + 1e-12, "seed {seed}: radius grew on a bad ratio");
+            assert!(step.radius >= cfg.min_radius - 1e-12, "seed {seed}");
+            prev = step.radius;
+        }
+        assert!(
+            (tr.radius() - cfg.min_radius).abs() < 1e-9,
+            "seed {seed}: 30 bad steps must pin the radius at the minimum"
+        );
+    }
+}
+
+#[test]
+fn trust_region_reset_restores_seed_radius_from_any_state() {
+    let cfg = TrustRegionConfig::default();
+    for seed in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tr = TrustRegion::new(cfg);
+        for _ in 0..rng.gen_range(1..40usize) {
+            let pred = rng.gen_range(-2.0..2.0);
+            let act = rng.gen_range(-2.0..2.0);
+            tr.assess(pred, act);
+        }
+        tr.reset();
+        assert_eq!(tr.radius(), cfg.initial_radius, "seed {seed}");
+    }
+}
+
+#[test]
+fn trust_region_survives_non_finite_improvement_streams() {
+    // Random NaN/Inf improvements mixed into an ordinary stream: the
+    // region must stay finite, in bounds, and reject every corrupted step.
+    let cfg = TrustRegionConfig::default();
+    for seed in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut tr = TrustRegion::new(cfg);
+        for _ in 0..40 {
+            let pred = match rng.gen_range(0..4usize) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => rng.gen_range(-2.0..2.0),
+            };
+            let act = match rng.gen_range(0..4usize) {
+                0 => f64::NEG_INFINITY,
+                1 => f64::NAN,
+                _ => rng.gen_range(-2.0..2.0),
+            };
+            let step = tr.assess(pred, act);
+            assert!(step.rho.is_finite(), "seed {seed}: non-finite rho leaked");
+            assert!(step.radius.is_finite(), "seed {seed}: non-finite radius");
+            assert!(step.radius >= cfg.min_radius - 1e-12, "seed {seed}");
+            assert!(step.radius <= cfg.max_radius + 1e-12, "seed {seed}");
+            if !pred.is_finite() || !act.is_finite() {
+                assert!(!step.accepted, "seed {seed}: corrupted step accepted");
+            }
+        }
+    }
+}
+
+#[test]
 fn parse_value_scales_compose() {
     // A `k` suffix on a plain number multiplies by exactly 1000.
     let mut rng = StdRng::seed_from_u64(3);
