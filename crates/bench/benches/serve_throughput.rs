@@ -1,0 +1,84 @@
+//! Serving-layer throughput: an in-process daemon under concurrent load.
+//!
+//! Boots `asdex serve`'s `Server` on an ephemeral port, drives it with the
+//! `loadgen` harness at increasing client concurrency, and reports
+//! campaigns/second plus submit/completion latency percentiles. The
+//! highest-concurrency run's per-campaign rows land in
+//! `bench_results/serve_throughput.csv` — the same file `asdex loadgen`
+//! writes, so daemon-in-a-box and daemon-over-the-wire numbers are
+//! directly comparable.
+
+use asdex_bench::{print_table, write_csv, RunScale};
+use asdex_serve::server::{DrainHandle, Server, ServerConfig};
+use asdex_serve::{LoadgenConfig, LogLevel, SchedulerConfig};
+use std::path::Path;
+use std::time::Duration;
+
+fn main() {
+    // The daemon's journal/scheduler chatter would swamp the table.
+    asdex_serve::logging::set_level(LogLevel::Quiet);
+    let scale = RunScale::from_env();
+    let campaigns = if scale.full { 64 } else { 16 };
+    let journal_dir = std::env::temp_dir()
+        .join(format!("asdex-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    let mut rows = Vec::new();
+    let mut last_report = None;
+    for concurrency in [1usize, 4, 8] {
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig {
+                max_active: 8,
+                thread_budget: 4,
+                journal_dir: journal_dir.join(format!("c{concurrency}")),
+                ..SchedulerConfig::default()
+            },
+        };
+        let drain = DrainHandle::new();
+        let server = Server::bind(cfg, drain.clone()).expect("daemon binds");
+        let addr = server.local_addr().expect("bound").to_string();
+        let daemon = std::thread::spawn(move || server.run().expect("daemon runs"));
+
+        let load = LoadgenConfig {
+            addr,
+            campaigns,
+            concurrency,
+            timeout: Duration::from_secs(600),
+            ..LoadgenConfig::default()
+        };
+        let report = asdex_serve::loadgen::run(&load);
+        assert_eq!(report.client_errors, 0, "client errors at concurrency {concurrency}");
+        assert_eq!(report.samples.len(), campaigns);
+        rows.push(vec![
+            concurrency.to_string(),
+            campaigns.to_string(),
+            format!("{:.1}", report.throughput()),
+            format!("{:.2}", report.submit_percentile_ms(0.99)),
+            format!("{:.1}", report.completion_percentile_ms(0.50)),
+            format!("{:.1}", report.completion_percentile_ms(0.99)),
+        ]);
+        last_report = Some(report);
+
+        drain.request_drain();
+        daemon.join().expect("daemon thread");
+    }
+
+    print_table(
+        "Serving throughput (bowl3 / trm / budget 400, thread budget 4)",
+        &["clients", "campaigns", "campaigns/s", "p99 submit ms", "p50 done ms", "p99 done ms"],
+        &rows,
+    );
+    if let Some(report) = last_report {
+        report
+            .write_csv(Path::new("bench_results/serve_throughput.csv"))
+            .expect("csv written");
+        println!("\nwrote bench_results/serve_throughput.csv ({} campaigns)", report.samples.len());
+    }
+    write_csv(
+        "serve_throughput_sweep",
+        &["clients", "campaigns", "campaigns_per_s", "p99_submit_ms", "p50_done_ms", "p99_done_ms"],
+        &rows,
+    );
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}

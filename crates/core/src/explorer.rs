@@ -8,6 +8,7 @@
 use crate::approximator::SpiceApproximator;
 use crate::health::{HealthConfig, HealthMonitor};
 use crate::planner::McPlanner;
+use crate::progress::{emit, ProgressEvent, ProgressHandle, ProgressPhase};
 use crate::trust_region::{TrustRegion, TrustRegionConfig};
 use asdex_env::{EvalRequest, EvalStats, Evaluation, SearchBudget, SearchOutcome, Searcher, SizingProblem};
 use asdex_rng::rngs::StdRng;
@@ -83,12 +84,31 @@ pub struct ExplorerArtifacts {
 pub struct LocalExplorer {
     /// Hyperparameters.
     pub config: ExplorerConfig,
+    /// Optional progress observer, invoked at episode seeds, round ends,
+    /// restarts, and completion. Purely passive: attaching one never
+    /// changes the outcome (see [`crate::ProgressSink`]).
+    pub progress: Option<ProgressHandle>,
 }
 
 impl LocalExplorer {
     /// Creates an explorer with explicit hyperparameters.
     pub fn new(config: ExplorerConfig) -> Self {
-        LocalExplorer { config }
+        LocalExplorer { config, progress: None }
+    }
+
+    /// Attaches a progress observer (builder style).
+    #[must_use]
+    pub fn with_progress(mut self, handle: ProgressHandle) -> Self {
+        self.progress = Some(handle);
+        self
+    }
+
+    /// Emits one progress event, if an observer is attached.
+    fn note(&self, phase: ProgressPhase, simulations: usize, best_value: f64, feasible: bool) {
+        emit(
+            &self.progress,
+            ProgressEvent { phase, simulations, best_value, feasible, corner: None },
+        );
     }
 
     /// Runs Algorithm 1 on one PVT corner, returning the outcome and the
@@ -124,6 +144,7 @@ impl LocalExplorer {
         let mut health = HealthMonitor::new(cfg.health);
 
         let exhausted = |stats: &EvalStats, best_point: Vec<f64>, best_value: f64, best_meas: Option<Vec<f64>>, model: &SpiceApproximator, health: &HealthMonitor| {
+            self.note(ProgressPhase::Done, budget.max_sims, best_value, false);
             (
                 SearchOutcome {
                     success: false,
@@ -168,6 +189,7 @@ impl LocalExplorer {
                     model.push(e.x_norm.clone(), m);
                 }
                 if e.feasible {
+                    self.note(ProgressPhase::Done, stats.sims, center_value, true);
                     return (
                         SearchOutcome {
                             success: true,
@@ -215,6 +237,7 @@ impl LocalExplorer {
                     }
                 }
                 if let Some(e) = feasible {
+                    self.note(ProgressPhase::Done, stats.sims, e.value, true);
                     return (
                         SearchOutcome {
                             success: true,
@@ -231,6 +254,7 @@ impl LocalExplorer {
             }
             first_episode = false;
             health.reset_episode();
+            self.note(ProgressPhase::Seeded, stats.sims, best_value, false);
 
             // --- Lines 6–18: local trust-region search. ---------------------
             let mut trust = TrustRegion::new(cfg.trust);
@@ -252,6 +276,7 @@ impl LocalExplorer {
                 );
                 let Some(p) = proposal else {
                     // The region collapsed onto the center: escape.
+                    self.note(ProgressPhase::Restart, stats.sims, best_value, false);
                     continue 'episode;
                 };
                 let e = problem.evaluate_with_budget(&p.x, corner_idx, budget.max_sims - stats.sims);
@@ -265,6 +290,7 @@ impl LocalExplorer {
                     best_meas = e.measurements.clone();
                 }
                 if e.feasible {
+                    self.note(ProgressPhase::Done, stats.sims, e.value, true);
                     return (
                         SearchOutcome {
                             success: true,
@@ -289,6 +315,7 @@ impl LocalExplorer {
                     // Trust-region collapse: radius pinned at its minimum
                     // with no accepted step for the whole patience window.
                     // Re-seed per Algorithm 1's restart semantics.
+                    self.note(ProgressPhase::Restart, stats.sims, best_value, false);
                     continue 'episode;
                 }
                 if improved {
@@ -296,9 +323,11 @@ impl LocalExplorer {
                 } else {
                     stall += 1;
                     if stall > cfg.restart_after {
+                        self.note(ProgressPhase::Restart, stats.sims, best_value, false);
                         continue 'episode;
                     }
                 }
+                self.note(ProgressPhase::Round, stats.sims, best_value, false);
             }
         }
     }

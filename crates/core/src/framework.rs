@@ -7,6 +7,7 @@
 //! routes to the single-corner explorer or the progressive PVT engine.
 
 use crate::explorer::{ExplorerConfig, LocalExplorer, WarmStart};
+use crate::progress::ProgressHandle;
 use crate::pvt::{LedgerEntry, PvtExplorer, PvtStrategy};
 use asdex_env::{EnvError, EvalStats, HealthStats, SearchBudget, SizingProblem};
 
@@ -68,12 +69,22 @@ pub struct FrameworkOutcome {
 pub struct Framework {
     config: FrameworkConfig,
     seed: u64,
+    progress: Option<ProgressHandle>,
 }
 
 impl Framework {
     /// Creates a framework with a seed controlling all stochastic choices.
     pub fn new(config: FrameworkConfig, seed: u64) -> Self {
-        Framework { config, seed }
+        Framework { config, seed, progress: None }
+    }
+
+    /// Attaches a progress observer (builder style), forwarded to the
+    /// single-corner explorer or the PVT engine. Purely passive — see
+    /// [`crate::ProgressSink`].
+    #[must_use]
+    pub fn with_progress(mut self, handle: ProgressHandle) -> Self {
+        self.progress = Some(handle);
+        self
     }
 
     /// Derives explorer hyperparameters from the problem size — wider
@@ -100,7 +111,8 @@ impl Framework {
         let explorer_cfg = self.derive_explorer_config(problem);
 
         if problem.corners.len() == 1 {
-            let agent = LocalExplorer::new(explorer_cfg);
+            let mut agent = LocalExplorer::new(explorer_cfg);
+            agent.progress = self.progress.clone();
             let (out, _) = agent.run(problem, 0, budget, self.seed, &WarmStart::default());
             let best_physical = problem.space.to_physical(&out.best_point)?;
             Ok(FrameworkOutcome {
@@ -117,6 +129,7 @@ impl Framework {
             let strategy = self.config.pvt_strategy.unwrap_or(PvtStrategy::ProgressiveHardest);
             let mut agent = PvtExplorer::new(strategy);
             agent.config = explorer_cfg;
+            agent.progress = self.progress.clone();
             let out = agent.run(problem, budget, self.seed);
             let best_physical = problem.space.to_physical(&out.best_point)?;
             Ok(FrameworkOutcome {
@@ -183,6 +196,54 @@ mod tests {
         let c = f.derive_explorer_config(&problem);
         assert_eq!(c.hidden, 64);
         assert_eq!(c.mc_samples, 333);
+    }
+
+    #[test]
+    fn progress_sink_observes_without_perturbing() {
+        use crate::progress::{ProgressEvent, ProgressHandle, ProgressPhase};
+        use std::sync::{Arc, Mutex};
+        let problem = Bowl::problem(3, 0.2).unwrap();
+        let mut plain = Framework::new(FrameworkConfig::default(), 4);
+        let reference = plain.search(&problem).unwrap();
+
+        let events: Arc<Mutex<Vec<ProgressEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_events = events.clone();
+        let mut observed = Framework::new(FrameworkConfig::default(), 4).with_progress(
+            ProgressHandle::new(Arc::new(move |e: &ProgressEvent| {
+                sink_events.lock().unwrap().push(e.clone());
+            })),
+        );
+        let out = observed.search(&problem).unwrap();
+        assert_eq!(out, reference, "observer must not change the outcome");
+        let events = events.lock().unwrap();
+        assert!(!events.is_empty(), "a successful campaign emits events");
+        let last = events.last().unwrap();
+        assert_eq!(last.phase, ProgressPhase::Done);
+        assert!(last.feasible);
+        assert_eq!(last.simulations, reference.simulations);
+    }
+
+    #[test]
+    fn multi_corner_progress_mirrors_ledger() {
+        use crate::progress::{ProgressEvent, ProgressHandle, ProgressPhase};
+        use std::sync::{Arc, Mutex};
+        let mut problem = Bowl::problem(2, 0.25).unwrap();
+        problem.corners = PvtSet::new(vec![
+            PvtCorner::nominal(),
+            PvtCorner { temp_celsius: 70.0, ..PvtCorner::nominal() },
+        ]);
+        let events: Arc<Mutex<Vec<ProgressEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink_events = events.clone();
+        let mut f = Framework::new(FrameworkConfig::default(), 2).with_progress(
+            ProgressHandle::new(Arc::new(move |e: &ProgressEvent| {
+                sink_events.lock().unwrap().push(e.clone());
+            })),
+        );
+        let out = f.search(&problem).unwrap();
+        let events = events.lock().unwrap();
+        let corner_events =
+            events.iter().filter(|e| e.phase == ProgressPhase::Corner).count();
+        assert_eq!(corner_events, out.ledger.len(), "one event per ledger entry");
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod framework;
 mod health;
 mod planner;
 mod porting;
+mod progress;
 mod pvt;
 mod trust_region;
 
@@ -51,5 +52,6 @@ pub use framework::{Framework, FrameworkConfig, FrameworkOutcome};
 pub use health::{HealthConfig, HealthMonitor};
 pub use planner::{McPlanner, Proposal};
 pub use porting::PortingStrategy;
+pub use progress::{ProgressEvent, ProgressHandle, ProgressPhase, ProgressSink};
 pub use pvt::{LedgerEntry, PvtExplorer, PvtOutcome, PvtStrategy};
 pub use trust_region::{TrustRegion, TrustRegionConfig, TrustStep};

@@ -1,0 +1,170 @@
+//! Campaign progress callbacks.
+//!
+//! A long-running sizing campaign is opaque from the outside: the agent
+//! owns its loop and only returns when the budget is spent or a feasible
+//! point is found. The serving layer needs a live view — queue dashboards,
+//! `GET /campaigns/{id}` progress lines, per-campaign watchdogs — without
+//! perturbing the search. A [`ProgressSink`] provides exactly that: a
+//! passive observer invoked at well-defined points of the campaign with a
+//! snapshot [`ProgressEvent`].
+//!
+//! Sinks are **observers, not participants**: they receive copies of
+//! values the agent already computed, never feed anything back, and are
+//! invoked outside any rng consumption — attaching or detaching a sink
+//! can never change a `SearchOutcome`. Implementations should return
+//! quickly (the campaign thread blocks on them); buffer-and-poll is the
+//! intended pattern.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Where in the campaign an event was emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgressPhase {
+    /// The episode's seed phase completed (Algorithm 1 lines 2–5).
+    Seeded,
+    /// One trust-region round (fit → plan → evaluate → update) finished.
+    Round,
+    /// Progress stalled and the explorer re-seeded a fresh region.
+    Restart,
+    /// A PVT corner evaluation was logged to the campaign ledger.
+    Corner,
+    /// The campaign finished (feasible point found or budget exhausted).
+    Done,
+}
+
+impl ProgressPhase {
+    /// Stable lowercase label for logs and wire formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            ProgressPhase::Seeded => "seeded",
+            ProgressPhase::Round => "round",
+            ProgressPhase::Restart => "restart",
+            ProgressPhase::Corner => "corner",
+            ProgressPhase::Done => "done",
+        }
+    }
+}
+
+/// A snapshot of campaign state at one emission point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressEvent {
+    /// Which emission point produced this event.
+    pub phase: ProgressPhase,
+    /// Simulator invocations consumed so far.
+    pub simulations: usize,
+    /// Best value seen so far (0 ⇔ feasible).
+    pub best_value: f64,
+    /// Whether a fully feasible point has been found.
+    pub feasible: bool,
+    /// The corner index for [`ProgressPhase::Corner`] events, else `None`.
+    pub corner: Option<usize>,
+}
+
+impl fmt::Display for ProgressEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sims={} best={:.6} feasible={}",
+            self.phase.label(),
+            self.simulations,
+            self.best_value,
+            self.feasible
+        )?;
+        if let Some(c) = self.corner {
+            write!(f, " corner={c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A passive observer of campaign progress.
+pub trait ProgressSink: Send + Sync {
+    /// Called by the campaign thread at each emission point.
+    fn on_event(&self, event: &ProgressEvent);
+}
+
+/// Every `Fn(&ProgressEvent)` closure is a sink.
+impl<F: Fn(&ProgressEvent) + Send + Sync> ProgressSink for F {
+    fn on_event(&self, event: &ProgressEvent) {
+        self(event)
+    }
+}
+
+/// A cheaply clonable handle to a shared sink, with the `Debug` impl the
+/// explorer structs need for their derives.
+#[derive(Clone)]
+pub struct ProgressHandle(Arc<dyn ProgressSink>);
+
+impl ProgressHandle {
+    /// Wraps a sink.
+    pub fn new(sink: Arc<dyn ProgressSink>) -> Self {
+        ProgressHandle(sink)
+    }
+
+    /// Emits one event to the sink.
+    pub fn emit(&self, event: &ProgressEvent) {
+        self.0.on_event(event);
+    }
+}
+
+impl fmt::Debug for ProgressHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ProgressHandle(..)")
+    }
+}
+
+/// Emits to `handle` if one is attached — the explorers' no-op-when-absent
+/// helper.
+pub(crate) fn emit(handle: &Option<ProgressHandle>, event: ProgressEvent) {
+    if let Some(h) = handle {
+        h.emit(&event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn closures_are_sinks_and_events_display() {
+        let seen: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = seen.clone();
+        let handle = ProgressHandle::new(Arc::new(move |e: &ProgressEvent| {
+            seen2.lock().unwrap().push(e.to_string());
+        }));
+        handle.emit(&ProgressEvent {
+            phase: ProgressPhase::Round,
+            simulations: 42,
+            best_value: -0.5,
+            feasible: false,
+            corner: None,
+        });
+        handle.emit(&ProgressEvent {
+            phase: ProgressPhase::Corner,
+            simulations: 50,
+            best_value: 0.0,
+            feasible: true,
+            corner: Some(3),
+        });
+        let lines = seen.lock().unwrap();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("round sims=42"));
+        assert!(lines[1].contains("corner=3"));
+    }
+
+    #[test]
+    fn emit_without_handle_is_a_no_op() {
+        emit(
+            &None,
+            ProgressEvent {
+                phase: ProgressPhase::Done,
+                simulations: 0,
+                best_value: 0.0,
+                feasible: true,
+                corner: None,
+            },
+        );
+    }
+}

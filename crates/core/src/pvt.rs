@@ -101,13 +101,43 @@ pub struct PvtExplorer {
     /// Probe samples per corner used to rank difficulty for
     /// [`PvtStrategy::ProgressiveHardest`].
     pub hardness_probes: usize,
+    /// Optional progress observer: every ledger entry is mirrored as a
+    /// [`crate::ProgressPhase::Corner`] event. Purely passive — attaching
+    /// one never changes the outcome.
+    pub progress: Option<crate::progress::ProgressHandle>,
 }
 
 impl PvtExplorer {
     /// Creates an explorer with the given strategy and default local
     /// search settings.
     pub fn new(strategy: PvtStrategy) -> Self {
-        PvtExplorer { config: ExplorerConfig::default(), strategy, hardness_probes: 4 }
+        PvtExplorer {
+            config: ExplorerConfig::default(),
+            strategy,
+            hardness_probes: 4,
+            progress: None,
+        }
+    }
+
+    /// Attaches a progress observer (builder style).
+    #[must_use]
+    pub fn with_progress(mut self, handle: crate::progress::ProgressHandle) -> Self {
+        self.progress = Some(handle);
+        self
+    }
+
+    /// Mirrors one ledger entry to the progress observer, if any.
+    fn note_entry(&self, entry: &LedgerEntry, best_value: f64) {
+        crate::progress::emit(
+            &self.progress,
+            crate::progress::ProgressEvent {
+                phase: crate::progress::ProgressPhase::Corner,
+                simulations: entry.sim,
+                best_value,
+                feasible: entry.pass,
+                corner: Some(entry.corner),
+            },
+        );
     }
 
     /// Runs the PVT exploration.
@@ -174,14 +204,16 @@ impl PvtExplorer {
                     let truncated = evals.len() < requests.len();
                     for (c, e) in evals.into_iter().enumerate() {
                         stats.record(&e);
-                        ledger.push(LedgerEntry {
+                        let entry = LedgerEntry {
                             sim: stats.sims,
                             round,
                             corner: c,
                             value: e.value,
                             pass: e.feasible,
                             verification: false,
-                        });
+                        };
+                        self.note_entry(&entry, best_value);
+                        ledger.push(entry);
                         if let Some(m) = e.measurements {
                             models[c].push(e.x_norm.clone(), m);
                         }
@@ -230,14 +262,16 @@ impl PvtExplorer {
                 let mut all_pass = true;
                 for (e, &c) in evals.into_iter().zip(corners) {
                     stats.record(&e);
-                    ledger.push(LedgerEntry {
+                    let entry = LedgerEntry {
                         sim: stats.sims,
                         round,
                         corner: c,
                         value: e.value,
                         pass: e.feasible,
                         verification: $verification,
-                    });
+                    };
+                    self.note_entry(&entry, best_value);
+                    ledger.push(entry);
                     if let Some(m) = e.measurements {
                         models[c].push(e.x_norm.clone(), m);
                     }

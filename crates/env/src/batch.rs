@@ -69,6 +69,24 @@ pub(crate) fn resolve_threads(explicit: usize) -> usize {
 }
 
 impl SizingProblem {
+    /// The worker count this batch call will use: the dynamic fair-share
+    /// source (if attached and non-zero) wins, then the explicit
+    /// [`SizingProblem::threads`] setting, then `ASDEX_THREADS`, then 1.
+    pub fn resolved_threads(&self) -> usize {
+        let shared = self
+            .thread_share
+            .as_ref()
+            .map(|s| s.load(std::sync::atomic::Ordering::SeqCst))
+            .unwrap_or(0);
+        if shared > 0 {
+            shared
+        } else {
+            resolve_threads(self.threads)
+        }
+    }
+}
+
+impl SizingProblem {
     /// Evaluates a batch of requests with at most `remaining` simulator
     /// attempts available across the whole batch.
     ///
@@ -94,6 +112,19 @@ impl SizingProblem {
             reserved += cap;
         }
         let n = caps.len();
+        // Drain hook: once the campaign's cancel token is pulled, no
+        // further simulator calls are issued. Every admitted request comes
+        // back as a typed `Cancelled` failure charging its reserved cap —
+        // agents wind down through their normal budget accounting — and
+        // nothing is journaled, so a resumed campaign re-runs these
+        // requests live and reaches the uninterrupted outcome.
+        if self.is_cancelled() {
+            return requests[..n]
+                .iter()
+                .zip(&caps)
+                .map(|(r, &cap)| self.cancelled_eval(&r.u, cap))
+                .collect();
+        }
         // Replay pre-pass, in request order and single-threaded: a journal
         // can hold several recorded outcomes under one (point, corner,
         // cap) key (e.g. a live failure followed by a quarantine
@@ -103,7 +134,7 @@ impl SizingProblem {
         for (r, &cap) in requests[..n].iter().zip(&caps) {
             seeded.push(self.take_replayed(&r.u, r.corner_idx, cap).map(|e| (e, true)));
         }
-        let threads = resolve_threads(self.threads).min(n);
+        let threads = self.resolved_threads().min(n);
         if threads <= 1 {
             return seeded
                 .into_iter()
@@ -255,6 +286,62 @@ mod tests {
         let reqs = EvalRequest::fan_out(&[0.5, 0.5], 3);
         assert_eq!(reqs.len(), 3);
         assert!(reqs.iter().enumerate().all(|(i, r)| r.corner_idx == i && r.u == vec![0.5, 0.5]));
+    }
+
+    #[test]
+    fn cancelled_batch_charges_budget_without_simulating() {
+        use crate::cancel::CancelToken;
+        let token = CancelToken::new();
+        let p = toy_problem().with_cancel_token(token.clone());
+        // Before cancellation the batch runs normally.
+        let live = p.evaluate_batch(&grid_requests(4), 100);
+        assert!(live.iter().all(|e| e.failure.is_none()));
+        token.cancel();
+        let drained = p.evaluate_batch(&grid_requests(4), 100);
+        assert_eq!(drained.len(), 4);
+        for e in &drained {
+            assert_eq!(e.failure, Some(crate::stats::FailureKind::Cancelled));
+            assert_eq!(e.sim_cost, p.retry.max_attempts(), "charges the reserved cap");
+            assert!(e.measurements.is_none());
+        }
+        // Admission still bounds the total charge.
+        let tight = p.evaluate_batch(&grid_requests(10), 5);
+        let spent: usize = tight.iter().map(|e| e.sim_cost).sum();
+        assert!(spent <= 5, "cancelled charges stay budget-exact");
+    }
+
+    #[test]
+    fn cancelled_evaluations_never_reach_the_journal() {
+        use crate::cancel::CancelToken;
+        use crate::journal::{Journal, JournalMeta};
+        let path = std::env::temp_dir()
+            .join(format!("asdex-batch-cancel-{}.journal", std::process::id()));
+        let journal = Journal::create(&path, JournalMeta::new().with("t", "c"), 1).unwrap();
+        let token = CancelToken::new();
+        let p = toy_problem().with_journal(journal).with_cancel_token(token.clone());
+        p.evaluate_batch(&grid_requests(3), 100);
+        token.cancel();
+        p.evaluate_batch(&grid_requests(5), 100);
+        let handle = p.journal_handle().unwrap();
+        let recorded = handle.lock().unwrap().recorded();
+        assert_eq!(recorded, 3, "only the live evaluations were journaled");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dynamic_thread_share_wins_over_static_setting() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let share = Arc::new(AtomicUsize::new(0));
+        let p = toy_problem().with_threads(3).with_thread_share(share.clone());
+        assert_eq!(p.resolved_threads(), 3, "share of 0 falls back to static");
+        share.store(7, Ordering::SeqCst);
+        assert_eq!(p.resolved_threads(), 7, "live share wins");
+        // Rebalancing mid-campaign never changes results.
+        let reqs = grid_requests(16);
+        let at_share = p.evaluate_batch(&reqs, 1000);
+        share.store(1, Ordering::SeqCst);
+        let serial = p.evaluate_batch(&reqs, 1000);
+        assert_eq!(at_share, serial);
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Cooperative cancellation for long-running campaigns — the drain hook
+//! the serving layer pulls when it must stop a campaign *now* without
+//! corrupting its checkpoint journal.
+//!
+//! A [`CancelToken`] is a cheap shared flag. Attach one to a
+//! [`crate::SizingProblem`] with [`crate::SizingProblem::with_cancel_token`]
+//! and every subsequent [`crate::SizingProblem::evaluate_batch`] call
+//! checks it *at batch entry*: once cancelled, no further simulator calls
+//! are issued — instead each admitted request comes back as a typed
+//! [`crate::FailureKind::Cancelled`] failure that **charges its reserved
+//! budget**. Charging matters: every agent terminates through its own
+//! `sims < max_sims` accounting, so draining budget (rather than
+//! returning an empty batch) winds any agent down within one pass over
+//! its remaining budget instead of spinning forever.
+//!
+//! Two properties make cancellation safe to combine with crash-safe
+//! journals:
+//!
+//! 1. Cancelled evaluations are **never recorded to a journal** — the
+//!    journal only ever holds real simulator outcomes, so resuming a
+//!    drained campaign replays exactly the work that was done and then
+//!    continues live, reaching the same [`crate::SearchOutcome`] an
+//!    uninterrupted run produces.
+//! 2. Cancellation only takes effect at batch boundaries — a batch that
+//!    already started completes and is journaled normally, so there is no
+//!    half-finalized state to reason about.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag (clone-cheap, thread-safe).
+///
+/// Cancellation is one-way: once [`CancelToken::cancel`] is called the
+/// token stays cancelled for every clone.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Flips the token; every holder observes it on their next check.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether [`CancelToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancellation_is_shared_and_one_way() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled());
+        assert!(!b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled(), "clones share the flag");
+        assert!(b.is_cancelled());
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cancel;
 pub mod circuits;
 pub mod corner;
 mod error;
@@ -60,6 +61,7 @@ pub mod stats;
 pub mod value;
 
 pub use batch::EvalRequest;
+pub use cancel::CancelToken;
 pub use corner::{PvtCorner, PvtSet};
 pub use error::EnvError;
 pub use fault::{FaultConfig, FaultInjectingEvaluator, FaultMode};

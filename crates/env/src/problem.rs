@@ -5,6 +5,7 @@
 //! from simulation, and the specs per corner; every search agent consumes
 //! the same [`SizingProblem`].
 
+use crate::cancel::CancelToken;
 use crate::corner::{PvtCorner, PvtSet};
 use crate::error::EnvError;
 use crate::journal::Journal;
@@ -14,6 +15,7 @@ use crate::spec::SpecSet;
 use crate::stats::FailureKind;
 use crate::value::ValueFn;
 use std::collections::HashSet;
+use std::sync::atomic::AtomicUsize;
 use std::sync::{Arc, Mutex};
 
 /// Identity of one (point, corner) job for quarantine bookkeeping: the
@@ -113,6 +115,17 @@ pub struct SizingProblem {
     /// falling back to serial execution. Thread count never changes
     /// results — only wall-clock.
     pub threads: usize,
+    /// Optional dynamic worker-count source, read at every
+    /// [`SizingProblem::evaluate_batch`] call. A serving layer running
+    /// many campaigns against one machine stores each campaign's
+    /// fair share here and rebalances as campaigns start and finish;
+    /// a value of 0 falls back to [`SizingProblem::threads`]. Thread
+    /// count never changes results — only wall-clock — so rebalancing
+    /// mid-campaign is always safe.
+    pub(crate) thread_share: Option<Arc<AtomicUsize>>,
+    /// Optional cooperative cancellation flag (the serving layer's drain
+    /// hook). Checked at every batch boundary; see [`crate::CancelToken`].
+    pub(crate) cancel: Option<CancelToken>,
     /// Optional checkpoint journal, shared across clones of the problem.
     /// Replay lookups and recording happen in request order (never
     /// concurrently inside a worker), so thread count stays invisible.
@@ -170,6 +183,8 @@ impl SizingProblem {
             value_fn: ValueFn::default(),
             retry: RetryPolicy::default(),
             threads: 0,
+            thread_share: None,
+            cancel: None,
             journal: None,
             quarantine: Arc::new(Mutex::new(HashSet::new())),
         })
@@ -181,6 +196,33 @@ impl SizingProblem {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Attaches a dynamic worker-count source (builder style). The value
+    /// is re-read at every [`SizingProblem::evaluate_batch`] call, so a
+    /// scheduler can rebalance a shared thread budget across concurrent
+    /// campaigns while they run; 0 falls back to the static
+    /// [`SizingProblem::with_threads`] setting.
+    #[must_use]
+    pub fn with_thread_share(mut self, share: Arc<AtomicUsize>) -> Self {
+        self.thread_share = Some(share);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token (builder style). Once
+    /// cancelled, every subsequent batch returns typed
+    /// [`FailureKind::Cancelled`] failures that charge their reserved
+    /// budget without invoking the simulator or touching the journal —
+    /// see [`crate::CancelToken`] for the drain semantics.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether the attached [`CancelToken`] (if any) has been pulled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
     }
 
     /// Attaches a checkpoint journal (builder style): every non-replayed
@@ -249,6 +291,9 @@ impl SizingProblem {
         remaining: usize,
     ) -> Evaluation {
         let cap = self.retry.max_attempts().min(remaining.max(1));
+        if self.is_cancelled() {
+            return self.cancelled_eval(u, cap);
+        }
         let (eval, replayed) = match self.take_replayed(u, corner_idx, cap) {
             Some(e) => (e, true),
             None => (self.evaluate_unjournaled(u, corner_idx, cap), false),
@@ -276,6 +321,15 @@ impl SizingProblem {
     fn quarantine_eval(&self, u: &[f64]) -> Evaluation {
         let x_norm = self.space.snap(u).unwrap_or_else(|_| u.to_vec());
         self.failed_eval(x_norm, FailureKind::WorkerPanic, 1)
+    }
+
+    /// The drain short-circuit outcome: a typed
+    /// [`FailureKind::Cancelled`] failure that charges the request's full
+    /// reserved attempt cap, so a cancelled agent burns through its
+    /// remaining budget in one pass and terminates. Never journaled.
+    pub(crate) fn cancelled_eval(&self, u: &[f64], cap: usize) -> Evaluation {
+        let x_norm = self.space.snap(u).unwrap_or_else(|_| u.to_vec());
+        self.failed_eval(x_norm, FailureKind::Cancelled, cap.max(1))
     }
 
     /// Whether this job is quarantined after repeated worker panics.
@@ -375,6 +429,12 @@ impl SizingProblem {
             if let Ok(mut quarantine) = self.quarantine.lock() {
                 quarantine.insert(job_key(u, corner_idx));
             }
+        }
+        // Cancelled placeholders are not real simulator outcomes: keeping
+        // them out of the journal is what makes a drained campaign resume
+        // to the same outcome as an uninterrupted run.
+        if eval.failure == Some(FailureKind::Cancelled) {
+            return eval;
         }
         if !replayed {
             if let Some(journal) = &self.journal {

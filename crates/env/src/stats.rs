@@ -40,6 +40,12 @@ pub enum FailureKind {
     /// isolation boundary (it never poisons the thread pool) and converted
     /// into this kind; retried, and quarantined after repeated panics.
     WorkerPanic,
+    /// The campaign's [`crate::CancelToken`] was pulled before this
+    /// request ran. The reserved budget is charged (so agents wind down
+    /// through their normal accounting) but the simulator is never
+    /// invoked and the outcome is never journaled — resuming the campaign
+    /// re-runs this request live. Never retried.
+    Cancelled,
     /// Any other evaluator-specific failure.
     Other,
 }
@@ -94,6 +100,7 @@ impl FailureKind {
             FailureKind::InvalidInput => "invalid-input",
             FailureKind::Injected => "injected",
             FailureKind::WorkerPanic => "worker-panic",
+            FailureKind::Cancelled => "cancelled",
             FailureKind::Other => "other",
         }
     }
@@ -106,7 +113,7 @@ impl FailureKind {
     }
 
     /// All kinds, in display order.
-    pub const ALL: [FailureKind; 8] = [
+    pub const ALL: [FailureKind; 9] = [
         FailureKind::NoConvergence,
         FailureKind::Singular,
         FailureKind::Timeout,
@@ -114,6 +121,7 @@ impl FailureKind {
         FailureKind::InvalidInput,
         FailureKind::Injected,
         FailureKind::WorkerPanic,
+        FailureKind::Cancelled,
         FailureKind::Other,
     ];
 }
@@ -133,7 +141,7 @@ pub struct EvalStats {
     pub sims: usize,
     /// Design points whose final (post-retry) outcome was a failure,
     /// bucketed by kind (indexed as [`FailureKind::ALL`]).
-    failures: [usize; 8],
+    failures: [usize; 9],
     /// Extra attempts issued by the retry ladder beyond the first try.
     pub retries: usize,
     /// Points that failed at least once but succeeded within the ladder.

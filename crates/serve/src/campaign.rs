@@ -1,0 +1,174 @@
+//! Campaign construction and execution, shared by the daemon and the CLI.
+//!
+//! One campaign = one benchmark problem + one agent + one seed + one
+//! budget, run to completion (or drain). The functions here are the
+//! single source of truth for benchmark and agent names, so `asdex size`,
+//! `POST /campaigns`, and journal resume all accept exactly the same
+//! vocabulary.
+
+use crate::protocol::CampaignSpec;
+use asdex_baselines::{CustomizedBo, RandomSearch};
+use asdex_core::{Framework, FrameworkConfig, ProgressEvent, ProgressHandle, ProgressPhase, PvtStrategy};
+use asdex_env::circuits::ico::Ico;
+use asdex_env::circuits::ldo::Ldo;
+use asdex_env::circuits::opamp::TwoStageOpamp;
+use asdex_env::circuits::synthetic::Bowl;
+use asdex_env::{EvalStats, HealthStats, PvtSet, SearchBudget, Searcher, SizingProblem};
+
+/// What a finished campaign reports, agent-agnostic. The serving layer's
+/// canonical result record — serialized by
+/// [`crate::protocol::outcome_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignOutcome {
+    /// `true` when a fully feasible point was found within budget.
+    pub success: bool,
+    /// Simulator invocations spent.
+    pub simulations: usize,
+    /// Best point found (normalized coordinates).
+    pub best_point: Vec<f64>,
+    /// Best point in physical parameter values.
+    pub best_physical: Vec<f64>,
+    /// Value of the best point (0 ⇔ feasible).
+    pub best_value: f64,
+    /// Evaluation telemetry.
+    pub stats: EvalStats,
+    /// Self-healing telemetry.
+    pub health: HealthStats,
+}
+
+/// Builds a benchmark problem by name. Accepts the hardware benchmarks
+/// (`opamp45`, `opamp22`, `ldo`, `ico`) plus the synthetic `bowl<dim>`
+/// family (e.g. `bowl3`) whose nanosecond evaluations make service tests
+/// and load generation cheap.
+pub fn build_problem(bench: &str, corners: &str) -> Result<SizingProblem, String> {
+    let corner_set = match corners {
+        "nominal" => PvtSet::nominal_only(),
+        "signoff5" => PvtSet::signoff5(),
+        other => return Err(format!("unknown corner set {other:?} (nominal|signoff5)")),
+    };
+    if let Some(dim) = bench.strip_prefix("bowl").and_then(|d| d.parse::<usize>().ok()) {
+        if !(1..=16).contains(&dim) {
+            return Err(format!("bowl dimension must be 1..=16, got {dim}"));
+        }
+        let mut problem = Bowl::problem(dim, 0.2).map_err(|e| e.to_string())?;
+        problem.corners = corner_set;
+        return Ok(problem);
+    }
+    let problem = match bench {
+        "opamp45" => {
+            let amp = TwoStageOpamp::bsim45();
+            amp.problem_with(amp.specs(), corner_set)
+        }
+        "opamp22" => {
+            let amp = TwoStageOpamp::bsim22();
+            amp.problem_with(amp.specs(), corner_set)
+        }
+        "ldo" => Ldo::n6().problem(),
+        "ico" => Ico::n5().problem(),
+        other => {
+            return Err(format!(
+                "unknown benchmark {other:?} (opamp45|opamp22|ldo|ico|bowl<dim>)"
+            ))
+        }
+    };
+    problem.map_err(|e| e.to_string())
+}
+
+/// Runs one campaign on an already-configured problem (threads, journal,
+/// cancel token, and thread share are the caller's business). Progress
+/// events, when a sink is supplied, are purely observational.
+pub fn run_campaign(
+    problem: &SizingProblem,
+    spec: &CampaignSpec,
+    progress: Option<ProgressHandle>,
+) -> Result<CampaignOutcome, String> {
+    let (success, simulations, best_point, best_value, stats, health) = match spec.agent.as_str() {
+        "trm" => {
+            let mut framework = Framework::new(
+                FrameworkConfig {
+                    budget: Some(spec.budget),
+                    pvt_strategy: Some(PvtStrategy::ProgressiveHardest),
+                    ..FrameworkConfig::default()
+                },
+                spec.seed,
+            );
+            if let Some(handle) = progress {
+                framework = framework.with_progress(handle);
+            }
+            let out = framework.search(problem).map_err(|e| e.to_string())?;
+            (out.success, out.simulations, out.best_point, out.best_value, out.stats, out.health)
+        }
+        "bo" | "random" => {
+            let out = if spec.agent == "bo" {
+                CustomizedBo::new().search(problem, SearchBudget::new(spec.budget), spec.seed)
+            } else {
+                RandomSearch::new().search(problem, SearchBudget::new(spec.budget), spec.seed)
+            };
+            // The baseline agents carry no progress plumbing; emit the
+            // terminal event here so every campaign reports at least its
+            // ending. Emission happens after the search returned — it
+            // cannot perturb the outcome.
+            if let Some(handle) = &progress {
+                handle.emit(&ProgressEvent {
+                    phase: ProgressPhase::Done,
+                    simulations: out.simulations,
+                    best_value: out.best_value,
+                    feasible: out.success,
+                    corner: None,
+                });
+            }
+            (out.success, out.simulations, out.best_point, out.best_value, out.stats, out.health)
+        }
+        other => return Err(format!("unknown agent {other:?} (trm|bo|random)")),
+    };
+    let best_physical = problem.space.to_physical(&best_point).map_err(|e| e.to_string())?;
+    Ok(CampaignOutcome {
+        success,
+        simulations,
+        best_point,
+        best_physical,
+        best_value,
+        stats,
+        health,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bowl_benchmarks_parse_and_run() {
+        let problem = build_problem("bowl2", "nominal").unwrap();
+        assert_eq!(problem.dim(), 2);
+        let spec = CampaignSpec { budget: 400, ..CampaignSpec::default() };
+        let outcome = run_campaign(&problem, &spec, None).unwrap();
+        assert!(outcome.success, "bowl2 should be easy within 400 sims");
+        assert_eq!(outcome.best_physical.len(), 2);
+    }
+
+    #[test]
+    fn unknown_names_are_typed_errors() {
+        assert!(build_problem("opamp99", "nominal").is_err());
+        assert!(build_problem("bowl0", "nominal").is_err());
+        assert!(build_problem("bowl3", "weird").is_err());
+        let problem = build_problem("bowl2", "nominal").unwrap();
+        let spec =
+            CampaignSpec { agent: "dqn".to_string(), budget: 10, ..CampaignSpec::default() };
+        assert!(run_campaign(&problem, &spec, None).is_err());
+    }
+
+    #[test]
+    fn agents_share_the_same_entry_point() {
+        let problem = build_problem("bowl2", "nominal").unwrap();
+        for agent in ["trm", "bo", "random"] {
+            let spec = CampaignSpec {
+                agent: agent.to_string(),
+                budget: 150,
+                ..CampaignSpec::default()
+            };
+            let outcome = run_campaign(&problem, &spec, None).unwrap();
+            assert!(outcome.simulations <= 150 + 8, "{agent} overspent");
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! A blocking client for the daemon's wire protocol.
+//!
+//! Used by the `loadgen` harness, the CI smoke job, and the integration
+//! tests; also a convenient programmatic API. One TCP connection per
+//! request, mirroring the server's `Connection: close` policy.
+
+use crate::json::Json;
+use crate::protocol::CampaignSpec;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The TCP connection could not be made or broke mid-request.
+    Io(std::io::Error),
+    /// The server's response was not parseable HTTP/JSON.
+    Protocol(String),
+    /// The server answered with a non-2xx status.
+    Status {
+        /// The HTTP status code.
+        status: u16,
+        /// The response body.
+        body: String,
+    },
+    /// A poll deadline expired.
+    Timeout(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection failed: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ClientError::Status { status, body } => write!(f, "HTTP {status}: {body}"),
+            ClientError::Timeout(what) => write!(f, "timed out waiting for {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A handle to one daemon.
+#[derive(Debug, Clone)]
+pub struct Client {
+    addr: String,
+}
+
+impl Client {
+    /// A client for `addr` (`host:port`).
+    pub fn new(addr: impl Into<String>) -> Client {
+        Client { addr: addr.into() }
+    }
+
+    /// One raw HTTP exchange. Returns `(status, body)`.
+    pub fn request(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        let mut stream = TcpStream::connect(&self.addr)?;
+        stream.set_nodelay(true).ok();
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        let body = body.unwrap_or("");
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            self.addr,
+            body.len()
+        )?;
+        stream.flush()?;
+
+        let mut reader = BufReader::new(stream);
+        let mut status_line = String::new();
+        reader.read_line(&mut status_line)?;
+        let status: u16 = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
+        let mut content_length = None;
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line)?;
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse::<usize>().ok();
+                }
+            }
+        }
+        let body = match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                reader.read_exact(&mut buf)?;
+                String::from_utf8(buf)
+                    .map_err(|_| ClientError::Protocol("body is not UTF-8".to_string()))?
+            }
+            None => {
+                let mut buf = String::new();
+                reader.read_to_string(&mut buf)?;
+                buf
+            }
+        };
+        Ok((status, body))
+    }
+
+    fn expect_json(&self, result: (u16, String)) -> Result<Json, ClientError> {
+        let (status, body) = result;
+        if !(200..300).contains(&status) {
+            return Err(ClientError::Status { status, body });
+        }
+        Json::parse(&body).map_err(|e| ClientError::Protocol(e.to_string()))
+    }
+
+    /// Submits a campaign; returns the id the daemon assigned.
+    pub fn submit(
+        &self,
+        id: Option<&str>,
+        spec: &CampaignSpec,
+    ) -> Result<String, ClientError> {
+        let mut body = spec.to_json();
+        if let Some(id) = id {
+            // Put the id first for readable logs; order is cosmetic here.
+            if let Json::Obj(fields) = &mut body {
+                fields.insert(0, ("id".to_string(), Json::Str(id.to_string())));
+            }
+        }
+        let response =
+            self.expect_json(self.request("POST", "/campaigns", Some(&body.dump()))?)?;
+        response
+            .get("id")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("submit response lacks `id`".to_string()))
+    }
+
+    /// Fetches a campaign's status document.
+    pub fn get_campaign(&self, id: &str) -> Result<Json, ClientError> {
+        self.expect_json(self.request("GET", &format!("/campaigns/{id}"), None)?)
+    }
+
+    /// Polls until the campaign reaches a terminal status; returns the
+    /// final status document.
+    pub fn wait_for(&self, id: &str, timeout: Duration) -> Result<Json, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let doc = self.get_campaign(id)?;
+            if let Some("completed" | "interrupted" | "failed") =
+                doc.get("status").and_then(Json::as_str)
+            {
+                return Ok(doc);
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Timeout(format!("campaign {id}")));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Fetches the health document.
+    pub fn healthz(&self) -> Result<Json, ClientError> {
+        self.expect_json(self.request("GET", "/healthz", None)?)
+    }
+
+    /// Fetches the raw metrics exposition.
+    pub fn metrics(&self) -> Result<String, ClientError> {
+        let (status, body) = self.request("GET", "/metrics", None)?;
+        if status != 200 {
+            return Err(ClientError::Status { status, body });
+        }
+        Ok(body)
+    }
+
+    /// Requests a graceful drain.
+    pub fn drain(&self) -> Result<(), ClientError> {
+        let (status, body) = self.request("POST", "/drain", None)?;
+        if !(200..300).contains(&status) {
+            return Err(ClientError::Status { status, body });
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,211 @@
+//! A deliberately small HTTP/1.1 implementation.
+//!
+//! The daemon speaks just enough HTTP for `curl` and the bundled client:
+//! one request per connection (`Connection: close`), `Content-Length`
+//! bodies only (no chunked transfer), and a bounded request size so a
+//! misbehaving client cannot balloon memory. This is a wire format, not a
+//! web framework — routing lives in [`crate::server`].
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request head + body, in bytes.
+pub const MAX_BODY: usize = 1 << 20;
+/// Largest accepted request-line/header line, in bytes.
+pub const MAX_LINE: usize = 8 << 10;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query string retained, if any).
+    pub path: String,
+    /// Lowercased header names with trimmed values, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with the given (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed.
+#[derive(Debug)]
+pub enum HttpError {
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// The request was malformed or exceeded a size bound; the payload is
+    /// the status line to answer with.
+    Bad(&'static str),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+            HttpError::Bad(reason) => write!(f, "bad request: {reason}"),
+        }
+    }
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+fn read_line(reader: &mut impl BufRead) -> Result<String, HttpError> {
+    let mut line = Vec::new();
+    let n = reader.by_ref().take(MAX_LINE as u64 + 1).read_until(b'\n', &mut line)?;
+    if n > MAX_LINE {
+        return Err(HttpError::Bad("header line too long"));
+    }
+    if line.last() == Some(&b'\n') {
+        line.pop();
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    String::from_utf8(line).map_err(|_| HttpError::Bad("header is not UTF-8"))
+}
+
+use std::io::Read;
+
+/// Reads one request from the stream. Returns `Ok(None)` if the peer
+/// closed the connection before sending anything.
+pub fn read_request(reader: &mut impl BufRead) -> Result<Option<Request>, HttpError> {
+    let request_line = read_line(reader)?;
+    if request_line.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or(HttpError::Bad("missing method"))?.to_uppercase();
+    let path = parts.next().ok_or(HttpError::Bad("missing path"))?.to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1");
+    if !version.starts_with("HTTP/1") {
+        return Err(HttpError::Bad("unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_lowercase(), value.trim().to_string()));
+        }
+        if headers.len() > 100 {
+            return Err(HttpError::Bad("too many headers"));
+        }
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| v.parse::<usize>().map_err(|_| HttpError::Bad("bad content-length")))
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(HttpError::Bad("body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+    Ok(Some(Request { method, path, headers, body }))
+}
+
+/// An HTTP response ready to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Media type of the body.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Response {
+        Response { status, content_type: "application/json", body: body.into_bytes() }
+    }
+
+    /// A plain-text response (used by `/metrics`).
+    pub fn text(status: u16, body: String) -> Response {
+        Response { status, content_type: "text/plain; charset=utf-8", body: body.into_bytes() }
+    }
+
+    /// Writes the response (status line, headers, body) and flushes.
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: close\r\n\r\n",
+            self.status,
+            reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /campaigns HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut BufReader::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/campaigns");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn empty_connection_is_none() {
+        let raw = b"";
+        assert!(read_request(&mut BufReader::new(&raw[..])).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_body_is_rejected() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let err = read_request(&mut BufReader::new(raw.as_bytes())).unwrap_err();
+        assert!(matches!(err, HttpError::Bad(_)));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(200, "{}".to_string()).write_to(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

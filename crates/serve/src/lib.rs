@@ -1,0 +1,48 @@
+//! Sizing-as-a-service for ASDEX — the production serving layer.
+//!
+//! This crate turns the search library into a long-running daemon:
+//!
+//! * [`server`] — a dependency-free HTTP/1.1 front end over
+//!   `std::net::TcpListener`: `POST /campaigns`, `GET /campaigns/{id}`,
+//!   `GET /healthz`, `GET /metrics`, `POST /drain`.
+//! * [`scheduler`] — bounded admission, `max_active` concurrent
+//!   campaigns, fair-share division of the global evaluation-thread
+//!   budget, per-campaign crash-safe journals, graceful drain.
+//! * [`protocol`] — the wire format, including a **bitwise-comparable**
+//!   outcome serializer (floats carried as IEEE-754 hex bits) shared
+//!   with the CLI's `--json` mode.
+//! * [`campaign`] — benchmark/agent vocabulary and the single campaign
+//!   entry point shared by daemon and CLI.
+//! * [`client`] / [`loadgen`] — a blocking client and a load harness
+//!   that records throughput/latency CSVs.
+//! * [`json`] / [`http`] / [`logging`] / [`metrics`] — the std-only
+//!   infrastructure underneath.
+//!
+//! The serving layer inherits the repo's determinism contracts wholesale:
+//! a campaign run by the daemon — at any thread share, across any number
+//! of drain/restart cycles — produces a `SearchOutcome` bitwise identical
+//! to the same campaign run serially by the CLI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod loadgen;
+pub mod logging;
+pub mod metrics;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+
+pub use campaign::{build_problem, run_campaign, CampaignOutcome};
+pub use client::{Client, ClientError};
+pub use json::Json;
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use logging::LogLevel;
+pub use metrics::Metrics;
+pub use protocol::{outcome_json, CampaignSpec};
+pub use scheduler::{CampaignStatus, Scheduler, SchedulerConfig, SubmitError};
+pub use server::{DrainHandle, Server, ServerConfig};

@@ -1,0 +1,255 @@
+//! The load harness: concurrent campaign submissions against a daemon,
+//! with throughput and latency recorded to CSV.
+//!
+//! Spawns `concurrency` worker threads that round-robin `campaigns`
+//! submissions (distinct seeds, so each campaign is real work), poll each
+//! to completion, and log per-campaign rows plus a summary row with
+//! latency percentiles to `out` — the same shape the repo's other bench
+//! CSVs use, so `bench_results/serve_throughput.csv` plots alongside
+//! them.
+
+use crate::client::{Client, ClientError};
+use crate::json::Json;
+use crate::protocol::CampaignSpec;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Total campaigns to submit.
+    pub campaigns: usize,
+    /// Concurrent submitter threads.
+    pub concurrency: usize,
+    /// Benchmark for every campaign.
+    pub bench: String,
+    /// Agent for every campaign.
+    pub agent: String,
+    /// Simulation budget per campaign.
+    pub budget: usize,
+    /// Corner set for every campaign.
+    pub corners: String,
+    /// Per-campaign completion deadline.
+    pub timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:8650".to_string(),
+            campaigns: 16,
+            concurrency: 8,
+            bench: "bowl3".to_string(),
+            agent: "trm".to_string(),
+            budget: 400,
+            corners: "nominal".to_string(),
+            timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// One campaign's measurements.
+#[derive(Debug, Clone)]
+pub struct CampaignSample {
+    /// The id the daemon assigned.
+    pub id: String,
+    /// `POST /campaigns` round-trip time.
+    pub submit_latency: Duration,
+    /// Submission until terminal status observed.
+    pub completion_latency: Duration,
+    /// Terminal status label.
+    pub status: String,
+    /// Simulations reported by the outcome (0 if unavailable).
+    pub simulations: usize,
+}
+
+/// Aggregated results of one load run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Per-campaign samples, in completion order.
+    pub samples: Vec<CampaignSample>,
+    /// Campaigns that errored at the client level (connect/timeout).
+    pub client_errors: usize,
+    /// Wall-clock of the whole run.
+    pub wall: Duration,
+}
+
+impl LoadReport {
+    /// Campaigns completed per second over the run.
+    pub fn throughput(&self) -> f64 {
+        if self.wall.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.samples.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// A completion-latency percentile (0.0 ..= 1.0) in milliseconds.
+    pub fn completion_percentile_ms(&self, q: f64) -> f64 {
+        percentile_ms(self.samples.iter().map(|s| s.completion_latency), q)
+    }
+
+    /// A submit-latency percentile (0.0 ..= 1.0) in milliseconds.
+    pub fn submit_percentile_ms(&self, q: f64) -> f64 {
+        percentile_ms(self.samples.iter().map(|s| s.submit_latency), q)
+    }
+
+    /// Writes the CSV: one row per campaign, then summary rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file I/O failures.
+    pub fn write_csv(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        writeln!(file, "kind,id,status,submit_ms,completion_ms,simulations")?;
+        for s in &self.samples {
+            writeln!(
+                file,
+                "campaign,{},{},{:.3},{:.3},{}",
+                s.id,
+                s.status,
+                s.submit_latency.as_secs_f64() * 1e3,
+                s.completion_latency.as_secs_f64() * 1e3,
+                s.simulations
+            )?;
+        }
+        writeln!(
+            file,
+            "summary,throughput_cps,{:.4},wall_ms,{:.3},errors,{}",
+            self.throughput(),
+            self.wall.as_secs_f64() * 1e3,
+            self.client_errors
+        )?;
+        for q in [0.50, 0.90, 0.99] {
+            writeln!(
+                file,
+                "summary,p{:02.0}_submit_ms,{:.3},p{:02.0}_completion_ms,{:.3},",
+                q * 100.0,
+                self.submit_percentile_ms(q),
+                q * 100.0,
+                self.completion_percentile_ms(q)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn percentile_ms(samples: impl Iterator<Item = Duration>, q: f64) -> f64 {
+    let mut ms: Vec<f64> = samples.map(|d| d.as_secs_f64() * 1e3).collect();
+    if ms.is_empty() {
+        return 0.0;
+    }
+    ms.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = ((ms.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).round() as usize;
+    ms[rank]
+}
+
+/// Runs the load: submits, polls, aggregates. Client-level failures are
+/// counted, not fatal, so a partial run still reports.
+pub fn run(cfg: &LoadgenConfig) -> LoadReport {
+    let started = Instant::now();
+    let next = Arc::new(AtomicUsize::new(0));
+    let samples = Arc::new(Mutex::new(Vec::new()));
+    let errors = Arc::new(AtomicUsize::new(0));
+
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.concurrency.max(1) {
+            let next = Arc::clone(&next);
+            let samples = Arc::clone(&samples);
+            let errors = Arc::clone(&errors);
+            scope.spawn(move || {
+                let client = Client::new(cfg.addr.clone());
+                loop {
+                    let k = next.fetch_add(1, Ordering::SeqCst);
+                    if k >= cfg.campaigns {
+                        return;
+                    }
+                    match run_one(&client, cfg, k) {
+                        Ok(sample) => samples.lock().unwrap().push(sample),
+                        Err(e) => {
+                            errors.fetch_add(1, Ordering::SeqCst);
+                            crate::logging::info(format!("loadgen: campaign {k} failed: {e}"));
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    LoadReport {
+        samples: Arc::try_unwrap(samples).expect("workers joined").into_inner().unwrap(),
+        client_errors: errors.load(Ordering::SeqCst),
+        wall: started.elapsed(),
+    }
+}
+
+fn run_one(
+    client: &Client,
+    cfg: &LoadgenConfig,
+    k: usize,
+) -> Result<CampaignSample, ClientError> {
+    let spec = CampaignSpec {
+        bench: cfg.bench.clone(),
+        agent: cfg.agent.clone(),
+        seed: k as u64 + 1,
+        budget: cfg.budget,
+        corners: cfg.corners.clone(),
+        ..CampaignSpec::default()
+    };
+    let submit_started = Instant::now();
+    let id = client.submit(None, &spec)?;
+    let submit_latency = submit_started.elapsed();
+    let doc = client.wait_for(&id, cfg.timeout)?;
+    let completion_latency = submit_started.elapsed();
+    let status = doc
+        .get("status")
+        .and_then(Json::as_str)
+        .unwrap_or("unknown")
+        .to_string();
+    let simulations = doc
+        .get("outcome")
+        .and_then(|o| o.get("simulations"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0) as usize;
+    Ok(CampaignSample { id, submit_latency, completion_latency, status, simulations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_csv_shape() {
+        let report = LoadReport {
+            samples: (0..10)
+                .map(|i| CampaignSample {
+                    id: format!("c{i}"),
+                    submit_latency: Duration::from_millis(i + 1),
+                    completion_latency: Duration::from_millis(10 * (i + 1)),
+                    status: "completed".to_string(),
+                    simulations: 100,
+                })
+                .collect(),
+            client_errors: 0,
+            wall: Duration::from_secs(1),
+        };
+        assert_eq!(report.throughput(), 10.0);
+        assert!((report.completion_percentile_ms(0.5) - 50.0).abs() < 11.0);
+        let path = std::env::temp_dir()
+            .join(format!("asdex-loadgen-{}.csv", std::process::id()));
+        report.write_csv(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("kind,id,status,submit_ms,completion_ms,simulations"));
+        assert_eq!(text.lines().filter(|l| l.starts_with("campaign,")).count(), 10);
+        assert!(text.contains("summary,throughput_cps,"));
+        assert!(text.contains("p99_completion_ms"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,82 @@
+//! The one stderr choke point.
+//!
+//! Journal chatter, checkpoint notices, scheduler transitions, and
+//! request logs all funnel through here, so `--quiet` (and the daemon's
+//! `--log-level`) silence them in exactly one place. Levels are a global
+//! atomic rather than a handle because the emitting code spans every
+//! layer (CLI, scheduler threads, campaign runners) and threading a
+//! logger handle through the evaluation stack would dwarf the feature.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// How much stderr chatter to emit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Nothing but hard errors (printed by the caller, not this module).
+    Quiet = 0,
+    /// Operational messages: journal checkpoints, campaign transitions.
+    Info = 1,
+    /// Per-request and per-event detail.
+    Debug = 2,
+}
+
+impl LogLevel {
+    /// Parses a CLI-facing label.
+    pub fn from_label(label: &str) -> Option<LogLevel> {
+        match label {
+            "quiet" => Some(LogLevel::Quiet),
+            "info" => Some(LogLevel::Info),
+            "debug" => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+/// Sets the global level.
+pub fn set_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::SeqCst);
+}
+
+/// The current global level.
+pub fn level() -> LogLevel {
+    match LEVEL.load(Ordering::SeqCst) {
+        0 => LogLevel::Quiet,
+        1 => LogLevel::Info,
+        _ => LogLevel::Debug,
+    }
+}
+
+/// Emits an info-level line to stderr (suppressed under `Quiet`).
+pub fn info(msg: impl AsRef<str>) {
+    if level() >= LogLevel::Info {
+        eprintln!("{}", msg.as_ref());
+    }
+}
+
+/// Emits a debug-level line to stderr (suppressed under `Quiet`/`Info`).
+pub fn debug(msg: impl AsRef<str>) {
+    if level() >= LogLevel::Debug {
+        eprintln!("{}", msg.as_ref());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_parse() {
+        assert_eq!(LogLevel::from_label("quiet"), Some(LogLevel::Quiet));
+        assert_eq!(LogLevel::from_label("info"), Some(LogLevel::Info));
+        assert_eq!(LogLevel::from_label("debug"), Some(LogLevel::Debug));
+        assert_eq!(LogLevel::from_label("loud"), None);
+    }
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(LogLevel::Quiet < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+}

@@ -1,0 +1,231 @@
+//! Daemon telemetry with Prometheus-style text exposition.
+//!
+//! Counters are lock-free atomics bumped on the request path; latency is
+//! a fixed set of power-of-two microsecond buckets per endpoint, so
+//! `GET /metrics` renders without stopping the world. Campaign-level
+//! telemetry (`EvalStats`, `HealthStats`) is aggregated by the scheduler
+//! and folded into the same exposition.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Upper bounds of the latency buckets, in microseconds. The final bucket
+/// is `+Inf`.
+pub const BUCKET_BOUNDS_US: [u64; 12] =
+    [64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576, 4_194_304, 16_777_216, 67_108_864, 268_435_456];
+
+/// A fixed-bucket latency histogram, safe to observe from many threads.
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 13],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// A zeroed histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, elapsed: Duration) {
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = BUCKET_BOUNDS_US.iter().position(|&b| us <= b).unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Renders cumulative `_bucket`/`_sum`/`_count` lines for one metric
+    /// with a `path` label.
+    fn render(&self, name: &str, path: &str, out: &mut String) {
+        use std::fmt::Write;
+        let mut cumulative = 0u64;
+        for (i, bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            let _ = writeln!(out, "{name}_bucket{{path=\"{path}\",le=\"{bound}\"}} {cumulative}");
+        }
+        cumulative += self.buckets[BUCKET_BOUNDS_US.len()].load(Ordering::Relaxed);
+        let _ = writeln!(out, "{name}_bucket{{path=\"{path}\",le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum{{path=\"{path}\"}} {}", self.sum_us.load(Ordering::Relaxed));
+        let _ = writeln!(out, "{name}_count{{path=\"{path}\"}} {}", self.count.load(Ordering::Relaxed));
+    }
+}
+
+/// The endpoints the server tracks latency for.
+pub const ENDPOINTS: [&str; 4] = ["/campaigns", "/campaigns/{id}", "/healthz", "/metrics"];
+
+/// All daemon-level counters and histograms.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Requests served, by [`ENDPOINTS`] index.
+    requests: [AtomicU64; 4],
+    /// Per-endpoint request latency, by [`ENDPOINTS`] index.
+    latency: [LatencyHistogram; 4],
+    /// Requests that matched no route or used a wrong method.
+    pub unmatched_requests: AtomicU64,
+    /// Campaigns accepted into the queue.
+    pub campaigns_submitted: AtomicU64,
+    /// Campaigns that ran to completion.
+    pub campaigns_completed: AtomicU64,
+    /// Campaigns interrupted by a drain (journals checkpointed).
+    pub campaigns_interrupted: AtomicU64,
+    /// Campaigns that failed (bad spec, journal error, runtime error).
+    pub campaigns_failed: AtomicU64,
+    /// Submissions rejected because the admission queue was full.
+    pub campaigns_rejected: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Index of an endpoint label in [`ENDPOINTS`].
+    pub fn endpoint_index(path: &str) -> Option<usize> {
+        ENDPOINTS.iter().position(|e| *e == path)
+    }
+
+    /// Records one served request against an endpoint label.
+    pub fn observe_request(&self, endpoint: usize, elapsed: Duration) {
+        self.requests[endpoint].fetch_add(1, Ordering::Relaxed);
+        self.latency[endpoint].observe(elapsed);
+    }
+
+    /// Renders the exposition, given point-in-time gauges owned by the
+    /// scheduler.
+    pub fn render(&self, gauges: &SchedulerGauges) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "# HELP asdex_requests_total Requests served by endpoint.");
+        let _ = writeln!(out, "# TYPE asdex_requests_total counter");
+        for (i, path) in ENDPOINTS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "asdex_requests_total{{path=\"{path}\"}} {}",
+                self.requests[i].load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "asdex_requests_unmatched_total {}",
+            self.unmatched_requests.load(Ordering::Relaxed)
+        );
+
+        let _ = writeln!(out, "# HELP asdex_request_latency_us Request latency in microseconds.");
+        let _ = writeln!(out, "# TYPE asdex_request_latency_us histogram");
+        for (i, path) in ENDPOINTS.iter().enumerate() {
+            self.latency[i].render("asdex_request_latency_us", path, &mut out);
+        }
+
+        let _ = writeln!(out, "# HELP asdex_campaigns_total Campaign lifecycle counters.");
+        let _ = writeln!(out, "# TYPE asdex_campaigns_total counter");
+        for (state, value) in [
+            ("submitted", &self.campaigns_submitted),
+            ("completed", &self.campaigns_completed),
+            ("interrupted", &self.campaigns_interrupted),
+            ("failed", &self.campaigns_failed),
+            ("rejected", &self.campaigns_rejected),
+        ] {
+            let _ = writeln!(
+                out,
+                "asdex_campaigns_total{{state=\"{state}\"}} {}",
+                value.load(Ordering::Relaxed)
+            );
+        }
+
+        let _ = writeln!(out, "# HELP asdex_queue_depth Campaigns waiting for a runner.");
+        let _ = writeln!(out, "# TYPE asdex_queue_depth gauge");
+        let _ = writeln!(out, "asdex_queue_depth {}", gauges.queue_depth);
+        let _ = writeln!(out, "# HELP asdex_active_campaigns Campaigns currently running.");
+        let _ = writeln!(out, "# TYPE asdex_active_campaigns gauge");
+        let _ = writeln!(out, "asdex_active_campaigns {}", gauges.active_campaigns);
+        let _ = writeln!(out, "# HELP asdex_thread_budget Evaluation threads shared by campaigns.");
+        let _ = writeln!(out, "# TYPE asdex_thread_budget gauge");
+        let _ = writeln!(out, "asdex_thread_budget {}", gauges.thread_budget);
+
+        let _ = writeln!(out, "# HELP asdex_eval_sims_total Simulator calls across finished campaigns.");
+        let _ = writeln!(out, "# TYPE asdex_eval_sims_total counter");
+        let _ = writeln!(out, "asdex_eval_sims_total {}", gauges.eval.sims);
+        let _ = writeln!(out, "asdex_eval_retries_total {}", gauges.eval.retries);
+        let _ = writeln!(out, "asdex_eval_recoveries_total {}", gauges.eval.recoveries);
+        for kind in asdex_env::FailureKind::ALL {
+            let _ = writeln!(
+                out,
+                "asdex_eval_failures_total{{kind=\"{}\"}} {}",
+                kind.label(),
+                gauges.eval.failures_of(kind)
+            );
+        }
+        let _ = writeln!(out, "# HELP asdex_health_interventions_total Self-healing interventions across finished campaigns.");
+        let _ = writeln!(out, "# TYPE asdex_health_interventions_total counter");
+        for (kind, value) in [
+            ("rollbacks", gauges.health.rollbacks),
+            ("clipped_updates", gauges.health.clipped_updates),
+            ("nonfinite_updates", gauges.health.nonfinite_updates),
+            ("tr_reseeds", gauges.health.tr_reseeds),
+            ("surrogate_fallbacks", gauges.health.surrogate_fallbacks),
+        ] {
+            let _ = writeln!(
+                out,
+                "asdex_health_interventions_total{{kind=\"{kind}\"}} {value}"
+            );
+        }
+        out
+    }
+}
+
+/// Point-in-time values sampled from the scheduler at render time.
+#[derive(Debug, Clone, Default)]
+pub struct SchedulerGauges {
+    /// Campaigns waiting for a runner.
+    pub queue_depth: usize,
+    /// Campaigns currently running.
+    pub active_campaigns: usize,
+    /// The global evaluation-thread budget.
+    pub thread_budget: usize,
+    /// Evaluation telemetry summed over finished campaigns.
+    pub eval: asdex_env::EvalStats,
+    /// Self-healing telemetry summed over finished campaigns.
+    pub health: asdex_env::HealthStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = LatencyHistogram::new();
+        h.observe(Duration::from_micros(10));
+        h.observe(Duration::from_micros(100));
+        h.observe(Duration::from_millis(10));
+        let mut out = String::new();
+        h.render("m", "/x", &mut out);
+        assert!(out.contains("m_bucket{path=\"/x\",le=\"64\"} 1"));
+        assert!(out.contains("m_bucket{path=\"/x\",le=\"256\"} 2"));
+        assert!(out.contains("m_bucket{path=\"/x\",le=\"+Inf\"} 3"));
+        assert!(out.contains("m_count{path=\"/x\"} 3"));
+    }
+
+    #[test]
+    fn exposition_contains_all_families() {
+        let m = Metrics::new();
+        m.observe_request(0, Duration::from_micros(42));
+        m.campaigns_submitted.fetch_add(2, Ordering::Relaxed);
+        let text = m.render(&SchedulerGauges { queue_depth: 1, active_campaigns: 2, thread_budget: 4, ..Default::default() });
+        assert!(text.contains("asdex_requests_total{path=\"/campaigns\"} 1"));
+        assert!(text.contains("asdex_campaigns_total{state=\"submitted\"} 2"));
+        assert!(text.contains("asdex_queue_depth 1"));
+        assert!(text.contains("asdex_active_campaigns 2"));
+        assert!(text.contains("asdex_eval_failures_total{kind=\"cancelled\"} 0"));
+        assert!(text.contains("asdex_health_interventions_total{kind=\"rollbacks\"} 0"));
+    }
+}

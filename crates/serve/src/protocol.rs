@@ -1,0 +1,254 @@
+//! The wire protocol: campaign specs in, outcomes out.
+//!
+//! The outcome serializer is shared by the daemon and the CLI's `--json`
+//! mode, and it is **bitwise-comparable**: every float is emitted both as
+//! a JSON number (for humans and dashboards) and as a 16-hex-digit
+//! IEEE-754 bit pattern (`*_bits` fields). Two outcomes serialize to the
+//! same string if and only if they are bitwise identical — string
+//! equality on the JSON is the determinism check the serving tests and
+//! the repo's thread-invariance contract rely on.
+
+use crate::json::Json;
+use asdex_env::{EvalStats, FailureKind, HealthStats, JournalMeta};
+
+/// Identity and budget of one campaign — everything that must match
+/// between the run that writes a journal and the run that resumes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Benchmark name (`opamp45`, `opamp22`, `ldo`, `ico`, `bowl<dim>`).
+    pub bench: String,
+    /// Agent name (`trm`, `bo`, `random`).
+    pub agent: String,
+    /// Seed for every stochastic choice.
+    pub seed: u64,
+    /// Simulation budget.
+    pub budget: usize,
+    /// Corner-set name (`nominal`, `signoff5`).
+    pub corners: String,
+    /// Journal fsync cadence.
+    pub checkpoint_every: usize,
+}
+
+impl Default for CampaignSpec {
+    fn default() -> Self {
+        CampaignSpec {
+            bench: "bowl3".to_string(),
+            agent: "trm".to_string(),
+            seed: 1,
+            budget: 10_000,
+            corners: "nominal".to_string(),
+            checkpoint_every: 25,
+        }
+    }
+}
+
+impl CampaignSpec {
+    /// Parses a submission body. Unknown fields are ignored; missing
+    /// fields take their defaults. Returns the spec plus the optional
+    /// client-chosen campaign id.
+    pub fn from_json(body: &Json) -> Result<(Option<String>, CampaignSpec), String> {
+        if !matches!(body, Json::Obj(_)) {
+            return Err("request body must be a JSON object".to_string());
+        }
+        let mut spec = CampaignSpec::default();
+        let id = match body.get("id") {
+            None => None,
+            Some(v) => Some(
+                v.as_str()
+                    .filter(|s| !s.is_empty() && s.len() <= 64 && is_safe_id(s))
+                    .ok_or("`id` must be a short string of [A-Za-z0-9._-]")?
+                    .to_string(),
+            ),
+        };
+        let take_str = |key: &str, into: &mut String| -> Result<(), String> {
+            if let Some(v) = body.get(key) {
+                *into = v.as_str().ok_or(format!("`{key}` must be a string"))?.to_string();
+            }
+            Ok(())
+        };
+        take_str("bench", &mut spec.bench)?;
+        take_str("agent", &mut spec.agent)?;
+        take_str("corners", &mut spec.corners)?;
+        if let Some(v) = body.get("seed") {
+            spec.seed = v.as_u64().ok_or("`seed` must be a non-negative integer")?;
+        }
+        if let Some(v) = body.get("budget") {
+            spec.budget =
+                v.as_u64().filter(|b| *b > 0).ok_or("`budget` must be a positive integer")?
+                    as usize;
+        }
+        if let Some(v) = body.get("checkpoint_every") {
+            spec.checkpoint_every = v
+                .as_u64()
+                .filter(|c| *c > 0)
+                .ok_or("`checkpoint_every` must be a positive integer")?
+                as usize;
+        }
+        Ok((id, spec))
+    }
+
+    /// The spec as a JSON object (echoed in status responses).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("bench", Json::Str(self.bench.clone()))
+            .with("agent", Json::Str(self.agent.clone()))
+            .with("seed", Json::Num(self.seed as f64))
+            .with("budget", Json::Num(self.budget as f64))
+            .with("corners", Json::Str(self.corners.clone()))
+            .with("checkpoint_every", Json::Num(self.checkpoint_every as f64))
+    }
+
+    /// The spec as journal metadata — the same keys the CLI writes, so
+    /// daemon journals and `asdex size --journal` journals are mutually
+    /// resumable.
+    pub fn to_meta(&self) -> JournalMeta {
+        JournalMeta::new()
+            .with("bench", &self.bench)
+            .with("agent", &self.agent)
+            .with("seed", &self.seed.to_string())
+            .with("budget", &self.budget.to_string())
+            .with("corners", &self.corners)
+            .with("checkpoint_every", &self.checkpoint_every.to_string())
+    }
+
+    /// Restores a spec from journal metadata.
+    pub fn from_meta(meta: &JournalMeta) -> Result<CampaignSpec, String> {
+        let get = |key: &str| {
+            meta.get(key)
+                .map(str::to_string)
+                .ok_or_else(|| format!("journal metadata is missing `{key}`"))
+        };
+        fn num<T: std::str::FromStr>(key: &str, v: String) -> Result<T, String> {
+            v.parse().map_err(|_| format!("journal metadata `{key}={v}` is not a number"))
+        }
+        Ok(CampaignSpec {
+            bench: get("bench")?,
+            agent: get("agent")?,
+            seed: num("seed", get("seed")?)?,
+            budget: num("budget", get("budget")?)?,
+            corners: get("corners")?,
+            checkpoint_every: num("checkpoint_every", get("checkpoint_every")?).unwrap_or(25),
+        })
+    }
+}
+
+fn is_safe_id(s: &str) -> bool {
+    s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+}
+
+/// 16-hex-digit IEEE-754 bit pattern of a float; the exactness carrier of
+/// the protocol.
+pub fn f64_bits_hex(x: f64) -> String {
+    format!("{:016x}", x.to_bits())
+}
+
+/// Serializes evaluation telemetry. Field order is fixed.
+pub fn stats_json(stats: &EvalStats) -> Json {
+    let mut failures = Json::obj();
+    for kind in FailureKind::ALL {
+        failures = failures.with(kind.label(), Json::Num(stats.failures_of(kind) as f64));
+    }
+    Json::obj()
+        .with("sims", Json::Num(stats.sims as f64))
+        .with("retries", Json::Num(stats.retries as f64))
+        .with("recoveries", Json::Num(stats.recoveries as f64))
+        .with("snap_fallbacks", Json::Num(stats.snap_fallbacks as f64))
+        .with("total_failures", Json::Num(stats.total_failures() as f64))
+        .with("failures", failures)
+}
+
+/// Serializes self-healing telemetry. Field order is fixed.
+pub fn health_json(health: &HealthStats) -> Json {
+    Json::obj()
+        .with("rollbacks", Json::Num(health.rollbacks as f64))
+        .with("clipped_updates", Json::Num(health.clipped_updates as f64))
+        .with("nonfinite_updates", Json::Num(health.nonfinite_updates as f64))
+        .with("tr_reseeds", Json::Num(health.tr_reseeds as f64))
+        .with("surrogate_fallbacks", Json::Num(health.surrogate_fallbacks as f64))
+        .with("total", Json::Num(health.total() as f64))
+}
+
+/// Serializes one finished campaign. Includes every float twice — as a
+/// number and as hex bits — so JSON string equality ⇔ bitwise outcome
+/// equality.
+pub fn outcome_json(outcome: &crate::campaign::CampaignOutcome) -> Json {
+    Json::obj()
+        .with("success", Json::Bool(outcome.success))
+        .with("simulations", Json::Num(outcome.simulations as f64))
+        .with("best_value", Json::Num(outcome.best_value))
+        .with("best_value_bits", Json::Str(f64_bits_hex(outcome.best_value)))
+        .with("best_point", Json::Arr(outcome.best_point.iter().map(|&x| Json::Num(x)).collect()))
+        .with(
+            "best_point_bits",
+            Json::Arr(outcome.best_point.iter().map(|&x| Json::Str(f64_bits_hex(x))).collect()),
+        )
+        .with(
+            "best_physical",
+            Json::Arr(outcome.best_physical.iter().map(|&x| Json::Num(x)).collect()),
+        )
+        .with(
+            "best_physical_bits",
+            Json::Arr(outcome.best_physical.iter().map(|&x| Json::Str(f64_bits_hex(x))).collect()),
+        )
+        .with("stats", stats_json(&outcome.stats))
+        .with("health", health_json(&outcome.health))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignOutcome;
+
+    #[test]
+    fn spec_round_trips_through_json_and_meta() {
+        let body = Json::parse(
+            r#"{"id":"c-7","bench":"opamp45","agent":"bo","seed":9,"budget":500,"corners":"signoff5","checkpoint_every":10}"#,
+        )
+        .unwrap();
+        let (id, spec) = CampaignSpec::from_json(&body).unwrap();
+        assert_eq!(id.as_deref(), Some("c-7"));
+        assert_eq!(spec.bench, "opamp45");
+        assert_eq!(spec.agent, "bo");
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.budget, 500);
+        let restored = CampaignSpec::from_meta(&spec.to_meta()).unwrap();
+        assert_eq!(restored, spec);
+    }
+
+    #[test]
+    fn defaults_fill_missing_fields() {
+        let (id, spec) = CampaignSpec::from_json(&Json::parse("{}").unwrap()).unwrap();
+        assert!(id.is_none());
+        assert_eq!(spec, CampaignSpec::default());
+    }
+
+    #[test]
+    fn hostile_ids_are_rejected() {
+        for bad in ["../etc/passwd", "a/b", "", "x y"] {
+            let body = Json::obj().with("id", Json::Str(bad.to_string()));
+            assert!(CampaignSpec::from_json(&body).is_err(), "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn outcome_json_is_bitwise_faithful() {
+        let outcome = CampaignOutcome {
+            success: true,
+            simulations: 123,
+            best_point: vec![0.1, 1.0 / 3.0],
+            best_physical: vec![1e-6, 2.5e-6],
+            best_value: -0.0,
+            stats: EvalStats::new(),
+            health: HealthStats::new(),
+        };
+        let a = outcome_json(&outcome).dump();
+        let b = outcome_json(&outcome.clone()).dump();
+        assert_eq!(a, b);
+        assert!(a.contains(&f64_bits_hex(1.0 / 3.0)));
+        assert!(a.contains(&f64_bits_hex(-0.0)));
+
+        let mut tweaked = outcome;
+        tweaked.best_value = 0.0; // same ==, different bits than -0.0
+        assert_ne!(outcome_json(&tweaked).dump(), a, "bit difference must show in the string");
+    }
+}

@@ -1,0 +1,662 @@
+//! The multi-campaign scheduler: bounded admission, fair-share threads,
+//! crash-safe journals, graceful drain.
+//!
+//! Submissions enter a bounded FIFO queue; `max_active` runner threads
+//! pop campaigns and run them to completion. The global evaluation-thread
+//! budget is divided fairly across whatever is active *right now* — each
+//! campaign holds an `Arc<AtomicUsize>` share that
+//! `SizingProblem::resolved_threads` re-reads at every batch, and the
+//! scheduler rewrites all shares whenever the active set changes. Thread
+//! count never changes results (the repo's bitwise invariance contract),
+//! so rebalancing mid-campaign is always safe.
+//!
+//! Every campaign journals to `<journal_dir>/<id>.journal`. Submitting an
+//! id whose journal already exists *resumes* it: recorded evaluations are
+//! replayed without simulating and the campaign continues to the same
+//! outcome an uninterrupted run produces — this is both the crash story
+//! and the restart story. [`Scheduler::drain`] stops admission, pulls
+//! every active campaign's [`CancelToken`], waits for the runners to wind
+//! down through their normal budget accounting, and checkpoints journals,
+//! so a drained daemon restarts with zero duplicate simulations.
+
+use crate::campaign::{build_problem, run_campaign, CampaignOutcome};
+use crate::logging;
+use crate::metrics::{Metrics, SchedulerGauges};
+use crate::protocol::CampaignSpec;
+use asdex_core::{ProgressEvent, ProgressHandle};
+use asdex_env::{CancelToken, EvalStats, HealthStats, Journal};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Admission-queue capacity; submissions beyond it are rejected with
+    /// a retryable error rather than queued unboundedly.
+    pub queue_capacity: usize,
+    /// Campaigns run concurrently (runner threads).
+    pub max_active: usize,
+    /// Global evaluation-thread budget shared by active campaigns.
+    pub thread_budget: usize,
+    /// Directory of per-campaign journals.
+    pub journal_dir: PathBuf,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            queue_capacity: 64,
+            max_active: 4,
+            thread_budget: 1,
+            journal_dir: PathBuf::from("journals"),
+        }
+    }
+}
+
+/// Lifecycle of one campaign inside the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignStatus {
+    /// Waiting for a runner.
+    Queued,
+    /// A runner is executing it.
+    Running,
+    /// Finished; the outcome is available.
+    Completed,
+    /// Stopped by a drain; the journal is checkpointed and resumable.
+    Interrupted,
+    /// Could not run (bad spec, journal error, runtime error).
+    Failed,
+}
+
+impl CampaignStatus {
+    /// Stable lowercase label for the wire protocol.
+    pub fn label(self) -> &'static str {
+        match self {
+            CampaignStatus::Queued => "queued",
+            CampaignStatus::Running => "running",
+            CampaignStatus::Completed => "completed",
+            CampaignStatus::Interrupted => "interrupted",
+            CampaignStatus::Failed => "failed",
+        }
+    }
+
+    /// Whether the campaign will make no further progress.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            CampaignStatus::Completed | CampaignStatus::Interrupted | CampaignStatus::Failed
+        )
+    }
+}
+
+/// Progress lines kept per campaign; older lines are dropped.
+const MAX_PROGRESS_LINES: usize = 10_000;
+
+/// Shared state of one campaign, visible to runners and status queries.
+#[derive(Debug)]
+pub struct CampaignRecord {
+    /// Campaign id (also the journal file stem).
+    pub id: String,
+    spec: Mutex<CampaignSpec>,
+    status: Mutex<CampaignStatus>,
+    progress: Mutex<VecDeque<String>>,
+    outcome: Mutex<Option<Result<CampaignOutcome, String>>>,
+    /// `(replayed, recorded)` journal telemetry after the run.
+    journal_info: Mutex<Option<(usize, usize)>>,
+    cancel: CancelToken,
+    share: Arc<AtomicUsize>,
+}
+
+impl CampaignRecord {
+    fn new(id: String, spec: CampaignSpec) -> Arc<CampaignRecord> {
+        Arc::new(CampaignRecord {
+            id,
+            spec: Mutex::new(spec),
+            status: Mutex::new(CampaignStatus::Queued),
+            progress: Mutex::new(VecDeque::new()),
+            outcome: Mutex::new(None),
+            journal_info: Mutex::new(None),
+            cancel: CancelToken::new(),
+            share: Arc::new(AtomicUsize::new(0)),
+        })
+    }
+
+    /// Current status.
+    pub fn status(&self) -> CampaignStatus {
+        *self.status.lock().unwrap()
+    }
+
+    /// The effective spec (journal metadata wins over the submission on
+    /// resume).
+    pub fn spec(&self) -> CampaignSpec {
+        self.spec.lock().unwrap().clone()
+    }
+
+    /// A snapshot of the retained progress lines.
+    pub fn progress_lines(&self) -> Vec<String> {
+        self.progress.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// The outcome, once terminal.
+    pub fn outcome(&self) -> Option<Result<CampaignOutcome, String>> {
+        self.outcome.lock().unwrap().clone()
+    }
+
+    /// `(replayed, recorded)` journal telemetry, once the journal has
+    /// been checkpointed.
+    pub fn journal_info(&self) -> Option<(usize, usize)> {
+        *self.journal_info.lock().unwrap()
+    }
+
+    fn set_status(&self, status: CampaignStatus) {
+        *self.status.lock().unwrap() = status;
+    }
+
+    fn push_progress(&self, line: String) {
+        let mut lines = self.progress.lock().unwrap();
+        if lines.len() == MAX_PROGRESS_LINES {
+            lines.pop_front();
+        }
+        lines.push_back(line);
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    queue: VecDeque<Arc<CampaignRecord>>,
+    active: Vec<Arc<CampaignRecord>>,
+    registry: BTreeMap<String, Arc<CampaignRecord>>,
+    draining: bool,
+    next_id: usize,
+    finished_eval: EvalStats,
+    finished_health: HealthStats,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full; retry later.
+    QueueFull,
+    /// The daemon is draining and accepts no new work.
+    Draining,
+    /// A campaign with this id is already queued or running.
+    Conflict(String),
+    /// The spec failed validation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => write!(f, "admission queue is full"),
+            SubmitError::Draining => write!(f, "daemon is draining"),
+            SubmitError::Conflict(id) => write!(f, "campaign {id:?} is already in flight"),
+            SubmitError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// The multi-campaign scheduler. Create with [`Scheduler::start`]; shut
+/// down with [`Scheduler::drain`].
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    inner: Mutex<Inner>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    metrics: Arc<Metrics>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Creates the journal directory, spawns `max_active` runner threads,
+    /// and returns the scheduler handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the journal directory cannot be created.
+    pub fn start(
+        cfg: SchedulerConfig,
+        metrics: Arc<Metrics>,
+    ) -> std::io::Result<Arc<Scheduler>> {
+        std::fs::create_dir_all(&cfg.journal_dir)?;
+        let scheduler = Arc::new(Scheduler {
+            cfg: cfg.clone(),
+            inner: Mutex::new(Inner::default()),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            metrics,
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut workers = scheduler.workers.lock().unwrap();
+        for i in 0..cfg.max_active.max(1) {
+            let me = Arc::clone(&scheduler);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("asdex-runner-{i}"))
+                    .spawn(move || me.runner_loop())
+                    .expect("spawn runner thread"),
+            );
+        }
+        drop(workers);
+        Ok(scheduler)
+    }
+
+    /// Admits a campaign. With an explicit id whose journal file already
+    /// exists, the campaign *resumes* from that journal. Returns the
+    /// (possibly generated) campaign id.
+    pub fn submit(
+        &self,
+        id: Option<String>,
+        spec: CampaignSpec,
+    ) -> Result<String, SubmitError> {
+        // Validate the vocabulary up front so the queue only holds
+        // runnable work.
+        build_problem(&spec.bench, &spec.corners).map_err(SubmitError::Invalid)?;
+        if !matches!(spec.agent.as_str(), "trm" | "bo" | "random") {
+            return Err(SubmitError::Invalid(format!(
+                "unknown agent {:?} (trm|bo|random)",
+                spec.agent
+            )));
+        }
+
+        let mut inner = self.inner.lock().unwrap();
+        if inner.draining {
+            return Err(SubmitError::Draining);
+        }
+        if inner.queue.len() >= self.cfg.queue_capacity {
+            self.metrics.campaigns_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::QueueFull);
+        }
+        let id = match id {
+            Some(id) => {
+                if inner.registry.get(&id).is_some_and(|r| !r.status().is_terminal()) {
+                    return Err(SubmitError::Conflict(id));
+                }
+                id
+            }
+            None => loop {
+                inner.next_id += 1;
+                let candidate = format!("c{:04}", inner.next_id);
+                if !inner.registry.contains_key(&candidate) {
+                    break candidate;
+                }
+            },
+        };
+        let record = CampaignRecord::new(id.clone(), spec);
+        inner.registry.insert(id.clone(), Arc::clone(&record));
+        inner.queue.push_back(record);
+        self.metrics.campaigns_submitted.fetch_add(1, Ordering::Relaxed);
+        logging::debug(format!("scheduler: queued campaign {id}"));
+        drop(inner);
+        self.work_cv.notify_one();
+        Ok(id)
+    }
+
+    /// Looks up a campaign by id.
+    pub fn get(&self, id: &str) -> Option<Arc<CampaignRecord>> {
+        self.inner.lock().unwrap().registry.get(id).cloned()
+    }
+
+    /// Blocks until the campaign reaches a terminal status or the timeout
+    /// expires. Returns `true` if it finished.
+    pub fn wait(&self, id: &str, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            match inner.registry.get(id) {
+                Some(r) if r.status().is_terminal() => return true,
+                Some(_) => {}
+                None => return false,
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self.done_cv.wait_timeout(inner, deadline - now).unwrap();
+            inner = guard;
+        }
+    }
+
+    /// Point-in-time gauges for `/metrics`.
+    pub fn gauges(&self) -> SchedulerGauges {
+        let inner = self.inner.lock().unwrap();
+        SchedulerGauges {
+            queue_depth: inner.queue.len(),
+            active_campaigns: inner.active.len(),
+            thread_budget: self.cfg.thread_budget,
+            eval: inner.finished_eval.clone(),
+            health: inner.finished_health,
+        }
+    }
+
+    /// Whether a drain has been initiated.
+    pub fn is_draining(&self) -> bool {
+        self.inner.lock().unwrap().draining
+    }
+
+    /// Graceful shutdown: stop admission, mark queued campaigns
+    /// interrupted, pull every active campaign's cancel token, and join
+    /// the runners (each checkpoints its journal on the way out).
+    /// Idempotent; later calls return immediately.
+    pub fn drain(&self) {
+        {
+            let mut inner = self.inner.lock().unwrap();
+            if inner.draining {
+                drop(inner);
+                self.join_workers();
+                return;
+            }
+            inner.draining = true;
+            while let Some(job) = inner.queue.pop_front() {
+                job.set_status(CampaignStatus::Interrupted);
+                self.metrics.campaigns_interrupted.fetch_add(1, Ordering::Relaxed);
+            }
+            for job in &inner.active {
+                job.cancel.cancel();
+            }
+            logging::info(format!(
+                "scheduler: draining ({} active campaign(s) cancelled)",
+                inner.active.len()
+            ));
+        }
+        self.work_cv.notify_all();
+        self.done_cv.notify_all();
+        self.join_workers();
+        logging::info("scheduler: drained");
+    }
+
+    fn join_workers(&self) {
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Splits the thread budget across the active set: every campaign
+    /// gets at least one thread; the remainder goes to the
+    /// earliest-started campaigns. Shares are plain atomics that each
+    /// campaign's `evaluate_batch` re-reads, so this takes effect at the
+    /// next batch boundary.
+    fn rebalance(inner: &Inner, thread_budget: usize) {
+        let n = inner.active.len();
+        if n == 0 {
+            return;
+        }
+        let base = (thread_budget / n).max(1);
+        let extra = if thread_budget >= n { thread_budget % n } else { 0 };
+        for (i, job) in inner.active.iter().enumerate() {
+            job.share.store(base + usize::from(i < extra), Ordering::SeqCst);
+        }
+    }
+
+    fn runner_loop(self: Arc<Self>) {
+        loop {
+            let job = {
+                let mut inner = self.inner.lock().unwrap();
+                loop {
+                    if let Some(job) = inner.queue.pop_front() {
+                        inner.active.push(Arc::clone(&job));
+                        Scheduler::rebalance(&inner, self.cfg.thread_budget);
+                        break job;
+                    }
+                    if inner.draining {
+                        return;
+                    }
+                    inner = self.work_cv.wait(inner).unwrap();
+                }
+            };
+
+            self.run_one(&job);
+
+            {
+                let mut inner = self.inner.lock().unwrap();
+                inner.active.retain(|j| !Arc::ptr_eq(j, &job));
+                if let Some(Ok(outcome)) = job.outcome().as_ref() {
+                    inner.finished_eval.merge(&outcome.stats);
+                    inner.finished_health.merge(&outcome.health);
+                }
+                Scheduler::rebalance(&inner, self.cfg.thread_budget);
+            }
+            self.done_cv.notify_all();
+        }
+    }
+
+    /// Runs one campaign end to end: open-or-resume the journal, build
+    /// the problem, search, checkpoint, classify the ending.
+    fn run_one(&self, job: &Arc<CampaignRecord>) {
+        job.set_status(CampaignStatus::Running);
+        let result = self.run_inner(job);
+        let cancelled = job.cancel.is_cancelled();
+        let status = match &result {
+            Ok(_) if cancelled => CampaignStatus::Interrupted,
+            Ok(_) => CampaignStatus::Completed,
+            Err(_) => CampaignStatus::Failed,
+        };
+        match status {
+            CampaignStatus::Completed => {
+                self.metrics.campaigns_completed.fetch_add(1, Ordering::Relaxed);
+            }
+            CampaignStatus::Interrupted => {
+                self.metrics.campaigns_interrupted.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {
+                self.metrics.campaigns_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Err(msg) = &result {
+            logging::info(format!("campaign {}: failed: {msg}", job.id));
+        } else {
+            logging::info(format!("campaign {}: {}", job.id, status.label()));
+        }
+        *job.outcome.lock().unwrap() = Some(result);
+        job.set_status(status);
+    }
+
+    fn run_inner(&self, job: &Arc<CampaignRecord>) -> Result<CampaignOutcome, String> {
+        let journal_path = self.cfg.journal_dir.join(format!("{}.journal", job.id));
+        let submitted = job.spec();
+        let journal = if journal_path.exists() {
+            let journal = Journal::resume(&journal_path, submitted.checkpoint_every)
+                .map_err(|e| e.to_string())?;
+            let restored = CampaignSpec::from_meta(journal.meta())?;
+            logging::info(format!(
+                "campaign {}: resuming journal {} ({} recorded evaluations to replay)",
+                job.id,
+                journal_path.display(),
+                journal.recorded()
+            ));
+            *job.spec.lock().unwrap() = restored;
+            journal
+        } else {
+            Journal::create(&journal_path, submitted.to_meta(), submitted.checkpoint_every)
+                .map_err(|e| e.to_string())?
+        };
+
+        let spec = job.spec();
+        let problem = build_problem(&spec.bench, &spec.corners)?
+            .with_journal(journal)
+            .with_cancel_token(job.cancel.clone())
+            .with_thread_share(Arc::clone(&job.share));
+
+        let sink_job = Arc::clone(job);
+        let progress = ProgressHandle::new(Arc::new(move |event: &ProgressEvent| {
+            sink_job.push_progress(event.to_string());
+        }));
+
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_campaign(&problem, &spec, Some(progress))
+        }));
+
+        // Checkpoint whatever the journal holds — on success, on error,
+        // and especially on drain — before classifying the result.
+        if let Some(handle) = problem.journal_handle() {
+            if let Ok(mut j) = handle.lock() {
+                j.checkpoint().map_err(|e| format!("journal checkpoint failed: {e}"))?;
+                *job.journal_info.lock().unwrap() = Some((j.replayed(), j.recorded()));
+                logging::debug(format!(
+                    "campaign {}: journal {} ({} replayed, {} recorded)",
+                    job.id,
+                    j.path().display(),
+                    j.replayed(),
+                    j.recorded()
+                ));
+            }
+        }
+
+        match run {
+            Ok(result) => result,
+            Err(_) => Err("campaign runner panicked".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("asdex-sched-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn quick_spec(seed: u64) -> CampaignSpec {
+        CampaignSpec { bench: "bowl2".into(), seed, budget: 300, ..CampaignSpec::default() }
+    }
+
+    #[test]
+    fn runs_campaigns_to_completion() {
+        let dir = temp_dir("basic");
+        let scheduler = Scheduler::start(
+            SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let id = scheduler.submit(None, quick_spec(7)).unwrap();
+        assert!(scheduler.wait(&id, Duration::from_secs(60)));
+        let record = scheduler.get(&id).unwrap();
+        assert_eq!(record.status(), CampaignStatus::Completed);
+        let outcome = record.outcome().unwrap().unwrap();
+        assert!(outcome.success);
+        assert!(!record.progress_lines().is_empty());
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_specs_are_rejected_at_admission() {
+        let dir = temp_dir("invalid");
+        let scheduler = Scheduler::start(
+            SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let bad_bench = CampaignSpec { bench: "nope".into(), ..CampaignSpec::default() };
+        assert!(matches!(scheduler.submit(None, bad_bench), Err(SubmitError::Invalid(_))));
+        let bad_agent = CampaignSpec { agent: "dqn".into(), ..quick_spec(1) };
+        assert!(matches!(scheduler.submit(None, bad_agent), Err(SubmitError::Invalid(_))));
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queue_capacity_bounds_admission() {
+        let dir = temp_dir("capacity");
+        // Single slow runner, capacity 1: with the runner busy, one spec
+        // queues and the next is rejected.
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                queue_capacity: 1,
+                max_active: 1,
+                journal_dir: dir.clone(),
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let mut rejected = false;
+        let mut ids = Vec::new();
+        for seed in 0..8 {
+            match scheduler.submit(None, quick_spec(seed)) {
+                Ok(id) => ids.push(id),
+                Err(SubmitError::QueueFull) => {
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert!(rejected, "a bounded queue must reject eventually");
+        for id in &ids {
+            assert!(scheduler.wait(id, Duration::from_secs(60)));
+        }
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_inflight_ids_conflict() {
+        let dir = temp_dir("conflict");
+        let scheduler = Scheduler::start(
+            SchedulerConfig { max_active: 1, journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        scheduler.submit(Some("dup".into()), quick_spec(1)).unwrap();
+        let second = scheduler.submit(Some("dup".into()), quick_spec(1));
+        assert!(matches!(second, Err(SubmitError::Conflict(_))));
+        assert!(scheduler.wait("dup", Duration::from_secs(60)));
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn drain_interrupts_queued_work_and_rejects_new() {
+        let dir = temp_dir("drain");
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                max_active: 1,
+                journal_dir: dir.clone(),
+                ..SchedulerConfig::default()
+            },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let ids: Vec<String> =
+            (0..4).map(|s| scheduler.submit(None, quick_spec(s)).unwrap()).collect();
+        scheduler.drain();
+        assert!(matches!(scheduler.submit(None, quick_spec(9)), Err(SubmitError::Draining)));
+        for id in &ids {
+            let status = scheduler.get(id).unwrap().status();
+            assert!(status.is_terminal(), "{id} left non-terminal after drain: {status:?}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fair_share_splits_the_thread_budget() {
+        let inner = Inner {
+            active: vec![
+                CampaignRecord::new("a".into(), quick_spec(1)),
+                CampaignRecord::new("b".into(), quick_spec(2)),
+                CampaignRecord::new("c".into(), quick_spec(3)),
+            ],
+            ..Inner::default()
+        };
+        Scheduler::rebalance(&inner, 8);
+        let shares: Vec<usize> =
+            inner.active.iter().map(|j| j.share.load(Ordering::SeqCst)).collect();
+        assert_eq!(shares.iter().sum::<usize>(), 8);
+        assert_eq!(shares, vec![3, 3, 2]);
+        // Over-subscribed: everyone still gets at least one thread.
+        Scheduler::rebalance(&inner, 2);
+        let shares: Vec<usize> =
+            inner.active.iter().map(|j| j.share.load(Ordering::SeqCst)).collect();
+        assert_eq!(shares, vec![1, 1, 1]);
+    }
+}

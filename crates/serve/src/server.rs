@@ -1,0 +1,369 @@
+//! The HTTP front end: routing, drain coordination, request accounting.
+//!
+//! One thread accepts connections (non-blocking, polling the drain flag);
+//! each connection is served by a short-lived thread — requests are
+//! single-shot (`Connection: close`), so the per-connection work is one
+//! parse, one route, one response. Campaign execution never happens on a
+//! connection thread; `POST /campaigns` only enqueues.
+//!
+//! ## Routes
+//!
+//! | Route                 | Meaning                                          |
+//! |-----------------------|--------------------------------------------------|
+//! | `POST /campaigns`     | submit (or resume) a campaign → `202 {"id":...}` |
+//! | `GET /campaigns/{id}` | status + progress lines + outcome                |
+//! | `GET /healthz`        | liveness + drain state                           |
+//! | `GET /metrics`        | Prometheus-style text exposition                 |
+//! | `POST /drain`         | initiate graceful shutdown                       |
+
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::json::Json;
+use crate::logging;
+use crate::metrics::Metrics;
+use crate::protocol::{outcome_json, CampaignSpec};
+use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:8650`. Port 0 picks a free port.
+    pub addr: String,
+    /// Scheduler knobs.
+    pub scheduler: SchedulerConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { addr: "127.0.0.1:8650".to_string(), scheduler: SchedulerConfig::default() }
+    }
+}
+
+/// A shared flag that asks the server to drain. Clone freely; the CLI's
+/// SIGINT watcher holds one, `POST /drain` flips the same one.
+#[derive(Debug, Clone, Default)]
+pub struct DrainHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl DrainHandle {
+    /// A fresh, un-pulled handle.
+    pub fn new() -> Self {
+        DrainHandle::default()
+    }
+
+    /// Requests a drain.
+    pub fn request_drain(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a drain has been requested.
+    pub fn is_drain_requested(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// The running daemon.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    scheduler: Arc<Scheduler>,
+    metrics: Arc<Metrics>,
+    drain: DrainHandle,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl Server {
+    /// Binds the listener and starts the scheduler (runner threads spawn
+    /// here; the accept loop does not run until [`Server::run`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind and journal-directory failures.
+    pub fn bind(cfg: ServerConfig, drain: DrainHandle) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(cfg.scheduler, Arc::clone(&metrics))?;
+        Ok(Server { listener, scheduler, metrics, drain, in_flight: Arc::new(AtomicUsize::new(0)) })
+    }
+
+    /// The actual bound address (resolves port 0).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The scheduler, for in-process inspection (tests, CLI wiring).
+    pub fn scheduler(&self) -> Arc<Scheduler> {
+        Arc::clone(&self.scheduler)
+    }
+
+    /// Serves until a drain is requested, then drains the scheduler
+    /// (checkpointing every journal) and returns.
+    pub fn run(&self) -> std::io::Result<()> {
+        logging::info(format!("serving on http://{}", self.local_addr()?));
+        while !self.drain.is_drain_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => self.spawn_connection(stream),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        logging::info("drain requested: admission stopped");
+        // Let in-flight request threads finish writing their responses.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while self.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.scheduler.drain();
+        Ok(())
+    }
+
+    fn spawn_connection(&self, stream: TcpStream) {
+        let scheduler = Arc::clone(&self.scheduler);
+        let metrics = Arc::clone(&self.metrics);
+        let drain = self.drain.clone();
+        let in_flight = Arc::clone(&self.in_flight);
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        let _ = std::thread::Builder::new().name("asdex-conn".to_string()).spawn(move || {
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+            handle_connection(stream, &scheduler, &metrics, &drain);
+            in_flight.fetch_sub(1, Ordering::SeqCst);
+        });
+    }
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    scheduler: &Scheduler,
+    metrics: &Metrics,
+    drain: &DrainHandle,
+) {
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let request = match read_request(&mut reader) {
+        Ok(Some(request)) => request,
+        Ok(None) => return,
+        Err(HttpError::Bad(reason)) => {
+            let body = error_body(reason);
+            let _ = Response::json(400, body).write_to(&mut &stream);
+            return;
+        }
+        Err(HttpError::Io(_)) => return,
+    };
+    let started = Instant::now();
+    let (endpoint, response) = route(&request, scheduler, metrics, drain);
+    match endpoint {
+        Some(idx) => metrics.observe_request(idx, started.elapsed()),
+        None => {
+            metrics.unmatched_requests.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    logging::debug(format!(
+        "http: {} {} -> {}",
+        request.method, request.path, response.status
+    ));
+    let _ = response.write_to(&mut &stream);
+}
+
+fn error_body(message: &str) -> String {
+    Json::obj().with("error", Json::Str(message.to_string())).dump()
+}
+
+fn route(
+    request: &Request,
+    scheduler: &Scheduler,
+    metrics: &Metrics,
+    drain: &DrainHandle,
+) -> (Option<usize>, Response) {
+    let path = request.path.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("POST", "/campaigns") => {
+            (Metrics::endpoint_index("/campaigns"), post_campaign(request, scheduler))
+        }
+        ("GET", "/healthz") => {
+            let body = Json::obj()
+                .with("status", Json::Str("ok".to_string()))
+                .with("draining", Json::Bool(scheduler.is_draining() || drain.is_drain_requested()))
+                .dump();
+            (Metrics::endpoint_index("/healthz"), Response::json(200, body))
+        }
+        ("GET", "/metrics") => {
+            let text = metrics.render(&scheduler.gauges());
+            (Metrics::endpoint_index("/metrics"), Response::text(200, text))
+        }
+        ("POST", "/drain") => {
+            drain.request_drain();
+            let body = Json::obj().with("draining", Json::Bool(true)).dump();
+            (Metrics::endpoint_index("/healthz"), Response::json(202, body))
+        }
+        ("GET", p) if p.starts_with("/campaigns/") => {
+            let id = &p["/campaigns/".len()..];
+            (Metrics::endpoint_index("/campaigns/{id}"), get_campaign(id, scheduler))
+        }
+        (_, "/campaigns" | "/healthz" | "/metrics" | "/drain") => {
+            (None, Response::json(405, error_body("method not allowed")))
+        }
+        _ => (None, Response::json(404, error_body("no such route"))),
+    }
+}
+
+fn post_campaign(request: &Request, scheduler: &Scheduler) -> Response {
+    let text = match std::str::from_utf8(&request.body) {
+        Ok(t) => t,
+        Err(_) => return Response::json(400, error_body("body is not UTF-8")),
+    };
+    let body = if text.trim().is_empty() { Json::obj() } else {
+        match Json::parse(text) {
+            Ok(v) => v,
+            Err(e) => return Response::json(400, error_body(&e.to_string())),
+        }
+    };
+    let (id, spec) = match CampaignSpec::from_json(&body) {
+        Ok(parsed) => parsed,
+        Err(e) => return Response::json(400, error_body(&e)),
+    };
+    match scheduler.submit(id, spec) {
+        Ok(id) => {
+            let body = Json::obj()
+                .with("id", Json::Str(id))
+                .with("status", Json::Str("queued".to_string()))
+                .dump();
+            Response::json(202, body)
+        }
+        Err(SubmitError::QueueFull) => Response::json(429, error_body("admission queue is full")),
+        Err(SubmitError::Draining) => Response::json(503, error_body("daemon is draining")),
+        Err(SubmitError::Conflict(id)) => {
+            Response::json(409, error_body(&format!("campaign {id:?} is already in flight")))
+        }
+        Err(SubmitError::Invalid(msg)) => Response::json(400, error_body(&msg)),
+    }
+}
+
+fn get_campaign(id: &str, scheduler: &Scheduler) -> Response {
+    let record = match scheduler.get(id) {
+        Some(record) => record,
+        None => return Response::json(404, error_body("no such campaign")),
+    };
+    let status = record.status();
+    let mut body = Json::obj()
+        .with("id", Json::Str(record.id.clone()))
+        .with("status", Json::Str(status.label().to_string()))
+        .with("spec", record.spec().to_json())
+        .with(
+            "progress",
+            Json::Arr(record.progress_lines().into_iter().map(Json::Str).collect()),
+        );
+    if let Some((replayed, recorded)) = record.journal_info() {
+        body = body.with(
+            "journal",
+            Json::obj()
+                .with("replayed", Json::Num(replayed as f64))
+                .with("recorded", Json::Num(recorded as f64)),
+        );
+    }
+    body = match record.outcome() {
+        Some(Ok(outcome)) => body.with("outcome", outcome_json(&outcome)),
+        Some(Err(message)) => body.with("error", Json::Str(message)),
+        None => body,
+    };
+    Response::json(200, body.dump())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server(tag: &str) -> (Server, std::path::PathBuf) {
+        let dir = std::env::temp_dir().join(format!("asdex-srv-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            scheduler: SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+        };
+        (Server::bind(cfg, DrainHandle::new()).unwrap(), dir)
+    }
+
+    #[test]
+    fn routes_respond_without_sockets() {
+        let (server, dir) = test_server("routes");
+        let scheduler = server.scheduler();
+        let drain = DrainHandle::new();
+        let metrics = Arc::new(Metrics::new());
+
+        let health = Request {
+            method: "GET".into(),
+            path: "/healthz".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        let (_, resp) = route(&health, &scheduler, &metrics, &drain);
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8(resp.body).unwrap().contains("\"status\":\"ok\""));
+
+        let submit = Request {
+            method: "POST".into(),
+            path: "/campaigns".into(),
+            headers: vec![],
+            body: br#"{"bench":"bowl2","budget":200,"seed":3}"#.to_vec(),
+        };
+        let (_, resp) = route(&submit, &scheduler, &metrics, &drain);
+        assert_eq!(resp.status, 202);
+        let body = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let id = body.get("id").unwrap().as_str().unwrap().to_string();
+        assert!(scheduler.wait(&id, Duration::from_secs(60)));
+
+        let get = Request {
+            method: "GET".into(),
+            path: format!("/campaigns/{id}"),
+            headers: vec![],
+            body: vec![],
+        };
+        let (_, resp) = route(&get, &scheduler, &metrics, &drain);
+        assert_eq!(resp.status, 200);
+        let body = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(body.get("status").unwrap().as_str(), Some("completed"));
+        assert!(body.get("outcome").is_some());
+
+        let missing = Request {
+            method: "GET".into(),
+            path: "/campaigns/ghost".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        let (_, resp) = route(&missing, &scheduler, &metrics, &drain);
+        assert_eq!(resp.status, 404);
+
+        let bad = Request {
+            method: "POST".into(),
+            path: "/campaigns".into(),
+            headers: vec![],
+            body: b"not json".to_vec(),
+        };
+        let (_, resp) = route(&bad, &scheduler, &metrics, &drain);
+        assert_eq!(resp.status, 400);
+
+        let wrong_method = Request {
+            method: "DELETE".into(),
+            path: "/campaigns".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        let (endpoint, resp) = route(&wrong_method, &scheduler, &metrics, &drain);
+        assert!(endpoint.is_none());
+        assert_eq!(resp.status, 405);
+
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -36,4 +36,5 @@ pub use asdex_core as core;
 pub use asdex_env as env;
 pub use asdex_linalg as linalg;
 pub use asdex_nn as nn;
+pub use asdex_serve as serve;
 pub use asdex_spice as spice;

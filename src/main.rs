@@ -1,18 +1,21 @@
 //! `asdex` — command-line front end for the sizing framework.
 //!
 //! ```text
-//! asdex size <opamp45|opamp22|ldo|ico> [--agent trm|bo|random] [--budget N]
-//!            [--seed N] [--corners nominal|signoff5] [--journal path]
+//! asdex size <opamp45|opamp22|ldo|ico|bowl<dim>> [--agent trm|bo|random]
+//!            [--budget N] [--seed N] [--corners nominal|signoff5] [--json]
 //! asdex size --resume <path>
-//! asdex probe <opamp45|opamp22|ldo|ico> [--samples N]
+//! asdex probe <opamp45|opamp22|ldo|ico|bowl<dim>> [--samples N] [--json]
 //! asdex sim <deck.cir>
+//! asdex serve [--addr host:port] [--journal-dir dir] [--threads N]
+//! asdex loadgen [--addr host:port] [--n N] [--out csv]
 //! ```
 //!
 //! `size` runs a search agent on a built-in benchmark and prints the sized
 //! parameters; `probe` estimates the benchmark's feasible fraction (the
 //! calibration workflow); `sim` parses a SPICE deck and reports its DC
 //! operating point and, when an AC source is present, its frequency
-//! response.
+//! response; `serve` runs the sizing-as-a-service daemon; `loadgen`
+//! hammers a daemon with concurrent campaigns and records throughput.
 //!
 //! With `--journal` the campaign appends every evaluation to a crash-safe
 //! checkpoint journal; after a crash (or Ctrl-C), `--resume` replays the
@@ -20,12 +23,11 @@
 //! uninterrupted run. Journal status goes to stderr so stdout stays
 //! byte-identical between clean and resumed runs.
 
-use asdex::baselines::{CustomizedBo, RandomSearch};
-use asdex::core::{Framework, FrameworkConfig, PvtStrategy};
-use asdex::env::circuits::ico::Ico;
-use asdex::env::circuits::ldo::Ldo;
-use asdex::env::circuits::opamp::TwoStageOpamp;
-use asdex::env::{Journal, JournalError, JournalMeta, PvtSet, SearchBudget, Searcher, SizingProblem};
+use asdex::env::{Journal, JournalError, SizingProblem};
+use asdex::serve::json::Json;
+use asdex::serve::protocol::{outcome_json, stats_json, CampaignSpec};
+use asdex::serve::server::{DrainHandle, Server, ServerConfig};
+use asdex::serve::{logging, LoadgenConfig, LogLevel, SchedulerConfig};
 use asdex::spice::analysis::{ac_analysis, dc_operating_point, dc_sweep, transient, OpOptions, Sweep, TranOptions};
 use asdex::spice::measure::frequency_response;
 use asdex::spice::parser::{parse_deck, AnalysisCard};
@@ -40,16 +42,25 @@ const USAGE: &str = "\
 asdex — analog sizing design-space explorer
 
 USAGE:
-    asdex size  <opamp45|opamp22|ldo|ico> [--agent trm|bo|random]
+    asdex size  <opamp45|opamp22|ldo|ico|bowl<dim>> [--agent trm|bo|random]
                 [--budget N] [--seed N] [--corners nominal|signoff5]
                 [--threads N] [--journal path] [--checkpoint-every N]
+                [--json] [--quiet]
     asdex size  --resume <path> [--threads N] [--checkpoint-every N]
-    asdex probe <opamp45|opamp22|ldo|ico> [--samples N] [--threads N]
+    asdex probe <opamp45|opamp22|ldo|ico|bowl<dim>> [--samples N]
+                [--threads N] [--json]
     asdex sim   <deck.cir>
+    asdex serve [--addr host:port] [--journal-dir dir] [--threads N]
+                [--queue N] [--max-active N] [--log-level quiet|info|debug]
+                [--quiet]
+    asdex loadgen [--addr host:port] [--n N] [--concurrency N]
+                  [--bench name] [--agent name] [--budget N]
+                  [--corners set] [--out csv] [--timeout-secs N] [--quiet]
 
 `--threads N` sets the batch-evaluation worker count (default: the
-ASDEX_THREADS environment variable, else serial). The thread count
-changes wall-clock only, never results.
+ASDEX_THREADS environment variable, else serial); for `serve` it is the
+global budget shared fairly across concurrent campaigns. The thread
+count changes wall-clock only, never results.
 
 `--journal path` records every evaluation to an append-only journal
 (fsync'd every --checkpoint-every records, default 25, and on Ctrl-C).
@@ -58,9 +69,18 @@ agent, seed, budget, and corners are read back from the journal's
 metadata, recorded evaluations are replayed without simulating, and the
 campaign continues to the same outcome an uninterrupted run produces.
 
+`--json` prints one machine-readable JSON document to stdout (floats
+also carried as IEEE-754 hex bits, the daemon's wire format). `--quiet`
+silences stderr chatter.
+
+`serve` accepts campaigns over HTTP (POST /campaigns) and journals each
+to <journal-dir>/<id>.journal; SIGINT drains gracefully: admission
+stops, running campaigns checkpoint, and resubmitting the same id after
+restart resumes with zero duplicate simulations.
+
 EXIT CODES:
-    0  success        1  runtime failure (simulation, I/O, journal)
-    2  usage error    130  interrupted (journal checkpointed)
+    0  success (serve: clean drain)    1  runtime failure
+    2  usage error                     130  interrupted (journal checkpointed)
 ";
 
 /// Typed CLI failure with an exit-code mapping: usage mistakes exit 2,
@@ -106,10 +126,15 @@ impl CliError {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--quiet") {
+        logging::set_level(LogLevel::Quiet);
+    }
     let result = match args.first().map(String::as_str) {
         Some("size") => cmd_size(&args[1..]),
         Some("probe") => cmd_probe(&args[1..]),
         Some("sim") => cmd_sim(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadgen") => cmd_loadgen(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -147,7 +172,22 @@ const VALUE_FLAGS: &[&str] = &[
     "--checkpoint-every",
     "--resume",
     "--samples",
+    "--addr",
+    "--journal-dir",
+    "--queue",
+    "--max-active",
+    "--log-level",
+    "--n",
+    "--concurrency",
+    "--bench",
+    "--out",
+    "--timeout-secs",
 ];
+
+/// Whether a bare flag (no value) is present.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
 
 /// First argument that is neither a flag nor a flag's value.
 fn positional(args: &[String]) -> Option<&str> {
@@ -172,74 +212,17 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
     }
 }
 
+/// Builds a benchmark problem, mapping vocabulary errors to usage errors.
+/// The vocabulary itself lives in [`asdex::serve::campaign`] so the CLI
+/// and the daemon accept exactly the same names.
 fn build_problem(name: &str, corners: &str) -> Result<SizingProblem, CliError> {
-    let corner_set = match corners {
-        "nominal" => PvtSet::nominal_only(),
-        "signoff5" => PvtSet::signoff5(),
-        other => {
-            return Err(CliError::Usage(format!("unknown corner set {other:?} (nominal|signoff5)")))
+    asdex::serve::build_problem(name, corners).map_err(|e| {
+        if e.starts_with("unknown") {
+            CliError::Usage(e)
+        } else {
+            CliError::Runtime(e)
         }
-    };
-    let problem = match name {
-        "opamp45" => {
-            let amp = TwoStageOpamp::bsim45();
-            amp.problem_with(amp.specs(), corner_set)
-        }
-        "opamp22" => {
-            let amp = TwoStageOpamp::bsim22();
-            amp.problem_with(amp.specs(), corner_set)
-        }
-        "ldo" => Ldo::n6().problem(),
-        "ico" => Ico::n5().problem(),
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown benchmark {other:?} (opamp45|opamp22|ldo|ico)"
-            )))
-        }
-    };
-    problem.map_err(|e| CliError::Runtime(e.to_string()))
-}
-
-/// Identity of one `size` campaign — everything that must match between
-/// the run that wrote a journal and the run that resumes it.
-struct Campaign {
-    bench: String,
-    agent: String,
-    seed: u64,
-    budget: usize,
-    corners: String,
-}
-
-impl Campaign {
-    fn to_meta(&self, checkpoint_every: usize) -> JournalMeta {
-        JournalMeta::new()
-            .with("bench", &self.bench)
-            .with("agent", &self.agent)
-            .with("seed", &self.seed.to_string())
-            .with("budget", &self.budget.to_string())
-            .with("corners", &self.corners)
-            .with("checkpoint_every", &checkpoint_every.to_string())
-    }
-
-    fn from_meta(meta: &JournalMeta) -> Result<Campaign, CliError> {
-        let get = |key: &str| {
-            meta.get(key).map(str::to_string).ok_or_else(|| {
-                CliError::Runtime(format!("journal metadata is missing `{key}`"))
-            })
-        };
-        fn parse_num<T: std::str::FromStr>(key: &str, v: String) -> Result<T, CliError> {
-            v.parse().map_err(|_| {
-                CliError::Runtime(format!("journal metadata `{key}={v}` is not a number"))
-            })
-        }
-        Ok(Campaign {
-            bench: get("bench")?,
-            agent: get("agent")?,
-            seed: parse_num("seed", get("seed")?)?,
-            budget: parse_num("budget", get("budget")?)?,
-            corners: get("corners")?,
-        })
-    }
+    })
 }
 
 /// Set by the `SIGINT` handler; polled by the watcher thread.
@@ -271,8 +254,11 @@ fn install_interrupt_watcher(journal: Arc<Mutex<Journal>>) {
         if INTERRUPTED.load(Ordering::SeqCst) {
             if let Ok(mut j) = journal.lock() {
                 let _ = j.checkpoint();
-                eprintln!("\ninterrupted: journal checkpointed at {}", j.path().display());
-                eprintln!("resume with: asdex size --resume {}", j.path().display());
+                logging::info(format!(
+                    "\ninterrupted: journal checkpointed at {}",
+                    j.path().display()
+                ));
+                logging::info(format!("resume with: asdex size --resume {}", j.path().display()));
             }
             std::process::exit(130);
         }
@@ -283,45 +269,44 @@ fn install_interrupt_watcher(journal: Arc<Mutex<Journal>>) {
 fn cmd_size(args: &[String]) -> Result<(), CliError> {
     let checkpoint_every = parse_flag(args, "--checkpoint-every", 25usize)?;
     let threads = parse_flag(args, "--threads", 0usize)?;
+    let json_output = has_flag(args, "--json");
 
     // Either restore the campaign identity from a journal, or read it from
     // the command line (optionally starting a fresh journal).
-    let (campaign, journal) = if let Some(path) = flag_value(args, "--resume")? {
+    let (spec, journal) = if let Some(path) = flag_value(args, "--resume")? {
         let journal = Journal::resume(Path::new(path), checkpoint_every)?;
-        let campaign = Campaign::from_meta(journal.meta())?;
-        eprintln!(
+        let spec = CampaignSpec::from_meta(journal.meta()).map_err(CliError::Runtime)?;
+        logging::info(format!(
             "journal: resuming {} ({} recorded evaluations to replay)",
             journal.path().display(),
             journal.recorded()
-        );
-        (campaign, Some(journal))
+        ));
+        (spec, Some(journal))
     } else {
         let bench = positional(args)
             .ok_or_else(|| CliError::Usage(format!("size needs a benchmark\n\n{USAGE}")))?
             .to_string();
-        let campaign = Campaign {
+        let spec = CampaignSpec {
             bench,
             agent: flag_value(args, "--agent")?.unwrap_or("trm").to_string(),
             seed: parse_flag(args, "--seed", 1u64)?,
             budget: parse_flag(args, "--budget", 10_000usize)?,
             corners: flag_value(args, "--corners")?.unwrap_or("nominal").to_string(),
+            checkpoint_every,
         };
         let journal = match flag_value(args, "--journal")? {
             Some(jpath) => {
-                let journal = Journal::create(
-                    Path::new(jpath),
-                    campaign.to_meta(checkpoint_every),
-                    checkpoint_every,
-                )?;
-                eprintln!("journal: recording to {}", journal.path().display());
+                let journal =
+                    Journal::create(Path::new(jpath), spec.to_meta(), checkpoint_every)?;
+                logging::info(format!("journal: recording to {}", journal.path().display()));
                 Some(journal)
             }
             None => None,
         };
-        (campaign, journal)
+        (spec, journal)
     };
 
-    let mut problem = build_problem(&campaign.bench, &campaign.corners)?.with_threads(threads);
+    let mut problem = build_problem(&spec.bench, &spec.corners)?.with_threads(threads);
     if let Some(journal) = journal {
         problem = problem.with_journal(journal);
         if let Some(handle) = problem.journal_handle() {
@@ -329,84 +314,80 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
         }
     }
 
-    println!(
-        "{} — {} parameters, |D| ≈ 10^{:.1}, {} corner(s), budget {}",
-        problem.name,
-        problem.dim(),
-        problem.space.size_log10(),
-        problem.corners.len(),
-        campaign.budget
-    );
+    if !json_output {
+        println!(
+            "{} — {} parameters, |D| ≈ 10^{:.1}, {} corner(s), budget {}",
+            problem.name,
+            problem.dim(),
+            problem.space.size_log10(),
+            problem.corners.len(),
+            spec.budget
+        );
+    }
 
-    let (success, simulations, best_point, best_value, stats, health) = match campaign
-        .agent
-        .as_str()
-    {
-        "trm" => {
-            let mut framework = Framework::new(
-                FrameworkConfig {
-                    budget: Some(campaign.budget),
-                    pvt_strategy: Some(PvtStrategy::ProgressiveHardest),
-                    ..FrameworkConfig::default()
-                },
-                campaign.seed,
-            );
-            let out = framework.search(&problem).map_err(|e| CliError::Runtime(e.to_string()))?;
-            (out.success, out.simulations, out.best_point, out.best_value, out.stats, out.health)
+    let outcome = asdex::serve::run_campaign(&problem, &spec, None).map_err(|e| {
+        if e.starts_with("unknown agent") {
+            CliError::Usage(e)
+        } else {
+            CliError::Runtime(e)
         }
-        "bo" => {
-            let out = CustomizedBo::new().search(
-                &problem,
-                SearchBudget::new(campaign.budget),
-                campaign.seed,
-            );
-            (out.success, out.simulations, out.best_point, out.best_value, out.stats, out.health)
-        }
-        "random" => {
-            let out = RandomSearch::new().search(
-                &problem,
-                SearchBudget::new(campaign.budget),
-                campaign.seed,
-            );
-            (out.success, out.simulations, out.best_point, out.best_value, out.stats, out.health)
-        }
-        other => return Err(CliError::Usage(format!("unknown agent {other:?} (trm|bo|random)"))),
-    };
+    })?;
 
     // Make the journal tail durable before reporting, so a crash after
     // this point costs nothing.
+    let mut journal_info = None;
     if let Some(handle) = problem.journal_handle() {
         if let Ok(mut j) = handle.lock() {
             j.checkpoint().map_err(|e| CliError::Io {
                 path: j.path().display().to_string(),
                 source: e,
             })?;
-            eprintln!(
+            journal_info = Some((j.replayed(), j.recorded()));
+            logging::info(format!(
                 "journal: {} evaluations replayed, {} on disk at {}",
                 j.replayed(),
                 j.recorded(),
                 j.path().display()
-            );
+            ));
             if j.unconsumed() > 0 {
-                eprintln!(
+                logging::info(format!(
                     "journal: warning — {} recorded evaluations were never requested \
                      (campaign diverged from the journaled run?)",
                     j.unconsumed()
-                );
+                ));
             }
         }
     }
 
-    println!("success: {success} after {simulations} simulations (value {best_value:.4})");
-    println!("telemetry: {stats}");
-    println!("health: {health}");
-    let physical =
-        problem.space.to_physical(&best_point).map_err(|e| CliError::Runtime(e.to_string()))?;
+    if json_output {
+        // One machine-readable document, sharing the daemon's outcome
+        // serializer: string equality on `outcome` ⇔ bitwise equality.
+        let mut doc = Json::obj()
+            .with("spec", spec.to_json())
+            .with("outcome", outcome_json(&outcome));
+        if let Some((replayed, recorded)) = journal_info {
+            doc = doc.with(
+                "journal",
+                Json::obj()
+                    .with("replayed", Json::Num(replayed as f64))
+                    .with("recorded", Json::Num(recorded as f64)),
+            );
+        }
+        println!("{}", doc.dump());
+        return Ok(());
+    }
+
+    println!(
+        "success: {} after {} simulations (value {:.4})",
+        outcome.success, outcome.simulations, outcome.best_value
+    );
+    println!("telemetry: {}", outcome.stats);
+    println!("health: {}", outcome.health);
     println!("parameters:");
-    for (name, value) in problem.space.names().iter().zip(&physical) {
+    for (name, value) in problem.space.names().iter().zip(&outcome.best_physical) {
         println!("  {name:>10} = {value:.4e}");
     }
-    if let Some(e) = problem.evaluate_all_corners(&best_point).first() {
+    if let Some(e) = problem.evaluate_all_corners(&outcome.best_point).first() {
         if let Some(m) = &e.measurements {
             println!("measurements (corner 0):");
             for (name, value) in problem.evaluator.measurement_names().iter().zip(m) {
@@ -424,6 +405,7 @@ fn cmd_probe(args: &[String]) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage(format!("probe needs a benchmark\n\n{USAGE}")))?;
     let samples = parse_flag(args, "--samples", 5_000usize)?;
     let threads = parse_flag(args, "--threads", 0usize)?;
+    let json_output = has_flag(args, "--json");
     let problem = build_problem(bench, "nominal")?.with_threads(threads);
     let mut rng = StdRng::seed_from_u64(1);
     let mut feasible = 0usize;
@@ -443,6 +425,19 @@ fn cmd_probe(args: &[String]) -> Result<(), CliError> {
         }
         remaining_samples -= n;
     }
+    if json_output {
+        // Shares the daemon's telemetry serializer (satellite of the
+        // serving protocol): `stats` here is the same shape as the
+        // `stats` object in a campaign outcome.
+        let doc = Json::obj()
+            .with("bench", Json::Str(problem.name.to_string()))
+            .with("samples", Json::Num(samples as f64))
+            .with("feasible", Json::Num(feasible as f64))
+            .with("fraction", Json::Num(feasible as f64 / samples as f64))
+            .with("stats", stats_json(&stats));
+        println!("{}", doc.dump());
+        return Ok(());
+    }
     println!(
         "{}: {feasible}/{samples} feasible ({:.2e}), {} simulation failures",
         problem.name,
@@ -455,6 +450,100 @@ fn cmd_probe(args: &[String]) -> Result<(), CliError> {
         if n > 0 {
             println!("  {:>14}: {n}", kind.label());
         }
+    }
+    Ok(())
+}
+
+/// Runs the sizing-as-a-service daemon until SIGINT (or `POST /drain`),
+/// then drains gracefully: admission stops, active campaigns checkpoint
+/// their journals, and the process exits 0.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    if let Some(label) = flag_value(args, "--log-level")? {
+        let level = LogLevel::from_label(label)
+            .ok_or_else(|| CliError::Usage(format!("unknown log level {label:?} (quiet|info|debug)")))?;
+        logging::set_level(level);
+    }
+    let cfg = ServerConfig {
+        addr: flag_value(args, "--addr")?.unwrap_or("127.0.0.1:8650").to_string(),
+        scheduler: SchedulerConfig {
+            queue_capacity: parse_flag(args, "--queue", 64usize)?,
+            max_active: parse_flag(args, "--max-active", 4usize)?,
+            thread_budget: parse_flag(args, "--threads", 1usize)?.max(1),
+            journal_dir: Path::new(flag_value(args, "--journal-dir")?.unwrap_or("journals"))
+                .to_path_buf(),
+        },
+    };
+    let drain = DrainHandle::new();
+    let server = Server::bind(cfg, drain.clone())
+        .map_err(|e| CliError::Runtime(format!("cannot start daemon: {e}")))?;
+    install_drain_on_sigint(drain);
+    server.run().map_err(|e| CliError::Runtime(format!("daemon failed: {e}")))
+}
+
+/// Routes SIGINT to a graceful drain instead of killing the process: the
+/// accept loop notices the flag, the scheduler cancels and checkpoints,
+/// and `cmd_serve` returns normally (exit 0).
+fn install_drain_on_sigint(drain: DrainHandle) {
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    // SAFETY: the handler only stores to a static `AtomicBool` —
+    // async-signal-safe, and `signal` is specified for exactly this use.
+    unsafe {
+        signal(SIGINT, on_sigint);
+    }
+    std::thread::spawn(move || loop {
+        if INTERRUPTED.load(Ordering::SeqCst) {
+            drain.request_drain();
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    });
+}
+
+/// Hammers a daemon with concurrent campaigns and records throughput and
+/// latency percentiles to a CSV.
+fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
+    let cfg = LoadgenConfig {
+        addr: flag_value(args, "--addr")?.unwrap_or("127.0.0.1:8650").to_string(),
+        campaigns: parse_flag(args, "--n", 16usize)?,
+        concurrency: parse_flag(args, "--concurrency", 8usize)?,
+        bench: flag_value(args, "--bench")?.unwrap_or("bowl3").to_string(),
+        agent: flag_value(args, "--agent")?.unwrap_or("trm").to_string(),
+        budget: parse_flag(args, "--budget", 400usize)?,
+        corners: flag_value(args, "--corners")?.unwrap_or("nominal").to_string(),
+        timeout: std::time::Duration::from_secs(parse_flag(args, "--timeout-secs", 300u64)?),
+    };
+    let out = Path::new(
+        flag_value(args, "--out")?.unwrap_or("bench_results/serve_throughput.csv"),
+    )
+    .to_path_buf();
+    let report = asdex::serve::loadgen::run(&cfg);
+    report
+        .write_csv(&out)
+        .map_err(|e| CliError::Io { path: out.display().to_string(), source: e })?;
+    println!(
+        "loadgen: {}/{} campaigns completed in {:.2}s ({:.2} campaigns/s), {} client errors",
+        report.samples.len(),
+        cfg.campaigns,
+        report.wall.as_secs_f64(),
+        report.throughput(),
+        report.client_errors
+    );
+    println!(
+        "latency ms: submit p50 {:.2} p99 {:.2} | completion p50 {:.2} p99 {:.2}",
+        report.submit_percentile_ms(0.50),
+        report.submit_percentile_ms(0.99),
+        report.completion_percentile_ms(0.50),
+        report.completion_percentile_ms(0.99)
+    );
+    println!("csv: {}", out.display());
+    if report.client_errors > 0 {
+        return Err(CliError::Runtime(format!(
+            "{} campaign(s) failed at the client level",
+            report.client_errors
+        )));
     }
     Ok(())
 }
