@@ -71,7 +71,9 @@ pub(crate) fn resolve_threads(explicit: usize) -> usize {
 impl SizingProblem {
     /// The worker count this batch call will use: the dynamic fair-share
     /// source (if attached and non-zero) wins, then the explicit
-    /// [`SizingProblem::threads`] setting, then `ASDEX_THREADS`, then 1.
+    /// [`SizingProblem::threads`] setting, then the attached dispatcher's
+    /// parallelism hint (a worker-process pool wants one feeder thread per
+    /// worker), then `ASDEX_THREADS`, then 1.
     pub fn resolved_threads(&self) -> usize {
         let shared = self
             .thread_share
@@ -79,10 +81,16 @@ impl SizingProblem {
             .map(|s| s.load(std::sync::atomic::Ordering::SeqCst))
             .unwrap_or(0);
         if shared > 0 {
-            shared
-        } else {
-            resolve_threads(self.threads)
+            return shared;
         }
+        if self.threads > 0 {
+            return self.threads;
+        }
+        let hinted = self.dispatcher.as_ref().map(|d| d.parallelism()).unwrap_or(0);
+        if hinted > 0 {
+            return hinted;
+        }
+        resolve_threads(0)
     }
 }
 

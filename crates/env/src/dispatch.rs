@@ -1,0 +1,164 @@
+//! Pluggable execution backends for single evaluator attempts.
+//!
+//! The retry ladder in [`crate::SizingProblem`] is the sole owner of
+//! attempt sequencing, effort escalation, budget accounting, and failure
+//! typing. What *varies* between an in-process run and a sandboxed
+//! worker-process pool is only how one attempt is executed. That seam is
+//! [`EvalDispatcher`]: given the physical parameter vector, the corner
+//! index, and the attempt number, produce either a raw measurement vector
+//! or a typed [`FailureKind`].
+//!
+//! Because an attempt is a pure function of `(x_phys, corner, attempt)`
+//! (the repo-wide evaluator determinism contract), *where* it executes is
+//! invisible to the search: a `SearchOutcome` produced through any
+//! dispatcher is bitwise identical to the in-process one, at any worker
+//! count, provided the dispatcher maps execution failures onto the same
+//! taxonomy the in-process path uses:
+//!
+//! * an evaluator panic (in-process) and a worker-process death
+//!   (out-of-process) both become [`FailureKind::WorkerPanic`];
+//! * a solve-deadline expiry both in-process (the `SolveBudget` watchdog)
+//!   and out-of-process (the supervisor killing a hung worker) becomes
+//!   [`FailureKind::Timeout`].
+//!
+//! Measurement-shape checks (dimension, finiteness) and value computation
+//! stay in the parent, applied uniformly to every backend's output.
+
+use crate::corner::PvtCorner;
+use crate::problem::Evaluator;
+use crate::robust::EvalEffort;
+use crate::stats::FailureKind;
+
+/// Executes one evaluator attempt somewhere — on the calling thread, on a
+/// worker process, wherever — and reports the outcome in the shared
+/// failure taxonomy.
+///
+/// Implementations must preserve the determinism contract: for a fixed
+/// `(x_phys, corner_idx, attempt)` the result must be the same bits every
+/// time, and must equal what [`run_attempt`] produces against the same
+/// evaluator (with execution-level deaths mapped as described in the
+/// module docs).
+pub trait EvalDispatcher: Send + Sync {
+    /// Runs attempt number `attempt` of `(x_phys, corner_idx)`.
+    ///
+    /// # Errors
+    ///
+    /// A typed [`FailureKind`] when the attempt failed; the retry ladder
+    /// decides whether to escalate.
+    fn dispatch(
+        &self,
+        x_phys: &[f64],
+        corner_idx: usize,
+        attempt: usize,
+    ) -> Result<Vec<f64>, FailureKind>;
+
+    /// How many attempts this backend can usefully run concurrently
+    /// (e.g. the worker-process count). `0` means "no preference" — batch
+    /// evaluation falls back to its normal thread resolution. Used as a
+    /// routing hint only; it never changes results.
+    fn parallelism(&self) -> usize {
+        0
+    }
+}
+
+/// The in-process reference execution of one attempt: calls the evaluator
+/// under `catch_unwind` and classifies the outcome. This is the exact
+/// semantics [`crate::SizingProblem`] uses when no dispatcher is attached,
+/// exported so out-of-process backends (the worker loop itself, and a
+/// supervisor's all-workers-lost fallback) share one definition of "what
+/// an attempt does" instead of re-implementing it.
+pub fn run_attempt(
+    evaluator: &dyn Evaluator,
+    x_phys: &[f64],
+    corner: &PvtCorner,
+    attempt: usize,
+) -> Result<Vec<f64>, FailureKind> {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        evaluator.evaluate_with_effort(x_phys, corner, EvalEffort::attempt(attempt))
+    }));
+    match outcome {
+        Err(_) => Err(FailureKind::WorkerPanic),
+        Ok(Ok(meas)) => Ok(meas),
+        Ok(Err(e)) => Err(FailureKind::classify(&e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests::{toy_problem, PanickyUntil, ToyEvaluator};
+    use std::sync::Arc;
+
+    #[test]
+    fn run_attempt_matches_direct_evaluation() {
+        let e = ToyEvaluator::new();
+        let got = run_attempt(&e, &[2.0, 3.0], &PvtCorner::nominal(), 0).unwrap();
+        assert_eq!(got, vec![5.0, 6.0]);
+    }
+
+    #[test]
+    fn run_attempt_types_panics() {
+        let e = PanickyUntil::new(usize::MAX);
+        let got = run_attempt(&e, &[2.0, 3.0], &PvtCorner::nominal(), 0);
+        assert_eq!(got, Err(FailureKind::WorkerPanic));
+    }
+
+    /// A dispatcher that mirrors the in-process semantics exactly; the
+    /// problem-level result must not change when it is attached.
+    struct Mirror {
+        evaluator: Arc<dyn Evaluator>,
+        corners: crate::corner::PvtSet,
+    }
+
+    impl EvalDispatcher for Mirror {
+        fn dispatch(
+            &self,
+            x_phys: &[f64],
+            corner_idx: usize,
+            attempt: usize,
+        ) -> Result<Vec<f64>, FailureKind> {
+            let corner = self.corners.corners()[corner_idx];
+            run_attempt(self.evaluator.as_ref(), x_phys, &corner, attempt)
+        }
+
+        fn parallelism(&self) -> usize {
+            3
+        }
+    }
+
+    #[test]
+    fn mirror_dispatcher_is_invisible_in_results() {
+        let plain = toy_problem();
+        let mirror = Arc::new(Mirror {
+            evaluator: plain.evaluator.clone(),
+            corners: plain.corners.clone(),
+        });
+        let routed = toy_problem().with_dispatcher(mirror);
+        for u in [[0.8, 0.8], [0.1, 0.1], [0.555, 0.0]] {
+            assert_eq!(routed.evaluate_normalized(&u, 0), plain.evaluate_normalized(&u, 0));
+        }
+        // Out-of-range corners are typed before dispatch in both paths.
+        assert_eq!(
+            routed.evaluate_normalized(&[0.5, 0.5], 99),
+            plain.evaluate_normalized(&[0.5, 0.5], 99)
+        );
+    }
+
+    #[test]
+    fn dispatcher_failures_flow_through_the_ladder() {
+        struct AlwaysDead;
+        impl EvalDispatcher for AlwaysDead {
+            fn dispatch(&self, _: &[f64], _: usize, _: usize) -> Result<Vec<f64>, FailureKind> {
+                Err(FailureKind::WorkerPanic)
+            }
+        }
+        let p = toy_problem().with_dispatcher(Arc::new(AlwaysDead));
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert_eq!(e.failure, Some(FailureKind::WorkerPanic));
+        assert_eq!(e.sim_cost, 3, "worker deaths consume the full retry ladder");
+        // Terminal worker deaths quarantine the job exactly like terminal
+        // in-process panics do.
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert_eq!(e.sim_cost, 1, "quarantined after the ladder was exhausted");
+    }
+}

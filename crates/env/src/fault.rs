@@ -14,8 +14,36 @@ use crate::error::EnvError;
 use crate::problem::Evaluator;
 use crate::robust::EvalEffort;
 use asdex_rng::splitmix64;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// Whether process-level fault modes ([`FaultMode::WorkerAbort`],
+/// [`FaultMode::WorkerHang`], [`FaultMode::WorkerKill`]) actually take the
+/// process down. Armed only inside a sacrificial worker process (the
+/// `asdex worker` loop calls [`arm_process_faults`] at startup); everywhere
+/// else the modes degrade to their exact in-process analogues, so a chaos
+/// stream classifies identically whether it runs in-process or on a worker
+/// pool:
+///
+/// * abort/kill → an evaluator panic → [`crate::FailureKind::WorkerPanic`]
+///   (a dead worker is detected by its supervisor and typed the same way);
+/// * hang → a solve-deadline expiry → [`crate::FailureKind::Timeout`]
+///   (a hung worker is killed by the supervisor's per-attempt deadline and
+///   typed the same way).
+static PROCESS_FAULTS_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Arms process-level fault modes for this process. Call only from a
+/// sacrificial worker process — once armed, an injected
+/// [`FaultMode::WorkerAbort`]/[`FaultMode::WorkerKill`] terminates the
+/// process and a [`FaultMode::WorkerHang`] sleeps until killed.
+pub fn arm_process_faults() {
+    PROCESS_FAULTS_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Whether [`arm_process_faults`] has been called in this process.
+pub fn process_faults_armed() -> bool {
+    PROCESS_FAULTS_ARMED.load(Ordering::SeqCst)
+}
 
 /// Which corruption an injected fault applies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +66,57 @@ pub enum FaultMode {
     /// self-healing sentinels exist for. Negative, so threshold specs
     /// cannot mistake it for a pass.
     ExtremeMeasurements,
+    /// Process-level: `std::process::abort()` when armed (see
+    /// [`arm_process_faults`]) — the worker dies without unwinding, the
+    /// supervisor sees EOF. Unarmed it degrades to a plain panic, which
+    /// classifies identically ([`crate::FailureKind::WorkerPanic`]).
+    WorkerAbort,
+    /// Process-level: the attempt never returns when armed — the worker
+    /// hangs until the supervisor's per-attempt deadline kills it. Unarmed
+    /// it degrades to a solve-deadline expiry, which classifies identically
+    /// ([`crate::FailureKind::Timeout`]).
+    WorkerHang,
+    /// Process-level: `std::process::exit(9)` when armed — the worker
+    /// vanishes mid-request as if `SIGKILL`ed, without flushing a reply.
+    /// Unarmed it degrades to a plain panic, which classifies identically
+    /// ([`crate::FailureKind::WorkerPanic`]).
+    WorkerKill,
+}
+
+impl FaultMode {
+    /// All modes, in declaration (weight-index) order.
+    pub const ALL: [FaultMode; 9] = [
+        FaultMode::NoConvergence,
+        FaultMode::NanMeasurements,
+        FaultMode::InfMeasurements,
+        FaultMode::WrongDimension,
+        FaultMode::Panic,
+        FaultMode::ExtremeMeasurements,
+        FaultMode::WorkerAbort,
+        FaultMode::WorkerHang,
+        FaultMode::WorkerKill,
+    ];
+
+    /// Stable lowercase label, used by CLI flags (`--fault-mode`) so a
+    /// supervisor can forward a fault plan to its worker processes.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultMode::NoConvergence => "no-convergence",
+            FaultMode::NanMeasurements => "nan",
+            FaultMode::InfMeasurements => "inf",
+            FaultMode::WrongDimension => "wrong-dimension",
+            FaultMode::Panic => "panic",
+            FaultMode::ExtremeMeasurements => "extreme",
+            FaultMode::WorkerAbort => "worker-abort",
+            FaultMode::WorkerHang => "worker-hang",
+            FaultMode::WorkerKill => "worker-kill",
+        }
+    }
+
+    /// Inverse of [`FaultMode::label`].
+    pub fn from_label(label: &str) -> Option<FaultMode> {
+        FaultMode::ALL.iter().copied().find(|m| m.label() == label)
+    }
 }
 
 /// Configuration for [`FaultInjectingEvaluator`].
@@ -52,24 +131,25 @@ pub struct FaultConfig {
     /// ladder. When `false` a faulted point stays faulted at every
     /// attempt.
     pub recover_on_retry: bool,
-    /// Relative weights of the six modes, in [`FaultMode`] declaration
-    /// order: no-convergence, NaN, Inf, wrong-dimension, panic, extreme.
-    pub mode_weights: [u32; 6],
+    /// Relative weights of the nine modes, in [`FaultMode`] declaration
+    /// order: no-convergence, NaN, Inf, wrong-dimension, panic, extreme,
+    /// worker-abort, worker-hang, worker-kill.
+    pub mode_weights: [u32; 9],
 }
 
 impl FaultConfig {
     /// Faults at `rate` with the given `seed` and default mode mix
     /// (half non-convergence, the rest split between NaN/Inf/wrong-dim;
-    /// panics and extreme measurements are opt-in via [`FaultConfig::only`]
-    /// or explicit weights, so a default chaos stream stays panic-free and
-    /// bit-identical to prior releases).
+    /// panics, extreme measurements, and the process-level modes are
+    /// opt-in via [`FaultConfig::only`] or explicit weights, so a default
+    /// chaos stream stays panic-free and bit-identical to prior releases).
     pub fn new(rate: f64, seed: u64) -> Self {
-        FaultConfig { rate, seed, recover_on_retry: true, mode_weights: [5, 2, 1, 2, 0, 0] }
+        FaultConfig { rate, seed, recover_on_retry: true, mode_weights: [5, 2, 1, 2, 0, 0, 0, 0, 0] }
     }
 
     /// Restricts injection to a single mode.
     pub fn only(mode: FaultMode, rate: f64, seed: u64) -> Self {
-        let mut w = [0u32; 6];
+        let mut w = [0u32; 9];
         w[mode as usize] = 1;
         FaultConfig { rate, seed, recover_on_retry: true, mode_weights: w }
     }
@@ -144,7 +224,10 @@ impl FaultInjectingEvaluator {
                     2 => FaultMode::InfMeasurements,
                     3 => FaultMode::WrongDimension,
                     4 => FaultMode::Panic,
-                    _ => FaultMode::ExtremeMeasurements,
+                    5 => FaultMode::ExtremeMeasurements,
+                    6 => FaultMode::WorkerAbort,
+                    7 => FaultMode::WorkerHang,
+                    _ => FaultMode::WorkerKill,
                 });
             }
             pick -= w;
@@ -180,6 +263,29 @@ impl Evaluator for FaultInjectingEvaluator {
                     FaultMode::WrongDimension => Ok(vec![0.0; n + 1]),
                     FaultMode::Panic => panic!("injected worker panic"),
                     FaultMode::ExtremeMeasurements => Ok(vec![-1e30; n]),
+                    FaultMode::WorkerAbort => {
+                        if process_faults_armed() {
+                            std::process::abort();
+                        }
+                        panic!("injected worker abort");
+                    }
+                    FaultMode::WorkerHang => {
+                        if process_faults_armed() {
+                            // Hang until the supervisor's deadline kills us.
+                            loop {
+                                std::thread::sleep(std::time::Duration::from_secs(3600));
+                            }
+                        }
+                        Err(asdex_spice::SpiceError::Timeout { analysis: "op", iterations: 0 }
+                            .into())
+                    }
+                    FaultMode::WorkerKill => {
+                        if process_faults_armed() {
+                            // Vanish without a reply, as a SIGKILL would.
+                            std::process::exit(9);
+                        }
+                        panic!("injected worker kill");
+                    }
                 }
             }
         }
@@ -308,6 +414,71 @@ mod tests {
             let x = vec![k as f64 * 0.03, 1.0];
             if let Ok(m) = e.evaluate(&x, &PvtCorner::nominal()) {
                 assert!(m.iter().all(|v| *v != -1e30));
+            }
+        }
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for mode in FaultMode::ALL {
+            assert_eq!(FaultMode::from_label(mode.label()), Some(mode));
+        }
+        assert_eq!(FaultMode::from_label("nope"), None);
+    }
+
+    #[test]
+    fn unarmed_process_faults_degrade_to_typed_analogues() {
+        // In a normal (supervisor/test) process the process-level modes
+        // must NOT take the process down; they classify exactly like the
+        // failure their armed counterpart produces at a supervisor.
+        assert!(!process_faults_armed());
+        let mut p = toy_problem();
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            p.evaluator.clone(),
+            FaultConfig::only(FaultMode::WorkerAbort, 1.0, 17),
+        ));
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert_eq!(e.failure, Some(FailureKind::WorkerPanic));
+
+        let mut p = toy_problem();
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            p.evaluator.clone(),
+            FaultConfig::only(FaultMode::WorkerKill, 1.0, 17),
+        ));
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert_eq!(e.failure, Some(FailureKind::WorkerPanic));
+
+        let mut p = toy_problem();
+        p.evaluator = Arc::new(FaultInjectingEvaluator::new(
+            p.evaluator.clone(),
+            FaultConfig::only(FaultMode::WorkerHang, 1.0, 17),
+        ));
+        let e = p.evaluate_normalized(&[0.8, 0.8], 0);
+        assert_eq!(e.failure, Some(FailureKind::Timeout));
+    }
+
+    #[test]
+    fn default_mix_never_draws_process_faults() {
+        // Same guarantee as extremes: the default stream is bit-identical
+        // to prior releases, so zero-weight modes never fire.
+        let e = wrapped(1.0, 29);
+        let cfg = FaultConfig::new(1.0, 29);
+        assert_eq!(&cfg.mode_weights[5..], &[0, 0, 0, 0]);
+        for k in 0..200 {
+            let x = vec![k as f64 * 0.03, 1.0];
+            // Would abort/hang/kill the test process if ever drawn armed —
+            // and is caught as a panic or typed error when unarmed. A
+            // normal result or one of the four default corruptions is the
+            // only acceptable outcome.
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                e.evaluate(&x, &PvtCorner::nominal())
+            }));
+            match r.expect("default mix never panics") {
+                Ok(m) => assert!(m.iter().all(|v| *v != -1e30)),
+                Err(err) => assert!(
+                    !matches!(FailureKind::classify(&err), FailureKind::Timeout),
+                    "default mix drew a worker-hang"
+                ),
             }
         }
     }

@@ -337,15 +337,23 @@ impl Journal {
                 }
                 2 => match JournalMeta::parse(body) {
                     Some(m) => {
-                        meta = Some(m);
+                        if complete {
+                            meta = Some(m);
+                        }
                         true
                     }
                     None => false,
                 },
+                // A line torn at a field boundary can still parse (e.g. a
+                // measurement list cut at a chunk edge reads as a shorter
+                // valid list), so a record is only committed to the
+                // replay map once its newline proves the write finished.
                 _ => match parse_eval_line(body) {
                     Some((key, eval)) => {
-                        replay.entry(key).or_default().push_back(eval);
-                        entries += 1;
+                        if complete {
+                            replay.entry(key).or_default().push_back(eval);
+                            entries += 1;
+                        }
                         true
                     }
                     None => false,
@@ -560,6 +568,29 @@ mod tests {
         drop(j);
         let j = Journal::resume(&path, 1).unwrap();
         assert_eq!(j.recorded(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_that_still_parses_is_dropped_not_replayed() {
+        let path = tmp_path("torn-parseable");
+        let mut j = Journal::create(&path, JournalMeta::new(), 1).unwrap();
+        j.record(&[0.5, 0.25], 0, 3, &sample_eval(true)).unwrap();
+        let mut expensive = sample_eval(true);
+        expensive.sim_cost = 12;
+        j.record(&[0.5, 0.25], 1, 3, &expensive).unwrap();
+        drop(j);
+        // Cut the final line inside its trailing `s=12` field: "s=1" is a
+        // valid (wrong!) record, but the missing newline proves the write
+        // never finished — it must be dropped, not served truncated.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.trim_end().len() - 1;
+        assert!(text[..cut].ends_with("s=1"), "cut must leave a parseable prefix");
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        let mut j = Journal::resume(&path, 1).unwrap();
+        assert_eq!(j.recorded(), 1, "the parseable torn record must still be dropped");
+        assert!(j.take_replay(&[0.5, 0.25], 1, 3).is_none(), "phantom record served");
         std::fs::remove_file(&path).ok();
     }
 

@@ -48,6 +48,7 @@ pub mod batch;
 pub mod cancel;
 pub mod circuits;
 pub mod corner;
+pub mod dispatch;
 mod error;
 pub mod fault;
 pub mod health;
@@ -63,8 +64,11 @@ pub mod value;
 pub use batch::EvalRequest;
 pub use cancel::CancelToken;
 pub use corner::{PvtCorner, PvtSet};
+pub use dispatch::{run_attempt, EvalDispatcher};
 pub use error::EnvError;
-pub use fault::{FaultConfig, FaultInjectingEvaluator, FaultMode};
+pub use fault::{
+    arm_process_faults, process_faults_armed, FaultConfig, FaultInjectingEvaluator, FaultMode,
+};
 pub use health::HealthStats;
 pub use journal::{Journal, JournalError, JournalMeta};
 pub use problem::{Evaluation, Evaluator, SizingProblem};

@@ -7,6 +7,7 @@
 
 use crate::cancel::CancelToken;
 use crate::corner::{PvtCorner, PvtSet};
+use crate::dispatch::EvalDispatcher;
 use crate::error::EnvError;
 use crate::journal::Journal;
 use crate::robust::{EvalEffort, RetryPolicy};
@@ -136,6 +137,11 @@ pub struct SizingProblem {
     /// panicking the evaluator again. Shared across clones; mutated only
     /// in the ordered finalize pass so results stay thread-invariant.
     pub(crate) quarantine: Arc<Mutex<HashSet<JobKey>>>,
+    /// Optional execution backend for single attempts (e.g. a sandboxed
+    /// worker-process pool). `None` runs attempts in-process on the
+    /// calling thread; see [`crate::EvalDispatcher`] for the equivalence
+    /// contract. Dispatch never changes results — only where they run.
+    pub(crate) dispatcher: Option<Arc<dyn EvalDispatcher>>,
 }
 
 impl std::fmt::Debug for SizingProblem {
@@ -187,6 +193,7 @@ impl SizingProblem {
             cancel: None,
             journal: None,
             quarantine: Arc::new(Mutex::new(HashSet::new())),
+            dispatcher: None,
         })
     }
 
@@ -233,6 +240,24 @@ impl SizingProblem {
     pub fn with_journal(mut self, journal: Journal) -> Self {
         self.journal = Some(Arc::new(Mutex::new(journal)));
         self
+    }
+
+    /// Routes single evaluator attempts through `dispatcher` (builder
+    /// style) — typically a worker-process pool. The retry ladder, budget
+    /// accounting, journal, and quarantine stay in this process; only the
+    /// raw attempt execution moves. Passing the problem's own evaluator
+    /// semantics through the dispatcher is the implementer's contract
+    /// (see [`crate::EvalDispatcher`]); when it holds, results are
+    /// bitwise identical to the in-process path.
+    #[must_use]
+    pub fn with_dispatcher(mut self, dispatcher: Arc<dyn EvalDispatcher>) -> Self {
+        self.dispatcher = Some(dispatcher);
+        self
+    }
+
+    /// The attached attempt dispatcher, if any.
+    pub fn dispatcher(&self) -> Option<Arc<dyn EvalDispatcher>> {
+        self.dispatcher.clone()
     }
 
     /// A handle to the attached journal, if any — lets a supervisor force
@@ -345,10 +370,12 @@ impl SizingProblem {
     /// or quarantine updates (the batch pipeline runs those in an ordered
     /// finalize pass; see [`SizingProblem::finalize_evaluation`]).
     ///
-    /// Each evaluator call runs under `catch_unwind`: a panicking
-    /// evaluator is converted into a typed [`FailureKind::WorkerPanic`]
-    /// failure that flows through the normal retry machinery instead of
-    /// unwinding across (and poisoning) the worker pool.
+    /// Each evaluator call runs under `catch_unwind` (or through the
+    /// attached [`crate::EvalDispatcher`]): a panicking evaluator — or a
+    /// dying worker process — is converted into a typed
+    /// [`FailureKind::WorkerPanic`] failure that flows through the normal
+    /// retry machinery instead of unwinding across (and poisoning) the
+    /// worker pool.
     pub(crate) fn evaluate_unjournaled(
         &self,
         u: &[f64],
@@ -374,14 +401,20 @@ impl SizingProblem {
         let n_meas = self.evaluator.measurement_names().len();
         let mut attempt = 0;
         loop {
-            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                self.evaluator.evaluate_with_effort(&x_phys, &corner, EvalEffort::attempt(attempt))
-            }));
+            // One attempt, either in-process (the reference semantics) or
+            // through the attached dispatcher. Shape and finiteness checks
+            // are applied here, uniformly, to whatever comes back.
+            let outcome = match &self.dispatcher {
+                None => {
+                    crate::dispatch::run_attempt(self.evaluator.as_ref(), &x_phys, &corner, attempt)
+                }
+                Some(d) => d.dispatch(&x_phys, corner_idx, attempt),
+            };
             let kind = match outcome {
-                Err(_) => FailureKind::WorkerPanic,
-                Ok(Ok(meas)) if meas.len() != n_meas => FailureKind::InvalidInput,
-                Ok(Ok(meas)) if meas.iter().any(|v| !v.is_finite()) => FailureKind::NonFinite,
-                Ok(Ok(meas)) => {
+                Err(kind) => kind,
+                Ok(meas) if meas.len() != n_meas => FailureKind::InvalidInput,
+                Ok(meas) if meas.iter().any(|v| !v.is_finite()) => FailureKind::NonFinite,
+                Ok(meas) => {
                     let value = self.value_fn.value(&meas, &self.specs);
                     let feasible = self.specs.all_satisfied(&meas);
                     return Evaluation {
@@ -393,7 +426,6 @@ impl SizingProblem {
                         sim_cost: attempt + 1,
                     };
                 }
-                Ok(Err(e)) => FailureKind::classify(&e),
             };
             if kind.is_retryable() && attempt + 1 < max_attempts {
                 attempt += 1;

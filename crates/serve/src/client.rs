@@ -8,7 +8,7 @@ use crate::json::Json;
 use crate::protocol::CampaignSpec;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 
 /// Why a client call failed.
@@ -48,16 +48,85 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Transport knobs for one daemon handle.
+///
+/// The defaults suit interactive CLI use; the load harness and CI tighten
+/// them. Retries apply only to `429`/`503` — the two statuses the daemon
+/// uses for "full right now, come back" — never to connection failures or
+/// other statuses, so a down daemon fails fast and non-idempotent
+/// requests are never replayed after an ambiguous outcome.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection (per resolved address).
+    pub connect_timeout: Duration,
+    /// Deadline for each read from the socket.
+    pub read_timeout: Duration,
+    /// Deadline for each write to the socket.
+    pub write_timeout: Duration,
+    /// Additional attempts after a `429`/`503` response (0 = no retry).
+    pub max_retries: u32,
+    /// First retry delay; doubled on each subsequent retry.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
 /// A handle to one daemon.
 #[derive(Debug, Clone)]
 pub struct Client {
     addr: String,
+    cfg: ClientConfig,
 }
 
 impl Client {
-    /// A client for `addr` (`host:port`).
+    /// A client for `addr` (`host:port`) with default transport knobs.
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into() }
+        Client { addr: addr.into(), cfg: ClientConfig::default() }
+    }
+
+    /// Replaces the transport configuration.
+    #[must_use]
+    pub fn with_config(mut self, cfg: ClientConfig) -> Client {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Sets the retry budget: `max_retries` extra attempts on `429`/`503`,
+    /// starting at `backoff` and doubling.
+    #[must_use]
+    pub fn with_retries(mut self, max_retries: u32, backoff: Duration) -> Client {
+        self.cfg.max_retries = max_retries;
+        self.cfg.retry_backoff = backoff;
+        self
+    }
+
+    /// Connects with the configured deadline, trying each resolved
+    /// address in order.
+    fn connect(&self) -> Result<TcpStream, ClientError> {
+        let addrs = self.addr.to_socket_addrs()?;
+        let mut last: Option<std::io::Error> = None;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.cfg.connect_timeout) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::Io(last.unwrap_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::AddrNotAvailable,
+                format!("{} resolved to no addresses", self.addr),
+            )
+        })))
     }
 
     /// One raw HTTP exchange. Returns `(status, body)`.
@@ -67,10 +136,10 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), ClientError> {
-        let mut stream = TcpStream::connect(&self.addr)?;
+        let mut stream = self.connect()?;
         stream.set_nodelay(true).ok();
-        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+        stream.set_read_timeout(Some(self.cfg.read_timeout))?;
+        stream.set_write_timeout(Some(self.cfg.write_timeout))?;
         let body = body.unwrap_or("");
         write!(
             stream,
@@ -80,7 +149,21 @@ impl Client {
         )?;
         stream.flush()?;
 
-        let mut reader = BufReader::new(stream);
+        match Self::read_response(BufReader::new(stream)) {
+            Err(ClientError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                Err(ClientError::Timeout(format!("response from {}", self.addr)))
+            }
+            other => other,
+        }
+    }
+
+    /// Parses one `Connection: close` HTTP response.
+    fn read_response<R: Read>(mut reader: BufReader<R>) -> Result<(u16, String), ClientError> {
         let mut status_line = String::new();
         reader.read_line(&mut status_line)?;
         let status: u16 = status_line
@@ -118,6 +201,32 @@ impl Client {
         Ok((status, body))
     }
 
+    /// A raw exchange with the bounded retry ladder: `429` (queue full)
+    /// and `503` (draining) responses are retried up to
+    /// [`ClientConfig::max_retries`] times with exponential backoff.
+    /// Safe even for `POST /campaigns`: both statuses are only sent when
+    /// the request was *rejected before admission*, so a retry can never
+    /// double-submit.
+    pub fn request_with_retry(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, String), ClientError> {
+        let mut backoff = self.cfg.retry_backoff;
+        let mut attempt = 0u32;
+        loop {
+            let (status, body_out) = self.request(method, path, body)?;
+            if (status == 429 || status == 503) && attempt < self.cfg.max_retries {
+                attempt += 1;
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(5));
+                continue;
+            }
+            return Ok((status, body_out));
+        }
+    }
+
     fn expect_json(&self, result: (u16, String)) -> Result<Json, ClientError> {
         let (status, body) = result;
         if !(200..300).contains(&status) {
@@ -140,7 +249,7 @@ impl Client {
             }
         }
         let response =
-            self.expect_json(self.request("POST", "/campaigns", Some(&body.dump()))?)?;
+            self.expect_json(self.request_with_retry("POST", "/campaigns", Some(&body.dump()))?)?;
         response
             .get("id")
             .and_then(Json::as_str)
@@ -150,7 +259,7 @@ impl Client {
 
     /// Fetches a campaign's status document.
     pub fn get_campaign(&self, id: &str) -> Result<Json, ClientError> {
-        self.expect_json(self.request("GET", &format!("/campaigns/{id}"), None)?)
+        self.expect_json(self.request_with_retry("GET", &format!("/campaigns/{id}"), None)?)
     }
 
     /// Polls until the campaign reaches a terminal status; returns the
@@ -192,5 +301,101 @@ impl Client {
             return Err(ClientError::Status { status, body });
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    /// A scripted one-shot server: answers each connection with the next
+    /// status in `script` (the last repeats), counting connections.
+    fn scripted_server(script: Vec<u16>) -> (String, Arc<AtomicUsize>, std::thread::JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&hits);
+        let handle = std::thread::spawn(move || {
+            for status in script {
+                let (mut stream, _) = listener.accept().unwrap();
+                seen.fetch_add(1, Ordering::SeqCst);
+                // Drain the request head before replying.
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut line = String::new();
+                while reader.read_line(&mut line).unwrap_or(0) > 0 && line.trim_end() != "" {
+                    line.clear();
+                }
+                let body = "{}";
+                write!(
+                    stream,
+                    "HTTP/1.1 {status} X\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                    body.len()
+                )
+                .unwrap();
+            }
+        });
+        (addr, hits, handle)
+    }
+
+    #[test]
+    fn retry_recovers_after_backpressure() {
+        let (addr, hits, server) = scripted_server(vec![503, 429, 200]);
+        let client = Client::new(addr).with_retries(3, Duration::from_millis(2));
+        let (status, _) = client.request_with_retry("GET", "/healthz", None).unwrap();
+        server.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(hits.load(Ordering::SeqCst), 3, "one try plus two retries");
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let (addr, hits, server) = scripted_server(vec![503, 503, 503]);
+        let client = Client::new(addr).with_retries(2, Duration::from_millis(2));
+        let (status, _) = client.request_with_retry("GET", "/healthz", None).unwrap();
+        server.join().unwrap();
+        assert_eq!(status, 503, "budget exhausted: the final 503 surfaces");
+        assert_eq!(hits.load(Ordering::SeqCst), 3, "one try plus max_retries");
+    }
+
+    #[test]
+    fn stalled_server_hits_the_read_timeout() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        // Accept and then never respond; the client must not hang.
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+            drop(stream);
+        });
+        let client = Client::new(addr).with_config(ClientConfig {
+            read_timeout: Duration::from_millis(50),
+            ..ClientConfig::default()
+        });
+        let started = Instant::now();
+        let err = client.request("GET", "/healthz", None).unwrap_err();
+        assert!(matches!(err, ClientError::Timeout(_)), "got {err:?}");
+        assert!(started.elapsed() < Duration::from_millis(400), "timed out promptly");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn refused_connection_fails_fast_without_retry() {
+        // Bind then drop to obtain a port with no listener.
+        let port = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let client = Client::new(format!("127.0.0.1:{port}"))
+            .with_retries(5, Duration::from_secs(10));
+        let started = Instant::now();
+        let err = client.request_with_retry("GET", "/healthz", None).unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "got {err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "connection errors must not consume the retry budget"
+        );
     }
 }

@@ -13,6 +13,11 @@
 //!   with the CLI's `--json` mode.
 //! * [`campaign`] — benchmark/agent vocabulary and the single campaign
 //!   entry point shared by daemon and CLI.
+//! * [`worker`] / [`pool`] — process-isolated evaluation: sandboxed
+//!   `asdex worker` child processes speaking a length-prefixed stdio
+//!   protocol, supervised by a restart-with-backoff [`pool::WorkerPool`]
+//!   that types worker death as
+//!   [`asdex_env::FailureKind::WorkerPanic`] instead of a daemon outage.
 //! * [`client`] / [`loadgen`] — a blocking client and a load harness
 //!   that records throughput/latency CSVs.
 //! * [`json`] / [`http`] / [`logging`] / [`metrics`] — the std-only
@@ -33,16 +38,20 @@ pub mod json;
 pub mod loadgen;
 pub mod logging;
 pub mod metrics;
+pub mod pool;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod worker;
 
 pub use campaign::{build_problem, run_campaign, CampaignOutcome};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientConfig, ClientError};
 pub use json::Json;
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use logging::LogLevel;
-pub use metrics::Metrics;
+pub use metrics::{Metrics, WorkerStats};
+pub use pool::{WorkerPool, WorkerPoolConfig};
 pub use protocol::{outcome_json, CampaignSpec};
 pub use scheduler::{CampaignStatus, Scheduler, SchedulerConfig, SubmitError};
 pub use server::{DrainHandle, Server, ServerConfig};
+pub use worker::{run_worker, WorkerConfig};

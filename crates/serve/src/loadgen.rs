@@ -36,6 +36,8 @@ pub struct LoadgenConfig {
     pub corners: String,
     /// Per-campaign completion deadline.
     pub timeout: Duration,
+    /// Client retry budget for `429`/`503` backpressure responses.
+    pub retries: u32,
 }
 
 impl Default for LoadgenConfig {
@@ -49,6 +51,7 @@ impl Default for LoadgenConfig {
             budget: 400,
             corners: "nominal".to_string(),
             timeout: Duration::from_secs(300),
+            retries: 4,
         }
     }
 }
@@ -165,7 +168,11 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
             let samples = Arc::clone(&samples);
             let errors = Arc::clone(&errors);
             scope.spawn(move || {
-                let client = Client::new(cfg.addr.clone());
+                // A loaded daemon answers 429 when its queue is full;
+                // the bounded retry ladder absorbs that backpressure
+                // instead of counting it as a campaign failure.
+                let client = Client::new(cfg.addr.clone())
+                    .with_retries(cfg.retries, Duration::from_millis(100));
                 loop {
                     let k = next.fetch_add(1, Ordering::SeqCst);
                     if k >= cfg.campaigns {

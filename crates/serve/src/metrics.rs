@@ -7,6 +7,7 @@
 //! and folded into the same exposition.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Upper bounds of the latency buckets, in microseconds. The final bucket
@@ -80,6 +81,80 @@ pub struct Metrics {
     pub campaigns_failed: AtomicU64,
     /// Submissions rejected because the admission queue was full.
     pub campaigns_rejected: AtomicU64,
+    /// Worker-pool supervision telemetry, shared with every
+    /// [`crate::pool::WorkerPool`] the scheduler creates.
+    pub workers: Arc<WorkerStats>,
+}
+
+/// Supervision telemetry for the evaluation worker pools. One shared
+/// instance aggregates across every per-campaign pool; the daemon exposes
+/// it as the `asdex_worker_*` metric families.
+#[derive(Debug, Default)]
+pub struct WorkerStats {
+    /// Worker processes spawned (initial fills plus restarts).
+    pub spawns: AtomicU64,
+    /// Worker deaths detected (crash, kill, or failed handshake).
+    pub deaths: AtomicU64,
+    /// Successful restarts after a death.
+    pub restarts: AtomicU64,
+    /// Worker slots permanently retired after exhausting their restart
+    /// budget.
+    pub retired: AtomicU64,
+    /// Attempts re-dispatched because the worker running them died.
+    pub redispatches: AtomicU64,
+    /// Attempts quarantined after repeatedly killing workers.
+    pub quarantined: AtomicU64,
+    /// Workers killed by the supervisor for overrunning a solve deadline.
+    pub deadline_kills: AtomicU64,
+    /// Workers currently alive (gauge).
+    pub alive: AtomicU64,
+    /// Worker-side attempt latency.
+    pub attempt_latency: LatencyHistogram,
+    /// Backoff delay observed before each restart.
+    pub restart_delay: LatencyHistogram,
+}
+
+impl WorkerStats {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        WorkerStats::default()
+    }
+
+    /// Bumps a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the `asdex_worker_*` families.
+    fn render(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(out, "# HELP asdex_worker_events_total Worker-pool supervision events.");
+        let _ = writeln!(out, "# TYPE asdex_worker_events_total counter");
+        for (event, value) in [
+            ("spawn", &self.spawns),
+            ("death", &self.deaths),
+            ("restart", &self.restarts),
+            ("retire", &self.retired),
+            ("redispatch", &self.redispatches),
+            ("quarantine", &self.quarantined),
+            ("deadline-kill", &self.deadline_kills),
+        ] {
+            let _ = writeln!(
+                out,
+                "asdex_worker_events_total{{event=\"{event}\"}} {}",
+                value.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(out, "# HELP asdex_workers_alive Worker processes currently alive.");
+        let _ = writeln!(out, "# TYPE asdex_workers_alive gauge");
+        let _ = writeln!(out, "asdex_workers_alive {}", self.alive.load(Ordering::Relaxed));
+        let _ = writeln!(out, "# HELP asdex_worker_attempt_latency_us Worker-side attempt latency.");
+        let _ = writeln!(out, "# TYPE asdex_worker_attempt_latency_us histogram");
+        self.attempt_latency.render("asdex_worker_attempt_latency_us", "attempt", out);
+        let _ = writeln!(out, "# HELP asdex_worker_restart_delay_us Backoff before worker restarts.");
+        let _ = writeln!(out, "# TYPE asdex_worker_restart_delay_us histogram");
+        self.restart_delay.render("asdex_worker_restart_delay_us", "restart", out);
+    }
 }
 
 impl Metrics {
@@ -178,6 +253,7 @@ impl Metrics {
                 "asdex_health_interventions_total{{kind=\"{kind}\"}} {value}"
             );
         }
+        self.workers.render(&mut out);
         out
     }
 }
@@ -227,5 +303,20 @@ mod tests {
         assert!(text.contains("asdex_active_campaigns 2"));
         assert!(text.contains("asdex_eval_failures_total{kind=\"cancelled\"} 0"));
         assert!(text.contains("asdex_health_interventions_total{kind=\"rollbacks\"} 0"));
+    }
+
+    #[test]
+    fn worker_families_are_exposed() {
+        let m = Metrics::new();
+        WorkerStats::bump(&m.workers.spawns);
+        WorkerStats::bump(&m.workers.deaths);
+        m.workers.alive.store(4, Ordering::Relaxed);
+        m.workers.attempt_latency.observe(Duration::from_micros(100));
+        let text = m.render(&SchedulerGauges::default());
+        assert!(text.contains("asdex_worker_events_total{event=\"spawn\"} 1"));
+        assert!(text.contains("asdex_worker_events_total{event=\"death\"} 1"));
+        assert!(text.contains("asdex_worker_events_total{event=\"quarantine\"} 0"));
+        assert!(text.contains("asdex_workers_alive 4"));
+        assert!(text.contains("asdex_worker_attempt_latency_us_count{path=\"attempt\"} 1"));
     }
 }

@@ -22,6 +22,7 @@
 use crate::campaign::{build_problem, run_campaign, CampaignOutcome};
 use crate::logging;
 use crate::metrics::{Metrics, SchedulerGauges};
+use crate::pool::{WorkerPool, WorkerPoolConfig};
 use crate::protocol::CampaignSpec;
 use asdex_core::{ProgressEvent, ProgressHandle};
 use asdex_env::{CancelToken, EvalStats, HealthStats, Journal};
@@ -43,6 +44,14 @@ pub struct SchedulerConfig {
     pub thread_budget: usize,
     /// Directory of per-campaign journals.
     pub journal_dir: PathBuf,
+    /// Evaluation worker processes per campaign; `0` evaluates in the
+    /// daemon's own process (the pre-isolation behaviour). Worker count
+    /// never changes results — the repo's bitwise invariance contract
+    /// extends to process-isolated execution.
+    pub workers: usize,
+    /// Binary spawned as `<program> worker …`; `None` uses
+    /// `std::env::current_exe()` (the daemon re-executing itself).
+    pub worker_program: Option<PathBuf>,
 }
 
 impl Default for SchedulerConfig {
@@ -52,6 +61,8 @@ impl Default for SchedulerConfig {
             max_active: 4,
             thread_budget: 1,
             journal_dir: PathBuf::from("journals"),
+            workers: 0,
+            worker_program: None,
         }
     }
 }
@@ -263,6 +274,13 @@ impl Scheduler {
             )));
         }
 
+        // Admission is one critical section: the drain flag, the
+        // queue-capacity check, the duplicate-id check, and the
+        // registry/queue insertion all happen under a single `inner`
+        // lock, and runners publish terminal statuses under that same
+        // lock — so two racing clients can never both pass the capacity
+        // check for one slot, and a resubmitted id is admitted only once
+        // its previous run has fully left the active set.
         let mut inner = self.inner.lock().unwrap();
         if inner.draining {
             return Err(SubmitError::Draining);
@@ -410,15 +428,24 @@ impl Scheduler {
                 }
             };
 
-            self.run_one(&job);
+            let (result, status) = self.run_one(&job);
 
             {
+                // Publish the terminal status and leave the active set in
+                // ONE `inner` critical section. Admission reads both under
+                // the same lock, so there is no window where a racing
+                // `submit` of the same id sees a terminal status (and
+                // admits a resume) while this record still occupies an
+                // active slot — the check-then-act race that could put two
+                // writers on one journal.
                 let mut inner = self.inner.lock().unwrap();
-                inner.active.retain(|j| !Arc::ptr_eq(j, &job));
-                if let Some(Ok(outcome)) = job.outcome().as_ref() {
+                if let Ok(outcome) = &result {
                     inner.finished_eval.merge(&outcome.stats);
                     inner.finished_health.merge(&outcome.health);
                 }
+                *job.outcome.lock().unwrap() = Some(result);
+                job.set_status(status);
+                inner.active.retain(|j| !Arc::ptr_eq(j, &job));
                 Scheduler::rebalance(&inner, self.cfg.thread_budget);
             }
             self.done_cv.notify_all();
@@ -426,8 +453,13 @@ impl Scheduler {
     }
 
     /// Runs one campaign end to end: open-or-resume the journal, build
-    /// the problem, search, checkpoint, classify the ending.
-    fn run_one(&self, job: &Arc<CampaignRecord>) {
+    /// the problem, search, checkpoint, classify the ending. The caller
+    /// (the runner loop) publishes the returned outcome and status
+    /// atomically with the active-set removal.
+    fn run_one(
+        &self,
+        job: &Arc<CampaignRecord>,
+    ) -> (Result<CampaignOutcome, String>, CampaignStatus) {
         job.set_status(CampaignStatus::Running);
         let result = self.run_inner(job);
         let cancelled = job.cancel.is_cancelled();
@@ -452,8 +484,7 @@ impl Scheduler {
         } else {
             logging::info(format!("campaign {}: {}", job.id, status.label()));
         }
-        *job.outcome.lock().unwrap() = Some(result);
-        job.set_status(status);
+        (result, status)
     }
 
     fn run_inner(&self, job: &Arc<CampaignRecord>) -> Result<CampaignOutcome, String> {
@@ -477,10 +508,31 @@ impl Scheduler {
         };
 
         let spec = job.spec();
-        let problem = build_problem(&spec.bench, &spec.corners)?
+        let mut problem = build_problem(&spec.bench, &spec.corners)?
             .with_journal(journal)
             .with_cancel_token(job.cancel.clone())
             .with_thread_share(Arc::clone(&job.share));
+
+        // Process isolation: route every evaluation attempt through a
+        // supervised pool of `asdex worker` children. The pool's fallback
+        // evaluator is the problem's own, so even a pool that loses every
+        // worker degrades to in-process execution with an identical
+        // outcome.
+        let pool = if self.cfg.workers > 0 {
+            let program = match &self.cfg.worker_program {
+                Some(program) => program.clone(),
+                None => std::env::current_exe()
+                    .map_err(|e| format!("cannot locate the worker binary: {e}"))?,
+            };
+            let pool_cfg =
+                WorkerPoolConfig::new(program, &spec.bench, &spec.corners, self.cfg.workers);
+            let pool =
+                WorkerPool::for_problem(pool_cfg, &problem, Arc::clone(&self.metrics.workers));
+            problem = problem.with_dispatcher(pool.clone());
+            Some(pool)
+        } else {
+            None
+        };
 
         let sink_job = Arc::clone(job);
         let progress = ProgressHandle::new(Arc::new(move |event: &ProgressEvent| {
@@ -490,6 +542,10 @@ impl Scheduler {
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_campaign(&problem, &spec, Some(progress))
         }));
+
+        if let Some(pool) = pool {
+            pool.shutdown();
+        }
 
         // Checkpoint whatever the journal holds — on success, on error,
         // and especially on drain — before classifying the result.
@@ -635,6 +691,66 @@ mod tests {
             let status = scheduler.get(id).unwrap().status();
             assert!(status.is_terminal(), "{id} left non-terminal after drain: {status:?}");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn racing_resubmits_of_one_id_conserve_campaigns() {
+        let dir = temp_dir("race");
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                max_active: 2,
+                queue_capacity: 4,
+                journal_dir: dir.clone(),
+                ..SchedulerConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        // Four clients hammer the same id. Each accepted submission is a
+        // resume of the previous run's journal; the scheduler must
+        // serialize them (Conflict while in flight) and never lose or
+        // double-count one.
+        let mut accepted = 0usize;
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let scheduler = &scheduler;
+                handles.push(s.spawn(move || {
+                    let mut ok = 0usize;
+                    for _ in 0..12 {
+                        match scheduler.submit(Some("hot".into()), quick_spec(3)) {
+                            Ok(id) => {
+                                ok += 1;
+                                assert!(scheduler.wait(&id, Duration::from_secs(60)));
+                            }
+                            Err(SubmitError::Conflict(_)) | Err(SubmitError::QueueFull) => {
+                                std::thread::yield_now();
+                            }
+                            Err(e) => panic!("unexpected admission error: {e}"),
+                        }
+                    }
+                    ok
+                }));
+            }
+            for handle in handles {
+                accepted += handle.join().unwrap();
+            }
+        });
+        assert!(accepted >= 1, "at least one submission must win");
+        // Conservation law at quiescence: every accepted campaign reached
+        // exactly one terminal state. A double-admitted id (the old
+        // check-then-act race) breaks this by running two records for one
+        // submission window.
+        let submitted = metrics.campaigns_submitted.load(Ordering::Relaxed) as usize;
+        let terminal = (metrics.campaigns_completed.load(Ordering::Relaxed)
+            + metrics.campaigns_interrupted.load(Ordering::Relaxed)
+            + metrics.campaigns_failed.load(Ordering::Relaxed)) as usize;
+        assert_eq!(submitted, accepted);
+        assert_eq!(terminal, accepted, "every accepted campaign ends exactly once");
+        assert_eq!(scheduler.get("hot").unwrap().status(), CampaignStatus::Completed);
+        scheduler.drain();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

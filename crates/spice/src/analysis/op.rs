@@ -49,6 +49,16 @@ impl SolveBudget {
             max_wall: self.max_wall.map(|d| d.saturating_mul(1 + attempt as u32)),
         }
     }
+
+    /// The wall-clock allowance a *supervisor* should grant one
+    /// out-of-process solve at retry rung `attempt` — the same escalation
+    /// the in-process `SolveMeter` watchdog applies, so a worker-pool
+    /// deadline and the in-process deadline agree rung for rung. `None`
+    /// when the budget is iteration-only (no wall deadline).
+    #[must_use]
+    pub fn wall_allowance(self, attempt: usize) -> Option<std::time::Duration> {
+        self.escalated(attempt).max_wall
+    }
 }
 
 /// Running meter for a [`SolveBudget`]: shared across the continuation
@@ -523,6 +533,9 @@ mod tests {
         };
         assert_eq!(timed.escalated(0).max_newton_iters_total, usize::MAX, "saturates");
         assert_eq!(timed.escalated(3).max_wall, Some(std::time::Duration::from_secs(4)));
+        // The supervisor-facing allowance is the escalated wall deadline.
+        assert_eq!(timed.wall_allowance(3), Some(std::time::Duration::from_secs(4)));
+        assert_eq!(b.wall_allowance(3), None, "iteration-only budgets have no wall allowance");
     }
 
     #[test]

@@ -6,8 +6,9 @@
 //! asdex size --resume <path>
 //! asdex probe <opamp45|opamp22|ldo|ico|bowl<dim>> [--samples N] [--json]
 //! asdex sim <deck.cir>
-//! asdex serve [--addr host:port] [--journal-dir dir] [--threads N]
+//! asdex serve [--addr host:port] [--journal-dir dir] [--threads N] [--workers N]
 //! asdex loadgen [--addr host:port] [--n N] [--out csv]
+//! asdex worker --bench name [--corners set]   (internal: pool child process)
 //! ```
 //!
 //! `size` runs a search agent on a built-in benchmark and prints the sized
@@ -44,23 +45,31 @@ asdex — analog sizing design-space explorer
 USAGE:
     asdex size  <opamp45|opamp22|ldo|ico|bowl<dim>> [--agent trm|bo|random]
                 [--budget N] [--seed N] [--corners nominal|signoff5]
-                [--threads N] [--journal path] [--checkpoint-every N]
-                [--json] [--quiet]
+                [--threads N] [--workers N] [--journal path]
+                [--checkpoint-every N] [--json] [--quiet]
     asdex size  --resume <path> [--threads N] [--checkpoint-every N]
     asdex probe <opamp45|opamp22|ldo|ico|bowl<dim>> [--samples N]
                 [--threads N] [--json]
     asdex sim   <deck.cir>
     asdex serve [--addr host:port] [--journal-dir dir] [--threads N]
-                [--queue N] [--max-active N] [--log-level quiet|info|debug]
-                [--quiet]
+                [--workers N] [--queue N] [--max-active N]
+                [--log-level quiet|info|debug] [--quiet]
     asdex loadgen [--addr host:port] [--n N] [--concurrency N]
                   [--bench name] [--agent name] [--budget N]
-                  [--corners set] [--out csv] [--timeout-secs N] [--quiet]
+                  [--corners set] [--out csv] [--timeout-secs N]
+                  [--retries N] [--quiet]
 
 `--threads N` sets the batch-evaluation worker count (default: the
 ASDEX_THREADS environment variable, else serial); for `serve` it is the
 global budget shared fairly across concurrent campaigns. The thread
 count changes wall-clock only, never results.
+
+`--workers N` runs every evaluation attempt in one of N sandboxed
+`asdex worker` child processes (default 0: in-process). A worker crash,
+hang, or kill is absorbed by the supervisor as a typed evaluation
+failure — restarted with backoff, re-dispatched, or quarantined — and
+never takes down the daemon. Results are bitwise identical at any
+worker count, including 0.
 
 `--journal path` records every evaluation to an append-only journal
 (fsync'd every --checkpoint-every records, default 25, and on Ctrl-C).
@@ -135,6 +144,7 @@ fn main() -> ExitCode {
         Some("sim") => cmd_sim(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadgen") => cmd_loadgen(&args[1..]),
+        Some("worker") => cmd_worker(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             Ok(())
@@ -182,6 +192,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--bench",
     "--out",
     "--timeout-secs",
+    "--workers",
+    "--fault-rate",
+    "--fault-seed",
+    "--fault-mode",
+    "--retries",
 ];
 
 /// Whether a bare flag (no value) is present.
@@ -269,6 +284,7 @@ fn install_interrupt_watcher(journal: Arc<Mutex<Journal>>) {
 fn cmd_size(args: &[String]) -> Result<(), CliError> {
     let checkpoint_every = parse_flag(args, "--checkpoint-every", 25usize)?;
     let threads = parse_flag(args, "--threads", 0usize)?;
+    let workers = parse_flag(args, "--workers", 0usize)?;
     let json_output = has_flag(args, "--json");
 
     // Either restore the campaign identity from a journal, or read it from
@@ -314,6 +330,22 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
         }
     }
 
+    // Process isolation: same supervised pool the daemon uses, with the
+    // CLI binary re-executing itself as the workers.
+    let pool = if workers > 0 {
+        let program = std::env::current_exe()
+            .map_err(|e| CliError::Runtime(format!("cannot locate the worker binary: {e}")))?;
+        let pool = asdex::serve::WorkerPool::for_problem(
+            asdex::serve::WorkerPoolConfig::new(program, &spec.bench, &spec.corners, workers),
+            &problem,
+            Arc::new(asdex::serve::WorkerStats::new()),
+        );
+        problem = problem.with_dispatcher(pool.clone());
+        Some(pool)
+    } else {
+        None
+    };
+
     if !json_output {
         println!(
             "{} — {} parameters, |D| ≈ 10^{:.1}, {} corner(s), budget {}",
@@ -325,7 +357,11 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
         );
     }
 
-    let outcome = asdex::serve::run_campaign(&problem, &spec, None).map_err(|e| {
+    let outcome = asdex::serve::run_campaign(&problem, &spec, None);
+    if let Some(pool) = pool {
+        pool.shutdown();
+    }
+    let outcome = outcome.map_err(|e| {
         if e.starts_with("unknown agent") {
             CliError::Usage(e)
         } else {
@@ -471,6 +507,8 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             thread_budget: parse_flag(args, "--threads", 1usize)?.max(1),
             journal_dir: Path::new(flag_value(args, "--journal-dir")?.unwrap_or("journals"))
                 .to_path_buf(),
+            workers: parse_flag(args, "--workers", 0usize)?,
+            worker_program: None,
         },
     };
     let drain = DrainHandle::new();
@@ -514,6 +552,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
         budget: parse_flag(args, "--budget", 400usize)?,
         corners: flag_value(args, "--corners")?.unwrap_or("nominal").to_string(),
         timeout: std::time::Duration::from_secs(parse_flag(args, "--timeout-secs", 300u64)?),
+        retries: parse_flag(args, "--retries", 4u32)?,
     };
     let out = Path::new(
         flag_value(args, "--out")?.unwrap_or("bench_results/serve_throughput.csv"),
@@ -546,6 +585,32 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
         )));
     }
     Ok(())
+}
+
+/// The sandboxed evaluation worker the pool spawns (`asdex worker …`).
+/// Stdout is the frame channel, so this command prints nothing there; it
+/// serves attempts until its supervisor closes the pipe. Not meant for
+/// interactive use.
+fn cmd_worker(args: &[String]) -> Result<(), CliError> {
+    let bench = flag_value(args, "--bench")?
+        .ok_or_else(|| CliError::Usage("worker needs --bench".to_string()))?
+        .to_string();
+    let corners = flag_value(args, "--corners")?.unwrap_or("nominal").to_string();
+    let rate = parse_flag(args, "--fault-rate", 0.0f64)?;
+    let fault = if rate > 0.0 {
+        let seed = parse_flag(args, "--fault-seed", 0u64)?;
+        let mode = match flag_value(args, "--fault-mode")? {
+            Some(label) => Some(asdex::env::FaultMode::from_label(label).ok_or_else(|| {
+                CliError::Usage(format!("unknown fault mode {label:?}"))
+            })?),
+            None => None,
+        };
+        Some((rate, seed, mode))
+    } else {
+        None
+    };
+    let cfg = asdex::serve::WorkerConfig { bench, corners, fault };
+    asdex::serve::run_worker(&cfg).map_err(CliError::Runtime)
 }
 
 fn cmd_sim(args: &[String]) -> Result<(), CliError> {

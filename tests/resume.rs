@@ -206,3 +206,99 @@ fn resume_equivalence_survives_injected_worker_panics() {
         }
     }
 }
+
+/// Every possible byte-level tear of the journal's *final* record — the
+/// exact state a `SIGKILL` mid-`write(2)` leaves behind — must resume by
+/// dropping that one record and nothing else, and must physically repair
+/// the file to the last intact line.
+#[test]
+fn every_partial_final_record_resumes_by_dropping_exactly_that_record() {
+    let budget = SearchBudget::new(200);
+    let mut agent = RandomSearch::new();
+    let plain = agent.search(&bowl(1), budget, 1);
+
+    let path = journal_path("partial-final");
+    let journal = Journal::create(&path, JournalMeta::new(), 5).expect("journal create");
+    let _ = agent.search(&bowl(1).with_journal(journal), budget, 1);
+    let bytes = std::fs::read(&path).expect("journal readable");
+    let text = String::from_utf8(bytes.clone()).expect("journal is UTF-8");
+    let total_records = text.lines().count() - 2; // header + meta
+    let last_line_start = text[..text.len() - 1].rfind('\n').expect("multi-line journal") + 1;
+
+    let repaired = journal_path("partial-final-cut");
+    for cut in last_line_start..bytes.len() {
+        std::fs::write(&repaired, &bytes[..cut]).expect("tear writes");
+        let journal = Journal::resume(&repaired, 5)
+            .unwrap_or_else(|e| panic!("cut at byte {cut} failed to resume: {e}"));
+        assert_eq!(
+            journal.recorded(),
+            total_records - 1,
+            "cut at byte {cut}: a torn final record must be dropped, no more, no less"
+        );
+        drop(journal);
+        // The repair is physical: the file is truncated to the last
+        // intact line, so a *second* resume sees a clean journal.
+        let after = std::fs::read(&repaired).expect("repaired journal readable");
+        assert_eq!(
+            after,
+            &bytes[..last_line_start],
+            "cut at byte {cut}: file not truncated to the last intact record"
+        );
+    }
+
+    // Spot-check full search equivalence at three representative tears:
+    // one byte into the record, mid-record, and one byte short of intact.
+    for cut in [last_line_start + 1, (last_line_start + bytes.len()) / 2, bytes.len() - 1] {
+        std::fs::write(&repaired, &bytes[..cut]).expect("tear writes");
+        let journal = Journal::resume(&repaired, 5).expect("torn journal resumes");
+        let resumed = agent.search(&bowl(1).with_journal(journal), budget, 1);
+        assert_eq!(resumed, plain, "cut at byte {cut}: resumed outcome diverged");
+    }
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&repaired);
+}
+
+/// Interior corruption — a torn line *followed by* complete records, the
+/// signature of two writers interleaving on one journal file — is not a
+/// crash tail and must be refused with a typed format error naming the
+/// line, never silently repaired.
+#[test]
+fn interior_torn_line_is_a_typed_format_error_not_a_silent_repair() {
+    let budget = SearchBudget::new(200);
+    let mut agent = RandomSearch::new();
+    let path = journal_path("interior-torn");
+    let journal = Journal::create(&path, JournalMeta::new(), 5).expect("journal create");
+    let _ = agent.search(&bowl(1).with_journal(journal), budget, 1);
+    let text = std::fs::read_to_string(&path).expect("journal readable");
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 6, "need several records to corrupt an interior one");
+
+    // Case 1: an interior record cut in half, later records intact.
+    let victim = lines.len() / 2;
+    let mutant = journal_path("interior-torn-half");
+    let mut doctored: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    doctored[victim] = doctored[victim][..doctored[victim].len() / 2].to_string();
+    std::fs::write(&mutant, doctored.join("\n") + "\n").expect("mutant writes");
+    match Journal::resume(&mutant, 5) {
+        Err(asdex::env::JournalError::Format { line, .. }) => {
+            assert_eq!(line, victim + 1, "error must name the corrupt line");
+        }
+        other => panic!("interior tear must be a Format error, got {other:?}"),
+    }
+
+    // Case 2: two records fused onto one line (a lost newline between
+    // interleaved writers).
+    let mut fused: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    let tail = fused.remove(victim + 1);
+    fused[victim].push_str(&tail);
+    std::fs::write(&mutant, fused.join("\n") + "\n").expect("mutant writes");
+    match Journal::resume(&mutant, 5) {
+        Err(asdex::env::JournalError::Format { line, .. }) => {
+            assert_eq!(line, victim + 1, "error must name the fused line");
+        }
+        other => panic!("fused records must be a Format error, got {other:?}"),
+    }
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&mutant);
+}
