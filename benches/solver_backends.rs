@@ -1,0 +1,168 @@
+//! Measures the linear-solver backends against each other: blocked dense
+//! (factor in place) versus sparse LU with symbolic reuse, on the
+//! two-stage opamp deck, the LDO at its human reference sizing, and a
+//! generated resistor/diode ladder large enough (> 200 nodes) that
+//! `auto` resolves sparse.
+//!
+//! Each row times the steady state of a sizing campaign: a warm
+//! `SolverWorkspace` whose sparse symbolic factorization was computed
+//! once, repeatedly re-running the full Newton operating point. The
+//! per-iteration cost — one assembly, one factorization, one
+//! triangular solve — is what the backends differ on, so the CSV
+//! reports it per Newton iteration alongside the structural fill-in
+//! from [`solver_report`]. Backends must agree on the solution within
+//! tolerance; on the ladder the sparse backend must be at least 5x
+//! faster per factor+solve than dense. Results land in
+//! `bench_results/solver_backends.csv`.
+//!
+//! Run with `cargo bench --bench solver_backends`.
+
+use asdex::env::circuits::ldo::Ldo;
+use asdex::env::PvtCorner;
+use asdex::spice::analysis::{solver_report, Engine, OpOptions, SolverChoice, SolverWorkspace};
+use asdex::spice::devices::DiodeModel;
+use asdex::spice::parser::parse_netlist;
+use asdex::spice::Circuit;
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const ROUNDS: usize = 20;
+
+/// A resistive ladder with shunt diodes every 8 stages — the same shape
+/// the backend cross-check tests pin: ≤ 4 structural entries per row,
+/// nonlinear enough that the operating point is a real Newton loop.
+fn ladder(stages: usize) -> Circuit {
+    let mut ckt = Circuit::new();
+    ckt.add_diode_model("dladder", DiodeModel::default());
+    let top = ckt.node("n0");
+    ckt.add_vsource("Vs", top, Circuit::GROUND, 3.0).unwrap();
+    let mut prev = top;
+    for k in 1..=stages {
+        let n = ckt.node(&format!("n{k}"));
+        ckt.add_resistor(&format!("Rs{k}"), prev, n, 50.0).unwrap();
+        ckt.add_resistor(&format!("Rg{k}"), n, Circuit::GROUND, 2.0e3).unwrap();
+        if k % 8 == 0 {
+            ckt.add_diode(&format!("D{k}"), n, Circuit::GROUND, "dladder", 1.0).unwrap();
+        }
+        prev = n;
+    }
+    ckt
+}
+
+struct Row {
+    circuit: &'static str,
+    backend: &'static str,
+    dim: usize,
+    pattern_nnz: usize,
+    lu_nnz: usize,
+    newton_iters: usize,
+    factor_solve_us: f64,
+}
+
+/// Times `ROUNDS` full operating points on a warm workspace and returns
+/// the per-Newton-iteration cost plus the solution for cross-checking.
+fn time_backend(engine: &Engine, choice: SolverChoice) -> (f64, usize, Vec<f64>) {
+    let opts = OpOptions::default();
+    let mut ws = SolverWorkspace::with_choice(choice);
+    // Warm-up: allocates the buffers and, for sparse, computes the one
+    // symbolic factorization every later solve replays.
+    let warm = engine.operating_point_with(&opts, None, &mut ws).expect("op converges");
+    let iters = warm.iterations;
+    let t0 = Instant::now();
+    for _ in 0..ROUNDS {
+        let op = engine.operating_point_with(&opts, None, &mut ws).expect("op converges");
+        assert_eq!(op.iterations, iters, "iteration count must be deterministic");
+    }
+    let per_iter_us = t0.elapsed().as_secs_f64() * 1e6 / (ROUNDS * iters) as f64;
+    (per_iter_us, iters, warm.unknowns().to_vec())
+}
+
+fn main() {
+    let opamp_src =
+        std::fs::read_to_string("decks/two_stage_opamp.cir").expect("deck ships with the repo");
+    let ldo = Ldo::n6();
+    let circuits: Vec<(&'static str, Circuit)> = vec![
+        ("opamp", parse_netlist(&opamp_src).expect("opamp deck parses")),
+        (
+            "ldo",
+            ldo.netlist(&ldo.human_reference(), &PvtCorner::nominal()).expect("ldo builds"),
+        ),
+        ("ladder400", ladder(400)),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (name, ckt) in &circuits {
+        let engine = Engine::compile(ckt).expect("compiles");
+        let mut solutions: Vec<Vec<f64>> = Vec::new();
+        let mut per_backend_us = Vec::new();
+        for choice in [SolverChoice::Dense, SolverChoice::Sparse] {
+            let report = solver_report(ckt, choice).expect("report builds");
+            let (us, iters, x) = time_backend(&engine, choice);
+            solutions.push(x);
+            per_backend_us.push(us);
+            rows.push(Row {
+                circuit: name,
+                backend: report.backend,
+                dim: report.dim,
+                pattern_nnz: report.pattern_nnz,
+                lu_nnz: report.lu_nnz,
+                newton_iters: iters,
+                factor_solve_us: us,
+            });
+        }
+        // The backends must land on the same operating point (within
+        // solver tolerance — the contract is per-backend bitwise, not
+        // cross-backend).
+        for (i, (&d, &s)) in solutions[0].iter().zip(&solutions[1]).enumerate() {
+            let scale = d.abs().max(s.abs()).max(1.0);
+            assert!(
+                (d - s).abs() <= 1e-6 * scale,
+                "{name}[{i}]: dense {d} vs sparse {s} disagree"
+            );
+        }
+        if *name == "ladder400" {
+            let speedup = per_backend_us[0] / per_backend_us[1];
+            assert!(
+                speedup >= 5.0,
+                "sparse must be ≥5x faster than dense on the ladder, got {speedup:.2}x"
+            );
+        }
+    }
+
+    let path = PathBuf::from("bench_results/solver_backends.csv");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("bench_results dir");
+    let mut file = std::fs::File::create(&path).expect("csv creates");
+    writeln!(
+        file,
+        "circuit,backend,dim,pattern_nnz,lu_nnz,newton_iters,factor_solve_us,speedup_vs_dense"
+    )
+    .unwrap();
+    for row in &rows {
+        let dense_us = rows
+            .iter()
+            .find(|r| r.circuit == row.circuit && r.backend == "dense")
+            .expect("dense row exists")
+            .factor_solve_us;
+        let speedup = dense_us / row.factor_solve_us;
+        println!(
+            "{:<10} {:<6} dim {:>4}  nnz {:>5} → lu {:>6}  {:>9.2} µs/iter   {:>6.2}x vs dense",
+            row.circuit, row.backend, row.dim, row.pattern_nnz, row.lu_nnz, row.factor_solve_us,
+            speedup,
+        );
+        writeln!(
+            file,
+            "{},{},{},{},{},{},{:.3},{:.2}",
+            row.circuit,
+            row.backend,
+            row.dim,
+            row.pattern_nnz,
+            row.lu_nnz,
+            row.newton_iters,
+            row.factor_solve_us,
+            speedup,
+        )
+        .unwrap();
+    }
+    println!("wrote {}", path.display());
+}

@@ -354,6 +354,11 @@ impl Evaluator for LdoEvaluator {
         }
         result
     }
+
+    fn set_solver(&self, choice: asdex_spice::analysis::SolverChoice) {
+        self.pool.set_choice(choice);
+        self.cache.clear();
+    }
 }
 
 #[cfg(test)]

@@ -327,6 +327,11 @@ impl Evaluator for OpampEvaluator {
         }
         result
     }
+
+    fn set_solver(&self, choice: asdex_spice::analysis::SolverChoice) {
+        self.pool.set_choice(choice);
+        self.cache.clear();
+    }
 }
 
 #[cfg(test)]

@@ -27,7 +27,7 @@
 
 use crate::corner::PvtCorner;
 use crate::robust::EvalEffort;
-use asdex_spice::analysis::{Engine, SolverWorkspace};
+use asdex_spice::analysis::{Engine, SolverChoice, SolverWorkspace};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -40,17 +40,28 @@ pub(crate) struct EngineSlot {
     pub ws: SolverWorkspace,
 }
 
-/// A lock-guarded stack of [`EngineSlot`]s.
+/// A lock-guarded stack of [`EngineSlot`]s, all carrying the pool's
+/// pinned solver-backend choice.
 #[derive(Default)]
 pub(crate) struct EnginePool {
     slots: Mutex<Vec<EngineSlot>>,
+    /// `None` defers to the `ASDEX_SOLVER` environment default at slot
+    /// creation; `Some` pins every slot to an explicit choice.
+    choice: Mutex<Option<SolverChoice>>,
 }
 
 impl EnginePool {
     /// Takes a slot, creating a fresh one when the pool is empty (or its
     /// lock was poisoned — evaluation must stay panic-free either way).
     pub fn take(&self) -> EngineSlot {
-        self.slots.lock().ok().and_then(|mut p| p.pop()).unwrap_or_default()
+        if let Some(slot) = self.slots.lock().ok().and_then(|mut p| p.pop()) {
+            return slot;
+        }
+        let ws = match self.choice.lock().ok().and_then(|c| *c) {
+            Some(choice) => SolverWorkspace::with_choice(choice),
+            None => SolverWorkspace::new(),
+        };
+        EngineSlot { engine: None, ws }
     }
 
     /// Returns a slot for reuse. Dropping it on lock poisoning is safe:
@@ -58,6 +69,19 @@ impl EnginePool {
     pub fn put(&self, slot: EngineSlot) {
         if let Ok(mut p) = self.slots.lock() {
             p.push(slot);
+        }
+    }
+
+    /// Pins the solver backend for every future slot and drops the
+    /// existing ones (their workspaces carry the old backend). Callers
+    /// must also clear any result cache keyed without the solver choice:
+    /// backends agree only within solver tolerance, not bitwise.
+    pub fn set_choice(&self, choice: SolverChoice) {
+        if let Ok(mut c) = self.choice.lock() {
+            *c = Some(choice);
+        }
+        if let Ok(mut p) = self.slots.lock() {
+            p.clear();
         }
     }
 }
@@ -103,6 +127,15 @@ impl SimCache {
                 map.clear();
             }
             map.insert(key, meas);
+        }
+    }
+
+    /// Drops every memoized result — required when the solver backend
+    /// changes, since the key does not encode it and backends agree only
+    /// within solver tolerance.
+    pub fn clear(&self) {
+        if let Ok(mut map) = self.map.lock() {
+            map.clear();
         }
     }
 }

@@ -62,6 +62,16 @@ pub trait Evaluator: Send + Sync {
         let _ = effort;
         self.evaluate(x, corner)
     }
+
+    /// Pins the linear-solver backend for every future evaluation (see
+    /// [`asdex_spice::analysis::SolverChoice`]). The default is a no-op —
+    /// analytic evaluators solve no linear systems — so only MNA-backed
+    /// implementations need to override this. Implementations must drop
+    /// any memoized results keyed without the choice: backends agree only
+    /// within solver tolerance, not bitwise.
+    fn set_solver(&self, choice: asdex_spice::analysis::SolverChoice) {
+        let _ = choice;
+    }
 }
 
 /// Outcome of evaluating one design point at one corner.
@@ -202,6 +212,17 @@ impl SizingProblem {
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Pins the linear-solver backend on the problem's evaluator (builder
+    /// style); see [`Evaluator::set_solver`]. Backend choice is part of a
+    /// campaign's identity — each backend is individually deterministic,
+    /// but they agree only within solver tolerance — so resumable
+    /// campaigns record it and re-apply the same choice on resume.
+    #[must_use]
+    pub fn with_solver(self, choice: asdex_spice::analysis::SolverChoice) -> Self {
+        self.evaluator.set_solver(choice);
         self
     }
 

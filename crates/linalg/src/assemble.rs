@@ -1,0 +1,56 @@
+//! The assembly abstraction MNA stamps target.
+//!
+//! Device stamp loops accumulate conductances into a square system one
+//! `(row, col, value)` contribution at a time. [`Assembler`] abstracts
+//! the destination so the same stamping code can fill either a dense
+//! [`Matrix`] (small circuits) or a [`crate::SparseAssembler`]
+//! pattern-and-value store (large circuits), without the engine knowing
+//! which backend will factor the system.
+
+use crate::{Matrix, Scalar};
+
+/// Sink for MNA stamp contributions.
+///
+/// A stamping pass starts with [`Assembler::reset`] (zero the values,
+/// keep any learned structure) and then calls [`Assembler::add`] once
+/// per contribution; positions may repeat and accumulate.
+pub trait Assembler<S: Scalar> {
+    /// Zeroes every value in place, keeping allocations and (for sparse
+    /// assemblers) the nonzero pattern.
+    fn reset(&mut self);
+
+    /// Adds `value` at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the position is out of range for the assembled system.
+    fn add(&mut self, row: usize, col: usize, value: S);
+}
+
+impl<S: Scalar> Assembler<S> for Matrix<S> {
+    fn reset(&mut self) {
+        self.fill_zero();
+    }
+
+    #[inline]
+    fn add(&mut self, row: usize, col: usize, value: S) {
+        self.add_at(row, col, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_implements_assembler() {
+        let mut m = Matrix::<f64>::zeros(2, 2);
+        let a: &mut dyn Assembler<f64> = &mut m;
+        a.add(0, 1, 2.0);
+        a.add(0, 1, 3.0);
+        assert_eq!(m[(0, 1)], 5.0);
+        let a: &mut dyn Assembler<f64> = &mut m;
+        a.reset();
+        assert_eq!(m[(0, 1)], 0.0);
+    }
+}

@@ -1,4 +1,4 @@
-//! Dense real and complex linear algebra for circuit simulation.
+//! Real and complex linear algebra for circuit simulation.
 //!
 //! `asdex-linalg` provides exactly the numerical kernels the rest of the
 //! ASDEX workspace needs, with no external BLAS/LAPACK dependency:
@@ -6,12 +6,19 @@
 //! * [`Complex`] — complex arithmetic for small-signal (AC) analysis,
 //! * [`Matrix`] — a dense, row-major matrix generic over [`Scalar`]
 //!   (`f64` or [`Complex`]),
-//! * [`Lu`] — LU decomposition with partial pivoting, the workhorse behind
-//!   every Newton iteration and AC frequency point in the simulator.
+//! * [`Lu`] — dense LU with partial pivoting, plus the in-place
+//!   [`factor_in_place`]/[`solve_factored`] kernels that let a solver
+//!   workspace factor without cloning,
+//! * [`Assembler`] — the stamping abstraction MNA assembly targets, so
+//!   the engine is agnostic to the storage being filled,
+//! * [`SparseAssembler`] / [`SparseLu`] — sparse LU whose symbolic
+//!   factorization is computed once per nonzero pattern and replayed
+//!   across Newton iterations, frequency points, and transient steps.
 //!
-//! The matrices that show up in modified nodal analysis (MNA) of analog
-//! blocks are small (tens of nodes), so a straightforward dense `O(n^3)`
-//! factorization with good pivoting is both adequate and dependable.
+//! Small MNA systems (tens of nodes) are best served by the dense
+//! `O(n^3)` factorization with full partial pivoting; larger netlists
+//! use the sparse path, which falls back to dense per-system when its
+//! static pivoting is numerically inadequate.
 //!
 //! # Example
 //!
@@ -33,14 +40,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod assemble;
 mod complex;
 mod lu;
 mod matrix;
 mod scalar;
+mod sparse;
 mod vector;
 
+pub use assemble::Assembler;
 pub use complex::Complex;
-pub use lu::{solve, Lu, SolveError};
+pub use lu::{factor_in_place, solve, solve_factored, Lu, SolveError};
 pub use matrix::Matrix;
 pub use scalar::Scalar;
+pub use sparse::{SparseAssembler, SparseLu, SparseStatus};
 pub use vector::{argmax, dot, norm_inf, norm_l2, scaled_add};

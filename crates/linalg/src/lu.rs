@@ -85,6 +85,142 @@ pub struct Lu<S: Scalar = f64> {
 /// factor correctly.
 const SCALED_PIVOT_TOL: f64 = 1e-13;
 
+/// Trailing-update row-block size for the in-place factorization. The
+/// pivot row stays hot in cache across a block while each row's update
+/// runs on a contiguous, bounds-check-free slice.
+const DENSE_BLOCK: usize = 4;
+
+/// The shared in-place factorization kernel behind [`Lu::factor`] and
+/// [`factor_in_place`]: scaled partial pivoting with a blocked trailing
+/// update. Returns the permutation sign.
+///
+/// Every trailing element receives exactly one `-= factor * u_kj` update
+/// per elimination step, so the blocking cannot change the arithmetic:
+/// results are bitwise-identical to the textbook doubly-indexed loop.
+fn factor_kernel<S: Scalar>(a: &mut Matrix<S>, perm: &mut Vec<usize>) -> Result<f64, SolveError> {
+    if a.rows() != a.cols() {
+        return Err(SolveError::NotSquare);
+    }
+    if !a.is_finite() {
+        return Err(SolveError::NonFinite);
+    }
+    let n = a.rows();
+    perm.clear();
+    perm.extend(0..n);
+    let mut perm_sign = 1.0;
+
+    // Row scales from the original matrix (implicit equilibration).
+    let mut scale = vec![0.0_f64; n];
+    for i in 0..n {
+        for j in 0..n {
+            scale[i] = scale[i].max(a[(i, j)].modulus());
+        }
+        if scale[i] == 0.0 {
+            // An all-zero row is singular outright.
+            return Err(SolveError::Singular { step: i });
+        }
+    }
+
+    for k in 0..n {
+        // Scaled partial pivot: pick the row maximizing |a_ik| / s_i.
+        let mut pivot_row = k;
+        let mut pivot_scaled = a[(k, k)].modulus() / scale[k];
+        for i in (k + 1)..n {
+            let mag = a[(i, k)].modulus() / scale[i];
+            if mag > pivot_scaled {
+                pivot_scaled = mag;
+                pivot_row = i;
+            }
+        }
+        if pivot_scaled < SCALED_PIVOT_TOL {
+            return Err(SolveError::Singular { step: k });
+        }
+        if pivot_row != k {
+            a.swap_rows(k, pivot_row);
+            perm.swap(k, pivot_row);
+            scale.swap(k, pivot_row);
+            perm_sign = -perm_sign;
+        }
+        let (_, _, data) = a.parts_mut();
+        let (upper, trailing) = data.split_at_mut((k + 1) * n);
+        let prow = &upper[k * n..];
+        let pivot = prow[k];
+        for block in trailing.chunks_mut(DENSE_BLOCK * n) {
+            for row in block.chunks_mut(n) {
+                let factor = row[k] / pivot;
+                row[k] = factor;
+                if factor == S::zero() {
+                    continue;
+                }
+                for (elem, &ukj) in row[k + 1..].iter_mut().zip(&prow[k + 1..]) {
+                    *elem -= factor * ukj;
+                }
+            }
+        }
+    }
+    Ok(perm_sign)
+}
+
+/// Factors `a` in place as `P A = L U` (combined L/U storage, unit
+/// diagonal of L implied), writing the row permutation into `perm`.
+///
+/// This is the zero-allocation path for hot loops: a Newton iteration
+/// assembles into a workspace matrix, factors it in place, and solves
+/// with [`solve_factored`] — no per-iteration clone.
+///
+/// # Errors
+///
+/// Same contract as [`Lu::factor`].
+pub fn factor_in_place<S: Scalar>(a: &mut Matrix<S>, perm: &mut Vec<usize>) -> Result<(), SolveError> {
+    factor_kernel(a, perm).map(|_| ())
+}
+
+/// Solves `A x = b` against a factorization produced by
+/// [`factor_in_place`] (or [`Lu::factor`]'s internal storage), writing
+/// the solution into `x` (cleared and refilled; capacity is reused).
+///
+/// # Errors
+///
+/// * [`SolveError::DimensionMismatch`] if `b.len()` differs from the
+///   factored dimension.
+/// * [`SolveError::NonFinite`] if the solution contains NaN/∞.
+pub fn solve_factored<S: Scalar>(
+    lu: &Matrix<S>,
+    perm: &[usize],
+    b: &[S],
+    x: &mut Vec<S>,
+) -> Result<(), SolveError> {
+    let n = lu.rows();
+    if b.len() != n {
+        return Err(SolveError::DimensionMismatch { expected: n, actual: b.len() });
+    }
+    // Apply permutation: x = P b.
+    x.clear();
+    x.extend(perm.iter().map(|&p| b[p]));
+    // Forward substitution (L has unit diagonal).
+    for i in 1..n {
+        let row = lu.row(i);
+        let mut acc = x[i];
+        for (j, xj) in x.iter().enumerate().take(i) {
+            acc -= row[j] * *xj;
+        }
+        x[i] = acc;
+    }
+    // Back substitution with U.
+    for i in (0..n).rev() {
+        let row = lu.row(i);
+        let mut acc = x[i];
+        for (j, xj) in x.iter().enumerate().skip(i + 1) {
+            acc -= row[j] * *xj;
+        }
+        x[i] = acc / row[i];
+    }
+    if x.iter().any(|v| !v.is_finite()) {
+        return Err(SolveError::NonFinite);
+    }
+    Ok(())
+}
+
 impl<S: Scalar> Lu<S> {
     /// Factors `a` as `P A = L U`, consuming the matrix. Uses scaled
     /// partial pivoting (implicit row equilibration) so badly scaled but
@@ -96,61 +232,8 @@ impl<S: Scalar> Lu<S> {
     /// * [`SolveError::Singular`] if a pivot underflows its row scale.
     /// * [`SolveError::NonFinite`] if `a` contains NaN or ∞.
     pub fn factor(mut a: Matrix<S>) -> Result<Self, SolveError> {
-        if a.rows() != a.cols() {
-            return Err(SolveError::NotSquare);
-        }
-        if !a.is_finite() {
-            return Err(SolveError::NonFinite);
-        }
-        let n = a.rows();
-        let mut perm: Vec<usize> = (0..n).collect();
-        let mut perm_sign = 1.0;
-
-        // Row scales from the original matrix (implicit equilibration).
-        let mut scale = vec![0.0_f64; n];
-        for i in 0..n {
-            for j in 0..n {
-                scale[i] = scale[i].max(a[(i, j)].modulus());
-            }
-            if scale[i] == 0.0 {
-                // An all-zero row is singular outright.
-                return Err(SolveError::Singular { step: i });
-            }
-        }
-
-        for k in 0..n {
-            // Scaled partial pivot: pick the row maximizing |a_ik| / s_i.
-            let mut pivot_row = k;
-            let mut pivot_scaled = a[(k, k)].modulus() / scale[k];
-            for i in (k + 1)..n {
-                let mag = a[(i, k)].modulus() / scale[i];
-                if mag > pivot_scaled {
-                    pivot_scaled = mag;
-                    pivot_row = i;
-                }
-            }
-            if pivot_scaled < SCALED_PIVOT_TOL {
-                return Err(SolveError::Singular { step: k });
-            }
-            if pivot_row != k {
-                a.swap_rows(k, pivot_row);
-                perm.swap(k, pivot_row);
-                scale.swap(k, pivot_row);
-                perm_sign = -perm_sign;
-            }
-            let pivot = a[(k, k)];
-            for i in (k + 1)..n {
-                let factor = a[(i, k)] / pivot;
-                a[(i, k)] = factor;
-                if factor == S::zero() {
-                    continue;
-                }
-                for j in (k + 1)..n {
-                    let akj = a[(k, j)];
-                    a[(i, j)] -= factor * akj;
-                }
-            }
-        }
+        let mut perm = Vec::new();
+        let perm_sign = factor_kernel(&mut a, &mut perm)?;
         Ok(Lu { lu: a, perm, perm_sign })
     }
 
@@ -166,31 +249,8 @@ impl<S: Scalar> Lu<S> {
     /// * [`SolveError::DimensionMismatch`] if `b.len() != self.dim()`.
     /// * [`SolveError::NonFinite`] if the solution contains NaN/∞.
     pub fn solve(&self, b: &[S]) -> Result<Vec<S>, SolveError> {
-        let n = self.dim();
-        if b.len() != n {
-            return Err(SolveError::DimensionMismatch { expected: n, actual: b.len() });
-        }
-        // Apply permutation: y = P b.
-        let mut x: Vec<S> = self.perm.iter().map(|&p| b[p]).collect();
-        // Forward substitution (L has unit diagonal).
-        for i in 1..n {
-            let mut acc = x[i];
-            for (j, xj) in x.iter().enumerate().take(i) {
-                acc -= self.lu[(i, j)] * *xj;
-            }
-            x[i] = acc;
-        }
-        // Back substitution with U.
-        for i in (0..n).rev() {
-            let mut acc = x[i];
-            for (j, xj) in x.iter().enumerate().skip(i + 1) {
-                acc -= self.lu[(i, j)] * *xj;
-            }
-            x[i] = acc / self.lu[(i, i)];
-        }
-        if x.iter().any(|v| !v.is_finite()) {
-            return Err(SolveError::NonFinite);
-        }
+        let mut x = Vec::with_capacity(self.dim());
+        solve_factored(&self.lu, &self.perm, b, &mut x)?;
         Ok(x)
     }
 
@@ -302,6 +362,49 @@ mod tests {
         for (ri, bi) in r.iter().zip(&b) {
             assert!((ri - bi).abs() < 1e-10, "residual too large");
         }
+    }
+
+    #[test]
+    fn in_place_factor_matches_owning_factor_bitwise() {
+        // A deterministic, moderately sized system with pivoting activity.
+        let n = 9;
+        let mut a = Matrix::<f64>::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = (((i * 5 + j * 11 + 3) % 13) as f64 - 6.0)
+                    + if i == j { 0.5 } else { 0.0 };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64) - 4.0).collect();
+        let via_owning = Lu::factor(a.clone()).unwrap().solve(&b).unwrap();
+        let mut work = a.clone();
+        let mut perm = Vec::new();
+        factor_in_place(&mut work, &mut perm).unwrap();
+        let mut x = Vec::new();
+        solve_factored(&work, &perm, &b, &mut x).unwrap();
+        assert_eq!(x, via_owning, "in-place path must be bitwise identical");
+    }
+
+    #[test]
+    fn in_place_buffers_are_reusable() {
+        let mut perm = Vec::new();
+        let mut x = Vec::new();
+        for scale in [1.0, 2.0, 4.0] {
+            let mut a = Matrix::from_rows(&[&[0.0, scale], &[scale, 0.0]]);
+            factor_in_place(&mut a, &mut perm).unwrap();
+            solve_factored(&a, &perm, &[2.0 * scale, 3.0 * scale], &mut x).unwrap();
+            assert_eq!(x, vec![3.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn in_place_factor_reports_singular() {
+        let mut a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut perm = Vec::new();
+        assert!(matches!(
+            factor_in_place(&mut a, &mut perm),
+            Err(SolveError::Singular { .. })
+        ));
     }
 
     #[test]

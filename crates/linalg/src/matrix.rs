@@ -89,6 +89,25 @@ impl<S: Scalar> Matrix<S> {
         self.data.fill(S::zero());
     }
 
+    /// Reshapes to `rows × cols` with every entry zero, in place.
+    ///
+    /// The backing storage is grow-only: shrinking the logical dimensions
+    /// keeps the high-water-mark allocation, so a workspace cycling
+    /// between circuits of different sizes stops allocating once it has
+    /// seen the largest one.
+    pub fn resize_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, S::zero());
+    }
+
+    /// Capacity of the backing storage in elements — the allocation
+    /// high-water mark, used to verify grow-only buffer reuse.
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
     /// Returns the entry at `(row, col)` or `None` when out of range.
     #[inline]
     pub fn get(&self, row: usize, col: usize) -> Option<&S> {
@@ -170,6 +189,12 @@ impl<S: Scalar> Matrix<S> {
     /// `true` when every entry is finite.
     pub fn is_finite(&self) -> bool {
         self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Dimensions plus the row-major backing slice, for in-crate kernels
+    /// that need bounds-check-free row windows.
+    pub(crate) fn parts_mut(&mut self) -> (usize, usize, &mut [S]) {
+        (self.rows, self.cols, &mut self.data)
     }
 
     /// Swaps two rows in place.
@@ -293,6 +318,20 @@ mod tests {
         assert_eq!(m.row(0), &[3.0, 4.0]);
         m.swap_rows(1, 1);
         assert_eq!(m.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn resize_zeroed_is_grow_only() {
+        let mut m = Matrix::<f64>::zeros(4, 4);
+        m[(3, 3)] = 7.0;
+        let cap = m.capacity();
+        m.resize_zeroed(2, 2);
+        assert_eq!((m.rows(), m.cols()), (2, 2));
+        assert_eq!(m.capacity(), cap, "shrinking keeps the allocation");
+        assert_eq!(m[(1, 1)], 0.0);
+        m.resize_zeroed(4, 4);
+        assert_eq!(m.capacity(), cap, "regrowing within capacity is free");
+        assert_eq!(m[(3, 3)], 0.0, "stale entries are zeroed");
     }
 
     #[test]

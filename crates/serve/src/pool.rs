@@ -72,6 +72,10 @@ pub struct WorkerPoolConfig {
     pub bench: String,
     /// Corner-set name, forwarded and validated likewise.
     pub corners: String,
+    /// Linear-solver backend label (`auto`, `dense`, `sparse`), forwarded
+    /// as `--solver` so child workers factor with the same backend the
+    /// in-process fallback evaluator would.
+    pub solver: String,
     /// Worker processes in the pool.
     pub workers: usize,
     /// Restarts granted per slot before it is retired.
@@ -103,6 +107,7 @@ impl WorkerPoolConfig {
             program,
             bench: bench.to_string(),
             corners: corners.to_string(),
+            solver: "auto".to_string(),
             workers: workers.max(1),
             restart_budget: 16,
             redispatch_budget: 3,
@@ -576,6 +581,8 @@ fn spawn_worker(cfg: &WorkerPoolConfig) -> std::io::Result<WorkerProc> {
         .arg(&cfg.bench)
         .arg("--corners")
         .arg(&cfg.corners)
+        .arg("--solver")
+        .arg(&cfg.solver)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null());

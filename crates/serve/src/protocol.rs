@@ -27,6 +27,11 @@ pub struct CampaignSpec {
     pub corners: String,
     /// Journal fsync cadence.
     pub checkpoint_every: usize,
+    /// Linear-solver backend (`auto`, `dense`, `sparse`). Part of the
+    /// campaign's identity: each backend is individually deterministic,
+    /// but they agree only within solver tolerance, so a resumed campaign
+    /// must re-run on the backend that wrote the journal.
+    pub solver: String,
 }
 
 impl Default for CampaignSpec {
@@ -38,6 +43,7 @@ impl Default for CampaignSpec {
             budget: 10_000,
             corners: "nominal".to_string(),
             checkpoint_every: 25,
+            solver: "auto".to_string(),
         }
     }
 }
@@ -69,6 +75,10 @@ impl CampaignSpec {
         take_str("bench", &mut spec.bench)?;
         take_str("agent", &mut spec.agent)?;
         take_str("corners", &mut spec.corners)?;
+        take_str("solver", &mut spec.solver)?;
+        if asdex_spice::analysis::SolverChoice::from_label(&spec.solver).is_none() {
+            return Err("`solver` must be one of auto, dense, sparse".to_string());
+        }
         if let Some(v) = body.get("seed") {
             spec.seed = v.as_u64().ok_or("`seed` must be a non-negative integer")?;
         }
@@ -96,6 +106,7 @@ impl CampaignSpec {
             .with("budget", Json::Num(self.budget as f64))
             .with("corners", Json::Str(self.corners.clone()))
             .with("checkpoint_every", Json::Num(self.checkpoint_every as f64))
+            .with("solver", Json::Str(self.solver.clone()))
     }
 
     /// The spec as journal metadata — the same keys the CLI writes, so
@@ -109,6 +120,7 @@ impl CampaignSpec {
             .with("budget", &self.budget.to_string())
             .with("corners", &self.corners)
             .with("checkpoint_every", &self.checkpoint_every.to_string())
+            .with("solver", &self.solver)
     }
 
     /// Restores a spec from journal metadata.
@@ -128,6 +140,9 @@ impl CampaignSpec {
             budget: num("budget", get("budget")?)?,
             corners: get("corners")?,
             checkpoint_every: num("checkpoint_every", get("checkpoint_every")?).unwrap_or(25),
+            // Journals written before the solver field existed ran on the
+            // then-only dense-shaped auto path; auto preserves them.
+            solver: meta.get("solver").unwrap_or("auto").to_string(),
         })
     }
 }
@@ -220,6 +235,25 @@ mod tests {
         let (id, spec) = CampaignSpec::from_json(&Json::parse("{}").unwrap()).unwrap();
         assert!(id.is_none());
         assert_eq!(spec, CampaignSpec::default());
+    }
+
+    #[test]
+    fn solver_field_is_validated_and_round_trips() {
+        let (_, spec) =
+            CampaignSpec::from_json(&Json::parse(r#"{"solver":"sparse"}"#).unwrap()).unwrap();
+        assert_eq!(spec.solver, "sparse");
+        assert_eq!(CampaignSpec::from_meta(&spec.to_meta()).unwrap().solver, "sparse");
+        let bad = Json::obj().with("solver", Json::Str("qr".to_string()));
+        assert!(CampaignSpec::from_json(&bad).is_err(), "unknown solver accepted");
+        // Journals written before the field existed resume as auto.
+        let legacy = JournalMeta::new()
+            .with("bench", "bowl3")
+            .with("agent", "trm")
+            .with("seed", "1")
+            .with("budget", "100")
+            .with("corners", "nominal")
+            .with("checkpoint_every", "25");
+        assert_eq!(CampaignSpec::from_meta(&legacy).unwrap().solver, "auto");
     }
 
     #[test]

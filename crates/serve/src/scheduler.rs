@@ -508,7 +508,12 @@ impl Scheduler {
         };
 
         let spec = job.spec();
+        // The solver choice is part of the campaign identity (pinned by
+        // the journal on resume): apply it before any evaluation runs.
+        let solver = asdex_spice::analysis::SolverChoice::from_label(&spec.solver)
+            .ok_or_else(|| format!("campaign spec has unknown solver {:?}", spec.solver))?;
         let mut problem = build_problem(&spec.bench, &spec.corners)?
+            .with_solver(solver)
             .with_journal(journal)
             .with_cancel_token(job.cancel.clone())
             .with_thread_share(Arc::clone(&job.share));
@@ -524,8 +529,9 @@ impl Scheduler {
                 None => std::env::current_exe()
                     .map_err(|e| format!("cannot locate the worker binary: {e}"))?,
             };
-            let pool_cfg =
+            let mut pool_cfg =
                 WorkerPoolConfig::new(program, &spec.bench, &spec.corners, self.cfg.workers);
+            pool_cfg.solver = spec.solver.clone();
             let pool =
                 WorkerPool::for_problem(pool_cfg, &problem, Arc::clone(&self.metrics.workers));
             problem = problem.with_dispatcher(pool.clone());

@@ -257,6 +257,10 @@ pub struct WorkerConfig {
     pub bench: String,
     /// Corner-set name (`build_problem` vocabulary).
     pub corners: String,
+    /// Linear-solver backend label (`auto`, `dense`, `sparse`). Forwarded
+    /// from the campaign spec so every worker factors with the same
+    /// backend the campaign recorded.
+    pub solver: String,
     /// Deterministic fault plan for chaos testing: `(rate, seed, mode)`;
     /// `mode = None` uses the default mix. Applied by wrapping the
     /// benchmark evaluator in a [`FaultInjectingEvaluator`], exactly as an
@@ -278,7 +282,9 @@ pub fn serve_worker<R: Read, W: Write>(
     input: &mut R,
     output: &mut W,
 ) -> Result<(), String> {
-    let mut problem = crate::campaign::build_problem(&cfg.bench, &cfg.corners)?;
+    let solver = asdex_spice::analysis::SolverChoice::from_label(&cfg.solver)
+        .ok_or_else(|| format!("unknown solver backend {:?}", cfg.solver))?;
+    let mut problem = crate::campaign::build_problem(&cfg.bench, &cfg.corners)?.with_solver(solver);
     if let Some((rate, seed, mode)) = &cfg.fault {
         let fault_cfg = match mode {
             Some(m) => FaultConfig::only(*m, *rate, *seed),
@@ -409,7 +415,12 @@ mod tests {
     #[test]
     fn worker_loop_serves_attempts_over_pipes() {
         let cfg =
-            WorkerConfig { bench: "bowl2".into(), corners: "nominal".into(), fault: None };
+            WorkerConfig {
+                bench: "bowl2".into(),
+                corners: "nominal".into(),
+                solver: "auto".into(),
+                fault: None,
+            };
         // Scripted supervisor side: ping, one attempt, shutdown.
         let problem = crate::campaign::build_problem("bowl2", "nominal").unwrap();
         let x = problem.space.to_physical(&[0.5, 0.5]).unwrap();

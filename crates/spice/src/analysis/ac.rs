@@ -5,7 +5,7 @@ use super::op::{solve_op, OpOptions, OpResult};
 use super::workspace::SolverWorkspace;
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
-use asdex_linalg::{Complex, Lu};
+use asdex_linalg::Complex;
 
 /// Frequency sweep specification.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -181,15 +181,15 @@ pub fn ac_analysis_with_op_in(
     sweep: Sweep,
     ws: &mut SolverWorkspace,
 ) -> Result<AcResult, SpiceError> {
-    let dim = engine.dim();
-    ws.ensure_ac(dim);
+    ws.ensure_ac(engine);
     let freqs = ws.frequencies(sweep)?.to_vec();
     let mut solutions = Vec::with_capacity(freqs.len());
     for &f in &freqs {
         let omega = 2.0 * std::f64::consts::PI * f;
-        engine.load_ac(op.unknowns(), omega, &mut ws.y, &mut ws.zc);
-        let lu = Lu::factor(ws.y.clone())?;
-        solutions.push(lu.solve(&ws.zc)?);
+        engine.load_ac(op.unknowns(), omega, ws.complex.assembler(), &mut ws.zc);
+        // The complex backend factors in place (dense) or replays the one
+        // symbolic factorization (sparse) for every frequency point.
+        solutions.push(ws.complex.factor_solve(&ws.zc)?.to_vec());
     }
     Ok(AcResult { freqs, solutions, n_nodes: engine.n_nodes, op })
 }

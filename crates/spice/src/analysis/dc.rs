@@ -2,7 +2,8 @@
 //! independent source — transfer curves, bias scans, I–V plots.
 
 use super::engine::{Compiled, Engine};
-use super::op::{solve_op, OpOptions};
+use super::op::{solve_op_ws, OpOptions};
+use super::workspace::SolverWorkspace;
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
 
@@ -124,10 +125,14 @@ pub fn dc_sweep(
     let mut values = Vec::with_capacity(n_points);
     let mut solutions = Vec::with_capacity(n_points);
     let mut warm: Option<Vec<f64>> = None;
+    // One workspace across the whole sweep: only source values change
+    // between points, so the backend state (and the sparse symbolic
+    // factorization) carries over untouched.
+    let mut ws = SolverWorkspace::new();
     for k in 0..n_points {
         let v = start + k as f64 * step;
         engine.set_source_dc(source, v);
-        let op = solve_op(&engine, opts, warm.as_deref())?;
+        let op = solve_op_ws(&engine, opts, warm.as_deref(), &mut ws)?;
         warm = Some(op.unknowns().to_vec());
         values.push(v);
         solutions.push(op.unknowns().to_vec());

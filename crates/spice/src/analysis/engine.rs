@@ -9,7 +9,7 @@
 use crate::circuit::{AcSpec, Circuit, ElementKind, NodeId, Waveform};
 use crate::devices::{eval_diode, eval_mosfet, DiodeModel, MosGeometry, MosModel};
 use crate::error::SpiceError;
-use asdex_linalg::{Complex, Matrix};
+use asdex_linalg::{Assembler, Complex, Scalar};
 
 /// Index of a node unknown; `None` is the ground reference.
 pub(crate) type NodeIdx = Option<usize>;
@@ -368,15 +368,22 @@ impl Engine {
     /// `gmin` adds a shunt conductance from every node to ground
     /// (continuation aid); `src_scale` scales all independent sources
     /// (source stepping).
-    pub(crate) fn load_dc(&self, x: &[f64], a: &mut Matrix<f64>, z: &mut [f64], gmin: f64, src_scale: f64) {
-        a.fill_zero();
+    pub(crate) fn load_dc(
+        &self,
+        x: &[f64],
+        a: &mut dyn Assembler<f64>,
+        z: &mut [f64],
+        gmin: f64,
+        src_scale: f64,
+    ) {
+        a.reset();
         z.fill(0.0);
         let nb = self.n_nodes;
         let v = |i: NodeIdx| i.map_or(0.0, |k| x[k]);
 
         // Global gmin shunt.
         for i in 0..self.n_nodes {
-            a[(i, i)] += gmin;
+            a.add(i, i, gmin);
         }
 
         for (_, e) in &self.elems {
@@ -404,10 +411,10 @@ impl Engine {
                     let row = nb + *br;
                     stamp_branch_voltage(a, *p, *n, row);
                     if let Some(k) = cp {
-                        a[(row, *k)] -= gain;
+                        a.add(row, *k, -gain);
                     }
                     if let Some(k) = cn {
-                        a[(row, *k)] += gain;
+                        a.add(row, *k, *gain);
                     }
                 }
                 Compiled::Vccs { p, n, cp, cn, gm } => stamp_vccs(a, *p, *n, *cp, *cn, *gm),
@@ -415,7 +422,7 @@ impl Engine {
                 Compiled::Ccvs { p, n, ctrl, r, br } => {
                     let row = nb + *br;
                     stamp_branch_voltage(a, *p, *n, row);
-                    a[(row, nb + *ctrl)] -= r;
+                    a.add(row, nb + *ctrl, -r);
                 }
                 Compiled::Diode { p, n, model } => {
                     let vd = v(*p) - v(*n);
@@ -454,8 +461,14 @@ impl Engine {
 
     /// Assembles the complex AC system at angular frequency `omega`,
     /// linearized around the DC solution `x_op`.
-    pub(crate) fn load_ac(&self, x_op: &[f64], omega: f64, y: &mut Matrix<Complex>, z: &mut [Complex]) {
-        y.fill_zero();
+    pub(crate) fn load_ac(
+        &self,
+        x_op: &[f64],
+        omega: f64,
+        y: &mut dyn Assembler<Complex>,
+        z: &mut [Complex],
+    ) {
+        y.reset();
         z.fill(Complex::ZERO);
         let nb = self.n_nodes;
         let v = |i: NodeIdx| i.map_or(0.0, |k| x_op[k]);
@@ -463,16 +476,16 @@ impl Engine {
 
         for (_, e) in &self.elems {
             match e {
-                Compiled::Resistor { a, b, g } => stamp_gc(y, *a, *b, Complex::from_re(*g)),
-                Compiled::Capacitor { a, b, c } => stamp_gc(y, *a, *b, jw * *c),
+                Compiled::Resistor { a, b, g } => stamp_g(y, *a, *b, Complex::from_re(*g)),
+                Compiled::Capacitor { a, b, c } => stamp_g(y, *a, *b, jw * *c),
                 Compiled::Inductor { a, b, l, br } => {
                     let row = nb + *br;
-                    stamp_branch_voltage_c(y, *a, *b, row);
-                    y[(row, row)] -= jw * *l;
+                    stamp_branch_voltage(y, *a, *b, row);
+                    y.add(row, row, -(jw * *l));
                 }
                 Compiled::Vsource { p, n, ac, br, .. } => {
                     let row = nb + *br;
-                    stamp_branch_voltage_c(y, *p, *n, row);
+                    stamp_branch_voltage(y, *p, *n, row);
                     if let Some(spec) = ac {
                         z[row] = Complex::from_polar(spec.mag, spec.phase_deg.to_radians());
                     }
@@ -490,32 +503,29 @@ impl Engine {
                 }
                 Compiled::Vcvs { p, n, cp, cn, gain, br } => {
                     let row = nb + *br;
-                    stamp_branch_voltage_c(y, *p, *n, row);
+                    stamp_branch_voltage(y, *p, *n, row);
                     if let Some(k) = cp {
-                        y[(row, *k)] -= Complex::from_re(*gain);
+                        y.add(row, *k, -Complex::from_re(*gain));
                     }
                     if let Some(k) = cn {
-                        y[(row, *k)] += Complex::from_re(*gain);
+                        y.add(row, *k, Complex::from_re(*gain));
                     }
                 }
-                Compiled::Vccs { p, n, cp, cn, gm } => stamp_vccs_c(y, *p, *n, *cp, *cn, Complex::from_re(*gm)),
+                Compiled::Vccs { p, n, cp, cn, gm } => {
+                    stamp_vccs(y, *p, *n, *cp, *cn, Complex::from_re(*gm))
+                }
                 Compiled::Cccs { p, n, ctrl, gain } => {
-                    if let Some(k) = p {
-                        y[(*k, nb + *ctrl)] += Complex::from_re(*gain);
-                    }
-                    if let Some(k) = n {
-                        y[(*k, nb + *ctrl)] -= Complex::from_re(*gain);
-                    }
+                    stamp_cccs(y, *p, *n, nb + *ctrl, Complex::from_re(*gain))
                 }
                 Compiled::Ccvs { p, n, ctrl, r, br } => {
                     let row = nb + *br;
-                    stamp_branch_voltage_c(y, *p, *n, row);
-                    y[(row, nb + *ctrl)] -= Complex::from_re(*r);
+                    stamp_branch_voltage(y, *p, *n, row);
+                    y.add(row, nb + *ctrl, -Complex::from_re(*r));
                 }
                 Compiled::Diode { p, n, model } => {
                     let vd = v(*p) - v(*n);
                     let op = eval_diode(model, vd, self.temp_kelvin);
-                    stamp_gc(y, *p, *n, Complex::from_re(op.gd) + jw * model.cj0);
+                    stamp_g(y, *p, *n, Complex::from_re(op.gd) + jw * model.cj0);
                 }
                 Compiled::Mosfet { d, g, s, b, model, geom } => {
                     let vgs = v(*g) - v(*s);
@@ -523,11 +533,11 @@ impl Engine {
                     let vbs = v(*b) - v(*s);
                     let op = eval_mosfet(model, geom, vgs, vds, vbs);
                     let (ed, es) = if op.swapped { (*s, *d) } else { (*d, *s) };
-                    stamp_mos_c(y, ed, *g, es, *b, MosGm { gm: op.gm, gds: op.gds, gmbs: op.gmbs });
+                    stamp_mos(y, ed, *g, es, *b, MosGm { gm: op.gm, gds: op.gds, gmbs: op.gmbs });
                     // Gate capacitances are on physical terminals.
-                    stamp_gc(y, *g, *s, jw * op.cgs);
-                    stamp_gc(y, *g, *d, jw * op.cgd);
-                    stamp_gc(y, *g, *b, jw * op.cgb);
+                    stamp_g(y, *g, *s, jw * op.cgs);
+                    stamp_g(y, *g, *d, jw * op.cgd);
+                    stamp_g(y, *g, *b, jw * op.cgb);
                 }
             }
         }
@@ -547,12 +557,12 @@ impl Engine {
         t: f64,
         h: f64,
         caps: &[MosCaps],
-        a: &mut Matrix<f64>,
+        a: &mut dyn Assembler<f64>,
         z: &mut [f64],
     ) {
         // Start from the DC load (nonlinear devices + resistive parts),
         // with sources evaluated at time t.
-        a.fill_zero();
+        a.reset();
         z.fill(0.0);
         let nb = self.n_nodes;
         let v = |xv: &[f64], i: NodeIdx| -> f64 { i.map_or(0.0, |k| xv[k]) };
@@ -576,7 +586,7 @@ impl Engine {
                 Compiled::Inductor { a: na, b: nbx, l, br } => {
                     let row = nb + *br;
                     stamp_branch_voltage(a, *na, *nbx, row);
-                    a[(row, row)] -= l / h;
+                    a.add(row, row, -(l / h));
                     z[row] = -(l / h) * x_prev[row];
                 }
                 Compiled::Vsource { p, n, dc, wave, br, .. } => {
@@ -597,10 +607,10 @@ impl Engine {
                     let row = nb + *br;
                     stamp_branch_voltage(a, *p, *n, row);
                     if let Some(k) = cp {
-                        a[(row, *k)] -= gain;
+                        a.add(row, *k, -gain);
                     }
                     if let Some(k) = cn {
-                        a[(row, *k)] += gain;
+                        a.add(row, *k, *gain);
                     }
                 }
                 Compiled::Vccs { p, n, cp, cn, gm } => stamp_vccs(a, *p, *n, *cp, *cn, *gm),
@@ -608,7 +618,7 @@ impl Engine {
                 Compiled::Ccvs { p, n, ctrl, r, br } => {
                     let row = nb + *br;
                     stamp_branch_voltage(a, *p, *n, row);
-                    a[(row, nb + *ctrl)] -= r;
+                    a.add(row, nb + *ctrl, -r);
                 }
                 Compiled::Diode { p, n, model } => {
                     let vd = v(x, *p) - v(x, *n);
@@ -695,6 +705,69 @@ impl Engine {
             .filter(|(_, e)| matches!(e, Compiled::Mosfet { .. }))
             .count()
     }
+
+    /// Stamps the structural nonzero pattern of every analysis into `a`
+    /// using zero values — purely a function of the compiled topology.
+    ///
+    /// This is how a sparse backend learns its pattern *before* any
+    /// values exist, so the symbolic factorization never depends on an
+    /// operating point: the position set is the union of everything
+    /// [`Engine::load_dc`], [`Engine::load_ac`], and [`Engine::load_tran`]
+    /// can touch (including both MOSFET source/drain orientations, whose
+    /// stamps cover the same index set, and all companion-model and gate
+    /// capacitance positions, which subset the element conductance
+    /// patterns stamped here).
+    pub(crate) fn stamp_pattern<S: Scalar>(&self, a: &mut dyn Assembler<S>) {
+        let nb = self.n_nodes;
+        let zero = S::zero();
+        // gmin shunt diagonal (also covers AC where gmin is absent).
+        for i in 0..self.n_nodes {
+            a.add(i, i, zero);
+        }
+        for (_, e) in &self.elems {
+            match e {
+                Compiled::Resistor { a: na, b, .. } | Compiled::Capacitor { a: na, b, .. } => {
+                    stamp_g(a, *na, *b, zero)
+                }
+                Compiled::Inductor { a: na, b, br, .. } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage(a, *na, *b, row);
+                    a.add(row, row, zero);
+                }
+                Compiled::Vsource { p, n, br, .. } => {
+                    stamp_branch_voltage(a, *p, *n, nb + *br)
+                }
+                Compiled::Isource { .. } => {}
+                Compiled::Vcvs { p, n, cp, cn, br, .. } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage(a, *p, *n, row);
+                    if let Some(k) = cp {
+                        a.add(row, *k, zero);
+                    }
+                    if let Some(k) = cn {
+                        a.add(row, *k, zero);
+                    }
+                }
+                Compiled::Vccs { p, n, cp, cn, .. } => stamp_vccs(a, *p, *n, *cp, *cn, zero),
+                Compiled::Cccs { p, n, ctrl, .. } => stamp_cccs(a, *p, *n, nb + *ctrl, zero),
+                Compiled::Ccvs { p, n, ctrl, br, .. } => {
+                    let row = nb + *br;
+                    stamp_branch_voltage(a, *p, *n, row);
+                    a.add(row, nb + *ctrl, zero);
+                }
+                Compiled::Diode { p, n, .. } => stamp_g(a, *p, *n, zero),
+                Compiled::Mosfet { d, g, s, b, .. } => {
+                    // Rows {d,s} × cols {g,d,b,s}: identical for either
+                    // effective orientation, so one stamp covers both.
+                    stamp_mos(a, *d, *g, *s, *b, MosGm { gm: 0.0, gds: 0.0, gmbs: 0.0 });
+                    // Meyer gate capacitances (AC + transient).
+                    stamp_g(a, *g, *s, zero);
+                    stamp_g(a, *g, *d, zero);
+                    stamp_g(a, *g, *b, zero);
+                }
+            }
+        }
+    }
 }
 
 /// Frozen Meyer capacitances of one MOSFET.
@@ -705,65 +778,49 @@ pub(crate) struct MosCaps {
     pub cgb: f64,
 }
 
-fn stamp_g(a: &mut Matrix<f64>, i: NodeIdx, j: NodeIdx, g: f64) {
+fn stamp_g<S: Scalar>(a: &mut dyn Assembler<S>, i: NodeIdx, j: NodeIdx, g: S) {
     if let Some(i) = i {
-        a[(i, i)] += g;
+        a.add(i, i, g);
         if let Some(j) = j {
-            a[(i, j)] -= g;
-            a[(j, i)] -= g;
+            a.add(i, j, -g);
+            a.add(j, i, -g);
         }
     }
     if let Some(j) = j {
-        a[(j, j)] += g;
-    }
-}
-
-fn stamp_gc(y: &mut Matrix<Complex>, i: NodeIdx, j: NodeIdx, g: Complex) {
-    if let Some(i) = i {
-        y[(i, i)] += g;
-        if let Some(j) = j {
-            y[(i, j)] -= g;
-            y[(j, i)] -= g;
-        }
-    }
-    if let Some(j) = j {
-        y[(j, j)] += g;
+        a.add(j, j, g);
     }
 }
 
 /// Stamps the incidence pattern of a voltage-defined branch (V source,
 /// VCVS output, inductor): current unknown into node rows, voltage
 /// constraint into the branch row.
-fn stamp_branch_voltage(a: &mut Matrix<f64>, p: NodeIdx, n: NodeIdx, row: usize) {
+fn stamp_branch_voltage<S: Scalar>(a: &mut dyn Assembler<S>, p: NodeIdx, n: NodeIdx, row: usize) {
     if let Some(k) = p {
-        a[(k, row)] += 1.0;
-        a[(row, k)] += 1.0;
+        a.add(k, row, S::one());
+        a.add(row, k, S::one());
     }
     if let Some(k) = n {
-        a[(k, row)] -= 1.0;
-        a[(row, k)] -= 1.0;
+        a.add(k, row, -S::one());
+        a.add(row, k, -S::one());
     }
 }
 
-fn stamp_branch_voltage_c(y: &mut Matrix<Complex>, p: NodeIdx, n: NodeIdx, row: usize) {
-    if let Some(k) = p {
-        y[(k, row)] += Complex::ONE;
-        y[(row, k)] += Complex::ONE;
-    }
-    if let Some(k) = n {
-        y[(k, row)] -= Complex::ONE;
-        y[(row, k)] -= Complex::ONE;
-    }
-}
-
-fn stamp_vccs(a: &mut Matrix<f64>, p: NodeIdx, n: NodeIdx, cp: NodeIdx, cn: NodeIdx, gm: f64) {
-    for (node, sign) in [(p, 1.0), (n, -1.0)] {
+fn stamp_vccs<S: Scalar>(
+    a: &mut dyn Assembler<S>,
+    p: NodeIdx,
+    n: NodeIdx,
+    cp: NodeIdx,
+    cn: NodeIdx,
+    gm: S,
+) {
+    for (node, flip) in [(p, false), (n, true)] {
         if let Some(i) = node {
+            let (into_cp, into_cn) = if flip { (-gm, gm) } else { (gm, -gm) };
             if let Some(j) = cp {
-                a[(i, j)] += sign * gm;
+                a.add(i, j, into_cp);
             }
             if let Some(j) = cn {
-                a[(i, j)] -= sign * gm;
+                a.add(i, j, into_cn);
             }
         }
     }
@@ -771,25 +828,12 @@ fn stamp_vccs(a: &mut Matrix<f64>, p: NodeIdx, n: NodeIdx, cp: NodeIdx, cn: Node
 
 /// Stamps a current-controlled current source: the current of branch
 /// column `ctrl_col` is injected (scaled by `gain`) at nodes p/n.
-fn stamp_cccs(a: &mut Matrix<f64>, p: NodeIdx, n: NodeIdx, ctrl_col: usize, gain: f64) {
+fn stamp_cccs<S: Scalar>(a: &mut dyn Assembler<S>, p: NodeIdx, n: NodeIdx, ctrl_col: usize, gain: S) {
     if let Some(i) = p {
-        a[(i, ctrl_col)] += gain;
+        a.add(i, ctrl_col, gain);
     }
     if let Some(i) = n {
-        a[(i, ctrl_col)] -= gain;
-    }
-}
-
-fn stamp_vccs_c(y: &mut Matrix<Complex>, p: NodeIdx, n: NodeIdx, cp: NodeIdx, cn: NodeIdx, gm: Complex) {
-    for (node, sign) in [(p, 1.0), (n, -1.0)] {
-        if let Some(i) = node {
-            if let Some(j) = cp {
-                y[(i, j)] += gm * sign;
-            }
-            if let Some(j) = cn {
-                y[(i, j)] -= gm * sign;
-            }
-        }
+        a.add(i, ctrl_col, -gain);
     }
 }
 
@@ -803,29 +847,8 @@ struct MosGm {
 
 /// Stamps the MOSFET small-signal pattern: drain current controlled by
 /// (vgs, vds, vbs) of the effective terminals.
-fn stamp_mos(a: &mut Matrix<f64>, d: NodeIdx, g: NodeIdx, s: NodeIdx, b: NodeIdx, c: MosGm) {
-    let MosGm { gm, gds, gmbs } = c;
-    let total = gm + gds + gmbs;
-    for (node, sign) in [(d, 1.0), (s, -1.0)] {
-        if let Some(i) = node {
-            if let Some(j) = g {
-                a[(i, j)] += sign * gm;
-            }
-            if let Some(j) = d {
-                a[(i, j)] += sign * gds;
-            }
-            if let Some(j) = b {
-                a[(i, j)] += sign * gmbs;
-            }
-            if let Some(j) = s {
-                a[(i, j)] -= sign * total;
-            }
-        }
-    }
-}
-
-fn stamp_mos_c(
-    y: &mut Matrix<Complex>,
+fn stamp_mos<S: Scalar>(
+    a: &mut dyn Assembler<S>,
     d: NodeIdx,
     g: NodeIdx,
     s: NodeIdx,
@@ -837,16 +860,16 @@ fn stamp_mos_c(
     for (node, sign) in [(d, 1.0), (s, -1.0)] {
         if let Some(i) = node {
             if let Some(j) = g {
-                y[(i, j)] += Complex::from_re(sign * gm);
+                a.add(i, j, S::from_f64(sign * gm));
             }
             if let Some(j) = d {
-                y[(i, j)] += Complex::from_re(sign * gds);
+                a.add(i, j, S::from_f64(sign * gds));
             }
             if let Some(j) = b {
-                y[(i, j)] += Complex::from_re(sign * gmbs);
+                a.add(i, j, S::from_f64(sign * gmbs));
             }
             if let Some(j) = s {
-                y[(i, j)] -= Complex::from_re(sign * total);
+                a.add(i, j, S::from_f64(-(sign * total)));
             }
         }
     }
@@ -1055,6 +1078,76 @@ mod tests {
         eng.restamp(&good).unwrap();
         let fresh = Engine::compile(&good).unwrap();
         assert_eq!(dc_solution(&eng), dc_solution(&fresh));
+    }
+
+    #[test]
+    fn pattern_covers_every_load() {
+        // One of every element kind; the topology pattern must be a
+        // superset of the positions every analysis load can touch.
+        use asdex_linalg::{Complex, SparseAssembler};
+        use std::collections::HashSet;
+
+        let mut c = Circuit::new();
+        c.add_diode_model("d1", crate::devices::DiodeModel::default());
+        c.add_mos_model("m1", crate::devices::MosModel::default_nmos());
+        let n1 = c.node("n1");
+        let n2 = c.node("n2");
+        let n3 = c.node("n3");
+        let n4 = c.node("n4");
+        c.add_vsource("V1", n1, Circuit::GROUND, 1.8).unwrap();
+        c.add_resistor("R1", n1, n2, 1e3).unwrap();
+        c.add_capacitor("C1", n2, Circuit::GROUND, 1e-12).unwrap();
+        c.add_inductor("L1", n2, n3, 1e-6).unwrap();
+        c.add_isource("I1", Circuit::GROUND, n3, 1e-4).unwrap();
+        c.add_vcvs("E1", n4, Circuit::GROUND, n2, n3, 2.0).unwrap();
+        c.add_vccs("G1", n3, Circuit::GROUND, n1, n2, 1e-3).unwrap();
+        c.add_cccs("F1", Circuit::GROUND, n4, "V1", 0.5).unwrap();
+        c.add_ccvs("H1", n4, n3, "L1", 10.0).unwrap();
+        c.add_diode("D1", n3, Circuit::GROUND, "d1", 1.0).unwrap();
+        c.add_mosfet(
+            "M1",
+            n4,
+            n2,
+            Circuit::GROUND,
+            Circuit::GROUND,
+            "m1",
+            crate::devices::MosGeometry::new(1e-6, 1e-6),
+        )
+        .unwrap();
+        let eng = Engine::compile(&c).unwrap();
+        let dim = eng.dim();
+
+        let mut pat = SparseAssembler::<f64>::new();
+        pat.begin(dim);
+        eng.stamp_pattern(&mut pat);
+        let pattern: HashSet<(u32, u32)> = pat.pos().iter().copied().collect();
+
+        let x = vec![0.1; dim];
+        let mut z = vec![0.0; dim];
+
+        let mut dc = SparseAssembler::<f64>::new();
+        dc.begin(dim);
+        eng.load_dc(&x, &mut dc, &mut z, 1e-12, 1.0);
+        for p in dc.pos() {
+            assert!(pattern.contains(p), "dc stamped {p:?} outside the pattern");
+        }
+
+        let mut zc = vec![Complex::ZERO; dim];
+        let mut ac = SparseAssembler::<Complex>::new();
+        ac.begin(dim);
+        eng.load_ac(&x, 1e6, &mut ac, &mut zc);
+        for p in ac.pos() {
+            assert!(pattern.contains(p), "ac stamped {p:?} outside the pattern");
+        }
+
+        let caps = eng.mos_caps_at(&x);
+        let x_prev = vec![0.2; dim];
+        let mut tr = SparseAssembler::<f64>::new();
+        tr.begin(dim);
+        eng.load_tran(&x, &x_prev, 1e-9, 1e-9, &caps, &mut tr, &mut z);
+        for p in tr.pos() {
+            assert!(pattern.contains(p), "tran stamped {p:?} outside the pattern");
+        }
     }
 
     #[test]

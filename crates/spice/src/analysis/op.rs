@@ -2,10 +2,10 @@
 //! source stepping continuation.
 
 use super::engine::Engine;
+use super::solver::Backend;
 use super::workspace::SolverWorkspace;
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
-use asdex_linalg::{Lu, Matrix};
 
 /// Cooperative watchdog for one analysis run: a cumulative ceiling on
 /// Newton iterations across *every* continuation stage (or every transient
@@ -240,7 +240,7 @@ pub(crate) fn solve_op_ws(
     ws: &mut SolverWorkspace,
 ) -> Result<OpResult, SpiceError> {
     let dim = engine.dim();
-    ws.ensure_dc(dim);
+    ws.ensure_dc(engine);
     let mut total_iters = 0usize;
     let mut meter = SolveMeter::start(opts.budget);
     let x0: Vec<f64> = initial.map_or_else(|| vec![0.0; dim], <[f64]>::to_vec);
@@ -250,7 +250,7 @@ pub(crate) fn solve_op_ws(
     };
 
     // Stage 1: straight Newton.
-    match newton(engine, x0.clone(), 0.0, 1.0, opts, &mut ws.a, &mut ws.z, &mut meter) {
+    match newton(engine, x0.clone(), 0.0, 1.0, opts, &mut ws.real, &mut ws.z, &mut meter) {
         Ok((x, it)) => return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: it }),
         Err(NewtonFailure::Timeout) => return Err(timeout(&meter)),
         Err(_) => {}
@@ -262,7 +262,7 @@ pub(crate) fn solve_op_ws(
     let mut ok = true;
     for k in 0..=10i32 {
         let gmin = 10f64.powi(-k - 2); // 1e-2 … 1e-12
-        match newton(engine, x.clone(), gmin, 1.0, opts, &mut ws.a, &mut ws.z, &mut meter) {
+        match newton(engine, x.clone(), gmin, 1.0, opts, &mut ws.real, &mut ws.z, &mut meter) {
             Ok((xn, it)) => {
                 x = xn;
                 total_iters += it;
@@ -276,7 +276,7 @@ pub(crate) fn solve_op_ws(
     }
     if ok {
         // Final polish without gmin.
-        match newton(engine, x, 0.0, 1.0, opts, &mut ws.a, &mut ws.z, &mut meter) {
+        match newton(engine, x, 0.0, 1.0, opts, &mut ws.real, &mut ws.z, &mut meter) {
             Ok((x, it)) => {
                 return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: total_iters + it })
             }
@@ -289,7 +289,7 @@ pub(crate) fn solve_op_ws(
     let mut x = vec![0.0; dim];
     for k in 1..=20 {
         let scale = k as f64 / 20.0;
-        match newton(engine, x.clone(), 1e-12, scale, opts, &mut ws.a, &mut ws.z, &mut meter) {
+        match newton(engine, x.clone(), 1e-12, scale, opts, &mut ws.real, &mut ws.z, &mut meter) {
             Ok((xn, it)) => {
                 x = xn;
                 total_iters += it;
@@ -303,7 +303,7 @@ pub(crate) fn solve_op_ws(
             }
         }
     }
-    match newton(engine, x, 0.0, 1.0, opts, &mut ws.a, &mut ws.z, &mut meter) {
+    match newton(engine, x, 0.0, 1.0, opts, &mut ws.real, &mut ws.z, &mut meter) {
         Ok((x, it)) => {
             return Ok(OpResult { x, n_nodes: engine.n_nodes, iterations: total_iters + it })
         }
@@ -324,10 +324,11 @@ pub(crate) enum NewtonFailure {
 }
 
 /// One Newton solve at fixed (gmin, source scale), assembling into the
-/// caller's scratch buffers (`a`/`z` must be `dim × dim` / `dim`; every
-/// iteration overwrites them). Returns the solution and the iteration
-/// count. Every iteration is charged to `meter`, the watchdog shared by
-/// all stages of the enclosing analysis.
+/// caller's prepared [`Backend`] and right-hand side (every iteration
+/// overwrites them; the backend factors in place, no per-iteration
+/// clone). Returns the solution and the iteration count. Every iteration
+/// is charged to `meter`, the watchdog shared by all stages of the
+/// enclosing analysis.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn newton(
     engine: &Engine,
@@ -335,7 +336,7 @@ pub(crate) fn newton(
     gmin: f64,
     src_scale: f64,
     opts: &OpOptions,
-    a: &mut Matrix<f64>,
+    backend: &mut Backend<f64>,
     z: &mut [f64],
     meter: &mut SolveMeter,
 ) -> Result<(Vec<f64>, usize), NewtonFailure> {
@@ -344,9 +345,8 @@ pub(crate) fn newton(
         if !meter.tick() {
             return Err(NewtonFailure::Timeout);
         }
-        engine.load_dc(&x, a, z, gmin, src_scale);
-        let lu = Lu::factor(a.clone()).map_err(NewtonFailure::Singular)?;
-        let x_new = lu.solve(z).map_err(NewtonFailure::Singular)?;
+        engine.load_dc(&x, backend.assembler(), z, gmin, src_scale);
+        let x_new = backend.factor_solve(z).map_err(NewtonFailure::Singular)?;
 
         // Damped update: limit each unknown's change.
         let mut converged = true;

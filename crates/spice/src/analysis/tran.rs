@@ -2,10 +2,10 @@
 //! per time step.
 
 use super::engine::Engine;
-use super::op::{solve_op, OpOptions, SolveMeter};
+use super::op::{solve_op_ws, OpOptions, SolveMeter};
+use super::workspace::SolverWorkspace;
 use crate::circuit::{Circuit, NodeId};
 use crate::error::SpiceError;
-use asdex_linalg::{Lu, Matrix};
 
 /// Transient analysis configuration.
 #[derive(Debug, Clone, Copy)]
@@ -117,12 +117,18 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Sp
     let engine = Engine::compile(circuit)?;
     let dim = engine.dim();
 
+    // One workspace (backend choice from the environment) shared by the
+    // initial OP and every time step: the sparse backend's symbolic
+    // factorization is computed once and replayed per step.
+    let mut ws = SolverWorkspace::new();
+
     // Initial condition.
     let x0 = if opts.uic {
         vec![0.0; dim]
     } else {
-        solve_op(&engine, &opts.op, None)?.unknowns().to_vec()
+        solve_op_ws(&engine, &opts.op, None, &mut ws)?.unknowns().to_vec()
     };
+    ws.ensure_dc(&engine);
 
     let n_steps = (opts.tstop / opts.tstep).ceil() as usize;
     let mut times = Vec::with_capacity(n_steps + 1);
@@ -130,8 +136,6 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Sp
     times.push(0.0);
     samples.push(x0.clone());
 
-    let mut a = Matrix::zeros(dim, dim);
-    let mut z = vec![0.0; dim];
     let mut x_prev = x0;
     let mut caps = engine.mos_caps_at(&x_prev);
     debug_assert_eq!(caps.len(), engine.mosfet_count());
@@ -156,9 +160,8 @@ pub fn transient(circuit: &Circuit, opts: &TranOptions) -> Result<TranResult, Sp
                     iterations: meter.iterations(),
                 });
             }
-            engine.load_tran(&x, &x_prev, t, h, &caps, &mut a, &mut z);
-            let lu = Lu::factor(a.clone())?;
-            let x_new = lu.solve(&z)?;
+            engine.load_tran(&x, &x_prev, t, h, &caps, ws.real.assembler(), &mut ws.z);
+            let x_new = ws.real.factor_solve(&ws.z)?;
             let mut done = true;
             for i in 0..dim {
                 let mut delta = x_new[i] - x[i];

@@ -3,29 +3,33 @@
 //! Sizing loops evaluate the same topology thousands of times; allocating
 //! the Newton Jacobian, the complex AC admittance matrix, and the sweep's
 //! frequency grid on every call is pure churn. A [`SolverWorkspace`] owns
-//! those buffers and hands them back dimension-matched, so a worker thread
-//! in a batched evaluation pipeline pays the allocation cost once per
-//! topology instead of once per point.
+//! a real and a complex [`Backend`] plus the right-hand sides and hands
+//! them back dimension-matched, so a worker thread in a batched
+//! evaluation pipeline pays the allocation (and, on the sparse backend,
+//! symbolic analysis) cost once per topology instead of once per point.
 
 use super::ac::Sweep;
+use super::engine::Engine;
+use super::solver::{Backend, SolverChoice};
 use crate::error::SpiceError;
-use asdex_linalg::{Complex, Matrix};
+use asdex_linalg::Complex;
 
-/// Scratch buffers for the DC Newton loop and the AC sweep, reusable
-/// across calls as long as the system dimension stays the same (and
-/// cheaply re-allocated when it does not).
+/// Scratch buffers and solver state for the DC Newton loop, the transient
+/// integration, and the AC sweep, reusable across calls. Buffers are
+/// grow-only: shrinking the system re-uses the existing allocations.
 ///
 /// Every buffer is zeroed by the assembly routines before use, so a
 /// workspace carries no numerical state between calls — solving with a
-/// fresh workspace and a reused one is bitwise identical.
+/// fresh workspace and a reused one is bitwise identical (per backend;
+/// see [`SolverChoice`]).
 #[derive(Debug)]
 pub struct SolverWorkspace {
-    /// Real Newton Jacobian (DC / transient assembly).
-    pub(crate) a: Matrix<f64>,
+    /// Real solver backend (DC / transient systems).
+    pub(crate) real: Backend<f64>,
     /// Real right-hand side.
     pub(crate) z: Vec<f64>,
-    /// Complex AC admittance matrix.
-    pub(crate) y: Matrix<Complex>,
+    /// Complex solver backend (AC systems).
+    pub(crate) complex: Backend<Complex>,
     /// Complex right-hand side.
     pub(crate) zc: Vec<Complex>,
     /// Last expanded frequency grid, keyed by its sweep.
@@ -34,41 +38,54 @@ pub struct SolverWorkspace {
 
 impl Default for SolverWorkspace {
     fn default() -> Self {
-        SolverWorkspace {
-            a: Matrix::zeros(0, 0),
-            z: Vec::new(),
-            y: Matrix::zeros(0, 0),
-            zc: Vec::new(),
-            freq_cache: None,
-        }
+        SolverWorkspace::new()
     }
 }
 
 impl SolverWorkspace {
-    /// An empty workspace; buffers are grown on first use.
+    /// An empty workspace with the backend choice taken from the
+    /// `ASDEX_SOLVER` environment variable (default: auto).
     pub fn new() -> Self {
-        SolverWorkspace::default()
+        SolverWorkspace::with_choice(SolverChoice::from_env())
     }
 
-    /// Ensures the real DC buffers match `dim`, reallocating only on a
-    /// dimension change.
-    pub(crate) fn ensure_dc(&mut self, dim: usize) {
-        if self.a.rows() != dim || self.a.cols() != dim {
-            self.a = Matrix::zeros(dim, dim);
+    /// An empty workspace pinned to `choice`. Prefer this over mutating
+    /// `ASDEX_SOLVER` in tests and benches — the environment is process
+    /// global.
+    pub fn with_choice(choice: SolverChoice) -> Self {
+        SolverWorkspace {
+            real: Backend::new(choice),
+            z: Vec::new(),
+            complex: Backend::new(choice),
+            zc: Vec::new(),
+            freq_cache: None,
         }
+    }
+
+    /// The backend choice this workspace was created with.
+    pub fn choice(&self) -> SolverChoice {
+        self.real.choice()
+    }
+
+    /// Prepares the real backend and right-hand side for `engine`'s
+    /// system. Grow-only: a smaller system re-uses the allocations.
+    pub(crate) fn ensure_dc(&mut self, engine: &Engine) {
+        self.real.prepare(engine);
+        let dim = engine.dim();
         if self.z.len() != dim {
-            self.z = vec![0.0; dim];
+            self.z.clear();
+            self.z.resize(dim, 0.0);
         }
     }
 
-    /// Ensures the complex AC buffers match `dim`, reallocating only on a
-    /// dimension change.
-    pub(crate) fn ensure_ac(&mut self, dim: usize) {
-        if self.y.rows() != dim || self.y.cols() != dim {
-            self.y = Matrix::zeros(dim, dim);
-        }
+    /// Prepares the complex backend and right-hand side for `engine`'s
+    /// system. Grow-only: a smaller system re-uses the allocations.
+    pub(crate) fn ensure_ac(&mut self, engine: &Engine) {
+        self.complex.prepare(engine);
+        let dim = engine.dim();
         if self.zc.len() != dim {
-            self.zc = vec![Complex::ZERO; dim];
+            self.zc.clear();
+            self.zc.resize(dim, Complex::ZERO);
         }
     }
 
@@ -98,18 +115,45 @@ impl SolverWorkspace {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::circuit::Circuit;
+
+    fn divider(stages: usize) -> Engine {
+        let mut ckt = Circuit::new();
+        let mut prev = ckt.node("n0");
+        ckt.add_vsource("V1", prev, Circuit::GROUND, 1.0).unwrap();
+        for i in 1..=stages {
+            let next = ckt.node(&format!("n{i}"));
+            ckt.add_resistor(&format!("R{i}"), prev, next, 1e3).unwrap();
+            prev = next;
+        }
+        ckt.add_resistor("RL", prev, Circuit::GROUND, 1e3).unwrap();
+        Engine::compile(&ckt).unwrap()
+    }
 
     #[test]
-    fn buffers_grow_and_shrink_to_dim() {
-        let mut ws = SolverWorkspace::new();
-        ws.ensure_dc(4);
-        assert_eq!(ws.a.rows(), 4);
-        assert_eq!(ws.z.len(), 4);
-        ws.ensure_dc(2);
-        assert_eq!(ws.a.rows(), 2);
-        ws.ensure_ac(3);
-        assert_eq!(ws.y.rows(), 3);
-        assert_eq!(ws.zc.len(), 3);
+    fn buffers_track_dim_without_shrinking_allocations() {
+        let big = divider(6);
+        let small = divider(2);
+        let mut ws = SolverWorkspace::with_choice(SolverChoice::Dense);
+        ws.ensure_dc(&big);
+        assert_eq!(ws.z.len(), big.dim());
+        let cap_before = ws.z.capacity();
+        ws.ensure_dc(&small);
+        assert_eq!(ws.z.len(), small.dim());
+        assert_eq!(ws.z.capacity(), cap_before, "real rhs is grow-only");
+        ws.ensure_ac(&big);
+        assert_eq!(ws.zc.len(), big.dim());
+        let cap_c = ws.zc.capacity();
+        ws.ensure_ac(&small);
+        assert_eq!(ws.zc.len(), small.dim());
+        assert_eq!(ws.zc.capacity(), cap_c, "complex rhs is grow-only");
+    }
+
+    #[test]
+    fn workspace_choice_is_pinned() {
+        let ws = SolverWorkspace::with_choice(SolverChoice::Sparse);
+        assert_eq!(ws.choice(), SolverChoice::Sparse);
+        assert_eq!(ws.choice().label(), "sparse");
     }
 
     #[test]

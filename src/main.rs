@@ -29,7 +29,7 @@ use asdex::serve::json::Json;
 use asdex::serve::protocol::{outcome_json, stats_json, CampaignSpec};
 use asdex::serve::server::{DrainHandle, Server, ServerConfig};
 use asdex::serve::{logging, LoadgenConfig, LogLevel, SchedulerConfig};
-use asdex::spice::analysis::{ac_analysis, dc_operating_point, dc_sweep, transient, OpOptions, Sweep, TranOptions};
+use asdex::spice::analysis::{ac_analysis, dc_operating_point, dc_sweep, transient, OpOptions, SolverChoice, Sweep, TranOptions};
 use asdex::spice::measure::frequency_response;
 use asdex::spice::parser::{parse_deck, AnalysisCard};
 use asdex::spice::ElementKind;
@@ -45,8 +45,8 @@ asdex — analog sizing design-space explorer
 USAGE:
     asdex size  <opamp45|opamp22|ldo|ico|bowl<dim>> [--agent trm|bo|random]
                 [--budget N] [--seed N] [--corners nominal|signoff5]
-                [--threads N] [--workers N] [--journal path]
-                [--checkpoint-every N] [--json] [--quiet]
+                [--threads N] [--workers N] [--solver auto|dense|sparse]
+                [--journal path] [--checkpoint-every N] [--json] [--quiet]
     asdex size  --resume <path> [--threads N] [--checkpoint-every N]
     asdex probe <opamp45|opamp22|ldo|ico|bowl<dim>> [--samples N]
                 [--threads N] [--json]
@@ -70,6 +70,14 @@ hang, or kill is absorbed by the supervisor as a typed evaluation
 failure — restarted with backoff, re-dispatched, or quarantined — and
 never takes down the daemon. Results are bitwise identical at any
 worker count, including 0.
+
+`--solver` picks the linear-solver backend for every simulation in the
+campaign (default `auto`: blocked dense for small MNA systems, sparse
+LU with symbolic reuse for large ones; the ASDEX_SOLVER environment
+variable sets the same default process-wide). Each backend is
+individually bitwise-deterministic at any thread or worker count, but
+dense and sparse agree only within solver tolerance, so the choice is
+recorded in the journal and pinned on resume.
 
 `--journal path` records every evaluation to an append-only journal
 (fsync'd every --checkpoint-every records, default 25, and on Ctrl-C).
@@ -193,6 +201,7 @@ const VALUE_FLAGS: &[&str] = &[
     "--out",
     "--timeout-secs",
     "--workers",
+    "--solver",
     "--fault-rate",
     "--fault-seed",
     "--fault-mode",
@@ -286,12 +295,34 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
     let threads = parse_flag(args, "--threads", 0usize)?;
     let workers = parse_flag(args, "--workers", 0usize)?;
     let json_output = has_flag(args, "--json");
+    let solver_flag = match flag_value(args, "--solver")? {
+        Some(label) => {
+            if SolverChoice::from_label(label).is_none() {
+                return Err(CliError::Usage(format!(
+                    "--solver must be auto, dense, or sparse (got {label:?})"
+                )));
+            }
+            Some(label.to_string())
+        }
+        None => None,
+    };
 
     // Either restore the campaign identity from a journal, or read it from
     // the command line (optionally starting a fresh journal).
     let (spec, journal) = if let Some(path) = flag_value(args, "--resume")? {
         let journal = Journal::resume(Path::new(path), checkpoint_every)?;
         let spec = CampaignSpec::from_meta(journal.meta()).map_err(CliError::Runtime)?;
+        // The backend is part of the campaign's identity: a resumed run
+        // must factor with whatever the journal recorded.
+        if let Some(label) = &solver_flag {
+            if *label != spec.solver {
+                return Err(CliError::Usage(format!(
+                    "--solver {label} conflicts with the journal's recorded solver {:?}; \
+                     resume pins the original backend",
+                    spec.solver
+                )));
+            }
+        }
         logging::info(format!(
             "journal: resuming {} ({} recorded evaluations to replay)",
             journal.path().display(),
@@ -309,6 +340,7 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
             budget: parse_flag(args, "--budget", 10_000usize)?,
             corners: flag_value(args, "--corners")?.unwrap_or("nominal").to_string(),
             checkpoint_every,
+            solver: solver_flag.clone().unwrap_or_else(|| "auto".to_string()),
         };
         let journal = match flag_value(args, "--journal")? {
             Some(jpath) => {
@@ -322,7 +354,11 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
         (spec, journal)
     };
 
-    let mut problem = build_problem(&spec.bench, &spec.corners)?.with_threads(threads);
+    let solver = SolverChoice::from_label(&spec.solver).ok_or_else(|| {
+        CliError::Runtime(format!("journal records unknown solver {:?}", spec.solver))
+    })?;
+    let mut problem =
+        build_problem(&spec.bench, &spec.corners)?.with_threads(threads).with_solver(solver);
     if let Some(journal) = journal {
         problem = problem.with_journal(journal);
         if let Some(handle) = problem.journal_handle() {
@@ -335,8 +371,11 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
     let pool = if workers > 0 {
         let program = std::env::current_exe()
             .map_err(|e| CliError::Runtime(format!("cannot locate the worker binary: {e}")))?;
+        let mut pool_cfg =
+            asdex::serve::WorkerPoolConfig::new(program, &spec.bench, &spec.corners, workers);
+        pool_cfg.solver = spec.solver.clone();
         let pool = asdex::serve::WorkerPool::for_problem(
-            asdex::serve::WorkerPoolConfig::new(program, &spec.bench, &spec.corners, workers),
+            pool_cfg,
             &problem,
             Arc::new(asdex::serve::WorkerStats::new()),
         );
@@ -596,6 +635,12 @@ fn cmd_worker(args: &[String]) -> Result<(), CliError> {
         .ok_or_else(|| CliError::Usage("worker needs --bench".to_string()))?
         .to_string();
     let corners = flag_value(args, "--corners")?.unwrap_or("nominal").to_string();
+    let solver = flag_value(args, "--solver")?.unwrap_or("auto").to_string();
+    if SolverChoice::from_label(&solver).is_none() {
+        return Err(CliError::Usage(format!(
+            "--solver must be auto, dense, or sparse (got {solver:?})"
+        )));
+    }
     let rate = parse_flag(args, "--fault-rate", 0.0f64)?;
     let fault = if rate > 0.0 {
         let seed = parse_flag(args, "--fault-seed", 0u64)?;
@@ -609,7 +654,7 @@ fn cmd_worker(args: &[String]) -> Result<(), CliError> {
     } else {
         None
     };
-    let cfg = asdex::serve::WorkerConfig { bench, corners, fault };
+    let cfg = asdex::serve::WorkerConfig { bench, corners, solver, fault };
     asdex::serve::run_worker(&cfg).map_err(CliError::Runtime)
 }
 

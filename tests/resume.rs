@@ -207,6 +207,41 @@ fn resume_equivalence_survives_injected_worker_panics() {
     }
 }
 
+#[test]
+fn sparse_backend_resume_matches_the_uninterrupted_sparse_run() {
+    // The solver backend is part of the campaign's identity: a journal
+    // written by a sparse-backend campaign must resume — through a torn
+    // tail — to the uninterrupted sparse outcome, bitwise. This drives
+    // the MNA-backed opamp so real factorizations (and the symbolic
+    // cache rebuilt from topology on the resumed process) are on the
+    // replay path, not an analytic stand-in.
+    use asdex::env::circuits::opamp::TwoStageOpamp;
+    use asdex::spice::analysis::SolverChoice;
+    let sparse_opamp = |threads: usize| {
+        TwoStageOpamp::bsim45()
+            .problem()
+            .expect("opamp builds")
+            .with_solver(SolverChoice::Sparse)
+            .with_threads(threads)
+    };
+    let budget = SearchBudget::new(40);
+    for threads in [1usize, 4] {
+        let mut agent = LocalExplorer::default();
+        let plain = agent.search(&sparse_opamp(threads), budget, 1);
+
+        let path = journal_path(&format!("sparse-{threads}"));
+        let journal = Journal::create(&path, JournalMeta::new(), 5).expect("journal create");
+        let _ = agent.search(&sparse_opamp(threads).with_journal(journal), budget, 1);
+        let bytes = std::fs::read(&path).expect("journal readable");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("journal truncates");
+
+        let journal = Journal::resume(&path, 5).expect("torn journal resumes");
+        let resumed = agent.search(&sparse_opamp(threads).with_journal(journal), budget, 1);
+        assert_eq!(resumed, plain, "sparse@{threads}t: crash-resume diverged");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
 /// Every possible byte-level tear of the journal's *final* record — the
 /// exact state a `SIGKILL` mid-`write(2)` leaves behind — must resume by
 /// dropping that one record and nothing else, and must physically repair
