@@ -1,0 +1,146 @@
+//! Measures what daemon death costs: wall-clock to readiness and to
+//! all-campaigns-terminal after a restart over a journal directory with
+//! 1/4/8 interrupted campaigns, against an uninterrupted baseline.
+//!
+//! The headline column is `duplicate_sims`: evaluations re-simulated
+//! after recovery that were already durable on disk before the
+//! interruption. The journal-replay contract requires this to be **0**
+//! at every scale — recovery must pay only for manifest replay and the
+//! *remaining* budget, never for work already done. The bench asserts
+//! it, not just reports it. Results land in
+//! `bench_results/serve_recovery.csv`.
+//!
+//! Run with `cargo bench --bench recovery`.
+
+use asdex::serve::{CampaignSpec, CampaignStatus, Metrics, Scheduler, SchedulerConfig};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const N_MAX: usize = 8;
+
+fn specs() -> Vec<CampaignSpec> {
+    (0..N_MAX as u64)
+        .map(|k| CampaignSpec {
+            bench: "opamp45".to_string(),
+            agent: "trm".to_string(),
+            seed: 70 + k,
+            budget: 900,
+            // fsync per evaluation: maximal write pressure, and the
+            // densest possible journal for the resume to replay.
+            checkpoint_every: 1,
+            ..CampaignSpec::default()
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asdex-rbench-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(dir: &Path, max_active: usize) -> Arc<Scheduler> {
+    Scheduler::start(
+        SchedulerConfig {
+            journal_dir: dir.to_path_buf(),
+            max_active,
+            thread_budget: 2,
+            ..SchedulerConfig::default()
+        },
+        Arc::new(Metrics::new()),
+    )
+    .expect("scheduler starts")
+}
+
+/// Durable evaluations: complete (newline-terminated) `E ` records in a
+/// campaign's journal. Counted from disk so the measure is identical
+/// for resumed and merely re-exposed campaigns.
+fn evals_on_disk(dir: &Path, id: &str) -> usize {
+    match std::fs::read_to_string(dir.join(format!("{id}.journal"))) {
+        Ok(text) => text
+            .split_inclusive('\n')
+            .filter(|raw| raw.ends_with('\n') && raw.starts_with("E "))
+            .count(),
+        Err(_) => 0,
+    }
+}
+
+fn wait_all_completed(scheduler: &Scheduler, ids: &[String]) {
+    for id in ids {
+        assert!(scheduler.wait(id, Duration::from_secs(600)), "{id} timed out");
+        let status = scheduler.get(id).expect("registered").status();
+        assert_eq!(status, CampaignStatus::Completed, "{id}: {status:?}");
+    }
+}
+
+fn main() {
+    let specs = specs();
+
+    // Uninterrupted baseline: one clean journaled run per spec gives the
+    // exact durable-evaluation count a zero-duplicate recovery must
+    // reproduce, plus the wall-clock to compare recovery against.
+    let clean_dir = temp_dir("clean");
+    let scheduler = start(&clean_dir, N_MAX);
+    let ids: Vec<String> = (0..N_MAX).map(|k| format!("b-{k}")).collect();
+    let t0 = Instant::now();
+    for (k, spec) in specs.iter().enumerate() {
+        scheduler.submit(Some(ids[k].clone()), spec.clone()).expect("admitted");
+    }
+    wait_all_completed(&scheduler, &ids);
+    let clean_s = t0.elapsed().as_secs_f64();
+    let clean_evals: Vec<usize> = ids.iter().map(|id| evals_on_disk(&clean_dir, id)).collect();
+    scheduler.drain();
+    let _ = std::fs::remove_dir_all(&clean_dir);
+
+    let mut rows = Vec::new();
+    for n in [1usize, 4, 8] {
+        let dir = temp_dir(&format!("n{n}"));
+        let scheduler = start(&dir, n);
+        for k in 0..n {
+            scheduler.submit(Some(ids[k].clone()), specs[k].clone()).expect("admitted");
+        }
+        // Interrupt mid-flight: drain checkpoints every journal, writes
+        // interrupted terminal records, and releases the lock — the
+        // graceful flavor of death. (The SIGKILL flavor is covered by
+        // tests/recovery.rs; its recovery path is identical from here.)
+        std::thread::sleep(Duration::from_millis(120));
+        scheduler.drain();
+        let durable: usize = ids[..n].iter().map(|id| evals_on_disk(&dir, id)).sum();
+        drop(scheduler);
+
+        let t0 = Instant::now();
+        let scheduler = start(&dir, n);
+        while !scheduler.is_ready() {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        let ready_s = t0.elapsed().as_secs_f64();
+        wait_all_completed(&scheduler, &ids[..n]);
+        let complete_s = t0.elapsed().as_secs_f64();
+
+        let duplicates: usize = (0..n)
+            .map(|k| evals_on_disk(&dir, &ids[k]).saturating_sub(clean_evals[k]))
+            .sum();
+        assert_eq!(duplicates, 0, "recovery re-simulated durable evaluations (n={n})");
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+        rows.push((n, durable, ready_s, complete_s, duplicates));
+    }
+
+    let path = PathBuf::from("bench_results/serve_recovery.csv");
+    std::fs::create_dir_all(path.parent().unwrap()).expect("bench_results dir");
+    let mut file = std::fs::File::create(&path).expect("csv creates");
+    writeln!(file, "interrupted_campaigns,evals_durable_at_interrupt,ready_s,complete_s,duplicate_sims,clean_all8_s")
+        .unwrap();
+    println!("clean 8-campaign baseline: {:.3} s", clean_s);
+    for (n, durable, ready_s, complete_s, duplicates) in &rows {
+        println!(
+            "interrupted={n}  durable_evals={durable:<5}  ready={:>7.4} s  complete={:>7.3} s  duplicates={duplicates}",
+            ready_s, complete_s,
+        );
+        writeln!(file, "{n},{durable},{:.6},{:.6},{duplicates},{:.6}", ready_s, complete_s, clean_s)
+            .unwrap();
+    }
+    println!("wrote {}", path.display());
+}

@@ -50,6 +50,89 @@ use std::path::{Path, PathBuf};
 /// Version header on the first line of every journal file.
 const VERSION_HEADER: &str = "asdex-journal v1";
 
+/// Which storage operation a seeded [`DiskFault`] sabotages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFaultKind {
+    /// The append fails outright before any byte lands (ENOSPC-style).
+    WriteError,
+    /// The append writes a prefix of the record and then fails — the
+    /// on-disk shape of a torn tail, produced while the process lives.
+    ShortWrite,
+    /// `fsync` fails; buffered bytes may or may not be durable.
+    FsyncError,
+}
+
+impl DiskFaultKind {
+    /// Stable label for error messages and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiskFaultKind::WriteError => "write-error",
+            DiskFaultKind::ShortWrite => "short-write",
+            DiskFaultKind::FsyncError => "fsync-error",
+        }
+    }
+}
+
+/// A seeded, deterministic disk-fault injector for the journal and
+/// manifest write paths.
+///
+/// Whether an operation fails is a pure function of `(seed, salt, op
+/// index)` — the same campaign with the same fault config fails at the
+/// same operations on every run, so chaos tests are reproducible. `salt`
+/// is derived from the file name, so two journals under one config fail
+/// on *different* schedules (one campaign's storage can die while its
+/// neighbors stay healthy).
+#[derive(Debug, Clone, Copy)]
+pub struct DiskFault {
+    /// Which operation class to sabotage.
+    pub kind: DiskFaultKind,
+    /// Probability in `[0, 1]` that a given operation fails.
+    pub rate: f64,
+    /// Seed for the per-operation decision hash.
+    pub seed: u64,
+}
+
+impl DiskFault {
+    /// A fault of `kind` firing at `rate` under `seed`.
+    pub fn new(kind: DiskFaultKind, rate: f64, seed: u64) -> DiskFault {
+        DiskFault { kind, rate, seed }
+    }
+
+    /// Deterministic per-operation decision (splitmix64 over seed, salt,
+    /// and the operation index).
+    pub fn fires(&self, salt: u64, op: u64) -> bool {
+        let mut z = self
+            .seed
+            .wrapping_mul(0x9e3779b97f4a7c15)
+            .wrapping_add(salt.rotate_left(17))
+            .wrapping_add(op.wrapping_mul(0xbf58476d1ce4e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let unit = (z >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.rate
+    }
+
+    /// The injected error for a firing operation.
+    fn error(&self) -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::StorageFull,
+            format!("injected disk fault ({})", self.kind.label()),
+        )
+    }
+}
+
+/// FNV-1a over a path's file name: the per-file salt for [`DiskFault`].
+pub fn path_salt(path: &Path) -> u64 {
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let mut hash = 0xcbf29ce484222325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
 /// Campaign metadata stored on the journal's second line: ordered
 /// `key=value` string pairs (keys and values are sanitized to be
 /// whitespace-free). The environment layer treats this as opaque — the
@@ -137,6 +220,15 @@ pub enum JournalError {
         /// What was wrong with it.
         reason: String,
     },
+    /// A write or fsync on an *open* journal failed — the typed surface
+    /// for mid-campaign storage trouble (disk full, injected fault),
+    /// carrying which operation failed.
+    Storage {
+        /// The operation that failed (`append`, `fsync`).
+        op: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
 }
 
 impl fmt::Display for JournalError {
@@ -148,6 +240,9 @@ impl fmt::Display for JournalError {
             }
             JournalError::Format { line, reason } => {
                 write!(f, "corrupt journal at line {line}: {reason}")
+            }
+            JournalError::Storage { op, source } => {
+                write!(f, "journal storage error during {op}: {source}")
             }
         }
     }
@@ -183,6 +278,11 @@ pub struct Journal {
     recorded: usize,
     pending: usize,
     checkpoint_every: usize,
+    disk_fault: Option<DiskFault>,
+    salt: u64,
+    write_ops: u64,
+    sync_ops: u64,
+    dropped: usize,
 }
 
 fn fmt_f64(v: f64) -> String {
@@ -300,6 +400,11 @@ impl Journal {
             recorded: 0,
             pending: 0,
             checkpoint_every: checkpoint_every.max(1),
+            disk_fault: None,
+            salt: path_salt(path),
+            write_ops: 0,
+            sync_ops: 0,
+            dropped: 0,
         })
     }
 
@@ -387,9 +492,22 @@ impl Journal {
             recorded: 0,
             pending: 0,
             checkpoint_every: checkpoint_every.max(1),
+            disk_fault: None,
+            salt: path_salt(path),
+            write_ops: 0,
+            sync_ops: 0,
+            dropped: 0,
         };
         journal.recorded = entries;
         Ok(journal)
+    }
+
+    /// Attaches a seeded [`DiskFault`] injector to this journal's write
+    /// and fsync paths (chaos testing).
+    #[must_use]
+    pub fn with_disk_fault(mut self, fault: DiskFault) -> Journal {
+        self.disk_fault = Some(fault);
+        self
     }
 
     /// Pops the recorded outcome for `(u, corner_idx, cap)`, if this
@@ -410,17 +528,64 @@ impl Journal {
     /// Appends one evaluation record, fsync'ing when `checkpoint_every`
     /// records have accumulated since the last sync.
     ///
+    /// A failed append is also tallied in [`Journal::dropped`]: in-tree
+    /// callers degrade by dropping the record (a shorter resume point, not
+    /// a failed evaluation), and the tally keeps that degradation visible
+    /// in campaign telemetry instead of silent.
+    ///
     /// # Errors
     ///
-    /// [`std::io::Error`] when the append or the periodic fsync fails.
+    /// [`JournalError::Storage`] when the append or the periodic fsync
+    /// fails (or a [`DiskFault`] fires).
     pub fn record(
         &mut self,
         u: &[f64],
         corner_idx: usize,
         cap: usize,
         eval: &Evaluation,
-    ) -> std::io::Result<()> {
-        self.file.write_all(fmt_eval_line(u, corner_idx, cap, eval).as_bytes())?;
+    ) -> Result<(), JournalError> {
+        let before = self.recorded;
+        let result = self.try_record(u, corner_idx, cap, eval);
+        // A failed periodic fsync is not a drop: the append itself landed.
+        if result.is_err() && self.recorded == before {
+            self.dropped += 1;
+        }
+        result
+    }
+
+    fn try_record(
+        &mut self,
+        u: &[f64],
+        corner_idx: usize,
+        cap: usize,
+        eval: &Evaluation,
+    ) -> Result<(), JournalError> {
+        let line = fmt_eval_line(u, corner_idx, cap, eval);
+        let bytes = line.as_bytes();
+        let op = self.write_ops;
+        self.write_ops += 1;
+        if let Some(fault) = self.disk_fault {
+            if fault.fires(self.salt, op) {
+                match fault.kind {
+                    DiskFaultKind::WriteError => {
+                        return Err(JournalError::Storage { op: "append", source: fault.error() });
+                    }
+                    DiskFaultKind::ShortWrite => {
+                        // Land a prefix so the file genuinely tears, then
+                        // fail the append like a half-completed write.
+                        let cut = bytes.len() / 2;
+                        self.file
+                            .write_all(&bytes[..cut])
+                            .map_err(|e| JournalError::Storage { op: "append", source: e })?;
+                        return Err(JournalError::Storage { op: "append", source: fault.error() });
+                    }
+                    DiskFaultKind::FsyncError => {}
+                }
+            }
+        }
+        self.file
+            .write_all(bytes)
+            .map_err(|e| JournalError::Storage { op: "append", source: e })?;
         self.recorded += 1;
         self.pending += 1;
         if self.pending >= self.checkpoint_every {
@@ -434,11 +599,24 @@ impl Journal {
     ///
     /// # Errors
     ///
-    /// [`std::io::Error`] when the sync fails.
-    pub fn checkpoint(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()?;
+    /// [`JournalError::Storage`] when the sync fails (or a [`DiskFault`]
+    /// fires).
+    pub fn checkpoint(&mut self) -> Result<(), JournalError> {
+        let op = self.sync_ops;
+        self.sync_ops += 1;
+        if let Some(fault) = self.disk_fault {
+            if fault.kind == DiskFaultKind::FsyncError && fault.fires(self.salt, op) {
+                return Err(JournalError::Storage { op: "fsync", source: fault.error() });
+            }
+        }
+        self.file.sync_data().map_err(|e| JournalError::Storage { op: "fsync", source: e })?;
         self.pending = 0;
         Ok(())
+    }
+
+    /// Appends that failed and were degraded to a shorter resume point.
+    pub fn dropped(&self) -> usize {
+        self.dropped
     }
 
     /// Where the journal lives on disk.
@@ -617,6 +795,69 @@ mod tests {
         std::fs::write(&path, "asdex-journal v99\nM\n").unwrap();
         assert!(matches!(Journal::resume(&path, 1), Err(JournalError::Version { .. })));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_write_error_is_typed_counted_and_leaves_the_file_intact() {
+        let path = tmp_path("fault-write");
+        let j = Journal::create(&path, JournalMeta::new(), 100).unwrap();
+        let mut j = j.with_disk_fault(DiskFault::new(DiskFaultKind::WriteError, 1.0, 7));
+        let before = std::fs::metadata(&path).unwrap().len();
+        let err = j.record(&[0.5, 0.25], 0, 3, &sample_eval(true)).unwrap_err();
+        assert!(matches!(err, JournalError::Storage { op: "append", .. }), "got {err}");
+        assert_eq!(j.dropped(), 1);
+        assert_eq!(j.recorded(), 0);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), before, "no bytes landed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_short_write_tears_the_tail_and_resume_repairs_it() {
+        let path = tmp_path("fault-short");
+        let mut j = Journal::create(&path, JournalMeta::new(), 100).unwrap();
+        j.record(&[0.5, 0.25], 0, 3, &sample_eval(true)).unwrap();
+        j.checkpoint().unwrap();
+        let mut j = j.with_disk_fault(DiskFault::new(DiskFaultKind::ShortWrite, 1.0, 7));
+        let err = j.record(&[0.75, 0.25], 1, 3, &sample_eval(false)).unwrap_err();
+        assert!(matches!(err, JournalError::Storage { op: "append", .. }), "got {err}");
+        assert_eq!(j.dropped(), 1);
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.ends_with('\n'), "the short write must actually tear the file");
+        let j = Journal::resume(&path, 1).unwrap();
+        assert_eq!(j.recorded(), 1, "torn half-record dropped, intact record kept");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_fsync_failure_is_typed_and_does_not_drop_records() {
+        let path = tmp_path("fault-fsync");
+        let j = Journal::create(&path, JournalMeta::new(), 1).unwrap();
+        let mut j = j.with_disk_fault(DiskFault::new(DiskFaultKind::FsyncError, 1.0, 7));
+        // checkpoint_every=1: the periodic fsync inside record fails, but
+        // the append itself landed — an error, not a drop.
+        let err = j.record(&[0.5, 0.25], 0, 3, &sample_eval(true)).unwrap_err();
+        assert!(matches!(err, JournalError::Storage { op: "fsync", .. }), "got {err}");
+        assert_eq!(j.dropped(), 0);
+        assert_eq!(j.recorded(), 1);
+        let err = j.checkpoint().unwrap_err();
+        assert!(matches!(err, JournalError::Storage { op: "fsync", .. }), "got {err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn disk_fault_decisions_are_deterministic_and_salted() {
+        let fault = DiskFault::new(DiskFaultKind::WriteError, 0.5, 42);
+        let a: Vec<bool> = (0..64).map(|op| fault.fires(1, op)).collect();
+        let b: Vec<bool> = (0..64).map(|op| fault.fires(1, op)).collect();
+        assert_eq!(a, b, "same (seed, salt, op) must decide identically");
+        let c: Vec<bool> = (0..64).map(|op| fault.fires(2, op)).collect();
+        assert_ne!(a, c, "different salts must fail on different schedules");
+        assert!(a.iter().any(|f| *f) && a.iter().any(|f| !*f), "rate 0.5 mixes outcomes");
+        let never = DiskFault::new(DiskFaultKind::WriteError, 0.0, 42);
+        assert!((0..64).all(|op| !never.fires(1, op)));
+        let always = DiskFault::new(DiskFaultKind::WriteError, 1.0, 42);
+        assert!((0..64).all(|op| always.fires(1, op)));
     }
 
     #[test]

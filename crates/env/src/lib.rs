@@ -70,7 +70,7 @@ pub use fault::{
     arm_process_faults, process_faults_armed, FaultConfig, FaultInjectingEvaluator, FaultMode,
 };
 pub use health::HealthStats;
-pub use journal::{Journal, JournalError, JournalMeta};
+pub use journal::{path_salt, DiskFault, DiskFaultKind, Journal, JournalError, JournalMeta};
 pub use problem::{Evaluation, Evaluator, SizingProblem};
 pub use robust::{EvalEffort, RetryPolicy, RobustEvaluator};
 pub use search::{SearchBudget, SearchOutcome, Searcher};

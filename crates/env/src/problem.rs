@@ -493,7 +493,9 @@ impl SizingProblem {
             if let Some(journal) = &self.journal {
                 if let Ok(mut journal) = journal.lock() {
                     // A failed append never fails the evaluation — the
-                    // journal degrades to a shorter resume point.
+                    // journal degrades to a shorter resume point, and the
+                    // drop is tallied in `Journal::dropped` so campaign
+                    // telemetry surfaces it as `journal_drops`.
                     let _ = journal.record(u, corner_idx, cap, &eval);
                 }
             }

@@ -149,6 +149,9 @@ pub struct EvalStats {
     /// Out-of-grid points silently snapped to a fallback location instead
     /// of surfacing the snap error.
     pub snap_fallbacks: usize,
+    /// Journal appends that failed and were degraded to a shorter resume
+    /// point instead of failing the evaluation. Zero on healthy storage.
+    pub journal_drops: usize,
 }
 
 impl EvalStats {
@@ -195,6 +198,7 @@ impl EvalStats {
         self.retries += other.retries;
         self.recoveries += other.recoveries;
         self.snap_fallbacks += other.snap_fallbacks;
+        self.journal_drops += other.journal_drops;
     }
 }
 
@@ -209,6 +213,9 @@ impl fmt::Display for EvalStats {
             self.recoveries,
             self.snap_fallbacks
         )?;
+        if self.journal_drops > 0 {
+            write!(f, " | journal-drops {}", self.journal_drops)?;
+        }
         let by_kind: Vec<String> = FailureKind::ALL
             .iter()
             .filter(|k| self.failures_of(**k) > 0)

@@ -122,6 +122,15 @@ pub fn run_campaign(
         other => return Err(format!("unknown agent {other:?} (trm|bo|random)")),
     };
     let best_physical = problem.space.to_physical(&best_point).map_err(|e| e.to_string())?;
+    // Surface journal appends that were degraded to drops. Zero on
+    // healthy storage, so clean runs stay bitwise-comparable to
+    // journal-less runs.
+    let mut stats = stats;
+    if let Some(handle) = problem.journal_handle() {
+        if let Ok(journal) = handle.lock() {
+            stats.journal_drops += journal.dropped();
+        }
+    }
     Ok(CampaignOutcome {
         success,
         simulations,

@@ -285,6 +285,18 @@ impl Client {
         self.expect_json(self.request("GET", "/healthz", None)?)
     }
 
+    /// Probes readiness. Returns `Ok(true)` once boot-time recovery has
+    /// finished (200), `Ok(false)` while it is still replaying (503).
+    /// Deliberately retry-free: the 503 *is* the answer.
+    pub fn readyz(&self) -> Result<bool, ClientError> {
+        let (status, body) = self.request("GET", "/readyz", None)?;
+        match status {
+            200 => Ok(true),
+            503 => Ok(false),
+            _ => Err(ClientError::Status { status, body }),
+        }
+    }
+
     /// Fetches the raw metrics exposition.
     pub fn metrics(&self) -> Result<String, ClientError> {
         let (status, body) = self.request("GET", "/metrics", None)?;

@@ -36,7 +36,9 @@ pub mod client;
 pub mod http;
 pub mod json;
 pub mod loadgen;
+pub mod lockdir;
 pub mod logging;
+pub mod manifest;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
@@ -48,10 +50,12 @@ pub use campaign::{build_problem, run_campaign, CampaignOutcome};
 pub use client::{Client, ClientConfig, ClientError};
 pub use json::Json;
 pub use loadgen::{LoadReport, LoadgenConfig};
+pub use lockdir::{DirLock, LockError};
 pub use logging::LogLevel;
+pub use manifest::{Manifest, ManifestError, ManifestPhase, TerminalRecord};
 pub use metrics::{Metrics, WorkerStats};
 pub use pool::{WorkerPool, WorkerPoolConfig};
 pub use protocol::{outcome_json, CampaignSpec};
-pub use scheduler::{CampaignStatus, Scheduler, SchedulerConfig, SubmitError};
+pub use scheduler::{CampaignStatus, Scheduler, SchedulerConfig, StartError, SubmitError};
 pub use server::{DrainHandle, Server, ServerConfig};
 pub use worker::{run_worker, WorkerConfig};

@@ -60,15 +60,15 @@ impl LatencyHistogram {
 }
 
 /// The endpoints the server tracks latency for.
-pub const ENDPOINTS: [&str; 4] = ["/campaigns", "/campaigns/{id}", "/healthz", "/metrics"];
+pub const ENDPOINTS: [&str; 5] = ["/campaigns", "/campaigns/{id}", "/healthz", "/readyz", "/metrics"];
 
 /// All daemon-level counters and histograms.
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Requests served, by [`ENDPOINTS`] index.
-    requests: [AtomicU64; 4],
+    requests: [AtomicU64; 5],
     /// Per-endpoint request latency, by [`ENDPOINTS`] index.
-    latency: [LatencyHistogram; 4],
+    latency: [LatencyHistogram; 5],
     /// Requests that matched no route or used a wrong method.
     pub unmatched_requests: AtomicU64,
     /// Campaigns accepted into the queue.
@@ -81,6 +81,15 @@ pub struct Metrics {
     pub campaigns_failed: AtomicU64,
     /// Submissions rejected because the admission queue was full.
     pub campaigns_rejected: AtomicU64,
+    /// Storage-layer failures observed and survived: manifest or journal
+    /// writes/fsyncs that returned an error or landed short. Each one
+    /// degrades exactly one campaign; the daemon keeps serving.
+    pub storage_errors: AtomicU64,
+    /// Incomplete campaigns re-admitted by boot-time manifest recovery.
+    pub recovered_campaigns: AtomicU64,
+    /// Wall-clock duration of the last boot-time recovery replay, in
+    /// microseconds (gauge; rendered as seconds).
+    pub recovery_us: AtomicU64,
     /// Worker-pool supervision telemetry, shared with every
     /// [`crate::pool::WorkerPool`] the scheduler creates.
     pub workers: Arc<WorkerStats>,
@@ -253,6 +262,27 @@ impl Metrics {
                 "asdex_health_interventions_total{{kind=\"{kind}\"}} {value}"
             );
         }
+        let _ = writeln!(out, "# HELP asdex_storage_errors_total Journal/manifest write or fsync failures survived.");
+        let _ = writeln!(out, "# TYPE asdex_storage_errors_total counter");
+        let _ = writeln!(
+            out,
+            "asdex_storage_errors_total {}",
+            self.storage_errors.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# HELP asdex_recovered_campaigns_total Incomplete campaigns re-admitted by boot-time recovery.");
+        let _ = writeln!(out, "# TYPE asdex_recovered_campaigns_total counter");
+        let _ = writeln!(
+            out,
+            "asdex_recovered_campaigns_total {}",
+            self.recovered_campaigns.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# HELP asdex_recovery_seconds Wall-clock duration of the last boot-time recovery replay.");
+        let _ = writeln!(out, "# TYPE asdex_recovery_seconds gauge");
+        let _ = writeln!(
+            out,
+            "asdex_recovery_seconds {}",
+            self.recovery_us.load(Ordering::Relaxed) as f64 / 1e6
+        );
         self.workers.render(&mut out);
         out
     }
@@ -303,6 +333,10 @@ mod tests {
         assert!(text.contains("asdex_active_campaigns 2"));
         assert!(text.contains("asdex_eval_failures_total{kind=\"cancelled\"} 0"));
         assert!(text.contains("asdex_health_interventions_total{kind=\"rollbacks\"} 0"));
+        assert!(text.contains("asdex_requests_total{path=\"/readyz\"} 0"));
+        assert!(text.contains("asdex_storage_errors_total 0"));
+        assert!(text.contains("asdex_recovered_campaigns_total 0"));
+        assert!(text.contains("asdex_recovery_seconds 0"));
     }
 
     #[test]

@@ -168,6 +168,7 @@ pub fn stats_json(stats: &EvalStats) -> Json {
         .with("retries", Json::Num(stats.retries as f64))
         .with("recoveries", Json::Num(stats.recoveries as f64))
         .with("snap_fallbacks", Json::Num(stats.snap_fallbacks as f64))
+        .with("journal_drops", Json::Num(stats.journal_drops as f64))
         .with("total_failures", Json::Num(stats.total_failures() as f64))
         .with("failures", failures)
 }

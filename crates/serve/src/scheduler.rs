@@ -20,15 +20,20 @@
 //! so a drained daemon restarts with zero duplicate simulations.
 
 use crate::campaign::{build_problem, run_campaign, CampaignOutcome};
+use crate::lockdir::{DirLock, LockError};
 use crate::logging;
+use crate::manifest::{
+    Manifest, ManifestCampaign, ManifestError, ManifestPhase, TerminalRecord, MANIFEST_FILE_NAME,
+};
 use crate::metrics::{Metrics, SchedulerGauges};
 use crate::pool::{WorkerPool, WorkerPoolConfig};
-use crate::protocol::CampaignSpec;
+use crate::protocol::{outcome_json, CampaignSpec};
 use asdex_core::{ProgressEvent, ProgressHandle};
-use asdex_env::{CancelToken, EvalStats, HealthStats, Journal};
+use asdex_env::journal::DiskFault;
+use asdex_env::{CancelToken, EvalStats, HealthStats, Journal, JournalError};
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -52,6 +57,13 @@ pub struct SchedulerConfig {
     /// Binary spawned as `<program> worker …`; `None` uses
     /// `std::env::current_exe()` (the daemon re-executing itself).
     pub worker_program: Option<PathBuf>,
+    /// Whether boot-time recovery replays the manifest: re-exposing
+    /// terminal campaigns and re-admitting incomplete ones. `false`
+    /// ignores the manifest's history (the `--no-recover` escape hatch).
+    pub recover: bool,
+    /// Seeded fault injector applied to every journal and manifest write
+    /// path (chaos testing). `None` in production.
+    pub disk_fault: Option<DiskFault>,
 }
 
 impl Default for SchedulerConfig {
@@ -63,7 +75,38 @@ impl Default for SchedulerConfig {
             journal_dir: PathBuf::from("journals"),
             workers: 0,
             worker_program: None,
+            recover: true,
+            disk_fault: None,
         }
+    }
+}
+
+/// Why the scheduler could not start.
+#[derive(Debug)]
+pub enum StartError {
+    /// Another live process owns the journal directory.
+    Lock(LockError),
+    /// The campaign manifest could not be opened or replayed.
+    Manifest(ManifestError),
+    /// The journal directory could not be created.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for StartError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StartError::Lock(e) => write!(f, "{e}"),
+            StartError::Manifest(e) => write!(f, "{e}"),
+            StartError::Io(e) => write!(f, "journal directory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StartError {}
+
+impl From<std::io::Error> for StartError {
+    fn from(e: std::io::Error) -> Self {
+        StartError::Io(e)
     }
 }
 
@@ -117,6 +160,10 @@ pub struct CampaignRecord {
     outcome: Mutex<Option<Result<CampaignOutcome, String>>>,
     /// `(replayed, recorded)` journal telemetry after the run.
     journal_info: Mutex<Option<(usize, usize)>>,
+    /// Terminal summary replayed from the manifest for a campaign that
+    /// finished under a *previous* daemon. The full outcome object died
+    /// with that process; the durable headline numbers did not.
+    recovered: Mutex<Option<TerminalRecord>>,
     cancel: CancelToken,
     share: Arc<AtomicUsize>,
 }
@@ -130,6 +177,7 @@ impl CampaignRecord {
             progress: Mutex::new(VecDeque::new()),
             outcome: Mutex::new(None),
             journal_info: Mutex::new(None),
+            recovered: Mutex::new(None),
             cancel: CancelToken::new(),
             share: Arc::new(AtomicUsize::new(0)),
         })
@@ -160,6 +208,12 @@ impl CampaignRecord {
     /// been checkpointed.
     pub fn journal_info(&self) -> Option<(usize, usize)> {
         *self.journal_info.lock().unwrap()
+    }
+
+    /// The manifest's terminal summary, for a campaign that finished
+    /// under a previous daemon and was re-exposed by boot-time recovery.
+    pub fn recovered_summary(&self) -> Option<TerminalRecord> {
+        self.recovered.lock().unwrap().clone()
     }
 
     fn set_status(&self, status: CampaignStatus) {
@@ -197,6 +251,11 @@ pub enum SubmitError {
     Conflict(String),
     /// The spec failed validation.
     Invalid(String),
+    /// Boot-time recovery is still replaying the manifest; retry later.
+    Recovering,
+    /// The admission could not be made durable (manifest write failed);
+    /// nothing was admitted.
+    Storage(String),
 }
 
 impl std::fmt::Display for SubmitError {
@@ -206,6 +265,8 @@ impl std::fmt::Display for SubmitError {
             SubmitError::Draining => write!(f, "daemon is draining"),
             SubmitError::Conflict(id) => write!(f, "campaign {id:?} is already in flight"),
             SubmitError::Invalid(msg) => write!(f, "{msg}"),
+            SubmitError::Recovering => write!(f, "daemon is recovering; retry shortly"),
+            SubmitError::Storage(msg) => write!(f, "admission not durable: {msg}"),
         }
     }
 }
@@ -220,20 +281,40 @@ pub struct Scheduler {
     done_cv: Condvar,
     metrics: Arc<Metrics>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Exclusive fence on the journal directory; released on drain so a
+    /// successor daemon can take over immediately.
+    lock: Mutex<Option<DirLock>>,
+    /// The write-ahead campaign manifest (`manifest.log`).
+    manifest: Mutex<Manifest>,
+    /// `false` until boot-time recovery has replayed the manifest;
+    /// `/readyz` and admission key off this.
+    ready: AtomicBool,
 }
 
 impl Scheduler {
-    /// Creates the journal directory, spawns `max_active` runner threads,
-    /// and returns the scheduler handle.
+    /// Fences the journal directory, opens and replays the campaign
+    /// manifest, spawns `max_active` runner threads, and kicks off
+    /// boot-time recovery (on its own thread, so the HTTP front end can
+    /// answer `/readyz` 503 while the replay runs).
     ///
     /// # Errors
     ///
-    /// Returns the I/O error if the journal directory cannot be created.
+    /// * [`StartError::Lock`] when another live process owns the
+    ///   directory.
+    /// * [`StartError::Manifest`] when the manifest is corrupt.
+    /// * [`StartError::Io`] when the directory cannot be created.
     pub fn start(
         cfg: SchedulerConfig,
         metrics: Arc<Metrics>,
-    ) -> std::io::Result<Arc<Scheduler>> {
+    ) -> Result<Arc<Scheduler>, StartError> {
         std::fs::create_dir_all(&cfg.journal_dir)?;
+        let lock = DirLock::acquire(&cfg.journal_dir).map_err(StartError::Lock)?;
+        let manifest_path = cfg.journal_dir.join(MANIFEST_FILE_NAME);
+        let (mut manifest, replayed) =
+            Manifest::open(&manifest_path).map_err(StartError::Manifest)?;
+        if let Some(fault) = cfg.disk_fault {
+            manifest = manifest.with_disk_fault(fault);
+        }
         let scheduler = Arc::new(Scheduler {
             cfg: cfg.clone(),
             inner: Mutex::new(Inner::default()),
@@ -241,6 +322,9 @@ impl Scheduler {
             done_cv: Condvar::new(),
             metrics,
             workers: Mutex::new(Vec::new()),
+            lock: Mutex::new(Some(lock)),
+            manifest: Mutex::new(manifest),
+            ready: AtomicBool::new(false),
         });
         let mut workers = scheduler.workers.lock().unwrap();
         for i in 0..cfg.max_active.max(1) {
@@ -252,8 +336,93 @@ impl Scheduler {
                     .expect("spawn runner thread"),
             );
         }
+        let entries = if cfg.recover { replayed } else { Vec::new() };
+        if entries.is_empty() {
+            // Nothing to replay: ready immediately, no recovery thread
+            // (keeps fresh-directory startups race-free for callers that
+            // submit right away).
+            scheduler.ready.store(true, Ordering::SeqCst);
+        } else {
+            let me = Arc::clone(&scheduler);
+            workers.push(
+                std::thread::Builder::new()
+                    .name("asdex-recovery".to_string())
+                    .spawn(move || me.recover(entries))
+                    .expect("spawn recovery thread"),
+            );
+        }
         drop(workers);
         Ok(scheduler)
+    }
+
+    /// Boot-time recovery: replay the manifest's campaigns — re-expose
+    /// the durably finished ones, re-admit everything else — then flip
+    /// the readiness flag.
+    fn recover(self: Arc<Self>, entries: Vec<ManifestCampaign>) {
+        let started = Instant::now();
+        let total = entries.len();
+        let mut readmitted = 0usize;
+        for entry in entries {
+            let record = CampaignRecord::new(entry.id.clone(), entry.spec);
+            let mut inner = self.inner.lock().unwrap();
+            // Keep generated ids (`c%04d`) from colliding with recovered
+            // ones.
+            if let Some(n) = entry
+                .id
+                .strip_prefix('c')
+                .filter(|d| d.len() == 4)
+                .and_then(|d| d.parse::<usize>().ok())
+            {
+                inner.next_id = inner.next_id.max(n);
+            }
+            match entry.phase {
+                ManifestPhase::Terminal(t) if t.is_final() => {
+                    if t.status == "failed" {
+                        let msg =
+                            t.error.clone().unwrap_or_else(|| "failed (no recorded error)".into());
+                        *record.outcome.lock().unwrap() = Some(Err(msg));
+                        record.set_status(CampaignStatus::Failed);
+                    } else {
+                        record.set_status(CampaignStatus::Completed);
+                    }
+                    *record.recovered.lock().unwrap() = Some(t);
+                    inner.registry.insert(entry.id, record);
+                }
+                _ if inner.draining => {
+                    // Drained before recovery finished: the manifest keeps
+                    // these incomplete; the *next* boot re-admits them.
+                    record.set_status(CampaignStatus::Interrupted);
+                    self.metrics.campaigns_interrupted.fetch_add(1, Ordering::Relaxed);
+                    inner.registry.insert(entry.id, record);
+                }
+                _ => {
+                    readmitted += 1;
+                    logging::info(format!(
+                        "recovery: re-admitting incomplete campaign {}",
+                        entry.id
+                    ));
+                    inner.registry.insert(entry.id, Arc::clone(&record));
+                    inner.queue.push_back(record);
+                    self.metrics.campaigns_submitted.fetch_add(1, Ordering::Relaxed);
+                    drop(inner);
+                    self.work_cv.notify_one();
+                }
+            }
+        }
+        self.metrics.recovered_campaigns.fetch_add(readmitted as u64, Ordering::Relaxed);
+        self.metrics
+            .recovery_us
+            .store(started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        self.ready.store(true, Ordering::SeqCst);
+        logging::info(format!(
+            "recovery: replayed {total} campaign(s), re-admitted {readmitted}, ready in {:?}",
+            started.elapsed()
+        ));
+    }
+
+    /// Whether boot-time recovery has finished (`/readyz` truth source).
+    pub fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::SeqCst)
     }
 
     /// Admits a campaign. With an explicit id whose journal file already
@@ -282,6 +451,12 @@ impl Scheduler {
         // check for one slot, and a resubmitted id is admitted only once
         // its previous run has fully left the active set.
         let mut inner = self.inner.lock().unwrap();
+        if !self.ready.load(Ordering::SeqCst) {
+            // Recovery replay has exclusive admission rights: a client
+            // submission racing with the re-admission of the same id
+            // could otherwise put two writers on one journal.
+            return Err(SubmitError::Recovering);
+        }
         if inner.draining {
             return Err(SubmitError::Draining);
         }
@@ -304,6 +479,15 @@ impl Scheduler {
                 }
             },
         };
+        // Write-ahead: the admission record is fsync'd to the manifest
+        // BEFORE the registry/queue insertion, so an admission the client
+        // saw acknowledged can never be forgotten by a crash. If the
+        // record cannot land, nothing is admitted.
+        if let Err(e) = self.manifest.lock().unwrap().append_admitted(&id, &spec) {
+            self.metrics.storage_errors.fetch_add(1, Ordering::Relaxed);
+            logging::info(format!("scheduler: admission of {id} not durable: {e}"));
+            return Err(SubmitError::Storage(e.to_string()));
+        }
         let record = CampaignRecord::new(id.clone(), spec);
         inner.registry.insert(id.clone(), Arc::clone(&record));
         inner.queue.push_back(record);
@@ -366,12 +550,28 @@ impl Scheduler {
             if inner.draining {
                 drop(inner);
                 self.join_workers();
+                self.release_lock();
                 return;
             }
             inner.draining = true;
             while let Some(job) = inner.queue.pop_front() {
                 job.set_status(CampaignStatus::Interrupted);
                 self.metrics.campaigns_interrupted.fetch_add(1, Ordering::Relaxed);
+                // Best-effort: the standing `A` record already marks the
+                // campaign incomplete, so a failed append changes nothing
+                // about the next boot's recovery decision.
+                if let Err(e) = self
+                    .manifest
+                    .lock()
+                    .unwrap()
+                    .append_terminal(&job.id, &TerminalRecord::interrupted(0))
+                {
+                    self.metrics.storage_errors.fetch_add(1, Ordering::Relaxed);
+                    logging::info(format!(
+                        "campaign {}: interrupted record not durable: {e}",
+                        job.id
+                    ));
+                }
             }
             for job in &inner.active {
                 job.cancel.cancel();
@@ -384,7 +584,15 @@ impl Scheduler {
         self.work_cv.notify_all();
         self.done_cv.notify_all();
         self.join_workers();
+        self.release_lock();
         logging::info("scheduler: drained");
+    }
+
+    /// Releases the journal-directory fence so a successor (next daemon,
+    /// CLI resume) can take over without waiting for this process to
+    /// exit.
+    fn release_lock(&self) {
+        *self.lock.lock().unwrap() = None;
     }
 
     fn join_workers(&self) {
@@ -430,6 +638,23 @@ impl Scheduler {
 
             let (result, status) = self.run_one(&job);
 
+            // The terminal manifest record is written *before* the status
+            // is published: once a client can observe "completed", the
+            // observation survives any crash. An append failure is logged
+            // and counted, never fatal — the in-memory outcome stays
+            // served, and the next boot simply re-runs the campaign from
+            // its journal (zero duplicate simulations, same outcome).
+            let terminal = match (&result, status) {
+                (Ok(outcome), CampaignStatus::Completed) => TerminalRecord::completed(
+                    outcome.success,
+                    outcome.simulations,
+                    outcome.best_value,
+                    &outcome_json(outcome).dump(),
+                ),
+                (Ok(outcome), _) => TerminalRecord::interrupted(outcome.simulations),
+                (Err(msg), _) => TerminalRecord::failed(msg),
+            };
+
             {
                 // Publish the terminal status and leave the active set in
                 // ONE `inner` critical section. Admission reads both under
@@ -439,6 +664,15 @@ impl Scheduler {
                 // active slot — the check-then-act race that could put two
                 // writers on one journal.
                 let mut inner = self.inner.lock().unwrap();
+                if let Err(e) = self.manifest.lock().unwrap().append_terminal(&job.id, &terminal)
+                {
+                    self.metrics.storage_errors.fetch_add(1, Ordering::Relaxed);
+                    logging::info(format!(
+                        "campaign {}: terminal record not durable ({e}); \
+                         the next boot re-runs it from the journal",
+                        job.id
+                    ));
+                }
                 if let Ok(outcome) = &result {
                     inner.finished_eval.merge(&outcome.stats);
                     inner.finished_health.merge(&outcome.health);
@@ -461,7 +695,25 @@ impl Scheduler {
         job: &Arc<CampaignRecord>,
     ) -> (Result<CampaignOutcome, String>, CampaignStatus) {
         job.set_status(CampaignStatus::Running);
-        let result = self.run_inner(job);
+        // Write-ahead for the running transition too; a campaign whose
+        // lifecycle cannot be recorded fails typed instead of running
+        // off the books.
+        let durable = self.manifest.lock().unwrap().append_running(&job.id);
+        let result = match durable {
+            Ok(()) => self.run_inner(job),
+            Err(e) => {
+                self.metrics.storage_errors.fetch_add(1, Ordering::Relaxed);
+                Err(format!("running transition not durable: {e}"))
+            }
+        };
+        if let Ok(outcome) = &result {
+            // Evaluations that storage faults kept out of the journal:
+            // survived (the run kept going) but counted.
+            let drops = outcome.stats.journal_drops as u64;
+            if drops > 0 {
+                self.metrics.storage_errors.fetch_add(drops, Ordering::Relaxed);
+            }
+        }
         let cancelled = job.cancel.is_cancelled();
         let status = match &result {
             Ok(_) if cancelled => CampaignStatus::Interrupted,
@@ -505,6 +757,10 @@ impl Scheduler {
         } else {
             Journal::create(&journal_path, submitted.to_meta(), submitted.checkpoint_every)
                 .map_err(|e| e.to_string())?
+        };
+        let journal = match self.cfg.disk_fault {
+            Some(fault) => journal.with_disk_fault(fault),
+            None => journal,
         };
 
         let spec = job.spec();
@@ -557,7 +813,12 @@ impl Scheduler {
         // and especially on drain — before classifying the result.
         if let Some(handle) = problem.journal_handle() {
             if let Ok(mut j) = handle.lock() {
-                j.checkpoint().map_err(|e| format!("journal checkpoint failed: {e}"))?;
+                j.checkpoint().map_err(|e| {
+                    if matches!(e, JournalError::Storage { .. }) {
+                        self.metrics.storage_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    format!("journal checkpoint failed: {e}")
+                })?;
                 *job.journal_info.lock().unwrap() = Some((j.replayed(), j.recorded()));
                 logging::debug(format!(
                     "campaign {}: journal {} ({} replayed, {} recorded)",
@@ -757,6 +1018,84 @@ mod tests {
         assert_eq!(terminal, accepted, "every accepted campaign ends exactly once");
         assert_eq!(scheduler.get("hot").unwrap().status(), CampaignStatus::Completed);
         scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn second_scheduler_on_a_live_directory_is_rejected_typed() {
+        let dir = temp_dir("fence");
+        let first = Scheduler::start(
+            SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let second = Scheduler::start(
+            SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            Arc::new(Metrics::new()),
+        );
+        match second {
+            Err(StartError::Lock(LockError::Held { pid, .. })) => {
+                assert_eq!(pid, std::process::id());
+            }
+            Ok(_) => panic!("two schedulers must not share a journal directory"),
+            Err(other) => panic!("expected a Held lock error, got {other}"),
+        }
+        first.drain();
+        // Drain released the fence: a successor starts immediately.
+        let third = Scheduler::start(
+            SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        third.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn boot_recovery_reexposes_terminal_and_readmits_incomplete() {
+        let dir = temp_dir("recover");
+        let first = Scheduler::start(
+            SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let done = first.submit(Some("done".into()), quick_spec(5)).unwrap();
+        assert!(first.wait(&done, Duration::from_secs(60)));
+        first.drain();
+        drop(first);
+
+        // Forge the crash window: an admission the daemon acknowledged
+        // but never ran. (A real SIGKILL test lives in tests/recovery.rs;
+        // this exercises the replay logic deterministically in-process.)
+        let (mut m, _) =
+            Manifest::open(&dir.join(MANIFEST_FILE_NAME)).unwrap();
+        m.append_admitted("pend", &quick_spec(6)).unwrap();
+        drop(m);
+
+        let metrics = Arc::new(Metrics::new());
+        let second = Scheduler::start(
+            SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !second.is_ready() {
+            assert!(Instant::now() < deadline, "recovery must finish");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        // The incomplete campaign was re-admitted without any client
+        // resubmission and runs to completion.
+        assert!(second.wait("pend", Duration::from_secs(60)));
+        assert_eq!(second.get("pend").unwrap().status(), CampaignStatus::Completed);
+        assert_eq!(metrics.recovered_campaigns.load(Ordering::Relaxed), 1);
+        // The finished campaign is re-exposed from its manifest summary,
+        // not re-run.
+        let record = second.get("done").unwrap();
+        assert_eq!(record.status(), CampaignStatus::Completed);
+        let summary = record.recovered_summary().expect("manifest summary");
+        assert_eq!(summary.status, "completed");
+        assert!(record.outcome().is_none(), "no fake outcome object");
+        second.drain();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -79,16 +79,21 @@ pub struct Server {
 
 impl Server {
     /// Binds the listener and starts the scheduler (runner threads spawn
-    /// here; the accept loop does not run until [`Server::run`]).
+    /// here; the accept loop does not run until [`Server::run`]). Boot-time
+    /// recovery replays on its own thread — `/readyz` answers 503 until it
+    /// finishes.
     ///
     /// # Errors
     ///
-    /// Propagates bind and journal-directory failures.
+    /// Propagates bind failures and scheduler-start failures (a held
+    /// journal-directory lock, a corrupt manifest); the typed
+    /// [`crate::scheduler::StartError`] rides inside the I/O error.
     pub fn bind(cfg: ServerConfig, drain: DrainHandle) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let metrics = Arc::new(Metrics::new());
-        let scheduler = Scheduler::start(cfg.scheduler, Arc::clone(&metrics))?;
+        let scheduler = Scheduler::start(cfg.scheduler, Arc::clone(&metrics))
+            .map_err(std::io::Error::other)?;
         Ok(Server { listener, scheduler, metrics, drain, in_flight: Arc::new(AtomicUsize::new(0)) })
     }
 
@@ -198,6 +203,24 @@ fn route(
                 .dump();
             (Metrics::endpoint_index("/healthz"), Response::json(200, body))
         }
+        ("GET", "/readyz") => {
+            // Distinct from `/healthz`: the process is *live* the moment
+            // it binds, but not *ready* until boot-time recovery has
+            // replayed the manifest.
+            let ready = scheduler.is_ready();
+            let body = Json::obj()
+                .with(
+                    "status",
+                    Json::Str(if ready { "ready" } else { "recovering" }.to_string()),
+                )
+                .with(
+                    "recovered",
+                    Json::Num(metrics.recovered_campaigns.load(Ordering::Relaxed) as f64),
+                )
+                .dump();
+            let status = if ready { 200 } else { 503 };
+            (Metrics::endpoint_index("/readyz"), Response::json(status, body))
+        }
         ("GET", "/metrics") => {
             let text = metrics.render(&scheduler.gauges());
             (Metrics::endpoint_index("/metrics"), Response::text(200, text))
@@ -211,7 +234,7 @@ fn route(
             let id = &p["/campaigns/".len()..];
             (Metrics::endpoint_index("/campaigns/{id}"), get_campaign(id, scheduler))
         }
-        (_, "/campaigns" | "/healthz" | "/metrics" | "/drain") => {
+        (_, "/campaigns" | "/healthz" | "/readyz" | "/metrics" | "/drain") => {
             (None, Response::json(405, error_body("method not allowed")))
         }
         _ => (None, Response::json(404, error_body("no such route"))),
@@ -243,10 +266,16 @@ fn post_campaign(request: &Request, scheduler: &Scheduler) -> Response {
         }
         Err(SubmitError::QueueFull) => Response::json(429, error_body("admission queue is full")),
         Err(SubmitError::Draining) => Response::json(503, error_body("daemon is draining")),
+        Err(SubmitError::Recovering) => {
+            Response::json(503, error_body("daemon is recovering; retry shortly"))
+        }
         Err(SubmitError::Conflict(id)) => {
             Response::json(409, error_body(&format!("campaign {id:?} is already in flight")))
         }
         Err(SubmitError::Invalid(msg)) => Response::json(400, error_body(&msg)),
+        Err(SubmitError::Storage(msg)) => {
+            Response::json(500, error_body(&format!("admission not durable: {msg}")))
+        }
     }
 }
 
@@ -277,6 +306,24 @@ fn get_campaign(id: &str, scheduler: &Scheduler) -> Response {
         Some(Err(message)) => body.with("error", Json::Str(message)),
         None => body,
     };
+    // A campaign that finished under a previous daemon: the full outcome
+    // object died with that process, but the manifest's terminal summary
+    // (headline numbers + bitwise digest) is durable. Served distinctly —
+    // never dressed up as a fresh outcome.
+    if let Some(summary) = record.recovered_summary() {
+        body = body.with(
+            "recovered",
+            Json::obj()
+                .with("status", Json::Str(summary.status.clone()))
+                .with("success", Json::Bool(summary.success))
+                .with("simulations", Json::Num(summary.simulations as f64))
+                .with(
+                    "best_value_bits",
+                    Json::Str(format!("{:016x}", summary.best_value.to_bits())),
+                )
+                .with("outcome_digest", Json::Str(format!("{:016x}", summary.digest))),
+        );
+    }
     Response::json(200, body.dump())
 }
 

@@ -26,6 +26,7 @@
 
 use asdex::env::{Journal, JournalError, SizingProblem};
 use asdex::serve::json::Json;
+use asdex::serve::lockdir::{DirLock, LockError};
 use asdex::serve::protocol::{outcome_json, stats_json, CampaignSpec};
 use asdex::serve::server::{DrainHandle, Server, ServerConfig};
 use asdex::serve::{logging, LoadgenConfig, LogLevel, SchedulerConfig};
@@ -53,7 +54,7 @@ USAGE:
     asdex sim   <deck.cir>
     asdex serve [--addr host:port] [--journal-dir dir] [--threads N]
                 [--workers N] [--queue N] [--max-active N]
-                [--log-level quiet|info|debug] [--quiet]
+                [--no-recover] [--log-level quiet|info|debug] [--quiet]
     asdex loadgen [--addr host:port] [--n N] [--concurrency N]
                   [--bench name] [--agent name] [--budget N]
                   [--corners set] [--out csv] [--timeout-secs N]
@@ -91,13 +92,25 @@ also carried as IEEE-754 hex bits, the daemon's wire format). `--quiet`
 silences stderr chatter.
 
 `serve` accepts campaigns over HTTP (POST /campaigns) and journals each
-to <journal-dir>/<id>.journal; SIGINT drains gracefully: admission
-stops, running campaigns checkpoint, and resubmitting the same id after
-restart resumes with zero duplicate simulations.
+to <journal-dir>/<id>.journal. Every admission and lifecycle transition
+is also fsync'd write-ahead to <journal-dir>/manifest.log, so daemon
+death is a non-event: on restart the scheduler replays the manifest,
+re-exposes finished campaigns, and re-admits incomplete ones, which
+resume from their journals with zero duplicate simulations. `GET
+/readyz` answers 503 until that replay finishes (use it as the
+readiness probe; /healthz stays the liveness probe); `--no-recover`
+skips the replay. The journal directory is fenced by an exclusive
+pid+epoch lock file (asdex.lock) honored by both the daemon and `size
+--journal/--resume`; a second opener fails typed, and a lock left by a
+dead process is reclaimed automatically. SIGINT and SIGTERM are handled
+identically: the daemon drains gracefully (admission stops, running
+campaigns checkpoint, exit 0); a journaled `size` run checkpoints and
+exits 130.
 
 EXIT CODES:
-    0  success (serve: clean drain)    1  runtime failure
-    2  usage error                     130  interrupted (journal checkpointed)
+    0  success (serve: clean drain on SIGINT/SIGTERM)
+    1  runtime failure                 2  usage error
+    130  interrupted (SIGINT/SIGTERM; journal checkpointed)
 ";
 
 /// Typed CLI failure with an exit-code mapping: usage mistakes exit 2,
@@ -109,6 +122,8 @@ enum CliError {
     Usage(String),
     /// A journal could not be created or resumed.
     Journal(JournalError),
+    /// The journal directory is fenced by another live process.
+    Lock(LockError),
     /// A file could not be read or written.
     Io { path: String, source: std::io::Error },
     /// The simulation or search itself failed.
@@ -120,6 +135,7 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Journal(e) => write!(f, "{e}"),
+            CliError::Lock(e) => write!(f, "{e}"),
             CliError::Io { path, source } => write!(f, "cannot access {path}: {source}"),
             CliError::Runtime(msg) => write!(f, "{msg}"),
         }
@@ -136,7 +152,10 @@ impl CliError {
     fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
-            CliError::Journal(_) | CliError::Io { .. } | CliError::Runtime(_) => 1,
+            CliError::Journal(_)
+            | CliError::Lock(_)
+            | CliError::Io { .. }
+            | CliError::Runtime(_) => 1,
         }
     }
 }
@@ -249,31 +268,52 @@ fn build_problem(name: &str, corners: &str) -> Result<SizingProblem, CliError> {
     })
 }
 
-/// Set by the `SIGINT` handler; polled by the watcher thread.
+/// Set by the `SIGINT`/`SIGTERM` handler; polled by the watcher thread.
 static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
 extern "C" fn on_sigint(_signum: i32) {
     INTERRUPTED.store(true, Ordering::SeqCst);
 }
 
-/// Installs a `SIGINT` handler plus a watcher thread that checkpoints the
-/// journal, prints the resume hint, and exits 130. Only called when a
-/// journal is active — without one, default Ctrl-C behaviour is left
-/// alone.
-///
-/// The handler itself only flips an atomic (the full async-signal-safe
-/// contract); all I/O happens on the watcher thread.
-fn install_interrupt_watcher(journal: Arc<Mutex<Journal>>) {
+const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
+
+/// Routes both `SIGINT` (Ctrl-C) and `SIGTERM` (service managers,
+/// `kill`) to the shared interrupt flag. The two are handled identically
+/// everywhere: same drain, same checkpoint, same exit code.
+fn install_signal_handlers() {
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
-    const SIGINT: i32 = 2;
     // SAFETY: installing a handler that only stores to a static
     // `AtomicBool` — async-signal-safe, and `signal` is specified for
     // exactly this use.
     unsafe {
         signal(SIGINT, on_sigint);
+        signal(SIGTERM, on_sigint);
     }
+}
+
+/// Acquires the exclusive pid+epoch fence on a journal's directory — the
+/// same lock the daemon holds on its `--journal-dir` — so a CLI resume
+/// can never write into a directory a live daemon owns (and vice versa).
+fn lock_journal_dir(journal_path: &Path) -> Result<DirLock, CliError> {
+    let dir = match journal_path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    DirLock::acquire(&dir).map_err(CliError::Lock)
+}
+
+/// Installs `SIGINT`/`SIGTERM` handlers plus a watcher thread that
+/// checkpoints the journal, prints the resume hint, and exits 130. Only
+/// called when a journal is active — without one, default signal
+/// behaviour is left alone.
+///
+/// The handler itself only flips an atomic (the full async-signal-safe
+/// contract); all I/O happens on the watcher thread.
+fn install_interrupt_watcher(journal: Arc<Mutex<Journal>>) {
+    install_signal_handlers();
     std::thread::spawn(move || loop {
         if INTERRUPTED.load(Ordering::SeqCst) {
             if let Ok(mut j) = journal.lock() {
@@ -308,8 +348,11 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
     };
 
     // Either restore the campaign identity from a journal, or read it from
-    // the command line (optionally starting a fresh journal).
-    let (spec, journal) = if let Some(path) = flag_value(args, "--resume")? {
+    // the command line (optionally starting a fresh journal). Any journal
+    // activity first fences the journal's directory — held for the whole
+    // run so a live daemon and a CLI resume can never interleave writes.
+    let (spec, journal, _dir_lock) = if let Some(path) = flag_value(args, "--resume")? {
+        let guard = lock_journal_dir(Path::new(path))?;
         let journal = Journal::resume(Path::new(path), checkpoint_every)?;
         let spec = CampaignSpec::from_meta(journal.meta()).map_err(CliError::Runtime)?;
         // The backend is part of the campaign's identity: a resumed run
@@ -328,7 +371,7 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
             journal.path().display(),
             journal.recorded()
         ));
-        (spec, Some(journal))
+        (spec, Some(journal), Some(guard))
     } else {
         let bench = positional(args)
             .ok_or_else(|| CliError::Usage(format!("size needs a benchmark\n\n{USAGE}")))?
@@ -342,16 +385,17 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
             checkpoint_every,
             solver: solver_flag.clone().unwrap_or_else(|| "auto".to_string()),
         };
-        let journal = match flag_value(args, "--journal")? {
+        let (journal, guard) = match flag_value(args, "--journal")? {
             Some(jpath) => {
+                let guard = lock_journal_dir(Path::new(jpath))?;
                 let journal =
                     Journal::create(Path::new(jpath), spec.to_meta(), checkpoint_every)?;
                 logging::info(format!("journal: recording to {}", journal.path().display()));
-                Some(journal)
+                (Some(journal), Some(guard))
             }
-            None => None,
+            None => (None, None),
         };
-        (spec, journal)
+        (spec, journal, guard)
     };
 
     let solver = SolverChoice::from_label(&spec.solver).ok_or_else(|| {
@@ -413,10 +457,7 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
     let mut journal_info = None;
     if let Some(handle) = problem.journal_handle() {
         if let Ok(mut j) = handle.lock() {
-            j.checkpoint().map_err(|e| CliError::Io {
-                path: j.path().display().to_string(),
-                source: e,
-            })?;
+            j.checkpoint().map_err(CliError::Journal)?;
             journal_info = Some((j.replayed(), j.recorded()));
             logging::info(format!(
                 "journal: {} evaluations replayed, {} on disk at {}",
@@ -548,28 +589,22 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
                 .to_path_buf(),
             workers: parse_flag(args, "--workers", 0usize)?,
             worker_program: None,
+            recover: !has_flag(args, "--no-recover"),
+            disk_fault: None,
         },
     };
     let drain = DrainHandle::new();
     let server = Server::bind(cfg, drain.clone())
         .map_err(|e| CliError::Runtime(format!("cannot start daemon: {e}")))?;
-    install_drain_on_sigint(drain);
+    install_drain_on_signal(drain);
     server.run().map_err(|e| CliError::Runtime(format!("daemon failed: {e}")))
 }
 
-/// Routes SIGINT to a graceful drain instead of killing the process: the
-/// accept loop notices the flag, the scheduler cancels and checkpoints,
-/// and `cmd_serve` returns normally (exit 0).
-fn install_drain_on_sigint(drain: DrainHandle) {
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-    }
-    const SIGINT: i32 = 2;
-    // SAFETY: the handler only stores to a static `AtomicBool` —
-    // async-signal-safe, and `signal` is specified for exactly this use.
-    unsafe {
-        signal(SIGINT, on_sigint);
-    }
+/// Routes SIGINT and SIGTERM to a graceful drain instead of killing the
+/// process: the accept loop notices the flag, the scheduler cancels and
+/// checkpoints, and `cmd_serve` returns normally (exit 0).
+fn install_drain_on_signal(drain: DrainHandle) {
+    install_signal_handlers();
     std::thread::spawn(move || loop {
         if INTERRUPTED.load(Ordering::SeqCst) {
             drain.request_drain();
