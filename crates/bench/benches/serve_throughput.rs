@@ -34,6 +34,7 @@ fn main() {
                 journal_dir: journal_dir.join(format!("c{concurrency}")),
                 ..SchedulerConfig::default()
             },
+            ..ServerConfig::default()
         };
         let drain = DrainHandle::new();
         let server = Server::bind(cfg, drain.clone()).expect("daemon binds");

@@ -150,11 +150,7 @@ impl SizingProblem {
                 .map(|(i, found)| {
                     let (e, replayed) = found.unwrap_or_else(|| {
                         (
-                            self.evaluate_unjournaled(
-                                &requests[i].u,
-                                requests[i].corner_idx,
-                                caps[i],
-                            ),
+                            self.evaluate_shared(&requests[i].u, requests[i].corner_idx, caps[i]),
                             false,
                         )
                     });
@@ -182,7 +178,7 @@ impl SizingProblem {
                         continue; // served from the journal
                     }
                     let e =
-                        self.evaluate_unjournaled(&requests[i].u, requests[i].corner_idx, caps[i]);
+                        self.evaluate_shared(&requests[i].u, requests[i].corner_idx, caps[i]);
                     if let Ok(mut slot) = slots[i].lock() {
                         *slot = Some((e, false));
                     }
@@ -350,6 +346,70 @@ mod tests {
         share.store(1, Ordering::SeqCst);
         let serial = p.evaluate_batch(&reqs, 1000);
         assert_eq!(at_share, serial);
+    }
+
+    #[test]
+    fn shared_store_is_invisible_in_results() {
+        let reqs = grid_requests(12);
+        let reference = toy_problem().evaluate_batch(&reqs, 1000);
+        let store = crate::evalstore::EvalStore::shared();
+        for threads in [1usize, 4] {
+            let p = toy_problem().with_eval_store(store.clone()).with_threads(threads);
+            assert_eq!(p.evaluate_batch(&reqs, 1000), reference, "threads = {threads}");
+        }
+        let s = store.stats();
+        assert_eq!(s.misses, 12, "the first problem computed every key");
+        assert_eq!(s.hits, 12, "the second problem reused every key");
+    }
+
+    #[test]
+    fn concurrent_identical_campaigns_simulate_each_point_once() {
+        use crate::corner::PvtCorner;
+        use crate::problem::Evaluator;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        struct Counting {
+            names: Vec<String>,
+            calls: Arc<AtomicUsize>,
+        }
+        impl Evaluator for Counting {
+            fn measurement_names(&self) -> &[String] {
+                &self.names
+            }
+            fn evaluate(
+                &self,
+                x: &[f64],
+                corner: &PvtCorner,
+            ) -> Result<Vec<f64>, crate::EnvError> {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                let derate = corner.vdd_scale;
+                Ok(vec![(x[0] + x[1]) * derate, x[0] * x[1] * derate])
+            }
+        }
+
+        let calls = Arc::new(AtomicUsize::new(0));
+        let store = crate::evalstore::EvalStore::shared();
+        let reqs = grid_requests(20);
+        let make = || {
+            let mut p = toy_problem();
+            p.evaluator = Arc::new(Counting {
+                names: vec!["sum".into(), "prod".into()],
+                calls: calls.clone(),
+            });
+            p.with_eval_store(store.clone())
+        };
+        let solo = toy_problem().evaluate_batch(&reqs, 1000);
+        let (a, b) = std::thread::scope(|s| {
+            let ta = s.spawn(|| make().evaluate_batch(&reqs, 1000));
+            let tb = s.spawn(|| make().evaluate_batch(&reqs, 1000));
+            (ta.join().unwrap(), tb.join().unwrap())
+        });
+        assert_eq!(a, solo, "dedup never changes campaign A's results");
+        assert_eq!(b, solo, "dedup never changes campaign B's results");
+        assert_eq!(calls.load(Ordering::Relaxed), 20, "each point simulated exactly once");
+        let s = store.stats();
+        assert_eq!(s.hits, 20, "the duplicate campaign's evals were all store hits");
+        assert_eq!(s.misses, 20);
     }
 
     #[test]

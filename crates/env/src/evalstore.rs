@@ -1,0 +1,407 @@
+//! Cross-campaign evaluation dedup: a shared single-flight result store.
+//!
+//! Concurrent sizing campaigns on the same benchmark frequently request
+//! the same evaluation — duplicate submissions, mirrored seeds, or agents
+//! converging on the same optimum. The journal already proved that an
+//! evaluation's identity is exactly `(point-bits, corner, attempt-cap)`:
+//! a result is a pure function of that key for a fixed problem. The
+//! [`EvalStore`] is the serving-side payoff of those bitwise keys — a
+//! process-wide map from key to [`Evaluation`] with **single-flight**
+//! semantics:
+//!
+//! * the first caller to ask for a key becomes its *owner* and runs the
+//!   evaluation,
+//! * concurrent callers for the same key *wait* on the in-flight owner
+//!   and receive a clone of the published result (a *hit*),
+//! * an owner that abandons the evaluation — campaign cancellation,
+//!   worker crash, evaluator panic unwinding through the batch pipeline —
+//!   vacates the slot and wakes every waiter; one of them claims
+//!   ownership and re-dispatches. Waiters never hang on a dead owner.
+//!
+//! # Determinism contract
+//!
+//! The store must be invisible in campaign outcomes: attaching it (or
+//! racing any number of campaigns against it) never changes any
+//! campaign's results versus running alone. That holds because only
+//! *pure* results are published:
+//!
+//! * [`FailureKind::Cancelled`] placeholders are per-campaign drain
+//!   artifacts, never published (mirroring the journal, which never
+//!   records them),
+//! * [`FailureKind::WorkerPanic`] results are never published: a
+//!   quarantine short-circuit depends on the owning campaign's quarantine
+//!   history, and excluding the whole kind keeps the publish rule
+//!   state-free,
+//! * everything else — successes, typed simulator failures, the retry
+//!   ladder's terminal outcomes — is a pure function of the key and is
+//!   shared bit for bit.
+//!
+//! Waiters fold a hit into their own stats/journal/quarantine exactly as
+//! if they had computed it, so per-campaign telemetry and resume
+//! behavior are unchanged; only wall-clock and simulator invocations
+//! shrink. Callers sharing one store must agree on the problem identity
+//! (benchmark, corner set, solver backend) — the serving scheduler keys
+//! stores by that triple.
+
+use crate::problem::Evaluation;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Identity of one evaluation: the requested coordinates' IEEE-754 bits,
+/// the corner index, and the admitted attempt cap — the same triple the
+/// journal keys replay on.
+pub type StoreKey = (Vec<u64>, usize, usize);
+
+/// Builds the store key for a request.
+pub fn store_key(u: &[f64], corner_idx: usize, cap: usize) -> StoreKey {
+    (u.iter().map(|v| v.to_bits()).collect(), corner_idx, cap)
+}
+
+/// Default entry capacity: beyond this many live entries new keys bypass
+/// the store (evaluated locally, not published) so memory stays bounded.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+enum Slot {
+    /// An owner is computing this key; waiters sleep on the condvar.
+    InFlight,
+    /// Published result, cloned out to every subsequent caller.
+    Done(Evaluation),
+}
+
+/// Counters describing store effectiveness; see [`EvalStore::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvalStoreStats {
+    /// Results served from the store (either already published or after
+    /// waiting on an in-flight owner) — each hit is one avoided
+    /// evaluation.
+    pub hits: u64,
+    /// Ownership claims: evaluations actually computed through the store.
+    pub misses: u64,
+    /// Owners that abandoned a key without publishing (cancellation,
+    /// panic, unpublishable result); each abort woke the key's waiters.
+    pub aborts: u64,
+    /// Requests that skipped the store because it was at capacity.
+    pub bypasses: u64,
+    /// Live entries (in-flight + published).
+    pub entries: u64,
+}
+
+/// A shared single-flight evaluation result store. Cheap to clone via
+/// `Arc`; see the module docs for the contract.
+pub struct EvalStore {
+    slots: Mutex<HashMap<StoreKey, Slot>>,
+    wake: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    aborts: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl std::fmt::Debug for EvalStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("EvalStore")
+            .field("capacity", &self.capacity)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl Default for EvalStore {
+    fn default() -> Self {
+        EvalStore::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+/// Outcome of [`EvalStore::join`].
+pub enum Join<'a> {
+    /// The caller owns this key: evaluate, then
+    /// [`OwnerGuard::publish`] (or drop the guard to vacate the slot and
+    /// wake waiters).
+    Owner(OwnerGuard<'a>),
+    /// Another caller already published this key's result.
+    Done(Evaluation),
+    /// The store is at capacity: evaluate locally, nothing is shared.
+    Bypass,
+    /// The caller's own cancellation predicate fired while waiting.
+    Cancelled,
+}
+
+impl EvalStore {
+    /// A store admitting at most `capacity` live entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EvalStore {
+            slots: Mutex::new(HashMap::new()),
+            wake: Condvar::new(),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+        }
+    }
+
+    /// A fresh store behind an `Arc`, ready to hand to several problems.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(EvalStore::default())
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<StoreKey, Slot>> {
+        // A poisoned map only means some owner panicked between claim and
+        // publish; its guard's Drop already vacated the slot, so the map
+        // itself is consistent and safe to keep using.
+        self.slots.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Joins the single flight for `key`: returns ownership, a published
+    /// result, a capacity bypass, or — when `cancelled()` reports true
+    /// while waiting on an in-flight owner — [`Join::Cancelled`].
+    ///
+    /// Waiting is robust to owner death: a vacated slot wakes every
+    /// waiter and the first to re-check claims ownership (re-dispatch),
+    /// so no caller ever blocks on an owner that will never publish.
+    pub fn join(&self, key: &StoreKey, cancelled: impl Fn() -> bool) -> Join<'_> {
+        let mut slots = self.lock();
+        loop {
+            match slots.get(key) {
+                Some(Slot::Done(e)) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Join::Done(e.clone());
+                }
+                Some(Slot::InFlight) => {
+                    if cancelled() {
+                        return Join::Cancelled;
+                    }
+                    // Bounded wait: publish/abort notify immediately; the
+                    // timeout only bounds how stale a missed cancellation
+                    // check can get.
+                    let (guard, _) = self
+                        .wake
+                        .wait_timeout(slots, Duration::from_millis(25))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    slots = guard;
+                }
+                None => {
+                    if slots.len() >= self.capacity {
+                        self.bypasses.fetch_add(1, Ordering::Relaxed);
+                        return Join::Bypass;
+                    }
+                    slots.insert(key.clone(), Slot::InFlight);
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return Join::Owner(OwnerGuard { store: self, key: key.clone(), done: false });
+                }
+            }
+        }
+    }
+
+    /// Current effectiveness counters (monotonic except `entries`).
+    pub fn stats(&self) -> EvalStoreStats {
+        let entries = self.lock().len() as u64;
+        EvalStoreStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+
+    fn publish(&self, key: &StoreKey, eval: Evaluation) {
+        let mut slots = self.lock();
+        slots.insert(key.clone(), Slot::Done(eval));
+        drop(slots);
+        self.wake.notify_all();
+    }
+
+    fn vacate(&self, key: &StoreKey) {
+        let mut slots = self.lock();
+        slots.remove(key);
+        drop(slots);
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+        self.wake.notify_all();
+    }
+}
+
+/// Ownership of one in-flight key. Publish the computed result with
+/// [`OwnerGuard::publish`]; dropping the guard without publishing (early
+/// return, cancellation, panic unwind) vacates the slot and wakes every
+/// waiter so one of them re-dispatches — the crash-safety half of the
+/// single-flight contract.
+pub struct OwnerGuard<'a> {
+    store: &'a EvalStore,
+    key: StoreKey,
+    done: bool,
+}
+
+impl OwnerGuard<'_> {
+    /// Publishes `eval` for this key and wakes every waiter.
+    pub fn publish(mut self, eval: Evaluation) {
+        self.done = true;
+        self.store.publish(&self.key, eval);
+    }
+}
+
+impl Drop for OwnerGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.store.vacate(&self.key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::FailureKind;
+
+    fn eval(v: f64) -> Evaluation {
+        Evaluation {
+            x_norm: vec![v],
+            measurements: Some(vec![v]),
+            value: v,
+            feasible: true,
+            failure: None,
+            sim_cost: 1,
+        }
+    }
+
+    fn key(v: f64) -> StoreKey {
+        store_key(&[v], 0, 3)
+    }
+
+    #[test]
+    fn first_caller_owns_then_others_hit() {
+        let store = EvalStore::default();
+        let k = key(0.5);
+        match store.join(&k, || false) {
+            Join::Owner(g) => g.publish(eval(0.5)),
+            _ => panic!("first join must own"),
+        }
+        match store.join(&k, || false) {
+            Join::Done(e) => assert_eq!(e, eval(0.5)),
+            _ => panic!("second join must hit"),
+        }
+        let s = store.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn waiters_block_until_publish_and_get_the_result() {
+        let store = Arc::new(EvalStore::default());
+        let k = key(0.25);
+        let Join::Owner(guard) = store.join(&k, || false) else { panic!("own") };
+        let waiter = {
+            let store = store.clone();
+            let k = k.clone();
+            std::thread::spawn(move || match store.join(&k, || false) {
+                Join::Done(e) => e,
+                _ => panic!("waiter must receive the published result"),
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        guard.publish(eval(0.25));
+        assert_eq!(waiter.join().unwrap(), eval(0.25));
+        assert_eq!(store.stats().hits, 1);
+    }
+
+    #[test]
+    fn dropped_owner_wakes_waiters_who_redispatch() {
+        let store = Arc::new(EvalStore::default());
+        let k = key(0.75);
+        let guard = match store.join(&k, || false) {
+            Join::Owner(g) => g,
+            _ => panic!("own"),
+        };
+        let waiter = {
+            let store = store.clone();
+            let k = k.clone();
+            std::thread::spawn(move || match store.join(&k, || false) {
+                // The vacated slot promotes the waiter to owner: the
+                // re-dispatch path.
+                Join::Owner(g) => g.publish(eval(0.75)),
+                Join::Done(_) => panic!("nothing was published"),
+                _ => panic!("waiter must re-dispatch"),
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        drop(guard); // owner dies without publishing
+        waiter.join().unwrap();
+        let s = store.stats();
+        assert_eq!(s.aborts, 1);
+        assert_eq!(s.misses, 2, "both the dead owner and the waiter claimed");
+        match store.join(&k, || false) {
+            Join::Done(e) => assert_eq!(e, eval(0.75)),
+            _ => panic!("the waiter's publish must be visible"),
+        };
+    }
+
+    #[test]
+    fn cancelled_waiter_returns_instead_of_hanging() {
+        let store = Arc::new(EvalStore::default());
+        let k = key(0.1);
+        let _guard = match store.join(&k, || false) {
+            Join::Owner(g) => g,
+            _ => panic!("own"),
+        };
+        // The owner never publishes; a cancelled waiter must still return.
+        let start = std::time::Instant::now();
+        match store.join(&k, || true) {
+            Join::Cancelled => {}
+            _ => panic!("cancelled waiter must get the typed escape"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn capacity_overflow_bypasses_without_blocking() {
+        let store = EvalStore::with_capacity(1);
+        match store.join(&key(0.1), || false) {
+            Join::Owner(g) => g.publish(eval(0.1)),
+            _ => panic!("own"),
+        }
+        match store.join(&key(0.2), || false) {
+            Join::Bypass => {}
+            _ => panic!("full store must bypass"),
+        }
+        let s = store.stats();
+        assert_eq!((s.bypasses, s.entries), (1, 1));
+    }
+
+    #[test]
+    fn keys_distinguish_point_corner_and_cap() {
+        let a = store_key(&[0.5], 0, 3);
+        let b = store_key(&[0.5], 1, 3);
+        let c = store_key(&[0.5], 0, 2);
+        let d = store_key(&[0.5 + 1e-17], 0, 3); // rounds back to exactly 0.5
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, d, "bitwise-equal floats share a key");
+        // -0.0 and 0.0 compare equal but are different evaluations bitwise.
+        assert_ne!(store_key(&[0.0], 0, 3), store_key(&[-0.0], 0, 3));
+    }
+
+    #[test]
+    fn publish_failure_results_round_trip() {
+        let store = EvalStore::default();
+        let k = key(0.9);
+        let failed = Evaluation {
+            x_norm: vec![0.9],
+            measurements: None,
+            value: -10.0,
+            feasible: false,
+            failure: Some(FailureKind::NoConvergence),
+            sim_cost: 3,
+        };
+        match store.join(&k, || false) {
+            Join::Owner(g) => g.publish(failed.clone()),
+            _ => panic!("own"),
+        }
+        match store.join(&k, || false) {
+            Join::Done(e) => assert_eq!(e, failed),
+            _ => panic!("hit"),
+        };
+    }
+}

@@ -21,7 +21,11 @@
 //! * the batched evaluation pipeline: [`batch::EvalRequest`] /
 //!   [`problem::SizingProblem::evaluate_batch`], a deterministic
 //!   scoped-thread worker pool (`ASDEX_THREADS`) with budget-exact
-//!   admission, and
+//!   admission,
+//! * the cross-campaign dedup layer: [`evalstore::EvalStore`], a shared
+//!   single-flight result store keyed by the journal's bitwise replay key
+//!   ((point-bits, corner, attempt-cap)) so concurrent campaigns wait on
+//!   in-flight evaluations instead of recomputing them, and
 //! * the crash-safety layer: [`journal::Journal`] (append-only
 //!   checkpoint/resume journal with bitwise-faithful replay), worker
 //!   panic isolation with quarantine
@@ -50,6 +54,7 @@ pub mod circuits;
 pub mod corner;
 pub mod dispatch;
 mod error;
+pub mod evalstore;
 pub mod fault;
 pub mod health;
 pub mod journal;
@@ -66,6 +71,7 @@ pub use cancel::CancelToken;
 pub use corner::{PvtCorner, PvtSet};
 pub use dispatch::{run_attempt, EvalDispatcher};
 pub use error::EnvError;
+pub use evalstore::{EvalStore, EvalStoreStats};
 pub use fault::{
     arm_process_faults, process_faults_armed, FaultConfig, FaultInjectingEvaluator, FaultMode,
 };

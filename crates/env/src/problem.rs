@@ -9,6 +9,7 @@ use crate::cancel::CancelToken;
 use crate::corner::{PvtCorner, PvtSet};
 use crate::dispatch::EvalDispatcher;
 use crate::error::EnvError;
+use crate::evalstore::{self, EvalStore, Join};
 use crate::journal::Journal;
 use crate::robust::{EvalEffort, RetryPolicy};
 use crate::space::DesignSpace;
@@ -152,6 +153,13 @@ pub struct SizingProblem {
     /// calling thread; see [`crate::EvalDispatcher`] for the equivalence
     /// contract. Dispatch never changes results — only where they run.
     pub(crate) dispatcher: Option<Arc<dyn EvalDispatcher>>,
+    /// Optional cross-campaign single-flight dedup store (see
+    /// [`crate::EvalStore`]). Concurrent problems sharing a store wait on
+    /// each other's in-flight evaluations instead of recomputing them;
+    /// attaching a store never changes results — only simulator count and
+    /// wall-clock. Callers sharing one store must agree on the problem
+    /// identity (benchmark, corners, solver backend).
+    pub(crate) eval_store: Option<Arc<EvalStore>>,
 }
 
 impl std::fmt::Debug for SizingProblem {
@@ -204,6 +212,7 @@ impl SizingProblem {
             journal: None,
             quarantine: Arc::new(Mutex::new(HashSet::new())),
             dispatcher: None,
+            eval_store: None,
         })
     }
 
@@ -281,6 +290,23 @@ impl SizingProblem {
         self.dispatcher.clone()
     }
 
+    /// Attaches a cross-campaign single-flight dedup store (builder
+    /// style): live evaluations first consult the store, and the first
+    /// caller for a given (point-bits, corner, attempt-cap) key computes
+    /// the result while concurrent callers wait for it. See
+    /// [`crate::EvalStore`] for the determinism and crash-safety
+    /// contract. Journal replay always takes precedence over the store.
+    #[must_use]
+    pub fn with_eval_store(mut self, store: Arc<EvalStore>) -> Self {
+        self.eval_store = Some(store);
+        self
+    }
+
+    /// The attached dedup store, if any.
+    pub fn eval_store(&self) -> Option<Arc<EvalStore>> {
+        self.eval_store.clone()
+    }
+
     /// A handle to the attached journal, if any — lets a supervisor force
     /// a [`Journal::checkpoint`] on graceful shutdown or read replay
     /// telemetry after a campaign.
@@ -342,7 +368,7 @@ impl SizingProblem {
         }
         let (eval, replayed) = match self.take_replayed(u, corner_idx, cap) {
             Some(e) => (e, true),
-            None => (self.evaluate_unjournaled(u, corner_idx, cap), false),
+            None => (self.evaluate_shared(u, corner_idx, cap), false),
         };
         self.finalize_evaluation(u, corner_idx, cap, eval, replayed)
     }
@@ -454,6 +480,50 @@ impl SizingProblem {
                 return self.failed_eval(x_norm, kind, attempt + 1);
             }
         }
+    }
+
+    /// The live evaluation path behind the optional dedup store: without
+    /// a store this is exactly [`SizingProblem::evaluate_unjournaled`];
+    /// with one, the call joins the single flight for
+    /// `(u-bits, corner_idx, cap)` — computing and publishing as the
+    /// owner, receiving a published clone as a waiter, or re-dispatching
+    /// when an owner abandons the key. Only pure results are published
+    /// (never [`FailureKind::Cancelled`] or [`FailureKind::WorkerPanic`];
+    /// see [`crate::evalstore`] for why), so attaching a store never
+    /// changes any campaign's results.
+    pub(crate) fn evaluate_shared(
+        &self,
+        u: &[f64],
+        corner_idx: usize,
+        max_attempts: usize,
+    ) -> Evaluation {
+        let Some(store) = &self.eval_store else {
+            return self.evaluate_unjournaled(u, corner_idx, max_attempts);
+        };
+        let key = evalstore::store_key(u, corner_idx, max_attempts);
+        // Waiters on a slot an owner abandoned re-claim *inside* `join`,
+        // so every arm here is terminal.
+        match store.join(&key, || self.is_cancelled()) {
+            Join::Done(e) => e,
+            Join::Owner(guard) => {
+                let e = self.evaluate_unjournaled(u, corner_idx, max_attempts);
+                if Self::publishable(&e) {
+                    guard.publish(e.clone());
+                }
+                // An unpublishable result drops the guard, vacating
+                // the slot so a waiter re-dispatches.
+                e
+            }
+            // A full store degrades to plain local evaluation.
+            Join::Bypass => self.evaluate_unjournaled(u, corner_idx, max_attempts),
+            Join::Cancelled => self.cancelled_eval(u, max_attempts),
+        }
+    }
+
+    /// Whether an evaluation is a pure function of its store key and may
+    /// be published for other campaigns to reuse.
+    fn publishable(e: &Evaluation) -> bool {
+        !matches!(e.failure, Some(FailureKind::Cancelled) | Some(FailureKind::WorkerPanic))
     }
 
     /// The ordered finalize pass for one evaluation, applied in request

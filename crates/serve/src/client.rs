@@ -9,6 +9,8 @@ use crate::protocol::CampaignSpec;
 use std::fmt;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why a client call failed.
@@ -65,8 +67,12 @@ pub struct ClientConfig {
     pub write_timeout: Duration,
     /// Additional attempts after a `429`/`503` response (0 = no retry).
     pub max_retries: u32,
-    /// First retry delay; doubled on each subsequent retry.
+    /// First retry delay; doubled on each subsequent retry. A server
+    /// `Retry-After` header overrides this ladder for that retry.
     pub retry_backoff: Duration,
+    /// Upper bound on an honored `Retry-After` hint, so a pathological
+    /// server cannot park the client for minutes.
+    pub retry_after_cap: Duration,
 }
 
 impl Default for ClientConfig {
@@ -77,7 +83,36 @@ impl Default for ClientConfig {
             write_timeout: Duration::from_secs(30),
             max_retries: 3,
             retry_backoff: Duration::from_millis(100),
+            retry_after_cap: Duration::from_secs(5),
         }
+    }
+}
+
+/// Counters of the client's interactions with a shedding server. Shared
+/// by every clone of one [`Client`], so a harness can hand clones to
+/// worker threads and read the totals at the end.
+#[derive(Debug, Default)]
+pub struct ClientStats {
+    /// Retries after a `429` (queue full / rate limited).
+    pub retries_429: AtomicU64,
+    /// Retries after a `503` (connection cap / draining / recovering).
+    pub retries_503: AtomicU64,
+    /// Retries whose delay came from a server `Retry-After` hint rather
+    /// than the local backoff ladder.
+    pub retry_after_honored: AtomicU64,
+    /// Retries after a connection-level reset/refusal — an overloaded
+    /// daemon past its shed allowance drops arrivals without a response.
+    pub retries_conn: AtomicU64,
+}
+
+impl ClientStats {
+    /// Point-in-time snapshot `(retries_429, retries_503, retry_after_honored)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.retries_429.load(Ordering::Relaxed),
+            self.retries_503.load(Ordering::Relaxed),
+            self.retry_after_honored.load(Ordering::Relaxed),
+        )
     }
 }
 
@@ -86,12 +121,18 @@ impl Default for ClientConfig {
 pub struct Client {
     addr: String,
     cfg: ClientConfig,
+    stats: Arc<ClientStats>,
 }
 
 impl Client {
     /// A client for `addr` (`host:port`) with default transport knobs.
     pub fn new(addr: impl Into<String>) -> Client {
-        Client { addr: addr.into(), cfg: ClientConfig::default() }
+        Client { addr: addr.into(), cfg: ClientConfig::default(), stats: Arc::default() }
+    }
+
+    /// The shed/retry counters, shared across clones of this client.
+    pub fn stats(&self) -> &ClientStats {
+        &self.stats
     }
 
     /// Replaces the transport configuration.
@@ -136,6 +177,18 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), ClientError> {
+        let (status, _retry_after, body) = self.request_full(method, path, body)?;
+        Ok((status, body))
+    }
+
+    /// One raw HTTP exchange, with the `Retry-After` hint (whole
+    /// seconds) if the server sent one.
+    fn request_full(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> Result<(u16, Option<u64>, String), ClientError> {
         let mut stream = self.connect()?;
         stream.set_nodelay(true).ok();
         stream.set_read_timeout(Some(self.cfg.read_timeout))?;
@@ -163,7 +216,9 @@ impl Client {
     }
 
     /// Parses one `Connection: close` HTTP response.
-    fn read_response<R: Read>(mut reader: BufReader<R>) -> Result<(u16, String), ClientError> {
+    fn read_response<R: Read>(
+        mut reader: BufReader<R>,
+    ) -> Result<(u16, Option<u64>, String), ClientError> {
         let mut status_line = String::new();
         reader.read_line(&mut status_line)?;
         let status: u16 = status_line
@@ -172,6 +227,7 @@ impl Client {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| ClientError::Protocol(format!("bad status line {status_line:?}")))?;
         let mut content_length = None;
+        let mut retry_after = None;
         loop {
             let mut line = String::new();
             reader.read_line(&mut line)?;
@@ -182,6 +238,8 @@ impl Client {
             if let Some((name, value)) = line.split_once(':') {
                 if name.trim().eq_ignore_ascii_case("content-length") {
                     content_length = value.trim().parse::<usize>().ok();
+                } else if name.trim().eq_ignore_ascii_case("retry-after") {
+                    retry_after = value.trim().parse::<u64>().ok();
                 }
             }
         }
@@ -198,15 +256,17 @@ impl Client {
                 buf
             }
         };
-        Ok((status, body))
+        Ok((status, retry_after, body))
     }
 
-    /// A raw exchange with the bounded retry ladder: `429` (queue full)
-    /// and `503` (draining) responses are retried up to
-    /// [`ClientConfig::max_retries`] times with exponential backoff.
-    /// Safe even for `POST /campaigns`: both statuses are only sent when
-    /// the request was *rejected before admission*, so a retry can never
-    /// double-submit.
+    /// A raw exchange with the bounded retry ladder: `429` (queue full,
+    /// rate limited) and `503` (connection cap, draining) responses are
+    /// retried up to [`ClientConfig::max_retries`] times. The delay is
+    /// the server's `Retry-After` hint when present (capped by
+    /// [`ClientConfig::retry_after_cap`]), else local exponential
+    /// backoff. Safe even for `POST /campaigns`: both statuses are only
+    /// sent when the request was *rejected before admission*, so a retry
+    /// can never double-submit.
     pub fn request_with_retry(
         &self,
         method: &str,
@@ -216,10 +276,46 @@ impl Client {
         let mut backoff = self.cfg.retry_backoff;
         let mut attempt = 0u32;
         loop {
-            let (status, body_out) = self.request(method, path, body)?;
+            let (status, retry_after, body_out) = match self.request_full(method, path, body) {
+                Ok(out) => out,
+                // A daemon past its shed allowance drops arrivals at the
+                // socket without answering; treat that reset like a 503
+                // and back off. A *refused* connection means nothing is
+                // listening — that stays fatal (fail fast), as do all
+                // other I/O errors.
+                Err(ClientError::Io(e))
+                    if attempt < self.cfg.max_retries
+                        && matches!(
+                            e.kind(),
+                            std::io::ErrorKind::ConnectionReset
+                                | std::io::ErrorKind::ConnectionAborted
+                                | std::io::ErrorKind::BrokenPipe
+                        ) =>
+                {
+                    attempt += 1;
+                    self.stats.retries_conn.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(Duration::from_secs(5));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             if (status == 429 || status == 503) && attempt < self.cfg.max_retries {
                 attempt += 1;
-                std::thread::sleep(backoff);
+                let counter = if status == 429 {
+                    &self.stats.retries_429
+                } else {
+                    &self.stats.retries_503
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                let delay = match retry_after {
+                    Some(secs) => {
+                        self.stats.retry_after_honored.fetch_add(1, Ordering::Relaxed);
+                        Duration::from_secs(secs).min(self.cfg.retry_after_cap)
+                    }
+                    None => backoff,
+                };
+                std::thread::sleep(delay);
                 backoff = (backoff * 2).min(Duration::from_secs(5));
                 continue;
             }
@@ -324,14 +420,16 @@ mod tests {
     use std::sync::Arc;
 
     /// A scripted one-shot server: answers each connection with the next
-    /// status in `script` (the last repeats), counting connections.
-    fn scripted_server(script: Vec<u16>) -> (String, Arc<AtomicUsize>, std::thread::JoinHandle<()>) {
+    /// `(status, retry_after)` in `script`, counting connections.
+    fn scripted_server(
+        script: Vec<(u16, Option<u64>)>,
+    ) -> (String, Arc<AtomicUsize>, std::thread::JoinHandle<()>) {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let hits = Arc::new(AtomicUsize::new(0));
         let seen = Arc::clone(&hits);
         let handle = std::thread::spawn(move || {
-            for status in script {
+            for (status, retry_after) in script {
                 let (mut stream, _) = listener.accept().unwrap();
                 seen.fetch_add(1, Ordering::SeqCst);
                 // Drain the request head before replying.
@@ -341,9 +439,13 @@ mod tests {
                     line.clear();
                 }
                 let body = "{}";
+                let hint = match retry_after {
+                    Some(secs) => format!("retry-after: {secs}\r\n"),
+                    None => String::new(),
+                };
                 write!(
                     stream,
-                    "HTTP/1.1 {status} X\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+                    "HTTP/1.1 {status} X\r\ncontent-length: {}\r\n{hint}connection: close\r\n\r\n{body}",
                     body.len()
                 )
                 .unwrap();
@@ -354,22 +456,40 @@ mod tests {
 
     #[test]
     fn retry_recovers_after_backpressure() {
-        let (addr, hits, server) = scripted_server(vec![503, 429, 200]);
+        let (addr, hits, server) = scripted_server(vec![(503, None), (429, None), (200, None)]);
         let client = Client::new(addr).with_retries(3, Duration::from_millis(2));
         let (status, _) = client.request_with_retry("GET", "/healthz", None).unwrap();
         server.join().unwrap();
         assert_eq!(status, 200);
         assert_eq!(hits.load(Ordering::SeqCst), 3, "one try plus two retries");
+        let (r429, r503, honored) = client.stats().snapshot();
+        assert_eq!((r429, r503, honored), (1, 1, 0));
     }
 
     #[test]
     fn retry_budget_is_bounded() {
-        let (addr, hits, server) = scripted_server(vec![503, 503, 503]);
+        let (addr, hits, server) = scripted_server(vec![(503, None), (503, None), (503, None)]);
         let client = Client::new(addr).with_retries(2, Duration::from_millis(2));
         let (status, _) = client.request_with_retry("GET", "/healthz", None).unwrap();
         server.join().unwrap();
         assert_eq!(status, 503, "budget exhausted: the final 503 surfaces");
         assert_eq!(hits.load(Ordering::SeqCst), 3, "one try plus max_retries");
+    }
+
+    #[test]
+    fn retry_after_hint_overrides_the_backoff_ladder() {
+        let (addr, hits, server) = scripted_server(vec![(429, Some(0)), (200, None)]);
+        // Local backoff of 10 s would blow the test deadline; the server's
+        // `Retry-After: 0` hint must be honored instead.
+        let client = Client::new(addr).with_retries(1, Duration::from_secs(10));
+        let started = Instant::now();
+        let (status, _) = client.request_with_retry("GET", "/healthz", None).unwrap();
+        server.join().unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert!(started.elapsed() < Duration::from_secs(5), "hint honored, not backoff");
+        let (r429, _, honored) = client.stats().snapshot();
+        assert_eq!((r429, honored), (1, 1));
     }
 
     #[test]

@@ -1,0 +1,291 @@
+//! One nonblocking connection: bounded buffers, phase deadlines, and a
+//! tiny state machine the reactor polls.
+//!
+//! A connection moves through three phases — reading the request head,
+//! reading the body, writing the response — each under its own absolute
+//! deadline. Deadlines are *absolute per phase*, never refreshed by
+//! activity: a slow-loris client dribbling one header byte per second
+//! keeps "making progress" but still dies when the head deadline lands.
+//! Half-open peers (connected, never sending, never closing) die by the
+//! same clock. All buffers are bounded by the HTTP layer's parse limits
+//! plus one read chunk, so no client can balloon memory.
+
+use crate::http::{parse_request, ParseStatus, Request, Response, MAX_BODY, MAX_LINE};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Hard cap on the per-connection read buffer: the largest legal head
+/// (request line + 100 headers + slack) plus the largest legal body. The
+/// parser rejects anything that could exceed this, so the cap is a
+/// defense-in-depth backstop, not the primary bound.
+const MAX_BUFFER: usize = MAX_BODY + 104 * MAX_LINE;
+
+/// Bytes per nonblocking read call.
+const READ_CHUNK: usize = 4096;
+
+/// Read/write calls per poll before yielding to other connections.
+const MAX_OPS_PER_POLL: usize = 16;
+
+/// Per-phase deadlines, measured from the moment the phase starts.
+#[derive(Debug, Clone, Copy)]
+pub struct ConnDeadlines {
+    /// Accept → complete request head.
+    pub header: Duration,
+    /// Complete head → complete body.
+    pub body: Duration,
+    /// Response queued → response flushed.
+    pub write: Duration,
+}
+
+impl ConnDeadlines {
+    /// All three phases bounded by the same timeout.
+    pub fn uniform(timeout: Duration) -> Self {
+        ConnDeadlines { header: timeout, body: timeout, write: timeout }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum Phase {
+    /// Accumulating request bytes; `head_done` flips the body deadline on.
+    Reading { head_done: bool },
+    /// A parsed request is waiting for the reactor to route it.
+    Routing,
+    /// Draining the response buffer to the socket.
+    Writing,
+    /// Finished (flushed, peer gone, or fatal error); ready for removal.
+    Done,
+}
+
+/// What one [`Conn::poll`] produced.
+#[derive(Debug)]
+pub enum Drive {
+    /// Still in flight.
+    Pending {
+        /// Whether any bytes moved, so the reactor can sleep only when
+        /// the whole set is quiescent.
+        progressed: bool,
+    },
+    /// A complete request is parsed and ready for routing; answer with
+    /// [`Conn::respond`].
+    Ready(Box<Request>),
+    /// A phase deadline expired; the connection was reaped. Terminal.
+    Expired,
+    /// The connection finished (response flushed or peer gone). Terminal.
+    Closed,
+}
+
+/// One connection owned by the reactor.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    peer: SocketAddr,
+    buf: Vec<u8>,
+    out: Vec<u8>,
+    written: usize,
+    phase: Phase,
+    deadline: Instant,
+    deadlines: ConnDeadlines,
+}
+
+impl Conn {
+    /// Adopts an accepted stream: switches it to nonblocking mode and
+    /// starts the header-deadline clock.
+    pub fn accept(
+        stream: TcpStream,
+        peer: SocketAddr,
+        now: Instant,
+        deadlines: ConnDeadlines,
+    ) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            peer,
+            buf: Vec::new(),
+            out: Vec::new(),
+            written: 0,
+            phase: Phase::Reading { head_done: false },
+            deadline: now + deadlines.header,
+            deadlines,
+        })
+    }
+
+    /// Adopts a stream only to write `response` and close — the typed
+    /// shedding path used when the connection cap is hit. The peer's
+    /// request is never read.
+    pub fn shed(
+        stream: TcpStream,
+        peer: SocketAddr,
+        now: Instant,
+        deadlines: ConnDeadlines,
+        response: &Response,
+    ) -> std::io::Result<Conn> {
+        let mut conn = Conn::accept(stream, peer, now, deadlines)?;
+        conn.out = response.to_bytes();
+        conn.phase = Phase::Writing;
+        conn.deadline = now + deadlines.write;
+        Ok(conn)
+    }
+
+    /// The peer address.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Whether the connection is finished and can be dropped.
+    pub fn is_done(&self) -> bool {
+        self.phase == Phase::Done
+    }
+
+    /// Queues the response for the parsed request and starts the write
+    /// deadline. Only valid after [`Drive::Ready`].
+    pub fn respond(&mut self, response: &Response, now: Instant) {
+        self.out = response.to_bytes();
+        self.written = 0;
+        self.phase = Phase::Writing;
+        self.deadline = now + self.deadlines.write;
+    }
+
+    /// Advances the connection as far as the socket allows without
+    /// blocking.
+    pub fn poll(&mut self, now: Instant) -> Drive {
+        if self.phase != Phase::Done && now >= self.deadline {
+            self.phase = Phase::Done;
+            return Drive::Expired;
+        }
+        match self.phase {
+            Phase::Reading { .. } => self.poll_read(now),
+            Phase::Routing => Drive::Pending { progressed: false },
+            Phase::Writing => self.poll_write(),
+            Phase::Done => Drive::Closed,
+        }
+    }
+
+    fn poll_read(&mut self, now: Instant) -> Drive {
+        let mut progressed = false;
+        let mut chunk = [0u8; READ_CHUNK];
+        for _ in 0..MAX_OPS_PER_POLL {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // Peer closed before completing a request (an aborted
+                    // client or a scanner). Nothing to answer.
+                    self.phase = Phase::Done;
+                    return Drive::Closed;
+                }
+                Ok(n) => {
+                    progressed = true;
+                    if self.buf.len() + n > MAX_BUFFER {
+                        return self.reject("request too large", now);
+                    }
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    match self.advance_parse(now) {
+                        Some(drive) => return drive,
+                        None => continue,
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.phase = Phase::Done;
+                    return Drive::Closed;
+                }
+            }
+        }
+        Drive::Pending { progressed }
+    }
+
+    /// Re-parses the accumulated buffer after new bytes arrived.
+    fn advance_parse(&mut self, now: Instant) -> Option<Drive> {
+        // Head completion flips the clock from the header deadline to the
+        // body deadline exactly once.
+        if let Phase::Reading { head_done } = &mut self.phase {
+            if !*head_done && find_head_end(&self.buf).is_some() {
+                *head_done = true;
+                self.deadline = now + self.deadlines.body;
+            }
+        }
+        match parse_request(&self.buf) {
+            ParseStatus::Partial => None,
+            ParseStatus::Complete(request, _consumed) => {
+                // `Connection: close` protocol: one request per
+                // connection. Anything pipelined after it is ignored, and
+                // no further reads happen.
+                self.phase = Phase::Routing;
+                Some(Drive::Ready(request))
+            }
+            ParseStatus::Invalid(reason) => Some(self.reject(reason, now)),
+        }
+    }
+
+    /// Queues a 400 for a malformed request and moves to the write phase.
+    fn reject(&mut self, reason: &str, now: Instant) -> Drive {
+        let body = crate::json::Json::obj()
+            .with("error", crate::json::Json::Str(reason.to_string()))
+            .dump();
+        self.respond(&Response::json(400, body), now);
+        Drive::Pending { progressed: true }
+    }
+
+    fn poll_write(&mut self) -> Drive {
+        for _ in 0..MAX_OPS_PER_POLL {
+            if self.written >= self.out.len() {
+                let _ = self.stream.flush();
+                self.phase = Phase::Done;
+                return Drive::Closed;
+            }
+            match self.stream.write(&self.out[self.written..]) {
+                Ok(0) => {
+                    self.phase = Phase::Done;
+                    return Drive::Closed;
+                }
+                Ok(n) => self.written += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    return Drive::Pending { progressed: false };
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    // A stalled or vanished reader never pins the writer:
+                    // the error (or, failing that, the write deadline)
+                    // closes the connection.
+                    self.phase = Phase::Done;
+                    return Drive::Closed;
+                }
+            }
+        }
+        Drive::Pending { progressed: true }
+    }
+}
+
+/// Index just past the blank line terminating the request head, if the
+/// buffer holds one yet. Accepts both CRLF and bare-LF line endings,
+/// matching the parser.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    let mut prev_nl: Option<usize> = None;
+    for (i, &b) in buf.iter().enumerate() {
+        if b != b'\n' {
+            continue;
+        }
+        if let Some(p) = prev_nl {
+            let gap = &buf[p + 1..i];
+            if gap.is_empty() || gap == b"\r" {
+                return Some(i + 1);
+            }
+        }
+        prev_nl = Some(i);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection_handles_both_line_endings() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\n\n"), Some(16));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost: x\r\n"), None);
+        assert_eq!(find_head_end(b""), None);
+    }
+}

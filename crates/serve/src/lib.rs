@@ -5,6 +5,11 @@
 //! * [`server`] — a dependency-free HTTP/1.1 front end over
 //!   `std::net::TcpListener`: `POST /campaigns`, `GET /campaigns/{id}`,
 //!   `GET /healthz`, `GET /metrics`, `POST /drain`.
+//! * [`reactor`] / [`conn`] — the nonblocking connection front end: one
+//!   thread drives every connection as a polled state machine with
+//!   bounded buffers, absolute per-phase deadlines (slow-loris and
+//!   half-open peers are reaped, not accumulated), a connection cap with
+//!   typed `503` + `Retry-After` shedding, and graceful drain.
 //! * [`scheduler`] — bounded admission, `max_active` concurrent
 //!   campaigns, fair-share division of the global evaluation-thread
 //!   budget, per-campaign crash-safe journals, graceful drain.
@@ -33,6 +38,7 @@
 
 pub mod campaign;
 pub mod client;
+pub mod conn;
 pub mod http;
 pub mod json;
 pub mod loadgen;
@@ -42,12 +48,13 @@ pub mod manifest;
 pub mod metrics;
 pub mod pool;
 pub mod protocol;
+pub mod reactor;
 pub mod scheduler;
 pub mod server;
 pub mod worker;
 
 pub use campaign::{build_problem, run_campaign, CampaignOutcome};
-pub use client::{Client, ClientConfig, ClientError};
+pub use client::{Client, ClientConfig, ClientError, ClientStats};
 pub use json::Json;
 pub use loadgen::{LoadReport, LoadgenConfig};
 pub use lockdir::{DirLock, LockError};
@@ -56,6 +63,7 @@ pub use manifest::{Manifest, ManifestError, ManifestPhase, TerminalRecord};
 pub use metrics::{Metrics, WorkerStats};
 pub use pool::{WorkerPool, WorkerPoolConfig};
 pub use protocol::{outcome_json, CampaignSpec};
-pub use scheduler::{CampaignStatus, Scheduler, SchedulerConfig, StartError, SubmitError};
+pub use reactor::ReactorConfig;
+pub use scheduler::{CampaignStatus, RateLimit, Scheduler, SchedulerConfig, StartError, SubmitError};
 pub use server::{DrainHandle, Server, ServerConfig};
 pub use worker::{run_worker, WorkerConfig};

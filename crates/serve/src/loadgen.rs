@@ -38,6 +38,15 @@ pub struct LoadgenConfig {
     pub timeout: Duration,
     /// Client retry budget for `429`/`503` backpressure responses.
     pub retries: u32,
+    /// Idle TCP connections opened before the run and held half-open for
+    /// its duration — an overload storm that forces the daemon's
+    /// connection cap and deadline reaper to earn their keep while real
+    /// requests ride alongside.
+    pub idle_conns: usize,
+    /// Submit every campaign with the *same* spec (one seed) instead of
+    /// distinct seeds, exercising the cross-campaign evaluation dedup
+    /// store.
+    pub duplicate: bool,
 }
 
 impl Default for LoadgenConfig {
@@ -52,6 +61,8 @@ impl Default for LoadgenConfig {
             corners: "nominal".to_string(),
             timeout: Duration::from_secs(300),
             retries: 4,
+            idle_conns: 0,
+            duplicate: false,
         }
     }
 }
@@ -80,6 +91,14 @@ pub struct LoadReport {
     pub client_errors: usize,
     /// Wall-clock of the whole run.
     pub wall: Duration,
+    /// Retries after `429` responses (queue full / rate limited).
+    pub retries_429: u64,
+    /// Retries after `503` responses (connection cap / draining).
+    pub retries_503: u64,
+    /// Retries whose delay honored a server `Retry-After` hint.
+    pub retry_after_honored: u64,
+    /// Retries after connection-level resets (shed without a response).
+    pub retries_conn: u64,
 }
 
 impl LoadReport {
@@ -130,6 +149,11 @@ impl LoadReport {
             self.wall.as_secs_f64() * 1e3,
             self.client_errors
         )?;
+        writeln!(
+            file,
+            "summary,retries_429,{},retries_503,{},retry_after_honored,{},retries_conn,{}",
+            self.retries_429, self.retries_503, self.retry_after_honored, self.retries_conn
+        )?;
         for q in [0.50, 0.90, 0.99] {
             writeln!(
                 file,
@@ -162,38 +186,59 @@ pub fn run(cfg: &LoadgenConfig) -> LoadReport {
     let samples = Arc::new(Mutex::new(Vec::new()));
     let errors = Arc::new(AtomicUsize::new(0));
 
+    // The overload storm: hold idle connections open for the whole run.
+    // The daemon sheds or reaps them; real submissions below must keep
+    // flowing regardless. Failures to connect are fine — a storm against
+    // a full accept queue is the very overload being staged.
+    let storm: Vec<std::net::TcpStream> = (0..cfg.idle_conns)
+        .filter_map(|_| std::net::TcpStream::connect(&cfg.addr).ok())
+        .collect();
+    if cfg.idle_conns > 0 {
+        crate::logging::info(format!(
+            "loadgen: storm holding {} idle connection(s)",
+            storm.len()
+        ));
+    }
+
+    // One shared client: clones share the shed/retry counters, so the
+    // report can surface them. A loaded daemon answers 429 when its
+    // queue is full; the bounded retry ladder absorbs that backpressure
+    // instead of counting it as a campaign failure.
+    let client =
+        Client::new(cfg.addr.clone()).with_retries(cfg.retries, Duration::from_millis(100));
+
     std::thread::scope(|scope| {
         for _ in 0..cfg.concurrency.max(1) {
             let next = Arc::clone(&next);
             let samples = Arc::clone(&samples);
             let errors = Arc::clone(&errors);
-            scope.spawn(move || {
-                // A loaded daemon answers 429 when its queue is full;
-                // the bounded retry ladder absorbs that backpressure
-                // instead of counting it as a campaign failure.
-                let client = Client::new(cfg.addr.clone())
-                    .with_retries(cfg.retries, Duration::from_millis(100));
-                loop {
-                    let k = next.fetch_add(1, Ordering::SeqCst);
-                    if k >= cfg.campaigns {
-                        return;
-                    }
-                    match run_one(&client, cfg, k) {
-                        Ok(sample) => samples.lock().unwrap().push(sample),
-                        Err(e) => {
-                            errors.fetch_add(1, Ordering::SeqCst);
-                            crate::logging::info(format!("loadgen: campaign {k} failed: {e}"));
-                        }
+            let client = client.clone();
+            scope.spawn(move || loop {
+                let k = next.fetch_add(1, Ordering::SeqCst);
+                if k >= cfg.campaigns {
+                    return;
+                }
+                match run_one(&client, cfg, k) {
+                    Ok(sample) => samples.lock().unwrap().push(sample),
+                    Err(e) => {
+                        errors.fetch_add(1, Ordering::SeqCst);
+                        crate::logging::info(format!("loadgen: campaign {k} failed: {e}"));
                     }
                 }
             });
         }
     });
 
+    drop(storm);
+    let (retries_429, retries_503, retry_after_honored) = client.stats().snapshot();
     LoadReport {
         samples: Arc::try_unwrap(samples).expect("workers joined").into_inner().unwrap(),
         client_errors: errors.load(Ordering::SeqCst),
         wall: started.elapsed(),
+        retries_429,
+        retries_503,
+        retry_after_honored,
+        retries_conn: client.stats().retries_conn.load(Ordering::Relaxed),
     }
 }
 
@@ -205,7 +250,9 @@ fn run_one(
     let spec = CampaignSpec {
         bench: cfg.bench.clone(),
         agent: cfg.agent.clone(),
-        seed: k as u64 + 1,
+        // Duplicate mode: every campaign is the same work, so the
+        // daemon's dedup store should compute each point once.
+        seed: if cfg.duplicate { 1 } else { k as u64 + 1 },
         budget: cfg.budget,
         corners: cfg.corners.clone(),
         ..CampaignSpec::default()
@@ -246,6 +293,10 @@ mod tests {
                 .collect(),
             client_errors: 0,
             wall: Duration::from_secs(1),
+            retries_429: 3,
+            retries_503: 1,
+            retry_after_honored: 2,
+            retries_conn: 4,
         };
         assert_eq!(report.throughput(), 10.0);
         assert!((report.completion_percentile_ms(0.5) - 50.0).abs() < 11.0);
@@ -256,6 +307,8 @@ mod tests {
         assert!(text.starts_with("kind,id,status,submit_ms,completion_ms,simulations"));
         assert_eq!(text.lines().filter(|l| l.starts_with("campaign,")).count(), 10);
         assert!(text.contains("summary,throughput_cps,"));
+        assert!(text
+            .contains("summary,retries_429,3,retries_503,1,retry_after_honored,2,retries_conn,4"));
         assert!(text.contains("p99_completion_ms"));
         let _ = std::fs::remove_file(&path);
     }

@@ -85,6 +85,25 @@ pub struct Metrics {
     /// writes/fsyncs that returned an error or landed short. Each one
     /// degrades exactly one campaign; the daemon keeps serving.
     pub storage_errors: AtomicU64,
+    /// Connections accepted by the reactor.
+    pub connections_accepted: AtomicU64,
+    /// Connections currently open (gauge).
+    pub connections_open: AtomicU64,
+    /// Connections shed with a typed 503 at the connection cap.
+    pub connections_shed: AtomicU64,
+    /// Connections reaped by a phase deadline (slow-loris, half-open,
+    /// stalled readers).
+    pub connections_reaped: AtomicU64,
+    /// Submissions shed because the admission queue was full.
+    pub shed_queue_full: AtomicU64,
+    /// Submissions shed by the per-client token-bucket rate limiter.
+    pub shed_rate_limit: AtomicU64,
+    /// Queued campaigns shed after exceeding their admission deadline.
+    pub shed_deadline: AtomicU64,
+    /// Connections shed at the connection-count cap.
+    pub shed_conn_cap: AtomicU64,
+    /// Submissions shed because the daemon was draining or recovering.
+    pub shed_unavailable: AtomicU64,
     /// Incomplete campaigns re-admitted by boot-time manifest recovery.
     pub recovered_campaigns: AtomicU64,
     /// Wall-clock duration of the last boot-time recovery replay, in
@@ -262,6 +281,54 @@ impl Metrics {
                 "asdex_health_interventions_total{{kind=\"{kind}\"}} {value}"
             );
         }
+        let _ = writeln!(out, "# HELP asdex_connections_total Reactor connection lifecycle events.");
+        let _ = writeln!(out, "# TYPE asdex_connections_total counter");
+        for (event, value) in [
+            ("accepted", &self.connections_accepted),
+            ("shed", &self.connections_shed),
+            ("reaped", &self.connections_reaped),
+        ] {
+            let _ = writeln!(
+                out,
+                "asdex_connections_total{{event=\"{event}\"}} {}",
+                value.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(out, "# HELP asdex_connections_open Connections currently open.");
+        let _ = writeln!(out, "# TYPE asdex_connections_open gauge");
+        let _ = writeln!(
+            out,
+            "asdex_connections_open {}",
+            self.connections_open.load(Ordering::Relaxed)
+        );
+        let _ = writeln!(out, "# HELP asdex_requests_shed_total Load-shedding decisions by reason.");
+        let _ = writeln!(out, "# TYPE asdex_requests_shed_total counter");
+        for (reason, value) in [
+            ("queue_full", &self.shed_queue_full),
+            ("rate_limit", &self.shed_rate_limit),
+            ("deadline", &self.shed_deadline),
+            ("conn_cap", &self.shed_conn_cap),
+            ("unavailable", &self.shed_unavailable),
+        ] {
+            let _ = writeln!(
+                out,
+                "asdex_requests_shed_total{{reason=\"{reason}\"}} {}",
+                value.load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(out, "# HELP asdex_dedup_events_total Cross-campaign eval dedup store events.");
+        let _ = writeln!(out, "# TYPE asdex_dedup_events_total counter");
+        for (event, value) in [
+            ("hit", gauges.dedup.hits),
+            ("miss", gauges.dedup.misses),
+            ("abort", gauges.dedup.aborts),
+            ("bypass", gauges.dedup.bypasses),
+        ] {
+            let _ = writeln!(out, "asdex_dedup_events_total{{event=\"{event}\"}} {value}");
+        }
+        let _ = writeln!(out, "# HELP asdex_dedup_entries Live entries across dedup stores.");
+        let _ = writeln!(out, "# TYPE asdex_dedup_entries gauge");
+        let _ = writeln!(out, "asdex_dedup_entries {}", gauges.dedup.entries);
         let _ = writeln!(out, "# HELP asdex_storage_errors_total Journal/manifest write or fsync failures survived.");
         let _ = writeln!(out, "# TYPE asdex_storage_errors_total counter");
         let _ = writeln!(
@@ -301,6 +368,9 @@ pub struct SchedulerGauges {
     pub eval: asdex_env::EvalStats,
     /// Self-healing telemetry summed over finished campaigns.
     pub health: asdex_env::HealthStats,
+    /// Cross-campaign eval dedup counters summed over the scheduler's
+    /// stores.
+    pub dedup: asdex_env::EvalStoreStats,
 }
 
 #[cfg(test)]
@@ -337,6 +407,33 @@ mod tests {
         assert!(text.contains("asdex_storage_errors_total 0"));
         assert!(text.contains("asdex_recovered_campaigns_total 0"));
         assert!(text.contains("asdex_recovery_seconds 0"));
+    }
+
+    #[test]
+    fn shed_connection_and_dedup_families_are_exposed() {
+        let m = Metrics::new();
+        m.connections_accepted.fetch_add(5, Ordering::Relaxed);
+        m.connections_shed.fetch_add(2, Ordering::Relaxed);
+        m.connections_reaped.fetch_add(1, Ordering::Relaxed);
+        m.connections_open.store(3, Ordering::Relaxed);
+        m.shed_queue_full.fetch_add(4, Ordering::Relaxed);
+        m.shed_rate_limit.fetch_add(6, Ordering::Relaxed);
+        let gauges = SchedulerGauges {
+            dedup: asdex_env::EvalStoreStats { hits: 7, misses: 9, ..Default::default() },
+            ..Default::default()
+        };
+        let text = m.render(&gauges);
+        assert!(text.contains("asdex_connections_total{event=\"accepted\"} 5"));
+        assert!(text.contains("asdex_connections_total{event=\"shed\"} 2"));
+        assert!(text.contains("asdex_connections_total{event=\"reaped\"} 1"));
+        assert!(text.contains("asdex_connections_open 3"));
+        assert!(text.contains("asdex_requests_shed_total{reason=\"queue_full\"} 4"));
+        assert!(text.contains("asdex_requests_shed_total{reason=\"rate_limit\"} 6"));
+        assert!(text.contains("asdex_requests_shed_total{reason=\"deadline\"} 0"));
+        assert!(text.contains("asdex_requests_shed_total{reason=\"conn_cap\"} 0"));
+        assert!(text.contains("asdex_dedup_events_total{event=\"hit\"} 7"));
+        assert!(text.contains("asdex_dedup_events_total{event=\"miss\"} 9"));
+        assert!(text.contains("asdex_dedup_entries 0"));
     }
 
     #[test]

@@ -30,8 +30,10 @@ use crate::pool::{WorkerPool, WorkerPoolConfig};
 use crate::protocol::{outcome_json, CampaignSpec};
 use asdex_core::{ProgressEvent, ProgressHandle};
 use asdex_env::journal::DiskFault;
-use asdex_env::{CancelToken, EvalStats, HealthStats, Journal, JournalError};
-use std::collections::{BTreeMap, VecDeque};
+use asdex_env::{
+    CancelToken, EvalStats, EvalStore, EvalStoreStats, HealthStats, Journal, JournalError,
+};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -64,6 +66,46 @@ pub struct SchedulerConfig {
     /// Seeded fault injector applied to every journal and manifest write
     /// path (chaos testing). `None` in production.
     pub disk_fault: Option<DiskFault>,
+    /// Admission deadline: a campaign still *queued* after this long is
+    /// shed (typed `failed`, message prefixed `shed:`) instead of run —
+    /// under sustained overload the queue serves fresh work, not a
+    /// graveyard of submissions whose clients gave up long ago. `None`
+    /// disables shedding (queued work waits indefinitely).
+    pub admission_timeout: Option<Duration>,
+    /// Per-client admission rate limit (token bucket), keyed by client
+    /// address via [`Scheduler::submit_from`]. `None` disables.
+    pub rate_limit: Option<RateLimit>,
+    /// Whether concurrent campaigns share a cross-campaign evaluation
+    /// dedup store (one store per `(bench, corners, solver)` identity):
+    /// identical points are simulated once and the result is handed to
+    /// every waiting campaign. Never changes results — only who computes
+    /// them.
+    pub dedup: bool,
+}
+
+/// Token-bucket admission rate limit, applied per client.
+#[derive(Debug, Clone, Copy)]
+pub struct RateLimit {
+    /// Sustained admissions per second per client.
+    pub per_sec: f64,
+    /// Burst allowance (bucket capacity).
+    pub burst: f64,
+}
+
+impl RateLimit {
+    /// A limit of `per_sec` sustained submissions with a burst of twice
+    /// that (at least 1).
+    pub fn per_sec(per_sec: f64) -> RateLimit {
+        let per_sec = per_sec.max(f64::MIN_POSITIVE);
+        RateLimit { per_sec, burst: (per_sec * 2.0).max(1.0) }
+    }
+}
+
+/// One client's token bucket.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: f64,
+    refilled: Instant,
 }
 
 impl Default for SchedulerConfig {
@@ -77,6 +119,9 @@ impl Default for SchedulerConfig {
             worker_program: None,
             recover: true,
             disk_fault: None,
+            admission_timeout: None,
+            rate_limit: None,
+            dedup: true,
         }
     }
 }
@@ -166,6 +211,9 @@ pub struct CampaignRecord {
     recovered: Mutex<Option<TerminalRecord>>,
     cancel: CancelToken,
     share: Arc<AtomicUsize>,
+    /// When the record entered the queue; the admission-deadline shed
+    /// clock.
+    admitted: Instant,
 }
 
 impl CampaignRecord {
@@ -180,6 +228,7 @@ impl CampaignRecord {
             recovered: Mutex::new(None),
             cancel: CancelToken::new(),
             share: Arc::new(AtomicUsize::new(0)),
+            admitted: Instant::now(),
         })
     }
 
@@ -256,6 +305,12 @@ pub enum SubmitError {
     /// The admission could not be made durable (manifest write failed);
     /// nothing was admitted.
     Storage(String),
+    /// The client exceeded its admission rate limit; retry after the
+    /// given number of seconds.
+    RateLimited {
+        /// Seconds until the client's token bucket refills one token.
+        retry_after: u64,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
@@ -267,6 +322,9 @@ impl std::fmt::Display for SubmitError {
             SubmitError::Invalid(msg) => write!(f, "{msg}"),
             SubmitError::Recovering => write!(f, "daemon is recovering; retry shortly"),
             SubmitError::Storage(msg) => write!(f, "admission not durable: {msg}"),
+            SubmitError::RateLimited { retry_after } => {
+                write!(f, "rate limited; retry in {retry_after}s")
+            }
         }
     }
 }
@@ -289,6 +347,14 @@ pub struct Scheduler {
     /// `false` until boot-time recovery has replayed the manifest;
     /// `/readyz` and admission key off this.
     ready: AtomicBool,
+    /// Per-client admission token buckets ([`Scheduler::submit_from`]).
+    buckets: Mutex<HashMap<String, Bucket>>,
+    /// Cross-campaign evaluation dedup stores, one per
+    /// `(bench, corners, solver)` identity. The store key inside is
+    /// `(point bits, corner index, attempt cap)` — a pure function of the
+    /// evaluation — so sharing is only ever between campaigns whose
+    /// evaluations are bitwise interchangeable.
+    stores: Mutex<HashMap<(String, String, String), Arc<EvalStore>>>,
 }
 
 impl Scheduler {
@@ -325,6 +391,8 @@ impl Scheduler {
             lock: Mutex::new(Some(lock)),
             manifest: Mutex::new(manifest),
             ready: AtomicBool::new(false),
+            buckets: Mutex::new(HashMap::new()),
+            stores: Mutex::new(HashMap::new()),
         });
         let mut workers = scheduler.workers.lock().unwrap();
         for i in 0..cfg.max_active.max(1) {
@@ -455,13 +523,16 @@ impl Scheduler {
             // Recovery replay has exclusive admission rights: a client
             // submission racing with the re-admission of the same id
             // could otherwise put two writers on one journal.
+            self.metrics.shed_unavailable.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Recovering);
         }
         if inner.draining {
+            self.metrics.shed_unavailable.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::Draining);
         }
         if inner.queue.len() >= self.cfg.queue_capacity {
             self.metrics.campaigns_rejected.fetch_add(1, Ordering::Relaxed);
+            self.metrics.shed_queue_full.fetch_add(1, Ordering::Relaxed);
             return Err(SubmitError::QueueFull);
         }
         let id = match id {
@@ -498,6 +569,84 @@ impl Scheduler {
         Ok(id)
     }
 
+    /// [`Scheduler::submit`] on behalf of a named client, applying the
+    /// per-client admission rate limit first. `None` (no client identity,
+    /// e.g. in-process submission) bypasses the limiter.
+    pub fn submit_from(
+        &self,
+        client: Option<&str>,
+        id: Option<String>,
+        spec: CampaignSpec,
+    ) -> Result<String, SubmitError> {
+        if let (Some(limit), Some(client)) = (self.cfg.rate_limit, client) {
+            if let Err(retry_after) = self.take_token(client, limit) {
+                self.metrics.shed_rate_limit.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::RateLimited { retry_after });
+            }
+        }
+        self.submit(id, spec)
+    }
+
+    /// Takes one token from `client`'s bucket, refilling by elapsed time
+    /// first. On an empty bucket, returns the whole seconds until one
+    /// token accrues.
+    fn take_token(&self, client: &str, limit: RateLimit) -> Result<(), u64> {
+        let now = Instant::now();
+        let mut buckets = self.buckets.lock().unwrap();
+        // The map is bounded: under address-spoofing-scale client churn,
+        // drop buckets that have refilled to full (forgetting one loses
+        // nothing — a full bucket is the initial state).
+        if buckets.len() >= 4096 {
+            buckets.retain(|_, b| {
+                b.tokens + now.duration_since(b.refilled).as_secs_f64() * limit.per_sec
+                    < limit.burst
+            });
+        }
+        let bucket = buckets
+            .entry(client.to_string())
+            .or_insert(Bucket { tokens: limit.burst, refilled: now });
+        let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * limit.per_sec).min(limit.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err(((1.0 - bucket.tokens) / limit.per_sec).ceil().max(1.0) as u64)
+        }
+    }
+
+    /// The `Retry-After` hint for shed responses: scales with queue
+    /// pressure (roughly the queue's depth in units of the active-slot
+    /// count), clamped to `[1, 30]` seconds.
+    pub fn retry_after_secs(&self) -> u64 {
+        let queued = self.inner.lock().unwrap().queue.len();
+        (1 + queued / self.cfg.max_active.max(1)).clamp(1, 30) as u64
+    }
+
+    /// Merged statistics of every cross-campaign dedup store.
+    pub fn dedup_stats(&self) -> EvalStoreStats {
+        let mut total = EvalStoreStats::default();
+        for store in self.stores.lock().unwrap().values() {
+            let s = store.stats();
+            total.hits += s.hits;
+            total.misses += s.misses;
+            total.aborts += s.aborts;
+            total.bypasses += s.bypasses;
+            total.entries += s.entries;
+        }
+        total
+    }
+
+    /// The dedup store for a campaign's evaluation identity. The
+    /// corner-set name is part of the key: the store is indexed by corner
+    /// *index*, which only means the same thing within one named corner
+    /// list.
+    fn store_for(&self, spec: &CampaignSpec) -> Arc<EvalStore> {
+        let key = (spec.bench.clone(), spec.corners.clone(), spec.solver.clone());
+        Arc::clone(self.stores.lock().unwrap().entry(key).or_insert_with(EvalStore::shared))
+    }
+
     /// Looks up a campaign by id.
     pub fn get(&self, id: &str) -> Option<Arc<CampaignRecord>> {
         self.inner.lock().unwrap().registry.get(id).cloned()
@@ -525,6 +674,7 @@ impl Scheduler {
 
     /// Point-in-time gauges for `/metrics`.
     pub fn gauges(&self) -> SchedulerGauges {
+        let dedup = self.dedup_stats();
         let inner = self.inner.lock().unwrap();
         SchedulerGauges {
             queue_depth: inner.queue.len(),
@@ -532,6 +682,7 @@ impl Scheduler {
             thread_budget: self.cfg.thread_budget,
             eval: inner.finished_eval.clone(),
             health: inner.finished_health,
+            dedup,
         }
     }
 
@@ -619,12 +770,50 @@ impl Scheduler {
         }
     }
 
+    /// Sheds a queued campaign whose admission deadline passed: typed
+    /// terminal `failed` with a `shed:` message, durably recorded, never
+    /// run. Called with the `inner` lock held so the terminal status
+    /// publishes under the same critical section admission reads.
+    fn shed_queued(
+        &self,
+        _inner: &mut Inner,
+        job: &Arc<CampaignRecord>,
+        waited: Duration,
+        limit: Duration,
+    ) {
+        let msg = format!(
+            "shed: admission deadline exceeded (queued {waited:.1?} > limit {limit:.1?})"
+        );
+        if let Err(e) = self.manifest.lock().unwrap().append_terminal(&job.id, &TerminalRecord::failed(&msg))
+        {
+            self.metrics.storage_errors.fetch_add(1, Ordering::Relaxed);
+            logging::info(format!("campaign {}: shed record not durable: {e}", job.id));
+        }
+        *job.outcome.lock().unwrap() = Some(Err(msg.clone()));
+        job.set_status(CampaignStatus::Failed);
+        self.metrics.campaigns_failed.fetch_add(1, Ordering::Relaxed);
+        self.metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
+        logging::info(format!("campaign {}: {msg}", job.id));
+    }
+
     fn runner_loop(self: Arc<Self>) {
         loop {
             let job = {
                 let mut inner = self.inner.lock().unwrap();
                 loop {
                     if let Some(job) = inner.queue.pop_front() {
+                        // Deadline propagation: work whose admission
+                        // deadline already passed is shed typed, not run —
+                        // its client has long since timed out, and running
+                        // it would only delay work that can still matter.
+                        if let Some(limit) = self.cfg.admission_timeout {
+                            let waited = job.admitted.elapsed();
+                            if waited > limit {
+                                self.shed_queued(&mut inner, &job, waited, limit);
+                                self.done_cv.notify_all();
+                                continue;
+                            }
+                        }
                         inner.active.push(Arc::clone(&job));
                         Scheduler::rebalance(&inner, self.cfg.thread_budget);
                         break job;
@@ -773,6 +962,16 @@ impl Scheduler {
             .with_journal(journal)
             .with_cancel_token(job.cancel.clone())
             .with_thread_share(Arc::clone(&job.share));
+
+        // Cross-campaign dedup: concurrent campaigns with the same
+        // evaluation identity share results through a single-flight
+        // store. Journal replay still has precedence (a replayed point
+        // never reaches the store), and waiters fold shared results
+        // through the same finalize path as locally computed ones, so
+        // outcomes stay bitwise identical to a store-less run.
+        if self.cfg.dedup {
+            problem = problem.with_eval_store(self.store_for(&spec));
+        }
 
         // Process isolation: route every evaluation attempt through a
         // supervised pool of `asdex worker` children. The pool's fallback
@@ -1096,6 +1295,114 @@ mod tests {
         assert_eq!(summary.status, "completed");
         assert!(record.outcome().is_none(), "no fake outcome object");
         second.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn queued_campaigns_past_the_admission_deadline_are_shed_typed() {
+        let dir = temp_dir("shed");
+        let metrics = Arc::new(Metrics::new());
+        // A zero admission deadline: by the time any runner pops a job,
+        // its deadline has passed — every submission is shed, none run.
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                max_active: 1,
+                journal_dir: dir.clone(),
+                admission_timeout: Some(Duration::ZERO),
+                ..SchedulerConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let ids: Vec<String> =
+            (0..3).map(|s| scheduler.submit(None, quick_spec(s)).unwrap()).collect();
+        for id in &ids {
+            assert!(scheduler.wait(id, Duration::from_secs(30)));
+            let record = scheduler.get(id).unwrap();
+            assert_eq!(record.status(), CampaignStatus::Failed);
+            let err = record.outcome().unwrap().unwrap_err();
+            assert!(err.starts_with("shed:"), "typed shed message, got {err:?}");
+        }
+        assert_eq!(metrics.shed_deadline.load(Ordering::Relaxed), 3);
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn per_client_token_buckets_rate_limit_admission() {
+        let dir = temp_dir("rate");
+        let metrics = Arc::new(Metrics::new());
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                journal_dir: dir.clone(),
+                // Tiny refill rate, burst 2: the third rapid submission
+                // from one client must be limited; other clients and
+                // anonymous submitters are unaffected.
+                rate_limit: Some(RateLimit { per_sec: 0.001, burst: 2.0 }),
+                ..SchedulerConfig::default()
+            },
+            Arc::clone(&metrics),
+        )
+        .unwrap();
+        let a1 = scheduler.submit_from(Some("10.0.0.1"), None, quick_spec(1));
+        let a2 = scheduler.submit_from(Some("10.0.0.1"), None, quick_spec(2));
+        let a3 = scheduler.submit_from(Some("10.0.0.1"), None, quick_spec(3));
+        assert!(a1.is_ok() && a2.is_ok());
+        match a3 {
+            Err(SubmitError::RateLimited { retry_after }) => assert!(retry_after >= 1),
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+        assert!(scheduler.submit_from(Some("10.0.0.2"), None, quick_spec(4)).is_ok());
+        assert!(scheduler.submit_from(None, None, quick_spec(5)).is_ok());
+        assert_eq!(metrics.shed_rate_limit.load(Ordering::Relaxed), 1);
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_identical_campaigns_dedup_and_stay_bitwise_identical() {
+        use crate::protocol::outcome_json;
+
+        // Serial reference: dedup off.
+        let dir = temp_dir("dedup-ref");
+        let scheduler = Scheduler::start(
+            SchedulerConfig { journal_dir: dir.clone(), dedup: false, ..SchedulerConfig::default() },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let id = scheduler.submit(None, quick_spec(11)).unwrap();
+        assert!(scheduler.wait(&id, Duration::from_secs(60)));
+        let reference = outcome_json(&scheduler.get(&id).unwrap().outcome().unwrap().unwrap()).dump();
+        assert_eq!(scheduler.dedup_stats(), asdex_env::EvalStoreStats::default());
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // Two campaigns with identical specs sharing one dedup store:
+        // every simulated point is computed once, handed to the other
+        // campaign as a hit, and both outcomes match the store-less
+        // serial reference string-for-string (i.e. bitwise).
+        let dir = temp_dir("dedup");
+        let scheduler = Scheduler::start(
+            SchedulerConfig { max_active: 2, journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+        let first = scheduler.submit(None, quick_spec(11)).unwrap();
+        let second = scheduler.submit(None, quick_spec(11)).unwrap();
+        assert!(scheduler.wait(&first, Duration::from_secs(60)));
+        assert!(scheduler.wait(&second, Duration::from_secs(60)));
+        for id in [&first, &second] {
+            let outcome = scheduler.get(id).unwrap().outcome().unwrap().unwrap();
+            assert_eq!(outcome_json(&outcome).dump(), reference, "campaign {id} diverged");
+        }
+        let stats = scheduler.dedup_stats();
+        assert!(stats.hits > 0, "identical campaigns must share evaluations: {stats:?}");
+        assert!(
+            stats.hits >= stats.misses,
+            "the twin campaign's evaluations must all be hits: {stats:?}"
+        );
+        assert_eq!(stats.aborts, 0, "no owner died mid-flight: {stats:?}");
+        scheduler.drain();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,10 +1,16 @@
 //! The HTTP front end: routing, drain coordination, request accounting.
 //!
-//! One thread accepts connections (non-blocking, polling the drain flag);
-//! each connection is served by a short-lived thread — requests are
-//! single-shot (`Connection: close`), so the per-connection work is one
-//! parse, one route, one response. Campaign execution never happens on a
-//! connection thread; `POST /campaigns` only enqueues.
+//! Connections are served by the nonblocking [`crate::reactor`]: one
+//! thread drives every connection as a polled state machine with bounded
+//! buffers and per-phase deadlines — requests are single-shot
+//! (`Connection: close`), so the per-connection work is one parse, one
+//! route, one response. Campaign execution never happens on the reactor
+//! thread; `POST /campaigns` only enqueues.
+//!
+//! Under overload the daemon sheds typed, never hangs: beyond the
+//! connection cap arrivals get `503` + `Retry-After`; a full admission
+//! queue answers `429` + `Retry-After`; per-client token buckets answer
+//! `429 rate limited`; slow or half-open clients are reaped by deadline.
 //!
 //! ## Routes
 //!
@@ -16,15 +22,15 @@
 //! | `GET /metrics`        | Prometheus-style text exposition                 |
 //! | `POST /drain`         | initiate graceful shutdown                       |
 
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{Request, Response};
 use crate::json::Json;
 use crate::logging;
 use crate::metrics::Metrics;
 use crate::protocol::{outcome_json, CampaignSpec};
+use crate::reactor::{run_reactor, ReactorConfig};
 use crate::scheduler::{Scheduler, SchedulerConfig, SubmitError};
-use std::io::BufReader;
-use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -33,13 +39,25 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:8650`. Port 0 picks a free port.
     pub addr: String,
+    /// Per-phase connection deadline (request head, body, and response
+    /// write each): slow-loris and half-open clients are reaped when it
+    /// lands (`--conn-timeout`).
+    pub conn_timeout: Duration,
+    /// Open-connection cap; arrivals beyond it are shed with a typed
+    /// `503` + `Retry-After` (`--max-conns`).
+    pub max_conns: usize,
     /// Scheduler knobs.
     pub scheduler: SchedulerConfig,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { addr: "127.0.0.1:8650".to_string(), scheduler: SchedulerConfig::default() }
+        ServerConfig {
+            addr: "127.0.0.1:8650".to_string(),
+            conn_timeout: Duration::from_secs(10),
+            max_conns: 256,
+            scheduler: SchedulerConfig::default(),
+        }
     }
 }
 
@@ -74,7 +92,8 @@ pub struct Server {
     scheduler: Arc<Scheduler>,
     metrics: Arc<Metrics>,
     drain: DrainHandle,
-    in_flight: Arc<AtomicUsize>,
+    conn_timeout: Duration,
+    max_conns: usize,
 }
 
 impl Server {
@@ -94,7 +113,14 @@ impl Server {
         let metrics = Arc::new(Metrics::new());
         let scheduler = Scheduler::start(cfg.scheduler, Arc::clone(&metrics))
             .map_err(std::io::Error::other)?;
-        Ok(Server { listener, scheduler, metrics, drain, in_flight: Arc::new(AtomicUsize::new(0)) })
+        Ok(Server {
+            listener,
+            scheduler,
+            metrics,
+            drain,
+            conn_timeout: cfg.conn_timeout,
+            max_conns: cfg.max_conns,
+        })
     }
 
     /// The actual bound address (resolves port 0).
@@ -108,77 +134,45 @@ impl Server {
     }
 
     /// Serves until a drain is requested, then drains the scheduler
-    /// (checkpointing every journal) and returns.
+    /// (checkpointing every journal) and returns. The reactor gives
+    /// in-flight connections a short grace period after the drain flag
+    /// flips; campaign work drains through the scheduler's own protocol.
     pub fn run(&self) -> std::io::Result<()> {
         logging::info(format!("serving on http://{}", self.local_addr()?));
-        while !self.drain.is_drain_requested() {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => self.spawn_connection(stream),
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        logging::info("drain requested: admission stopped");
-        // Let in-flight request threads finish writing their responses.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while self.in_flight.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
-        }
-        self.scheduler.drain();
-        Ok(())
-    }
-
-    fn spawn_connection(&self, stream: TcpStream) {
+        let reactor_cfg = ReactorConfig {
+            max_conns: self.max_conns,
+            conn_timeout: self.conn_timeout,
+            drain_grace: Duration::from_secs(5),
+        };
         let scheduler = Arc::clone(&self.scheduler);
         let metrics = Arc::clone(&self.metrics);
         let drain = self.drain.clone();
-        let in_flight = Arc::clone(&self.in_flight);
-        in_flight.fetch_add(1, Ordering::SeqCst);
-        let _ = std::thread::Builder::new().name("asdex-conn".to_string()).spawn(move || {
-            let _ = stream.set_nodelay(true);
-            let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-            let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
-            handle_connection(stream, &scheduler, &metrics, &drain);
-            in_flight.fetch_sub(1, Ordering::SeqCst);
-        });
+        let result = run_reactor(
+            &self.listener,
+            &reactor_cfg,
+            &self.drain,
+            &self.metrics,
+            |request, peer| {
+                let started = Instant::now();
+                let (endpoint, response) = route(request, Some(peer), &scheduler, &metrics, &drain);
+                match endpoint {
+                    Some(idx) => metrics.observe_request(idx, started.elapsed()),
+                    None => {
+                        metrics.unmatched_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                logging::debug(format!(
+                    "http: {} {} {} -> {}",
+                    peer, request.method, request.path, response.status
+                ));
+                response
+            },
+            || scheduler.retry_after_secs(),
+        );
+        logging::info("drain requested: admission stopped");
+        self.scheduler.drain();
+        result
     }
-}
-
-fn handle_connection(
-    stream: TcpStream,
-    scheduler: &Scheduler,
-    metrics: &Metrics,
-    drain: &DrainHandle,
-) {
-    let mut reader = BufReader::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    });
-    let request = match read_request(&mut reader) {
-        Ok(Some(request)) => request,
-        Ok(None) => return,
-        Err(HttpError::Bad(reason)) => {
-            let body = error_body(reason);
-            let _ = Response::json(400, body).write_to(&mut &stream);
-            return;
-        }
-        Err(HttpError::Io(_)) => return,
-    };
-    let started = Instant::now();
-    let (endpoint, response) = route(&request, scheduler, metrics, drain);
-    match endpoint {
-        Some(idx) => metrics.observe_request(idx, started.elapsed()),
-        None => {
-            metrics.unmatched_requests.fetch_add(1, Ordering::Relaxed);
-        }
-    }
-    logging::debug(format!(
-        "http: {} {} -> {}",
-        request.method, request.path, response.status
-    ));
-    let _ = response.write_to(&mut &stream);
 }
 
 fn error_body(message: &str) -> String {
@@ -187,6 +181,7 @@ fn error_body(message: &str) -> String {
 
 fn route(
     request: &Request,
+    peer: Option<SocketAddr>,
     scheduler: &Scheduler,
     metrics: &Metrics,
     drain: &DrainHandle,
@@ -194,7 +189,10 @@ fn route(
     let path = request.path.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("POST", "/campaigns") => {
-            (Metrics::endpoint_index("/campaigns"), post_campaign(request, scheduler))
+            // Rate limits are per client *address*: one greedy submitter
+            // cannot starve the admission queue for everyone else.
+            let client = peer.map(|p| p.ip().to_string());
+            (Metrics::endpoint_index("/campaigns"), post_campaign(request, client, scheduler))
         }
         ("GET", "/healthz") => {
             let body = Json::obj()
@@ -241,7 +239,7 @@ fn route(
     }
 }
 
-fn post_campaign(request: &Request, scheduler: &Scheduler) -> Response {
+fn post_campaign(request: &Request, client: Option<String>, scheduler: &Scheduler) -> Response {
     let text = match std::str::from_utf8(&request.body) {
         Ok(t) => t,
         Err(_) => return Response::json(400, error_body("body is not UTF-8")),
@@ -256,7 +254,7 @@ fn post_campaign(request: &Request, scheduler: &Scheduler) -> Response {
         Ok(parsed) => parsed,
         Err(e) => return Response::json(400, error_body(&e)),
     };
-    match scheduler.submit(id, spec) {
+    match scheduler.submit_from(client.as_deref(), id, spec) {
         Ok(id) => {
             let body = Json::obj()
                 .with("id", Json::Str(id))
@@ -264,10 +262,18 @@ fn post_campaign(request: &Request, scheduler: &Scheduler) -> Response {
                 .dump();
             Response::json(202, body)
         }
-        Err(SubmitError::QueueFull) => Response::json(429, error_body("admission queue is full")),
+        // Retryable sheds carry an explicit `Retry-After` so well-behaved
+        // clients back off in step with actual queue pressure instead of
+        // hammering blind.
+        Err(SubmitError::QueueFull) => Response::json(429, error_body("admission queue is full"))
+            .with_retry_after(scheduler.retry_after_secs()),
+        Err(SubmitError::RateLimited { retry_after }) => {
+            Response::json(429, error_body("rate limited")).with_retry_after(retry_after)
+        }
         Err(SubmitError::Draining) => Response::json(503, error_body("daemon is draining")),
         Err(SubmitError::Recovering) => {
             Response::json(503, error_body("daemon is recovering; retry shortly"))
+                .with_retry_after(1)
         }
         Err(SubmitError::Conflict(id)) => {
             Response::json(409, error_body(&format!("campaign {id:?} is already in flight")))
@@ -337,6 +343,7 @@ mod tests {
         let cfg = ServerConfig {
             addr: "127.0.0.1:0".to_string(),
             scheduler: SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            ..ServerConfig::default()
         };
         (Server::bind(cfg, DrainHandle::new()).unwrap(), dir)
     }
@@ -354,7 +361,7 @@ mod tests {
             headers: vec![],
             body: vec![],
         };
-        let (_, resp) = route(&health, &scheduler, &metrics, &drain);
+        let (_, resp) = route(&health, None, &scheduler, &metrics, &drain);
         assert_eq!(resp.status, 200);
         assert!(String::from_utf8(resp.body).unwrap().contains("\"status\":\"ok\""));
 
@@ -364,7 +371,7 @@ mod tests {
             headers: vec![],
             body: br#"{"bench":"bowl2","budget":200,"seed":3}"#.to_vec(),
         };
-        let (_, resp) = route(&submit, &scheduler, &metrics, &drain);
+        let (_, resp) = route(&submit, None, &scheduler, &metrics, &drain);
         assert_eq!(resp.status, 202);
         let body = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         let id = body.get("id").unwrap().as_str().unwrap().to_string();
@@ -376,7 +383,7 @@ mod tests {
             headers: vec![],
             body: vec![],
         };
-        let (_, resp) = route(&get, &scheduler, &metrics, &drain);
+        let (_, resp) = route(&get, None, &scheduler, &metrics, &drain);
         assert_eq!(resp.status, 200);
         let body = Json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
         assert_eq!(body.get("status").unwrap().as_str(), Some("completed"));
@@ -388,7 +395,7 @@ mod tests {
             headers: vec![],
             body: vec![],
         };
-        let (_, resp) = route(&missing, &scheduler, &metrics, &drain);
+        let (_, resp) = route(&missing, None, &scheduler, &metrics, &drain);
         assert_eq!(resp.status, 404);
 
         let bad = Request {
@@ -397,7 +404,7 @@ mod tests {
             headers: vec![],
             body: b"not json".to_vec(),
         };
-        let (_, resp) = route(&bad, &scheduler, &metrics, &drain);
+        let (_, resp) = route(&bad, None, &scheduler, &metrics, &drain);
         assert_eq!(resp.status, 400);
 
         let wrong_method = Request {
@@ -406,7 +413,7 @@ mod tests {
             headers: vec![],
             body: vec![],
         };
-        let (endpoint, resp) = route(&wrong_method, &scheduler, &metrics, &drain);
+        let (endpoint, resp) = route(&wrong_method, None, &scheduler, &metrics, &drain);
         assert!(endpoint.is_none());
         assert_eq!(resp.status, 405);
 

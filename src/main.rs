@@ -54,11 +54,13 @@ USAGE:
     asdex sim   <deck.cir>
     asdex serve [--addr host:port] [--journal-dir dir] [--threads N]
                 [--workers N] [--queue N] [--max-active N]
+                [--conn-timeout SECS] [--max-conns N] [--rate-limit PER_SEC]
+                [--admission-timeout SECS] [--no-dedup]
                 [--no-recover] [--log-level quiet|info|debug] [--quiet]
     asdex loadgen [--addr host:port] [--n N] [--concurrency N]
                   [--bench name] [--agent name] [--budget N]
                   [--corners set] [--out csv] [--timeout-secs N]
-                  [--retries N] [--quiet]
+                  [--retries N] [--idle-conns N] [--duplicate] [--quiet]
 
 `--threads N` sets the batch-evaluation worker count (default: the
 ASDEX_THREADS environment variable, else serial); for `serve` it is the
@@ -90,6 +92,22 @@ campaign continues to the same outcome an uninterrupted run produces.
 `--json` prints one machine-readable JSON document to stdout (floats
 also carried as IEEE-754 hex bits, the daemon's wire format). `--quiet`
 silences stderr chatter.
+
+`serve` fronts everything with a nonblocking connection reactor: open
+connections are capped at --max-conns (arrivals beyond it are shed with
+a typed 503 + Retry-After), and every connection phase — request head,
+body, response write — is bounded by --conn-timeout, so slow-loris and
+half-open clients are reaped, never accumulated. --rate-limit applies a
+per-client token bucket to POST /campaigns (429 + Retry-After);
+--admission-timeout sheds campaigns still queued after that many
+seconds (typed failed, message prefixed `shed:`) instead of running
+work whose client gave up. Concurrent campaigns with identical specs
+share a cross-campaign evaluation dedup store — each point is simulated
+once, with zero effect on results (disable with --no-dedup).
+
+`loadgen` surfaces shed/retry counts; --idle-conns N holds N half-open
+connections for the run's duration (an overload storm) and --duplicate
+submits identical specs to exercise the dedup store.
 
 `serve` accepts campaigns over HTTP (POST /campaigns) and journals each
 to <journal-dir>/<id>.journal. Every admission and lifecycle transition
@@ -225,6 +243,11 @@ const VALUE_FLAGS: &[&str] = &[
     "--fault-seed",
     "--fault-mode",
     "--retries",
+    "--conn-timeout",
+    "--max-conns",
+    "--rate-limit",
+    "--admission-timeout",
+    "--idle-conns",
 ];
 
 /// Whether a bare flag (no value) is present.
@@ -579,8 +602,14 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             .ok_or_else(|| CliError::Usage(format!("unknown log level {label:?} (quiet|info|debug)")))?;
         logging::set_level(level);
     }
+    let admission_timeout = parse_flag(args, "--admission-timeout", 0u64)?;
+    let rate_limit = parse_flag(args, "--rate-limit", 0.0f64)?;
     let cfg = ServerConfig {
         addr: flag_value(args, "--addr")?.unwrap_or("127.0.0.1:8650").to_string(),
+        conn_timeout: std::time::Duration::from_secs(
+            parse_flag(args, "--conn-timeout", 10u64)?.max(1),
+        ),
+        max_conns: parse_flag(args, "--max-conns", 256usize)?.max(1),
         scheduler: SchedulerConfig {
             queue_capacity: parse_flag(args, "--queue", 64usize)?,
             max_active: parse_flag(args, "--max-active", 4usize)?,
@@ -591,6 +620,11 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
             worker_program: None,
             recover: !has_flag(args, "--no-recover"),
             disk_fault: None,
+            admission_timeout: (admission_timeout > 0)
+                .then(|| std::time::Duration::from_secs(admission_timeout)),
+            rate_limit: (rate_limit > 0.0)
+                .then(|| asdex::serve::RateLimit::per_sec(rate_limit)),
+            dedup: !has_flag(args, "--no-dedup"),
         },
     };
     let drain = DrainHandle::new();
@@ -627,6 +661,8 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
         corners: flag_value(args, "--corners")?.unwrap_or("nominal").to_string(),
         timeout: std::time::Duration::from_secs(parse_flag(args, "--timeout-secs", 300u64)?),
         retries: parse_flag(args, "--retries", 4u32)?,
+        idle_conns: parse_flag(args, "--idle-conns", 0usize)?,
+        duplicate: has_flag(args, "--duplicate"),
     };
     let out = Path::new(
         flag_value(args, "--out")?.unwrap_or("bench_results/serve_throughput.csv"),
@@ -650,6 +686,10 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
         report.submit_percentile_ms(0.99),
         report.completion_percentile_ms(0.50),
         report.completion_percentile_ms(0.99)
+    );
+    println!(
+        "shed/retry: {} x 429, {} x 503, {} x conn-reset, {} retry-after hints honored",
+        report.retries_429, report.retries_503, report.retries_conn, report.retry_after_honored
     );
     println!("csv: {}", out.display());
     if report.client_errors > 0 {

@@ -1,0 +1,288 @@
+//! Overload-resilience integration tests for the serving layer.
+//!
+//! Abusive clients — slow-loris byte dribblers, half-open peers that
+//! connect and go silent, oversized-header floods, pipelined garbage —
+//! are aimed at a live daemon while well-behaved requests ride
+//! alongside. The contract under test: the daemon stays responsive,
+//! sheds typed (`503` + `Retry-After` at the connection cap), reaps
+//! abusers within the connection deadline, and never hangs or leaks.
+//! The final test drives the cross-campaign evaluation dedup store over
+//! HTTP and holds it to the repo's bitwise-determinism contract.
+
+use asdex::serve::json::Json;
+use asdex::serve::protocol::outcome_json;
+use asdex::serve::{
+    build_problem, run_campaign, CampaignSpec, Client, DrainHandle, SchedulerConfig, Server,
+    ServerConfig,
+};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Mirrors `asdex::serve::http::MAX_LINE` (the parser's per-line bound).
+const MAX_LINE: usize = 8 << 10;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asdex-overload-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Boots a daemon on a free port with tight overload knobs. Returns the
+/// address, the drain handle, the server thread, and the journal dir.
+fn start_daemon(
+    tag: &str,
+    max_conns: usize,
+    conn_timeout: Duration,
+) -> (String, DrainHandle, std::thread::JoinHandle<()>, PathBuf) {
+    let dir = temp_dir(tag);
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        conn_timeout,
+        max_conns,
+        scheduler: SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+    };
+    let drain = DrainHandle::new();
+    let server = Server::bind(cfg, drain.clone()).expect("daemon binds");
+    let addr = server.local_addr().expect("bound").to_string();
+    let thread = std::thread::spawn(move || server.run().expect("daemon runs"));
+    (addr, drain, thread, dir)
+}
+
+/// Scrapes one counter value from the metrics exposition; `None` if the
+/// scrape itself is shed (the daemon may still be at its connection cap).
+fn try_metric(client: &Client, line_prefix: &str) -> Option<u64> {
+    let text = client.metrics().ok()?;
+    text.lines()
+        .find(|l| l.starts_with(line_prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Scrapes one counter value, panicking if the scrape fails.
+fn metric(client: &Client, line_prefix: &str) -> u64 {
+    try_metric(client, line_prefix)
+        .unwrap_or_else(|| panic!("metric {line_prefix:?} unavailable"))
+}
+
+/// Polls until `check` passes or the deadline lands.
+fn eventually(timeout: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if check() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Sends raw bytes and reads the whole response (connection: close).
+fn raw_exchange(addr: &str, payload: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    stream.write_all(payload).expect("request written");
+    let mut response = String::new();
+    let _ = stream.read_to_string(&mut response);
+    response
+}
+
+#[test]
+fn slow_loris_and_half_open_clients_are_reaped_while_service_continues() {
+    let timeout = Duration::from_millis(300);
+    let (addr, drain, server, dir) = start_daemon("loris", 32, timeout);
+    let client = Client::new(addr.clone());
+
+    // A half-open peer: connects, sends nothing, never closes.
+    let mut half_open = TcpStream::connect(&addr).expect("half-open connects");
+    half_open.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // A slow-loris: dribbles header bytes slower than the deadline. The
+    // phase deadline is absolute — trickling "progress" does not reset
+    // it — so the connection dies when the header deadline lands.
+    let loris_addr = addr.clone();
+    let loris = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(&loris_addr).expect("loris connects");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        for byte in b"GET /healthz HTTP/1.1\r\nx-slow: dribble\r\n" {
+            if stream.write_all(&[*byte]).is_err() {
+                break; // reaped mid-dribble: exactly the point
+            }
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        // The server must have closed on us; a read observes it.
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+    });
+
+    // Well-behaved traffic keeps flowing while the abusers linger.
+    for _ in 0..5 {
+        let doc = client.healthz().expect("healthz during the siege");
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("ok"));
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Both abusers are reaped within the deadline (plus scheduling slack).
+    assert!(
+        eventually(Duration::from_secs(10), || {
+            metric(&client, "asdex_connections_total{event=\"reaped\"}") >= 2
+        }),
+        "slow-loris and half-open connections must be reaped"
+    );
+    // The half-open client observes the server's close as EOF, not a hang.
+    let mut sink = Vec::new();
+    let n = half_open.read_to_end(&mut sink).expect("server closed cleanly");
+    assert_eq!(n, 0, "no response owed to a client that never sent a request");
+    loris.join().expect("loris thread");
+
+    // The set drains back to empty: nothing leaked.
+    assert!(
+        eventually(Duration::from_secs(5), || metric(&client, "asdex_connections_open") == 0),
+        "open-connection gauge must return to zero"
+    );
+
+    drain.request_drain();
+    server.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn connection_cap_sheds_typed_with_retry_after() {
+    // Cap of 2, long deadline: two parked connections pin the cap, so a
+    // third arrival must be shed with a typed 503 — not parsed, not
+    // queued, not hung.
+    let (addr, drain, server, dir) = start_daemon("cap", 2, Duration::from_secs(5));
+
+    let parked: Vec<TcpStream> =
+        (0..2).map(|_| TcpStream::connect(&addr).expect("parked connects")).collect();
+
+    // While the cap is pinned every new arrival — including a metrics
+    // scrape — must be shed, so the shed response itself is the probe.
+    // Retry until the reactor has pulled both parked connections into
+    // its tracked set and starts shedding.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let response = loop {
+        let response = raw_exchange(&addr, b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n");
+        if response.starts_with("HTTP/1.1 503") || Instant::now() >= deadline {
+            break response;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(response.starts_with("HTTP/1.1 503"), "expected a shed 503, got:\n{response}");
+    assert!(
+        response.contains("retry-after:"),
+        "the shed must carry a Retry-After hint:\n{response}"
+    );
+    assert!(response.contains("connection limit reached"), "typed body:\n{response}");
+
+    // Freeing the cap restores service, and the metrics agree on the
+    // shed classification.
+    drop(parked);
+    let client = Client::new(addr.clone());
+    assert!(eventually(Duration::from_secs(10), || {
+        try_metric(&client, "asdex_requests_shed_total{reason=\"conn_cap\"}")
+            .is_some_and(|v| v >= 1)
+    }));
+
+    drain.request_drain();
+    server.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn oversized_header_floods_are_rejected_around_the_line_bound() {
+    let (addr, drain, server, dir) = start_daemon("flood", 32, Duration::from_secs(5));
+
+    // Just under the bound: a legal (if obnoxious) header — served.
+    let pad = "a".repeat(MAX_LINE - "x-pad: ".len() - 2);
+    let ok = raw_exchange(
+        &addr,
+        format!("GET /healthz HTTP/1.1\r\nx-pad: {pad}\r\nconnection: close\r\n\r\n").as_bytes(),
+    );
+    assert!(ok.starts_with("HTTP/1.1 200"), "under-bound header must be served:\n{}", &ok[..64.min(ok.len())]);
+
+    // Over the bound, *without a newline*: the incremental parser must
+    // reject the dangling line as soon as it exceeds MAX_LINE rather
+    // than buffering a never-ending header.
+    let flood = format!("GET /healthz HTTP/1.1\r\nx-flood: {}", "a".repeat(MAX_LINE));
+    let rejected = raw_exchange(&addr, flood.as_bytes());
+    assert!(rejected.starts_with("HTTP/1.1 400"), "over-bound header:\n{}", &rejected[..64.min(rejected.len())]);
+    assert!(rejected.contains("header line too long"), "typed reason:\n{rejected}");
+
+    // A flood of *many* small headers trips the header-count bound.
+    let mut many = String::from("GET /healthz HTTP/1.1\r\n");
+    for k in 0..200 {
+        many.push_str(&format!("x-h{k}: v\r\n"));
+    }
+    // No terminating blank line: rejection must not wait for one.
+    let rejected = raw_exchange(&addr, many.as_bytes());
+    assert!(rejected.starts_with("HTTP/1.1 400"), "header-count flood:\n{}", &rejected[..64.min(rejected.len())]);
+
+    drain.request_drain();
+    server.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn pipelined_garbage_after_a_request_is_never_consumed() {
+    let (addr, drain, server, dir) = start_daemon("pipeline", 32, Duration::from_secs(5));
+
+    // One valid request with garbage pipelined behind it. The protocol
+    // is one request per connection (`Connection: close`): the request
+    // is answered, the garbage is never parsed, and the connection
+    // closes cleanly.
+    let payload = b"GET /healthz HTTP/1.1\r\nconnection: close\r\n\r\n\x00\xffGET /smuggled HTTP/9.9\r\n\r\n";
+    let response = raw_exchange(&addr, payload);
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert_eq!(response.matches("HTTP/1.1").count(), 1, "exactly one response:\n{response}");
+    assert!(!response.contains("smuggled"), "pipelined bytes must never be interpreted");
+
+    drain.request_drain();
+    server.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_duplicate_campaigns_dedup_and_stay_bitwise_identical() {
+    let (addr, drain, server, dir) = start_daemon("dedup", 32, Duration::from_secs(10));
+    let client = Client::new(addr);
+
+    let spec = CampaignSpec {
+        bench: "bowl3".to_string(),
+        agent: "trm".to_string(),
+        seed: 500,
+        budget: 300,
+        ..CampaignSpec::default()
+    };
+    // Serial reference: the library path, no daemon, no store.
+    let problem = build_problem(&spec.bench, &spec.corners).expect("benchmark builds");
+    let reference =
+        outcome_json(&run_campaign(&problem, &spec, None).expect("serial run")).dump();
+
+    // Two identical campaigns in flight concurrently: the dedup store
+    // computes each point once and hands the result to the twin.
+    let first = client.submit(None, &spec).expect("first admitted");
+    let second = client.submit(None, &spec).expect("second admitted");
+    for id in [&first, &second] {
+        let doc = client.wait_for(id, Duration::from_secs(120)).expect("completes");
+        assert_eq!(doc.get("status").and_then(Json::as_str), Some("completed"), "{id}");
+        assert_eq!(
+            doc.get("outcome").expect("outcome").dump(),
+            reference,
+            "campaign {id} diverged from the store-less serial run"
+        );
+    }
+
+    let hits = metric(&client, "asdex_dedup_events_total{event=\"hit\"}");
+    let misses = metric(&client, "asdex_dedup_events_total{event=\"miss\"}");
+    assert!(hits > 0, "duplicate campaigns must share evaluations");
+    assert!(hits >= misses, "the twin's evaluations must all be hits ({hits} vs {misses})");
+    assert_eq!(metric(&client, "asdex_dedup_events_total{event=\"abort\"}"), 0);
+
+    drain.request_drain();
+    server.join().expect("daemon thread");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -109,6 +109,7 @@ fn daemon_http_outcomes_match_serial_and_cli_json() {
             journal_dir: dir.clone(),
             ..SchedulerConfig::default()
         },
+        ..ServerConfig::default()
     };
     let drain = DrainHandle::new();
     let server = Server::bind(cfg, drain.clone()).expect("daemon binds");
@@ -285,6 +286,7 @@ fn admission_errors_surface_as_http_statuses() {
     let cfg = ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         scheduler: SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+        ..ServerConfig::default()
     };
     let drain = DrainHandle::new();
     let server = Server::bind(cfg, drain.clone()).expect("daemon binds");
