@@ -4,5 +4,5 @@
 pub mod ico;
 pub mod ldo;
 pub mod opamp;
-mod pool;
+pub(crate) mod pool;
 pub mod synthetic;

@@ -192,13 +192,18 @@ impl TwoStageOpamp {
         c.add_mos_model("nch", nmos);
         c.add_mos_model("pch", pmos);
 
+        // Node creation order matches first appearance in element order
+        // below — the same order the deck parser would assign for the
+        // equivalent card list. MNA unknown numbering (and therefore LU
+        // pivot order) follows node order, so this is what makes the
+        // shipped netlist clone of this bench bitwise-identical.
         let vdd = c.node("vdd");
         let inp = c.node("inp"); // driven (non-inverting) input: M2's gate
-        let fb = c.node("fb"); // feedback (inverting) input: M1's gate
-        let tail = c.node("tail");
-        let x1 = c.node("x1");
-        let x2 = c.node("x2");
         let out = c.node("out");
+        let fb = c.node("fb"); // feedback (inverting) input: M1's gate
+        let x1 = c.node("x1");
+        let tail = c.node("tail");
+        let x2 = c.node("x2");
         let nb = c.node("nb");
         let gnd = Circuit::GROUND;
 

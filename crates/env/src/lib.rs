@@ -58,6 +58,7 @@ pub mod evalstore;
 pub mod fault;
 pub mod health;
 pub mod journal;
+pub mod netbench;
 pub mod problem;
 pub mod robust;
 pub mod search;
@@ -77,6 +78,7 @@ pub use fault::{
 };
 pub use health::HealthStats;
 pub use journal::{path_salt, DiskFault, DiskFaultKind, Journal, JournalError, JournalMeta};
+pub use netbench::{netlist_digest, NetbenchError, NetlistBench, NetlistEvaluator};
 pub use problem::{Evaluation, Evaluator, SizingProblem};
 pub use robust::{EvalEffort, RetryPolicy, RobustEvaluator};
 pub use search::{SearchBudget, SearchOutcome, Searcher};

@@ -13,7 +13,10 @@ use asdex_env::circuits::ico::Ico;
 use asdex_env::circuits::ldo::Ldo;
 use asdex_env::circuits::opamp::TwoStageOpamp;
 use asdex_env::circuits::synthetic::Bowl;
-use asdex_env::{EvalStats, HealthStats, PvtSet, SearchBudget, Searcher, SizingProblem};
+use asdex_env::{
+    EvalStats, HealthStats, NetlistBench, PvtSet, SearchBudget, Searcher, SizingProblem,
+};
+use std::path::Path;
 
 /// What a finished campaign reports, agent-agnostic. The serving layer's
 /// canonical result record — serialized by
@@ -37,15 +40,44 @@ pub struct CampaignOutcome {
 }
 
 /// Builds a benchmark problem by name. Accepts the hardware benchmarks
-/// (`opamp45`, `opamp22`, `ldo`, `ico`) plus the synthetic `bowl<dim>`
+/// (`opamp45`, `opamp22`, `ldo`, `ico`), the synthetic `bowl<dim>`
 /// family (e.g. `bowl3`) whose nanosecond evaluations make service tests
-/// and load generation cheap.
+/// and load generation cheap, and `netlist:<path>` — a sizing deck on
+/// disk, compiled by [`asdex_env::NetlistBench`].
 pub fn build_problem(bench: &str, corners: &str) -> Result<SizingProblem, String> {
+    build_problem_checked(bench, corners, None)
+}
+
+/// [`build_problem`] with an expected netlist digest. For a
+/// `netlist:<path>` bench the deck is re-compiled and its FNV-1a source
+/// digest must match `netlist_digest` (when given) — the guard that
+/// makes journal resume and worker processes refuse a deck that was
+/// edited after admission. A digest on a built-in bench is a typed error.
+pub fn build_problem_checked(
+    bench: &str,
+    corners: &str,
+    netlist_digest: Option<u64>,
+) -> Result<SizingProblem, String> {
     let corner_set = match corners {
         "nominal" => PvtSet::nominal_only(),
         "signoff5" => PvtSet::signoff5(),
         other => return Err(format!("unknown corner set {other:?} (nominal|signoff5)")),
     };
+    if let Some(path) = bench.strip_prefix("netlist:") {
+        if path.is_empty() {
+            return Err("netlist bench has an empty path (use netlist:<path>)".to_string());
+        }
+        let deck = NetlistBench::load(Path::new(path)).map_err(|e| e.to_string())?;
+        if let Some(want) = netlist_digest {
+            deck.expect_digest(want).map_err(|e| e.to_string())?;
+        }
+        return deck.problem_with(corner_set).map_err(|e| e.to_string());
+    }
+    if let Some(digest) = netlist_digest {
+        return Err(format!(
+            "netlist digest {digest:016x} given for built-in benchmark {bench:?}"
+        ));
+    }
     if let Some(dim) = bench.strip_prefix("bowl").and_then(|d| d.parse::<usize>().ok()) {
         if !(1..=16).contains(&dim) {
             return Err(format!("bowl dimension must be 1..=16, got {dim}"));
@@ -67,7 +99,7 @@ pub fn build_problem(bench: &str, corners: &str) -> Result<SizingProblem, String
         "ico" => Ico::n5().problem(),
         other => {
             return Err(format!(
-                "unknown benchmark {other:?} (opamp45|opamp22|ldo|ico|bowl<dim>)"
+                "unknown benchmark {other:?} (opamp45|opamp22|ldo|ico|bowl<dim>|netlist:<path>)"
             ))
         }
     };
@@ -154,6 +186,31 @@ mod tests {
         let outcome = run_campaign(&problem, &spec, None).unwrap();
         assert!(outcome.success, "bowl2 should be easy within 400 sims");
         assert_eq!(outcome.best_physical.len(), 2);
+    }
+
+    #[test]
+    fn netlist_benches_build_and_digest_guard_is_typed() {
+        let deck = "rc demo\n.process 45\n.sizeparam rser 1e3 1e5 STEP 8\n\
+                    .goal gain_db >= -20\nVDD vdd 0 {vdd}\nVIN in 0 DC 0.5 AC 1\n\
+                    RS in out {rser}\nRL vdd out 1e3\nC1 out 0 1e-9\n.end\n";
+        let dir = std::env::temp_dir().join(format!("asdex-camp-net-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rc.sp");
+        std::fs::write(&path, deck).unwrap();
+        let bench = format!("netlist:{}", path.display());
+
+        let problem = build_problem(&bench, "nominal").unwrap();
+        assert_eq!(problem.dim(), 1);
+        let good = asdex_env::netlist_digest(deck);
+        assert!(build_problem_checked(&bench, "nominal", Some(good)).is_ok());
+        // Wrong digest (edited deck), digest on a built-in bench, and a
+        // missing file are all typed errors.
+        let err = build_problem_checked(&bench, "nominal", Some(good ^ 1)).unwrap_err();
+        assert!(err.contains("digest"), "{err}");
+        assert!(build_problem_checked("bowl2", "nominal", Some(good)).is_err());
+        assert!(build_problem("netlist:/nonexistent/x.sp", "nominal").is_err());
+        assert!(build_problem("netlist:", "nominal").is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

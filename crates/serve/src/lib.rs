@@ -53,7 +53,7 @@ pub mod scheduler;
 pub mod server;
 pub mod worker;
 
-pub use campaign::{build_problem, run_campaign, CampaignOutcome};
+pub use campaign::{build_problem, build_problem_checked, run_campaign, CampaignOutcome};
 pub use client::{Client, ClientConfig, ClientError, ClientStats};
 pub use json::Json;
 pub use loadgen::{LoadReport, LoadgenConfig};

@@ -47,6 +47,10 @@ pub struct LoadgenConfig {
     /// distinct seeds, exercising the cross-campaign evaluation dedup
     /// store.
     pub duplicate: bool,
+    /// Inline netlist deck source. When set, every campaign is submitted
+    /// with a `netlist` body field instead of `bench`, exercising the
+    /// daemon's compile-at-admission path under load.
+    pub netlist: Option<String>,
 }
 
 impl Default for LoadgenConfig {
@@ -63,6 +67,7 @@ impl Default for LoadgenConfig {
             retries: 4,
             idle_conns: 0,
             duplicate: false,
+            netlist: None,
         }
     }
 }
@@ -255,6 +260,10 @@ fn run_one(
         seed: if cfg.duplicate { 1 } else { k as u64 + 1 },
         budget: cfg.budget,
         corners: cfg.corners.clone(),
+        // With an inline deck, to_json posts `netlist` instead of
+        // `bench`; the daemon compiles and content-addresses it once,
+        // then every later campaign reuses the persisted copy.
+        netlist: cfg.netlist.clone(),
         ..CampaignSpec::default()
     };
     let submit_started = Instant::now();

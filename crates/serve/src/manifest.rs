@@ -343,8 +343,8 @@ impl Manifest {
     ///
     /// [`ManifestError::Storage`] when the append or fsync fails.
     pub fn append_admitted(&mut self, id: &str, spec: &CampaignSpec) -> Result<(), ManifestError> {
-        let line = format!(
-            "A id={} bench={} agent={} seed={} budget={} corners={} checkpoint_every={} solver={}\n",
+        let mut line = format!(
+            "A id={} bench={} agent={} seed={} budget={} corners={} checkpoint_every={} solver={}",
             sanitize(id),
             sanitize(&spec.bench),
             sanitize(&spec.agent),
@@ -354,6 +354,13 @@ impl Manifest {
             spec.checkpoint_every,
             sanitize(&spec.solver),
         );
+        // The netlist digest is part of the campaign identity: recovery
+        // re-admits from this record alone, and the re-run must refuse a
+        // deck edited since admission.
+        if let Some(digest) = spec.netlist_digest {
+            line.push_str(&format!(" netlist_digest={digest:016x}"));
+        }
+        line.push('\n');
         self.append(&line)
     }
 
@@ -645,6 +652,26 @@ mod tests {
             }
             other => panic!("expected terminal, got {other:?}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn netlist_digest_survives_the_admission_round_trip() {
+        let path = tmp_path("netlist-digest");
+        std::fs::remove_file(&path).ok();
+        let with_digest = CampaignSpec {
+            bench: "netlist:decks/x.sp".to_string(),
+            netlist_digest: Some(0xcbf29ce484222325),
+            ..spec(4)
+        };
+        let (mut m, _) = Manifest::open(&path).unwrap();
+        m.append_admitted("net", &with_digest).unwrap();
+        m.append_admitted("plain", &spec(5)).unwrap();
+        drop(m);
+        let (_, replayed) = Manifest::open(&path).unwrap();
+        assert_eq!(replayed[0].spec, with_digest);
+        assert_eq!(replayed[0].spec.netlist_digest, Some(0xcbf29ce484222325));
+        assert_eq!(replayed[1].spec.netlist_digest, None);
         std::fs::remove_file(&path).ok();
     }
 

@@ -76,6 +76,11 @@ pub struct WorkerPoolConfig {
     /// as `--solver` so child workers factor with the same backend the
     /// in-process fallback evaluator would.
     pub solver: String,
+    /// Expected netlist source digest for `netlist:<path>` benches,
+    /// forwarded as `--netlist-digest` and validated against the worker's
+    /// handshake — configuration skew on the deck is a typed spawn
+    /// failure, never silent divergence.
+    pub netlist_digest: Option<u64>,
     /// Worker processes in the pool.
     pub workers: usize,
     /// Restarts granted per slot before it is retired.
@@ -108,6 +113,7 @@ impl WorkerPoolConfig {
             bench: bench.to_string(),
             corners: corners.to_string(),
             solver: "auto".to_string(),
+            netlist_digest: None,
             workers: workers.max(1),
             restart_budget: 16,
             redispatch_budget: 3,
@@ -586,6 +592,9 @@ fn spawn_worker(cfg: &WorkerPoolConfig) -> std::io::Result<WorkerProc> {
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
+    if let Some(digest) = cfg.netlist_digest {
+        cmd.arg("--netlist-digest").arg(format!("{digest:016x}"));
+    }
     if let Some((rate, seed, mode)) = &cfg.fault {
         cmd.arg("--fault-rate").arg(rate.to_string());
         cmd.arg("--fault-seed").arg(seed.to_string());
@@ -620,15 +629,16 @@ fn spawn_worker(cfg: &WorkerPoolConfig) -> std::io::Result<WorkerProc> {
             Some(h)
                 if h.proto == PROTOCOL_VERSION
                     && h.bench == cfg.bench
-                    && h.corners == cfg.corners =>
+                    && h.corners == cfg.corners
+                    && h.netlist_digest == cfg.netlist_digest =>
             {
                 Ok(WorkerProc { child, stdin, frames: rx })
             }
             Some(h) => Err(bad_handshake(
                 &mut child,
                 format!(
-                    "handshake mismatch: worker says proto={} bench={} corners={}",
-                    h.proto, h.bench, h.corners
+                    "handshake mismatch: worker says proto={} bench={} corners={} digest={:?}",
+                    h.proto, h.bench, h.corners, h.netlist_digest
                 ),
             )),
             None => Err(bad_handshake(&mut child, format!("unparseable handshake {frame:?}"))),

@@ -32,6 +32,17 @@ pub struct CampaignSpec {
     /// but they agree only within solver tolerance, so a resumed campaign
     /// must re-run on the backend that wrote the journal.
     pub solver: String,
+    /// Inline netlist deck source (`POST /campaigns` body field
+    /// `netlist`). Mutually exclusive with `bench`; the scheduler
+    /// compiles it at admission, persists it content-addressed under the
+    /// journal directory, and rewrites `bench` to `netlist:<path>` — so
+    /// the inline source never reaches a journal or the manifest.
+    pub netlist: Option<String>,
+    /// FNV-1a 64 digest of the netlist source for `netlist:<path>`
+    /// benches. Part of the campaign's identity: resume and worker
+    /// processes re-compile the deck and refuse to run if the file no
+    /// longer hashes to this value.
+    pub netlist_digest: Option<u64>,
 }
 
 impl Default for CampaignSpec {
@@ -44,6 +55,8 @@ impl Default for CampaignSpec {
             corners: "nominal".to_string(),
             checkpoint_every: 25,
             solver: "auto".to_string(),
+            netlist: None,
+            netlist_digest: None,
         }
     }
 }
@@ -76,6 +89,16 @@ impl CampaignSpec {
         take_str("agent", &mut spec.agent)?;
         take_str("corners", &mut spec.corners)?;
         take_str("solver", &mut spec.solver)?;
+        if let Some(v) = body.get("netlist") {
+            if body.get("bench").is_some() {
+                return Err("`netlist` and `bench` are mutually exclusive".to_string());
+            }
+            let source = v.as_str().ok_or("`netlist` must be a string")?;
+            if source.trim().is_empty() {
+                return Err("`netlist` must be a non-empty deck".to_string());
+            }
+            spec.netlist = Some(source.to_string());
+        }
         if asdex_spice::analysis::SolverChoice::from_label(&spec.solver).is_none() {
             return Err("`solver` must be one of auto, dense, sparse".to_string());
         }
@@ -97,30 +120,46 @@ impl CampaignSpec {
         Ok((id, spec))
     }
 
-    /// The spec as a JSON object (echoed in status responses).
+    /// The spec as a JSON object (echoed in status responses, posted by
+    /// the client). A not-yet-admitted inline deck is emitted as
+    /// `netlist` *instead of* `bench` — the two are mutually exclusive on
+    /// the wire. Admitted specs always have `netlist: None` (the
+    /// scheduler consumed the source), so status responses echo only the
+    /// rewritten `netlist:<path>` bench plus the digest, never the deck.
     pub fn to_json(&self) -> Json {
-        Json::obj()
-            .with("bench", Json::Str(self.bench.clone()))
+        let mut json = match &self.netlist {
+            Some(source) => Json::obj().with("netlist", Json::Str(source.clone())),
+            None => Json::obj().with("bench", Json::Str(self.bench.clone())),
+        };
+        json = json
             .with("agent", Json::Str(self.agent.clone()))
             .with("seed", Json::Num(self.seed as f64))
             .with("budget", Json::Num(self.budget as f64))
             .with("corners", Json::Str(self.corners.clone()))
             .with("checkpoint_every", Json::Num(self.checkpoint_every as f64))
-            .with("solver", Json::Str(self.solver.clone()))
+            .with("solver", Json::Str(self.solver.clone()));
+        if let Some(digest) = self.netlist_digest {
+            json = json.with("netlist_digest", Json::Str(format!("{digest:016x}")));
+        }
+        json
     }
 
     /// The spec as journal metadata — the same keys the CLI writes, so
     /// daemon journals and `asdex size --journal` journals are mutually
     /// resumable.
     pub fn to_meta(&self) -> JournalMeta {
-        JournalMeta::new()
+        let meta = JournalMeta::new()
             .with("bench", &self.bench)
             .with("agent", &self.agent)
             .with("seed", &self.seed.to_string())
             .with("budget", &self.budget.to_string())
             .with("corners", &self.corners)
             .with("checkpoint_every", &self.checkpoint_every.to_string())
-            .with("solver", &self.solver)
+            .with("solver", &self.solver);
+        match self.netlist_digest {
+            Some(digest) => meta.with("netlist_digest", &format!("{digest:016x}")),
+            None => meta,
+        }
     }
 
     /// Restores a spec from journal metadata.
@@ -143,6 +182,15 @@ impl CampaignSpec {
             // Journals written before the solver field existed ran on the
             // then-only dense-shaped auto path; auto preserves them.
             solver: meta.get("solver").unwrap_or("auto").to_string(),
+            // The inline source never reaches a journal; only the
+            // admission-rewritten `netlist:<path>` bench + digest do.
+            netlist: None,
+            netlist_digest: match meta.get("netlist_digest") {
+                None => None,
+                Some(hex) => Some(u64::from_str_radix(hex, 16).map_err(|_| {
+                    format!("journal metadata `netlist_digest={hex}` is not a 16-hex digest")
+                })?),
+            },
         })
     }
 }
@@ -255,6 +303,46 @@ mod tests {
             .with("corners", "nominal")
             .with("checkpoint_every", "25");
         assert_eq!(CampaignSpec::from_meta(&legacy).unwrap().solver, "auto");
+    }
+
+    #[test]
+    fn netlist_fields_parse_and_round_trip_through_meta() {
+        // Inline source is accepted alone, rejected next to `bench`.
+        let (_, spec) = CampaignSpec::from_json(
+            &Json::obj().with("netlist", Json::Str("title\n.end\n".to_string())),
+        )
+        .unwrap();
+        assert_eq!(spec.netlist.as_deref(), Some("title\n.end\n"));
+        let both = Json::obj()
+            .with("netlist", Json::Str("title\n.end\n".to_string()))
+            .with("bench", Json::Str("bowl2".to_string()));
+        assert!(CampaignSpec::from_json(&both).is_err(), "bench+netlist accepted");
+        let empty = Json::obj().with("netlist", Json::Str("  \n".to_string()));
+        assert!(CampaignSpec::from_json(&empty).is_err(), "blank netlist accepted");
+
+        // The digest round-trips through journal metadata as 16-hex; the
+        // inline source never does.
+        let spec = CampaignSpec {
+            bench: "netlist:decks/x.sp".to_string(),
+            netlist: Some("never journaled".to_string()),
+            netlist_digest: Some(0xaf63dc4c8601ec8c),
+            ..CampaignSpec::default()
+        };
+        let restored = CampaignSpec::from_meta(&spec.to_meta()).unwrap();
+        assert_eq!(restored.netlist_digest, Some(0xaf63dc4c8601ec8c));
+        assert_eq!(restored.netlist, None);
+        assert_eq!(restored.bench, "netlist:decks/x.sp");
+        assert!(spec.to_json().dump().contains("af63dc4c8601ec8c"));
+        // An unsubmitted inline spec posts `netlist` in place of `bench`
+        // (they are mutually exclusive on the wire), so a client-side
+        // to_json round-trips through the server's from_json.
+        let body = spec.to_json();
+        assert!(body.get("bench").is_none());
+        let (_, reparsed) = CampaignSpec::from_json(&body).unwrap();
+        assert_eq!(reparsed.netlist.as_deref(), Some("never journaled"));
+        // A mangled digest in the metadata is a typed error.
+        let bad = spec.to_meta().with("netlist_digest", "xyz");
+        assert!(CampaignSpec::from_meta(&bad).is_err());
     }
 
     #[test]

@@ -19,7 +19,7 @@
 //! down through their normal budget accounting, and checkpoints journals,
 //! so a drained daemon restarts with zero duplicate simulations.
 
-use crate::campaign::{build_problem, run_campaign, CampaignOutcome};
+use crate::campaign::{build_problem_checked, run_campaign, CampaignOutcome};
 use crate::lockdir::{DirLock, LockError};
 use crate::logging;
 use crate::manifest::{
@@ -32,6 +32,7 @@ use asdex_core::{ProgressEvent, ProgressHandle};
 use asdex_env::journal::DiskFault;
 use asdex_env::{
     CancelToken, EvalStats, EvalStore, EvalStoreStats, HealthStats, Journal, JournalError,
+    NetlistBench,
 };
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::path::PathBuf;
@@ -493,17 +494,70 @@ impl Scheduler {
         self.ready.load(Ordering::SeqCst)
     }
 
+    /// Netlist admission. An inline deck (`spec.netlist`) is compiled —
+    /// failure is typed [`SubmitError::Invalid`] — then persisted
+    /// content-addressed at `<journal_dir>/netlists/<digest>.sp`, and the
+    /// spec is rewritten to `bench = netlist:<that path>` with the digest
+    /// pinned, so journals, the manifest, boot recovery, and worker
+    /// processes all re-compile the identical source. A path-addressed
+    /// `netlist:<path>` bench submitted without a digest gets its digest
+    /// pinned here for the same reason.
+    fn admit_netlist(&self, spec: &mut CampaignSpec) -> Result<(), SubmitError> {
+        if let Some(source) = spec.netlist.take() {
+            let deck = NetlistBench::compile(&source)
+                .map_err(|e| SubmitError::Invalid(e.to_string()))?;
+            let digest = deck.digest();
+            let dir = self.cfg.journal_dir.join("netlists");
+            std::fs::create_dir_all(&dir).map_err(|e| SubmitError::Storage(e.to_string()))?;
+            let path = dir.join(format!("{digest:016x}.sp"));
+            if !path.exists() {
+                // Temp-file + rename: a crash mid-write can never leave a
+                // half deck at the content-addressed name.
+                let tmp = dir.join(format!("{digest:016x}.sp.tmp.{}", std::process::id()));
+                std::fs::write(&tmp, &source)
+                    .and_then(|()| std::fs::rename(&tmp, &path))
+                    .map_err(|e| SubmitError::Storage(e.to_string()))?;
+            }
+            spec.bench = format!("netlist:{}", path.display());
+            spec.netlist_digest = Some(digest);
+        } else if let Some(path) = spec.bench.strip_prefix("netlist:") {
+            if spec.netlist_digest.is_none() && !path.is_empty() {
+                let deck = NetlistBench::load(std::path::Path::new(path))
+                    .map_err(|e| SubmitError::Invalid(e.to_string()))?;
+                spec.netlist_digest = Some(deck.digest());
+            }
+        }
+        if let Some(path) = spec.bench.strip_prefix("netlist:") {
+            // Journal metadata and manifest records are whitespace-free
+            // `key=value` tokens; a path these would mangle cannot be made
+            // durable, so reject it typed at admission.
+            if path.contains(char::is_whitespace) || path.contains('=') {
+                return Err(SubmitError::Invalid(format!(
+                    "netlist path {path:?} contains whitespace or '=' and cannot be journaled"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Admits a campaign. With an explicit id whose journal file already
     /// exists, the campaign *resumes* from that journal. Returns the
     /// (possibly generated) campaign id.
     pub fn submit(
         &self,
         id: Option<String>,
-        spec: CampaignSpec,
+        mut spec: CampaignSpec,
     ) -> Result<String, SubmitError> {
+        // Inline netlists are compiled and persisted before anything else:
+        // a deck that does not compile is a typed Invalid (HTTP 400), and
+        // an admitted one is rewritten to a durable `netlist:<path>` bench
+        // plus its source digest.
+        self.admit_netlist(&mut spec)?;
         // Validate the vocabulary up front so the queue only holds
-        // runnable work.
-        build_problem(&spec.bench, &spec.corners).map_err(SubmitError::Invalid)?;
+        // runnable work. For netlist benches this re-compiles the
+        // persisted deck against the pinned digest.
+        build_problem_checked(&spec.bench, &spec.corners, spec.netlist_digest)
+            .map_err(SubmitError::Invalid)?;
         if !matches!(spec.agent.as_str(), "trm" | "bo" | "random") {
             return Err(SubmitError::Invalid(format!(
                 "unknown agent {:?} (trm|bo|random)",
@@ -957,7 +1011,11 @@ impl Scheduler {
         // the journal on resume): apply it before any evaluation runs.
         let solver = asdex_spice::analysis::SolverChoice::from_label(&spec.solver)
             .ok_or_else(|| format!("campaign spec has unknown solver {:?}", spec.solver))?;
-        let mut problem = build_problem(&spec.bench, &spec.corners)?
+        // For `netlist:` benches the digest pinned at admission (and
+        // restored from the journal on resume) must still match the deck
+        // on disk — an edited netlist is a typed failure, never a silent
+        // different campaign.
+        let mut problem = build_problem_checked(&spec.bench, &spec.corners, spec.netlist_digest)?
             .with_solver(solver)
             .with_journal(journal)
             .with_cancel_token(job.cancel.clone())
@@ -987,6 +1045,7 @@ impl Scheduler {
             let mut pool_cfg =
                 WorkerPoolConfig::new(program, &spec.bench, &spec.corners, self.cfg.workers);
             pool_cfg.solver = spec.solver.clone();
+            pool_cfg.netlist_digest = spec.netlist_digest;
             let pool =
                 WorkerPool::for_problem(pool_cfg, &problem, Arc::clone(&self.metrics.workers));
             problem = problem.with_dispatcher(pool.clone());
@@ -1082,6 +1141,61 @@ mod tests {
         assert!(matches!(scheduler.submit(None, bad_bench), Err(SubmitError::Invalid(_))));
         let bad_agent = CampaignSpec { agent: "dqn".into(), ..quick_spec(1) };
         assert!(matches!(scheduler.submit(None, bad_agent), Err(SubmitError::Invalid(_))));
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inline_netlists_compile_at_admission_and_run() {
+        let deck = "rc sizing demo\n.process 45\n.sizeparam rser 1e3 1e5 STEP 8\n\
+                    .goal gain_db >= -60\nVDD vdd 0 {vdd}\nVIN in 0 DC 0.5 AC 1\n\
+                    RS in out {rser}\nRL vdd out 1e3\nC1 out 0 1e-9\n.end\n";
+        let dir = temp_dir("netlist");
+        let scheduler = Scheduler::start(
+            SchedulerConfig { journal_dir: dir.clone(), ..SchedulerConfig::default() },
+            Arc::new(Metrics::new()),
+        )
+        .unwrap();
+
+        // A deck that does not compile is rejected typed at admission.
+        let bad = CampaignSpec {
+            netlist: Some("broken deck\n.sizeparam\n.end\n".to_string()),
+            ..CampaignSpec::default()
+        };
+        assert!(matches!(scheduler.submit(None, bad), Err(SubmitError::Invalid(_))));
+
+        // A good inline deck is persisted content-addressed and runs.
+        let spec = CampaignSpec {
+            netlist: Some(deck.to_string()),
+            agent: "random".to_string(),
+            budget: 25,
+            ..CampaignSpec::default()
+        };
+        let id = scheduler.submit(None, spec).unwrap();
+        assert!(scheduler.wait(&id, Duration::from_secs(120)));
+        let record = scheduler.get(&id).unwrap();
+        assert_eq!(record.status(), CampaignStatus::Completed);
+        let stored = record.spec();
+        let digest = asdex_env::netlist_digest(deck);
+        assert_eq!(stored.netlist_digest, Some(digest));
+        assert!(stored.netlist.is_none(), "inline source must not be retained");
+        let path = stored.bench.strip_prefix("netlist:").expect("rewritten bench").to_string();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), deck, "persisted source");
+
+        // An edited deck no longer matches the pinned digest: typed
+        // rejection, not a silently different campaign.
+        std::fs::write(&path, deck.replace("1e3", "2e3")).unwrap();
+        let resubmit = CampaignSpec {
+            bench: stored.bench.clone(),
+            netlist_digest: Some(digest),
+            agent: "random".to_string(),
+            budget: 25,
+            ..CampaignSpec::default()
+        };
+        match scheduler.submit(Some(id.clone()), resubmit) {
+            Err(SubmitError::Invalid(msg)) => assert!(msg.contains("digest"), "{msg}"),
+            other => panic!("edited netlist must be rejected, got {other:?}"),
+        }
         scheduler.drain();
         let _ = std::fs::remove_dir_all(&dir);
     }

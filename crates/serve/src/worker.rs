@@ -127,12 +127,24 @@ pub struct Handshake {
     pub corners: String,
     /// Measurement-vector length the worker's evaluator produces.
     pub n_meas: usize,
+    /// Netlist source digest the worker validated its deck against
+    /// (`netlist:<path>` benches only). The supervisor requires this to
+    /// equal its own expected digest, so a worker that compiled a
+    /// different deck revision is a typed spawn failure.
+    pub netlist_digest: Option<u64>,
 }
 
 impl Handshake {
     /// The `H …` frame payload.
     pub fn to_frame(&self) -> String {
-        format!("H proto={} bench={} corners={} n={}", self.proto, self.bench, self.corners, self.n_meas)
+        let mut frame = format!(
+            "H proto={} bench={} corners={} n={}",
+            self.proto, self.bench, self.corners, self.n_meas
+        );
+        if let Some(digest) = self.netlist_digest {
+            frame.push_str(&format!(" digest={digest:016x}"));
+        }
+        frame
     }
 
     /// Parses an `H …` frame payload.
@@ -142,6 +154,7 @@ impl Handshake {
             return None;
         }
         let (mut proto, mut bench, mut corners, mut n_meas) = (None, None, None, None);
+        let mut netlist_digest = None;
         for tok in parts {
             let (k, v) = tok.split_once('=')?;
             match k {
@@ -149,10 +162,17 @@ impl Handshake {
                 "bench" => bench = Some(v.to_string()),
                 "corners" => corners = Some(v.to_string()),
                 "n" => n_meas = v.parse().ok(),
+                "digest" => netlist_digest = Some(u64::from_str_radix(v, 16).ok()?),
                 _ => {}
             }
         }
-        Some(Handshake { proto: proto?, bench: bench?, corners: corners?, n_meas: n_meas? })
+        Some(Handshake {
+            proto: proto?,
+            bench: bench?,
+            corners: corners?,
+            n_meas: n_meas?,
+            netlist_digest,
+        })
     }
 }
 
@@ -261,6 +281,10 @@ pub struct WorkerConfig {
     /// from the campaign spec so every worker factors with the same
     /// backend the campaign recorded.
     pub solver: String,
+    /// Expected netlist source digest for `netlist:<path>` benches
+    /// (`--netlist-digest`, 16-hex). The worker re-compiles the deck and
+    /// refuses to serve if the file no longer hashes to this value.
+    pub netlist_digest: Option<u64>,
     /// Deterministic fault plan for chaos testing: `(rate, seed, mode)`;
     /// `mode = None` uses the default mix. Applied by wrapping the
     /// benchmark evaluator in a [`FaultInjectingEvaluator`], exactly as an
@@ -284,7 +308,9 @@ pub fn serve_worker<R: Read, W: Write>(
 ) -> Result<(), String> {
     let solver = asdex_spice::analysis::SolverChoice::from_label(&cfg.solver)
         .ok_or_else(|| format!("unknown solver backend {:?}", cfg.solver))?;
-    let mut problem = crate::campaign::build_problem(&cfg.bench, &cfg.corners)?.with_solver(solver);
+    let mut problem =
+        crate::campaign::build_problem_checked(&cfg.bench, &cfg.corners, cfg.netlist_digest)?
+            .with_solver(solver);
     if let Some((rate, seed, mode)) = &cfg.fault {
         let fault_cfg = match mode {
             Some(m) => FaultConfig::only(*m, *rate, *seed),
@@ -300,6 +326,7 @@ pub fn serve_worker<R: Read, W: Write>(
         bench: cfg.bench.clone(),
         corners: cfg.corners.clone(),
         n_meas: evaluator.measurement_names().len(),
+        netlist_digest: cfg.netlist_digest,
     };
     write_frame(output, &hello.to_frame()).map_err(|e| format!("handshake write: {e}"))?;
     loop {
@@ -378,8 +405,19 @@ mod tests {
             bench: "bowl3".into(),
             corners: "nominal".into(),
             n_meas: 1,
+            netlist_digest: None,
         };
         assert_eq!(Handshake::parse(&hello.to_frame()), Some(hello));
+        let with_digest = Handshake {
+            proto: PROTOCOL_VERSION,
+            bench: "netlist:decks/x.sp".into(),
+            corners: "nominal".into(),
+            n_meas: 5,
+            netlist_digest: Some(0xaf63dc4c8601ec8c),
+        };
+        assert!(with_digest.to_frame().contains("digest=af63dc4c8601ec8c"));
+        assert_eq!(Handshake::parse(&with_digest.to_frame()), Some(with_digest));
+        assert_eq!(Handshake::parse("H proto=1 bench=b corners=c n=1 digest=zz"), None);
     }
 
     #[test]
@@ -419,6 +457,7 @@ mod tests {
                 bench: "bowl2".into(),
                 corners: "nominal".into(),
                 solver: "auto".into(),
+                netlist_digest: None,
                 fault: None,
             };
         // Scripted supervisor side: ping, one attempt, shutdown.

@@ -23,6 +23,7 @@ use crate::devices::{DiodeModel, MosGeometry, MosModel, MosPolarity};
 use crate::error::ParseNetlistError;
 use crate::units::parse_value;
 use std::collections::HashMap;
+use std::path::{Component, Path, PathBuf};
 
 /// An analysis requested by a deck directive.
 #[derive(Debug, Clone, PartialEq)]
@@ -160,6 +161,19 @@ pub fn parse_deck(source: &str) -> Result<Deck, ParseNetlistError> {
 /// ```
 pub fn parse_netlist(source: &str) -> Result<Circuit, ParseNetlistError> {
     let mut circuit = Circuit::new();
+    parse_netlist_into(source, &mut circuit)?;
+    Ok(circuit)
+}
+
+/// Parses a SPICE deck into an existing [`Circuit`].
+///
+/// The circuit may be pre-seeded with model cards and a temperature — the
+/// netlist-bench compiler in `asdex-env` uses this to stamp process-corner
+/// models around a deck before parsing it. Cards parsed from the deck are
+/// appended in deck order, so a given `(seed, source)` pair always yields
+/// the same node and element ordering (and therefore the same MNA
+/// structure).
+pub fn parse_netlist_into(source: &str, circuit: &mut Circuit) -> Result<(), ParseNetlistError> {
     // Join continuation lines, remembering the original line number of the
     // card start for diagnostics.
     let mut cards: Vec<(usize, String)> = Vec::new();
@@ -191,16 +205,185 @@ pub fn parse_netlist(source: &str) -> Result<Circuit, ParseNetlistError> {
         }
     }
 
+    // Process `.param` constant cards and substitute `{name}` references.
+    let cards = substitute_params(cards)?;
+
     // Collect .subckt definitions, then expand X instantiations.
     let (top_cards, subckts) = split_subcircuits(&cards)?;
     let flat = flatten(&top_cards, &subckts, 0)?;
     for (line, card) in flat {
-        parse_card(&mut circuit, line, &card)?;
+        parse_card(circuit, line, &card)?;
         if card.to_ascii_lowercase().starts_with(".end") {
             break;
         }
     }
-    Ok(circuit)
+    Ok(())
+}
+
+/// Maximum `.include` nesting depth (guards against include cycles the
+/// path-based cycle check cannot see, e.g. through symlinks).
+const MAX_INCLUDE_DEPTH: usize = 8;
+
+/// Reads a deck from disk, textually expanding `.include <path>` lines.
+///
+/// Include paths are resolved relative to the directory of the file that
+/// contains the directive. They must be relative and free of `..`
+/// components — a typed [`ParseNetlistError`] reports attempted escapes,
+/// missing files, cycles, and nesting deeper than [`MAX_INCLUDE_DEPTH`].
+/// The expansion is purely textual, so the result can be fed to
+/// [`parse_netlist`] / [`parse_deck`] or digested for reproducibility.
+pub fn read_deck_source(path: &Path) -> Result<String, ParseNetlistError> {
+    let mut visiting = Vec::new();
+    read_deck_inner(path, 0, &mut visiting)
+}
+
+fn read_deck_inner(
+    path: &Path,
+    depth: usize,
+    visiting: &mut Vec<PathBuf>,
+) -> Result<String, ParseNetlistError> {
+    if depth > MAX_INCLUDE_DEPTH {
+        return Err(err(0, format!(".include nesting exceeds {MAX_INCLUDE_DEPTH} levels")));
+    }
+    let canon = path
+        .canonicalize()
+        .map_err(|e| err(0, format!("cannot read deck {}: {e}", path.display())))?;
+    if visiting.contains(&canon) {
+        return Err(err(0, format!(".include cycle through {}", path.display())));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(0, format!("cannot read deck {}: {e}", path.display())))?;
+    visiting.push(canon);
+    let base = path.parent().map(Path::to_path_buf).unwrap_or_else(|| PathBuf::from("."));
+    let mut out = String::with_capacity(text.len());
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = strip_comment(raw).trim();
+        let mut tokens = trimmed.split_whitespace();
+        let is_include = tokens.next().is_some_and(|t| t.eq_ignore_ascii_case(".include"));
+        if !is_include {
+            out.push_str(raw);
+            out.push('\n');
+            continue;
+        }
+        let arg = tokens
+            .next()
+            .ok_or_else(|| err(line_no, ".include needs a path"))?
+            .trim_matches('"');
+        if tokens.next().is_some() {
+            visiting.pop();
+            return Err(err(line_no, ".include takes exactly one path"));
+        }
+        let rel = Path::new(arg);
+        if rel.is_absolute() || rel.components().any(|c| matches!(c, Component::ParentDir)) {
+            visiting.pop();
+            return Err(err(line_no, format!(".include path {arg:?} escapes the deck directory")));
+        }
+        let included = read_deck_inner(&base.join(rel), depth + 1, visiting);
+        match included {
+            Ok(body) => {
+                out.push_str(&body);
+                if !body.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+            Err(e) => {
+                visiting.pop();
+                return Err(e);
+            }
+        }
+    }
+    visiting.pop();
+    Ok(out)
+}
+
+/// Processes `.param NAME=EXPR` cards. Each card defines a named constant;
+/// later cards may reference it as `{NAME}`, which is substituted
+/// textually. `EXPR` is a product of SPICE numeric literals separated by
+/// `*` and may itself reference previously defined params. A reference to
+/// an undefined param (or an unterminated `{`) is a typed error — design
+/// axes of a sizing deck are substituted by the netlist-bench compiler
+/// *before* the circuit parser runs, so anything left over here is a
+/// genuine mistake.
+fn substitute_params(cards: Cards) -> Result<Cards, ParseNetlistError> {
+    let mut params: Vec<(String, String)> = Vec::new();
+    let mut out = Vec::with_capacity(cards.len());
+    for (line, card) in cards {
+        let first = card.split_whitespace().next().unwrap_or("").to_ascii_lowercase();
+        if first != ".param" {
+            out.push((line, apply_params(line, &card, &params)?));
+            continue;
+        }
+        let body = card
+            .split_once(char::is_whitespace)
+            .map(|(_, rest)| rest.trim())
+            .filter(|rest| !rest.is_empty())
+            .ok_or_else(|| err(line, ".param NAME=VALUE"))?;
+        let (name, expr) = body.split_once('=').ok_or_else(|| err(line, ".param NAME=VALUE"))?;
+        let (name, expr) = (name.trim(), expr.trim());
+        let valid = !name.is_empty()
+            && !name.starts_with(|c: char| c.is_ascii_digit())
+            && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_');
+        if !valid {
+            return Err(err(line, format!("invalid parameter name {name:?}")));
+        }
+        let resolved = apply_params(line, expr, &params)?;
+        let value = eval_product(line, &resolved)?;
+        // `{:e}` round-trips f64s exactly through `parse_value`, so a
+        // substituted constant stamps bit-identically to the computed one.
+        params.push((name.to_string(), format!("{value:e}")));
+    }
+    Ok(out)
+}
+
+/// Substitutes `{name}` references from the param table into one card.
+fn apply_params(
+    line: usize,
+    text: &str,
+    params: &[(String, String)],
+) -> Result<String, ParseNetlistError> {
+    if !text.contains('{') {
+        return Ok(text.to_string());
+    }
+    let mut out = String::with_capacity(text.len());
+    let mut rest = text;
+    while let Some(open) = rest.find('{') {
+        out.push_str(&rest[..open]);
+        let after = &rest[open + 1..];
+        let close = after
+            .find('}')
+            .ok_or_else(|| err(line, "unterminated parameter reference"))?;
+        let name = &after[..close];
+        // Latest definition wins, so decks may redefine a constant.
+        match params.iter().rev().find(|(n, _)| n == name) {
+            Some((_, value)) => out.push_str(value),
+            None => {
+                return Err(err(line, format!("unresolved parameter reference {{{name}}}")));
+            }
+        }
+        rest = &after[close + 1..];
+    }
+    out.push_str(rest);
+    Ok(out)
+}
+
+/// Evaluates a product expression: factors separated by `*`, each a SPICE
+/// numeric literal, multiplied left to right.
+fn eval_product(line: usize, expr: &str) -> Result<f64, ParseNetlistError> {
+    let mut acc = 1.0f64;
+    let mut any = false;
+    for factor in expr.split('*') {
+        let factor = factor.trim();
+        if factor.is_empty() {
+            return Err(err(line, format!("empty factor in expression {expr:?}")));
+        }
+        acc *= need_value(line, factor, "expression factor")?;
+        any = true;
+    }
+    if !any {
+        return Err(err(line, ".param expression is empty"));
+    }
+    Ok(acc)
 }
 
 /// A subcircuit definition: port names and body cards.
@@ -603,6 +786,13 @@ fn parse_dot_card(
         // Analysis directives are consumed by `parse_deck`; the circuit
         // parser just skips them.
         ".op" | ".dc" | ".ac" | ".tran" => Ok(()),
+        // Sizing-stanza directives are consumed by the netlist-bench
+        // compiler in `asdex-env`; the circuit parser just skips them.
+        ".sizeparam" | ".goal" | ".fom" | ".process" | ".corners" => Ok(()),
+        ".include" => Err(err(
+            line,
+            ".include is only resolved when a deck is loaded from a file (see read_deck_source)",
+        )),
         ".temp" => {
             let t = tokens
                 .get(1)
@@ -943,6 +1133,132 @@ X1 n1 loopy
     fn cards_after_end_ignored() {
         let ckt = parse_netlist("t\nR1 a 0 1k\n.end\nR2 b 0 2k\n").unwrap();
         assert_eq!(ckt.elements().len(), 1);
+    }
+
+    #[test]
+    fn param_cards_substitute() {
+        let ckt = parse_netlist("t\n.param rload=2*1k\nR1 a 0 {rload}\nV1 a 0 {vin}\n.param vin=1.5\n.end");
+        // `vin` is defined after its use — sequential processing rejects it.
+        assert!(ckt.is_err());
+        let ckt =
+            parse_netlist("t\n.param vin=1.5\n.param rload=2*1k\nR1 a 0 {rload}\nV1 a 0 {vin}\n.end").unwrap();
+        match &ckt.elements()[0].kind {
+            ElementKind::Resistor { ohms, .. } => assert_eq!(*ohms, 2e3),
+            other => panic!("{other:?}"),
+        }
+        match &ckt.elements()[1].kind {
+            ElementKind::Vsource { dc, .. } => assert_eq!(*dc, 1.5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn param_references_earlier_params() {
+        let ckt = parse_netlist("t\n.param vdd=1.8\n.param vcm=0.55*{vdd}\nV1 a 0 {vcm}\n.end").unwrap();
+        match &ckt.elements()[0].kind {
+            ElementKind::Vsource { dc, .. } => assert_eq!(*dc, 0.55 * 1.8),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn param_redefinition_latest_wins() {
+        let ckt = parse_netlist("t\n.param r=1k\n.param r=2k\nR1 a 0 {r}\n.end").unwrap();
+        match &ckt.elements()[0].kind {
+            ElementKind::Resistor { ohms, .. } => assert_eq!(*ohms, 2e3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn param_errors_are_typed() {
+        let e = parse_netlist("t\nR1 a 0 {nope}\n.end").unwrap_err();
+        assert!(e.message.contains("unresolved parameter reference"), "{}", e.message);
+        assert_eq!(e.line, 2);
+        let e = parse_netlist("t\nR1 a 0 {oops\n.end").unwrap_err();
+        assert!(e.message.contains("unterminated"), "{}", e.message);
+        let e = parse_netlist("t\n.param\n.end").unwrap_err();
+        assert!(e.message.contains(".param NAME=VALUE"), "{}", e.message);
+        let e = parse_netlist("t\n.param 1bad=2\n.end").unwrap_err();
+        assert!(e.message.contains("invalid parameter name"), "{}", e.message);
+        let e = parse_netlist("t\n.param x=1**2\n.end").unwrap_err();
+        assert!(e.message.contains("empty factor"), "{}", e.message);
+        let e = parse_netlist("t\n.param x=1*zz\n.end").unwrap_err();
+        assert!(e.message.contains("cannot parse"), "{}", e.message);
+    }
+
+    #[test]
+    fn param_value_round_trips_exactly() {
+        // A substituted constant must stamp bit-identically to the
+        // computed value — the netlist-bench equivalence contract.
+        let v: f64 = 0.55 * 1.8;
+        let ckt = parse_netlist("t\n.param vdd=1.8\n.param vcm=0.55*{vdd}\nV1 a 0 {vcm}\n.end").unwrap();
+        match &ckt.elements()[0].kind {
+            ElementKind::Vsource { dc, .. } => assert_eq!(dc.to_bits(), v.to_bits()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sizing_directives_are_skipped_by_circuit_parser() {
+        let ckt = parse_netlist(
+            "t\n.sizeparam w 1e-6 1e-4 STEP 10\n.goal gain_db >= 60\n.fom power_w\n.process 45\n.corners nominal\nR1 a 0 1k\n.end",
+        )
+        .unwrap();
+        assert_eq!(ckt.elements().len(), 1);
+    }
+
+    #[test]
+    fn inline_include_is_rejected() {
+        let e = parse_netlist("t\n.include models.sp\n.end").unwrap_err();
+        assert!(e.message.contains(".include"), "{}", e.message);
+    }
+
+    #[test]
+    fn include_loader_expands_and_guards() {
+        let dir = std::env::temp_dir().join(format!("asdex_inc_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("sub")).unwrap();
+        std::fs::write(dir.join("models.inc"), ".model nch NMOS (VT0=0.5)\n").unwrap();
+        std::fs::write(dir.join("sub").join("nested.inc"), "R9 a 0 9k\n").unwrap();
+        std::fs::write(
+            dir.join("main.sp"),
+            "title\n.include models.inc\n.include sub/nested.inc\nR1 a 0 1k\n.end\n",
+        )
+        .unwrap();
+        let src = read_deck_source(&dir.join("main.sp")).unwrap();
+        assert!(src.contains(".model nch"));
+        assert!(src.contains("R9 a 0 9k"));
+        let ckt = parse_netlist(&src).unwrap();
+        assert_eq!(ckt.elements().len(), 2);
+        assert!(ckt.mos_model("nch").is_some());
+
+        // Missing file.
+        std::fs::write(dir.join("missing.sp"), "t\n.include nothere.inc\n.end\n").unwrap();
+        let e = read_deck_source(&dir.join("missing.sp")).unwrap_err();
+        assert!(e.message.contains("cannot read deck"), "{}", e.message);
+
+        // Escape via `..` or an absolute path.
+        std::fs::write(dir.join("escape.sp"), "t\n.include ../etc/passwd\n.end\n").unwrap();
+        let e = read_deck_source(&dir.join("escape.sp")).unwrap_err();
+        assert!(e.message.contains("escapes"), "{}", e.message);
+        std::fs::write(dir.join("abs.sp"), "t\n.include /etc/passwd\n.end\n").unwrap();
+        let e = read_deck_source(&dir.join("abs.sp")).unwrap_err();
+        assert!(e.message.contains("escapes"), "{}", e.message);
+
+        // Cycle.
+        std::fs::write(dir.join("a.sp"), "t\n.include b.sp\n").unwrap();
+        std::fs::write(dir.join("b.sp"), ".include a.sp\n").unwrap();
+        let e = read_deck_source(&dir.join("a.sp")).unwrap_err();
+        assert!(e.message.contains("cycle"), "{}", e.message);
+
+        // Malformed directive.
+        std::fs::write(dir.join("bad.sp"), "t\n.include\n.end\n").unwrap();
+        assert!(read_deck_source(&dir.join("bad.sp")).is_err());
+        std::fs::write(dir.join("bad2.sp"), "t\n.include a.inc b.inc\n.end\n").unwrap();
+        let e = read_deck_source(&dir.join("bad2.sp")).unwrap_err();
+        assert!(e.message.contains("exactly one path"), "{}", e.message);
+
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

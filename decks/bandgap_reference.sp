@@ -1,0 +1,29 @@
+bandgap-style reference bsim45
+* A supply-insensitive beta-multiplier reference with a mirrored output
+* branch. The supply carries the AC stimulus, so gain_db at `out` is the
+* supply injection (PSRR): the goal asks for at least 20 dB of rejection.
+* RSTART breaks the zero-current state so DC Newton lands on the biased
+* solution.
+.process 45
+.corners nominal
+.sizeparam w_n 1e-6 50e-6 STEP 64
+.sizeparam w_p 2e-6 100e-6 STEP 64
+.sizeparam rsrc 5e2 5e4 STEP 64
+.sizeparam rout 1e3 1e5 STEP 64
+.goal gain_db <= -45
+.goal power_w <= 1e-4
+.goal area_m2 <= 1e-11
+VDD vdd 0 DC {vdd} AC 1
+* Beta multiplier core: NMOS diode + degenerated mirror under a PMOS
+* mirror; the loop settles where 1/gm matches RSRC.
+M1 n1 n1 0 0 nch W={w_n} L=1.8e-7
+M2 n2 n1 s2 0 nch W={w_n} L=1.8e-7
+RSRC s2 0 {rsrc}
+M3 n1 n2 vdd vdd pch W={w_p} L=1.8e-7
+M4 n2 n2 vdd vdd pch W={w_p} L=1.8e-7
+RSTART vdd n1 1e7
+* Output branch: mirrored current into a load resistor.
+M5 out n2 vdd vdd pch W={w_p} L=1.8e-7
+ROUT out 0 {rout}
+CD out 0 1e-12
+.end

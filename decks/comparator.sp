@@ -1,0 +1,32 @@
+open-loop comparator bsim45
+* A two-stage open-loop comparator: NMOS diff pair with mirror load into
+* a common-source output stage. No compensation capacitor and no
+* feedback — both inputs are driven at the common mode and the goals ask
+* for raw gain and speed, not stability (pm is irrelevant open-loop).
+.process 45
+.corners nominal
+.sizeparam w_in 1e-6 100e-6 STEP 100
+.sizeparam w_mir 1e-6 100e-6 STEP 100
+.sizeparam w_tail 1e-6 100e-6 STEP 100
+.sizeparam w_cs 2e-6 200e-6 STEP 100
+.sizeparam w_sink 1e-6 100e-6 STEP 100
+.sizeparam ibias 2e-6 50e-6 STEP 25
+.goal gain_db >= 70
+.goal ugf_hz >= 1e8
+.goal power_w <= 4e-4
+.goal area_m2 <= 4e-11
+.param vcm=0.55*{vdd}
+VDD vdd 0 DC {vdd}
+VIP inp 0 DC {vcm} AC 1
+VIN inn 0 DC {vcm}
+M1 x1 inn tail 0 nch W={w_in} L=1.8e-7
+M2 x2 inp tail 0 nch W={w_in} L=1.8e-7
+M3 x1 x1 vdd vdd pch W={w_mir} L=1.8e-7
+M4 x2 x1 vdd vdd pch W={w_mir} L=1.8e-7
+M5 tail nb 0 0 nch W={w_tail} L=1.8e-7
+M8 nb nb 0 0 nch W={w_tail} L=1.8e-7
+M6 out x2 vdd vdd pch W={w_cs} L=1.8e-7
+M7 out nb 0 0 nch W={w_sink} L=1.8e-7
+IB vdd nb {ibias}
+CL out 0 5e-13
+.end

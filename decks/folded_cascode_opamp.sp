@@ -1,0 +1,46 @@
+folded-cascode opamp bsim22
+* A single-stage folded-cascode OTA on the 22 nm node: PMOS input pair
+* folded into an NMOS cascode branch with a simple PMOS mirror on top.
+* Unity feedback (LFB/CFB) sets the DC operating point, the same trick
+* the built-in two-stage bench uses.
+.process 22
+.corners nominal
+.sizeparam w_in 2e-6 80e-6 STEP 64
+.sizeparam w_tail 2e-6 80e-6 STEP 64
+.sizeparam w_sink 1e-6 60e-6 STEP 64
+.sizeparam w_cas 1e-6 60e-6 STEP 64
+.sizeparam w_mir 2e-6 120e-6 STEP 64
+.sizeparam ibias 2e-6 40e-6 STEP 25
+.goal gain_db >= 50
+.goal ugf_hz >= 2e7
+.goal pm_deg >= 60
+.goal power_w <= 5e-4
+.goal area_m2 <= 6e-11
+* PMOS input pair wants a low-ish common mode; cascode gate sits mid-rail.
+.param vcm=0.4*{vdd}
+.param vcb=0.45*{vdd}
+VDD vdd 0 DC {vdd}
+VIP inp 0 DC {vcm} AC 1
+LFB out fb 1e6
+CFB fb 0 1
+* Bias: NMOS diode for the fold sinks, PMOS diode for tail and mirror.
+IB vdd nb {ibias}
+M8 nb nb 0 0 nch W={w_sink} L=1e-7
+IB2 pb 0 {ibias}
+M9 pb pb vdd vdd pch W={w_tail} L=1e-7
+* PMOS input pair off a mirrored tail source.
+MT tail pb vdd vdd pch W={w_tail} L=1e-7
+M1 f1 fb tail vdd pch W={w_in} L=1e-7
+M2 f2 inp tail vdd pch W={w_in} L=1e-7
+* Fold-down current sinks.
+M5 f1 nb 0 0 nch W={w_sink} L=1e-7
+M6 f2 nb 0 0 nch W={w_sink} L=1e-7
+* NMOS cascodes carry the folded signal up to the mirror.
+MC1 m1 cb f1 0 nch W={w_cas} L=1e-7
+MC2 out cb f2 0 nch W={w_cas} L=1e-7
+VCB cb 0 DC {vcb}
+* Simple PMOS mirror load on top.
+M3 m1 m1 vdd vdd pch W={w_mir} L=1e-7
+M4 out m1 vdd vdd pch W={w_mir} L=1e-7
+CL out 0 1e-12
+.end

@@ -1,0 +1,37 @@
+two-stage LDO n6
+* A low-dropout regulator on the n6 node: NMOS-input error amplifier
+* driving a PMOS pass device, resistive divider feedback, compensated at
+* the gate. The supply carries the AC stimulus, so gain_db at `out` is
+* the supply injection (PSRR) — the spec asks the loop to reject it.
+.process n6
+.corners nominal
+.sizeparam w_in 1e-6 40e-6 STEP 64
+.sizeparam w_mir 1e-6 40e-6 STEP 64
+.sizeparam w_tail 1e-6 40e-6 STEP 64
+.sizeparam w_pass 20e-6 800e-6 STEP 100
+.sizeparam cgate 1e-13 4e-12 STEP 40
+.sizeparam ibias 2e-6 30e-6 STEP 25
+.goal gain_db <= -95
+.goal power_w <= 1e-4
+.goal area_m2 <= 5e-12
+.param vref=0.5*{vdd}
+VDD vdd 0 DC {vdd} AC 1
+VREF ref 0 DC {vref}
+* Error amplifier: reference on the inverting mirror side, divider tap
+* on the non-inverting side, so the loop regulates out toward 2*vref.
+M1 x1 ref tail 0 nch W={w_in} L=5e-8
+M2 g fb tail 0 nch W={w_in} L=5e-8
+M3 x1 x1 vdd vdd pch W={w_mir} L=5e-8
+M4 g x1 vdd vdd pch W={w_mir} L=5e-8
+M5 tail nb 0 0 nch W={w_tail} L=5e-8
+M8 nb nb 0 0 nch W={w_tail} L=5e-8
+IB vdd nb {ibias}
+* Pass device and gate compensation.
+MP out g vdd vdd pch W={w_pass} L=5e-8
+CG g 0 {cgate}
+* Feedback divider and load.
+R1 out fb 1e5
+R2 fb 0 1e5
+RL out 0 2e3
+CL out 0 1e-11
+.end

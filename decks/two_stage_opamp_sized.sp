@@ -1,0 +1,41 @@
+two-stage opamp sized bsim45
+* Netlist-defined clone of the built-in `opamp45` bench. Compiled by the
+* netlist-bench frontend (asdex size --netlist decks/two_stage_opamp_sized.sp)
+* into a SizingProblem that is bitwise-equivalent to the hard-coded
+* TwoStageOpamp::bsim45() constructor: same design-space grids, same specs,
+* same node/element order (first-appearance order below), and e-notation
+* values throughout so every literal round-trips exactly.
+.process 45
+.corners nominal
+.sizeparam w_in 1e-6 100e-6 STEP 100
+.sizeparam w_mir 1e-6 100e-6 STEP 100
+.sizeparam w_tail 1e-6 100e-6 STEP 100
+.sizeparam w_cs 2e-6 200e-6 STEP 100
+.sizeparam w_sink 1e-6 100e-6 STEP 100
+.sizeparam cc 2e-13 8e-12 STEP 40
+.sizeparam ibias 2e-6 50e-6 STEP 25
+.goal gain_db >= 65
+.goal ugf_hz >= 6e7
+.goal pm_deg >= 60
+.goal power_w <= 3e-4
+.goal area_m2 <= 4e-11
+* Input common mode: 0.55 * VDD (corner-scaled supply).
+.param vcm=0.55*{vdd}
+VDD vdd 0 {vdd}
+VIP inp 0 DC {vcm} AC 1
+* Unity-feedback bias: huge L closes the loop at DC, huge C grounds the
+* inverting input at AC.
+LFB out fb 1e6
+CFB fb 0 1
+M1 x1 fb tail 0 nch W={w_in} L=1.8e-7
+M2 x2 inp tail 0 nch W={w_in} L=1.8e-7
+M3 x1 x1 vdd vdd pch W={w_mir} L=1.8e-7
+M4 x2 x1 vdd vdd pch W={w_mir} L=1.8e-7
+M5 tail nb 0 0 nch W={w_tail} L=1.8e-7
+M8 nb nb 0 0 nch W={w_tail} L=1.8e-7
+M6 out x2 vdd vdd pch W={w_cs} L=1.8e-7
+M7 out nb 0 0 nch W={w_sink} L=1.8e-7
+IB vdd nb {ibias}
+CC x2 out {cc}
+CL out 0 2e-12
+.end

@@ -3,8 +3,10 @@
 //! ```text
 //! asdex size <opamp45|opamp22|ldo|ico|bowl<dim>> [--agent trm|bo|random]
 //!            [--budget N] [--seed N] [--corners nominal|signoff5] [--json]
+//! asdex size --netlist <deck.sp> [...]
 //! asdex size --resume <path>
 //! asdex probe <opamp45|opamp22|ldo|ico|bowl<dim>> [--samples N] [--json]
+//! asdex probe --netlist <deck.sp> [...]
 //! asdex sim <deck.cir>
 //! asdex serve [--addr host:port] [--journal-dir dir] [--threads N] [--workers N]
 //! asdex loadgen [--addr host:port] [--n N] [--out csv]
@@ -48,9 +50,11 @@ USAGE:
                 [--budget N] [--seed N] [--corners nominal|signoff5]
                 [--threads N] [--workers N] [--solver auto|dense|sparse]
                 [--journal path] [--checkpoint-every N] [--json] [--quiet]
+    asdex size  --netlist <deck.sp> [same flags as above]
     asdex size  --resume <path> [--threads N] [--checkpoint-every N]
     asdex probe <opamp45|opamp22|ldo|ico|bowl<dim>> [--samples N]
                 [--threads N] [--json]
+    asdex probe --netlist <deck.sp> [--samples N] [--threads N] [--json]
     asdex sim   <deck.cir>
     asdex serve [--addr host:port] [--journal-dir dir] [--threads N]
                 [--workers N] [--queue N] [--max-active N]
@@ -60,7 +64,8 @@ USAGE:
     asdex loadgen [--addr host:port] [--n N] [--concurrency N]
                   [--bench name] [--agent name] [--budget N]
                   [--corners set] [--out csv] [--timeout-secs N]
-                  [--retries N] [--idle-conns N] [--duplicate] [--quiet]
+                  [--retries N] [--idle-conns N] [--duplicate]
+                  [--netlist deck.sp] [--quiet]
 
 `--threads N` sets the batch-evaluation worker count (default: the
 ASDEX_THREADS environment variable, else serial); for `serve` it is the
@@ -81,6 +86,15 @@ variable sets the same default process-wide). Each backend is
 individually bitwise-deterministic at any thread or worker count, but
 dense and sparse agree only within solver tolerance, so the choice is
 recorded in the journal and pinned on resume.
+
+`--netlist deck.sp` sizes a user-written netlist bench instead of a
+built-in one: the deck declares its own search axes (`.sizeparam`),
+specs (`.goal`), objective (`.fom`), and process (`.process`), and is
+compiled into exactly the problem shape the built-ins use. The deck's
+FNV-1a source digest is recorded in the journal, so `--resume` (and the
+daemon's crash recovery) refuse a deck edited after the campaign
+started. For `loadgen`, the deck is read once and submitted inline in
+every `POST /campaigns` body.
 
 `--journal path` records every evaluation to an append-only journal
 (fsync'd every --checkpoint-every records, default 25, and on Ctrl-C).
@@ -248,6 +262,8 @@ const VALUE_FLAGS: &[&str] = &[
     "--rate-limit",
     "--admission-timeout",
     "--idle-conns",
+    "--netlist",
+    "--netlist-digest",
 ];
 
 /// Whether a bare flag (no value) is present.
@@ -280,15 +296,44 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
 
 /// Builds a benchmark problem, mapping vocabulary errors to usage errors.
 /// The vocabulary itself lives in [`asdex::serve::campaign`] so the CLI
-/// and the daemon accept exactly the same names.
-fn build_problem(name: &str, corners: &str) -> Result<SizingProblem, CliError> {
-    asdex::serve::build_problem(name, corners).map_err(|e| {
+/// and the daemon accept exactly the same names. `netlist_digest`, when
+/// present (a resumed `netlist:<path>` campaign), must match the deck on
+/// disk — the guard against sizing against an edited netlist.
+fn build_problem(
+    name: &str,
+    corners: &str,
+    netlist_digest: Option<u64>,
+) -> Result<SizingProblem, CliError> {
+    asdex::serve::build_problem_checked(name, corners, netlist_digest).map_err(|e| {
         if e.starts_with("unknown") {
             CliError::Usage(e)
         } else {
             CliError::Runtime(e)
         }
     })
+}
+
+/// Resolves the `--netlist <path>` / positional-bench pair into one bench
+/// name, rejecting ambiguous invocations. The path is pre-compiled so a
+/// bad deck fails here with its typed compile error (and the digest is
+/// pinned for the journal) rather than deep inside campaign setup.
+fn netlist_or_positional(
+    args: &[String],
+    what: &str,
+) -> Result<Option<(String, Option<u64>)>, CliError> {
+    match flag_value(args, "--netlist")? {
+        Some(path) => {
+            if positional(args).is_some() {
+                return Err(CliError::Usage(format!(
+                    "{what} takes either a benchmark name or --netlist, not both"
+                )));
+            }
+            let deck = asdex::env::NetlistBench::load(Path::new(path))
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+            Ok(Some((format!("netlist:{path}"), Some(deck.digest()))))
+        }
+        None => Ok(positional(args).map(|b| (b.to_string(), None))),
+    }
 }
 
 /// Set by the `SIGINT`/`SIGTERM` handler; polled by the watcher thread.
@@ -389,6 +434,18 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
                 )));
             }
         }
+        // Same pinning rule for the bench: a resumed netlist campaign
+        // runs the deck the journal recorded (path and digest), so a
+        // different --netlist is a conflict, not an override.
+        if let Some(path) = flag_value(args, "--netlist")? {
+            if format!("netlist:{path}") != spec.bench {
+                return Err(CliError::Usage(format!(
+                    "--netlist {path} conflicts with the journal's recorded bench {:?}; \
+                     resume pins the original deck",
+                    spec.bench
+                )));
+            }
+        }
         logging::info(format!(
             "journal: resuming {} ({} recorded evaluations to replay)",
             journal.path().display(),
@@ -396,9 +453,9 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
         ));
         (spec, Some(journal), Some(guard))
     } else {
-        let bench = positional(args)
-            .ok_or_else(|| CliError::Usage(format!("size needs a benchmark\n\n{USAGE}")))?
-            .to_string();
+        let (bench, netlist_digest) = netlist_or_positional(args, "size")?.ok_or_else(|| {
+            CliError::Usage(format!("size needs a benchmark or --netlist\n\n{USAGE}"))
+        })?;
         let spec = CampaignSpec {
             bench,
             agent: flag_value(args, "--agent")?.unwrap_or("trm").to_string(),
@@ -407,6 +464,11 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
             corners: flag_value(args, "--corners")?.unwrap_or("nominal").to_string(),
             checkpoint_every,
             solver: solver_flag.clone().unwrap_or_else(|| "auto".to_string()),
+            netlist: None,
+            // Pinned before the journal is created, so the journal's
+            // metadata records which deck this campaign sizes and resume
+            // can refuse an edited one.
+            netlist_digest,
         };
         let (journal, guard) = match flag_value(args, "--journal")? {
             Some(jpath) => {
@@ -424,8 +486,9 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
     let solver = SolverChoice::from_label(&spec.solver).ok_or_else(|| {
         CliError::Runtime(format!("journal records unknown solver {:?}", spec.solver))
     })?;
-    let mut problem =
-        build_problem(&spec.bench, &spec.corners)?.with_threads(threads).with_solver(solver);
+    let mut problem = build_problem(&spec.bench, &spec.corners, spec.netlist_digest)?
+        .with_threads(threads)
+        .with_solver(solver);
     if let Some(journal) = journal {
         problem = problem.with_journal(journal);
         if let Some(handle) = problem.journal_handle() {
@@ -441,6 +504,7 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
         let mut pool_cfg =
             asdex::serve::WorkerPoolConfig::new(program, &spec.bench, &spec.corners, workers);
         pool_cfg.solver = spec.solver.clone();
+        pool_cfg.netlist_digest = spec.netlist_digest;
         let pool = asdex::serve::WorkerPool::for_problem(
             pool_cfg,
             &problem,
@@ -540,12 +604,13 @@ fn cmd_size(args: &[String]) -> Result<(), CliError> {
 fn cmd_probe(args: &[String]) -> Result<(), CliError> {
     use asdex_rng::rngs::StdRng;
     use asdex_rng::SeedableRng;
-    let bench = positional(args)
-        .ok_or_else(|| CliError::Usage(format!("probe needs a benchmark\n\n{USAGE}")))?;
+    let (bench, netlist_digest) = netlist_or_positional(args, "probe")?.ok_or_else(|| {
+        CliError::Usage(format!("probe needs a benchmark or --netlist\n\n{USAGE}"))
+    })?;
     let samples = parse_flag(args, "--samples", 5_000usize)?;
     let threads = parse_flag(args, "--threads", 0usize)?;
     let json_output = has_flag(args, "--json");
-    let problem = build_problem(bench, "nominal")?.with_threads(threads);
+    let problem = build_problem(&bench, "nominal", netlist_digest)?.with_threads(threads);
     let mut rng = StdRng::seed_from_u64(1);
     let mut feasible = 0usize;
     let mut stats = asdex::env::EvalStats::new();
@@ -651,6 +716,22 @@ fn install_drain_on_signal(drain: DrainHandle) {
 /// Hammers a daemon with concurrent campaigns and records throughput and
 /// latency percentiles to a CSV.
 fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
+    // An inline-netlist load run reads the deck once and submits its
+    // source in every campaign body; `bench` is then server-assigned.
+    let netlist = match flag_value(args, "--netlist")? {
+        Some(path) => {
+            if flag_value(args, "--bench")?.is_some() {
+                return Err(CliError::Usage(
+                    "loadgen takes either --bench or --netlist, not both".to_string(),
+                ));
+            }
+            Some(std::fs::read_to_string(path).map_err(|e| CliError::Io {
+                path: path.to_string(),
+                source: e,
+            })?)
+        }
+        None => None,
+    };
     let cfg = LoadgenConfig {
         addr: flag_value(args, "--addr")?.unwrap_or("127.0.0.1:8650").to_string(),
         campaigns: parse_flag(args, "--n", 16usize)?,
@@ -663,6 +744,7 @@ fn cmd_loadgen(args: &[String]) -> Result<(), CliError> {
         retries: parse_flag(args, "--retries", 4u32)?,
         idle_conns: parse_flag(args, "--idle-conns", 0usize)?,
         duplicate: has_flag(args, "--duplicate"),
+        netlist,
     };
     let out = Path::new(
         flag_value(args, "--out")?.unwrap_or("bench_results/serve_throughput.csv"),
@@ -729,7 +811,15 @@ fn cmd_worker(args: &[String]) -> Result<(), CliError> {
     } else {
         None
     };
-    let cfg = asdex::serve::WorkerConfig { bench, corners, solver, fault };
+    // The supervisor forwards the admitted campaign's netlist digest; the
+    // worker re-compiles the deck and refuses to serve if it was edited.
+    let netlist_digest = match flag_value(args, "--netlist-digest")? {
+        Some(hex) => Some(u64::from_str_radix(hex, 16).map_err(|_| {
+            CliError::Usage(format!("--netlist-digest {hex:?} is not a 16-hex digest"))
+        })?),
+        None => None,
+    };
+    let cfg = asdex::serve::WorkerConfig { bench, corners, solver, fault, netlist_digest };
     asdex::serve::run_worker(&cfg).map_err(CliError::Runtime)
 }
 
@@ -737,8 +827,10 @@ fn cmd_sim(args: &[String]) -> Result<(), CliError> {
     let path = args
         .first()
         .ok_or_else(|| CliError::Usage(format!("sim needs a netlist path\n\n{USAGE}")))?;
-    let source = std::fs::read_to_string(path)
-        .map_err(|e| CliError::Io { path: path.clone(), source: e })?;
+    // read_deck_source expands `.include` cards (deck-relative, cycle- and
+    // depth-guarded) before parsing, so composed decks simulate too.
+    let source = asdex::spice::parser::read_deck_source(Path::new(path))
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
     let deck = parse_deck(&source).map_err(|e| CliError::Runtime(e.to_string()))?;
     let circuit = &deck.circuit;
     println!("{path}: {} elements, {} nodes", circuit.elements().len(), circuit.node_count());

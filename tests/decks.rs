@@ -1,9 +1,14 @@
 //! The shipped example decks must parse, bias, and measure sensibly —
-//! they are the first thing a new user feeds to `asdex sim`.
+//! they are the first thing a new user feeds to `asdex sim` — and the
+//! shipped *sizing* decks (`decks/*.sp`) must compile through the
+//! netlist-bench frontend and reproduce their recorded measurement
+//! goldens bit for bit.
 
+use asdex::env::{netlist_digest, NetlistBench, SearchBudget, Searcher};
 use asdex::spice::analysis::{ac_analysis, dc_operating_point, OpOptions, Sweep};
 use asdex::spice::measure::frequency_response;
 use asdex::spice::parser::parse_netlist;
+use std::path::Path;
 
 #[test]
 fn rc_filter_deck_measures_like_two_cascaded_poles() {
@@ -44,4 +49,142 @@ fn opamp_deck_biases_and_amplifies() {
     let fr = frequency_response(&ac, out);
     assert!(fr.dc_gain_db > 60.0, "open-loop gain {} dB", fr.dc_gain_db);
     assert!(fr.unity_gain_freq.is_some(), "has a UGF");
+}
+
+/// Grid-midpoint measurement goldens for every shipped sizing deck, as
+/// IEEE-754 bit patterns (`{:016x}` of `f64::to_bits`), in measurement
+/// order `gain_db, ugf_hz, pm_deg, power_w, area_m2`. String equality ⇔
+/// bitwise equality — the same contract the journal and wire formats
+/// use — so any change to a deck, the parser, the compiler, or the
+/// simulator that perturbs even one ulp fails here by name.
+const SIZING_GOLDENS: &[(&str, [&str; 5])] = &[
+    (
+        "two_stage_opamp_sized.sp",
+        [
+            "4058437fddbb7b2a",
+            "418370b80341bd8b",
+            "4029f01e81f33820",
+            "3f0cbd99aae1108a",
+            "3db23b318ff64a87",
+        ],
+    ),
+    (
+        "folded_cascode_opamp.sp",
+        [
+            "c0660334c5897b20",
+            "0000000000000000",
+            "0000000000000000",
+            "3f0bb6092fc50cda",
+            "3dab4b1a6284035a",
+        ],
+    ),
+    (
+        "bandgap_reference.sp",
+        [
+            "c048740a3c5423b2",
+            "0000000000000000",
+            "0000000000000000",
+            "3ec287e67ed65610",
+            "3da718e89e5a2764",
+        ],
+    ),
+    (
+        "comparator.sp",
+        [
+            "40584c2ff8a2e0b6",
+            "41be348c7db3a7b5",
+            "c0244deec5c35350",
+            "3f0ca03faeba17ef",
+            "3db23b318ff64a87",
+        ],
+    ),
+    (
+        "two_stage_ldo.sp",
+        [
+            "c0651f073c734a82",
+            "0000000000000000",
+            "0000000000000000",
+            "3ef30ff6e5dedbc6",
+            "3da27737fec6d694",
+        ],
+    ),
+];
+
+#[test]
+fn sizing_decks_compile_and_match_midpoint_goldens_bitwise() {
+    for (file, want) in SIZING_GOLDENS {
+        let path = Path::new("decks").join(file);
+        let bench = NetlistBench::load(&path).unwrap_or_else(|e| panic!("{file}: {e}"));
+        // The digest the daemon journals is the digest of the shipped
+        // source, stable under include expansion (none here).
+        assert_eq!(
+            bench.digest(),
+            netlist_digest(bench.source()),
+            "{file}: digest disagrees with its own source"
+        );
+        let problem = bench.problem().unwrap_or_else(|e| panic!("{file}: {e}"));
+        let eval = problem.evaluate_normalized(&vec![0.5; problem.dim()], 0);
+        let meas = eval
+            .measurements
+            .unwrap_or_else(|| panic!("{file}: midpoint fails: {:?}", eval.failure));
+        let got: Vec<String> = meas.iter().map(|v| format!("{:016x}", v.to_bits())).collect();
+        assert_eq!(got, want.to_vec(), "{file}: midpoint measurements drifted");
+    }
+}
+
+#[test]
+fn sizing_decks_search_end_to_end() {
+    // A short random-search campaign over every shipped deck: the cheap
+    // proof that each compiles into a problem every agent can drive.
+    for (file, _) in SIZING_GOLDENS {
+        let bench = NetlistBench::load(&Path::new("decks").join(file)).unwrap();
+        let problem = bench.problem().unwrap();
+        let out =
+            asdex::baselines::RandomSearch::new().search(&problem, SearchBudget::new(20), 1);
+        assert!(out.simulations > 0, "{file}: search ran no simulations");
+        assert_eq!(out.best_point.len(), problem.dim(), "{file}");
+    }
+}
+
+#[test]
+fn malformed_sizing_stanzas_are_typed_errors_never_panics() {
+    let base = std::fs::read_to_string("decks/bandgap_reference.sp").unwrap();
+    // Each row mutates the known-good deck one way; every mutant must
+    // fail `compile` with a typed error (or, for the last rows, still
+    // compile — the mutation is legal) without panicking.
+    let mutants: &[(&str, &str)] = &[
+        (".process 45", ".process 13"),
+        (".process 45", ".process"),
+        (".process 45", ""),
+        (".sizeparam rsrc 5e2 5e4 STEP 64", ".sizeparam rsrc 5e4 5e2 STEP 64"),
+        (".sizeparam rsrc 5e2 5e4 STEP 64", ".sizeparam rsrc xx 5e4 STEP 64"),
+        (".sizeparam rsrc 5e2 5e4 STEP 64", ".sizeparam rsrc 5e2 5e4 STEP 0"),
+        (
+            ".sizeparam rsrc 5e2 5e4 STEP 64",
+            ".sizeparam rsrc 5e2 5e4 STEP 64\n.sizeparam rsrc 5e2 5e4 STEP 64",
+        ),
+        (".sizeparam rsrc 5e2 5e4 STEP 64", ".sizeparam rsrc 5e2 5e4 STEP nope"),
+        (".sizeparam rsrc 5e2 5e4 STEP 64", ".sizeparam"),
+        (".goal gain_db <= -45", ".goal gain_db ~= -45"),
+        (".goal gain_db <= -45", ".goal resistance <= -45"),
+        (".goal gain_db <= -45", ".goal gain_db <= banana"),
+        ("ROUT out 0 {rout}", "ROUT out 0 {undeclared}"),
+        ("M1 n1 n1 0 0 nch W={w_n} L=1.8e-7", "M1 n1 n1 0 0 nch W={w_n}"),
+    ];
+    for (from, to) in mutants {
+        assert!(base.contains(from), "mutation target {from:?} missing from base deck");
+        let mutated = base.replace(from, to);
+        let result = std::panic::catch_unwind(|| NetlistBench::compile(&mutated));
+        let compiled = result.unwrap_or_else(|_| panic!("compile panicked on {to:?}"));
+        assert!(compiled.is_err(), "mutant {to:?} compiled");
+        let msg = compiled.err().unwrap().to_string();
+        assert!(!msg.is_empty(), "empty error for {to:?}");
+    }
+    // Goal-less and axis-less decks are rejected with a naming error.
+    let no_goals: String =
+        base.lines().filter(|l| !l.starts_with(".goal")).collect::<Vec<_>>().join("\n");
+    assert!(NetlistBench::compile(&no_goals).unwrap_err().to_string().contains("goal"));
+    let no_axes: String =
+        base.lines().filter(|l| !l.starts_with(".sizeparam")).collect::<Vec<_>>().join("\n");
+    assert!(NetlistBench::compile(&no_axes).is_err());
 }

@@ -1,0 +1,178 @@
+//! The netlist-bench keystone: a deck-defined copy of the built-in
+//! two-stage opamp bench (`decks/two_stage_opamp_sized.sp`) must run
+//! campaigns **bitwise identical** to the hard-coded
+//! `TwoStageOpamp::bsim45()` constructor — across thread counts, across
+//! worker processes, across both linear-solver backends, and across a
+//! mid-campaign crash + journal resume. Equality is asserted on the
+//! canonical `outcome_json` dump, whose floats are IEEE-754 bit
+//! patterns: string equality ⇔ bitwise equality.
+
+use asdex::env::{netlist_digest, Journal};
+use asdex::serve::protocol::outcome_json;
+use asdex::serve::scheduler::CampaignStatus;
+use asdex::serve::{
+    build_problem_checked, run_campaign, CampaignSpec, Scheduler, SchedulerConfig,
+};
+use asdex::spice::analysis::SolverChoice;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+const CLONE_PATH: &str = "decks/two_stage_opamp_sized.sp";
+const CLONE_BENCH: &str = "netlist:decks/two_stage_opamp_sized.sp";
+const BUDGET: usize = 60;
+
+fn spec(bench: &str, solver: &str) -> CampaignSpec {
+    CampaignSpec {
+        bench: bench.to_string(),
+        agent: "trm".to_string(),
+        seed: 7,
+        budget: BUDGET,
+        corners: "nominal".to_string(),
+        solver: solver.to_string(),
+        ..CampaignSpec::default()
+    }
+}
+
+/// Runs one in-process campaign and returns the canonical outcome dump.
+fn outcome(spec: &CampaignSpec, threads: usize) -> String {
+    let solver = SolverChoice::from_label(&spec.solver).expect("solver label");
+    let problem = build_problem_checked(&spec.bench, &spec.corners, spec.netlist_digest)
+        .expect("bench builds")
+        .with_threads(threads)
+        .with_solver(solver);
+    outcome_json(&run_campaign(&problem, spec, None).expect("campaign runs")).dump()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("asdex-neteq-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn clone_matches_builtin_across_threads_and_both_solver_backends() {
+    for solver in ["dense", "sparse"] {
+        let reference = outcome(&spec("opamp45", solver), 1);
+        for threads in [1usize, 4] {
+            assert_eq!(
+                outcome(&spec(CLONE_BENCH, solver), threads),
+                reference,
+                "netlist clone diverged from opamp45 ({solver}, {threads} threads)"
+            );
+        }
+        // The built-in itself is thread-invariant; the clone inherits it.
+        assert_eq!(outcome(&spec("opamp45", solver), 4), reference, "builtin ({solver})");
+    }
+}
+
+#[test]
+fn clone_matches_builtin_through_worker_processes_and_inline_submission() {
+    let reference = outcome(&spec("opamp45", "auto"), 1);
+    let source = std::fs::read_to_string(CLONE_PATH).expect("clone deck ships with the repo");
+    for workers in [0usize, 4] {
+        let dir = temp_dir(&format!("w{workers}"));
+        let scheduler = Scheduler::start(
+            SchedulerConfig {
+                max_active: 2,
+                thread_budget: 2,
+                journal_dir: dir.clone(),
+                workers,
+                worker_program: Some(PathBuf::from(env!("CARGO_BIN_EXE_asdex"))),
+                ..SchedulerConfig::default()
+            },
+            Arc::new(asdex::serve::Metrics::new()),
+        )
+        .expect("scheduler starts");
+
+        // Two admission paths to the same campaign: the on-disk deck by
+        // reference, and the deck source submitted inline (the daemon
+        // compiles it at admission and persists it content-addressed).
+        let by_path = scheduler
+            .submit(Some(format!("path-{workers}")), spec(CLONE_BENCH, "auto"))
+            .expect("path admission");
+        let inline = scheduler
+            .submit(
+                Some(format!("inline-{workers}")),
+                CampaignSpec { netlist: Some(source.clone()), ..spec("ignored", "auto") },
+            )
+            .expect("inline admission");
+
+        for id in [&by_path, &inline] {
+            assert!(scheduler.wait(id, Duration::from_secs(300)), "{id} timed out");
+            let record = scheduler.get(id).expect("registered");
+            assert_eq!(record.status(), CampaignStatus::Completed, "{id}");
+            let out = record.outcome().expect("terminal").expect("no error");
+            assert_eq!(
+                outcome_json(&out).dump(),
+                reference,
+                "campaign {id} diverged from the built-in at {workers} worker(s)"
+            );
+        }
+        scheduler.drain();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn clone_survives_crash_and_resumes_to_the_builtin_outcome() {
+    let reference = outcome(&spec("opamp45", "dense"), 1);
+
+    // The journaled identity carries the deck digest, exactly as the CLI
+    // and the daemon record it.
+    let mut sp = spec(CLONE_BENCH, "dense");
+    sp.netlist_digest =
+        Some(netlist_digest(&std::fs::read_to_string(CLONE_PATH).expect("deck reads")));
+
+    let dir = temp_dir("resume");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("clone.journal");
+
+    // Uninterrupted journaled run: journaling must be invisible.
+    let journal = Journal::create(&path, sp.to_meta(), 10).expect("journal create");
+    let problem = build_problem_checked(&sp.bench, &sp.corners, sp.netlist_digest)
+        .expect("clone builds")
+        .with_solver(SolverChoice::Dense)
+        .with_journal(journal);
+    let full = outcome_json(&run_campaign(&problem, &sp, None).expect("runs")).dump();
+    if let Some(handle) = problem.journal_handle() {
+        handle.lock().expect("journal lock").checkpoint().expect("checkpoint");
+    }
+    drop(problem);
+    assert_eq!(full, reference, "journaling changed the clone's outcome");
+
+    // SIGKILL mid-write: truncate the journal, torn final line included,
+    // then resume. The restored metadata re-pins bench, solver, and deck
+    // digest; replay plus fresh simulation must land on the same bits.
+    let bytes = std::fs::read(&path).expect("journal bytes");
+    std::fs::write(&path, &bytes[..bytes.len() * 6 / 10]).expect("truncate");
+    let journal = Journal::resume(&path, 10).expect("journal resumes");
+    let restored = CampaignSpec::from_meta(journal.meta()).expect("meta restores");
+    assert_eq!(restored.bench, CLONE_BENCH);
+    assert_eq!(restored.netlist_digest, sp.netlist_digest, "digest lost in the journal");
+    let problem =
+        build_problem_checked(&restored.bench, &restored.corners, restored.netlist_digest)
+            .expect("clone rebuilds")
+            .with_solver(SolverChoice::Dense)
+            .with_journal(journal);
+    let resumed = outcome_json(&run_campaign(&problem, &restored, None).expect("resumes")).dump();
+    assert_eq!(resumed, reference, "resumed clone diverged from the built-in");
+
+    // An edited deck no longer hashes to the journaled digest: rebuilding
+    // the campaign is a typed refusal, not a silently different search.
+    let edited = dir.join("edited.sp");
+    std::fs::write(
+        &edited,
+        std::fs::read_to_string(CLONE_PATH).expect("deck").replace("2e-12", "3e-12"),
+    )
+    .expect("edited copy");
+    let err = build_problem_checked(
+        &format!("netlist:{}", edited.display()),
+        &restored.corners,
+        restored.netlist_digest,
+    )
+    .expect_err("edited deck must be refused");
+    assert!(err.contains("digest"), "untyped refusal: {err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
